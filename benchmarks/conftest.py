@@ -1,0 +1,32 @@
+"""Shared configuration for the figure benchmarks.
+
+Every benchmark regenerates one figure of the paper's Section 7 and
+prints the measured series (engine × configuration → seconds, plus the
+sort/scan breakdown and peak memory) the way the figure plots them.
+
+Scale: the ``REPRO_BENCH_SCALE`` environment variable multiplies the
+dataset sizes (1.0 = the DESIGN.md scale model of the paper's 2M-64M
+datasets; default 0.1 keeps a full run to a few minutes).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def report(rows, title: str) -> None:
+    """Print a figure's series table (shown with ``pytest -s`` or in
+    captured output on failure)."""
+    from repro.bench.harness import format_table
+
+    print()
+    print(format_table(title, rows))

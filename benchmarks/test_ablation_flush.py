@@ -1,0 +1,48 @@
+"""Ablation: early flushing of finalized entries (DESIGN.md §4.2).
+
+The paper's central mechanism is evicting hash entries the moment the
+watermarks prove them finalized.  This ablation disables mid-scan
+cascades (so nothing flushes until the end) and measures the memory
+cost — the difference is the entire value of Tables 6-8.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.harness import time_engine
+from repro.data.synthetic import synthetic_dataset
+from repro.engine.sort_scan import SortScanEngine
+from repro.queries.q1_child_parent import q1_workflow
+
+
+def test_ablation_early_flush(benchmark, scale):
+    size = max(2000, int(200_000 * scale))
+    dataset = synthetic_dataset(size)
+    workflow = q1_workflow(dataset.schema, num_children=7)
+
+    def run():
+        eager = time_engine(
+            SortScanEngine(optimize=True),
+            dataset,
+            workflow,
+            "ablation-flush",
+            f"|D|={size}",
+            label="flush-on",
+        )
+        lazy = time_engine(
+            SortScanEngine(
+                optimize=True,
+                max_records_between_cascades=10**9,
+                cascade_prefix=1,
+            ),
+            dataset,
+            workflow,
+            "ablation-flush",
+            f"|D|={size}",
+            label="flush-rare",
+        )
+        return [eager, lazy]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(rows, "Ablation — early flushing (peak entries)")
+    eager, lazy = rows
+    # Early flushing is what keeps the footprint small.
+    assert eager.peak_entries <= lazy.peak_entries

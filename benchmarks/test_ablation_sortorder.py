@@ -1,0 +1,53 @@
+"""Ablation: sort-order choice (DESIGN.md §4.3, paper Section 6).
+
+The optimizer brute-forces sort orders against the watermark-driven
+footprint estimate.  This ablation runs the best and the worst
+candidate keys and confirms the estimate's ranking is real: the
+optimizer's key yields a (much) smaller resident footprint.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.harness import time_engine
+from repro.data.synthetic import synthetic_dataset
+from repro.engine.compile import compile_workflow
+from repro.engine.sort_scan import SortScanEngine
+from repro.optimizer.brute_force import best_sort_key, candidate_sort_keys
+from repro.optimizer.memory_model import estimate_graph_entries
+from repro.queries.q1_child_parent import q1_workflow
+
+
+def test_ablation_sort_order(benchmark, scale):
+    size = max(2000, int(200_000 * scale))
+    dataset = synthetic_dataset(size)
+    workflow = q1_workflow(dataset.schema, num_children=7)
+    graph = compile_workflow(workflow)
+    best = best_sort_key(graph, dataset_size=size)
+    worst = max(
+        candidate_sort_keys(graph),
+        key=lambda key: estimate_graph_entries(graph, key, size),
+    )
+
+    def run():
+        return [
+            time_engine(
+                SortScanEngine(sort_key=best),
+                dataset,
+                workflow,
+                "ablation-sortorder",
+                f"best {best!r}",
+                label="best-key",
+            ),
+            time_engine(
+                SortScanEngine(sort_key=worst),
+                dataset,
+                workflow,
+                "ablation-sortorder",
+                f"worst {worst!r}",
+                label="worst-key",
+            ),
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(rows, "Ablation — sort-order choice (peak entries)")
+    best_row, worst_row = rows
+    assert best_row.peak_entries <= worst_row.peak_entries

@@ -1,0 +1,58 @@
+"""Extension bench: partitioned evaluation (the paper's future work).
+
+Demonstrates the distributable plan shape: N independent partition
+passes produce exactly the single-pass results, with per-partition
+state a fraction of the whole.  (Wall-clock speedup from threads is
+GIL-bound in CPython; the structure, not the thread timing, is the
+claim.)
+"""
+
+from benchmarks.conftest import report
+from repro.bench.harness import BenchRow, time_engine
+from repro.data.synthetic import synthetic_dataset
+from repro.engine.partitioned import PartitionedEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.storage.sink import MemorySink
+from repro.queries.q2_sibling_chain import q2_workflow
+
+
+def test_extension_partitioned(benchmark, scale):
+    size = max(4000, int(400_000 * scale))
+    dataset = synthetic_dataset(size)
+    workflow = q2_workflow(dataset.schema, depth=3)
+
+    def run():
+        rows: list[BenchRow] = []
+        rows.append(
+            time_engine(
+                SortScanEngine(),
+                dataset,
+                workflow,
+                "ext-partitioned",
+                f"|D|={size}",
+                label="1-partition",
+            )
+        )
+        for partitions in (2, 4):
+            rows.append(
+                time_engine(
+                    PartitionedEngine(num_partitions=partitions),
+                    dataset,
+                    workflow,
+                    "ext-partitioned",
+                    f"|D|={size}",
+                    label=f"{partitions}-partitions",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(rows, "Extension — partitioned evaluation")
+
+    # Results must be identical regardless of the partition count.
+    single = SortScanEngine().evaluate(dataset, workflow)
+    split = PartitionedEngine(num_partitions=4).evaluate(
+        dataset, workflow, sink=MemorySink()
+    )
+    for name in workflow.outputs():
+        assert single[name].equal_rows(split[name])

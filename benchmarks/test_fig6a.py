@@ -1,0 +1,34 @@
+"""Figure 6(a): Q1 (child/parent match, 7 children) vs dataset size.
+
+Paper's shape: the single-scan algorithm only survives the smallest
+dataset (memory); sort/scan beats the relational baseline at the larger
+sizes, with the gap widening.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.figures import fig6a
+
+
+def test_fig6a(benchmark, scale):
+    rows = benchmark.pedantic(
+        fig6a, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report(rows, f"Figure 6(a) — Q1 over dataset sizes (scale={scale})")
+
+    by = {(r.config, r.engine): r for r in rows}
+    configs = sorted({r.config for r in rows}, key=lambda c: int(c[4:]))
+    largest = configs[-1]
+
+    # Single-scan dies on the larger datasets (memory), like the paper
+    # showing it only at 2M.
+    assert by[(configs[-1], "SingleScan")].seconds is None
+    assert by[(configs[-2], "SingleScan")].seconds is None
+
+    # Sort/scan stays within a tiny memory footprint at every size.
+    for config in configs:
+        sort_scan = by[(config, "SortScan")]
+        db = by[(config, "DB")]
+        assert sort_scan.peak_entries < db.peak_entries / 10
+
+    # At the largest size, sort/scan beats the relational baseline.
+    assert by[(largest, "SortScan")].seconds < by[(largest, "DB")].seconds

@@ -1,0 +1,36 @@
+"""Figure 6(b): Q2 (nested sliding windows) vs dataset size.
+
+Paper's shape: sort/scan's cost "almost does not increase" with window
+nesting depth because results pipeline through the chain without
+materialization, while the relational formulation pays per level.
+
+Honest deviation (recorded in EXPERIMENTS.md): at laptop scale our
+in-memory relational baseline holds the tiny (~1000-group) chain tables
+in hash memory and stays cheap, so the paper's absolute DB-vs-SortScan
+ordering for this query does not reproduce; the depth-insensitivity of
+sort/scan — the figure's algorithmic claim — does, and is asserted.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.figures import fig6b
+
+
+def test_fig6b(benchmark, scale):
+    rows = benchmark.pedantic(
+        fig6b, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report(rows, f"Figure 6(b) — Q2 sibling chains (scale={scale})")
+
+    by = {(r.config, r.engine): r for r in rows}
+    sizes = sorted(
+        {r.config.split()[0] for r in rows},
+        key=lambda c: int(c.split("=")[1]),
+    )
+    largest = sizes[-1]
+    shallow = by[(f"{largest} depth=2", "SortScan(2-chain)")]
+    deep = by[(f"{largest} depth=7", "SortScan(7-chain)")]
+    # Depth 3.5x: sort/scan cost grows far less than proportionally
+    # (pipelined chain, no per-level sort or materialization).
+    assert deep.seconds < 3.0 * shallow.seconds
+    # Streaming state stays tiny regardless of depth.
+    assert deep.peak_entries < 500

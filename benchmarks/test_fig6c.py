@@ -1,0 +1,28 @@
+"""Figure 6(c): cost vs number of dependent child measures (2..6).
+
+Paper's shape: the relational baseline's cost grows steeply with the
+number of measures (one query block each), while sort/scan — which
+maintains all measures in the same pass — grows much more slowly.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.figures import fig6c
+
+
+def test_fig6c(benchmark, scale):
+    rows = benchmark.pedantic(
+        fig6c, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report(rows, f"Figure 6(c) — #child measures sweep (scale={scale})")
+
+    db = {r.config: r.seconds for r in rows if r.engine == "DB"}
+    ss = {r.config: r.seconds for r in rows if r.engine == "SortScan"}
+    first, last = "children=2", "children=6"
+
+    db_growth = db[last] / db[first]
+    ss_growth = ss[last] / ss[first]
+    # The relational baseline grows measurably faster with #measures.
+    assert db_growth > 1.5
+    assert ss_growth < db_growth
+    # By six measures, the shared scan wins outright.
+    assert ss[last] < db[last]

@@ -1,0 +1,26 @@
+"""Figure 6(d): cost vs number of parallel sibling chains (2..7).
+
+Paper's shape: the relational cost grows with the number of chains
+(each chain is its own nested query), faster than sort/scan's, which
+evaluates every chain in the same pass.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.figures import fig6d
+
+
+def test_fig6d(benchmark, scale):
+    rows = benchmark.pedantic(
+        fig6d, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report(rows, f"Figure 6(d) — #sibling chains sweep (scale={scale})")
+
+    db = {r.config: r.seconds for r in rows if r.engine == "DB"}
+    ss = {r.config: r.seconds for r in rows if r.engine == "SortScan"}
+    first, last = "chains=2", "chains=7"
+
+    # The DB pays one full scan per chain: strong growth.
+    assert db[last] > 2.0 * db[first]
+    # Sort/scan re-uses one scan for every chain: slower growth than DB
+    # in absolute terms.
+    assert (ss[last] - ss[first]) < (db[last] - db[first])

@@ -1,0 +1,27 @@
+"""Figure 6(e): sort vs scan cost breakdown for Q1 and Q2.
+
+Paper's shape: "although the scan step [is] one pass over the raw data
+table (compared with two for the sort step), it is actually much more
+expensive than the sort phase", especially for Q1, whose in-memory
+maintenance dominates.
+"""
+
+from benchmarks.conftest import report
+from repro.bench.figures import fig6e
+
+
+def test_fig6e(benchmark, scale):
+    rows = benchmark.pedantic(
+        fig6e, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report(rows, f"Figure 6(e) — sort/scan breakdown (scale={scale})")
+
+    for row in rows:
+        assert row.seconds is not None
+        # The scan phase (hash maintenance + flushing) dominates the
+        # sort phase, the paper's headline observation for this figure.
+        assert row.scan_seconds > row.sort_seconds
+    # Q1 is the more maintenance-heavy query at equal size.
+    q1 = [r for r in rows if r.config.startswith("Q1")]
+    q2 = [r for r in rows if r.config.startswith("Q2")]
+    assert q1[-1].scan_seconds > q2[-1].scan_seconds

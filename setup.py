@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (offline boxes): ``python setup.py develop`` only
+needs setuptools.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,156 @@
+"""Composite Subset Measures — a reproduction of Chen et al., VLDB 2006.
+
+A standalone, lightweight analysis system for *composite subset
+measures* over multidimensional data: measures computed not only from
+raw records but from the measures of related regions in cube space.
+
+Quickstart::
+
+    from repro import (
+        AggregationWorkflow, Field, Sibling, SortScanEngine,
+        network_log_schema,
+    )
+    from repro.data import honeynet_dataset
+
+    schema = network_log_schema()
+    wf = AggregationWorkflow(schema)
+    wf.basic("Count", {"t": "Hour", "U": "IP"}, agg="count")
+    wf.rollup("busy", {"t": "Hour"}, source="Count",
+              where=Field("M") > 5, agg="count")
+    wf.moving_window("trend", {"t": "Hour"}, source="busy",
+                     windows={"t": (0, 5)}, agg="avg")
+
+    result = SortScanEngine().evaluate(honeynet_dataset(10_000), wf)
+    print(result["trend"].pretty())
+
+Layers (bottom-up): :mod:`repro.schema` (domains & hierarchies),
+:mod:`repro.cube` (regions & granularities), :mod:`repro.algebra`
+(the AW-RA algebra), :mod:`repro.workflow` (the pictorial query
+language), :mod:`repro.engine` (relational / single-scan / sort-scan /
+multi-pass evaluation), :mod:`repro.optimizer` (sort-order search),
+:mod:`repro.queries` (the paper's query library), :mod:`repro.bench`
+(the figure harness).
+"""
+
+from repro.errors import (
+    AlgebraError,
+    EvaluationError,
+    GranularityError,
+    MemoryBudgetExceeded,
+    PlanError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    WorkflowError,
+)
+from repro.schema import (
+    CategoricalHierarchy,
+    DatasetSchema,
+    Dimension,
+    IPv4Hierarchy,
+    PortHierarchy,
+    TimeHierarchy,
+    UniformHierarchy,
+    format_ip,
+    network_log_schema,
+    parse_ip,
+    synthetic_schema,
+)
+from repro.cube import Granularity, Region, RegionSet, SortKey
+from repro.aggregates import AggSpec, get_aggregate
+from repro.algebra import (
+    ChildParent,
+    CombineFn,
+    Field,
+    Lags,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+    explain,
+    to_formula,
+)
+from repro.workflow import AggregationWorkflow, to_dot
+from repro.storage import (
+    FlatFileDataset,
+    InMemoryDataset,
+    MeasureTable,
+    MemorySink,
+    write_flatfile,
+)
+from repro.engine import (
+    EvalResult,
+    EvalStats,
+    MultiPassEngine,
+    PartitionedEngine,
+    RelationalEngine,
+    SingleScanEngine,
+    SortScanEngine,
+    build_streaming_plan,
+    compile_workflow,
+)
+from repro.optimizer import best_sort_key, plan_passes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "SchemaError",
+    "GranularityError",
+    "AlgebraError",
+    "WorkflowError",
+    "PlanError",
+    "EvaluationError",
+    "MemoryBudgetExceeded",
+    "StorageError",
+    # schema
+    "DatasetSchema",
+    "Dimension",
+    "UniformHierarchy",
+    "TimeHierarchy",
+    "IPv4Hierarchy",
+    "PortHierarchy",
+    "CategoricalHierarchy",
+    "network_log_schema",
+    "synthetic_schema",
+    "parse_ip",
+    "format_ip",
+    # cube
+    "Granularity",
+    "Region",
+    "RegionSet",
+    "SortKey",
+    # algebra / workflow
+    "AggSpec",
+    "get_aggregate",
+    "Field",
+    "SelfMatch",
+    "ParentChild",
+    "ChildParent",
+    "Sibling",
+    "Lags",
+    "CombineFn",
+    "AggregationWorkflow",
+    "to_dot",
+    "explain",
+    "to_formula",
+    # storage
+    "InMemoryDataset",
+    "FlatFileDataset",
+    "MeasureTable",
+    "MemorySink",
+    "write_flatfile",
+    # engines
+    "RelationalEngine",
+    "SingleScanEngine",
+    "SortScanEngine",
+    "MultiPassEngine",
+    "PartitionedEngine",
+    "build_streaming_plan",
+    "EvalResult",
+    "EvalStats",
+    "compile_workflow",
+    # optimizer
+    "best_sort_key",
+    "plan_passes",
+]

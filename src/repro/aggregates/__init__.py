@@ -1,0 +1,46 @@
+"""Aggregation functions: distributive, algebraic, and holistic.
+
+The evaluation framework (Section 5.1) relies on the classic Gray et
+al. classification: *distributive* and *algebraic* functions can be
+maintained with a constant number of registers per hash entry and merged
+across partial states, which is what makes single-register streaming
+updates possible; *holistic* functions keep unbounded state and are
+supported, at a memory cost, everywhere a hash entry lives long enough.
+"""
+
+from repro.aggregates.base import (
+    AggregateFunction,
+    AggSpec,
+    Kind,
+    get_aggregate,
+    register_aggregate,
+)
+from repro.aggregates.distributive import (
+    Count,
+    Max,
+    Min,
+    Sum,
+    ConstantAggregate,
+)
+from repro.aggregates.algebraic import Average, StdDev, Variance
+from repro.aggregates.holistic import CountDistinct, Median
+from repro.aggregates.sketches import HyperLogLog
+
+__all__ = [
+    "AggregateFunction",
+    "AggSpec",
+    "Kind",
+    "get_aggregate",
+    "register_aggregate",
+    "Count",
+    "Sum",
+    "Min",
+    "Max",
+    "ConstantAggregate",
+    "Average",
+    "Variance",
+    "StdDev",
+    "CountDistinct",
+    "Median",
+    "HyperLogLog",
+]

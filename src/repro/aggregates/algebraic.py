@@ -1,0 +1,93 @@
+"""Algebraic aggregates: AVG, VARIANCE, STDDEV.
+
+Algebraic functions keep a small fixed-size intermediate state that can
+be merged, which is all the streaming engines need.  Variance uses the
+numerically stable parallel form of Welford/Chan so that merging partial
+states stays exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
+
+
+class Average(AggregateFunction):
+    """AVG: state is ``(count, total)``; NULL on empty groups."""
+
+    name = "avg"
+    kind = Kind.ALGEBRAIC
+
+    def create(self) -> tuple[int, float]:
+        return (0, 0.0)
+
+    def update(self, state, value):
+        if value is None:
+            return state
+        count, total = state
+        return (count + 1, total + value)
+
+    def merge(self, left, right):
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state) -> Optional[float]:
+        count, total = state
+        if count == 0:
+            return None
+        return total / count
+
+
+class Variance(AggregateFunction):
+    """Population variance; state is ``(n, mean, M2)`` (Chan et al.)."""
+
+    name = "var"
+    kind = Kind.ALGEBRAIC
+
+    def create(self):
+        return (0, 0.0, 0.0)
+
+    def update(self, state, value):
+        if value is None:
+            return state
+        n, mean, m2 = state
+        n += 1
+        delta = value - mean
+        mean += delta / n
+        m2 += delta * (value - mean)
+        return (n, mean, m2)
+
+    def merge(self, left, right):
+        n_a, mean_a, m2_a = left
+        n_b, mean_b, m2_b = right
+        if n_a == 0:
+            return right
+        if n_b == 0:
+            return left
+        n = n_a + n_b
+        delta = mean_b - mean_a
+        mean = mean_a + delta * n_b / n
+        m2 = m2_a + m2_b + delta * delta * n_a * n_b / n
+        return (n, mean, m2)
+
+    def finalize(self, state) -> Optional[float]:
+        n, __, m2 = state
+        if n == 0:
+            return None
+        return m2 / n
+
+
+class StdDev(Variance):
+    """Population standard deviation (sqrt of :class:`Variance`)."""
+
+    name = "stddev"
+
+    def finalize(self, state) -> Optional[float]:
+        var = super().finalize(state)
+        return None if var is None else math.sqrt(var)
+
+
+register_aggregate(Average())
+register_aggregate(Variance())
+register_aggregate(StdDev())

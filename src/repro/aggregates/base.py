@@ -1,0 +1,121 @@
+"""Aggregate function protocol, specs, and the name registry."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import AlgebraError
+
+
+class Kind(enum.Enum):
+    """Gray et al. aggregate classification (Section 5.1)."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+
+class AggregateFunction:
+    """Incremental aggregate: create / update / merge / finalize.
+
+    Subclasses define a *state* value (any Python object) such that:
+
+    - ``create()`` is the state of an empty group;
+    - ``update(state, value)`` folds one input value in and returns the
+      new state (states may be mutated and returned);
+    - ``merge(a, b)`` combines two partial states (legal for
+      distributive and algebraic functions; holistic ones implement it
+      too, at the cost of unbounded state);
+    - ``finalize(state)`` yields the result — ``None`` plays the role
+      of SQL NULL for empty groups (except COUNT-like functions, which
+      yield 0, matching the left-outer-join semantics of Tables 3/4).
+
+    ``update`` must skip ``None`` inputs (SQL semantics: NULLs are
+    ignored by aggregation).
+    """
+
+    name: str = ""
+    kind: Kind = Kind.DISTRIBUTIVE
+
+    def create(self) -> Any:
+        raise NotImplementedError
+
+    def update(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Optional[float]:
+        raise NotImplementedError
+
+    # Convenience for the non-streaming engines and tests.
+    def over(self, values) -> Optional[float]:
+        """Aggregate an iterable of values in one shot."""
+        state = self.create()
+        for value in values:
+            state = self.update(state, value)
+        return self.finalize(state)
+
+    def __repr__(self) -> str:
+        return f"{self.name}()"
+
+
+_REGISTRY: dict[str, AggregateFunction] = {}
+
+
+def register_aggregate(fn: AggregateFunction) -> AggregateFunction:
+    """Register an aggregate instance under its name (case-insensitive)."""
+    key = fn.name.lower()
+    if not key:
+        raise AlgebraError("aggregate function has no name")
+    _REGISTRY[key] = fn
+    return fn
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look an aggregate up by name (``"sum"``, ``"count"``, ...)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise AlgebraError(
+            f"unknown aggregate {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+class AggSpec:
+    """An aggregation *call*: a function applied to an input field.
+
+    ``input_field`` selects what is fed to the function:
+
+    - ``"*"`` — count-star style: the constant 1 per input row;
+    - a measure attribute name — for aggregations over the fact table;
+    - ``"M"`` — the measure value of a source measure table (the only
+      measure a table carries, per the paper's ``T:<G, M>`` schema).
+    """
+
+    __slots__ = ("function", "input_field")
+
+    def __init__(self, function, input_field: str = "M") -> None:
+        if isinstance(function, str):
+            function = get_aggregate(function)
+        if not isinstance(function, AggregateFunction):
+            raise AlgebraError(
+                f"not an aggregate function: {function!r}"
+            )
+        self.function = function
+        self.input_field = input_field
+
+    def __repr__(self) -> str:
+        return f"{self.function.name}({self.input_field})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AggSpec)
+            and self.function is other.function
+            and self.input_field == other.input_field
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.function), self.input_field))

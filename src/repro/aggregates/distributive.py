@@ -1,0 +1,141 @@
+"""Distributive aggregates: COUNT, SUM, MIN, MAX, and constants."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
+
+
+class Count(AggregateFunction):
+    """COUNT: number of non-NULL inputs; 0 on empty groups."""
+
+    name = "count"
+    kind = Kind.DISTRIBUTIVE
+
+    def create(self) -> int:
+        return 0
+
+    def update(self, state: int, value: Any) -> int:
+        if value is None:
+            return state
+        return state + 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def finalize(self, state: int) -> int:
+        return state
+
+
+class Sum(AggregateFunction):
+    """SUM: NULL (None) on empty groups, per SQL."""
+
+    name = "sum"
+    kind = Kind.DISTRIBUTIVE
+
+    def create(self) -> Optional[float]:
+        return None
+
+    def update(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else state + value
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left + right
+
+    def finalize(self, state):
+        return state
+
+
+class Min(AggregateFunction):
+    """MIN: NULL (None) on empty groups, per SQL."""
+
+    name = "min"
+    kind = Kind.DISTRIBUTIVE
+
+    def create(self):
+        return None
+
+    def update(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else min(state, value)
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right)
+
+    def finalize(self, state):
+        return state
+
+
+class Max(AggregateFunction):
+    """MAX: NULL (None) on empty groups, per SQL."""
+
+    name = "max"
+    kind = Kind.DISTRIBUTIVE
+
+    def create(self):
+        return None
+
+    def update(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else max(state, value)
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+    def finalize(self, state):
+        return state
+
+
+class ConstantAggregate(AggregateFunction):
+    """Yields a constant regardless of input.
+
+    This is the paper's ``g_{(t:Hour),0} D`` idiom (Section 4): an
+    aggregation whose only job is to materialize the *cells* of a region
+    set so that a match join has keys to attach results to.
+    """
+
+    kind = Kind.DISTRIBUTIVE
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+        self.name = f"const[{value}]"
+
+    def create(self):
+        return self.value
+
+    def update(self, state, value):
+        return state
+
+    def merge(self, left, right):
+        return left
+
+    def finalize(self, state):
+        return state
+
+
+register_aggregate(Count())
+register_aggregate(Sum())
+register_aggregate(Min())
+register_aggregate(Max())
+register_aggregate(ConstantAggregate(0))
+# A friendlier alias for the cell-materializing constant.
+_cells = ConstantAggregate(0)
+_cells.name = "cells"
+register_aggregate(_cells)

@@ -1,0 +1,65 @@
+"""Holistic aggregates: COUNT(DISTINCT ...), MEDIAN.
+
+Holistic functions need state proportional to the group.  They still
+work in every engine here — including the streaming ones, where a hash
+entry holds the state only until the entry finalizes — but they are the
+reason the paper's Figure 6(a) baseline (``COUNT(DISTINCT ...)`` in the
+RDBMS) is expensive.
+"""
+
+from __future__ import annotations
+
+from statistics import median as _median
+from typing import Optional
+
+from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
+
+
+class CountDistinct(AggregateFunction):
+    """COUNT(DISTINCT x): state is the set of values seen."""
+
+    name = "count_distinct"
+    kind = Kind.HOLISTIC
+
+    def create(self) -> set:
+        return set()
+
+    def update(self, state: set, value) -> set:
+        if value is not None:
+            state.add(value)
+        return state
+
+    def merge(self, left: set, right: set) -> set:
+        left |= right
+        return left
+
+    def finalize(self, state: set) -> int:
+        return len(state)
+
+
+class Median(AggregateFunction):
+    """MEDIAN: state is the list of values seen; NULL on empty groups."""
+
+    name = "median"
+    kind = Kind.HOLISTIC
+
+    def create(self) -> list:
+        return []
+
+    def update(self, state: list, value) -> list:
+        if value is not None:
+            state.append(value)
+        return state
+
+    def merge(self, left: list, right: list) -> list:
+        left.extend(right)
+        return left
+
+    def finalize(self, state: list) -> Optional[float]:
+        if not state:
+            return None
+        return _median(state)
+
+
+register_aggregate(CountDistinct())
+register_aggregate(Median())

@@ -1,0 +1,78 @@
+"""The AW-RA algebra (Section 3.2).
+
+Expression nodes (:mod:`repro.algebra.expr`) follow Table 5 of the
+paper: the fact table ``D``, selection, aggregation ``g_{G,agg}``, match
+join, and combine join.  Match conditions (self, parent/child,
+child/parent, sibling) live in :mod:`repro.algebra.conditions`,
+selection predicates in :mod:`repro.algebra.predicates`, and the
+algebraic identities of Theorem 1 in :mod:`repro.algebra.properties`.
+"""
+
+from repro.algebra.expr import (
+    Aggregate,
+    CombineFn,
+    CombineJoin,
+    Expr,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.algebra.conditions import (
+    ChildParent,
+    Lags,
+    MatchCondition,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Field,
+    Not,
+    Or,
+    Predicate,
+    RawPredicate,
+)
+from repro.algebra.properties import (
+    cells,
+    collapse_aggregations,
+    match_join_as_aggregate,
+    push_selection_below_aggregate,
+    reorder_combine_inputs,
+    simplify,
+    split_combine_join,
+)
+from repro.algebra.display import explain, to_formula
+
+__all__ = [
+    "Expr",
+    "FactTable",
+    "Select",
+    "Aggregate",
+    "MatchJoin",
+    "CombineJoin",
+    "CombineFn",
+    "MatchCondition",
+    "SelfMatch",
+    "ParentChild",
+    "ChildParent",
+    "Sibling",
+    "Lags",
+    "Predicate",
+    "Field",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "RawPredicate",
+    "simplify",
+    "cells",
+    "explain",
+    "to_formula",
+    "collapse_aggregations",
+    "push_selection_below_aggregate",
+    "match_join_as_aggregate",
+    "reorder_combine_inputs",
+    "split_combine_join",
+]

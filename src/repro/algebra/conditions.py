@@ -1,0 +1,333 @@
+"""Match-join conditions (Section 3.2, "commonly used join conditions").
+
+A match condition relates the rows of the *target* expression ``S``
+(which provides the output keys) to the rows of the *source-of-measures*
+expression ``T`` in ``S ⋈_{cond,agg} T``:
+
+- :class:`SelfMatch` — ``S.X = T.X``;
+- :class:`ParentChild` — ``γ(S.X) = T.X``: ``S`` is finer, each
+  ``S``-region matches its unique ancestor in ``T``;
+- :class:`ChildParent` — ``γ(T.X) = S.X``: ``S`` is coarser, each
+  ``S``-region matches all of its descendants in ``T`` (equivalent to
+  the aggregation operator);
+- :class:`Sibling` — moving windows: ``T.X_i ∈ [S.X_i - before_i,
+  S.X_i + after_i]`` per windowed dimension, same granularity.
+
+Each condition knows how to *validate* a pair of granularities, how to
+*enumerate* the target keys affected by one T-entry (driving the
+streaming engines), and how to *match* pairs directly (driving the
+relational baseline).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Mapping
+
+from repro.errors import AlgebraError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+
+
+class MatchCondition:
+    """Base class for match-join conditions."""
+
+    def validate(self, s_gran: Granularity, t_gran: Granularity) -> None:
+        """Raise :class:`AlgebraError` if the granularities don't fit."""
+        raise NotImplementedError
+
+    def affected_keys(
+        self, t_key: tuple, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[tuple]:
+        """Target (S) keys whose windows/ancestry include ``t_key``.
+
+        Only defined for conditions where the set is enumerable from the
+        T side (self, child/parent, sibling).  Parent/child is handled
+        by ancestor lookup from the S side instead.
+        """
+        raise NotImplementedError
+
+    def matches(
+        self,
+        s_key: tuple,
+        t_key: tuple,
+        s_gran: Granularity,
+        t_gran: Granularity,
+    ) -> bool:
+        """Direct pair test — the relational baseline's join predicate."""
+        raise NotImplementedError
+
+    @property
+    def enumerable_from_t(self) -> bool:
+        """Whether :meth:`affected_keys` is available."""
+        return True
+
+
+class SelfMatch(MatchCondition):
+    """``S.X = T.X``: same region; equivalent to a combine join."""
+
+    def validate(self, s_gran, t_gran):
+        if s_gran != t_gran:
+            raise AlgebraError(
+                f"self match needs equal granularities, got {s_gran} "
+                f"vs {t_gran}"
+            )
+
+    def affected_keys(self, t_key, s_gran, t_gran):
+        yield t_key
+
+    def matches(self, s_key, t_key, s_gran, t_gran):
+        return s_key == t_key
+
+    def __repr__(self) -> str:
+        return "cond_self"
+
+
+class ParentChild(MatchCondition):
+    """``γ(S.X) = T.X``: S finer; each S-region sees its T ancestor."""
+
+    def validate(self, s_gran, t_gran):
+        if not s_gran.strictly_finer(t_gran):
+            raise AlgebraError(
+                f"parent/child match needs S strictly finer than T, got "
+                f"{s_gran} vs {t_gran}"
+            )
+
+    @property
+    def enumerable_from_t(self) -> bool:
+        return False
+
+    def ancestor(
+        self, s_key: tuple, s_gran: Granularity, t_gran: Granularity
+    ) -> tuple:
+        """The unique T key matched by an S key."""
+        return t_gran.generalize_key(s_key, s_gran)
+
+    def affected_keys(self, t_key, s_gran, t_gran):
+        raise AlgebraError(
+            "parent/child matches cannot be enumerated from the T side; "
+            "use ancestor()"
+        )
+
+    def matches(self, s_key, t_key, s_gran, t_gran):
+        return self.ancestor(s_key, s_gran, t_gran) == t_key
+
+    def __repr__(self) -> str:
+        return "cond_pc"
+
+
+class ChildParent(MatchCondition):
+    """``γ(T.X) = S.X``: S coarser; aggregates T's descendants."""
+
+    def validate(self, s_gran, t_gran):
+        if not t_gran.strictly_finer(s_gran):
+            raise AlgebraError(
+                f"child/parent match needs T strictly finer than S, got "
+                f"S={s_gran} vs T={t_gran}"
+            )
+
+    def affected_keys(self, t_key, s_gran, t_gran):
+        yield s_gran.generalize_key(t_key, t_gran)
+
+    def matches(self, s_key, t_key, s_gran, t_gran):
+        return s_gran.generalize_key(t_key, t_gran) == s_key
+
+    def __repr__(self) -> str:
+        return "cond_cp"
+
+
+class Sibling(MatchCondition):
+    """Moving-window neighbours at equal granularity.
+
+    ``windows`` maps dimension name/abbreviation to ``(before, after)``:
+    the T rows matched by target region S are those with
+    ``T.X_i ∈ [S.X_i - before_i, S.X_i + after_i]`` on every windowed
+    dimension and ``T.X_i = S.X_i`` elsewhere.  Example 4 of the paper
+    (six-hour forward window) is ``Sibling({"t": (0, 5)})``.
+
+    Negative extents express windows that exclude the current region:
+    ``(3, -1)`` is "the previous three steps" — the window must simply
+    be non-empty (``before + after >= 0``).
+
+    Window arithmetic happens on the integer-encoded domain at the
+    region set's granularity, which is exactly the paper's
+    ``NEIGHBOR``-set notion for linear hierarchies.
+    """
+
+    def __init__(self, windows: Mapping[str, tuple[int, int]]) -> None:
+        if not windows:
+            raise AlgebraError("sibling match needs at least one window")
+        for name, (before, after) in windows.items():
+            if before + after < 0:
+                raise AlgebraError(
+                    f"window for {name!r} is empty: "
+                    f"[S-{before}, S+{after}]"
+                )
+        self.windows = dict(windows)
+        self._resolved: dict[int, tuple[int, int]] | None = None
+        self._resolved_schema: DatasetSchema | None = None
+
+    def resolve(self, schema: DatasetSchema) -> dict[int, tuple[int, int]]:
+        """Window extents keyed by dimension index."""
+        if self._resolved is None or self._resolved_schema is not schema:
+            self._resolved = {
+                schema.dim_index(name): extent
+                for name, extent in self.windows.items()
+            }
+            self._resolved_schema = schema
+        return self._resolved
+
+    def validate(self, s_gran, t_gran):
+        if s_gran != t_gran:
+            raise AlgebraError(
+                f"sibling match needs equal granularities, got {s_gran} "
+                f"vs {t_gran}"
+            )
+        schema = s_gran.schema
+        for dim_idx in self.resolve(schema):
+            if s_gran.levels[dim_idx] == schema.dimensions[dim_idx].all_level:
+                raise AlgebraError(
+                    f"sibling window on dimension "
+                    f"{schema.dimensions[dim_idx].name!r} which is at ALL "
+                    f"in {s_gran}"
+                )
+
+    def affected_keys(self, t_key, s_gran, t_gran):
+        """All S keys whose window contains ``t_key``.
+
+        ``T.X ∈ [S.X - before, S.X + after]`` inverts to
+        ``S.X ∈ [T.X - after, T.X + before]``.
+        """
+        windows = self.resolve(s_gran.schema)
+        dim_ranges = []
+        for i in range(len(t_key)):
+            if i in windows:
+                before, after = windows[i]
+                lo = t_key[i] - after
+                hi = t_key[i] + before
+                dim_ranges.append(range(max(0, lo), hi + 1))
+            else:
+                dim_ranges.append((t_key[i],))
+        for combo in product(*dim_ranges):
+            yield tuple(combo)
+
+    def matches(self, s_key, t_key, s_gran, t_gran):
+        windows = self.resolve(s_gran.schema)
+        for i in range(len(s_key)):
+            if i in windows:
+                before, after = windows[i]
+                if not s_key[i] - before <= t_key[i] <= s_key[i] + after:
+                    return False
+            elif s_key[i] != t_key[i]:
+                return False
+        return True
+
+    def max_reach(self) -> int:
+        """Largest window extent — used by slack/footprint estimates."""
+        return max(
+            max(before, after) for before, after in self.windows.values()
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}∈[-{before},+{after}]"
+            for name, (before, after) in sorted(self.windows.items())
+        )
+        return f"cond_sb({inner})"
+
+
+class Lags(MatchCondition):
+    """Discrete neighbour offsets: ``T.X_i ∈ {S.X_i + δ : δ ∈ offsets}``.
+
+    The paper's ``NEIGHBOR`` set is "a collection of regions that are
+    adjacent" at the same granularity; contiguous windows
+    (:class:`Sibling`) are the common case, but comparisons against
+    *specific* lags — the same hour yesterday (δ = -24) and last week
+    (δ = -168) — need sparse offset sets.  ``Lags({"t": (-24, -168)})``
+    matches exactly those regions.
+
+    Offsets may be negative (past), zero (self), or positive (future);
+    dimensions not listed must match exactly.
+    """
+
+    def __init__(self, offsets: Mapping[str, tuple[int, ...]]) -> None:
+        if not offsets:
+            raise AlgebraError("lag match needs at least one dimension")
+        cleaned: dict[str, tuple[int, ...]] = {}
+        for name, deltas in offsets.items():
+            deltas = tuple(sorted(set(int(d) for d in deltas)))
+            if not deltas:
+                raise AlgebraError(
+                    f"lag set for {name!r} must be non-empty"
+                )
+            cleaned[name] = deltas
+        self.offsets = cleaned
+        self._resolved: dict[int, tuple[int, ...]] | None = None
+        self._resolved_schema: DatasetSchema | None = None
+
+    def resolve(self, schema: DatasetSchema) -> dict[int, tuple[int, ...]]:
+        """Offsets keyed by dimension index."""
+        if self._resolved is None or self._resolved_schema is not schema:
+            self._resolved = {
+                schema.dim_index(name): deltas
+                for name, deltas in self.offsets.items()
+            }
+            self._resolved_schema = schema
+        return self._resolved
+
+    def validate(self, s_gran, t_gran):
+        if s_gran != t_gran:
+            raise AlgebraError(
+                f"lag match needs equal granularities, got {s_gran} "
+                f"vs {t_gran}"
+            )
+        schema = s_gran.schema
+        for dim_idx in self.resolve(schema):
+            if s_gran.levels[dim_idx] == schema.dimensions[dim_idx].all_level:
+                raise AlgebraError(
+                    f"lag offsets on dimension "
+                    f"{schema.dimensions[dim_idx].name!r} which is at "
+                    f"ALL in {s_gran}"
+                )
+
+    def affected_keys(self, t_key, s_gran, t_gran):
+        """S keys with ``t = s + δ`` for some δ, i.e. ``s = t - δ``."""
+        offsets = self.resolve(s_gran.schema)
+        dim_choices = []
+        for i in range(len(t_key)):
+            if i in offsets:
+                candidates = sorted(
+                    {t_key[i] - delta for delta in offsets[i]}
+                )
+                dim_choices.append(
+                    [c for c in candidates if c >= 0] or [None]
+                )
+            else:
+                dim_choices.append([t_key[i]])
+        for combo in product(*dim_choices):
+            if None not in combo:
+                yield tuple(combo)
+
+    def matches(self, s_key, t_key, s_gran, t_gran):
+        offsets = self.resolve(s_gran.schema)
+        for i in range(len(s_key)):
+            if i in offsets:
+                if t_key[i] - s_key[i] not in offsets[i]:
+                    return False
+            elif s_key[i] != t_key[i]:
+                return False
+        return True
+
+    def max_reach(self) -> int:
+        """Largest absolute offset — used by slack/footprint estimates."""
+        return max(
+            max(abs(d) for d in deltas)
+            for deltas in self.offsets.values()
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}∈{{{','.join(f'{d:+d}' for d in deltas)}}}"
+            for name, deltas in sorted(self.offsets.items())
+        )
+        return f"cond_lag({inner})"

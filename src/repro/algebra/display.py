@@ -1,0 +1,57 @@
+"""Pretty-printing of AW-RA expressions.
+
+``explain`` renders an expression as an indented operator tree, the way
+database EXPLAIN output reads; ``to_formula`` renders the compact
+algebra string used in the paper's running text.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expr import (
+    Aggregate,
+    CombineJoin,
+    Expr,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+
+
+def to_formula(expr: Expr) -> str:
+    """One-line algebra formula (delegates to the nodes' ``repr``)."""
+    return repr(expr)
+
+
+def explain(expr: Expr, indent: int = 0) -> str:
+    """Multi-line, indented operator-tree rendering."""
+    pad = "  " * indent
+    if isinstance(expr, FactTable):
+        return f"{pad}FactTable D {expr.granularity!r}"
+    if isinstance(expr, Select):
+        return (
+            f"{pad}Select [{expr.predicate!r}]\n"
+            + explain(expr.child, indent + 1)
+        )
+    if isinstance(expr, Aggregate):
+        return (
+            f"{pad}Aggregate g{expr.granularity!r} {expr.agg!r}\n"
+            + explain(expr.child, indent + 1)
+        )
+    if isinstance(expr, MatchJoin):
+        return (
+            f"{pad}MatchJoin {expr.cond!r} {expr.agg!r} "
+            f"-> {expr.granularity!r}\n"
+            f"{pad}  keys:\n" + explain(expr.target, indent + 2) + "\n"
+            f"{pad}  measures:\n" + explain(expr.source, indent + 2)
+        )
+    if isinstance(expr, CombineJoin):
+        lines = [
+            f"{pad}CombineJoin {expr.fn!r} -> {expr.granularity!r}",
+            f"{pad}  base:",
+            explain(expr.base, indent + 2),
+        ]
+        for i, child in enumerate(expr.inputs):
+            lines.append(f"{pad}  input[{i}]:")
+            lines.append(explain(child, indent + 2))
+        return "\n".join(lines)
+    return f"{pad}{expr!r}"

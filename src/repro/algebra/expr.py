@@ -1,0 +1,262 @@
+"""AW-RA expression nodes (Table 5 of the paper).
+
+Every expression denotes a *measure table* with schema ``<G, M>``: one
+row per region of granularity ``G``, carrying a single measure value
+``M``.  The construction rules of Table 5 are enforced at build time:
+
+====================  =====================================================
+``FactTable``         the raw dataset ``D`` (granularity ``G_0``)
+``Select``            ``σ_cond(T)``, any ``T``
+``Aggregate``         ``g_{G,agg}(T)``, needs ``T.G <=_G G``
+``MatchJoin``         ``S ⋈_{cond,agg} T``, ``S`` must not be ``D``/``σ(D)``
+``CombineJoin``       ``S ⋈̄_fc (T_1..T_n)``, equal granularities, no raw
+                      fact-table inputs
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import AlgebraError
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import MatchCondition
+from repro.algebra.predicates import Predicate
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+
+
+class Expr:
+    """Base class for AW-RA expressions."""
+
+    schema: DatasetSchema
+    granularity: Granularity
+
+    def is_fact_like(self) -> bool:
+        """True for ``D`` or ``σ(...σ(D))`` — the shapes Table 5 bans
+        as match/combine-join inputs."""
+        return False
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions (for traversals and rewrites)."""
+        return ()
+
+    # Fluent constructors, so queries read like the paper's formulas.
+
+    def where(self, predicate: Predicate) -> "Select":
+        """``σ_predicate(self)``."""
+        return Select(self, predicate)
+
+    def roll_up(self, granularity: Granularity, agg: AggSpec) -> "Aggregate":
+        """``g_{granularity, agg}(self)``."""
+        return Aggregate(self, granularity, agg)
+
+    def match(
+        self,
+        source: "Expr",
+        cond: MatchCondition,
+        agg: AggSpec,
+    ) -> "MatchJoin":
+        """``self ⋈_{cond, agg} source`` (self provides the keys)."""
+        return MatchJoin(self, source, cond, agg)
+
+    def combine(
+        self,
+        inputs: Sequence["Expr"],
+        fn: "CombineFn",
+    ) -> "CombineJoin":
+        """``self ⋈̄_fn (inputs...)``."""
+        return CombineJoin(self, inputs, fn)
+
+
+class FactTable(Expr):
+    """The raw fact table ``D`` at base granularity ``G_0``."""
+
+    def __init__(self, schema: DatasetSchema) -> None:
+        self.schema = schema
+        self.granularity = Granularity.base(schema)
+
+    def is_fact_like(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "D"
+
+
+class Select(Expr):
+    """``σ_cond(T)`` — filter rows; granularity unchanged."""
+
+    def __init__(self, child: Expr, predicate: Predicate) -> None:
+        if not isinstance(predicate, Predicate):
+            raise AlgebraError(
+                f"selection needs a Predicate, got {type(predicate).__name__}"
+            )
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self.granularity = child.granularity
+
+    def is_fact_like(self) -> bool:
+        return self.child.is_fact_like()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]({self.child!r})"
+
+
+class Aggregate(Expr):
+    """``g_{G,agg}(T)`` — roll ``T`` up to granularity ``G``.
+
+    Table 5 precondition: ``T.G <=_G G`` (the input must be finer).
+    """
+
+    def __init__(
+        self, child: Expr, granularity: Granularity, agg: AggSpec
+    ) -> None:
+        if not isinstance(agg, AggSpec):
+            raise AlgebraError(f"aggregation needs an AggSpec, got {agg!r}")
+        if not child.granularity.finer_or_equal(granularity):
+            raise AlgebraError(
+                f"cannot aggregate {child.granularity} up to "
+                f"{granularity}: input is not finer"
+            )
+        if not child.is_fact_like() and agg.input_field not in ("M", "*"):
+            raise AlgebraError(
+                f"measure tables carry a single measure M; cannot "
+                f"aggregate field {agg.input_field!r}"
+            )
+        self.child = child
+        self.granularity = granularity
+        self.agg = agg
+        self.schema = child.schema
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"g[{self.granularity!r},{self.agg!r}]({self.child!r})"
+
+
+class MatchJoin(Expr):
+    """``S ⋈_{cond,agg} T`` — aggregate related regions' measures.
+
+    ``target`` (S) provides the output keys; ``source`` (T) provides the
+    measures fed to ``agg``.  Left-outer semantics (Table 3): every
+    S-region appears in the output even with zero matches.
+    """
+
+    def __init__(
+        self,
+        target: Expr,
+        source: Expr,
+        cond: MatchCondition,
+        agg: AggSpec,
+    ) -> None:
+        if target.is_fact_like():
+            raise AlgebraError(
+                "match join target must not be the raw fact table or a "
+                "selection over it (Table 5)"
+            )
+        if target.schema is not source.schema:
+            raise AlgebraError("match join inputs use different schemas")
+        if not isinstance(agg, AggSpec):
+            raise AlgebraError(f"match join needs an AggSpec, got {agg!r}")
+        if agg.input_field not in ("M", "*"):
+            raise AlgebraError(
+                "match joins aggregate the source measure M (or count *)"
+            )
+        cond.validate(target.granularity, source.granularity)
+        self.target = target
+        self.source = source
+        self.cond = cond
+        self.agg = agg
+        self.schema = target.schema
+        self.granularity = target.granularity
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.target, self.source)
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.target!r} ⋈[{self.cond!r},{self.agg!r}] "
+            f"{self.source!r})"
+        )
+
+
+class CombineFn:
+    """The combine function ``f_c`` of a combine join.
+
+    Wraps a Python callable over ``(S.M, T_1.M, ..., T_n.M)``.  By
+    default, any ``None`` input (a missing left-outer match or a NULL
+    measure) short-circuits to ``None``, matching SQL arithmetic over
+    NULL; pass ``handles_null=True`` for functions that want the raw
+    values.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Optional[float]],
+        name: str = "fc",
+        handles_null: bool = False,
+    ) -> None:
+        self.fn = fn
+        self.name = name
+        self.handles_null = handles_null
+
+    def __call__(self, *values) -> Optional[float]:
+        if not self.handles_null and any(v is None for v in values):
+            return None
+        return self.fn(*values)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class CombineJoin(Expr):
+    """``S ⋈̄_fc (T_1, ..., T_n)`` — combine same-region measures.
+
+    Table 5 preconditions: all inputs share ``S``'s granularity and none
+    is the raw fact table (or a selection over it).
+    """
+
+    def __init__(
+        self, base: Expr, inputs: Sequence[Expr], fn: CombineFn
+    ) -> None:
+        if not isinstance(fn, CombineFn):
+            raise AlgebraError(
+                f"combine join needs a CombineFn, got {type(fn).__name__}"
+            )
+        if base.is_fact_like():
+            raise AlgebraError(
+                "combine join base must not be fact-like (Table 5)"
+            )
+        if not inputs:
+            raise AlgebraError("combine join needs at least one input")
+        for expr in inputs:
+            if expr.is_fact_like():
+                raise AlgebraError(
+                    "combine join inputs must not be fact-like (Table 5)"
+                )
+            if expr.schema is not base.schema:
+                raise AlgebraError(
+                    "combine join inputs use different schemas"
+                )
+            if expr.granularity != base.granularity:
+                raise AlgebraError(
+                    f"combine join needs equal granularities: "
+                    f"{base.granularity} vs {expr.granularity}"
+                )
+        self.base = base
+        self.inputs = tuple(inputs)
+        self.fn = fn
+        self.schema = base.schema
+        self.granularity = base.granularity
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.base, *self.inputs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(expr) for expr in self.inputs)
+        return f"({self.base!r} ⋈̄[{self.fn!r}] ({inner}))"

@@ -1,0 +1,274 @@
+"""Selection predicates for AW-RA expressions.
+
+A predicate is evaluated against either a fact-table record or a
+measure-table entry ``(key, M)``.  The small AST here (fields, constant
+comparisons, boolean connectives) is enough for every query in the paper
+and keeps predicates *inspectable*, which the rewrite rules (Property 2)
+and the optimizer rely on; :class:`RawPredicate` is the escape hatch for
+arbitrary callables at the cost of inspectability.
+
+Field references:
+
+- ``Field("M")`` — the measure value of a measure table;
+- ``Field("<dimension>")`` — the (generalized, integer-encoded) value
+  of a dimension attribute, resolved by name or abbreviation;
+- ``Field("<measure attr>")`` — a measure attribute of the fact table.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional
+
+from repro.errors import AlgebraError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+
+#: Name of the single measure column of a measure table (paper: T:<G,M>).
+MEASURE_FIELD = "M"
+
+_OPS: dict[str, Callable] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Base predicate; build concrete ones via :class:`Field` and ``&|~``."""
+
+    def compile_for_fact(
+        self, schema: DatasetSchema
+    ) -> Callable[[tuple], bool]:
+        """Compile to a fast ``record -> bool`` over fact-table rows."""
+        raise NotImplementedError
+
+    def compile_for_measure(
+        self, schema: DatasetSchema, granularity: Granularity
+    ) -> Callable[[tuple, object], bool]:
+        """Compile to ``(key, value) -> bool`` over measure entries."""
+        raise NotImplementedError
+
+    def references_measure(self) -> bool:
+        """Whether the predicate reads ``M`` (blocks Property-2 pushes)."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class Field:
+    """A named field; comparison operators produce :class:`Comparison`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _cmp(self, op: str, value) -> "Comparison":
+        return Comparison(self.name, op, value)
+
+    def __eq__(self, value) -> "Comparison":  # type: ignore[override]
+        return self._cmp("==", value)
+
+    def __ne__(self, value) -> "Comparison":  # type: ignore[override]
+        return self._cmp("!=", value)
+
+    def __lt__(self, value) -> "Comparison":
+        return self._cmp("<", value)
+
+    def __le__(self, value) -> "Comparison":
+        return self._cmp("<=", value)
+
+    def __gt__(self, value) -> "Comparison":
+        return self._cmp(">", value)
+
+    def __ge__(self, value) -> "Comparison":
+        return self._cmp(">=", value)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"Field({self.name!r})"
+
+
+class Comparison(Predicate):
+    """``field <op> constant`` — NULL-safe: None never satisfies."""
+
+    __slots__ = ("field", "op", "value")
+
+    def __init__(self, field: str, op: str, value) -> None:
+        if op not in _OPS:
+            raise AlgebraError(f"unknown comparison operator {op!r}")
+        self.field = field
+        self.op = op
+        self.value = value
+
+    def compile_for_fact(self, schema):
+        idx = schema.field_index(self.field)
+        fn = _OPS[self.op]
+        const = self.value
+
+        def test(record, _idx=idx, _fn=fn, _const=const):
+            field_value = record[_idx]
+            return field_value is not None and _fn(field_value, _const)
+
+        return test
+
+    def compile_for_measure(self, schema, granularity):
+        fn = _OPS[self.op]
+        const = self.value
+        if self.field == MEASURE_FIELD:
+            def test_m(key, value, _fn=fn, _const=const):
+                return value is not None and _fn(value, _const)
+
+            return test_m
+        idx = schema.dim_index(self.field)
+        if granularity.levels[idx] == schema.dimensions[idx].all_level:
+            raise AlgebraError(
+                f"predicate references dimension {self.field!r} which is "
+                f"at ALL in granularity {granularity}"
+            )
+
+        def test_dim(key, value, _idx=idx, _fn=fn, _const=const):
+            return _fn(key[_idx], _const)
+
+        return test_dim
+
+    def references_measure(self) -> bool:
+        return self.field == MEASURE_FIELD
+
+    def __repr__(self) -> str:
+        return f"{self.field} {self.op} {self.value!r}"
+
+
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left, self.right = left, right
+
+    def compile_for_fact(self, schema):
+        lhs = self.left.compile_for_fact(schema)
+        rhs = self.right.compile_for_fact(schema)
+        return lambda record: lhs(record) and rhs(record)
+
+    def compile_for_measure(self, schema, granularity):
+        lhs = self.left.compile_for_measure(schema, granularity)
+        rhs = self.right.compile_for_measure(schema, granularity)
+        return lambda key, value: lhs(key, value) and rhs(key, value)
+
+    def references_measure(self) -> bool:
+        return (
+            self.left.references_measure()
+            or self.right.references_measure()
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}) AND ({self.right!r})"
+
+
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left, self.right = left, right
+
+    def compile_for_fact(self, schema):
+        lhs = self.left.compile_for_fact(schema)
+        rhs = self.right.compile_for_fact(schema)
+        return lambda record: lhs(record) or rhs(record)
+
+    def compile_for_measure(self, schema, granularity):
+        lhs = self.left.compile_for_measure(schema, granularity)
+        rhs = self.right.compile_for_measure(schema, granularity)
+        return lambda key, value: lhs(key, value) or rhs(key, value)
+
+    def references_measure(self) -> bool:
+        return (
+            self.left.references_measure()
+            or self.right.references_measure()
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}) OR ({self.right!r})"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def compile_for_fact(self, schema):
+        fn = self.inner.compile_for_fact(schema)
+        return lambda record: not fn(record)
+
+    def compile_for_measure(self, schema, granularity):
+        fn = self.inner.compile_for_measure(schema, granularity)
+        return lambda key, value: not fn(key, value)
+
+    def references_measure(self) -> bool:
+        return self.inner.references_measure()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.inner!r})"
+
+
+class RawPredicate(Predicate):
+    """Escape hatch: wrap arbitrary callables.
+
+    Args:
+        fact_fn: ``record -> bool`` for fact-table selections.
+        measure_fn: ``(key, value) -> bool`` for measure selections.
+        reads_measure: Declare whether ``measure_fn`` inspects the
+            value; conservative default True (blocks rewrites).
+    """
+
+    def __init__(
+        self,
+        fact_fn: Optional[Callable] = None,
+        measure_fn: Optional[Callable] = None,
+        reads_measure: bool = True,
+        label: str = "<raw>",
+    ) -> None:
+        self._fact_fn = fact_fn
+        self._measure_fn = measure_fn
+        self._reads_measure = reads_measure
+        self.label = label
+
+    def compile_for_fact(self, schema):
+        if self._fact_fn is None:
+            raise AlgebraError(
+                f"{self.label}: no fact-table form for this predicate"
+            )
+        return self._fact_fn
+
+    def compile_for_measure(self, schema, granularity):
+        if self._measure_fn is None:
+            raise AlgebraError(
+                f"{self.label}: no measure-table form for this predicate"
+            )
+        return self._measure_fn
+
+    def references_measure(self) -> bool:
+        return self._reads_measure
+
+    def __repr__(self) -> str:
+        return self.label

@@ -1,0 +1,293 @@
+"""Algebraic identities of AW-RA (Theorem 1) as rewrite functions.
+
+Each function returns a *new* expression; inputs are never mutated.
+Rewrites only fire when their side conditions provably hold — otherwise
+the expression is returned unchanged (Property 1's distributivity
+requirement, Property 2's dimension-only condition, and so on).
+
+Property 3 (match join is not associative) is a *negative* result; there
+is nothing to rewrite, and the test suite demonstrates the inequality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import AlgebraError
+from repro.aggregates.base import AggSpec, Kind
+from repro.aggregates.distributive import ConstantAggregate
+from repro.algebra.conditions import ChildParent
+from repro.algebra.expr import (
+    Aggregate,
+    CombineFn,
+    CombineJoin,
+    Expr,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    RawPredicate,
+)
+
+#: Outer/inner aggregate pairs for which two-level aggregation collapses
+#: (Property 1).  For SUM/MIN/MAX the combiner is the function itself;
+#: COUNT's combiner is SUM (counting counts would be wrong), and the
+#: collapsed single-level function is COUNT again.
+_COLLAPSIBLE: dict[tuple[str, str], str] = {
+    ("sum", "sum"): "sum",
+    ("min", "min"): "min",
+    ("max", "max"): "max",
+    ("sum", "count"): "count",
+}
+
+
+def collapse_aggregations(expr: Expr) -> Expr:
+    """Property 1: ``g_{G1,agg}(g_{G2,agg}(T)) = g_{G1,agg}(T)``.
+
+    Fires when the outer aggregate is the *combiner* of the inner
+    distributive aggregate; the collapsed expression aggregates ``T``
+    directly at the outer granularity.
+    """
+    if not isinstance(expr, Aggregate):
+        return expr
+    inner = expr.child
+    if not isinstance(inner, Aggregate):
+        return expr
+    if (
+        inner.agg.function.kind is not Kind.DISTRIBUTIVE
+        or expr.agg.function.kind is not Kind.DISTRIBUTIVE
+    ):
+        return expr
+    pair = (expr.agg.function.name, inner.agg.function.name)
+    collapsed_name = _COLLAPSIBLE.get(pair)
+    if collapsed_name is None:
+        return expr
+    return Aggregate(
+        inner.child,
+        expr.granularity,
+        AggSpec(collapsed_name, inner.agg.input_field),
+    )
+
+
+def _generalize_predicate(
+    predicate: Predicate, coarse_levels, schema
+) -> Predicate:
+    """Rewrite ``cond1`` into ``cond2`` for Property 2.
+
+    ``cond1`` compares dimension values at the aggregate's (coarse)
+    granularity; the pushed-down ``cond2`` must compare
+    ``gamma(x)`` instead.  Equality comparisons on dimensions become
+    raw predicates that generalize the finer value first.
+    """
+    if isinstance(predicate, Comparison):
+        if predicate.field == "M":
+            raise AlgebraError("cannot push a measure predicate")
+        dim_idx = schema.dim_index(predicate.field)
+        coarse_level = coarse_levels[dim_idx]
+        op = predicate.op
+        const = predicate.value
+        dim = schema.dimensions[dim_idx]
+        from repro.algebra.predicates import _OPS
+
+        fn = _OPS[op]
+
+        def fact_fn(record, _d=dim, _i=dim_idx, _lv=coarse_level):
+            return fn(_d.generalize(record[_i], 0, _lv), const)
+
+        def measure_fn(key, value, _d=dim, _i=dim_idx, _lv=coarse_level):
+            # The finer table's key carries values at its own levels; we
+            # conservatively support base-level children only, which is
+            # what pushing all the way to D produces.
+            return fn(_d.generalize(key[_i], 0, _lv), const)
+
+        return RawPredicate(
+            fact_fn=fact_fn,
+            measure_fn=measure_fn,
+            reads_measure=False,
+            label=f"γ[{dim.name}->{coarse_level}] {op} {const!r}",
+        )
+    if isinstance(predicate, And):
+        return And(
+            _generalize_predicate(predicate.left, coarse_levels, schema),
+            _generalize_predicate(predicate.right, coarse_levels, schema),
+        )
+    if isinstance(predicate, Or):
+        return Or(
+            _generalize_predicate(predicate.left, coarse_levels, schema),
+            _generalize_predicate(predicate.right, coarse_levels, schema),
+        )
+    if isinstance(predicate, Not):
+        return Not(
+            _generalize_predicate(predicate.inner, coarse_levels, schema)
+        )
+    raise AlgebraError(
+        f"cannot push predicate {predicate!r} through an aggregation"
+    )
+
+
+def push_selection_below_aggregate(expr: Expr) -> Expr:
+    """Property 2: ``σ_c1(g_{G,agg}(T)) = g_{G,agg}(σ_c2(T))``.
+
+    Legal only when the selection reads dimension attributes alone; the
+    pushed predicate generalizes each dimension value before comparing.
+    The rewrite fires when ``T`` is the fact table (the common and
+    always-sound case); otherwise the expression is returned unchanged.
+    """
+    if not isinstance(expr, Select):
+        return expr
+    agg_expr = expr.child
+    if not isinstance(agg_expr, Aggregate):
+        return expr
+    if expr.predicate.references_measure():
+        return expr
+    if not isinstance(agg_expr.child, FactTable):
+        return expr
+    pushed = _generalize_predicate(
+        expr.predicate, agg_expr.granularity.levels, expr.schema
+    )
+    return Aggregate(
+        Select(agg_expr.child, pushed),
+        agg_expr.granularity,
+        agg_expr.agg,
+    )
+
+
+def reorder_combine_inputs(
+    expr: CombineJoin, permutation: Sequence[int]
+) -> CombineJoin:
+    """Property 4: permute combine-join inputs, adapting ``f_c``.
+
+    ``permutation[i]`` gives the old index of the input placed at new
+    position ``i``.  The adapted combine function un-permutes its
+    arguments before calling the original.
+    """
+    n = len(expr.inputs)
+    if sorted(permutation) != list(range(n)):
+        raise AlgebraError(
+            f"not a permutation of {n} inputs: {list(permutation)}"
+        )
+    perm = tuple(permutation)
+    inverse = [0] * n
+    for new_pos, old_pos in enumerate(perm):
+        inverse[old_pos] = new_pos
+    original = expr.fn
+
+    def adapted(base_value, *values):
+        reordered = tuple(values[inverse[i]] for i in range(n))
+        return original.fn(base_value, *reordered)
+
+    fn = CombineFn(
+        adapted,
+        name=f"{original.name}∘π{list(perm)}",
+        handles_null=original.handles_null,
+    )
+    return CombineJoin(
+        expr.base, [expr.inputs[old] for old in perm], fn
+    )
+
+
+def split_combine_join(
+    expr: CombineJoin,
+    split_at: int,
+    fc1: Callable[..., float],
+    fc2: Callable[..., float],
+    handles_null: bool = False,
+) -> CombineJoin:
+    """Property 5: decompose ``S ⋈̄_fc (T_1..T_n)`` into two joins.
+
+    The caller supplies the decomposition
+    ``fc(v, v_1..v_n) == fc2(fc1(v, v_1..v_k), v_{k+1}..v_n)`` —
+    the existence of such functions is the property's side condition and
+    cannot be derived mechanically.
+    """
+    if not 0 < split_at < len(expr.inputs):
+        raise AlgebraError(
+            f"split point {split_at} out of range 1.."
+            f"{len(expr.inputs) - 1}"
+        )
+    first = CombineJoin(
+        expr.base,
+        expr.inputs[:split_at],
+        CombineFn(fc1, name=f"{expr.fn.name}_1", handles_null=handles_null),
+    )
+    return CombineJoin(
+        first,
+        expr.inputs[split_at:],
+        CombineFn(fc2, name=f"{expr.fn.name}_2", handles_null=handles_null),
+    )
+
+
+def _cell_preserving_lineage(expr: Expr) -> Expr | None:
+    """Return the root :class:`FactTable` if ``expr`` is a chain of
+    aggregations over it with no selections (so no region ever drops
+    out), else ``None``."""
+    node = expr
+    while isinstance(node, Aggregate):
+        node = node.child
+    return node if isinstance(node, FactTable) else None
+
+
+def match_join_as_aggregate(expr: Expr) -> Expr:
+    """Rewrite a child/parent match join into a plain aggregation.
+
+    The paper notes "a match join with cond_cp is essentially equal to
+    an aggregation operator".  The subtlety is left-outer semantics: the
+    join keeps every S-cell even when T contributes nothing.  The
+    rewrite therefore fires only when both sides are selection-free
+    aggregation chains over the same fact table, which guarantees S's
+    cells coincide with the roll-up of T's keys.
+    """
+    if not isinstance(expr, MatchJoin):
+        return expr
+    if not isinstance(expr.cond, ChildParent):
+        return expr
+    target_root = _cell_preserving_lineage(expr.target)
+    source_root = _cell_preserving_lineage(expr.source)
+    if target_root is None or source_root is None:
+        return expr
+    if target_root is not source_root:
+        return expr
+    return Aggregate(expr.source, expr.granularity, expr.agg)
+
+
+def cells(fact: FactTable, granularity) -> Aggregate:
+    """The paper's ``S_base = g_{G,0}(D)`` idiom: materialize cells."""
+    return Aggregate(fact, granularity, AggSpec(ConstantAggregate(0), "*"))
+
+
+def simplify(expr: Expr) -> Expr:
+    """Apply the always-sound rewrites bottom-up until a fixpoint."""
+    changed = True
+    current = expr
+    while changed:
+        rebuilt = _rewrite_bottom_up(current)
+        changed = rebuilt is not current and repr(rebuilt) != repr(current)
+        current = rebuilt
+    return current
+
+
+def _rewrite_bottom_up(expr: Expr) -> Expr:
+    if isinstance(expr, Select):
+        child = _rewrite_bottom_up(expr.child)
+        node = Select(child, expr.predicate)
+        return push_selection_below_aggregate(node)
+    if isinstance(expr, Aggregate):
+        child = _rewrite_bottom_up(expr.child)
+        node = Aggregate(child, expr.granularity, expr.agg)
+        return collapse_aggregations(node)
+    if isinstance(expr, MatchJoin):
+        target = _rewrite_bottom_up(expr.target)
+        source = _rewrite_bottom_up(expr.source)
+        node = MatchJoin(target, source, expr.cond, expr.agg)
+        return match_join_as_aggregate(node)
+    if isinstance(expr, CombineJoin):
+        base = _rewrite_bottom_up(expr.base)
+        inputs = [_rewrite_bottom_up(child) for child in expr.inputs]
+        return CombineJoin(base, inputs, expr.fn)
+    return expr

@@ -1,0 +1,360 @@
+"""SQL generation: the Tables 2-4 equivalents of AW-RA expressions.
+
+The paper defines each AW-RA operator by an equivalent SQL query
+(aggregation = Table 2, match join = Table 3, combine join = Table 4).
+``to_sql`` emits that translation for any expression, as a ``WITH``
+query with one CTE per measure sub-expression — both documentation
+(the generated SQL *is* the paper's semantics) and a vivid illustration
+of the paper's complaint that "the resulting query often contains
+multiply nested sub-queries".
+
+Value generalization appears as ``GAMMA_<attr>_<domain>(col)`` calls —
+in a real deployment those are the dimension-table lookups the paper
+treats as inexpensive functions (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlgebraError
+from repro.algebra.conditions import (
+    ChildParent,
+    Lags,
+    MatchCondition,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.algebra.expr import (
+    Aggregate,
+    CombineJoin,
+    Expr,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.cube.granularity import Granularity
+
+
+def _dim_columns(granularity: Granularity) -> list[tuple[int, str]]:
+    """(dim index, SQL column name) for every non-ALL dimension."""
+    schema = granularity.schema
+    columns = []
+    for dim in granularity.key_dims:
+        domain = schema.dimensions[dim].hierarchy.domain(
+            granularity.levels[dim]
+        )
+        name = f"{schema.dimensions[dim].abbrev}_{domain.name}"
+        columns.append((dim, _sanitize(name)))
+    return columns
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    return "".join(out)
+
+
+def _gamma(granularity: Granularity, dim: int, source_col: str) -> str:
+    schema = granularity.schema
+    level = granularity.levels[dim]
+    if level == 0:
+        return source_col
+    domain = schema.dimensions[dim].hierarchy.domain(level)
+    fn = _sanitize(
+        f"GAMMA_{schema.dimensions[dim].abbrev}_{domain.name}"
+    ).upper()
+    return f"{fn}({source_col})"
+
+
+def predicate_to_sql(predicate: Predicate, measure_col: str = "M") -> str:
+    """Render a predicate as a SQL boolean expression."""
+    if isinstance(predicate, Comparison):
+        field = measure_col if predicate.field == "M" else _sanitize(
+            predicate.field
+        )
+        op = {"==": "=", "!=": "<>"}.get(predicate.op, predicate.op)
+        value = predicate.value
+        rendered = repr(value) if isinstance(value, str) else str(value)
+        return f"{field} {op} {rendered}"
+    if isinstance(predicate, And):
+        return (
+            f"({predicate_to_sql(predicate.left, measure_col)} AND "
+            f"{predicate_to_sql(predicate.right, measure_col)})"
+        )
+    if isinstance(predicate, Or):
+        return (
+            f"({predicate_to_sql(predicate.left, measure_col)} OR "
+            f"{predicate_to_sql(predicate.right, measure_col)})"
+        )
+    if isinstance(predicate, Not):
+        return f"NOT ({predicate_to_sql(predicate.inner, measure_col)})"
+    raise AlgebraError(
+        f"predicate {predicate!r} has no SQL rendering (raw predicates "
+        f"are Python-only)"
+    )
+
+
+def _cond_to_sql(
+    cond: MatchCondition,
+    s_gran: Granularity,
+    t_gran: Granularity,
+    s_alias: str,
+    t_alias: str,
+) -> str:
+    schema = s_gran.schema
+    clauses = []
+    if isinstance(cond, SelfMatch):
+        for __, col in _dim_columns(s_gran):
+            clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
+    elif isinstance(cond, ParentChild):
+        # gamma(S.X) = T.X
+        for dim, t_col in _dim_columns(t_gran):
+            s_col = dict(_dim_columns(s_gran))[dim]
+            lifted = _gamma_between(schema, dim, s_gran, t_gran,
+                                    f"{s_alias}.{s_col}")
+            clauses.append(f"{lifted} = {t_alias}.{t_col}")
+    elif isinstance(cond, ChildParent):
+        for dim, s_col in _dim_columns(s_gran):
+            t_col = dict(_dim_columns(t_gran))[dim]
+            lifted = _gamma_between(schema, dim, t_gran, s_gran,
+                                    f"{t_alias}.{t_col}")
+            clauses.append(f"{lifted} = {s_alias}.{s_col}")
+    elif isinstance(cond, Sibling):
+        windows = cond.resolve(schema)
+        for dim, col in _dim_columns(s_gran):
+            if dim in windows:
+                before, after = windows[dim]
+                clauses.append(
+                    f"{t_alias}.{col} BETWEEN {s_alias}.{col} - {before} "
+                    f"AND {s_alias}.{col} + {after}"
+                )
+            else:
+                clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
+    elif isinstance(cond, Lags):
+        offsets = cond.resolve(schema)
+        for dim, col in _dim_columns(s_gran):
+            if dim in offsets:
+                deltas = ", ".join(str(d) for d in offsets[dim])
+                clauses.append(
+                    f"({t_alias}.{col} - {s_alias}.{col}) IN ({deltas})"
+                )
+            else:
+                clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
+    else:
+        raise AlgebraError(f"no SQL rendering for condition {cond!r}")
+    return " AND ".join(clauses) if clauses else "1 = 1"
+
+
+def _gamma_between(schema, dim, fine: Granularity, coarse: Granularity,
+                   column: str) -> str:
+    level = coarse.levels[dim]
+    if level == fine.levels[dim]:
+        return column
+    domain = schema.dimensions[dim].hierarchy.domain(level)
+    fn = _sanitize(
+        f"GAMMA_{schema.dimensions[dim].abbrev}_{domain.name}"
+    ).upper()
+    return f"{fn}({column})"
+
+
+class _SqlBuilder:
+    def __init__(self, fact_table_name: str) -> None:
+        self.fact_table_name = fact_table_name
+        self.ctes: list[tuple[str, str]] = []
+        self._memo: dict[int, str] = {}
+        self._counter = 0
+
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def build(self, expr: Expr) -> str:
+        if id(expr) in self._memo:
+            return self._memo[id(expr)]
+        name = self._translate(expr)
+        self._memo[id(expr)] = name
+        return name
+
+    # Each _translate_* returns the CTE name holding the result.
+
+    def _translate(self, expr: Expr) -> str:
+        if isinstance(expr, Select):
+            inner = self.build(expr.child)
+            name = self._fresh("filtered")
+            self.ctes.append(
+                (
+                    name,
+                    f"SELECT * FROM {inner}\n"
+                    f"  WHERE {predicate_to_sql(expr.predicate)}",
+                )
+            )
+            return name
+        if isinstance(expr, Aggregate):
+            return self._translate_aggregate(expr)
+        if isinstance(expr, MatchJoin):
+            return self._translate_match_join(expr)
+        if isinstance(expr, CombineJoin):
+            return self._translate_combine_join(expr)
+        if isinstance(expr, FactTable):
+            return self.fact_table_name
+        raise AlgebraError(f"no SQL rendering for {expr!r}")
+
+    def _translate_aggregate(self, expr: Aggregate) -> str:
+        inner_expr, predicates = _peel(expr.child)
+        if isinstance(inner_expr, FactTable):
+            source = self.fact_table_name
+            source_gran = inner_expr.granularity
+            measure_arg = (
+                "*" if expr.agg.input_field == "*" else _sanitize(
+                    expr.agg.input_field
+                )
+            )
+        else:
+            source = self.build(inner_expr)
+            source_gran = inner_expr.granularity
+            measure_arg = "*" if expr.agg.input_field == "*" else "M"
+        select_cols = []
+        group_cols = []
+        schema = expr.schema
+        for dim, col in _dim_columns(expr.granularity):
+            base_col = (
+                _sanitize(schema.dimensions[dim].abbrev)
+                if isinstance(inner_expr, FactTable)
+                else dict(_dim_columns(source_gran))[dim]
+            )
+            rendered = _gamma_between(
+                schema, dim, source_gran, expr.granularity, base_col
+            )
+            select_cols.append(f"{rendered} AS {col}")
+            group_cols.append(rendered)
+        agg_fn = expr.agg.function.name.upper()
+        select_cols.append(f"{agg_fn}({measure_arg}) AS M")
+        where = ""
+        if predicates:
+            rendered = " AND ".join(
+                predicate_to_sql(p) for p in predicates
+            )
+            where = f"\n  WHERE {rendered}"
+        group = (
+            f"\n  GROUP BY {', '.join(group_cols)}" if group_cols else ""
+        )
+        name = self._fresh("agg")
+        self.ctes.append(
+            (
+                name,
+                f"SELECT {', '.join(select_cols)}\n  FROM {source}"
+                f"{where}{group}",
+            )
+        )
+        return name
+
+    def _translate_match_join(self, expr: MatchJoin) -> str:
+        target = self.build(expr.target)
+        source_expr, predicates = _peel(expr.source)
+        source = self.build(source_expr)
+        if predicates:
+            filtered = self._fresh("filtered")
+            rendered = " AND ".join(
+                predicate_to_sql(p) for p in predicates
+            )
+            self.ctes.append(
+                (filtered, f"SELECT * FROM {source}\n  WHERE {rendered}")
+            )
+            source = filtered
+        s_cols = [col for __, col in _dim_columns(expr.granularity)]
+        cond = _cond_to_sql(
+            expr.cond,
+            expr.granularity,
+            source_expr.granularity,
+            "S",
+            "T",
+        )
+        agg_fn = expr.agg.function.name.upper()
+        select = ", ".join(f"S.{col}" for col in s_cols) or "1 AS one"
+        group = (
+            "\n  GROUP BY " + ", ".join(f"S.{col}" for col in s_cols)
+            if s_cols
+            else ""
+        )
+        name = self._fresh("match")
+        self.ctes.append(
+            (
+                name,
+                f"SELECT {select}, {agg_fn}(T.M) AS M\n"
+                f"  FROM {target} S\n"
+                f"  LEFT OUTER JOIN {source} T ON {cond}{group}",
+            )
+        )
+        return name
+
+    def _translate_combine_join(self, expr: CombineJoin) -> str:
+        base = self.build(expr.base)
+        cols = [col for __, col in _dim_columns(expr.granularity)]
+        joins = []
+        args = ["S.M"]
+        for i, child in enumerate(expr.inputs, start=1):
+            child_expr, predicates = _peel(child)
+            child_name = self.build(child_expr)
+            if predicates:
+                filtered = self._fresh("filtered")
+                rendered = " AND ".join(
+                    predicate_to_sql(p) for p in predicates
+                )
+                self.ctes.append(
+                    (
+                        filtered,
+                        f"SELECT * FROM {child_name}\n"
+                        f"  WHERE {rendered}",
+                    )
+                )
+                child_name = filtered
+            alias = f"T{i}"
+            on = " AND ".join(
+                f"S.{col} = {alias}.{col}" for col in cols
+            ) or "1 = 1"
+            joins.append(
+                f"  LEFT OUTER JOIN {child_name} {alias} ON {on}"
+            )
+            args.append(f"{alias}.M")
+        select = ", ".join(f"S.{col}" for col in cols)
+        fc = _sanitize(expr.fn.name).upper() or "FC"
+        name = self._fresh("combine")
+        body = (
+            f"SELECT {select + ', ' if select else ''}"
+            f"{fc}({', '.join(args)}) AS M\n"
+            f"  FROM {base} S\n" + "\n".join(joins)
+        )
+        self.ctes.append((name, body))
+        return name
+
+
+def _peel(expr: Expr) -> tuple[Expr, list]:
+    predicates = []
+    while isinstance(expr, Select):
+        predicates.append(expr.predicate)
+        expr = expr.child
+    return expr, predicates
+
+
+def to_sql(expr: Expr, fact_table_name: str = "D") -> str:
+    """Render an AW-RA expression as the paper's equivalent SQL.
+
+    Returns a ``WITH`` query whose final ``SELECT`` yields the
+    expression's measure table (dimension columns plus ``M``).
+    """
+    builder = _SqlBuilder(fact_table_name)
+    final = builder.build(expr)
+    if not builder.ctes:
+        return f"SELECT * FROM {final};"
+    rendered = ",\n".join(
+        f"{name} AS (\n  {body}\n)" for name, body in builder.ctes
+    )
+    return f"WITH {rendered}\nSELECT * FROM {final};"

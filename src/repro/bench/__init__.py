@@ -1,0 +1,24 @@
+"""Benchmark harness: regenerates every figure of the paper's Section 7.
+
+:mod:`repro.bench.harness` runs engines and collects timing rows;
+:mod:`repro.bench.figures` holds one driver per paper figure, each
+printing the same series the figure plots (engine × parameter sweep →
+execution time) plus memory footprints.  The ``benchmarks/`` directory
+wires these into pytest-benchmark targets.
+"""
+
+from repro.bench.harness import (
+    BenchRow,
+    format_table,
+    run_engines,
+    time_engine,
+)
+from repro.bench import figures
+
+__all__ = [
+    "BenchRow",
+    "run_engines",
+    "time_engine",
+    "format_table",
+    "figures",
+]

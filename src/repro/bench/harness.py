@@ -1,0 +1,102 @@
+"""Timing harness shared by all figure drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import MemoryBudgetExceeded
+from repro.engine.interfaces import Engine
+from repro.storage.sink import NullSink
+from repro.storage.table import Dataset
+
+
+@dataclass
+class BenchRow:
+    """One measured point: an engine on one configuration."""
+
+    figure: str
+    config: str
+    engine: str
+    seconds: Optional[float]  # None = did not complete (e.g. OOM)
+    sort_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    peak_entries: int = 0
+    note: str = ""
+
+    @property
+    def seconds_text(self) -> str:
+        if self.seconds is None:
+            return "n/a"
+        return f"{self.seconds:.3f}"
+
+
+def time_engine(
+    engine: Engine,
+    dataset: Dataset,
+    workflow,
+    figure: str,
+    config: str,
+    label: Optional[str] = None,
+) -> BenchRow:
+    """Run one engine once, discarding values (NullSink), and record it.
+
+    A :class:`~repro.errors.MemoryBudgetExceeded` failure becomes a
+    ``seconds=None`` row — the way the paper only plots the single-scan
+    algorithm at sizes it survives.
+    """
+    try:
+        result = engine.evaluate(dataset, workflow, sink=NullSink())
+    except MemoryBudgetExceeded as exc:
+        return BenchRow(
+            figure,
+            config,
+            label or engine.name,
+            None,
+            note=f"exceeded budget ({exc.used}>{exc.budget})",
+        )
+    stats = result.stats
+    return BenchRow(
+        figure,
+        config,
+        label or engine.name,
+        stats.total_seconds,
+        sort_seconds=stats.sort_seconds,
+        scan_seconds=stats.scan_seconds,
+        peak_entries=stats.peak_entries,
+        note=stats.notes,
+    )
+
+
+def run_engines(
+    engines: Sequence[tuple[str, Engine]],
+    dataset: Dataset,
+    workflow,
+    figure: str,
+    config: str,
+) -> list[BenchRow]:
+    """Time each labelled engine on one (dataset, workflow) point."""
+    return [
+        time_engine(engine, dataset, workflow, figure, config, label=label)
+        for label, engine in engines
+    ]
+
+
+def format_table(title: str, rows: Sequence[BenchRow]) -> str:
+    """Render rows as the kind of series table the paper's figures plot.
+
+    One line per (config, engine) with execution time, the sort/scan
+    breakdown, and the peak memory footprint in hash-table entries.
+    """
+    header = (
+        f"{'config':<24} {'engine':<12} {'seconds':>9} "
+        f"{'sort':>8} {'scan':>8} {'peak-entries':>13}  note"
+    )
+    lines = [f"== {title} ==", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.config:<24} {row.engine:<12} {row.seconds_text:>9} "
+            f"{row.sort_seconds:>8.3f} {row.scan_seconds:>8.3f} "
+            f"{row.peak_entries:>13}  {row.note}"
+        )
+    return "\n".join(lines)

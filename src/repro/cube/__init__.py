@@ -1,0 +1,23 @@
+"""Cube space: granularity vectors, regions, region sets, orders, slack.
+
+Implements Section 2.2 (regions and region sets) and the order/slack
+machinery of Section 5.3 (Table 6) that streaming plans are built from.
+"""
+
+from repro.cube.granularity import Granularity
+from repro.cube.region import Region, coverage, is_parent_region
+from repro.cube.region_set import RegionSet
+from repro.cube.order import SortKey
+from repro.cube.slack import Slack, StreamInfo, compute_order_slack
+
+__all__ = [
+    "Granularity",
+    "Region",
+    "RegionSet",
+    "SortKey",
+    "Slack",
+    "StreamInfo",
+    "compute_order_slack",
+    "coverage",
+    "is_parent_region",
+]

@@ -1,0 +1,178 @@
+"""Sort keys and stream order vectors (Section 5.2, Proposition 2).
+
+A :class:`SortKey` is an ordering vector
+``<K_1:D_1, ..., K_m:D_m>`` — a sequence of (dimension, domain) pairs
+that says how a fact table or update stream is sorted.  Proposition 2
+lets us fix the *attribute* sequence once (the scan key's) and describe
+every stream's order purely by the granularities at which those
+attributes appear, padding trailing attributes with ``D_ALL``; the
+:class:`SortKey` helpers below implement both views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GranularityError, PlanError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema, Record
+
+
+class SortKey:
+    """An ordering vector over a schema.
+
+    ``parts`` is a sequence of ``(dim_index, level)`` pairs, most
+    significant first.  ``SortKey.from_spec(schema, [("t", "Hour"),
+    ("T", "IP")])`` mirrors the paper's ``<t:Hour, T:IP>`` notation.
+    """
+
+    __slots__ = ("schema", "parts", "_record_mapper")
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        parts: Sequence[tuple[int, int]],
+    ) -> None:
+        seen = set()
+        for dim_idx, level in parts:
+            if not 0 <= dim_idx < schema.num_dimensions:
+                raise GranularityError(f"bad dimension index {dim_idx}")
+            dim = schema.dimensions[dim_idx]
+            if not 0 <= level <= dim.all_level:
+                raise GranularityError(
+                    f"bad level {level} for dimension {dim.name}"
+                )
+            if dim_idx in seen:
+                raise GranularityError(
+                    f"dimension {dim.name} appears twice in sort key"
+                )
+            seen.add(dim_idx)
+        self.schema = schema
+        self.parts = tuple((int(d), int(lv)) for d, lv in parts)
+        self._record_mapper = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        schema: DatasetSchema,
+        spec: Iterable[tuple[str, str]],
+    ) -> "SortKey":
+        """Build from ``[("t", "Hour"), ("U", "IP")]``-style specs."""
+        parts = []
+        for dim_name, domain_name in spec:
+            idx = schema.dim_index(dim_name)
+            level = schema.dimensions[idx].level_of(domain_name)
+            parts.append((idx, level))
+        return cls(schema, parts)
+
+    # -- record/key mapping ------------------------------------------------
+
+    def map_record(self, record: Record) -> tuple:
+        """Project a base record onto this order (mapKey of Table 8)."""
+        return self.record_mapper()(record)
+
+    def record_mapper(self):
+        """A compiled ``record -> order key`` closure (cached)."""
+        if self._record_mapper is None:
+            dims = self.schema.dimensions
+            steps = tuple(
+                (d, dims[d].hierarchy.mapper(0, lv))
+                for d, lv in self.parts
+            )
+
+            def mapper(record, _steps=steps):
+                return tuple(
+                    record[d] if fn is None else fn(record[d])
+                    for d, fn in _steps
+                )
+
+            self._record_mapper = mapper
+        return self._record_mapper
+
+    def map_key(self, key: tuple, key_granularity: Granularity) -> tuple:
+        """Project a region key at ``key_granularity`` onto this order.
+
+        Every part of the sort key must be at a level coarser-or-equal
+        to the key's granularity for that dimension — otherwise the key
+        simply does not carry that much detail.
+        """
+        dims = self.schema.dimensions
+        out = []
+        for d, lv in self.parts:
+            have = key_granularity.levels[d]
+            if lv < have:
+                raise PlanError(
+                    f"order needs dimension {dims[d].name} at level {lv} "
+                    f"but the key only has level {have}"
+                )
+            out.append(dims[d].generalize(key[d], have, lv))
+        return tuple(out)
+
+    def sort_records(self, records: Iterable[Record]) -> list:
+        """Sort base records by this key (in memory)."""
+        return sorted(records, key=self.map_record)
+
+    # -- structure ----------------------------------------------------------
+
+    def prefix(self, length: int) -> "SortKey":
+        return SortKey(self.schema, self.parts[:length])
+
+    def coarsened_to(self, granularity: Granularity) -> "SortKey":
+        """This key with each part lifted to at least ``granularity``.
+
+        Parts whose dimension sits at ``D_ALL`` in the granularity are
+        dropped along with everything after them only if they stop
+        discriminating; here we keep the conventional padding and simply
+        lift levels, truncating at the first ``D_ALL`` part (a constant
+        contributes nothing to an order and neither can anything after
+        it, because records tied on a constant are tied arbitrarily).
+        """
+        parts = []
+        for d, lv in self.parts:
+            lifted = max(lv, granularity.levels[d])
+            if lifted == self.schema.dimensions[d].all_level:
+                break
+            parts.append((d, lifted))
+        return SortKey(self.schema, parts)
+
+    def more_general_than(self, other: "SortKey") -> bool:
+        """The paper's "more general" relation between key vectors.
+
+        True when ``self`` is a (possibly shorter) prefix of ``other``
+        attribute-wise, with each level coarser or equal.
+        """
+        if len(self.parts) > len(other.parts):
+            return False
+        for (d1, l1), (d2, l2) in zip(self.parts, other.parts):
+            if d1 != d2 or l1 < l2:
+                return False
+        return True
+
+    # -- full-width view (Proposition 2) ----------------------------------
+
+    def padded_levels(self) -> tuple[int, ...]:
+        """Levels per scan-key position, padded with ``D_ALL``.
+
+        The result is aligned with *this key's own* attribute sequence
+        and is primarily useful on the dataset scan key, against which
+        stream orders are expressed (Proposition 2).
+        """
+        return tuple(lv for __, lv in self.parts)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SortKey)
+            and self.schema is other.schema
+            and self.parts == other.parts
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.schema), self.parts))
+
+    def __repr__(self) -> str:
+        dims = self.schema.dimensions
+        rendered = ", ".join(
+            f"{dims[d].abbrev}:{dims[d].hierarchy.domain(lv).name}"
+            for d, lv in self.parts
+        )
+        return f"<{rendered}>"

@@ -1,0 +1,66 @@
+"""Regions: hyper-rectangles in cube space (Section 2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import GranularityError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import Record
+
+
+@dataclass(frozen=True)
+class Region:
+    """A region ``c = (v_1, ..., v_d)`` at a fixed granularity.
+
+    ``values`` always has full dimension width; dimensions at ``D_ALL``
+    carry the single ``ALL`` value.
+    """
+
+    granularity: Granularity
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.granularity.schema.num_dimensions:
+            raise GranularityError(
+                f"region has {len(self.values)} values for "
+                f"{self.granularity.schema.num_dimensions} dimensions"
+            )
+
+    def contains_record(self, record: Record) -> bool:
+        """Membership test of the paper's ``coverage`` definition."""
+        return self.granularity.key_of_record(record) == self.values
+
+    def parent_at(self, coarser: Granularity) -> "Region":
+        """The unique ancestor region at a coarser granularity."""
+        key = coarser.generalize_key(self.values, self.granularity)
+        return Region(coarser, key)
+
+    def __str__(self) -> str:
+        schema = self.granularity.schema
+        parts = []
+        for i, dim in enumerate(schema.dimensions):
+            level = self.granularity.levels[i]
+            if level != dim.all_level:
+                rendered = dim.hierarchy.format_value(self.values[i], level)
+                parts.append(f"{dim.abbrev}={rendered}")
+        return "<" + ", ".join(parts) + ">" if parts else "<ALL>"
+
+
+def coverage(region: Region, records: Iterable[Record]) -> Iterator[Record]:
+    """Yield the records covered by ``region`` (the paper's coverage(c))."""
+    for record in records:
+        if region.contains_record(record):
+            yield record
+
+
+def is_parent_region(parent: Region, child: Region) -> bool:
+    """The ``child <_C parent`` containment test of Section 2.2.
+
+    True when the parent's granularity is strictly coarser and the
+    child's values generalize onto the parent's values.
+    """
+    if not child.granularity.strictly_finer(parent.granularity):
+        return False
+    return child.parent_at(parent.granularity).values == parent.values

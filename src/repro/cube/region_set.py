@@ -1,0 +1,53 @@
+"""Region sets: all regions sharing one granularity (Section 2.2).
+
+The paper writes region sets with square brackets — ``[t:Hour, U:IP]``
+is the set of every (hour, source-IP) region.  A region set over a
+finite dataset has one *populated* region per distinct key; this module
+materializes those from records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.cube.granularity import Granularity
+from repro.cube.region import Region
+from repro.schema.dataset_schema import DatasetSchema, Record
+
+
+class RegionSet:
+    """The set of regions of one granularity populated by a dataset."""
+
+    def __init__(self, granularity: Granularity) -> None:
+        self.granularity = granularity
+
+    @classmethod
+    def from_spec(
+        cls, schema: DatasetSchema, spec: Mapping[str, str]
+    ) -> "RegionSet":
+        """Shorthand: ``RegionSet.from_spec(schema, {"t": "Hour"})``."""
+        return cls(Granularity.from_spec(schema, spec))
+
+    def keys(self, records: Iterable[Record]) -> set:
+        """Distinct region keys populated by ``records``."""
+        key_of = self.granularity.key_of_record
+        return {key_of(record) for record in records}
+
+    def regions(self, records: Iterable[Record]) -> Iterator[Region]:
+        """Populated regions, in ascending key order (deterministic)."""
+        for key in sorted(self.keys(records)):
+            yield Region(self.granularity, key)
+
+    def partition(
+        self, records: Iterable[Record]
+    ) -> dict[tuple, list[Record]]:
+        """Group records by region key — the coverage of every region."""
+        key_of = self.granularity.key_of_record
+        groups: dict[tuple, list[Record]] = {}
+        for record in records:
+            groups.setdefault(key_of(record), []).append(record)
+        return groups
+
+    def __repr__(self) -> str:
+        inner = repr(self.granularity)
+        return "[" + inner.strip("()") + "]"

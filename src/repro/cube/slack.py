@@ -1,0 +1,167 @@
+"""Order and slack of update streams — the Table 6 algorithm.
+
+The *order* of a stream says how its entries are sorted; the *slack*
+says how far the stream may lag behind or run ahead of the scan over the
+fact table (Section 5.3.1).  Both are computed at plan time and drive
+(1) the memory-footprint estimate used by the optimizer and (2) the
+watermark bookkeeping that lets the one-pass engine flush finalized hash
+entries early.
+
+Following Proposition 2, every stream order is expressed against the
+scan key's attribute sequence: position ``i`` of an order is the
+granularity (hierarchy level) at which scan-key attribute ``i`` appears,
+padded with ``D_ALL`` once attributes stop influencing the sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.cube.order import SortKey
+from repro.schema.dataset_schema import DatasetSchema
+
+
+@dataclass(frozen=True)
+class Slack:
+    """Per-attribute slack bounds ``<(l_1,h_1), ..., (l_m,h_m)>``.
+
+    ``bounds[i]`` bounds how far the stream's progress on scan-key
+    attribute ``i`` may trail (negative) or lead (positive) the scan.
+    A perfectly synchronized stream has all-zero slack.
+    """
+
+    bounds: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def zero(cls, width: int) -> "Slack":
+        return cls(tuple((0, 0) for __ in range(width)))
+
+    def widened(self, other: "Slack") -> "Slack":
+        """Component-wise bounding box of two slacks."""
+        if len(self.bounds) != len(other.bounds):
+            raise PlanError("cannot widen slacks of different widths")
+        return Slack(
+            tuple(
+                (min(a_lo, b_lo), max(a_hi, b_hi))
+                for (a_lo, a_hi), (b_lo, b_hi) in zip(
+                    self.bounds, other.bounds
+                )
+            )
+        )
+
+    def shifted(self, index: int, low_delta: int, high_delta: int) -> "Slack":
+        """Widen the bounds of one attribute by the given deltas."""
+        bounds = list(self.bounds)
+        lo, hi = bounds[index]
+        bounds[index] = (lo + low_delta, hi + high_delta)
+        return Slack(tuple(bounds))
+
+    @property
+    def is_zero(self) -> bool:
+        return all(lo == 0 and hi == 0 for lo, hi in self.bounds)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"({lo},{hi})" for lo, hi in self.bounds)
+        return f"<{inner}>"
+
+
+@dataclass(frozen=True)
+class StreamInfo:
+    """Order and slack of one update stream, per Proposition 2.
+
+    ``order_levels[i]`` is the level of scan-key attribute ``i`` in the
+    stream's order (``all_level`` = padded out / does not constrain).
+    """
+
+    order_levels: tuple[int, ...]
+    slack: Slack
+
+    def __post_init__(self) -> None:
+        if len(self.order_levels) != len(self.slack.bounds):
+            raise PlanError("order and slack widths differ")
+
+
+def compute_order_slack(
+    schema: DatasetSchema,
+    scan_key: SortKey,
+    region_levels: Sequence[int],
+    inputs: Sequence[StreamInfo],
+) -> StreamInfo:
+    """The ``ComputeOrderSlack`` algorithm of Table 6.
+
+    Given the region-set granularity of a measure (``region_levels``,
+    full schema width) and the order/slack of all its incoming update
+    streams, compute the order and slack of the measure's finalized
+    entries.
+
+    The output order is, informally, the longest scan-key prefix on
+    which all inputs agree, coarsened to the measure's granularity; the
+    slack is the bounding box of the input slacks, rescaled by
+    ``card()`` where the measure's domain is coarser than the streams'.
+
+    Args:
+        schema: The dataset schema.
+        scan_key: The dataset's sort key; defines the attribute
+            sequence that orders are expressed against.
+        region_levels: Level per schema dimension of the measure's
+            region set.
+        inputs: Order/slack of each incoming update stream.
+
+    Returns:
+        The :class:`StreamInfo` of the measure's finalized entries.
+    """
+    if not inputs:
+        raise PlanError("compute_order_slack needs at least one input")
+    width = len(scan_key.parts)
+    for info in inputs:
+        if len(info.order_levels) != width:
+            raise PlanError(
+                "input stream order width does not match the scan key"
+            )
+
+    out_levels: list[int] = []
+    out_bounds: list[tuple[int, int]] = []
+
+    def pad_rest() -> StreamInfo:
+        """Pad the remaining attributes with D_ALL / zero slack."""
+        while len(out_levels) < width:
+            dim_idx = scan_key.parts[len(out_levels)][0]
+            out_levels.append(schema.dimensions[dim_idx].all_level)
+            out_bounds.append((0, 0))
+        return StreamInfo(tuple(out_levels), Slack(tuple(out_bounds)))
+
+    for i in range(width):
+        dim_idx = scan_key.parts[i][0]
+        hierarchy = schema.dimensions[dim_idx].hierarchy
+        levels_here = {info.order_levels[i] for info in inputs}
+        if len(levels_here) > 1:
+            # Inputs disagree at this attribute: the common order stops.
+            return pad_rest()
+        in_level = levels_here.pop()
+        lo = min(info.slack.bounds[i][0] for info in inputs)
+        hi = max(info.slack.bounds[i][1] for info in inputs)
+        region_level = region_levels[dim_idx]
+        if in_level == hierarchy.all_level:
+            # The inputs stop constraining the order here.
+            return pad_rest()
+        if in_level < region_level:
+            # The input order is finer than the measure's domain: the
+            # output is ordered by the coarsened attribute and the
+            # slack rescales by card(D_in, D_region); nothing after
+            # this attribute survives into the output order.
+            out_levels.append(region_level)
+            if region_level == hierarchy.all_level:
+                out_bounds.append((0, 0))
+            else:
+                card = max(1, hierarchy.fanout(in_level, region_level))
+                out_bounds.append((lo // card - 1, -(-hi // card)))
+            return pad_rest()
+        out_levels.append(in_level)
+        out_bounds.append((lo, hi))
+        if lo != hi:
+            # Asynchronous at this attribute: finer positions cannot be
+            # trusted, stop the order here.
+            return pad_rest()
+    return StreamInfo(tuple(out_levels), Slack(tuple(out_bounds)))

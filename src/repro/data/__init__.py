@@ -1,0 +1,25 @@
+"""Dataset generators for the paper's experiments.
+
+Real substitutes for data we cannot ship (see DESIGN.md):
+
+- :mod:`repro.data.synthetic` — the Section 7.1 synthetic workload
+  (uniform values, shared 4-level hierarchy, 10-way fan-out);
+- :mod:`repro.data.netlog` — Dshield-style network intrusion logs with
+  realistic skew (heavy-hitter sources, port concentration, diurnal
+  time-of-day cycles);
+- :mod:`repro.data.honeynet` — LBL-HoneyNet-style background radiation
+  with injected worm-escalation and multi-recon episodes, exercising
+  the Section 7.2 analysis queries.
+"""
+
+from repro.data.synthetic import SyntheticGenerator, synthetic_dataset
+from repro.data.netlog import NetworkLogGenerator
+from repro.data.honeynet import HoneynetGenerator, honeynet_dataset
+
+__all__ = [
+    "SyntheticGenerator",
+    "synthetic_dataset",
+    "NetworkLogGenerator",
+    "HoneynetGenerator",
+    "honeynet_dataset",
+]

@@ -1,0 +1,131 @@
+"""Dshield-style network intrusion log generator.
+
+A substitute for the Dshield.org feed of the paper's running example
+(Table 1: Timestamp, Source, Target, TargetPort).  The generator
+reproduces the statistical structure the paper's queries depend on:
+
+- **heavy-hitter sources**: a small population of scanners produces
+  most packets (approximated Zipf over a source pool);
+- **port concentration**: most packets target a handful of well-known
+  ports (135/445/80/22/1433...), with a uniform scatter elsewhere;
+- **diurnal cycles**: hourly volume follows a day/night sine-like
+  profile, so time-window queries see realistic variation;
+- **target locality**: targets cluster into a few monitored /16
+  networks, so /24-level grouping is meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from repro.schema.dataset_schema import (
+    DatasetSchema,
+    Record,
+    network_log_schema,
+)
+from repro.storage.table import InMemoryDataset
+
+#: Ports that dominate background attack traffic, with weights.
+_HOT_PORTS = (
+    (445, 30),  # SMB worms
+    (135, 20),  # RPC
+    (80, 12),
+    (22, 8),
+    (1433, 8),  # MSSQL
+    (3389, 6),
+    (23, 6),
+    (25, 4),
+)
+
+_SECONDS_PER_HOUR = 3600
+
+
+class NetworkLogGenerator:
+    """Seeded generator of Dshield-like attack-packet records."""
+
+    def __init__(
+        self,
+        start_time: int = 3600 * 24 * 10,
+        num_sources: int = 2000,
+        num_target_subnets: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.schema: DatasetSchema = network_log_schema(span_years=1)
+        self.start_time = start_time
+        self.seed = seed
+        rng = random.Random(seed)
+        # Source pool with Zipf-ish weights: source i has weight 1/(i+1).
+        self._sources = [
+            (10 << 24) | rng.randrange(1 << 24) for __ in range(num_sources)
+        ]
+        cum = []
+        acc_weight = 0.0
+        for i in range(num_sources):
+            acc_weight += 1.0 / (i + 1)
+            cum.append(acc_weight)
+        self._source_cum_weights = cum
+        # Monitored targets live in a few /16s; /24 and host vary.
+        self._target_nets = [
+            (192 << 24) | (168 << 16),
+            (172 << 24) | (16 << 16),
+            (128 << 24) | (105 << 16),
+        ]
+        self._num_target_subnets = num_target_subnets
+        hot_total = sum(weight for __, weight in _HOT_PORTS)
+        self._hot_ports = [port for port, __ in _HOT_PORTS]
+        self._hot_cum = []
+        acc = 0
+        for __, weight in _HOT_PORTS:
+            acc += weight / hot_total
+            self._hot_cum.append(acc)
+
+    def _diurnal_rate(self, hour_of_day: int) -> float:
+        """Relative volume by hour of day (peaks mid-day, trough ~4am)."""
+        return 1.0 + 0.6 * math.sin((hour_of_day - 4) * math.pi / 12.0)
+
+    def _pick_port(self, rng: random.Random) -> int:
+        if rng.random() < 0.85:
+            u = rng.random()
+            for port, threshold in zip(self._hot_ports, self._hot_cum):
+                if u <= threshold:
+                    return port
+            return self._hot_ports[-1]
+        return rng.randrange(1024, 65536)
+
+    def _pick_target(self, rng: random.Random) -> int:
+        net = rng.choice(self._target_nets)
+        subnet = rng.randrange(self._num_target_subnets)
+        host = rng.randrange(256)
+        return net | (subnet << 8) | host
+
+    def records(self, count: int, hours: int = 48) -> Iterator[Record]:
+        """Yield ``count`` packets spread over ``hours`` hours."""
+        rng = random.Random(self.seed + 1)
+        rates = [
+            self._diurnal_rate((self.start_time // 3600 + h) % 24)
+            for h in range(hours)
+        ]
+        total_rate = sum(rates)
+        produced = 0
+        for hour_index, rate in enumerate(rates):
+            in_hour = round(count * rate / total_rate)
+            if hour_index == hours - 1:
+                in_hour = count - produced
+            base = self.start_time + hour_index * _SECONDS_PER_HOUR
+            for __ in range(in_hour):
+                timestamp = base + rng.randrange(_SECONDS_PER_HOUR)
+                source = rng.choices(
+                    self._sources, cum_weights=self._source_cum_weights
+                )[0]
+                yield (
+                    timestamp,
+                    source,
+                    self._pick_target(rng),
+                    self._pick_port(rng),
+                )
+            produced += in_hour
+
+    def dataset(self, count: int, hours: int = 48) -> InMemoryDataset:
+        return InMemoryDataset(self.schema, self.records(count, hours))

@@ -1,0 +1,56 @@
+"""Evaluation engines (Section 5).
+
+Three interchangeable engines evaluate a compiled workflow:
+
+- :class:`~repro.engine.naive.RelationalEngine` — the baseline: executes
+  the Table 2-4 SQL equivalents measure by measure, re-scanning the fact
+  table per basic measure and spooling every intermediate (this is the
+  "DB" series of the paper's figures);
+- :class:`~repro.engine.single_scan.SingleScanEngine` — Section 5.1: one
+  unsorted scan feeding all basic-measure hash tables, composites
+  evaluated afterwards in topological order (unbounded memory);
+- :class:`~repro.engine.sort_scan.SortScanEngine` — Section 5.3: the
+  one-pass sort/scan algorithm with watermark-driven early flushing;
+- :class:`~repro.engine.multi_pass.MultiPassEngine` — Section 5.3
+  (multi-pass): several sort/scan iterations under a memory budget.
+
+All engines consume the same :class:`~repro.engine.compile.CompiledGraph`
+and produce identical measure tables, which the test suite verifies.
+"""
+
+from repro.engine.interfaces import Engine, EvalResult, EvalStats
+from repro.engine.compile import (
+    BasicNode,
+    CombineNode,
+    CompiledGraph,
+    CompositeNode,
+    Node,
+    compile_measures,
+    compile_workflow,
+)
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.engine.multi_pass import MultiPassEngine
+from repro.engine.partitioned import PartitionedEngine
+from repro.engine.plan import StreamingPlan, build_streaming_plan
+
+__all__ = [
+    "Engine",
+    "EvalResult",
+    "EvalStats",
+    "CompiledGraph",
+    "Node",
+    "BasicNode",
+    "CompositeNode",
+    "CombineNode",
+    "compile_measures",
+    "compile_workflow",
+    "RelationalEngine",
+    "SingleScanEngine",
+    "SortScanEngine",
+    "MultiPassEngine",
+    "PartitionedEngine",
+    "StreamingPlan",
+    "build_streaming_plan",
+]

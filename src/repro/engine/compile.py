@@ -1,0 +1,436 @@
+"""Compile AW-RA expressions into an evaluation graph (Section 5.2).
+
+The evaluation graph normalizes the algebra into three node types that
+all engines share:
+
+- :class:`BasicNode` — ``g_{G,agg}(σ(D))``: aggregates fact records;
+- :class:`CompositeNode` — a roll-up (``g`` over another measure) or a
+  match join; owns an optional *keys* arc (the paper's ``S``) and one
+  *values* arc (the paper's ``T``);
+- :class:`CombineNode` — a combine join over same-granularity inputs.
+
+Selections never become nodes: a ``σ`` over a measure folds into the
+consuming arc as a filter (and into the output emission when the
+selection is itself the query result).  This mirrors the paper's
+treatment of selections as cheap streaming predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import PlanError
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import MatchCondition
+from repro.algebra.expr import (
+    Aggregate,
+    CombineFn,
+    CombineJoin,
+    Expr,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+
+EntryFilter = Callable[[tuple, object], bool]
+
+
+class Arc:
+    """A computational arc: finalized entries of ``src`` update ``dst``.
+
+    Attributes:
+        role: ``"values"`` (measure-bearing input of a composite),
+            ``"keys"`` (cell provider of a match join), or
+            ``"combine"`` (slot ``index`` of a combine join).
+        filter: Optional compiled ``(key, value) -> bool`` selection
+            applied to entries travelling this arc.
+        cond: The match condition, for ``values`` arcs of match joins.
+    """
+
+    __slots__ = ("src", "dst", "role", "index", "filter", "cond")
+
+    def __init__(
+        self,
+        src: "Node",
+        dst: "Node",
+        role: str,
+        index: int = 0,
+        entry_filter: Optional[EntryFilter] = None,
+        cond: Optional[MatchCondition] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.role = role
+        self.index = index
+        self.filter = entry_filter
+        self.cond = cond
+
+    def __repr__(self) -> str:
+        tag = f"{self.role}[{self.index}]" if self.role == "combine" else (
+            self.role
+        )
+        return f"Arc({self.src.name} -> {self.dst.name}, {tag})"
+
+
+class Node:
+    """Base evaluation-graph node: one measure table."""
+
+    def __init__(self, name: str, granularity: Granularity) -> None:
+        self.name = name
+        self.granularity = granularity
+        self.in_arcs: list[Arc] = []
+        self.out_arcs: list[Arc] = []
+
+    @property
+    def schema(self) -> DatasetSchema:
+        return self.granularity.schema
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.granularity!r})"
+
+
+class BasicNode(Node):
+    """``g_{G,agg}(σ(D))`` — aggregates raw records.
+
+    ``value_index`` is the record field fed to the aggregate, or ``None``
+    for count-star style (the constant 1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        granularity: Granularity,
+        agg: AggSpec,
+        record_filter: Optional[Callable[[tuple], bool]] = None,
+        value_index: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, granularity)
+        self.agg = agg
+        self.record_filter = record_filter
+        self.value_index = value_index
+
+
+class CompositeNode(Node):
+    """Roll-up or match join.
+
+    A pure roll-up (``cond is None``) has a single values arc and its
+    output keys are the generalizations of its input keys.  A match
+    join additionally has a keys arc providing the output cells, with
+    left-outer semantics: cells with no matching values still appear.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        granularity: Granularity,
+        agg: AggSpec,
+        cond: Optional[MatchCondition] = None,
+    ) -> None:
+        super().__init__(name, granularity)
+        self.agg = agg
+        self.cond = cond
+
+    @property
+    def values_arc(self) -> Arc:
+        for arc in self.in_arcs:
+            if arc.role == "values":
+                return arc
+        raise PlanError(f"node {self.name!r} has no values arc")
+
+    @property
+    def keys_arc(self) -> Optional[Arc]:
+        for arc in self.in_arcs:
+            if arc.role == "keys":
+                return arc
+        return None
+
+
+class CombineNode(Node):
+    """``S ⋈̄_fc (T_1..T_n)`` — slot 0 is the base (cell provider)."""
+
+    def __init__(
+        self,
+        name: str,
+        granularity: Granularity,
+        fn: CombineFn,
+        num_inputs: int,
+    ) -> None:
+        super().__init__(name, granularity)
+        self.fn = fn
+        self.num_inputs = num_inputs
+
+
+class CompiledGraph:
+    """The evaluation graph: nodes in topological order, plus outputs.
+
+    ``outputs`` maps each query-output name to ``(node, filter)`` where
+    ``filter`` is the residual selection to apply at emission time (a
+    ``σ`` sitting on top of the output expression).
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        nodes: list[Node],
+        outputs: dict[str, tuple[Node, Optional[EntryFilter]]],
+    ) -> None:
+        self.schema = schema
+        self.nodes = nodes
+        self.outputs = outputs
+        self._check_topological()
+
+    def _check_topological(self) -> None:
+        seen: set[int] = set()
+        for node in self.nodes:
+            for arc in node.in_arcs:
+                if id(arc.src) not in seen:
+                    raise PlanError(
+                        f"nodes are not topologically ordered: "
+                        f"{node.name!r} before its input {arc.src.name!r}"
+                    )
+            seen.add(id(node))
+
+    @property
+    def basic_nodes(self) -> list[BasicNode]:
+        return [n for n in self.nodes if isinstance(n, BasicNode)]
+
+    def output_names_of(self, node: Node) -> list[str]:
+        return [
+            name
+            for name, (out_node, __) in self.outputs.items()
+            if out_node is node
+        ]
+
+    def describe(self) -> str:
+        """Readable plan listing, one node per line."""
+        lines = []
+        for node in self.nodes:
+            inputs = ", ".join(
+                f"{arc.src.name}:{arc.role}"
+                + (f"[σ]" if arc.filter else "")
+                for arc in node.in_arcs
+            )
+            kind = type(node).__name__
+            extra = ""
+            if isinstance(node, (BasicNode, CompositeNode)):
+                extra = f" agg={node.agg!r}"
+            if isinstance(node, CompositeNode) and node.cond is not None:
+                extra += f" cond={node.cond!r}"
+            if isinstance(node, CombineNode):
+                extra = f" fn={node.fn!r}"
+            lines.append(
+                f"{node.name}: {kind}{node.granularity!r}{extra}"
+                + (f" <- [{inputs}]" if inputs else "")
+            )
+        return "\n".join(lines)
+
+
+class _Compiler:
+    def __init__(self, schema: DatasetSchema) -> None:
+        self.schema = schema
+        self.nodes: list[Node] = []
+        self._memo: dict[int, Node] = {}
+        self._counter = 0
+
+    def _fresh_name(self, hint: str) -> str:
+        self._counter += 1
+        return f"_{hint}{self._counter}"
+
+    def _add(self, node: Node) -> Node:
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def _peel_selects(expr: Expr) -> tuple[Expr, list]:
+        """Strip ``σ`` layers, returning (inner expr, predicates)."""
+        predicates = []
+        while isinstance(expr, Select):
+            predicates.append(expr.predicate)
+            expr = expr.child
+        return expr, predicates
+
+    def _measure_filter(
+        self, predicates: list, granularity: Granularity
+    ) -> Optional[EntryFilter]:
+        if not predicates:
+            return None
+        compiled = [
+            p.compile_for_measure(self.schema, granularity)
+            for p in predicates
+        ]
+        if len(compiled) == 1:
+            return compiled[0]
+
+        def combined(key, value, _fns=tuple(compiled)):
+            return all(fn(key, value) for fn in _fns)
+
+        return combined
+
+    def _record_filter(self, predicates: list):
+        if not predicates:
+            return None
+        compiled = [p.compile_for_fact(self.schema) for p in predicates]
+        if len(compiled) == 1:
+            return compiled[0]
+
+        def combined(record, _fns=tuple(compiled)):
+            return all(fn(record) for fn in _fns)
+
+        return combined
+
+    def compile_expr(self, expr: Expr, name_hint: str = "") -> Node:
+        """Compile (memoized); ``expr`` must not be a bare σ chain —
+        callers peel selections into arc/output filters first."""
+        memo_key = id(expr)
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        node = self._build(expr, name_hint)
+        self._memo[memo_key] = node
+        return node
+
+    def _input(
+        self, expr: Expr
+    ) -> tuple[Node, Optional[EntryFilter]]:
+        """Compile an arc input: peel σ into an entry filter."""
+        inner, predicates = self._peel_selects(expr)
+        if isinstance(inner, FactTable):
+            raise PlanError(
+                "raw fact table used where a measure table is required"
+            )
+        node = self.compile_expr(inner)
+        return node, self._measure_filter(predicates, inner.granularity)
+
+    def _build(self, expr: Expr, name_hint: str) -> Node:
+        if isinstance(expr, Aggregate):
+            inner, predicates = self._peel_selects(expr.child)
+            if isinstance(inner, FactTable):
+                value_index = None
+                if expr.agg.input_field != "*":
+                    value_index = self.schema.measure_index(
+                        expr.agg.input_field
+                    )
+                return self._add(
+                    BasicNode(
+                        name_hint or self._fresh_name("basic"),
+                        expr.granularity,
+                        expr.agg,
+                        record_filter=self._record_filter(predicates),
+                        value_index=value_index,
+                    )
+                )
+            src = self.compile_expr(inner)
+            node = CompositeNode(
+                name_hint or self._fresh_name("rollup"),
+                expr.granularity,
+                expr.agg,
+                cond=None,
+            )
+            arc = Arc(
+                src,
+                node,
+                "values",
+                entry_filter=self._measure_filter(
+                    predicates, inner.granularity
+                ),
+            )
+            src.out_arcs.append(arc)
+            node.in_arcs.append(arc)
+            return self._add(node)
+
+        if isinstance(expr, MatchJoin):
+            keys_node, keys_filter = self._input(expr.target)
+            values_node, values_filter = self._input(expr.source)
+            node = CompositeNode(
+                name_hint or self._fresh_name("match"),
+                expr.granularity,
+                expr.agg,
+                cond=expr.cond,
+            )
+            keys_arc = Arc(
+                keys_node, node, "keys", entry_filter=keys_filter
+            )
+            values_arc = Arc(
+                values_node,
+                node,
+                "values",
+                entry_filter=values_filter,
+                cond=expr.cond,
+            )
+            keys_node.out_arcs.append(keys_arc)
+            values_node.out_arcs.append(values_arc)
+            node.in_arcs.append(keys_arc)
+            node.in_arcs.append(values_arc)
+            return self._add(node)
+
+        if isinstance(expr, CombineJoin):
+            node = CombineNode(
+                name_hint or self._fresh_name("combine"),
+                expr.granularity,
+                expr.fn,
+                num_inputs=1 + len(expr.inputs),
+            )
+            for index, child in enumerate((expr.base, *expr.inputs)):
+                src, entry_filter = self._input(child)
+                arc = Arc(
+                    src,
+                    node,
+                    "combine",
+                    index=index,
+                    entry_filter=entry_filter,
+                )
+                src.out_arcs.append(arc)
+                node.in_arcs.append(arc)
+            return self._add(node)
+
+        if isinstance(expr, FactTable):
+            raise PlanError(
+                "the raw fact table is not a measure; aggregate it first"
+            )
+        if isinstance(expr, Select):
+            raise PlanError(
+                "internal error: selection reached _build unpeeled"
+            )
+        raise PlanError(f"cannot compile expression {expr!r}")
+
+
+def compile_measures(
+    exprs: dict[str, Expr],
+    outputs: Optional[list[str]] = None,
+) -> CompiledGraph:
+    """Compile named AW-RA expressions into a :class:`CompiledGraph`.
+
+    Args:
+        exprs: Measure name → expression; shared sub-expression
+            *objects* are compiled once (the workflow translator
+            guarantees sharing).
+        outputs: Names to report as query outputs; defaults to all.
+    """
+    if not exprs:
+        raise PlanError("no measures to compile")
+    schema = next(iter(exprs.values())).schema
+    compiler = _Compiler(schema)
+    output_map: dict[str, tuple[Node, Optional[EntryFilter]]] = {}
+    for name, expr in exprs.items():
+        inner, predicates = compiler._peel_selects(expr)
+        node = compiler.compile_expr(inner, name_hint=name)
+        output_map[name] = (
+            node,
+            compiler._measure_filter(predicates, inner.granularity),
+        )
+    wanted = outputs if outputs is not None else list(exprs)
+    missing = [name for name in wanted if name not in output_map]
+    if missing:
+        raise PlanError(f"unknown output measures: {missing}")
+    return CompiledGraph(
+        schema,
+        compiler.nodes,
+        {name: output_map[name] for name in wanted},
+    )
+
+
+def compile_workflow(workflow) -> CompiledGraph:
+    """Compile an :class:`~repro.workflow.AggregationWorkflow`."""
+    exprs = workflow.to_algebra()
+    return compile_measures(exprs, outputs=workflow.outputs())

@@ -1,0 +1,97 @@
+"""Engine interfaces and evaluation statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.storage.sink import MemorySink, Sink
+from repro.storage.table import Dataset, MeasureTable
+
+
+@dataclass
+class EvalStats:
+    """Instrumentation collected by every engine.
+
+    The benchmark harness prints these the way the paper's figures do:
+    wall-clock execution time, a sort/scan cost breakdown (Figure 6(e)),
+    and memory footprints in hash-table entries (the unit the paper's
+    footprint estimates use).
+    """
+
+    engine: str = ""
+    rows_scanned: int = 0
+    scans: int = 0
+    passes: int = 1
+    sort_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    total_seconds: float = 0.0
+    peak_entries: int = 0
+    flushed_entries: int = 0
+    spooled_entries: int = 0
+    notes: str = ""
+
+    def merge(self, other: "EvalStats") -> None:
+        """Accumulate a sub-run (used by the multi-pass engine)."""
+        self.rows_scanned += other.rows_scanned
+        self.scans += other.scans
+        self.sort_seconds += other.sort_seconds
+        self.scan_seconds += other.scan_seconds
+        self.total_seconds += other.total_seconds
+        self.peak_entries = max(self.peak_entries, other.peak_entries)
+        self.flushed_entries += other.flushed_entries
+        self.spooled_entries += other.spooled_entries
+
+
+@dataclass
+class EvalResult:
+    """Measure tables plus the statistics of the run."""
+
+    tables: dict[str, MeasureTable] = field(default_factory=dict)
+    stats: EvalStats = field(default_factory=EvalStats)
+
+    def __getitem__(self, name: str) -> MeasureTable:
+        return self.tables[name]
+
+
+class Engine:
+    """Common engine front door.
+
+    ``evaluate`` accepts either an
+    :class:`~repro.workflow.AggregationWorkflow` or an already compiled
+    :class:`~repro.engine.compile.CompiledGraph` and returns an
+    :class:`EvalResult`.  Subclasses implement :meth:`_run`.
+    """
+
+    name = "engine"
+
+    def evaluate(
+        self,
+        dataset: Dataset,
+        query,
+        sink: Optional[Sink] = None,
+    ) -> EvalResult:
+        from repro.engine.compile import CompiledGraph, compile_workflow
+
+        if isinstance(query, CompiledGraph):
+            graph = query
+        else:
+            graph = compile_workflow(query)
+        if sink is None:
+            sink = MemorySink()
+        for name, (node, __) in graph.outputs.items():
+            sink.open_measure(name, node.granularity)
+        stats = EvalStats(engine=self.name)
+        started = time.perf_counter()
+        self._run(dataset, graph, sink, stats)
+        stats.total_seconds = time.perf_counter() - started
+        sink.close()
+        tables = sink.result() or {}
+        return EvalResult(tables=tables, stats=stats)
+
+    def _run(self, dataset, graph, sink: Sink, stats: EvalStats) -> None:
+        raise NotImplementedError
+
+
+Query = Union["CompiledGraph", "AggregationWorkflow"]  # noqa: F821

@@ -1,0 +1,291 @@
+"""Partitioned (parallelizable) evaluation — the paper's future work.
+
+Section 1: "the approach offers potentially unlimited parallelism and
+ability to distribute computation, but our current implementation does
+not take advantage of these opportunities."  This engine takes the
+first step the paper's language was designed for: range-partition the
+cube space along one dimension, evaluate each partition with an
+independent one-pass sort/scan, and concatenate the (provably disjoint)
+results.
+
+Design:
+
+- The **partition dimension** is range-partitioned at the *coarsest*
+  level any measure uses for it, so every region of every measure falls
+  entirely inside one partition.  Workflows where some measure holds
+  the partition dimension at ``D_ALL`` are rejected — those regions
+  would span partitions and need cross-partition state merging, which
+  is exactly the distributed-aggregation problem the paper defers.
+- Sibling windows and lag sets that cross partition boundaries are
+  handled with **margin replication**: each partition also *reads*
+  records within the workflow's accumulated window reach beyond its
+  boundary, but only *emits* regions inside its own range.  The reach
+  is derived per node by walking the evaluation graph's arcs (the same
+  information the watermark slack uses).
+- Partitions are independent; with ``parallel=True`` they run on a
+  thread pool (each partition scans, sorts, and aggregates its own
+  slice — in CPython the benefit is bounded by the GIL, but the
+  execution structure is exactly the distributable plan shape).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Optional
+
+from repro.errors import PlanError
+from repro.algebra.conditions import Lags, Sibling
+from repro.cube.order import SortKey
+from repro.engine.compile import BasicNode, CompiledGraph
+from repro.engine.interfaces import Engine, EvalStats
+from repro.engine.sort_scan import SortScanEngine, default_sort_key
+from repro.storage.sink import MemorySink, Sink
+from repro.storage.table import Dataset
+
+
+def partition_level(graph: CompiledGraph, dim: int) -> int:
+    """The coarsest non-ALL level of ``dim`` across all measures.
+
+    Raises:
+        PlanError: if any node holds ``dim`` at ``D_ALL`` (its regions
+            would span partitions).
+    """
+    schema = graph.schema
+    all_level = schema.dimensions[dim].all_level
+    coarsest = 0
+    for node in graph.nodes:
+        level = node.granularity.levels[dim]
+        if level == all_level:
+            raise PlanError(
+                f"measure {node.name!r} aggregates dimension "
+                f"{schema.dimensions[dim].name!r} to ALL; its regions "
+                f"span partitions (cross-partition merging is not "
+                f"supported — pick another partition dimension)"
+            )
+        coarsest = max(coarsest, level)
+    return coarsest
+
+
+def window_reach(
+    graph: CompiledGraph, dim: int, level: int
+) -> tuple[int, int]:
+    """Accumulated (backward, forward) window reach on ``dim``.
+
+    Walks the evaluation graph in topological order, accumulating
+    sibling/lag extents along every arc path.  To keep units coherent
+    across mixed-level chains, all extents are tracked in *base-domain*
+    units (a window of ``w`` steps at level ``l`` spans at most
+    ``(w + 1) * fanout(base, l)`` base values, the ``+1`` covering
+    alignment) and converted to ``level`` units only at the end,
+    rounding up with one extra unit of slop.  Over-estimating the
+    margin costs a few duplicate reads; under-estimating would corrupt
+    boundary regions, so every conversion rounds conservatively.
+    """
+    schema = graph.schema
+    hierarchy = schema.dimensions[dim].hierarchy
+
+    def to_base(extent: int, at_level: int) -> int:
+        if extent <= 0:
+            return 0
+        if at_level == 0:
+            return extent
+        return (extent + 1) * hierarchy.fanout(0, at_level)
+
+    reach: dict[str, tuple[int, int]] = {}  # in base units
+    for node in graph.nodes:
+        if isinstance(node, BasicNode):
+            reach[node.name] = (0, 0)
+            continue
+        before = after = 0
+        for arc in node.in_arcs:
+            src_before, src_after = reach[arc.src.name]
+            arc_level = node.granularity.levels[dim]
+            arc_before = arc_after = 0
+            if isinstance(arc.cond, Sibling):
+                windows = arc.cond.resolve(schema)
+                if dim in windows:
+                    w_before, w_after = windows[dim]
+                    arc_before = to_base(max(0, w_before), arc_level)
+                    arc_after = to_base(max(0, w_after), arc_level)
+            elif isinstance(arc.cond, Lags):
+                offsets = arc.cond.resolve(schema)
+                if dim in offsets:
+                    deltas = offsets[dim]
+                    arc_before = to_base(max(0, -min(deltas)), arc_level)
+                    arc_after = to_base(max(0, max(deltas)), arc_level)
+            before = max(before, src_before + arc_before)
+            after = max(after, src_after + arc_after)
+        reach[node.name] = (before, after)
+
+    base_before = max(b for b, __ in reach.values())
+    base_after = max(a for __, a in reach.values())
+    unit = 1 if level == 0 else max(1, hierarchy.fanout(0, level))
+
+    def to_level(base_extent: int) -> int:
+        if base_extent <= 0:
+            return 0
+        return -(-base_extent // unit) + 1
+
+    return to_level(base_before), to_level(base_after)
+
+
+class _SliceDataset(Dataset):
+    """A dataset view: records whose partition value is in a range."""
+
+    def __init__(self, base: Dataset, value_fn, lo, hi) -> None:
+        self.schema = base.schema
+        self._base = base
+        self._value_fn = value_fn
+        self._lo = lo
+        self._hi = hi
+        self._count: Optional[int] = None
+
+    def scan(self) -> Iterator[tuple]:
+        lo, hi, value_fn = self._lo, self._hi, self._value_fn
+        for record in self._base.scan():
+            if lo <= value_fn(record) < hi:
+                yield record
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for __ in self.scan())
+        return self._count
+
+
+class _RangeSink(Sink):
+    """Forwards only regions owned by this partition."""
+
+    def __init__(
+        self, inner: Sink, dim: int, level: int, lo, hi, graph
+    ) -> None:
+        self._inner = inner
+        self._dim = dim
+        self._lo = lo
+        self._hi = hi
+        schema = graph.schema
+        hierarchy = schema.dimensions[dim].hierarchy
+        self._lift = {}
+        for name, (node, __) in graph.outputs.items():
+            node_level = node.granularity.levels[dim]
+            self._lift[name] = hierarchy.mapper(node_level, level)
+
+    def open_measure(self, name, granularity) -> None:
+        self._inner.open_measure(name, granularity)
+
+    def emit(self, name, key, value) -> None:
+        lifted = self._lift[name]
+        component = key[self._dim]
+        if lifted is not None:
+            component = lifted(component)
+        if self._lo <= component < self._hi:
+            self._inner.emit(name, key, value)
+
+
+class PartitionedEngine(Engine):
+    """Range-partitioned, optionally parallel, sort/scan evaluation.
+
+    Args:
+        partition_dim: Dimension (index or name) to partition on;
+            defaults to the leading dimension of the sort key.
+        num_partitions: Target partition count (actual count may be
+            lower when the dimension has few distinct values).
+        sort_key: Sort key for the per-partition passes.
+        parallel: Evaluate partitions on a thread pool.
+        run_size: External-sort run size per partition.
+    """
+
+    name = "partitioned"
+
+    def __init__(
+        self,
+        partition_dim: Optional[object] = None,
+        num_partitions: int = 4,
+        sort_key: Optional[SortKey] = None,
+        parallel: bool = False,
+        run_size: int = 200_000,
+    ) -> None:
+        if num_partitions < 1:
+            raise PlanError("need at least one partition")
+        self.partition_dim = partition_dim
+        self.num_partitions = num_partitions
+        self.sort_key = sort_key
+        self.parallel = parallel
+        self.run_size = run_size
+
+    def _resolve_dim(self, graph: CompiledGraph, sort_key: SortKey) -> int:
+        if self.partition_dim is None:
+            return sort_key.parts[0][0]
+        if isinstance(self.partition_dim, int):
+            return self.partition_dim
+        return graph.schema.dim_index(self.partition_dim)
+
+    def _run(
+        self,
+        dataset: Dataset,
+        graph: CompiledGraph,
+        sink: Sink,
+        stats: EvalStats,
+    ) -> None:
+        sort_key = self.sort_key or default_sort_key(graph)
+        dim = self._resolve_dim(graph, sort_key)
+        level = partition_level(graph, dim)
+        schema = graph.schema
+        value_fn = schema.dimensions[dim].hierarchy.mapper(0, level)
+
+        def partition_value(record, _fn=value_fn, _dim=dim):
+            return record[_dim] if _fn is None else _fn(record[_dim])
+
+        # Boundary selection: split the observed distinct partition
+        # values into contiguous chunks.
+        distinct = sorted({partition_value(r) for r in dataset.scan()})
+        if not distinct:
+            return  # empty dataset: nothing to emit
+        count = min(self.num_partitions, len(distinct))
+        boundaries = [
+            distinct[(len(distinct) * i) // count] for i in range(count)
+        ]
+        boundaries.append(distinct[-1] + 1)
+
+        before, after = window_reach(graph, dim, level)
+        stats.notes = (
+            f"{count} partitions on "
+            f"{schema.dimensions[dim].name}@"
+            f"{schema.dimensions[dim].hierarchy.domain(level).name}, "
+            f"margin=({before},{after}), sort_key={sort_key!r}"
+        )
+
+        def run_partition(index: int):
+            lo = boundaries[index]
+            hi = boundaries[index + 1]
+            read_lo = lo - before
+            read_hi = hi + after
+            slice_ds = _SliceDataset(
+                dataset, partition_value, read_lo, read_hi
+            )
+            partial = MemorySink()
+            ranged = _RangeSink(partial, dim, level, lo, hi, graph)
+            engine = SortScanEngine(
+                sort_key=sort_key, run_size=self.run_size
+            )
+            result = engine.evaluate(slice_ds, graph, sink=ranged)
+            return partial, result.stats
+
+        if self.parallel and count > 1:
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                outcomes = list(pool.map(run_partition, range(count)))
+        else:
+            outcomes = [run_partition(i) for i in range(count)]
+
+        for partial, partial_stats in outcomes:
+            stats.rows_scanned += partial_stats.rows_scanned
+            stats.scans += partial_stats.scans
+            stats.sort_seconds += partial_stats.sort_seconds
+            stats.scan_seconds += partial_stats.scan_seconds
+            stats.peak_entries = max(
+                stats.peak_entries, partial_stats.peak_entries
+            )
+            stats.flushed_entries += partial_stats.flushed_entries
+            for name, table in partial.tables.items():
+                for key, value in table.rows.items():
+                    sink.emit(name, key, value)
+        stats.passes = count

@@ -1,0 +1,182 @@
+"""Streaming aggregation plans (Section 5.2).
+
+A :class:`StreamingPlan` is the declarative companion of the sort/scan
+engine's runtime machinery: for a given sort key it records, per
+measure node, the **order** and **slack** of its finalized-entry stream
+(computed with the Table 6 algorithm over the evaluation graph's arcs)
+and the estimated resident footprint.  The engine itself runs off the
+compiled watermark specs — this module exists so plans can be
+*inspected*, costed, and compared before anything executes, which is
+what Section 6's optimizer loop and the paper's "the total memory
+footprint can be estimated before a plan is executed" claim are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.conditions import (
+    ChildParent,
+    Lags,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.cube.order import SortKey
+from repro.cube.slack import Slack, StreamInfo, compute_order_slack
+from repro.engine.compile import Arc, BasicNode, CompiledGraph
+from repro.engine.watermark import build_node_specs
+from repro.optimizer.memory_model import estimate_node_entries
+
+
+@dataclass
+class NodePlan:
+    """Per-node plan facts: stream order, slack, footprint estimate."""
+
+    name: str
+    order_levels: tuple[int, ...]
+    slack: Slack
+    estimated_entries: int
+
+    def describe(self, schema, scan_key: SortKey) -> str:
+        parts = []
+        for position, (dim, __) in enumerate(scan_key.parts):
+            level = self.order_levels[position]
+            hierarchy = schema.dimensions[dim].hierarchy
+            if level == hierarchy.all_level:
+                break
+            parts.append(
+                f"{schema.dimensions[dim].abbrev}:"
+                f"{hierarchy.domain(level).name}"
+            )
+        order = "<" + ", ".join(parts) + ">"
+        return (
+            f"{self.name}: order={order} slack={self.slack} "
+            f"~{self.estimated_entries} resident entries"
+        )
+
+
+@dataclass
+class StreamingPlan:
+    """A complete single-pass plan for one sort key."""
+
+    sort_key: SortKey
+    nodes: dict[str, NodePlan] = field(default_factory=dict)
+
+    @property
+    def total_estimated_entries(self) -> int:
+        return sum(plan.estimated_entries for plan in self.nodes.values())
+
+    def explain(self, graph: CompiledGraph) -> str:
+        """Readable plan listing, one node per line."""
+        lines = [
+            f"sort key: {self.sort_key!r}",
+            f"estimated resident entries: "
+            f"{self.total_estimated_entries}",
+        ]
+        for node in graph.nodes:
+            plan = self.nodes[node.name]
+            lines.append(
+                "  " + plan.describe(graph.schema, self.sort_key)
+            )
+        return "\n".join(lines)
+
+
+def _transform_stream(
+    info: StreamInfo, arc: Arc, scan_key: SortKey
+) -> StreamInfo:
+    """Order/slack transform of one arc (Section 5.3.2's second
+    sub-problem: from finalized entries to the downstream update
+    stream)."""
+    schema = arc.dst.schema
+    if arc.role in ("keys", "combine"):
+        return info
+    cond = arc.cond
+    if cond is None or isinstance(cond, ChildParent):
+        # Roll-up: handled by compute_order_slack's coarsening when the
+        # downstream region set is coarser; pass through here.
+        return info
+    if isinstance(cond, SelfMatch):
+        return info
+    if isinstance(cond, ParentChild):
+        # The coarse value arrives only when its whole extent has been
+        # scanned: the stream lags by the child/parent fan-out on the
+        # first attribute where the source is coarser than the scan.
+        slack = info.slack
+        for position, (dim, scan_level) in enumerate(scan_key.parts):
+            src_level = arc.src.granularity.levels[dim]
+            hierarchy = schema.dimensions[dim].hierarchy
+            if src_level > scan_level:
+                if src_level == hierarchy.all_level:
+                    break
+                fanout = max(1, hierarchy.fanout(scan_level, src_level))
+                slack = slack.shifted(position, -fanout, 0)
+                break
+        return StreamInfo(info.order_levels, slack)
+    if isinstance(cond, Sibling):
+        slack = info.slack
+        windows = cond.resolve(schema)
+        for position, (dim, __) in enumerate(scan_key.parts):
+            if dim in windows:
+                before, after = windows[dim]
+                # The update stream runs ahead by `before` (a T entry
+                # updates S cells up to T+before) and lags by `after`.
+                slack = slack.shifted(position, -max(0, after),
+                                      max(0, before))
+        return StreamInfo(info.order_levels, slack)
+    if isinstance(cond, Lags):
+        slack = info.slack
+        offsets = cond.resolve(schema)
+        for position, (dim, __) in enumerate(scan_key.parts):
+            if dim in offsets:
+                deltas = offsets[dim]
+                slack = slack.shifted(
+                    position, -max(0, max(deltas)), max(0, -min(deltas))
+                )
+        return StreamInfo(info.order_levels, slack)
+    raise AssertionError(f"unreachable condition {cond!r}")
+
+
+def build_streaming_plan(
+    graph: CompiledGraph,
+    sort_key: SortKey,
+    dataset_size: int | None = None,
+) -> StreamingPlan:
+    """Compute order, slack, and footprint for every node of a graph.
+
+    Orders and slacks follow Table 6: a node's output stream info is
+    ``compute_order_slack`` over its (transformed) input streams; the
+    raw scan is a zero-slack stream ordered by the sort key itself.
+    """
+    schema = graph.schema
+    width = len(sort_key.parts)
+    scan_info = StreamInfo(
+        tuple(level for __, level in sort_key.parts), Slack.zero(width)
+    )
+    specs = build_node_specs(graph, sort_key)
+    plan = StreamingPlan(sort_key=sort_key)
+    node_info: dict[str, StreamInfo] = {}
+
+    for node in graph.nodes:
+        if isinstance(node, BasicNode):
+            inputs = [scan_info]
+        else:
+            inputs = [
+                _transform_stream(
+                    node_info[arc.src.name], arc, sort_key
+                )
+                for arc in node.in_arcs
+            ]
+        info = compute_order_slack(
+            schema, sort_key, node.granularity.levels, inputs
+        )
+        node_info[node.name] = info
+        plan.nodes[node.name] = NodePlan(
+            name=node.name,
+            order_levels=info.order_levels,
+            slack=info.slack,
+            estimated_entries=estimate_node_entries(
+                node, specs[node.name], dataset_size
+            ),
+        )
+    return plan

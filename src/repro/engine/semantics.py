@@ -1,0 +1,248 @@
+"""Reference node semantics over fully materialized tables.
+
+These functions define what each evaluation-graph node *means*, given
+complete input tables: they are direct transliterations of the SQL
+equivalents in Tables 2-4 of the paper.  The relational baseline, the
+single-scan engine, and the multi-pass engine's cross-pass combination
+step all evaluate composites through this module, so the streaming
+engine has a single, simple definition of correctness to match.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional
+
+from repro.errors import EvaluationError
+from repro.algebra.conditions import (
+    ChildParent,
+    Lags,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.engine.compile import (
+    Arc,
+    BasicNode,
+    CombineNode,
+    CompositeNode,
+    Node,
+)
+from repro.storage.table import Dataset
+
+
+def filtered_items(arc: Arc, table: dict) -> list[tuple[tuple, object]]:
+    """Entries of the arc's source table that pass the arc's σ."""
+    if arc.filter is None:
+        return list(table.items())
+    entry_filter = arc.filter
+    return [
+        (key, value)
+        for key, value in table.items()
+        if entry_filter(key, value)
+    ]
+
+
+def eval_basic(node: BasicNode, dataset: Dataset) -> dict:
+    """One full scan of the fact table for a single basic measure."""
+    table: dict = {}
+    agg = node.agg.function
+    key_of = node.granularity.key_of_record
+    record_filter = node.record_filter
+    value_index = node.value_index
+    for record in dataset.scan():
+        if record_filter is not None and not record_filter(record):
+            continue
+        key = key_of(record)
+        value = 1 if value_index is None else record[value_index]
+        state = table.get(key)
+        if state is None and key not in table:
+            state = agg.create()
+        table[key] = agg.update(state, value)
+    return {key: agg.finalize(state) for key, state in table.items()}
+
+
+def update_basic_tables(
+    record: tuple,
+    nodes_state: list[tuple[BasicNode, dict]],
+) -> None:
+    """Update *all* basic-measure hash tables with one record.
+
+    This is the heart of the single-scan algorithm (Section 5.1): every
+    basic measure is maintained simultaneously during one pass.
+    """
+    for node, table in nodes_state:
+        if node.record_filter is not None and not node.record_filter(
+            record
+        ):
+            continue
+        key = node.granularity.key_of_record(record)
+        value = 1 if node.value_index is None else record[node.value_index]
+        agg = node.agg.function
+        state = table.get(key)
+        if state is None and key not in table:
+            state = agg.create()
+        table[key] = agg.update(state, value)
+
+
+def finalize_basic(node: BasicNode, raw_table: dict) -> dict:
+    """Finalize a basic node's accumulated states into values."""
+    agg = node.agg.function
+    return {key: agg.finalize(state) for key, state in raw_table.items()}
+
+
+def eval_composite(node: CompositeNode, tables: dict[str, dict]) -> dict:
+    """Evaluate a roll-up or match join from complete input tables."""
+    values_arc = node.values_arc
+    source_items = filtered_items(values_arc, tables[values_arc.src.name])
+    source_gran = values_arc.src.granularity
+    agg = node.agg.function
+
+    if node.cond is None:
+        # Pure roll-up: GROUP BY the generalized key (Table 2).
+        grouped: dict = {}
+        for key, value in source_items:
+            out_key = node.granularity.generalize_key(key, source_gran)
+            state = grouped.get(out_key)
+            if state is None and out_key not in grouped:
+                state = agg.create()
+            grouped[out_key] = agg.update(state, value)
+        return {key: agg.finalize(state) for key, state in grouped.items()}
+
+    keys_arc = node.keys_arc
+    if keys_arc is None:
+        raise EvaluationError(
+            f"match-join node {node.name!r} has no keys arc"
+        )
+    cell_keys = [
+        key
+        for key, __ in filtered_items(keys_arc, tables[keys_arc.src.name])
+    ]
+
+    cond = node.cond
+    if isinstance(cond, SelfMatch):
+        source = dict(source_items)
+        result = {}
+        for s_key in cell_keys:
+            state = agg.create()
+            if s_key in source:
+                state = agg.update(state, source[s_key])
+            result[s_key] = agg.finalize(state)
+        return result
+
+    if isinstance(cond, ParentChild):
+        source = dict(source_items)
+        result = {}
+        for s_key in cell_keys:
+            ancestor = cond.ancestor(s_key, node.granularity, source_gran)
+            state = agg.create()
+            if ancestor in source:
+                state = agg.update(state, source[ancestor])
+            result[s_key] = agg.finalize(state)
+        return result
+
+    if isinstance(cond, ChildParent):
+        grouped: dict = {}
+        for key, value in source_items:
+            out_key = node.granularity.generalize_key(key, source_gran)
+            grouped.setdefault(out_key, []).append(value)
+        result = {}
+        for s_key in cell_keys:
+            state = agg.create()
+            for value in grouped.get(s_key, ()):
+                state = agg.update(state, value)
+            result[s_key] = agg.finalize(state)
+        return result
+
+    if isinstance(cond, Sibling):
+        source = dict(source_items)
+        windows = cond.resolve(node.schema)
+        result = {}
+        for s_key in cell_keys:
+            state = agg.create()
+            for t_key in _neighbor_keys(s_key, windows):
+                if t_key in source:
+                    state = agg.update(state, source[t_key])
+            result[s_key] = agg.finalize(state)
+        return result
+
+    if isinstance(cond, Lags):
+        source = dict(source_items)
+        offsets = cond.resolve(node.schema)
+        result = {}
+        for s_key in cell_keys:
+            state = agg.create()
+            for t_key in _lag_keys(s_key, offsets):
+                if t_key in source:
+                    state = agg.update(state, source[t_key])
+            result[s_key] = agg.finalize(state)
+        return result
+
+    raise EvaluationError(f"unsupported match condition {cond!r}")
+
+
+def _neighbor_keys(s_key: tuple, windows: dict):
+    """Enumerate ``T.X ∈ [S.X - before, S.X + after]`` neighbours."""
+    dim_ranges = []
+    for i, component in enumerate(s_key):
+        if i in windows:
+            before, after = windows[i]
+            lo = max(0, component - before)
+            dim_ranges.append(range(lo, component + after + 1))
+        else:
+            dim_ranges.append((component,))
+    return product(*dim_ranges)
+
+
+def _lag_keys(s_key: tuple, offsets: dict):
+    """Enumerate ``T.X = S.X + delta`` neighbours for lag sets."""
+    dim_values = []
+    for i, component in enumerate(s_key):
+        if i in offsets:
+            dim_values.append(
+                sorted({component + delta for delta in offsets[i]})
+            )
+        else:
+            dim_values.append((component,))
+    return product(*dim_values)
+
+
+def eval_combine(node: CombineNode, tables: dict[str, dict]) -> dict:
+    """Evaluate a combine join (Table 4's chained left outer joins)."""
+    slots: list[Optional[dict]] = [None] * node.num_inputs
+    for arc in node.in_arcs:
+        filtered = dict(filtered_items(arc, tables[arc.src.name]))
+        if slots[arc.index] is not None:
+            raise EvaluationError(
+                f"combine node {node.name!r} has duplicate slot "
+                f"{arc.index}"
+            )
+        slots[arc.index] = filtered
+    if any(slot is None for slot in slots):
+        raise EvaluationError(
+            f"combine node {node.name!r} is missing input slots"
+        )
+    base = slots[0]
+    fn = node.fn
+    result = {}
+    for key, base_value in base.items():
+        args = [base_value] + [slot.get(key) for slot in slots[1:]]
+        result[key] = fn(*args)
+    return result
+
+
+def eval_node_from_tables(
+    node: Node, tables: dict[str, dict], dataset: Optional[Dataset] = None
+) -> dict:
+    """Dispatch helper: evaluate any node given its inputs."""
+    if isinstance(node, BasicNode):
+        if dataset is None:
+            raise EvaluationError(
+                f"basic node {node.name!r} needs the dataset"
+            )
+        return eval_basic(node, dataset)
+    if isinstance(node, CompositeNode):
+        return eval_composite(node, tables)
+    if isinstance(node, CombineNode):
+        return eval_combine(node, tables)
+    raise EvaluationError(f"unknown node type {type(node).__name__}")

@@ -1,0 +1,514 @@
+"""The one-pass Sort/Scan engine (Section 5.3, Tables 7 and 8).
+
+The dataset is sorted by a chosen sort key and scanned once.  Every
+record updates the basic-measure hash tables; whenever the scan position
+advances, a *flush cascade* runs through the evaluation graph in
+topological order: each node's finalized entries (per the watermark
+predicates of :mod:`repro.engine.watermark`) are finalized, emitted,
+propagated along their computational arcs, and evicted.  This is what
+keeps the memory footprint bounded by the plan's slack instead of the
+dataset's size.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Optional
+
+from repro.errors import EvaluationError, MemoryBudgetExceeded
+from repro.algebra.conditions import (
+    ChildParent,
+    Lags,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.cube.order import SortKey
+from repro.engine.compile import (
+    Arc,
+    BasicNode,
+    CombineNode,
+    CompiledGraph,
+    CompositeNode,
+    Node,
+)
+from repro.engine.interfaces import Engine, EvalStats
+from repro.engine.watermark import NodeChecker, build_node_specs
+from repro.storage.external_sort import DEFAULT_RUN_SIZE, external_sort
+from repro.storage.flatfile import FlatFileDataset, write_flatfile
+from repro.storage.sink import Sink
+from repro.storage.table import Dataset, InMemoryDataset
+
+_MISSING = object()
+
+
+def default_sort_key(graph: CompiledGraph) -> SortKey:
+    """Heuristic sort key: every referenced dimension at the finest
+    level any node uses, in schema order.
+
+    The optimizer (:mod:`repro.optimizer`) searches for better keys;
+    this default guarantees a *correct* streaming plan for any graph.
+    """
+    schema = graph.schema
+    finest = [d.all_level for d in schema.dimensions]
+    for node in graph.nodes:
+        for dim, level in enumerate(node.granularity.levels):
+            finest[dim] = min(finest[dim], level)
+    parts = [
+        (dim, level)
+        for dim, level in enumerate(finest)
+        if level != schema.dimensions[dim].all_level
+    ]
+    if not parts:
+        # Every measure is global; any order works.
+        parts = [(0, 0)]
+    return SortKey(schema, parts)
+
+
+class _RuntimeNode:
+    """Per-node runtime state for one sort/scan pass."""
+
+    __slots__ = (
+        "node",
+        "kind",
+        "table",
+        "parents",
+        "checker",
+        "outputs",
+        "flushed_keys",
+        "src_levels",
+        "touched",
+    )
+
+    def __init__(self, node: Node, checker: NodeChecker, outputs) -> None:
+        self.node = node
+        self.table: dict = {}
+        self.parents: Optional[dict] = None
+        self.checker = checker
+        self.outputs = outputs  # list of (name, out_filter)
+        self.flushed_keys: Optional[set] = None
+        self.src_levels: Optional[tuple] = None
+        #: Set when upstream delivered entries since the last flush scan.
+        self.touched = False
+        if isinstance(node, BasicNode):
+            self.kind = "basic"
+        elif isinstance(node, CombineNode):
+            self.kind = "combine"
+        elif isinstance(node, CompositeNode):
+            if node.cond is None:
+                self.kind = "rollup"
+            elif isinstance(node.cond, ParentChild):
+                self.kind = "pc-match"
+                self.parents = {}
+                self.src_levels = node.values_arc.src.granularity.levels
+            else:
+                self.kind = "match"
+        else:  # pragma: no cover - compile produces only these kinds
+            raise EvaluationError(f"unknown node type {node!r}")
+
+    def entries(self) -> int:
+        total = len(self.table)
+        if self.parents is not None:
+            total += len(self.parents)
+        return total
+
+
+class SortScanEngine(Engine):
+    """One-pass sort/scan with watermark-driven early flushing.
+
+    Args:
+        sort_key: The pass's sort key; when omitted, a safe default is
+            derived from the graph (see :func:`default_sort_key`), or —
+            if ``optimize`` is True — the brute-force optimizer picks
+            the estimated-minimal-footprint key (Section 6).
+        optimize: Search sort orders with the optimizer when no key is
+            given.
+        run_size: In-memory run size for the external sort; datasets at
+            most this large sort fully in memory.
+        memory_budget_entries: Optional hard cap on resident entries
+            (hash tables plus parent side tables), checked at every
+            cascade; exceeding raises
+            :class:`~repro.errors.MemoryBudgetExceeded`.
+        cascade_prefix: How many leading sort-key components trigger a
+            flush cascade when they change.  Watermark bounds are
+            consistent functions of the scan position, so flushing at a
+            *subset* of position changes is always correct — it merely
+            lets a little more state accumulate between cascades in
+            exchange for far less per-record bookkeeping.  ``1`` (the
+            default) cascades when the most significant component
+            advances; raise it to flush more eagerly.
+        max_records_between_cascades: Safety valve forcing a cascade
+            after this many records even if the trigger prefix never
+            changes (bounds memory under extreme key skew).
+        assert_no_late_updates: Testing hook — track every flushed key
+            and raise if any update arrives for a finalized entry.
+            This turns the watermark-safety theorem into a runtime
+            assertion (used by the property-based tests).
+    """
+
+    name = "sort-scan"
+
+    def __init__(
+        self,
+        sort_key: Optional[SortKey] = None,
+        optimize: bool = False,
+        run_size: int = DEFAULT_RUN_SIZE,
+        memory_budget_entries: Optional[int] = None,
+        assert_no_late_updates: bool = False,
+        cascade_prefix: int = 1,
+        max_records_between_cascades: int = 4096,
+    ) -> None:
+        self.sort_key = sort_key
+        self.optimize = optimize
+        self.run_size = run_size
+        self.memory_budget_entries = memory_budget_entries
+        self.assert_no_late_updates = assert_no_late_updates
+        self.cascade_prefix = max(1, cascade_prefix)
+        self.max_records_between_cascades = max_records_between_cascades
+        self._cascade_count = 0
+
+    # -- top level ---------------------------------------------------------
+
+    def _run(
+        self,
+        dataset: Dataset,
+        graph: CompiledGraph,
+        sink: Sink,
+        stats: EvalStats,
+    ) -> None:
+        sort_key = self.sort_key
+        if sort_key is None:
+            if self.optimize:
+                from repro.optimizer.brute_force import best_sort_key
+
+                sort_key = best_sort_key(graph)
+            else:
+                sort_key = default_sort_key(graph)
+        stats.notes = f"sort_key={sort_key!r}"
+
+        specs = build_node_specs(graph, sort_key)
+        runtime: dict[str, _RuntimeNode] = {}
+        for node in graph.nodes:
+            checker = NodeChecker(node, specs[node.name])
+            outputs = [
+                (name, graph.outputs[name][1])
+                for name in graph.output_names_of(node)
+            ]
+            rt = _RuntimeNode(node, checker, outputs)
+            if self.assert_no_late_updates:
+                rt.flushed_keys = set()
+            runtime[node.name] = rt
+        topo_runtime = [runtime[node.name] for node in graph.nodes]
+        # Precompiled per-basic-node update plan: (filter, key_fn,
+        # value_index, aggregate, table, runtime) — the innermost loop.
+        basic_plan = [
+            (
+                rt.node.record_filter,
+                rt.node.granularity.record_key_fn(),
+                rt.node.value_index,
+                rt.node.agg.function,
+                rt.table,
+                rt,
+            )
+            for rt in topo_runtime
+            if isinstance(rt.node, BasicNode)
+        ]
+
+        # ---- sort phase ---------------------------------------------------
+        mapper = sort_key.record_mapper()
+        sort_started = time.perf_counter()
+        records, cleanup = self._sorted_records(dataset, mapper, stats)
+        stats.sort_seconds = time.perf_counter() - sort_started
+
+        # ---- scan phase ---------------------------------------------------
+        scan_started = time.perf_counter()
+        prefix = self.cascade_prefix
+        force_every = self.max_records_between_cascades
+        try:
+            prev_trigger: Optional[tuple] = None
+            since_cascade = 0
+            rows = 0
+            for record in records:
+                pos = mapper(record)
+                trigger = pos[:prefix]
+                since_cascade += 1
+                if trigger != prev_trigger or since_cascade >= force_every:
+                    if prev_trigger is not None:
+                        self._cascade(
+                            topo_runtime, runtime, pos, sink, stats,
+                            final=False,
+                        )
+                    prev_trigger = trigger
+                    since_cascade = 0
+                for rec_filter, key_fn, value_index, agg, table, rt in (
+                    basic_plan
+                ):
+                    if rec_filter is not None and not rec_filter(record):
+                        continue
+                    key = key_fn(record)
+                    value = (
+                        1 if value_index is None else record[value_index]
+                    )
+                    state = table.get(key, _MISSING)
+                    if state is _MISSING:
+                        if (
+                            rt.flushed_keys is not None
+                            and key in rt.flushed_keys
+                        ):
+                            raise EvaluationError(
+                                f"late update: record for finalized key "
+                                f"{key} of basic node {rt.node.name!r}"
+                            )
+                        state = agg.create()
+                    table[key] = agg.update(state, value)
+                rows += 1
+            stats.rows_scanned = rows
+            stats.scans = 1
+            self._cascade(
+                topo_runtime, runtime, None, sink, stats, final=True
+            )
+        finally:
+            cleanup()
+        stats.scan_seconds = time.perf_counter() - scan_started
+
+    def _sorted_records(self, dataset: Dataset, mapper, stats: EvalStats):
+        """Sort the dataset; returns (iterable, cleanup callable)."""
+        try:
+            size = len(dataset)
+        except (TypeError, NotImplementedError):
+            size = None
+        if size is not None and size <= self.run_size:
+            if isinstance(dataset, InMemoryDataset):
+                return sorted(dataset.records, key=mapper), lambda: None
+            return sorted(dataset.scan(), key=mapper), lambda: None
+        # Two-phase external sort materialized to a temporary flat
+        # file, so the sort phase's cost is attributable (Figure 6(e)).
+        fd, path = tempfile.mkstemp(prefix="awra-sorted-", suffix=".bin")
+        os.close(fd)
+        write_flatfile(
+            path,
+            dataset.schema,
+            external_sort(dataset.scan(), mapper, run_size=self.run_size),
+        )
+        sorted_dataset = FlatFileDataset(path, dataset.schema)
+
+        def cleanup() -> None:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+        return sorted_dataset.scan(), cleanup
+
+    # -- flush cascade ------------------------------------------------------
+
+    def _cascade(
+        self,
+        topo_runtime: list[_RuntimeNode],
+        runtime: dict[str, _RuntimeNode],
+        pos: Optional[tuple],
+        sink: Sink,
+        stats: EvalStats,
+        final: bool,
+    ) -> None:
+        # Sampling the footprint every cascade is wasteful when the
+        # position changes with nearly every record; every 32 cascades
+        # captures the peak closely (resident state evolves slowly).
+        self._cascade_count += 1
+        if final or self._cascade_count % 32 == 1:
+            resident = 0
+            for rt in topo_runtime:
+                resident += rt.entries()
+            stats.peak_entries = max(stats.peak_entries, resident)
+            budget = self.memory_budget_entries
+            if budget is not None and resident > budget:
+                raise MemoryBudgetExceeded(
+                    resident, budget, where="sort-scan cascade"
+                )
+
+        for rt in topo_runtime:
+            if final:
+                self._flush_node(rt, runtime, sink, stats, final)
+                continue
+            changed = rt.checker.refresh(pos)
+            # Unchanged bounds + no deliveries since the last scan means
+            # the previous flush already drained everything finalizable.
+            if not changed and not rt.touched:
+                continue
+            rt.touched = False
+            self._flush_node(rt, runtime, sink, stats, final)
+
+    def _flush_node(
+        self,
+        rt: _RuntimeNode,
+        runtime: dict[str, _RuntimeNode],
+        sink: Sink,
+        stats: EvalStats,
+        final: bool,
+    ) -> None:
+        table = rt.table
+        if not table:
+            self._gc_parents(rt, final)
+            return
+        if final:
+            ready = sorted(table.keys())
+        else:
+            checker = rt.checker
+            if checker.never:
+                return
+            # The whole resident table must be tested: the plan-time
+            # specs promise downstream nodes that *every* entry below
+            # the bound has been flushed, so none may be skipped.  The
+            # table is small by construction (bounded by the plan's
+            # slack), which keeps this cheap.
+            ready = sorted(
+                key for key in table if checker.is_final(key)
+            )
+            if not ready:
+                self._gc_parents(rt, final)
+                return
+
+        node = rt.node
+        for key in ready:
+            entry = table.pop(key)
+            if rt.flushed_keys is not None:
+                rt.flushed_keys.add(key)
+            emit, value = self._finalize_entry(rt, key, entry)
+            if not emit:
+                continue
+            stats.flushed_entries += 1
+            for name, out_filter in rt.outputs:
+                if out_filter is None or out_filter(key, value):
+                    sink.emit(name, key, value)
+            for arc in rt.node.out_arcs:
+                self._propagate(arc, key, value, runtime)
+        del node
+        self._gc_parents(rt, final)
+
+    def _gc_parents(self, rt: _RuntimeNode, final: bool) -> None:
+        if rt.parents is None or not rt.parents:
+            return
+        if final:
+            rt.parents.clear()
+            return
+        checker = rt.checker
+        src_levels = rt.src_levels
+        drop = [
+            key
+            for key in rt.parents
+            if checker.is_final_at_levels(key, src_levels)
+        ]
+        for key in drop:
+            del rt.parents[key]
+
+    def _finalize_entry(self, rt: _RuntimeNode, key: tuple, entry):
+        """Compute the output value; returns (emit?, value)."""
+        kind = rt.kind
+        agg = getattr(rt.node, "agg", None)
+        if kind in ("basic", "rollup"):
+            return True, agg.function.finalize(entry)
+        if kind == "match":
+            has_key, state = entry
+            if not has_key:
+                return False, None
+            return True, agg.function.finalize(state)
+        if kind == "pc-match":
+            has_key = entry[0]
+            if not has_key:
+                return False, None
+            node = rt.node
+            ancestor = node.cond.ancestor(
+                key,
+                node.granularity,
+                node.values_arc.src.granularity,
+            )
+            state = agg.function.create()
+            if ancestor in rt.parents:
+                state = agg.function.update(state, rt.parents[ancestor])
+            return True, agg.function.finalize(state)
+        if kind == "combine":
+            slots = entry
+            if slots[0] is _MISSING:
+                return False, None
+            args = [
+                slot if slot is not _MISSING else None for slot in slots
+            ]
+            return True, rt.node.fn(*args)
+        raise EvaluationError(f"unknown runtime kind {kind!r}")
+
+    def _propagate(
+        self, arc: Arc, key: tuple, value, runtime: dict[str, _RuntimeNode]
+    ) -> None:
+        if arc.filter is not None and not arc.filter(key, value):
+            return
+        dst = runtime[arc.dst.name]
+        dst.touched = True
+        if dst.flushed_keys is not None and arc.role != "values":
+            if key in dst.flushed_keys:
+                raise EvaluationError(
+                    f"late update: {arc!r} delivered finalized key {key}"
+                )
+
+        if arc.role == "keys":
+            entry = dst.table.get(key)
+            if entry is None:
+                entry = [False, dst.node.agg.function.create()]
+                dst.table[key] = entry
+            entry[0] = True
+            return
+
+        if arc.role == "combine":
+            entry = dst.table.get(key)
+            if entry is None:
+                entry = [_MISSING] * dst.node.num_inputs
+                dst.table[key] = entry
+            entry[arc.index] = value
+            return
+
+        # values arcs --------------------------------------------------
+        node = dst.node
+        agg = node.agg.function
+        cond = arc.cond
+        if dst.kind == "rollup" or isinstance(cond, ChildParent):
+            out_key = node.granularity.lift_fn(arc.src.granularity)(key)
+            self._update_plain(dst, out_key, value, agg)
+            return
+        if isinstance(cond, SelfMatch):
+            self._update_match(dst, key, value, agg)
+            return
+        if isinstance(cond, ParentChild):
+            dst.parents[key] = value
+            return
+        if isinstance(cond, (Sibling, Lags)):
+            for out_key in cond.affected_keys(
+                key, node.granularity, arc.src.granularity
+            ):
+                self._update_match(dst, out_key, value, agg)
+            return
+        raise EvaluationError(f"unsupported condition {cond!r}")
+
+    @staticmethod
+    def _update_plain(dst: _RuntimeNode, key: tuple, value, agg) -> None:
+        if dst.flushed_keys is not None and key in dst.flushed_keys:
+            raise EvaluationError(
+                f"late update for finalized key {key} of {dst.node.name!r}"
+            )
+        table = dst.table
+        state = table.get(key, _MISSING)
+        if state is _MISSING:
+            state = agg.create()
+        table[key] = agg.update(state, value)
+
+    @staticmethod
+    def _update_match(dst: _RuntimeNode, key: tuple, value, agg) -> None:
+        if dst.flushed_keys is not None and key in dst.flushed_keys:
+            raise EvaluationError(
+                f"late update for finalized key {key} of {dst.node.name!r}"
+            )
+        entry = dst.table.get(key)
+        if entry is None:
+            entry = [False, agg.create()]
+            dst.table[key] = entry
+        entry[1] = agg.update(entry[1], value)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the composite-subset-measures library.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so that callers can catch library failures with a single ``except``
+clause while still being able to distinguish the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A dataset schema, dimension, or hierarchy is malformed."""
+
+
+class DomainError(SchemaError):
+    """A value or level does not belong to the domain it was used with."""
+
+
+class GranularityError(ReproError):
+    """A granularity vector is invalid or incompatible with an operation."""
+
+
+class AlgebraError(ReproError):
+    """An AW-RA expression violates the algebra's construction rules.
+
+    The construction rules are listed in Table 5 of the paper: for
+    example, a combine join requires all inputs to share one granularity
+    and forbids the raw fact table as an input.
+    """
+
+
+class WorkflowError(ReproError):
+    """An aggregation workflow is malformed (e.g. a dependency cycle)."""
+
+
+class PlanError(ReproError):
+    """A streaming plan cannot be constructed for the requested query."""
+
+
+class EvaluationError(ReproError):
+    """A runtime failure inside one of the evaluation engines."""
+
+
+class MemoryBudgetExceeded(EvaluationError):
+    """An engine's in-memory state outgrew its configured budget.
+
+    The single-scan engine raises this to signal that a multi-pass
+    sort/scan plan is required (Section 5.1 of the paper notes the
+    single-scan algorithm "might require massive amounts of memory").
+    """
+
+    def __init__(self, used: int, budget: int, where: str = "") -> None:
+        self.used = used
+        self.budget = budget
+        self.where = where
+        suffix = f" in {where}" if where else ""
+        super().__init__(
+            f"memory budget exceeded{suffix}: {used} entries used, "
+            f"budget is {budget}"
+        )
+
+
+class StorageError(ReproError):
+    """A flat-file table is corrupt or was written with another schema."""

@@ -1,0 +1,39 @@
+"""Plan optimization (Section 6 and the tech report's greedy planner).
+
+The evaluation cost of a composite-measure plan is dominated by sorts,
+scans, and the in-memory footprint of the hash tables.  This package
+implements:
+
+- a memory-footprint *estimator* driven by the same watermark specs the
+  engine executes (:mod:`repro.optimizer.memory_model`);
+- the paper's brute-force search over sort orders
+  (:mod:`repro.optimizer.brute_force`) — feasible because the number of
+  dimensions is small;
+- a greedy multi-pass planner (:mod:`repro.optimizer.greedy`) that
+  assigns measures to Sort/Scan iterations under a memory budget, the
+  generalized-assignment flavour the paper sketches.
+"""
+
+from repro.optimizer.memory_model import (
+    estimate_graph_entries,
+    estimate_node_entries,
+)
+from repro.optimizer.brute_force import best_sort_key, candidate_sort_keys
+from repro.optimizer.greedy import PassPlan, plan_passes
+from repro.optimizer.cost_model import (
+    PlanCost,
+    estimate_plan_cost,
+    per_measure_plan_cost,
+)
+
+__all__ = [
+    "estimate_node_entries",
+    "estimate_graph_entries",
+    "best_sort_key",
+    "candidate_sort_keys",
+    "plan_passes",
+    "PassPlan",
+    "PlanCost",
+    "estimate_plan_cost",
+    "per_measure_plan_cost",
+]

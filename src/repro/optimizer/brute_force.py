@@ -1,0 +1,64 @@
+"""Brute-force sort-order search (Section 7: "we used brute force to
+search all possible sort orders and identify the one with the smallest
+(estimated) minimal memory foot print").
+
+Candidates are permutations of the dimensions the query actually
+references, each at the finest level any node uses for it — a finer
+sort level never hurts finalization, so coarser variants are dominated
+and need not be enumerated.  With the paper's four dimensions this is
+at most 24 candidates; a cap keeps pathological schemas bounded.
+"""
+
+from __future__ import annotations
+
+from itertools import islice, permutations
+from typing import Iterator, Optional
+
+from repro.cube.order import SortKey
+from repro.engine.compile import CompiledGraph
+from repro.optimizer.memory_model import estimate_graph_entries
+
+#: Safety cap on enumerated permutations (8 dims = 40320 > cap).
+MAX_CANDIDATES = 5040
+
+
+def _referenced_dims(graph: CompiledGraph) -> list[tuple[int, int]]:
+    """(dim, finest used level) for every non-ALL dimension."""
+    schema = graph.schema
+    finest = [d.all_level for d in schema.dimensions]
+    for node in graph.nodes:
+        for dim, level in enumerate(node.granularity.levels):
+            finest[dim] = min(finest[dim], level)
+    return [
+        (dim, level)
+        for dim, level in enumerate(finest)
+        if level != schema.dimensions[dim].all_level
+    ]
+
+
+def candidate_sort_keys(graph: CompiledGraph) -> Iterator[SortKey]:
+    """All candidate sort keys for a graph (dimension permutations)."""
+    parts = _referenced_dims(graph)
+    if not parts:
+        yield SortKey(graph.schema, [(0, 0)])
+        return
+    for perm in islice(permutations(parts), MAX_CANDIDATES):
+        yield SortKey(graph.schema, list(perm))
+
+
+def best_sort_key(
+    graph: CompiledGraph, dataset_size: Optional[int] = None
+) -> SortKey:
+    """The candidate with the smallest estimated memory footprint.
+
+    Ties break toward the first candidate in permutation order, which
+    keeps plans deterministic.
+    """
+    best: Optional[SortKey] = None
+    best_cost: Optional[int] = None
+    for key in candidate_sort_keys(graph):
+        cost = estimate_graph_entries(graph, key, dataset_size)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = key, cost
+    assert best is not None  # candidate_sort_keys always yields
+    return best

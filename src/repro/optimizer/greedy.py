@@ -1,0 +1,141 @@
+"""Greedy multi-pass planning (Section 5.3 multi-pass + Section 6).
+
+When one Sort/Scan pass cannot hold every measure's state within the
+memory budget, measures are split across passes, each with its own sort
+order.  The underlying optimization problem is a generalized assignment
+problem (NP-hard, as the paper notes); this module implements the
+greedy heuristic the tech report describes: repeatedly pick the sort
+key that lets the largest set of remaining measures stream within
+budget, until every basic measure is assigned.  Composite measures
+whose inputs land in different passes are *deferred*: they are
+evaluated after all passes from the materialized tables ("resort to
+traditional join strategies", Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PlanError
+from repro.cube.order import SortKey
+from repro.engine.compile import BasicNode, CompiledGraph
+from repro.engine.watermark import build_node_specs
+from repro.optimizer.brute_force import candidate_sort_keys
+from repro.optimizer.memory_model import estimate_node_entries
+
+
+@dataclass
+class PassPlan:
+    """One Sort/Scan iteration: a sort key and the nodes it streams."""
+
+    sort_key: SortKey
+    node_names: list[str]
+    estimated_entries: int = 0
+
+
+@dataclass
+class MultiPassPlan:
+    """A complete multi-pass plan."""
+
+    passes: list[PassPlan] = field(default_factory=list)
+    #: Nodes evaluated after the passes, from materialized tables.
+    deferred: list[str] = field(default_factory=list)
+
+    @property
+    def num_passes(self) -> int:
+        return len(self.passes)
+
+
+def _streamable_under_key(
+    graph: CompiledGraph,
+    sort_key: SortKey,
+    unassigned: set[str],
+    budget: Optional[int],
+    dataset_size: Optional[int],
+) -> tuple[list[str], int]:
+    """Greedily grow the set of nodes streamable in one pass.
+
+    A node is admissible when it is still unassigned, all of its inputs
+    are already in this pass (streaming cannot read earlier passes'
+    results mid-scan), and the accumulated footprint estimate stays
+    within budget.  Nodes are considered in topological order.
+    """
+    specs = build_node_specs(graph, sort_key)
+    chosen: list[str] = []
+    chosen_set: set[str] = set()
+    total = 0
+    for node in graph.nodes:
+        if node.name not in unassigned:
+            continue
+        if not isinstance(node, BasicNode) and any(
+            arc.src.name not in chosen_set for arc in node.in_arcs
+        ):
+            continue
+        cost = estimate_node_entries(node, specs[node.name], dataset_size)
+        if budget is not None and total + cost > budget and chosen:
+            continue  # skip nodes that do not fit; keep scanning
+        chosen.append(node.name)
+        chosen_set.add(node.name)
+        total += cost
+    return chosen, total
+
+
+def plan_passes(
+    graph: CompiledGraph,
+    memory_budget_entries: Optional[int] = None,
+    dataset_size: Optional[int] = None,
+    max_passes: int = 8,
+) -> MultiPassPlan:
+    """Assign every node to a Sort/Scan pass or to deferred evaluation.
+
+    Args:
+        graph: The compiled evaluation graph.
+        memory_budget_entries: Per-pass resident-entry budget; ``None``
+            plans a single pass with the best key.
+        dataset_size: Optional row count for tighter estimates.
+        max_passes: Hard limit; exceeded plans raise
+            :class:`~repro.errors.PlanError`.
+    """
+    basics = {
+        node.name for node in graph.nodes if isinstance(node, BasicNode)
+    }
+    unassigned = {node.name for node in graph.nodes}
+    plan = MultiPassPlan()
+
+    while unassigned & basics:
+        if len(plan.passes) >= max_passes:
+            raise PlanError(
+                f"could not plan within {max_passes} passes; "
+                f"{len(unassigned & basics)} basic measures unassigned "
+                f"(budget {memory_budget_entries} entries)"
+            )
+        best: Optional[tuple[list[str], int, SortKey]] = None
+        best_score: Optional[tuple] = None
+        for key in candidate_sort_keys(graph):
+            chosen, total = _streamable_under_key(
+                graph, key, unassigned, memory_budget_entries, dataset_size
+            )
+            covered_basics = sum(1 for name in chosen if name in basics)
+            if covered_basics == 0:
+                continue
+            score = (len(chosen), covered_basics, -total)
+            if best_score is None or score > best_score:
+                best, best_score = (chosen, total, key), score
+        if best is None:
+            # Not even one basic measure fits the budget: force the
+            # first unassigned basic through so progress is guaranteed
+            # (the run will report its true footprint).
+            name = min(unassigned & basics)
+            key = next(candidate_sort_keys(graph))
+            plan.passes.append(PassPlan(key, [name], 0))
+            unassigned.discard(name)
+            continue
+        chosen, total, key = best
+        plan.passes.append(PassPlan(key, chosen, total))
+        unassigned -= set(chosen)
+
+    plan.deferred = [
+        node.name for node in graph.nodes if node.name in unassigned
+    ]
+    return plan

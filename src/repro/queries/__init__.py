@@ -1,0 +1,33 @@
+"""The paper's query library.
+
+Workflow builders for every query the paper evaluates or uses as a
+running example:
+
+- :func:`examples_workflow` — Examples 1-5 of Section 3.1 (traffic
+  counting, busy sources, moving averages, ratios);
+- :func:`q1_workflow` — the Figure 6(a)/6(c) child/parent query
+  (k child measures combined at the parent region);
+- :func:`q2_workflow` — the Figure 6(b)/6(d) sibling query (chains of
+  nested sliding windows);
+- :func:`escalation_workflow` — Section 7.2 network escalation
+  detection;
+- :func:`multi_recon_workflow` — Section 7.2 multi-recon detection;
+- :func:`combined_workflow` — both analyses fused in one workflow
+  (Figure 6(f)).
+"""
+
+from repro.queries.examples import examples_workflow
+from repro.queries.q1_child_parent import q1_workflow
+from repro.queries.q2_sibling_chain import q2_workflow
+from repro.queries.escalation import escalation_workflow
+from repro.queries.multi_recon import multi_recon_workflow
+from repro.queries.combined import combined_workflow
+
+__all__ = [
+    "examples_workflow",
+    "q1_workflow",
+    "q2_workflow",
+    "escalation_workflow",
+    "multi_recon_workflow",
+    "combined_workflow",
+]

@@ -1,0 +1,75 @@
+"""Network escalation detection (Section 7.2, first analysis query).
+
+"identify instances where attack packet volume grows significantly from
+one time period to the next, and contains a measure with several
+sibling match joins.  The intermediate result for this query is quite
+small."
+
+Per (hour, target /24) region: the packet count, the average count over
+the preceding hours (a *backward* sibling window that excludes the
+current hour), their ratio, and an alert measure keeping only regions
+whose ratio exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import Sibling
+from repro.algebra.predicates import Field
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def escalation_workflow(
+    schema: DatasetSchema,
+    lookback_hours: int = 3,
+    min_packets: int = 20,
+    ratio_threshold: float = 3.0,
+    prefix: str = "",
+) -> AggregationWorkflow:
+    """Build the escalation-detection workflow.
+
+    Args:
+        schema: The network-log schema (t/U/T/P).
+        lookback_hours: Width of the backward window the current hour
+            is compared against.
+        min_packets: Volume floor below which no alert fires (filters
+            the noisy ``1 -> 4 packets`` blow-ups).
+        ratio_threshold: ``current / trailing average`` alert cut-off.
+        prefix: Optional measure-name prefix, so this workflow can be
+            merged with others (Figure 6(f)).
+    """
+    wf = AggregationWorkflow(schema, name=f"{prefix}escalation")
+    gran = {"t": "Hour", "T": "/24"}
+
+    wf.basic(f"{prefix}traffic", gran, agg="count")
+    # Trailing average over [t - lookback, t - 1]: several sibling
+    # matches collapse into one windowed match join.
+    wf.match(
+        f"{prefix}prevAvg",
+        gran,
+        source=f"{prefix}traffic",
+        cond=Sibling({"t": (lookback_hours, -1)}),
+        agg="avg",
+    )
+
+    def escalation_ratio(current, trailing):
+        if current is None or current < min_packets:
+            return None
+        if trailing is None or trailing <= 0:
+            # No history: treat as strongly escalating (first sighting).
+            return float(current)
+        return current / trailing
+
+    wf.combine(
+        f"{prefix}escalation",
+        [f"{prefix}traffic", f"{prefix}prevAvg"],
+        fn=escalation_ratio,
+        fn_name="current/trailing",
+        handles_null=True,
+    )
+    wf.filter(
+        f"{prefix}alerts",
+        source=f"{prefix}escalation",
+        where=Field("M") >= ratio_threshold,
+    )
+    return wf

@@ -1,0 +1,90 @@
+"""Examples 1-5 of the paper (Section 3.1) as one aggregation workflow.
+
+Example 1 (traffic counting)::
+
+    ∀c ∈ [t:Hour, U:IP], c.Count = |coverage(c)|
+
+Example 2 (busy source count)::
+
+    ∀c ∈ [t:Hour], c.sCount = |{c' ∈ [t:Hour, U:IP],
+                                 c.t = c'.t, c'.Count > 5}|
+
+Example 3 (busy source traffic): as Example 2, but summing the counts.
+
+Example 4 (moving average)::
+
+    ∀c ∈ [t:Hour], c.avgCount = average{c'.sCount | c' ∈ [t:Hour],
+                                         c'.t ∈ [c.t, c.t+5]}
+
+Example 5 (ratio)::
+
+    ∀c ∈ [t:Hour], c.ratio = c.avgCount / (c.sTraffic / c.sCount)
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import Sibling
+from repro.algebra.predicates import Field
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def examples_workflow(
+    schema: DatasetSchema,
+    busy_threshold: int = 5,
+    window_hours: int = 6,
+) -> AggregationWorkflow:
+    """Build the Examples 1-5 workflow over a network-log schema.
+
+    Args:
+        schema: A schema with ``t`` (time) and ``U`` (source)
+            dimensions — :func:`repro.schema.network_log_schema` fits.
+        busy_threshold: The "at least five outgoing packets" cut-off.
+        window_hours: The moving-average window width.
+    """
+    wf = AggregationWorkflow(schema, name="paper-examples")
+
+    # Example 1: Count = g_{(t:Hour, U:IP), count(*)} D
+    wf.basic("Count", {"t": "Hour", "U": "IP"}, agg="count")
+
+    # Example 2: sCount = g_{(t:Hour), count(*)} (σ_{M>5} Count)
+    wf.rollup(
+        "sCount",
+        {"t": "Hour"},
+        source="Count",
+        where=Field("M") > busy_threshold,
+        agg="count",
+    )
+
+    # Example 3: sTraffic = g_{(t:Hour), sum(M)} (σ_{M>5} Count)
+    wf.rollup(
+        "sTraffic",
+        {"t": "Hour"},
+        source="Count",
+        where=Field("M") > busy_threshold,
+        agg=("sum", "M"),
+    )
+
+    # Example 4: avgCount over the forward window [t, t+5].
+    wf.match(
+        "avgCount",
+        {"t": "Hour"},
+        source="sCount",
+        cond=Sibling({"t": (0, window_hours - 1)}),
+        agg="avg",
+    )
+
+    # Example 5: ratio = avgCount / (sTraffic / sCount)
+    def ratio(avg_count, s_traffic, s_count):
+        if avg_count is None or not s_traffic or not s_count:
+            return None
+        return avg_count / (s_traffic / s_count)
+
+    wf.combine(
+        "ratio",
+        ["avgCount", "sTraffic", "sCount"],
+        fn=ratio,
+        fn_name="avg/(traffic/count)",
+        handles_null=True,
+    )
+    return wf

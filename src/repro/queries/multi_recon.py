@@ -1,0 +1,99 @@
+"""Multi-recon detection (Section 7.2, second analysis query).
+
+"identify instances where attack packets from multiple unique source IP
+addresses target a specific destination network over a specific period
+of time.  This query contains three measures, each of which based on
+child/parent match joins."
+
+Per (hour, target /24) region, three child/parent roll-ups:
+
+1. ``uniqueSources`` — populated (hour, /24, source IP) child regions;
+2. ``uniquePorts`` — populated (hour, /24, port) child regions;
+3. ``packets`` — total packet volume, rolled up from the source-level
+   child measure.
+
+A combine join scores the region and a final filter keeps the recon
+alerts.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.predicates import Field
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def multi_recon_workflow(
+    schema: DatasetSchema,
+    min_sources: int = 30,
+    min_ports: int = 2,
+    prefix: str = "",
+) -> AggregationWorkflow:
+    """Build the multi-recon detection workflow.
+
+    Args:
+        schema: The network-log schema (t/U/T/P).
+        min_sources: Unique-source threshold for an alert.
+        min_ports: Unique-target-port threshold for an alert.
+        prefix: Optional measure-name prefix for workflow fusion.
+    """
+    wf = AggregationWorkflow(schema, name=f"{prefix}multi-recon")
+    parent = {"t": "Hour", "T": "/24"}
+
+    wf.basic(
+        f"{prefix}srcTraffic",
+        {"t": "Hour", "T": "/24", "U": "IP"},
+        agg="count",
+    )
+    wf.basic(
+        f"{prefix}portTraffic",
+        {"t": "Hour", "T": "/24", "P": "Port"},
+        agg="count",
+    )
+    # Three child/parent roll-ups onto the (hour, /24) parent regions.
+    wf.rollup(
+        f"{prefix}uniqueSources",
+        parent,
+        source=f"{prefix}srcTraffic",
+        agg="count",
+    )
+    wf.rollup(
+        f"{prefix}uniquePorts",
+        parent,
+        source=f"{prefix}portTraffic",
+        agg="count",
+    )
+    wf.rollup(
+        f"{prefix}packets",
+        parent,
+        source=f"{prefix}srcTraffic",
+        agg=("sum", "M"),
+    )
+
+    def recon_score(sources, ports, packets):
+        if not sources or not ports or not packets:
+            return None
+        if sources < min_sources or ports < min_ports:
+            return None
+        # Score: breadth of sources weighted by port spread; packet
+        # volume only gates (recon is many-sources, not necessarily
+        # high-volume).
+        return float(sources * ports)
+
+    wf.combine(
+        f"{prefix}reconScore",
+        [
+            f"{prefix}uniqueSources",
+            f"{prefix}uniquePorts",
+            f"{prefix}packets",
+        ],
+        fn=recon_score,
+        fn_name="sources*ports",
+        handles_null=True,
+    )
+    wf.filter(
+        f"{prefix}reconAlerts",
+        source=f"{prefix}reconScore",
+        where=Field("M") > 0,
+    )
+    return wf

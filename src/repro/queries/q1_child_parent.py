@@ -1,0 +1,87 @@
+"""Q1 — the child/parent query of Figures 6(a) and 6(c).
+
+"The first query contains a measure which is computed by combining
+seven aggregations for its child regions. [...]  For the relational
+approach, we use the aggregation function COUNT(DISTINCT(...)) to
+generate the aggregation for child regions."
+
+Construction: ``k`` child measures at distinct granularities strictly
+finer than the parent region set ``(d0:L1)``.  Each child is a basic
+COUNT over its region set; its roll-up to the parent counts the child's
+populated regions — exactly what ``COUNT(DISTINCT child key)`` computes
+in the SQL formulation.  The parent measure combines all ``k``
+roll-ups by summation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def _child_granularities(
+    schema: DatasetSchema, count: int
+) -> list[dict[str, str]]:
+    """``count`` distinct granularities finer than the parent (d0:L1).
+
+    Children always pin d0 to its base level (so they are strictly
+    finer than the parent) and vary the other dimensions/levels.
+    """
+    dims = [d.name for d in schema.dimensions]
+    if len(dims) < 4:
+        raise WorkflowError("Q1 needs the 4-dimensional synthetic schema")
+    menu: list[dict[str, str]] = [
+        {"d0": "d0.L0"},
+        {"d0": "d0.L0", "d1": "d1.L0"},
+        {"d0": "d0.L0", "d1": "d1.L1"},
+        {"d0": "d0.L0", "d2": "d2.L0"},
+        {"d0": "d0.L0", "d2": "d2.L1"},
+        {"d0": "d0.L0", "d3": "d3.L0"},
+        {"d0": "d0.L0", "d3": "d3.L1"},
+        {"d0": "d0.L0", "d1": "d1.L0", "d2": "d2.L1"},
+        {"d0": "d0.L0", "d1": "d1.L1", "d3": "d3.L1"},
+    ]
+    if count > len(menu):
+        raise WorkflowError(
+            f"Q1 supports up to {len(menu)} child measures, asked {count}"
+        )
+    return menu[:count]
+
+
+def q1_workflow(
+    schema: DatasetSchema, num_children: int = 7
+) -> AggregationWorkflow:
+    """Build Q1 with ``num_children`` dependent child measures.
+
+    Figure 6(a) uses seven children; Figure 6(c) sweeps two to six.
+    """
+    wf = AggregationWorkflow(schema, name=f"q1-{num_children}-children")
+    parent_gran = {"d0": "d0.L1"}
+    rollup_names: list[str] = []
+    for i, child_gran in enumerate(_child_granularities(schema, num_children)):
+        # Intermediates are hidden: the query's single reported measure
+        # is the combined parent value, matching the paper's Q1.
+        child = wf.basic(
+            f"child{i}", child_gran, agg="count", hidden=True
+        )
+        rolled = wf.rollup(
+            f"regions{i}",
+            parent_gran,
+            source=child,
+            agg="count",
+            hidden=True,
+        )
+        rollup_names.append(rolled.name)
+
+    def total(*values) -> float:
+        return sum(value or 0 for value in values)
+
+    wf.combine(
+        "combined",
+        rollup_names,
+        fn=total,
+        fn_name="sum-of-region-counts",
+        handles_null=True,
+    )
+    return wf

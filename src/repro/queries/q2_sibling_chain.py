@@ -1,0 +1,64 @@
+"""Q2 — the sibling-match query of Figures 6(b) and 6(d).
+
+"The second query contains a measure which is computed through multiple
+levels (up to seven) of nested sliding windows.  In the database
+system, this is implemented as nested queries with analytical
+functions."
+
+Construction: a basic COUNT per base region of ``d0``, then a chain of
+``depth`` moving-average sibling matches, each averaging the previous
+level over a sliding window along ``d0``.  Figure 6(d) additionally
+sweeps the number of *parallel* chains hanging off the same base
+measure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def q2_workflow(
+    schema: DatasetSchema,
+    depth: int = 2,
+    num_chains: int = 1,
+    window: int = 3,
+) -> AggregationWorkflow:
+    """Build Q2: ``num_chains`` chains of ``depth`` nested windows.
+
+    Args:
+        schema: The synthetic 4-dimensional schema.
+        depth: Nesting levels per chain (the paper's 2-Chain and
+            7-Chain use 2 and 7).
+        num_chains: Parallel chains from the same base measure
+            (Figure 6(d) sweeps 2..7).
+        window: Sliding-window width in base-domain steps.
+    """
+    if depth < 1:
+        raise WorkflowError("Q2 needs at least one window level")
+    if num_chains < 1:
+        raise WorkflowError("Q2 needs at least one chain")
+    wf = AggregationWorkflow(
+        schema, name=f"q2-{num_chains}x{depth}-chain"
+    )
+    gran = {"d0": "d0.L0"}
+    wf.basic("base", gran, agg="count", hidden=True)
+    for chain in range(num_chains):
+        previous = "base"
+        for level in range(depth):
+            name = f"chain{chain}_w{level}"
+            # Slightly different windows per chain so parallel chains
+            # are distinct measures, not copies.  Only each chain's
+            # final level is a reported output, matching the paper's
+            # Q2 (one measure through k levels of nested windows).
+            wf.moving_window(
+                name,
+                gran,
+                source=previous,
+                windows={"d0": (0, window + chain)},
+                agg="avg",
+                hidden=level < depth - 1,
+            )
+            previous = name
+    return wf

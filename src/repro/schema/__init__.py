@@ -1,0 +1,38 @@
+"""Dimension schemas, domains, and domain-generalization hierarchies.
+
+This package implements Section 2 of the paper: base domains, domain
+generalization (the ``<_D`` partial order), value generalization
+functions (``gamma``), extended domains, and the integer encoding of
+Proposition 1 that gives every linear hierarchy a total order compatible
+with generalization.
+"""
+
+from repro.schema.domain import ALL_VALUE, Domain, Hierarchy
+from repro.schema.numeric_hierarchy import UniformHierarchy
+from repro.schema.time_hierarchy import TimeHierarchy
+from repro.schema.ip_hierarchy import IPv4Hierarchy, format_ip, parse_ip
+from repro.schema.port_hierarchy import PortHierarchy
+from repro.schema.categorical_hierarchy import CategoricalHierarchy
+from repro.schema.dimension import Dimension
+from repro.schema.dataset_schema import (
+    DatasetSchema,
+    network_log_schema,
+    synthetic_schema,
+)
+
+__all__ = [
+    "ALL_VALUE",
+    "Domain",
+    "Hierarchy",
+    "UniformHierarchy",
+    "TimeHierarchy",
+    "IPv4Hierarchy",
+    "PortHierarchy",
+    "CategoricalHierarchy",
+    "Dimension",
+    "DatasetSchema",
+    "network_log_schema",
+    "synthetic_schema",
+    "format_ip",
+    "parse_ip",
+]

@@ -1,0 +1,158 @@
+"""Categorical hierarchies with an imposed order (Proposition 1).
+
+Some dimension attributes (cities, product categories, sensor names)
+have no natural total order compatible with generalization.  The paper
+observes that for a linear hierarchy one can always *encode* extended-
+domain values so that such an order exists: "we can encode the values in
+the extended domain so as to impose such an ordering over the encoded
+domain".
+
+:class:`CategoricalHierarchy` realizes that encoding.  Callers describe
+each base value by its full ancestor chain (base, level1, ..., levelK).
+We sort chains lexicographically and assign dense integer codes in that
+order, level by level; every parent then covers a contiguous code range
+of children, so generalization (a code-range lookup) is monotone and
+Proposition 1 holds for the encoded domain.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Hashable, Sequence
+
+from repro.errors import DomainError, SchemaError
+from repro.schema.domain import Hierarchy
+
+
+class CategoricalHierarchy(Hierarchy):
+    """A linear hierarchy over labelled values, integer-encoded.
+
+    Args:
+        domain_names: Names of the non-ALL domains, base first (e.g.
+            ``["City", "State", "Country"]``).
+        chains: One ancestor chain per base value, each of length
+            ``len(domain_names)``: ``(city, state, country)``.  The same
+            base label may not appear under two different parents (the
+            paper assumes no overlap between domains).
+
+    Use :meth:`encode` to turn labels into record integers and
+    :meth:`decode` to recover the label of any encoded value.
+    """
+
+    def __init__(
+        self,
+        domain_names: Sequence[str],
+        chains: Sequence[Sequence[Hashable]],
+    ) -> None:
+        super().__init__(domain_names)
+        depth = len(domain_names)
+        if not chains:
+            raise SchemaError("need at least one value chain")
+        for chain in chains:
+            if len(chain) != depth:
+                raise SchemaError(
+                    f"chain {chain!r} has length {len(chain)}, "
+                    f"expected {depth}"
+                )
+        seen_base: dict[Hashable, tuple] = {}
+        for chain in chains:
+            prior = seen_base.get(chain[0])
+            if prior is not None and tuple(chain) != prior:
+                raise SchemaError(
+                    f"base value {chain[0]!r} appears with two different "
+                    f"ancestor chains"
+                )
+            seen_base[chain[0]] = tuple(chain)
+        # Consistency check: each label must map to a single parent
+        # (gamma must be a function, Section 2.1).
+        for level in range(0, depth - 1):
+            child_parent: dict[Hashable, Hashable] = {}
+            for chain in chains:
+                child, parent = chain[level], chain[level + 1]
+                if child_parent.setdefault(child, parent) != parent:
+                    raise SchemaError(
+                        f"value {child!r} at level {level} has two parents"
+                    )
+
+        # Sort by reversed chain (coarsest first) so that every parent's
+        # children receive a contiguous block of codes.
+        ordered = sorted(
+            {tuple(chain) for chain in chains},
+            key=lambda c: tuple(repr(part) for part in reversed(c)),
+        )
+        # Per level: label -> code and code -> label.
+        self._encode: list[dict[Hashable, int]] = [{} for __ in range(depth)]
+        self._decode: list[list[Hashable]] = [[] for __ in range(depth)]
+        # For each level > 0, the starting base-code of each parent code,
+        # used for monotone range-lookup generalization.
+        self._level_starts: list[list[int]] = [[] for __ in range(depth)]
+        for chain in ordered:
+            base_code = len(self._decode[0])
+            for level in range(depth - 1, -1, -1):
+                label = chain[level]
+                if label not in self._encode[level]:
+                    self._encode[level][label] = len(self._decode[level])
+                    self._decode[level].append(label)
+                    self._level_starts[level].append(base_code)
+        self._num_base = len(self._decode[0])
+
+    # -- label <-> code ------------------------------------------------
+
+    def encode(self, label: Hashable, level: int = 0) -> int:
+        """Integer code of ``label`` in the domain at ``level``."""
+        self._check_level(level)
+        if level == self.all_level:
+            return 0
+        try:
+            return self._encode[level][label]
+        except KeyError:
+            raise DomainError(
+                f"unknown label {label!r} at level {level}"
+            ) from None
+
+    def decode(self, code: int, level: int = 0) -> Hashable:
+        """Label of integer ``code`` in the domain at ``level``."""
+        self._check_level(level)
+        if level == self.all_level:
+            return "ALL"
+        try:
+            return self._decode[level][code]
+        except IndexError:
+            raise DomainError(
+                f"code {code} out of range at level {level}"
+            ) from None
+
+    # -- Hierarchy interface --------------------------------------------
+
+    def _generalize_from_base(self, value: int, to_level: int) -> int:
+        if not 0 <= value < self._num_base:
+            raise DomainError(f"base code {value} out of range")
+        return bisect_right(self._level_starts[to_level], value) - 1
+
+    def _generalize_between(
+        self, value: int, from_level: int, to_level: int
+    ) -> int:
+        # Go via the base range start of the intermediate value; the
+        # construction guarantees consistency.
+        base_start = self._level_starts[from_level][value]
+        return self._generalize_from_base(base_start, to_level)
+
+    def fanout(self, fine_level: int, coarse_level: int) -> int:
+        if coarse_level < fine_level:
+            raise DomainError("coarse_level must be >= fine_level")
+        if fine_level == coarse_level:
+            return 1
+        fine_n = self.level_cardinality(fine_level)
+        coarse_n = self.level_cardinality(coarse_level)
+        return max(1, round(fine_n / coarse_n))
+
+    def level_cardinality(self, level: int) -> int:
+        self._check_level(level)
+        if level == self.all_level:
+            return 1
+        return len(self._decode[level])
+
+    def format_value(self, value: int, level: int) -> str:
+        if level == self.all_level:
+            return "ALL"
+        return str(self.decode(value, level))

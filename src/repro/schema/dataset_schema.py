@@ -1,0 +1,157 @@
+"""Dataset schemas: the dimension vector plus measure attributes.
+
+A record of a dataset with ``d`` dimensions and ``m`` measure attributes
+is a flat tuple ``(x_1, ..., x_d, m_1, ..., m_m)`` where every ``x_i``
+is an integer in the base domain of dimension ``i`` (Section 2 of the
+paper) and measures are numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.schema.dimension import Dimension
+from repro.schema.ip_hierarchy import IPv4Hierarchy
+from repro.schema.numeric_hierarchy import UniformHierarchy
+from repro.schema.port_hierarchy import PortHierarchy
+from repro.schema.time_hierarchy import TimeHierarchy
+
+Record = tuple  # (dim values..., measure values...)
+
+
+class DatasetSchema:
+    """Schema of a multidimensional fact table.
+
+    Args:
+        dimensions: The dimension vector ``X = (X_1, ..., X_d)``.
+        measures: Names of measure attributes (may be empty — the
+            Dshield dataset of the paper has none; ``count(*)`` style
+            aggregations still work).
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        measures: Sequence[str] = (),
+    ) -> None:
+        if not dimensions:
+            raise SchemaError("a schema needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in {names}")
+        if len(set(measures)) != len(measures):
+            raise SchemaError(f"duplicate measure names in {measures}")
+        overlap = set(names) & set(measures)
+        if overlap:
+            raise SchemaError(
+                f"names used as both dimension and measure: {sorted(overlap)}"
+            )
+        self.dimensions = tuple(dimensions)
+        self.measures = tuple(measures)
+        self._dim_index = {d.name: i for i, d in enumerate(self.dimensions)}
+        for i, dim in enumerate(self.dimensions):
+            # Abbreviations resolve too, as in the paper's t/U/T/P.
+            self._dim_index.setdefault(dim.abbrev, i)
+        self._measure_index = {
+            name: len(self.dimensions) + i for i, name in enumerate(measures)
+        }
+
+    # -- lookups -------------------------------------------------------
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def record_width(self) -> int:
+        """Number of fields in a record (dimensions + measures)."""
+        return len(self.dimensions) + len(self.measures)
+
+    def dim_index(self, name: str) -> int:
+        """Index of a dimension by name or abbreviation."""
+        try:
+            return self._dim_index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown dimension {name!r}; have "
+                f"{[d.name for d in self.dimensions]}"
+            ) from None
+
+    def dimension(self, name: str) -> Dimension:
+        return self.dimensions[self.dim_index(name)]
+
+    def measure_index(self, name: str) -> int:
+        """Record-field index of a measure attribute by name."""
+        try:
+            return self._measure_index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown measure {name!r}; have {list(self.measures)}"
+            ) from None
+
+    def field_index(self, name: str) -> int:
+        """Record-field index of either a dimension or a measure."""
+        if name in self._dim_index:
+            return self._dim_index[name]
+        return self.measure_index(name)
+
+    # -- validation ------------------------------------------------------
+
+    def validate_record(self, record: Record) -> None:
+        """Raise :class:`SchemaError` if ``record`` has the wrong shape."""
+        if len(record) != self.record_width:
+            raise SchemaError(
+                f"record has {len(record)} fields, schema expects "
+                f"{self.record_width}: {record!r}"
+            )
+        for i in range(self.num_dimensions):
+            if not isinstance(record[i], int):
+                raise SchemaError(
+                    f"dimension field {i} of {record!r} is not an int"
+                )
+
+    def validate_records(self, records: Iterable[Record]) -> None:
+        for record in records:
+            self.validate_record(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dims = ", ".join(d.name for d in self.dimensions)
+        return f"DatasetSchema(dims=[{dims}], measures={list(self.measures)})"
+
+
+def network_log_schema(
+    span_years: int = 1, active_hosts: int = 1 << 16
+) -> DatasetSchema:
+    """The Dshield-style network log schema of Table 1.
+
+    Dimensions: Timestamp (t), Source (U), Target (T), TargetPort (P);
+    no explicit measure attributes, exactly like the paper's dataset.
+    """
+    return DatasetSchema(
+        [
+            Dimension("Timestamp", TimeHierarchy(span_years), "t"),
+            Dimension("Source", IPv4Hierarchy(active_hosts), "U"),
+            Dimension("Target", IPv4Hierarchy(active_hosts), "T"),
+            Dimension("TargetPort", PortHierarchy(), "P"),
+        ]
+    )
+
+
+def synthetic_schema(
+    num_dimensions: int = 4,
+    levels: int = 3,
+    fanout: int = 10,
+    measures: Sequence[str] = ("v",),
+) -> DatasetSchema:
+    """The synthetic schema of Section 7.1.
+
+    ``num_dimensions`` attributes sharing a uniform hierarchy with
+    ``levels`` non-ALL domains and the given per-level ``fanout``; the
+    paper uses four dimensions, four domains (three non-ALL), fanout 10.
+    """
+    dims = [
+        Dimension(f"d{i}", UniformHierarchy(f"d{i}", levels, fanout))
+        for i in range(num_dimensions)
+    ]
+    return DatasetSchema(dims, measures)

@@ -1,0 +1,47 @@
+"""Dimension attributes: a named attribute bound to a hierarchy."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.domain import Domain, Hierarchy
+
+
+class Dimension:
+    """A dimension attribute of a multidimensional dataset.
+
+    Pairs an attribute name (and optional one-letter abbreviation, as in
+    Table 1 of the paper: ``t``, ``U``, ``T``, ``P``) with its linear
+    domain generalization hierarchy.
+    """
+
+    def __init__(
+        self, name: str, hierarchy: Hierarchy, abbrev: str | None = None
+    ) -> None:
+        if not name:
+            raise SchemaError("dimension name must be non-empty")
+        self.name = name
+        self.abbrev = abbrev or name
+        self.hierarchy = hierarchy
+
+    @property
+    def num_levels(self) -> int:
+        return self.hierarchy.num_levels
+
+    @property
+    def all_level(self) -> int:
+        return self.hierarchy.all_level
+
+    @property
+    def domains(self) -> tuple[Domain, ...]:
+        return self.hierarchy.domains
+
+    def level_of(self, domain_name: str) -> int:
+        """Resolve a domain name (e.g. ``"Hour"``) to its level index."""
+        return self.hierarchy.level_of(domain_name)
+
+    def generalize(self, value: int, from_level: int, to_level: int) -> int:
+        """Apply this dimension's gamma function."""
+        return self.hierarchy.generalize(value, from_level, to_level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Dimension({self.name!r}, {self.hierarchy!r})"

@@ -1,0 +1,235 @@
+"""Domains and linear domain-generalization hierarchies (paper Section 2.1).
+
+A *domain* is a set of values for one dimension attribute at a fixed
+granularity (e.g. ``Hour`` for the time attribute).  Domains of a
+dimension form a *domain generalization hierarchy*; the paper restricts
+attention to linear hierarchies (a single chain from the base domain up
+to ``D_ALL``) and so do we.
+
+Values in every domain are represented as Python integers.  The crucial
+property, Proposition 1 of the paper, is that for a linear hierarchy
+there exists a total order on the extended domain such that
+generalization is monotone:
+
+    ``u <= v  implies  gamma_D(u) <= gamma_D(v)``
+
+Concrete hierarchies in this package guarantee this by construction:
+each :meth:`Hierarchy.generalize` maps base integers to coarser integers
+with a monotone non-decreasing function.  Lexicographic comparison of
+generalized tuples is then exactly the region order the streaming
+engines rely on to detect finalized hash-table entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import DomainError, SchemaError
+
+#: The single value of the special ``D_ALL`` domain.  Generalizing any
+#: value all the way to the top of a hierarchy yields this constant.
+ALL_VALUE = 0
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One node of a domain generalization hierarchy.
+
+    Attributes:
+        name: Human-readable domain name (``"Hour"``, ``"/24 subnet"``).
+        level: Position in the hierarchy; ``0`` is the base domain and
+            the highest level is always ``D_ALL``.
+    """
+
+    name: str
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise SchemaError(f"domain level must be >= 0, got {self.level}")
+
+    @property
+    def is_all(self) -> bool:
+        """Whether this is the ``D_ALL`` domain (checked by name)."""
+        return self.name == "ALL"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class Hierarchy:
+    """A linear domain generalization hierarchy for one dimension.
+
+    Subclasses supply the actual generalization arithmetic by overriding
+    :meth:`_generalize_from_base`.  The base class provides level
+    book-keeping, validation, and the derived operations
+    (:meth:`generalize`, :meth:`fanout`, :meth:`children_range`).
+
+    Args:
+        domain_names: Names from the base domain upward, *excluding*
+            the implicit top ``ALL`` domain, which is appended
+            automatically.
+    """
+
+    def __init__(self, domain_names: Sequence[str]) -> None:
+        if not domain_names:
+            raise SchemaError("a hierarchy needs at least a base domain")
+        names = list(domain_names)
+        if "ALL" in names:
+            raise SchemaError("the ALL domain is implicit; do not list it")
+        names.append("ALL")
+        self._domains = tuple(
+            Domain(name, level) for level, name in enumerate(names)
+        )
+
+    # -- structure ---------------------------------------------------
+
+    @property
+    def domains(self) -> tuple[Domain, ...]:
+        """All domains, base first, ``D_ALL`` last."""
+        return self._domains
+
+    @property
+    def num_levels(self) -> int:
+        """Total number of domains including ``D_ALL``."""
+        return len(self._domains)
+
+    @property
+    def all_level(self) -> int:
+        """The level index of the ``D_ALL`` domain."""
+        return len(self._domains) - 1
+
+    def domain(self, level: int) -> Domain:
+        """Return the domain at ``level``, validating the index."""
+        self._check_level(level)
+        return self._domains[level]
+
+    def level_of(self, name: str) -> int:
+        """Return the level whose domain is called ``name``.
+
+        Raises:
+            DomainError: if no domain has that name.
+        """
+        for dom in self._domains:
+            if dom.name == name:
+                return dom.level
+        raise DomainError(
+            f"no domain named {name!r}; have "
+            f"{[d.name for d in self._domains]}"
+        )
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise DomainError(
+                f"level {level} out of range 0..{self.num_levels - 1}"
+            )
+
+    # -- generalization ----------------------------------------------
+
+    def _generalize_from_base(self, value: int, to_level: int) -> int:
+        """Map a base-domain value to its ancestor at ``to_level``.
+
+        ``to_level`` is strictly between 0 and the ALL level; subclasses
+        implement the actual arithmetic and must be monotone
+        non-decreasing in ``value``.
+        """
+        raise NotImplementedError
+
+    def generalize(self, value: int, from_level: int, to_level: int) -> int:
+        """The value generalization function ``gamma`` (Section 2.1).
+
+        Maps ``value``, a member of the domain at ``from_level``, to its
+        unique ancestor in the domain at ``to_level``.
+
+        Raises:
+            DomainError: if ``to_level < from_level`` (generalization
+                only moves up the hierarchy) or either level is invalid.
+        """
+        self._check_level(from_level)
+        self._check_level(to_level)
+        if to_level < from_level:
+            raise DomainError(
+                f"cannot generalize downward: {from_level} -> {to_level}"
+            )
+        if to_level == from_level:
+            return value
+        if to_level == self.all_level:
+            return ALL_VALUE
+        if from_level == 0:
+            return self._generalize_from_base(value, to_level)
+        return self._generalize_between(value, from_level, to_level)
+
+    def mapper(self, from_level: int, to_level: int):
+        """A compiled ``value -> value`` generalization closure.
+
+        Levels are validated once, here, so the returned callable can
+        skip per-call checks — engines call these millions of times.
+        ``None`` is returned for the identity mapping (``from_level ==
+        to_level``) so callers can skip the call entirely.
+        """
+        self._check_level(from_level)
+        self._check_level(to_level)
+        if to_level < from_level:
+            raise DomainError(
+                f"cannot generalize downward: {from_level} -> {to_level}"
+            )
+        if to_level == from_level:
+            return None
+        if to_level == self.all_level:
+            return lambda value: ALL_VALUE
+        return self._mapper(from_level, to_level)
+
+    def _mapper(self, from_level: int, to_level: int):
+        """Subclass hook for :meth:`mapper`; the default closes over
+        the checked :meth:`generalize` arithmetic."""
+        if from_level == 0:
+            return lambda value: self._generalize_from_base(value, to_level)
+        return lambda value: self._generalize_between(
+            value, from_level, to_level
+        )
+
+    def _generalize_between(
+        self, value: int, from_level: int, to_level: int
+    ) -> int:
+        """Generalize between two intermediate levels.
+
+        The default implementation requires consistency with base-level
+        generalization and is overridden where a closed form exists.
+        Consistency (paper Section 2.1) demands that going
+        base -> from -> to equals base -> to; subclasses for which
+        intermediate values are not simple functions of base values must
+        override this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot generalize between intermediate "
+            f"levels {from_level} -> {to_level}"
+        )
+
+    # -- cardinality estimates ---------------------------------------
+
+    def fanout(self, fine_level: int, coarse_level: int) -> int:
+        """Estimate ``card(D_fine, D_coarse)`` (Table 6 of the paper).
+
+        The number of values of the finer domain that map into one value
+        of the coarser domain.  Used only for memory-footprint
+        *estimation*; the paper notes precision affects size estimates,
+        never correctness.
+        """
+        raise NotImplementedError
+
+    def level_cardinality(self, level: int) -> int:
+        """Estimate of the number of distinct values at ``level``."""
+        raise NotImplementedError
+
+    # -- misc ----------------------------------------------------------
+
+    def format_value(self, value: int, level: int) -> str:
+        """Render ``value`` at ``level`` for humans (override freely)."""
+        if level == self.all_level:
+            return "ALL"
+        return str(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chain = " < ".join(d.name for d in self._domains)
+        return f"{type(self).__name__}({chain})"

@@ -1,0 +1,95 @@
+"""IPv4 address hierarchy: IP < /24 subnet < /16 subnet < /8 subnet < ALL.
+
+This is the ``Hier(Source)`` / ``Hier(Target)`` chain from Figure 1 of
+the paper (the paper shows IP and /24; we extend the linear chain with
+the conventional /16 and /8 prefixes, which the multi-recon query uses
+to talk about "a specific destination network").
+
+Values are 32-bit integers at the base; generalization is a right shift
+by 8 bits per level, which is monotone, so Proposition 1 holds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DomainError
+from repro.schema.domain import Hierarchy
+
+IP, SLASH24, SLASH16, SLASH8, IP_ALL = range(5)
+
+_BITS_PER_LEVEL = 8
+_MAX_IP = (1 << 32) - 1
+
+
+def parse_ip(dotted: str) -> int:
+    """Parse dotted-quad notation into the 32-bit base-domain integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise DomainError(f"malformed IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise DomainError(f"malformed IPv4 address {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Render a 32-bit base-domain integer as dotted-quad notation."""
+    if not 0 <= value <= _MAX_IP:
+        raise DomainError(f"IPv4 value {value} out of range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class IPv4Hierarchy(Hierarchy):
+    """IP < /24 < /16 < /8 < ALL over 32-bit integers.
+
+    Args:
+        active_hosts: Estimated number of distinct base addresses seen
+            in the data, used only for optimizer cardinality estimates.
+    """
+
+    def __init__(self, active_hosts: int = 1 << 16) -> None:
+        super().__init__(["IP", "/24", "/16", "/8"])
+        self._active_hosts = max(1, active_hosts)
+
+    def _generalize_from_base(self, value: int, to_level: int) -> int:
+        if not 0 <= value <= _MAX_IP:
+            raise DomainError(f"IPv4 value {value} out of range")
+        return value >> (_BITS_PER_LEVEL * to_level)
+
+    def _generalize_between(
+        self, value: int, from_level: int, to_level: int
+    ) -> int:
+        return value >> (_BITS_PER_LEVEL * (to_level - from_level))
+
+    def _mapper(self, from_level: int, to_level: int):
+        shift = _BITS_PER_LEVEL * (to_level - from_level)
+        return lambda value: value >> shift
+
+    def fanout(self, fine_level: int, coarse_level: int) -> int:
+        if coarse_level < fine_level:
+            raise DomainError("coarse_level must be >= fine_level")
+        if coarse_level == self.all_level:
+            return self.level_cardinality(fine_level)
+        return 1 << (_BITS_PER_LEVEL * (coarse_level - fine_level))
+
+    def level_cardinality(self, level: int) -> int:
+        if level == self.all_level:
+            return 1
+        # Scale the active-host estimate down by the prefix fan-out,
+        # but never below the structural maximum for that level.
+        structural = 1 << (_BITS_PER_LEVEL * (4 - level))
+        estimated = max(1, self._active_hosts >> (_BITS_PER_LEVEL * level))
+        return min(structural, estimated)
+
+    def format_value(self, value: int, level: int) -> str:
+        if level == self.all_level:
+            return "ALL"
+        if level == IP:
+            return format_ip(value)
+        width = 4 - level
+        octets = [
+            str((value >> (8 * i)) & 0xFF) for i in range(width - 1, -1, -1)
+        ]
+        return ".".join(octets) + f".*/{8 * width}"

@@ -1,0 +1,87 @@
+"""Synthetic uniform hierarchies (paper Section 7.1).
+
+The paper's synthetic workload uses four dimension attributes that share
+one hierarchy shape: four domains ``D1 <_D D2 <_D D3 <_D D4 = D_ALL``
+where "any value in any domain will cover 10 distinct values of its
+sub-domain".  :class:`UniformHierarchy` generalizes this to an arbitrary
+number of levels and an arbitrary fan-out: generalizing one level up is
+integer division by the fan-out, which is monotone, so Proposition 1
+holds trivially.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.domain import Hierarchy
+
+
+class UniformHierarchy(Hierarchy):
+    """A linear hierarchy where each level divides values by ``fanout``.
+
+    Args:
+        name: Dimension-ish prefix used to name the domains
+            (``name.L0``, ``name.L1``, ...).
+        levels: Number of domains *excluding* ``D_ALL``.  The paper's
+            synthetic setting is ``levels=3`` plus ``D_ALL`` on top
+            (``D1 <_D D2 <_D D3 <_D D_ALL``).
+        fanout: How many child values map to one parent value.
+        base_cardinality: Number of distinct base values; defaults to
+            ``fanout ** levels`` so that the top non-ALL domain has
+            ``fanout`` values.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        levels: int = 3,
+        fanout: int = 10,
+        base_cardinality: int | None = None,
+    ) -> None:
+        if levels < 1:
+            raise SchemaError("need at least one non-ALL level")
+        if fanout < 2:
+            raise SchemaError("fanout must be at least 2")
+        super().__init__([f"{name}.L{i}" for i in range(levels)])
+        self._fanout = fanout
+        if base_cardinality is None:
+            base_cardinality = fanout**levels
+        if base_cardinality < 1:
+            raise SchemaError("base_cardinality must be positive")
+        self._base_cardinality = base_cardinality
+
+    @property
+    def per_level_fanout(self) -> int:
+        """The fan-out between two adjacent levels."""
+        return self._fanout
+
+    @property
+    def base_cardinality(self) -> int:
+        """Number of distinct values in the base domain."""
+        return self._base_cardinality
+
+    def _generalize_from_base(self, value: int, to_level: int) -> int:
+        return value // (self._fanout**to_level)
+
+    def _generalize_between(
+        self, value: int, from_level: int, to_level: int
+    ) -> int:
+        return value // (self._fanout ** (to_level - from_level))
+
+    def _mapper(self, from_level: int, to_level: int):
+        divisor = self._fanout ** (to_level - from_level)
+        return lambda value: value // divisor
+
+    def fanout(self, fine_level: int, coarse_level: int) -> int:
+        self._check_level(fine_level)
+        self._check_level(coarse_level)
+        if coarse_level < fine_level:
+            raise SchemaError("coarse_level must be >= fine_level")
+        if coarse_level == self.all_level:
+            return self.level_cardinality(fine_level)
+        return self._fanout ** (coarse_level - fine_level)
+
+    def level_cardinality(self, level: int) -> int:
+        self._check_level(level)
+        if level == self.all_level:
+            return 1
+        return max(1, self._base_cardinality // (self._fanout**level))

@@ -1,0 +1,61 @@
+"""Target-port hierarchy: Port < PortRange < ALL.
+
+Figure 1 of the paper shows a linear hierarchy for TargetPort with a
+``PortRange`` domain between the raw 16-bit port and ``ALL``.  We use
+256-port blocks as the range domain, which keeps generalization a
+monotone integer shift (Proposition 1 holds by construction).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DomainError
+from repro.schema.domain import Hierarchy
+
+PORT, PORT_RANGE, PORT_ALL = range(3)
+
+_BLOCK_BITS = 8
+_MAX_PORT = (1 << 16) - 1
+
+
+class PortHierarchy(Hierarchy):
+    """Port < PortRange(256-wide blocks) < ALL over 16-bit integers."""
+
+    def __init__(self) -> None:
+        super().__init__(["Port", "PortRange"])
+
+    def _generalize_from_base(self, value: int, to_level: int) -> int:
+        if not 0 <= value <= _MAX_PORT:
+            raise DomainError(f"port {value} out of range")
+        return value >> _BLOCK_BITS
+
+    def _generalize_between(
+        self, value: int, from_level: int, to_level: int
+    ) -> int:  # pragma: no cover - only one intermediate level exists
+        raise DomainError("port hierarchy has a single intermediate level")
+
+    def _mapper(self, from_level: int, to_level: int):
+        return lambda value: value >> _BLOCK_BITS
+
+    def fanout(self, fine_level: int, coarse_level: int) -> int:
+        if coarse_level < fine_level:
+            raise DomainError("coarse_level must be >= fine_level")
+        if fine_level == coarse_level:
+            return 1
+        if coarse_level == self.all_level:
+            return self.level_cardinality(fine_level)
+        return 1 << _BLOCK_BITS
+
+    def level_cardinality(self, level: int) -> int:
+        if level == self.all_level:
+            return 1
+        if level == PORT:
+            return _MAX_PORT + 1
+        return (_MAX_PORT + 1) >> _BLOCK_BITS
+
+    def format_value(self, value: int, level: int) -> str:
+        if level == self.all_level:
+            return "ALL"
+        if level == PORT_RANGE:
+            low = value << _BLOCK_BITS
+            return f"[{low}..{low + (1 << _BLOCK_BITS) - 1}]"
+        return str(value)

@@ -1,0 +1,203 @@
+"""Calendar time hierarchy: Second < Hour < Day < Month < Year < ALL.
+
+This is the ``Hier(Time)`` chain of the paper (Figure 1) with the Week
+domain dropped, exactly as the paper does, to keep the hierarchy linear.
+
+Encoding (Proposition 1): every domain value is an integer measured from
+the UNIX epoch — seconds, hours (``sec // 3600``), days
+(``sec // 86400``), months since 1970-01, and years since 1970.  All of
+these are monotone non-decreasing functions of the base value, so
+lexicographic comparison after generalization is order-compatible.
+
+Month boundaries are genuinely calendar-accurate (leap years included);
+they are precomputed once for 1970..2199 and looked up with binary
+search, so generalization stays O(log #months) with a tiny constant.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.errors import DomainError
+from repro.schema.domain import Hierarchy
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+HOURS_PER_DAY = 24
+MONTHS_PER_YEAR = 12
+
+_EPOCH_YEAR = 1970
+_LAST_YEAR = 2199
+
+SECOND, HOUR, DAY, MONTH, YEAR, TIME_ALL = range(6)
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 2:
+        return 29 if _is_leap(year) else 28
+    return 31 if month in (1, 3, 5, 7, 8, 10, 12) else 30
+
+
+def _build_month_start_days() -> list[int]:
+    """Day index (days since epoch) of the first day of each month."""
+    starts = []
+    day = 0
+    for year in range(_EPOCH_YEAR, _LAST_YEAR + 1):
+        for month in range(1, 13):
+            starts.append(day)
+            day += _days_in_month(year, month)
+    return starts
+
+
+#: ``_MONTH_START_DAYS[m]`` = day index of the first day of month ``m``
+#: where ``m`` counts months since 1970-01.
+_MONTH_START_DAYS = _build_month_start_days()
+
+
+def day_to_month(day: int) -> int:
+    """Map a day index to its month index (months since 1970-01)."""
+    if day < 0 or day >= _MONTH_START_DAYS[-1] + 31:
+        raise DomainError(f"day index {day} outside supported range")
+    return bisect_right(_MONTH_START_DAYS, day) - 1
+
+
+def month_to_day(month: int) -> int:
+    """Day index of the first day of month ``month``."""
+    if not 0 <= month < len(_MONTH_START_DAYS):
+        raise DomainError(f"month index {month} outside supported range")
+    return _MONTH_START_DAYS[month]
+
+
+class TimeHierarchy(Hierarchy):
+    """Second < Hour < Day < Month < Year < ALL over UNIX timestamps.
+
+    Args:
+        span_years: Expected span of the data in years; only used for
+            cardinality *estimates* fed to the optimizer, never for
+            correctness.
+    """
+
+    def __init__(self, span_years: int = 2) -> None:
+        super().__init__(["Second", "Hour", "Day", "Month", "Year"])
+        self._span_years = max(1, span_years)
+
+    def _generalize_from_base(self, value: int, to_level: int) -> int:
+        if value < 0:
+            raise DomainError(f"negative timestamp {value}")
+        if to_level == HOUR:
+            return value // SECONDS_PER_HOUR
+        if to_level == DAY:
+            return value // SECONDS_PER_DAY
+        if to_level == MONTH:
+            return day_to_month(value // SECONDS_PER_DAY)
+        if to_level == YEAR:
+            return day_to_month(value // SECONDS_PER_DAY) // MONTHS_PER_YEAR
+        raise DomainError(f"bad target level {to_level}")
+
+    def _generalize_between(
+        self, value: int, from_level: int, to_level: int
+    ) -> int:
+        if from_level == HOUR:
+            day = value // HOURS_PER_DAY
+            if to_level == DAY:
+                return day
+            if to_level == MONTH:
+                return day_to_month(day)
+            return day_to_month(day) // MONTHS_PER_YEAR
+        if from_level == DAY:
+            if to_level == MONTH:
+                return day_to_month(value)
+            return day_to_month(value) // MONTHS_PER_YEAR
+        if from_level == MONTH:
+            return value // MONTHS_PER_YEAR
+        raise DomainError(
+            f"cannot generalize time level {from_level} -> {to_level}"
+        )
+
+    def _mapper(self, from_level: int, to_level: int):
+        def checked(fn):
+            # Mappers from the base domain see raw record values; a
+            # negative timestamp must fail loudly, not roll up to a
+            # negative hour.
+            def wrapped(value, _fn=fn):
+                if value < 0:
+                    raise DomainError(f"negative timestamp {value}")
+                return _fn(value)
+
+            return wrapped
+
+        closures = {
+            (SECOND, HOUR): checked(lambda v: v // SECONDS_PER_HOUR),
+            (SECOND, DAY): checked(lambda v: v // SECONDS_PER_DAY),
+            (SECOND, MONTH): checked(
+                lambda v: day_to_month(v // SECONDS_PER_DAY)
+            ),
+            (SECOND, YEAR): checked(
+                lambda v: (
+                    day_to_month(v // SECONDS_PER_DAY) // MONTHS_PER_YEAR
+                )
+            ),
+            (HOUR, DAY): lambda v: v // HOURS_PER_DAY,
+            (HOUR, MONTH): lambda v: day_to_month(v // HOURS_PER_DAY),
+            (HOUR, YEAR): lambda v: (
+                day_to_month(v // HOURS_PER_DAY) // MONTHS_PER_YEAR
+            ),
+            (DAY, MONTH): day_to_month,
+            (DAY, YEAR): lambda v: day_to_month(v) // MONTHS_PER_YEAR,
+            (MONTH, YEAR): lambda v: v // MONTHS_PER_YEAR,
+        }
+        return closures[(from_level, to_level)]
+
+    def fanout(self, fine_level: int, coarse_level: int) -> int:
+        if coarse_level < fine_level:
+            raise DomainError("coarse_level must be >= fine_level")
+        if fine_level == coarse_level:
+            return 1
+        if coarse_level == self.all_level:
+            return self.level_cardinality(fine_level)
+        # Average step fan-outs; estimates only (paper: precision of
+        # card() affects size estimation, not correctness).
+        steps = {
+            (SECOND, HOUR): SECONDS_PER_HOUR,
+            (HOUR, DAY): HOURS_PER_DAY,
+            (DAY, MONTH): 30,
+            (MONTH, YEAR): MONTHS_PER_YEAR,
+        }
+        total = 1
+        for lvl in range(fine_level, coarse_level):
+            total *= steps[(lvl, lvl + 1)]
+        return total
+
+    def level_cardinality(self, level: int) -> int:
+        if level == self.all_level:
+            return 1
+        per_year = {
+            SECOND: 365 * SECONDS_PER_DAY,
+            HOUR: 365 * HOURS_PER_DAY,
+            DAY: 365,
+            MONTH: MONTHS_PER_YEAR,
+            YEAR: 1,
+        }
+        return per_year[level] * self._span_years
+
+    def format_value(self, value: int, level: int) -> str:
+        if level == self.all_level:
+            return "ALL"
+        if level == YEAR:
+            return str(_EPOCH_YEAR + value)
+        if level == MONTH:
+            return f"{_EPOCH_YEAR + value // 12}-{value % 12 + 1:02d}"
+        if level == DAY:
+            month = day_to_month(value)
+            dom = value - month_to_day(month) + 1
+            return f"{self.format_value(month, MONTH)}-{dom:02d}"
+        if level == HOUR:
+            day = value // HOURS_PER_DAY
+            return (
+                f"{self.format_value(day, DAY)}T{value % HOURS_PER_DAY:02d}h"
+            )
+        return f"@{value}s"

@@ -1,0 +1,34 @@
+"""Storage substrate: datasets, flat files, external sort, sinks.
+
+The paper's system is deliberately standalone — "our goal is to develop
+a standalone, lightweight yet highly scalable analysis system" that
+streams flat files instead of importing data into a DBMS.  This package
+provides that substrate: in-memory and flat-file fact tables with a
+uniform scan interface, an external merge sort for datasets larger than
+memory, and result sinks that receive finalized measure entries.
+"""
+
+from repro.storage.table import Dataset, InMemoryDataset, MeasureTable
+from repro.storage.flatfile import (
+    FlatFileDataset,
+    read_csv,
+    write_csv,
+    write_flatfile,
+)
+from repro.storage.external_sort import external_sort
+from repro.storage.sink import FileSink, MemorySink, NullSink, Sink
+
+__all__ = [
+    "Dataset",
+    "InMemoryDataset",
+    "FlatFileDataset",
+    "MeasureTable",
+    "external_sort",
+    "write_flatfile",
+    "read_csv",
+    "write_csv",
+    "Sink",
+    "MemorySink",
+    "FileSink",
+    "NullSink",
+]

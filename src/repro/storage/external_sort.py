@@ -1,0 +1,108 @@
+"""External merge sort over record streams.
+
+The sort phase of a Sort/Scan pass (Section 5.3) must handle datasets
+larger than memory.  This is the textbook two-phase approach: cut the
+input into runs that fit the memory budget, sort each in memory, spill
+it, then ``heapq.merge`` all runs back in key order.
+
+Runs are spilled with ``pickle`` (records are plain tuples); spill files
+live in a caller-provided or temporary directory and are always removed,
+even when the consumer abandons the iterator early.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import tempfile
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.schema.dataset_schema import Record
+
+#: Default run size: comfortably in-memory for tuple records.
+DEFAULT_RUN_SIZE = 200_000
+
+
+def _spill_run(run: list, directory: str, index: int) -> str:
+    path = os.path.join(directory, f"run-{index:05d}.pkl")
+    with open(path, "wb") as fh:
+        pickle.dump(run, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def _read_run(path: str) -> Iterator[Record]:
+    with open(path, "rb") as fh:
+        run = pickle.load(fh)
+    yield from run
+
+
+def external_sort(
+    records: Iterable[Record],
+    key_fn: Callable[[Record], tuple],
+    run_size: int = DEFAULT_RUN_SIZE,
+    tmp_dir: str | None = None,
+) -> Iterator[Record]:
+    """Yield ``records`` sorted by ``key_fn`` using bounded memory.
+
+    Args:
+        records: The input stream.
+        key_fn: Sort key extractor; must be deterministic.
+        run_size: Maximum records held in memory at once.
+        tmp_dir: Directory for spill files; a private temporary
+            directory is created (and removed) when omitted.
+
+    Yields:
+        Records in ascending ``key_fn`` order.
+    """
+    if run_size < 1:
+        raise StorageError(f"run_size must be positive, got {run_size}")
+
+    first_run: list = []
+    iterator = iter(records)
+    for record in iterator:
+        first_run.append(record)
+        if len(first_run) >= run_size:
+            break
+    else:
+        # Everything fit in a single run: pure in-memory sort.
+        first_run.sort(key=key_fn)
+        yield from first_run
+        return
+
+    own_tmp = tmp_dir is None
+    directory = tempfile.mkdtemp(prefix="awra-sort-") if own_tmp else tmp_dir
+    spill_paths: list[str] = []
+    try:
+        first_run.sort(key=key_fn)
+        spill_paths.append(_spill_run(first_run, directory, 0))
+        del first_run
+
+        run: list = []
+        for record in iterator:
+            run.append(record)
+            if len(run) >= run_size:
+                run.sort(key=key_fn)
+                spill_paths.append(
+                    _spill_run(run, directory, len(spill_paths))
+                )
+                run = []
+        if run:
+            run.sort(key=key_fn)
+            spill_paths.append(_spill_run(run, directory, len(spill_paths)))
+            del run
+
+        streams = [_read_run(path) for path in spill_paths]
+        yield from heapq.merge(*streams, key=key_fn)
+    finally:
+        for path in spill_paths:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        if own_tmp:
+            try:
+                os.rmdir(directory)
+            except OSError:
+                pass

@@ -1,0 +1,90 @@
+"""Result sinks: where finalized measure entries are flushed.
+
+The one-pass algorithm (Table 7, line 13) flushes finalized entries "to
+disk" as soon as they are known complete.  Engines write through a
+:class:`Sink` so that callers choose the destination: keep everything in
+memory (the default, and what tests compare), append to files, or drop
+values entirely when only statistics are wanted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.cube.granularity import Granularity
+from repro.storage.table import MeasureTable
+
+
+class Sink:
+    """Receives finalized ``(key, value)`` entries per measure."""
+
+    def open_measure(self, name: str, granularity: Granularity) -> None:
+        """Called once per measure before any emit."""
+
+    def emit(self, name: str, key: tuple, value) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called once after the scan completes."""
+
+    def result(self) -> Optional[dict[str, MeasureTable]]:
+        """The collected tables, if this sink retains them."""
+        return None
+
+
+class MemorySink(Sink):
+    """Collects every finalized entry into :class:`MeasureTable`s."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, MeasureTable] = {}
+
+    def open_measure(self, name: str, granularity: Granularity) -> None:
+        self.tables.setdefault(name, MeasureTable(name, granularity))
+
+    def emit(self, name: str, key: tuple, value) -> None:
+        self.tables[name].rows[key] = value
+
+    def result(self) -> dict[str, MeasureTable]:
+        return self.tables
+
+
+class NullSink(Sink):
+    """Counts emissions and discards values — for benchmarking."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def open_measure(self, name: str, granularity: Granularity) -> None:
+        self.counts.setdefault(name, 0)
+
+    def emit(self, name: str, key: tuple, value) -> None:
+        self.counts[name] += 1
+
+
+class FileSink(Sink):
+    """Appends finalized entries to one text file per measure.
+
+    This matches the paper's "flush the finalized entries to disk":
+    entries arrive (and are written) in finalized order, so the output
+    files are sorted by the plan's output order without any extra sort.
+    """
+
+    def __init__(self, directory: str) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self._files: dict[str, object] = {}
+
+    def open_measure(self, name: str, granularity: Granularity) -> None:
+        if name not in self._files:
+            path = os.path.join(self.directory, f"{name}.tsv")
+            self._files[name] = open(path, "w")
+
+    def emit(self, name: str, key: tuple, value) -> None:
+        fields = "\t".join(str(part) for part in key)
+        self._files[name].write(f"{fields}\t{value}\n")
+
+    def close(self) -> None:
+        for fh in self._files.values():
+            fh.close()
+        self._files.clear()

@@ -1,0 +1,152 @@
+"""Datasets (fact tables) and measure tables (query results)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema, Record
+
+
+class Dataset:
+    """A scannable fact table.
+
+    Engines only ever need two things from a dataset: a fresh scan
+    iterator (multiple scans must be possible — the relational baseline
+    re-scans once per basic measure) and the schema.
+    """
+
+    schema: DatasetSchema
+
+    def scan(self) -> Iterator[Record]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryDataset(Dataset):
+    """A fact table held as a Python list — the default for tests."""
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        records: Iterable[Record],
+        validate: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.records = [tuple(record) for record in records]
+        if validate:
+            schema.validate_records(self.records)
+
+    def scan(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def sorted_copy(self, key_fn) -> "InMemoryDataset":
+        """A new dataset with records sorted by ``key_fn``."""
+        dataset = InMemoryDataset.__new__(InMemoryDataset)
+        dataset.schema = self.schema
+        dataset.records = sorted(self.records, key=key_fn)
+        return dataset
+
+
+class MeasureTable:
+    """The result of one measure: schema ``<G, M>`` (Section 3.2).
+
+    Thin wrapper around ``dict[key, value]`` with the granularity
+    attached, plus ordering and formatting helpers.  ``key`` tuples have
+    full dimension width with ``ALL`` slots holding the ALL value.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        granularity: Granularity,
+        rows: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.granularity = granularity
+        self.rows: dict = rows if rows is not None else {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, key: tuple):
+        return self.rows[key]
+
+    def get(self, key: tuple, default=None):
+        return self.rows.get(key, default)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self.rows
+
+    def items_sorted(self) -> list[tuple[tuple, object]]:
+        """Rows in ascending region-key order (deterministic output)."""
+        return sorted(self.rows.items())
+
+    def pretty(self, limit: int = 20) -> str:
+        """Human-readable rendering of up to ``limit`` rows."""
+        schema = self.granularity.schema
+        lines = [f"{self.name} {self.granularity!r} ({len(self.rows)} rows)"]
+        for key, value in self.items_sorted()[:limit]:
+            parts = []
+            for i, dim in enumerate(schema.dimensions):
+                level = self.granularity.levels[i]
+                if level != dim.all_level:
+                    parts.append(
+                        f"{dim.abbrev}="
+                        f"{dim.hierarchy.format_value(key[i], level)}"
+                    )
+            rendered = ", ".join(parts) if parts else "ALL"
+            lines.append(f"  [{rendered}] -> {value}")
+        if len(self.rows) > limit:
+            lines.append(f"  ... {len(self.rows) - limit} more")
+        return "\n".join(lines)
+
+    def equal_rows(self, other: "MeasureTable", tol: float = 1e-9) -> bool:
+        """Value comparison with float tolerance (for engine checks)."""
+        if set(self.rows) != set(other.rows):
+            return False
+        for key, value in self.rows.items():
+            other_value = other.rows[key]
+            if value is None or other_value is None:
+                if value is not other_value:
+                    return False
+            elif isinstance(value, (int, float)):
+                if not isinstance(other_value, (int, float)):
+                    return False
+                if abs(value - other_value) > tol * max(
+                    1.0, abs(value), abs(other_value)
+                ):
+                    return False
+            elif value != other_value:
+                return False
+        return True
+
+    def diff(self, other: "MeasureTable", limit: int = 5) -> str:
+        """Describe row differences — used in error messages."""
+        missing = set(self.rows) - set(other.rows)
+        extra = set(other.rows) - set(self.rows)
+        changed = [
+            (key, self.rows[key], other.rows[key])
+            for key in set(self.rows) & set(other.rows)
+            if self.rows[key] != other.rows[key]
+        ]
+        parts = []
+        if missing:
+            parts.append(f"missing: {sorted(missing)[:limit]}")
+        if extra:
+            parts.append(f"extra: {sorted(extra)[:limit]}")
+        if changed:
+            parts.append(f"changed: {changed[:limit]}")
+        return "; ".join(parts) if parts else "identical"
+
+
+def require_same_schema(a: Dataset, b: DatasetSchema) -> None:
+    """Guard helper for code paths that mix datasets and schemas."""
+    if a.schema is not b:
+        raise StorageError("dataset does not use the expected schema")

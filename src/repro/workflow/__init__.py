@@ -1,0 +1,20 @@
+"""Aggregation workflows — the pictorial query language (Section 4).
+
+An :class:`AggregationWorkflow` is the programmatic form of the paper's
+diagrams: region sets (rectangles), measures (ovals), and computational
+arcs.  Workflows validate acyclicity, translate to AW-RA expressions
+(Theorem 2), and export GraphViz DOT for actual pictures.
+"""
+
+from repro.workflow.measure import Measure, MeasureKind
+from repro.workflow.workflow import AggregationWorkflow
+from repro.workflow.toposort import topological_order
+from repro.workflow.dot import to_dot
+
+__all__ = [
+    "AggregationWorkflow",
+    "Measure",
+    "MeasureKind",
+    "topological_order",
+    "to_dot",
+]

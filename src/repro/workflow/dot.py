@@ -1,0 +1,59 @@
+"""GraphViz DOT export of aggregation workflows.
+
+Renders the paper's pictorial convention (Figure 3): one rectangle
+(cluster) per region set, one oval per measure inside its region set's
+rectangle, and computational arcs between ovals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workflow.workflow import AggregationWorkflow
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(workflow: "AggregationWorkflow") -> str:
+    """Render ``workflow`` as GraphViz DOT source."""
+    lines = [
+        f'digraph "{_dot_escape(workflow.name)}" {{',
+        "  rankdir=BT;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+    ]
+    # Group measures by region set (granularity).
+    by_gran: dict[str, list[str]] = {}
+    for name, measure in workflow.measures.items():
+        by_gran.setdefault(repr(measure.granularity), []).append(name)
+
+    for cluster_idx, (gran_repr, names) in enumerate(sorted(by_gran.items())):
+        lines.append(f"  subgraph cluster_{cluster_idx} {{")
+        lines.append(f'    label="{_dot_escape(gran_repr)}";')
+        lines.append("    style=rounded;")
+        for name in names:
+            measure = workflow.measures[name]
+            label_parts = [name]
+            if measure.agg is not None:
+                label_parts.append(repr(measure.agg))
+            if measure.fn is not None:
+                label_parts.append(repr(measure.fn))
+            if measure.where is not None:
+                label_parts.append(f"σ: {measure.where!r}")
+            label = _dot_escape("\\n".join(label_parts))
+            style = ', style=dashed' if measure.hidden else ""
+            lines.append(f'    "{_dot_escape(name)}" [label="{label}"{style}];')
+        lines.append("  }")
+
+    for name, measure in workflow.measures.items():
+        for dep in measure.dependencies():
+            attrs = ""
+            if measure.cond is not None and dep == measure.source:
+                attrs = f' [label="{_dot_escape(repr(measure.cond))}"]'
+            lines.append(
+                f'  "{_dot_escape(dep)}" -> "{_dot_escape(name)}"{attrs};'
+            )
+    lines.append("}")
+    return "\n".join(lines)

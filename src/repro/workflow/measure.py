@@ -1,0 +1,77 @@
+"""Measure descriptors — the ovals of an aggregation workflow."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import MatchCondition
+from repro.algebra.expr import CombineFn
+from repro.algebra.predicates import Predicate
+from repro.cube.granularity import Granularity
+
+
+class MeasureKind(enum.Enum):
+    """How a measure's value is produced."""
+
+    BASIC = "basic"  # aggregation of fact-table records
+    ROLLUP = "rollup"  # child/parent aggregation of another measure
+    MATCH = "match"  # match join (self / parent-child / sibling)
+    COMBINE = "combine"  # combine join of same-granularity measures
+    FILTER = "filter"  # σ over another measure, as a named output
+
+
+class Measure:
+    """One oval: a named measure over a region set.
+
+    Instances are created through :class:`AggregationWorkflow` builder
+    methods, never directly; the workflow owns naming, dependency
+    wiring, and validation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        granularity: Granularity,
+        kind: MeasureKind,
+        agg: Optional[AggSpec] = None,
+        where: Optional[Predicate] = None,
+        source: Optional[str] = None,
+        keys: Optional[str] = None,
+        cond: Optional[MatchCondition] = None,
+        inputs: Sequence[str] = (),
+        fn: Optional[CombineFn] = None,
+        hidden: bool = False,
+    ) -> None:
+        self.name = name
+        self.granularity = granularity
+        self.kind = kind
+        self.agg = agg
+        self.where = where
+        self.source = source
+        self.keys = keys
+        self.cond = cond
+        self.inputs = tuple(inputs)
+        self.fn = fn
+        #: Hidden measures (auto-generated cell providers) are computed
+        #: but not reported as query outputs.
+        self.hidden = hidden
+
+    def dependencies(self) -> tuple[str, ...]:
+        """Names of measures this one is computed from."""
+        deps = []
+        if self.source is not None:
+            deps.append(self.source)
+        if self.keys is not None and self.keys not in deps:
+            deps.append(self.keys)
+        for name in self.inputs:
+            if name not in deps:
+                deps.append(name)
+        return tuple(deps)
+
+    def __repr__(self) -> str:
+        return (
+            f"Measure({self.name!r}, {self.granularity!r}, "
+            f"{self.kind.value})"
+        )

@@ -1,0 +1,61 @@
+"""Topological ordering of workflow measures (Section 5.1).
+
+The single-scan algorithm "topologically order[s] the dependent measures
+so that each is evaluated after all the measures it depends on are
+finished"; recursion is disallowed, so the order always exists — a cycle
+is a workflow construction error.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import WorkflowError
+from repro.workflow.measure import Measure
+
+
+def topological_order(measures: Mapping[str, Measure]) -> list[str]:
+    """Kahn's algorithm over measure dependencies; deterministic.
+
+    Returns measure names such that every measure appears after all of
+    its dependencies.  Ties are broken by insertion order so plans are
+    reproducible run to run.
+
+    Raises:
+        WorkflowError: if dependencies form a cycle (with the cycle's
+            members named) or reference unknown measures.
+    """
+    order_index = {name: i for i, name in enumerate(measures)}
+    indegree: dict[str, int] = {name: 0 for name in measures}
+    dependents: dict[str, list[str]] = {name: [] for name in measures}
+    for name, measure in measures.items():
+        for dep in measure.dependencies():
+            if dep not in measures:
+                raise WorkflowError(
+                    f"measure {name!r} depends on unknown measure {dep!r}"
+                )
+            indegree[name] += 1
+            dependents[dep].append(name)
+
+    ready = sorted(
+        (name for name, deg in indegree.items() if deg == 0),
+        key=order_index.__getitem__,
+    )
+    result: list[str] = []
+    while ready:
+        name = ready.pop(0)
+        result.append(name)
+        newly_ready = []
+        for dependent in dependents[name]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                newly_ready.append(dependent)
+        # Keep determinism without resorting the whole queue.
+        ready.extend(sorted(newly_ready, key=order_index.__getitem__))
+
+    if len(result) != len(measures):
+        stuck = sorted(set(measures) - set(result))
+        raise WorkflowError(
+            f"measure dependencies contain a cycle involving {stuck}"
+        )
+    return result

@@ -1,0 +1,96 @@
+"""Workflow-to-algebra translation (Theorem 2).
+
+Every measure of an aggregation workflow maps to one AW-RA expression,
+mirroring the constructions in Section 4 of the paper:
+
+- basic measure → ``g_{G,agg}(σ(D))``;
+- rollup → ``g_{G,agg}(σ(source))`` (the simplified child/parent form);
+- match → ``keys ⋈_{cond,agg} σ(source)``;
+- combine → ``input_0 ⋈̄_fc (input_1, ..., input_n)``.
+
+Sub-expressions are shared by object identity so that downstream
+compilation evaluates each measure exactly once, no matter how many
+measures consume it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkflowError
+from repro.algebra.expr import (
+    Aggregate,
+    CombineJoin,
+    Expr,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.workflow.measure import Measure, MeasureKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workflow.workflow import AggregationWorkflow
+
+
+def workflow_to_algebra(
+    workflow: "AggregationWorkflow",
+) -> dict[str, Expr]:
+    """Translate every measure of ``workflow`` into an AW-RA expression.
+
+    Returns:
+        Mapping of measure name → expression.  Expressions for shared
+        dependencies are the *same objects*, preserving the workflow's
+        DAG shape inside the algebra.
+    """
+    fact = FactTable(workflow.schema)
+    exprs: dict[str, Expr] = {}
+    for name in workflow.order():
+        exprs[name] = _translate_measure(
+            workflow.measures[name], fact, exprs
+        )
+    return exprs
+
+
+def _filtered(expr: Expr, measure: Measure) -> Expr:
+    """Apply the measure's arc selection, if any."""
+    if measure.where is None:
+        return expr
+    return Select(expr, measure.where)
+
+
+def _translate_measure(
+    measure: Measure, fact: FactTable, exprs: dict[str, Expr]
+) -> Expr:
+    if measure.kind is MeasureKind.BASIC:
+        return Aggregate(
+            _filtered(fact, measure), measure.granularity, measure.agg
+        )
+    if measure.kind is MeasureKind.ROLLUP:
+        source = _filtered(exprs[measure.source], measure)
+        return Aggregate(source, measure.granularity, measure.agg)
+    if measure.kind is MeasureKind.MATCH:
+        keys = exprs[measure.keys]
+        source = _filtered(exprs[measure.source], measure)
+        return MatchJoin(keys, source, measure.cond, measure.agg)
+    if measure.kind is MeasureKind.FILTER:
+        return Select(exprs[measure.source], measure.where)
+    if measure.kind is MeasureKind.COMBINE:
+        base = exprs[measure.inputs[0]]
+        rest = [exprs[name] for name in measure.inputs[1:]]
+        if not rest:
+            # A one-input combine is a scalar map over the base; the
+            # algebra still needs the combine-join node for the fn.
+            return CombineJoin(base, [base], _first_arg_only(measure.fn))
+        return CombineJoin(base, rest, measure.fn)
+    raise WorkflowError(f"unknown measure kind {measure.kind!r}")
+
+
+def _first_arg_only(fn):
+    """Adapt a 1-ary combine fn to the (base, base) duplicated shape."""
+    from repro.algebra.expr import CombineFn
+
+    return CombineFn(
+        lambda base_value, __: fn(base_value),
+        name=fn.name,
+        handles_null=fn.handles_null,
+    )

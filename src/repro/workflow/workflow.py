@@ -1,0 +1,426 @@
+"""The aggregation-workflow builder (Section 4).
+
+``AggregationWorkflow`` is the public query-construction API of this
+library.  It mirrors the paper's diagrams: each builder call adds one
+measure oval to a region-set rectangle and wires computational arcs.
+
+Example — the paper's Examples 1-4 in workflow form::
+
+    wf = AggregationWorkflow(schema)
+    wf.basic("Count", {"t": "Hour", "U": "IP"}, agg="count")
+    wf.rollup("sCount", {"t": "Hour"}, source="Count",
+              where=Field("M") > 5, agg="count")
+    wf.match("avgCount", {"t": "Hour"}, source="sCount",
+             cond=Sibling({"t": (0, 5)}), agg="avg")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from repro.errors import WorkflowError
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import (
+    ChildParent,
+    MatchCondition,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.algebra.expr import CombineFn
+from repro.algebra.predicates import Predicate
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.measure import Measure, MeasureKind
+from repro.workflow.toposort import topological_order
+
+GranSpec = Union[Granularity, Mapping[str, str]]
+AggLike = Union[AggSpec, str, tuple]
+
+
+class AggregationWorkflow:
+    """A named collection of measures over one dataset schema."""
+
+    def __init__(self, schema: DatasetSchema, name: str = "workflow") -> None:
+        self.schema = schema
+        self.name = name
+        self.measures: dict[str, Measure] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _granularity(self, spec: GranSpec) -> Granularity:
+        if isinstance(spec, Granularity):
+            return spec
+        return Granularity.from_spec(self.schema, spec)
+
+    @staticmethod
+    def _agg(spec: AggLike, default_field: str) -> AggSpec:
+        if isinstance(spec, AggSpec):
+            return spec
+        if isinstance(spec, tuple):
+            function, field = spec
+            return AggSpec(function, field)
+        return AggSpec(spec, default_field)
+
+    def _add(self, measure: Measure) -> Measure:
+        if measure.name in self.measures:
+            raise WorkflowError(
+                f"measure {measure.name!r} is already defined"
+            )
+        for dep in measure.dependencies():
+            if dep not in self.measures:
+                raise WorkflowError(
+                    f"measure {measure.name!r} depends on {dep!r}, which "
+                    f"is not defined yet (define dependencies first; "
+                    f"recursion is not allowed)"
+                )
+        self.measures[measure.name] = measure
+        return measure
+
+    def __getitem__(self, name: str) -> Measure:
+        try:
+            return self.measures[name]
+        except KeyError:
+            raise WorkflowError(f"no measure named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.measures
+
+    # -- builder methods ----------------------------------------------------
+
+    def basic(
+        self,
+        name: str,
+        granularity: GranSpec,
+        agg: AggLike = "count",
+        where: Optional[Predicate] = None,
+        hidden: bool = False,
+    ) -> Measure:
+        """A basic measure: aggregate fact-table records directly.
+
+        ``agg`` may be an :class:`AggSpec`, a function name (input
+        defaults to ``"*"`` — count-star style), or a ``(function,
+        field)`` tuple naming a fact-table measure attribute.
+        ``where`` filters the *records* before aggregation.
+        """
+        gran = self._granularity(granularity)
+        spec = self._agg(agg, "*")
+        return self._add(
+            Measure(
+                name,
+                gran,
+                MeasureKind.BASIC,
+                agg=spec,
+                where=where,
+                hidden=hidden,
+            )
+        )
+
+    def cells(self, granularity: GranSpec, name: str = "") -> Measure:
+        """The ``S_base = g_{G,0}(D)`` idiom: materialize region cells.
+
+        Returns (creating on first use) a hidden constant-0 measure over
+        the region set, used as the key provider of match joins.
+        """
+        gran = self._granularity(granularity)
+        auto_name = name or f"__cells{gran!r}"
+        if auto_name in self.measures:
+            return self.measures[auto_name]
+        measure = Measure(
+            auto_name,
+            gran,
+            MeasureKind.BASIC,
+            agg=AggSpec("cells", "*"),
+            hidden=True,
+        )
+        return self._add(measure)
+
+    def rollup(
+        self,
+        name: str,
+        granularity: GranSpec,
+        source: Union[str, Measure],
+        agg: AggLike = "count",
+        where: Optional[Predicate] = None,
+        hidden: bool = False,
+    ) -> Measure:
+        """Aggregate a finer measure up — a child/parent match join.
+
+        ``where`` filters the *source measure's entries* (keys and M)
+        before they are aggregated, e.g. the paper's
+        ``g_{(t:hour),count(*)}(σ_{M>5} S_C)``.
+        """
+        gran = self._granularity(granularity)
+        source_name = source.name if isinstance(source, Measure) else source
+        source_measure = self[source_name]
+        if not source_measure.granularity.strictly_finer(gran):
+            raise WorkflowError(
+                f"rollup {name!r}: source granularity "
+                f"{source_measure.granularity} is not strictly finer "
+                f"than {gran}"
+            )
+        spec = self._agg(agg, "M")
+        return self._add(
+            Measure(
+                name,
+                gran,
+                MeasureKind.ROLLUP,
+                agg=spec,
+                where=where,
+                source=source_name,
+                hidden=hidden,
+            )
+        )
+
+    def match(
+        self,
+        name: str,
+        granularity: GranSpec,
+        source: Union[str, Measure],
+        cond: MatchCondition,
+        agg: AggLike = "avg",
+        where: Optional[Predicate] = None,
+        keys: Optional[Union[str, Measure]] = None,
+        hidden: bool = False,
+    ) -> Measure:
+        """A match join: aggregate measures of *related* regions.
+
+        ``source`` provides the measures (the paper's T); ``keys``
+        provides the cells of the output region set (the paper's S).
+        When ``keys`` is omitted, a hidden ``S_base``-style cell measure
+        is created automatically, matching the paper's workflow
+        translations (Figure 3(b)/(c)).
+        """
+        gran = self._granularity(granularity)
+        source_name = source.name if isinstance(source, Measure) else source
+        source_measure = self[source_name]
+        if isinstance(cond, ChildParent):
+            raise WorkflowError(
+                "use rollup() for child/parent matches; match() covers "
+                "self, parent/child, and sibling conditions"
+            )
+        cond.validate(gran, source_measure.granularity)
+        if keys is None:
+            keys_name = self.cells(gran).name
+        else:
+            keys_name = keys.name if isinstance(keys, Measure) else keys
+            keys_measure = self[keys_name]
+            if keys_measure.granularity != gran:
+                raise WorkflowError(
+                    f"match {name!r}: keys measure {keys_name!r} has "
+                    f"granularity {keys_measure.granularity}, expected "
+                    f"{gran}"
+                )
+        spec = self._agg(agg, "M")
+        return self._add(
+            Measure(
+                name,
+                gran,
+                MeasureKind.MATCH,
+                agg=spec,
+                where=where,
+                source=source_name,
+                keys=keys_name,
+                cond=cond,
+                hidden=hidden,
+            )
+        )
+
+    def moving_window(
+        self,
+        name: str,
+        granularity: GranSpec,
+        source: Union[str, Measure],
+        windows: Mapping[str, tuple[int, int]],
+        agg: AggLike = "avg",
+        where: Optional[Predicate] = None,
+        keys: Optional[Union[str, Measure]] = None,
+        hidden: bool = False,
+    ) -> Measure:
+        """Sugar for a sibling match with the given per-dim windows."""
+        return self.match(
+            name,
+            granularity,
+            source,
+            cond=Sibling(windows),
+            agg=agg,
+            where=where,
+            keys=keys,
+            hidden=hidden,
+        )
+
+    def broadcast(
+        self,
+        name: str,
+        granularity: GranSpec,
+        source: Union[str, Measure],
+        agg: AggLike = "max",
+        where: Optional[Predicate] = None,
+        keys: Optional[Union[str, Measure]] = None,
+        hidden: bool = False,
+    ) -> Measure:
+        """Sugar for a parent/child match: push an ancestor's measure
+        down to every descendant cell."""
+        return self.match(
+            name,
+            granularity,
+            source,
+            cond=ParentChild(),
+            agg=agg,
+            where=where,
+            keys=keys,
+            hidden=hidden,
+        )
+
+    def combine(
+        self,
+        name: str,
+        inputs: Sequence[Union[str, Measure]],
+        fn: Union[CombineFn, Callable],
+        fn_name: str = "fc",
+        handles_null: bool = False,
+        hidden: bool = False,
+    ) -> Measure:
+        """A combine join: a scalar function of same-region measures.
+
+        ``fn`` receives one value per input, in order.  The first input
+        plays the paper's ``S`` role (its cells define the output).
+        """
+        if len(inputs) < 1:
+            raise WorkflowError("combine needs at least one input")
+        names = [
+            m.name if isinstance(m, Measure) else m for m in inputs
+        ]
+        grans = {self[n].granularity for n in names}
+        if len(grans) != 1:
+            raise WorkflowError(
+                f"combine {name!r}: inputs have different granularities"
+            )
+        gran = grans.pop()
+        combine_fn = (
+            fn
+            if isinstance(fn, CombineFn)
+            else CombineFn(fn, name=fn_name, handles_null=handles_null)
+        )
+        return self._add(
+            Measure(
+                name,
+                gran,
+                MeasureKind.COMBINE,
+                inputs=names,
+                fn=combine_fn,
+                hidden=hidden,
+            )
+        )
+
+    def filter(
+        self,
+        name: str,
+        source: Union[str, Measure],
+        where: Predicate,
+    ) -> Measure:
+        """A filtered view of a measure: ``σ_where(source)``.
+
+        Unlike :meth:`derive` (a self match join, which keeps every
+        cell with a NULL measure for non-matches), a filter *drops*
+        non-matching rows — this is the right shape for alert-style
+        outputs ("regions whose ratio exceeds a threshold").
+        """
+        source_name = source.name if isinstance(source, Measure) else source
+        gran = self[source_name].granularity
+        return self._add(
+            Measure(
+                name,
+                gran,
+                MeasureKind.FILTER,
+                where=where,
+                source=source_name,
+            )
+        )
+
+    def derive(
+        self,
+        name: str,
+        source: Union[str, Measure],
+        where: Optional[Predicate] = None,
+        agg: AggLike = "max",
+    ) -> Measure:
+        """A self-match: re-expose a measure, optionally filtered.
+
+        Useful to turn ``σ_pred(measure)`` into a named output.
+        """
+        source_name = source.name if isinstance(source, Measure) else source
+        gran = self[source_name].granularity
+        return self.match(
+            name,
+            gran,
+            source_name,
+            cond=SelfMatch(),
+            agg=agg,
+            where=where,
+            keys=source_name,
+        )
+
+    # -- whole-workflow operations --------------------------------------
+
+    def merge(self, other: "AggregationWorkflow") -> "AggregationWorkflow":
+        """Absorb another workflow's measures into this one.
+
+        This is how the paper fuses several analyses into a single
+        aggregation workflow so one pass evaluates them all (Figure
+        6(f)).  Auto-generated hidden cell measures with identical
+        names (same region set) are shared; any other name clash is an
+        error.
+
+        Returns ``self`` for chaining.
+        """
+        if other.schema is not self.schema:
+            raise WorkflowError(
+                "cannot merge workflows over different schemas"
+            )
+        for name, measure in other.measures.items():
+            existing = self.measures.get(name)
+            if existing is not None:
+                if (
+                    existing.hidden
+                    and measure.hidden
+                    and existing.granularity == measure.granularity
+                ):
+                    continue  # shared cell provider
+                raise WorkflowError(
+                    f"measure name clash while merging: {name!r}"
+                )
+            self.measures[name] = measure
+        return self
+
+    def order(self) -> list[str]:
+        """Topological evaluation order of all measures."""
+        return topological_order(self.measures)
+
+    def outputs(self) -> list[str]:
+        """Names of non-hidden measures, in definition order."""
+        return [
+            name
+            for name, measure in self.measures.items()
+            if not measure.hidden
+        ]
+
+    def validate(self) -> None:
+        """Check the workflow end to end (cycles, dangling names)."""
+        self.order()
+
+    def to_algebra(self):
+        """Translate to AW-RA expressions (Theorem 2).
+
+        Returns a dict of measure name to :class:`~repro.algebra.Expr`,
+        with shared sub-expressions reused by object identity.
+        """
+        from repro.workflow.translate import workflow_to_algebra
+
+        return workflow_to_algebra(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationWorkflow({self.name!r}, "
+            f"{len(self.measures)} measures)"
+        )

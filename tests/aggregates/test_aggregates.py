@@ -1,0 +1,135 @@
+"""Tests for the aggregate-function library."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlgebraError
+from repro.aggregates.base import AggSpec, Kind, get_aggregate
+from repro.aggregates.algebraic import Average, StdDev, Variance
+from repro.aggregates.distributive import (
+    ConstantAggregate,
+    Count,
+    Max,
+    Min,
+    Sum,
+)
+from repro.aggregates.holistic import CountDistinct, Median
+
+ALL_FUNCTIONS = [
+    Count(),
+    Sum(),
+    Min(),
+    Max(),
+    Average(),
+    Variance(),
+    StdDev(),
+    CountDistinct(),
+    Median(),
+]
+
+
+class TestRegistry:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_aggregate("SUM").name == "sum"
+        assert get_aggregate("Count_Distinct").name == "count_distinct"
+
+    def test_unknown_name(self):
+        with pytest.raises(AlgebraError):
+            get_aggregate("percentile99")
+
+    def test_agg_spec_accepts_names_and_instances(self):
+        assert AggSpec("sum").function.name == "sum"
+        assert AggSpec(Sum(), "v").input_field == "v"
+        with pytest.raises(AlgebraError):
+            AggSpec(42)
+
+    def test_agg_spec_equality(self):
+        fn = get_aggregate("sum")
+        assert AggSpec(fn, "M") == AggSpec(fn, "M")
+        assert AggSpec(fn, "M") != AggSpec(fn, "*")
+
+
+class TestBasicResults:
+    def test_count(self):
+        assert Count().over([1, 2, 3]) == 3
+        assert Count().over([]) == 0
+        assert Count().over([1, None, 2]) == 2  # SQL: NULLs not counted
+
+    def test_sum(self):
+        assert Sum().over([1, 2, 3]) == 6
+        assert Sum().over([]) is None  # SQL NULL on empty
+        assert Sum().over([None, 4]) == 4
+
+    def test_min_max(self):
+        assert Min().over([5, 2, 9]) == 2
+        assert Max().over([5, 2, 9]) == 9
+        assert Min().over([]) is None
+        assert Max().over([None]) is None
+
+    def test_avg(self):
+        assert Average().over([1, 2, 3, 4]) == 2.5
+        assert Average().over([]) is None
+        assert Average().over([None, 3]) == 3
+
+    def test_variance_and_stddev(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert Variance().over(values) == pytest.approx(4.0)
+        assert StdDev().over(values) == pytest.approx(2.0)
+        assert Variance().over([]) is None
+
+    def test_count_distinct(self):
+        assert CountDistinct().over([1, 1, 2, None, 2]) == 2
+        assert CountDistinct().over([]) == 0
+
+    def test_median(self):
+        assert Median().over([5, 1, 3]) == 3
+        assert Median().over([1, 2, 3, 4]) == 2.5
+        assert Median().over([]) is None
+
+    def test_constant(self):
+        c = ConstantAggregate(7)
+        assert c.over([]) == 7
+        assert c.over([1, 2, 3]) == 7
+        assert get_aggregate("cells").over([9]) == 0
+
+
+class TestKinds:
+    def test_classification(self):
+        assert Sum().kind is Kind.DISTRIBUTIVE
+        assert Average().kind is Kind.ALGEBRAIC
+        assert Median().kind is Kind.HOLISTIC
+
+
+def _fold(fn, values):
+    state = fn.create()
+    for value in values:
+        state = fn.update(state, value)
+    return state
+
+
+@pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+@given(
+    left=st.lists(st.integers(min_value=-100, max_value=100), max_size=20),
+    right=st.lists(st.integers(min_value=-100, max_value=100), max_size=20),
+)
+def test_merge_equals_concatenation(fn, left, right):
+    """merge(fold(A), fold(B)) == fold(A + B) — the property that makes
+    single-register streaming evaluation legal (Section 5.1)."""
+    merged = fn.merge(_fold(fn, left), _fold(fn, right))
+    expected = fn.finalize(_fold(fn, left + right))
+    got = fn.finalize(merged)
+    if expected is None or got is None:
+        assert expected is got
+    else:
+        assert got == pytest.approx(expected)
+
+
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_variance_nonnegative_and_matches_naive(values):
+    var = Variance().over(values)
+    mean = sum(values) / len(values)
+    naive = sum((v - mean) ** 2 for v in values) / len(values)
+    assert var >= -1e-9
+    assert math.isclose(var, naive, rel_tol=1e-6, abs_tol=1e-6)

@@ -1,0 +1,147 @@
+"""Tests for match-join conditions (self / pc / cp / sibling)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlgebraError
+from repro.algebra.conditions import (
+    ChildParent,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import synthetic_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def base(schema):
+    return Granularity.base(schema)
+
+
+@pytest.fixture(scope="module")
+def mid(schema):
+    return Granularity.from_spec(schema, {"d0": "d0.L1", "d1": "d1.L1"})
+
+
+class TestSelfMatch:
+    def test_validate_requires_equal_granularity(self, base, mid):
+        SelfMatch().validate(base, base)
+        with pytest.raises(AlgebraError):
+            SelfMatch().validate(base, mid)
+
+    def test_affected_and_matches(self, base):
+        cond = SelfMatch()
+        assert list(cond.affected_keys((1, 2), base, base)) == [(1, 2)]
+        assert cond.matches((1, 2), (1, 2), base, base)
+        assert not cond.matches((1, 2), (1, 3), base, base)
+
+
+class TestParentChild:
+    def test_validate_needs_strictly_finer_s(self, base, mid):
+        ParentChild().validate(base, mid)  # S finer than T
+        with pytest.raises(AlgebraError):
+            ParentChild().validate(mid, base)
+        with pytest.raises(AlgebraError):
+            ParentChild().validate(base, base)
+
+    def test_ancestor_and_matches(self, base, mid):
+        cond = ParentChild()
+        assert cond.ancestor((13, 9), base, mid) == (3, 2)
+        assert cond.matches((13, 9), (3, 2), base, mid)
+        assert not cond.matches((13, 9), (2, 2), base, mid)
+
+    def test_not_enumerable_from_t(self, base, mid):
+        cond = ParentChild()
+        assert not cond.enumerable_from_t
+        with pytest.raises(AlgebraError):
+            list(cond.affected_keys((3, 2), base, mid))
+
+
+class TestChildParent:
+    def test_validate_needs_strictly_finer_t(self, base, mid):
+        ChildParent().validate(mid, base)  # T finer than S
+        with pytest.raises(AlgebraError):
+            ChildParent().validate(base, mid)
+
+    def test_affected_is_the_parent(self, base, mid):
+        cond = ChildParent()
+        assert list(cond.affected_keys((13, 9), mid, base)) == [(3, 2)]
+        assert cond.matches((3, 2), (13, 9), mid, base)
+
+
+class TestSibling:
+    def test_validate_equal_granularity_and_windowed_dims(self, base, mid):
+        Sibling({"d0": (0, 2)}).validate(base, base)
+        with pytest.raises(AlgebraError):
+            Sibling({"d0": (0, 2)}).validate(base, mid)
+        # Window on a dimension at ALL is invalid.
+        all_gran = Granularity.from_spec(base.schema, {"d1": "d1.L0"})
+        with pytest.raises(AlgebraError):
+            Sibling({"d0": (0, 2)}).validate(all_gran, all_gran)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(AlgebraError):
+            Sibling({"d0": (1, -2)})
+        with pytest.raises(AlgebraError):
+            Sibling({})
+
+    def test_matches_window_semantics(self, base):
+        # T.d0 in [S.d0 - 1, S.d0 + 2]
+        cond = Sibling({"d0": (1, 2)})
+        s = (5, 7)
+        assert cond.matches(s, (4, 7), base, base)
+        assert cond.matches(s, (7, 7), base, base)
+        assert not cond.matches(s, (3, 7), base, base)
+        assert not cond.matches(s, (8, 7), base, base)
+        assert not cond.matches(s, (5, 8), base, base)  # other dim differs
+
+    def test_backward_only_window(self, base):
+        """(3, -1) is 'the previous three steps', excluding self."""
+        cond = Sibling({"d0": (3, -1)})
+        s = (5, 0)
+        assert cond.matches(s, (2, 0), base, base)
+        assert cond.matches(s, (4, 0), base, base)
+        assert not cond.matches(s, (5, 0), base, base)
+
+    def test_affected_keys_inverts_window(self, base):
+        cond = Sibling({"d0": (1, 2)})
+        affected = set(cond.affected_keys((5, 7), base, base))
+        assert affected == {(3, 7), (4, 7), (5, 7), (6, 7)}
+
+    def test_affected_keys_clamped_at_zero(self, base):
+        cond = Sibling({"d0": (0, 3)})
+        affected = set(cond.affected_keys((1, 0), base, base))
+        assert affected == {(0, 0), (1, 0)} | set()
+
+    def test_multi_dimension_window(self, base):
+        cond = Sibling({"d0": (0, 1), "d1": (0, 1)})
+        affected = set(cond.affected_keys((5, 5), base, base))
+        assert affected == {(4, 4), (4, 5), (5, 4), (5, 5)}
+
+    def test_max_reach(self):
+        assert Sibling({"d0": (1, 4), "d1": (2, 0)}).max_reach() == 4
+
+
+@given(
+    s=st.integers(min_value=0, max_value=30),
+    t=st.integers(min_value=0, max_value=30),
+    before=st.integers(min_value=-3, max_value=5),
+    after=st.integers(min_value=-3, max_value=5),
+)
+def test_affected_keys_agree_with_matches(s, t, before, after):
+    """t in window(s) iff s in affected_keys(t) — the duality the
+    streaming engine relies on."""
+    if before + after < 0:
+        return
+    schema = synthetic_schema(num_dimensions=1, levels=3, fanout=4)
+    gran = Granularity.base(schema)
+    cond = Sibling({"d0": (before, after)})
+    forward = cond.matches((s,), (t,), gran, gran)
+    inverse = (s,) in set(cond.affected_keys((t,), gran, gran))
+    assert forward == inverse

@@ -1,0 +1,39 @@
+"""Tests for algebra pretty-printing (explain / to_formula)."""
+
+from repro.algebra.display import explain, to_formula
+from repro.queries.examples import examples_workflow
+from repro.schema.dataset_schema import network_log_schema
+
+
+def exprs():
+    return examples_workflow(network_log_schema()).to_algebra()
+
+
+def test_formula_matches_paper_notation():
+    formula = to_formula(exprs()["sCount"])
+    assert formula.startswith("g[(t:Hour),count(M)]")
+    assert "σ[M > 5]" in formula
+    assert formula.endswith("(D)))")
+
+
+def test_explain_indents_operator_tree():
+    text = explain(exprs()["avgCount"])
+    lines = text.splitlines()
+    assert lines[0].startswith("MatchJoin")
+    assert any(line.strip().startswith("FactTable D") for line in lines)
+    assert any("keys:" in line for line in lines)
+    assert any("measures:" in line for line in lines)
+    # Children are indented under their parents.
+    assert any(line.startswith("    ") for line in lines)
+
+
+def test_explain_combine_join_lists_inputs():
+    text = explain(exprs()["ratio"])
+    assert text.count("input[") == 2
+    assert "CombineJoin" in text
+
+
+def test_explain_select_and_aggregate():
+    text = explain(exprs()["sTraffic"])
+    assert "Aggregate" in text
+    assert "Select" in text

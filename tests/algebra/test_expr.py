@@ -1,0 +1,152 @@
+"""Tests for AW-RA expression construction rules (Table 5)."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import ChildParent, SelfMatch, Sibling
+from repro.algebra.expr import (
+    Aggregate,
+    CombineFn,
+    CombineJoin,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.algebra.predicates import Field
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import synthetic_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def fact(schema):
+    return FactTable(schema)
+
+
+def count_at(fact, spec):
+    gran = Granularity.from_spec(fact.schema, spec)
+    return Aggregate(fact, gran, AggSpec("count", "*"))
+
+
+class TestFactTable:
+    def test_base_granularity(self, fact, schema):
+        assert fact.granularity == Granularity.base(schema)
+        assert fact.is_fact_like()
+
+
+class TestSelect:
+    def test_preserves_granularity_and_fact_likeness(self, fact):
+        selected = Select(fact, Field("d0") > 1)
+        assert selected.granularity == fact.granularity
+        assert selected.is_fact_like()  # sigma(D) is still fact-like
+        assert Select(selected, Field("d0") > 2).is_fact_like()
+
+    def test_requires_predicate(self, fact):
+        with pytest.raises(AlgebraError):
+            Select(fact, lambda r: True)
+
+    def test_where_fluent(self, fact):
+        assert isinstance(fact.where(Field("d0") > 1), Select)
+
+
+class TestAggregate:
+    def test_requires_finer_input(self, fact):
+        coarse = count_at(fact, {"d0": "d0.L1"})
+        fine_gran = Granularity.base(fact.schema)
+        with pytest.raises(AlgebraError):
+            Aggregate(coarse, fine_gran, AggSpec("count", "*"))
+
+    def test_measure_tables_only_carry_m(self, fact):
+        coarse = count_at(fact, {"d0": "d0.L0"})
+        top = Granularity.from_spec(fact.schema, {"d0": "d0.L1"})
+        with pytest.raises(AlgebraError):
+            Aggregate(coarse, top, AggSpec("sum", "v"))
+
+    def test_fact_measure_attributes_allowed(self, fact):
+        gran = Granularity.from_spec(fact.schema, {"d0": "d0.L0"})
+        expr = Aggregate(fact, gran, AggSpec("sum", "v"))
+        assert expr.granularity == gran
+
+    def test_requires_agg_spec(self, fact):
+        gran = Granularity.from_spec(fact.schema, {"d0": "d0.L0"})
+        with pytest.raises(AlgebraError):
+            Aggregate(fact, gran, "count")
+
+
+class TestMatchJoin:
+    def test_bans_fact_like_target(self, fact):
+        source = count_at(fact, {"d0": "d0.L0"})
+        with pytest.raises(AlgebraError):
+            MatchJoin(fact, source, SelfMatch(), AggSpec("avg", "M"))
+        with pytest.raises(AlgebraError):
+            MatchJoin(
+                Select(fact, Field("d0") > 1),
+                source,
+                SelfMatch(),
+                AggSpec("avg", "M"),
+            )
+
+    def test_condition_validated(self, fact):
+        a = count_at(fact, {"d0": "d0.L0"})
+        b = count_at(fact, {"d0": "d0.L1"})
+        with pytest.raises(AlgebraError):
+            MatchJoin(a, b, SelfMatch(), AggSpec("avg", "M"))
+
+    def test_sibling_join_builds(self, fact):
+        a = count_at(fact, {"d0": "d0.L0"})
+        b = count_at(fact, {"d0": "d0.L0"})
+        join = MatchJoin(a, b, Sibling({"d0": (0, 2)}), AggSpec("avg", "M"))
+        assert join.granularity == a.granularity
+
+    def test_cp_join_builds(self, fact):
+        child = count_at(fact, {"d0": "d0.L0"})
+        parent_cells = count_at(fact, {"d0": "d0.L1"})
+        join = MatchJoin(
+            parent_cells, child, ChildParent(), AggSpec("sum", "M")
+        )
+        assert join.granularity == parent_cells.granularity
+
+    def test_aggregates_m_only(self, fact):
+        a = count_at(fact, {"d0": "d0.L0"})
+        with pytest.raises(AlgebraError):
+            MatchJoin(a, a, SelfMatch(), AggSpec("sum", "v"))
+
+
+class TestCombineJoin:
+    def test_requires_equal_granularities(self, fact):
+        a = count_at(fact, {"d0": "d0.L0"})
+        b = count_at(fact, {"d0": "d0.L1"})
+        with pytest.raises(AlgebraError):
+            CombineJoin(a, [b], CombineFn(lambda x, y: x))
+
+    def test_bans_fact_like_inputs(self, fact):
+        a = count_at(fact, {"d0": "d0.L0"})
+        with pytest.raises(AlgebraError):
+            CombineJoin(fact, [a], CombineFn(lambda x, y: x))
+        with pytest.raises(AlgebraError):
+            CombineJoin(a, [fact], CombineFn(lambda x, y: x))
+
+    def test_requires_inputs_and_fn(self, fact):
+        a = count_at(fact, {"d0": "d0.L0"})
+        with pytest.raises(AlgebraError):
+            CombineJoin(a, [], CombineFn(lambda x: x))
+        with pytest.raises(AlgebraError):
+            CombineJoin(a, [a], lambda x, y: x)
+
+
+class TestCombineFn:
+    def test_null_short_circuit(self):
+        fn = CombineFn(lambda a, b: a + b, name="add")
+        assert fn(1, 2) == 3
+        assert fn(1, None) is None
+
+    def test_handles_null_passthrough(self):
+        fn = CombineFn(
+            lambda a, b: (a or 0) + (b or 0), handles_null=True
+        )
+        assert fn(1, None) == 1

@@ -1,0 +1,153 @@
+"""Tests for the Lags (discrete neighbour offsets) condition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlgebraError
+from repro.algebra.conditions import Lags
+from repro.algebra.sql import to_sql
+from repro.cube.granularity import Granularity
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=1, levels=2, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def base(schema):
+    return Granularity(schema, (0,))
+
+
+class TestCondition:
+    def test_matches_exact_offsets(self, base):
+        cond = Lags({"d0": (-3, -1, 2)})
+        s = (5,)
+        assert cond.matches(s, (2,), base, base)
+        assert cond.matches(s, (4,), base, base)
+        assert cond.matches(s, (7,), base, base)
+        assert not cond.matches(s, (5,), base, base)
+        assert not cond.matches(s, (3,), base, base)
+
+    def test_affected_keys_invert_offsets(self, base):
+        cond = Lags({"d0": (-2, 1)})
+        affected = set(cond.affected_keys((5,), base, base))
+        # t = s + delta  =>  s = t - delta: {5 - (-2), 5 - 1} = {7, 4}
+        assert affected == {(7,), (4,)}
+
+    def test_affected_keys_clamp_negative(self, base):
+        cond = Lags({"d0": (2,)})
+        assert set(cond.affected_keys((1,), base, base)) == set()
+
+    def test_validation(self, schema, base):
+        coarse = Granularity(schema, (1,))
+        with pytest.raises(AlgebraError):
+            Lags({"d0": ()})
+        with pytest.raises(AlgebraError):
+            Lags({})
+        with pytest.raises(AlgebraError):
+            Lags({"d0": (-1,)}).validate(base, coarse)
+        all_gran = Granularity(schema, (schema.dimensions[0].all_level,))
+        with pytest.raises(AlgebraError):
+            Lags({"d0": (-1,)}).validate(all_gran, all_gran)
+
+    def test_offsets_deduplicated_and_sorted(self):
+        cond = Lags({"d0": (3, -1, 3)})
+        assert cond.offsets["d0"] == (-1, 3)
+
+    def test_repr(self):
+        assert "cond_lag" in repr(Lags({"d0": (-24, -168)}))
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def dataset(self, schema):
+        values = [0, 0, 1, 4, 5, 5, 5, 12, 13]
+        return InMemoryDataset(schema, [(v, 1.0) for v in values])
+
+    def lag_workflow(self, schema, offsets):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.match(
+            "lagged", {"d0": "d0.L0"}, source="cnt",
+            cond=Lags({"d0": offsets}), agg="sum",
+        )
+        return wf
+
+    def test_backward_lag_ground_truth(self, schema, dataset):
+        wf = self.lag_workflow(schema, (-1,))
+        result = SortScanEngine(
+            assert_no_late_updates=True
+        ).evaluate(dataset, wf)
+        # cnt: {0:2, 1:1, 4:1, 5:3, 12:1, 13:1}
+        assert result["lagged"].rows == {
+            (0,): None,
+            (1,): 2,
+            (4,): None,
+            (5,): 1,
+            (12,): None,
+            (13,): 1,
+        }
+
+    def test_forward_lag_delays_finalization(self, schema, dataset):
+        wf = self.lag_workflow(schema, (2,))
+        result = SortScanEngine(
+            assert_no_late_updates=True
+        ).evaluate(dataset, wf)
+        assert result["lagged"].rows[(12,)] is None
+        assert result["lagged"].rows[(3 - 2,)] is None  # (1,) sees 3? no
+        # cell 4 sees cnt[6] (absent); cell 5 sees cnt[7] (absent).
+        assert result["lagged"].rows[(4,)] is None
+
+    @pytest.mark.parametrize(
+        "offsets", [(-1,), (-3, -1), (1,), (-2, 2), (0, -4, 4)]
+    )
+    def test_engines_agree(self, schema, dataset, offsets):
+        wf = self.lag_workflow(schema, offsets)
+        reference = RelationalEngine(spool=False).evaluate(dataset, wf)
+        for engine in (
+            SingleScanEngine(),
+            SortScanEngine(assert_no_late_updates=True),
+        ):
+            result = engine.evaluate(dataset, wf)
+            for name in wf.outputs():
+                assert reference[name].equal_rows(result[name]), (
+                    f"{engine.name}: {reference[name].diff(result[name])}"
+                )
+
+    def test_sql_rendering(self, schema):
+        wf = self.lag_workflow(schema, (-3, -1))
+        sql = to_sql(wf.to_algebra()["lagged"])
+        assert "IN (-3, -1)" in sql
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=15), max_size=40
+    ),
+    offsets=st.sets(
+        st.integers(min_value=-4, max_value=4), min_size=1, max_size=3
+    ),
+)
+def test_lag_engines_agree_property(values, offsets):
+    schema = synthetic_schema(num_dimensions=1, levels=2, fanout=4)
+    dataset = InMemoryDataset(schema, [(v, 1.0) for v in values])
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0"})
+    wf.match(
+        "lagged", {"d0": "d0.L0"}, source="cnt",
+        cond=Lags({"d0": tuple(offsets)}), agg="avg",
+    )
+    reference = RelationalEngine(spool=False).evaluate(dataset, wf)
+    streamed = SortScanEngine(assert_no_late_updates=True).evaluate(
+        dataset, wf
+    )
+    assert reference["lagged"].equal_rows(streamed["lagged"]), (
+        reference["lagged"].diff(streamed["lagged"])
+    )

@@ -1,0 +1,128 @@
+"""Tests for selection predicates."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Field,
+    Not,
+    Or,
+    RawPredicate,
+)
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import synthetic_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def hour_gran(schema):
+    return Granularity.from_spec(schema, {"d0": "d0.L1"})
+
+
+class TestFieldBuilder:
+    def test_comparisons_build(self):
+        pred = Field("M") > 5
+        assert isinstance(pred, Comparison)
+        assert (pred.field, pred.op, pred.value) == ("M", ">", 5)
+
+    def test_all_operators(self):
+        field = Field("M")
+        for pred, op in [
+            (field == 1, "=="),
+            (field != 1, "!="),
+            (field < 1, "<"),
+            (field <= 1, "<="),
+            (field > 1, ">"),
+            (field >= 1, ">="),
+        ]:
+            assert pred.op == op
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AlgebraError):
+            Comparison("M", "~", 1)
+
+
+class TestFactCompilation:
+    def test_dimension_comparison(self, schema):
+        pred = (Field("d0") >= 8).compile_for_fact(schema)
+        assert pred((8, 0, 0.0))
+        assert not pred((7, 0, 0.0))
+
+    def test_measure_attribute_comparison(self, schema):
+        pred = (Field("v") > 0.5).compile_for_fact(schema)
+        assert pred((0, 0, 0.9))
+        assert not pred((0, 0, 0.1))
+
+    def test_none_never_satisfies(self, schema):
+        pred = (Field("v") > 0).compile_for_fact(schema)
+        assert not pred((0, 0, None))
+
+    def test_unknown_field_rejected(self, schema):
+        with pytest.raises(Exception):
+            (Field("nope") > 1).compile_for_fact(schema)
+
+
+class TestMeasureCompilation:
+    def test_measure_value(self, schema, hour_gran):
+        pred = (Field("M") > 5).compile_for_measure(schema, hour_gran)
+        assert pred((1, 0), 6)
+        assert not pred((1, 0), 5)
+        assert not pred((1, 0), None)
+
+    def test_dimension_key(self, schema, hour_gran):
+        pred = (Field("d0") == 3).compile_for_measure(schema, hour_gran)
+        assert pred((3, 0), 99)
+        assert not pred((2, 0), 99)
+
+    def test_all_dimension_rejected(self, schema, hour_gran):
+        # d1 is at ALL in this granularity: predicates on it are invalid.
+        with pytest.raises(AlgebraError):
+            (Field("d1") == 0).compile_for_measure(schema, hour_gran)
+
+
+class TestConnectives:
+    def test_and_or_not(self, schema, hour_gran):
+        both = (Field("M") > 2) & (Field("d0") == 1)
+        either = (Field("M") > 100) | (Field("d0") == 1)
+        negated = ~(Field("M") > 2)
+        and_fn = both.compile_for_measure(schema, hour_gran)
+        or_fn = either.compile_for_measure(schema, hour_gran)
+        not_fn = negated.compile_for_measure(schema, hour_gran)
+        assert and_fn((1, 0), 5) and not and_fn((2, 0), 5)
+        assert or_fn((1, 0), 0) and not or_fn((2, 0), 0)
+        assert not_fn((0, 0), 1) and not not_fn((0, 0), 5)
+
+    def test_references_measure_propagates(self):
+        assert (Field("M") > 1).references_measure()
+        assert not (Field("d0") > 1).references_measure()
+        assert ((Field("d0") > 1) & (Field("M") > 1)).references_measure()
+        assert not (~(Field("d0") > 1)).references_measure()
+
+    def test_repr_readable(self):
+        assert repr((Field("M") > 5) & (Field("d0") == 1)) == (
+            "(M > 5) AND (d0 == 1)"
+        )
+
+
+class TestRawPredicate:
+    def test_wraps_callables(self, schema, hour_gran):
+        raw = RawPredicate(
+            fact_fn=lambda record: record[0] % 2 == 0,
+            measure_fn=lambda key, value: value is not None and value > 1,
+            reads_measure=True,
+        )
+        assert raw.compile_for_fact(schema)((2, 0, 0.0))
+        assert raw.compile_for_measure(schema, hour_gran)((0, 0), 2)
+        assert raw.references_measure()
+
+    def test_missing_form_rejected(self, schema, hour_gran):
+        raw = RawPredicate(fact_fn=lambda r: True)
+        raw.compile_for_fact(schema)
+        with pytest.raises(AlgebraError):
+            raw.compile_for_measure(schema, hour_gran)

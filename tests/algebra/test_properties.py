@@ -1,0 +1,289 @@
+"""Tests for the Theorem 1 rewrite rules — checked semantically.
+
+Each rewrite is verified by evaluating the original and rewritten
+expressions over real data and comparing the resulting measure tables,
+not just structurally.
+"""
+
+import random
+
+import pytest
+
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import ChildParent, SelfMatch
+from repro.algebra.expr import (
+    Aggregate,
+    CombineFn,
+    CombineJoin,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.algebra.predicates import Field
+from repro.algebra.properties import (
+    cells,
+    collapse_aggregations,
+    match_join_as_aggregate,
+    push_selection_below_aggregate,
+    reorder_combine_inputs,
+    simplify,
+    split_combine_join,
+)
+from repro.cube.granularity import Granularity
+from repro.engine.compile import compile_measures
+from repro.engine.single_scan import SingleScanEngine
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def dataset(schema):
+    rng = random.Random(7)
+    records = [
+        (rng.randrange(64), rng.randrange(64), float(rng.randrange(10)))
+        for __ in range(800)
+    ]
+    return InMemoryDataset(schema, records)
+
+
+def evaluate(expr, dataset):
+    graph = compile_measures({"out": expr})
+    result = SingleScanEngine().evaluate(dataset, graph)
+    return result["out"].rows
+
+
+def assert_equivalent(original, rewritten, dataset):
+    assert evaluate(original, dataset) == evaluate(rewritten, dataset)
+
+
+class TestProperty1Collapse:
+    def test_sum_of_sums_collapses(self, schema, dataset):
+        fact = FactTable(schema)
+        mid = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        top = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        nested = Aggregate(
+            Aggregate(fact, mid, AggSpec("sum", "v")),
+            top,
+            AggSpec("sum", "M"),
+        )
+        collapsed = collapse_aggregations(nested)
+        assert isinstance(collapsed.child, FactTable)
+        assert_equivalent(nested, collapsed, dataset)
+
+    def test_sum_of_counts_collapses_to_count(self, schema, dataset):
+        fact = FactTable(schema)
+        mid = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        top = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        nested = Aggregate(
+            Aggregate(fact, mid, AggSpec("count", "*")),
+            top,
+            AggSpec("sum", "M"),
+        )
+        collapsed = collapse_aggregations(nested)
+        assert collapsed.agg.function.name == "count"
+        assert_equivalent(nested, collapsed, dataset)
+
+    def test_min_and_max_collapse(self, schema, dataset):
+        fact = FactTable(schema)
+        mid = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        top = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        for name in ("min", "max"):
+            nested = Aggregate(
+                Aggregate(fact, mid, AggSpec(name, "v")),
+                top,
+                AggSpec(name, "M"),
+            )
+            collapsed = collapse_aggregations(nested)
+            assert isinstance(collapsed.child, FactTable)
+            assert_equivalent(nested, collapsed, dataset)
+
+    def test_avg_of_avgs_not_collapsed(self, schema):
+        """AVG is algebraic, not distributive: no rewrite may fire
+        (average of averages is not the average)."""
+        fact = FactTable(schema)
+        mid = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        top = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        nested = Aggregate(
+            Aggregate(fact, mid, AggSpec("avg", "v")),
+            top,
+            AggSpec("avg", "M"),
+        )
+        assert collapse_aggregations(nested) is nested
+
+    def test_count_of_counts_not_collapsed(self, schema):
+        """COUNT of COUNT is region counting — it must NOT collapse."""
+        fact = FactTable(schema)
+        mid = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        top = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        nested = Aggregate(
+            Aggregate(fact, mid, AggSpec("count", "*")),
+            top,
+            AggSpec("count", "M"),
+        )
+        assert collapse_aggregations(nested) is nested
+
+
+class TestProperty2PushSelection:
+    def test_dimension_selection_pushes_below(self, schema, dataset):
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        original = Select(
+            Aggregate(fact, gran, AggSpec("count", "*")),
+            Field("d0") >= 2,
+        )
+        pushed = push_selection_below_aggregate(original)
+        assert isinstance(pushed, Aggregate)
+        assert isinstance(pushed.child, Select)
+        assert_equivalent(original, pushed, dataset)
+
+    def test_measure_selection_not_pushed(self, schema):
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        original = Select(
+            Aggregate(fact, gran, AggSpec("count", "*")),
+            Field("M") > 5,
+        )
+        assert push_selection_below_aggregate(original) is original
+
+
+class TestProperty3NonAssociativity:
+    def test_match_join_is_not_associative(self, schema, dataset):
+        """(S >< T) >< U differs from S >< (T >< U) in general.
+
+        With a sliding-window condition and SUM on both joins, the
+        left association windows U once, while the right association
+        windows it twice (a double smoothing) — different results.
+        """
+        from repro.algebra.conditions import Sibling
+
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        s = Aggregate(fact, gran, AggSpec("count", "*"))
+        t = Aggregate(fact, gran, AggSpec("sum", "v"))
+        u = Aggregate(fact, gran, AggSpec("max", "v"))
+        window = Sibling({"d0": (0, 1)})
+        agg = AggSpec("sum", "M")
+        left = MatchJoin(
+            MatchJoin(s, t, window, agg), u, window, agg
+        )
+        right = MatchJoin(
+            s, MatchJoin(t, u, window, agg), window, agg
+        )
+        assert evaluate(left, dataset) != evaluate(right, dataset)
+
+
+class TestProperty4Reorder:
+    def test_permuted_inputs_equivalent(self, schema, dataset):
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        base = Aggregate(fact, gran, AggSpec("count", "*"))
+        t1 = Aggregate(fact, gran, AggSpec("sum", "v"))
+        t2 = Aggregate(fact, gran, AggSpec("max", "v"))
+        t3 = Aggregate(fact, gran, AggSpec("min", "v"))
+        fn = CombineFn(
+            lambda c, a, b, d: (c or 0) + 2 * (a or 0) - (b or 0) * (d or 0),
+            handles_null=True,
+        )
+        original = CombineJoin(base, [t1, t2, t3], fn)
+        permuted = reorder_combine_inputs(original, [2, 0, 1])
+        assert [expr for expr in permuted.inputs] == [t3, t1, t2]
+        assert evaluate(original, dataset) == pytest.approx(
+            evaluate(permuted, dataset)
+        ) or evaluate(original, dataset) == evaluate(permuted, dataset)
+
+    def test_invalid_permutation_rejected(self, schema):
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        base = Aggregate(fact, gran, AggSpec("count", "*"))
+        t1 = Aggregate(fact, gran, AggSpec("sum", "v"))
+        join = CombineJoin(base, [t1], CombineFn(lambda a, b: a))
+        with pytest.raises(Exception):
+            reorder_combine_inputs(join, [1])
+
+
+class TestProperty5Split:
+    def test_decomposed_combine_equivalent(self, schema, dataset):
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        base = Aggregate(fact, gran, AggSpec("count", "*"))
+        t1 = Aggregate(fact, gran, AggSpec("sum", "v"))
+        t2 = Aggregate(fact, gran, AggSpec("max", "v"))
+        original = CombineJoin(
+            base,
+            [t1, t2],
+            CombineFn(
+                lambda c, a, b: (c or 0) + (a or 0) + (b or 0),
+                handles_null=True,
+            ),
+        )
+        split = split_combine_join(
+            original,
+            split_at=1,
+            fc1=lambda c, a: (c or 0) + (a or 0),
+            fc2=lambda acc, b: (acc or 0) + (b or 0),
+            handles_null=True,
+        )
+        assert evaluate(original, dataset) == evaluate(split, dataset)
+
+    def test_split_point_validated(self, schema):
+        fact = FactTable(schema)
+        gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        base = Aggregate(fact, gran, AggSpec("count", "*"))
+        t1 = Aggregate(fact, gran, AggSpec("sum", "v"))
+        join = CombineJoin(base, [t1], CombineFn(lambda a, b: a))
+        with pytest.raises(Exception):
+            split_combine_join(join, 1, lambda a: a, lambda a: a)
+
+
+class TestMatchJoinAsAggregate:
+    def test_cp_join_rewrites_when_cells_preserved(self, schema, dataset):
+        fact = FactTable(schema)
+        child_gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        parent_gran = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        child = Aggregate(fact, child_gran, AggSpec("count", "*"))
+        parent_cells = cells(fact, parent_gran)
+        join = MatchJoin(
+            parent_cells, child, ChildParent(), AggSpec("sum", "M")
+        )
+        rewritten = match_join_as_aggregate(join)
+        assert isinstance(rewritten, Aggregate)
+        assert_equivalent(join, rewritten, dataset)
+
+    def test_no_rewrite_with_selection_in_lineage(self, schema):
+        """A selection can drop cells: the rewrite must not fire."""
+        fact = FactTable(schema)
+        child_gran = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        parent_gran = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        child = Aggregate(
+            Select(fact, Field("v") > 5.0), child_gran, AggSpec("count", "*")
+        )
+        join = MatchJoin(
+            cells(fact, parent_gran),
+            child,
+            ChildParent(),
+            AggSpec("sum", "M"),
+        )
+        assert match_join_as_aggregate(join) is join
+
+
+class TestSimplify:
+    def test_simplify_reaches_fixpoint(self, schema, dataset):
+        fact = FactTable(schema)
+        mid = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        top = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        nested = Aggregate(
+            Aggregate(fact, mid, AggSpec("sum", "v")),
+            top,
+            AggSpec("sum", "M"),
+        )
+        simplified = simplify(nested)
+        assert isinstance(simplified, Aggregate)
+        assert isinstance(simplified.child, FactTable)
+        assert_equivalent(nested, simplified, dataset)
+        # Idempotent.
+        assert repr(simplify(simplified)) == repr(simplified)

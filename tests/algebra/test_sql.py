@@ -1,0 +1,69 @@
+"""Tests for the Tables 2-4 SQL rendering of AW-RA expressions."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.algebra.predicates import Field, RawPredicate
+from repro.algebra.sql import predicate_to_sql, to_sql
+from repro.queries.examples import examples_workflow
+from repro.schema.dataset_schema import network_log_schema
+
+
+@pytest.fixture(scope="module")
+def exprs():
+    return examples_workflow(network_log_schema()).to_algebra()
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        assert predicate_to_sql(Field("M") > 5) == "M > 5"
+        assert predicate_to_sql(Field("M") == 5) == "M = 5"
+        assert predicate_to_sql(Field("M") != 5) == "M <> 5"
+
+    def test_connectives(self):
+        pred = (Field("M") > 5) & ~(Field("M") > 9)
+        assert predicate_to_sql(pred) == "(M > 5 AND NOT (M > 9))"
+
+    def test_raw_predicate_rejected(self):
+        with pytest.raises(AlgebraError):
+            predicate_to_sql(RawPredicate(fact_fn=lambda r: True))
+
+
+class TestExampleQueries:
+    def test_example1_is_group_by(self, exprs):
+        sql = to_sql(exprs["Count"])
+        assert "GROUP BY" in sql
+        assert "COUNT(*)" in sql
+        assert "GAMMA_T_HOUR" in sql  # time generalized to Hour
+        assert "FROM D" in sql
+
+    def test_example2_nests_the_filter(self, exprs):
+        sql = to_sql(exprs["sCount"])
+        assert "WHERE M > 5" in sql
+        assert sql.count("WITH") == 1
+        # Two levels of aggregation: the inner Count, the outer count.
+        assert sql.count("GROUP BY") == 2
+
+    def test_example4_left_outer_join_with_window(self, exprs):
+        sql = to_sql(exprs["avgCount"])
+        assert "LEFT OUTER JOIN" in sql
+        assert "BETWEEN S.t_Hour - 0 AND S.t_Hour + 5" in sql
+        assert "AVG(T.M)" in sql
+
+    def test_example5_chains_joins(self, exprs):
+        """Table 4: one LEFT OUTER JOIN per combine input."""
+        sql = to_sql(exprs["ratio"])
+        assert sql.count("LEFT OUTER JOIN") >= 3
+        assert sql.strip().endswith(";")
+
+    def test_shared_subexpressions_emitted_once(self, exprs):
+        sql = to_sql(exprs["ratio"])
+        # The hourly Count CTE appears once even though three measures
+        # derive from it.
+        assert sql.count("U AS U_IP") == 1
+
+    def test_fact_table_alone(self):
+        from repro.algebra.expr import FactTable
+
+        schema = network_log_schema()
+        assert to_sql(FactTable(schema)) == "SELECT * FROM D;"

@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness and figure drivers."""
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    fig6e,
+    fig7a,
+)
+from repro.bench.harness import BenchRow, format_table, time_engine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.data.synthetic import synthetic_dataset
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def tiny_workflow(schema):
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0"})
+    return wf
+
+
+class TestTimeEngine:
+    def test_successful_run_row(self):
+        ds = synthetic_dataset(500)
+        row = time_engine(
+            SortScanEngine(), ds, tiny_workflow(ds.schema), "figX", "c"
+        )
+        assert row.engine == "sort-scan"
+        assert row.seconds is not None and row.seconds > 0
+        assert row.peak_entries > 0
+
+    def test_budget_failure_becomes_na_row(self):
+        ds = synthetic_dataset(2000)
+        row = time_engine(
+            SingleScanEngine(memory_budget_entries=5),
+            ds,
+            tiny_workflow(ds.schema),
+            "figX",
+            "c",
+            label="SingleScan",
+        )
+        assert row.seconds is None
+        assert row.seconds_text == "n/a"
+        assert "exceeded budget" in row.note
+
+
+class TestFormatting:
+    def test_table_includes_every_row(self):
+        rows = [
+            BenchRow("f", "cfg1", "DB", 1.5),
+            BenchRow("f", "cfg1", "SortScan", None, note="oom"),
+        ]
+        text = format_table("title", rows)
+        assert "== title ==" in text
+        assert "cfg1" in text and "DB" in text
+        assert "n/a" in text and "oom" in text
+
+
+class TestFigureDrivers:
+    """Smoke-run every figure driver at a minuscule scale."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_FIGURES))
+    def test_driver_produces_rows(self, name):
+        driver = ALL_FIGURES[name]
+        if name in ("fig6c", "fig6d"):
+            rows = driver(scale=0.01, size=1500)
+        elif name in ("fig6f", "fig7a", "fig7b"):
+            rows = driver(scale=0.01, background=1500)
+        else:
+            rows = driver(scale=0.01)
+        assert rows
+        assert all(row.figure == name for row in rows)
+
+    def test_fig6e_reports_breakdown(self):
+        rows = fig6e(scale=0.01)
+        assert all(
+            row.sort_seconds >= 0 and row.scan_seconds > 0 for row in rows
+        )
+
+    def test_fig7a_single_scan_competitive(self):
+        """Figure 7(a)'s qualitative claim at small scale: the simple
+        scan is at least as fast as sort/scan (sort cost dominates
+        when the intermediate state is tiny)."""
+        rows = fig7a(scale=0.02, background=4000)
+        by_engine = {row.engine: row for row in rows}
+        assert by_engine["SimpleScan"].seconds <= (
+            by_engine["SortScan"].seconds
+        )

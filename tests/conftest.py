@@ -1,0 +1,79 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.honeynet import honeynet_dataset
+from repro.engine.multi_pass import MultiPassEngine
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+from repro.storage.table import InMemoryDataset
+
+
+@pytest.fixture(scope="session")
+def syn_schema():
+    """Small synthetic schema: 3 dims, 3 levels, fan-out 4 (64 values)."""
+    return synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+@pytest.fixture(scope="session")
+def net_schema():
+    return network_log_schema()
+
+
+@pytest.fixture(scope="session")
+def syn_dataset(syn_schema):
+    """3000 seeded uniform records over the small synthetic schema."""
+    rng = random.Random(42)
+    records = [
+        (
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.random(),
+        )
+        for __ in range(3000)
+    ]
+    return InMemoryDataset(syn_schema, records)
+
+
+@pytest.fixture(scope="session")
+def net_dataset():
+    """A small honeynet trace with both episode types injected."""
+    return honeynet_dataset(4000, hours=24)
+
+
+def all_engines(budget: int = 50_000):
+    """One instance of every engine, streaming ones instrumented."""
+    return [
+        RelationalEngine(),
+        RelationalEngine(spool=False, reuse_subexpressions=True),
+        SingleScanEngine(),
+        SortScanEngine(assert_no_late_updates=True),
+        SortScanEngine(optimize=True, assert_no_late_updates=True),
+        MultiPassEngine(memory_budget_entries=budget),
+    ]
+
+
+def assert_engines_agree(dataset, workflow, budget: int = 50_000):
+    """The central invariant: every engine computes identical tables."""
+    engines = all_engines(budget)
+    results = [engine.evaluate(dataset, workflow) for engine in engines]
+    reference = results[0]
+    for engine, result in zip(engines[1:], results[1:]):
+        for name in workflow.outputs():
+            ref_table = reference[name]
+            got_table = result[name]
+            assert ref_table.equal_rows(got_table), (
+                f"{engine.name} disagrees on {name!r}: "
+                f"{ref_table.diff(got_table)}"
+            )
+    return reference

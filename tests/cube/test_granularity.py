@@ -1,0 +1,109 @@
+"""Tests for granularity vectors and the <_G partial order."""
+
+import pytest
+
+from repro.errors import GranularityError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+class TestConstruction:
+    def test_from_spec_defaults_to_all(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        assert g.levels == (1, 3, 3)
+
+    def test_from_spec_by_abbrev(self):
+        net = network_log_schema()
+        g = Granularity.from_spec(net, {"t": "Hour", "U": "IP"})
+        assert g.levels[0] == 1 and g.levels[1] == 0
+
+    def test_base_and_all(self, schema):
+        assert Granularity.base(schema).levels == (0, 0, 0)
+        assert Granularity.all(schema).levels == (3, 3, 3)
+
+    def test_wrong_width_rejected(self, schema):
+        with pytest.raises(GranularityError):
+            Granularity(schema, (0, 0))
+
+    def test_bad_level_rejected(self, schema):
+        with pytest.raises(GranularityError):
+            Granularity(schema, (0, 0, 9))
+
+    def test_repr_omits_all_dims(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        assert repr(g) == "(d0:d0.L1)"
+        assert repr(Granularity.all(schema)) == "(ALL)"
+
+
+class TestPartialOrder:
+    def test_finer_or_equal_reflexive(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        assert g.finer_or_equal(g)
+        assert not g.strictly_finer(g)
+
+    def test_base_is_finest(self, schema):
+        base = Granularity.base(schema)
+        top = Granularity.all(schema)
+        assert base.finer_or_equal(top)
+        assert base.strictly_finer(top)
+        assert not top.finer_or_equal(base)
+
+    def test_incomparable_pair(self, schema):
+        g1 = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        g2 = Granularity.from_spec(schema, {"d1": "d1.L0"})
+        assert not g1.finer_or_equal(g2)
+        assert not g2.finer_or_equal(g1)
+
+    def test_cross_schema_rejected(self, schema):
+        other = synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+        with pytest.raises(GranularityError):
+            Granularity.base(schema).finer_or_equal(
+                Granularity.base(other)
+            )
+
+    def test_equality_and_hash(self, schema):
+        g1 = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        g2 = Granularity(schema, (1, 3, 3))
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != Granularity.base(schema)
+
+
+class TestKeys:
+    def test_key_dims_excludes_all(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1", "d2": "d2.L0"})
+        assert g.key_dims == (0, 2)
+
+    def test_key_of_record(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1", "d1": "d1.L0"})
+        # fanout 4: value 13 at L1 is 13 // 4 == 3.
+        assert g.key_of_record((13, 7, 22, 0.5)) == (3, 7, 0)
+
+    def test_generalize_key_up(self, schema):
+        fine = Granularity.from_spec(schema, {"d0": "d0.L0", "d1": "d1.L0"})
+        coarse = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        assert coarse.generalize_key((13, 7, 0), fine) == (3, 0, 0)
+
+    def test_generalize_key_rejects_coarser_input(self, schema):
+        fine = Granularity.base(schema)
+        coarse = Granularity.all(schema)
+        with pytest.raises(GranularityError):
+            fine.generalize_key((0, 0, 0), coarse)
+
+    def test_lift_fn_cached(self, schema):
+        fine = Granularity.base(schema)
+        coarse = Granularity.from_spec(schema, {"d0": "d0.L2"})
+        assert coarse.lift_fn(fine) is coarse.lift_fn(fine)
+
+    def test_record_key_fn_matches_key_of_record(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L2", "d2": "d2.L1"})
+        record = (63, 1, 17, 0.0)
+        assert g.record_key_fn()(record) == g.key_of_record(record)

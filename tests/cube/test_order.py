@@ -1,0 +1,95 @@
+"""Tests for sort keys / ordering vectors (Section 5.2)."""
+
+import pytest
+
+from repro.errors import GranularityError, PlanError
+from repro.cube.granularity import Granularity
+from repro.cube.order import SortKey
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+class TestConstruction:
+    def test_from_spec(self):
+        net = network_log_schema()
+        key = SortKey.from_spec(net, [("t", "Day"), ("T", "/24")])
+        assert key.parts == ((0, 2), (2, 1))
+
+    def test_duplicate_dim_rejected(self, schema):
+        with pytest.raises(GranularityError):
+            SortKey(schema, [(0, 0), (0, 1)])
+
+    def test_bad_indices_rejected(self, schema):
+        with pytest.raises(GranularityError):
+            SortKey(schema, [(9, 0)])
+        with pytest.raises(GranularityError):
+            SortKey(schema, [(0, 9)])
+
+    def test_repr_matches_paper_notation(self):
+        net = network_log_schema()
+        key = SortKey.from_spec(net, [("t", "Hour"), ("U", "IP")])
+        assert repr(key) == "<t:Hour, U:IP>"
+
+
+class TestMapping:
+    def test_map_record_generalizes(self, schema):
+        key = SortKey(schema, [(0, 1), (1, 0)])
+        assert key.map_record((13, 7, 3, 0.1)) == (3, 7)
+
+    def test_sort_records(self, schema):
+        key = SortKey(schema, [(1, 0)])
+        records = [(0, 9, 0, 0.0), (0, 1, 0, 0.0), (0, 4, 0, 0.0)]
+        assert [r[1] for r in key.sort_records(records)] == [1, 4, 9]
+
+    def test_map_key_from_finer_granularity(self, schema):
+        key = SortKey(schema, [(0, 2)])
+        fine = Granularity.base(schema)
+        assert key.map_key((13, 0, 0), fine) == (0,)
+
+    def test_map_key_rejects_coarser_key(self, schema):
+        key = SortKey(schema, [(0, 0)])
+        coarse = Granularity.from_spec(schema, {"d0": "d0.L2"})
+        with pytest.raises(PlanError):
+            key.map_key((1, 0, 0), coarse)
+
+    def test_record_mapper_cached(self, schema):
+        key = SortKey(schema, [(0, 0)])
+        assert key.record_mapper() is key.record_mapper()
+
+
+class TestStructure:
+    def test_prefix(self, schema):
+        key = SortKey(schema, [(0, 0), (1, 0), (2, 0)])
+        assert key.prefix(2).parts == ((0, 0), (1, 0))
+
+    def test_more_general_than(self, schema):
+        fine = SortKey(schema, [(0, 0), (1, 0)])
+        coarse_prefix = SortKey(schema, [(0, 1)])
+        assert coarse_prefix.more_general_than(fine)
+        assert not fine.more_general_than(coarse_prefix)
+
+    def test_more_general_requires_same_attrs(self, schema):
+        a = SortKey(schema, [(0, 0)])
+        b = SortKey(schema, [(1, 0)])
+        assert not a.more_general_than(b)
+
+    def test_coarsened_to_lifts_and_truncates(self, schema):
+        key = SortKey(schema, [(0, 0), (1, 0), (2, 0)])
+        gran = Granularity.from_spec(schema, {"d0": "d0.L1", "d2": "d2.L0"})
+        # d1 is at ALL in the granularity: the order truncates there.
+        coarsened = key.coarsened_to(gran)
+        assert coarsened.parts == ((0, 1),)
+
+    def test_equality_and_hash(self, schema):
+        assert SortKey(schema, [(0, 0)]) == SortKey(schema, [(0, 0)])
+        assert hash(SortKey(schema, [(0, 0)])) == hash(
+            SortKey(schema, [(0, 0)])
+        )
+        assert SortKey(schema, [(0, 0)]) != SortKey(schema, [(0, 1)])

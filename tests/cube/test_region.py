@@ -1,0 +1,77 @@
+"""Tests for regions, coverage, and region containment (Section 2.2)."""
+
+import pytest
+
+from repro.errors import GranularityError
+from repro.cube.granularity import Granularity
+from repro.cube.region import Region, coverage, is_parent_region
+from repro.schema.dataset_schema import synthetic_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+RECORDS = [
+    (0, 0, 1.0),
+    (1, 5, 1.0),
+    (4, 5, 1.0),
+    (13, 9, 1.0),
+    (13, 9, 2.0),
+]
+
+
+class TestRegion:
+    def test_width_checked(self, schema):
+        g = Granularity.base(schema)
+        with pytest.raises(GranularityError):
+            Region(g, (1,))
+
+    def test_contains_record(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        region = Region(g, (0, 0))  # d0 in [0..3]
+        assert region.contains_record((1, 5, 1.0))
+        assert not region.contains_record((4, 5, 1.0))
+
+    def test_coverage_filters_records(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        region = Region(g, (3, 0))  # d0 in [12..15]
+        assert list(coverage(region, RECORDS)) == [
+            (13, 9, 1.0),
+            (13, 9, 2.0),
+        ]
+
+    def test_parent_at(self, schema):
+        base = Granularity.base(schema)
+        coarse = Granularity.from_spec(schema, {"d0": "d0.L2"})
+        region = Region(base, (13, 9))
+        parent = region.parent_at(coarse)
+        assert parent.values == (0, 0)
+        assert parent.granularity == coarse
+
+    def test_str_rendering(self, schema):
+        g = Granularity.from_spec(schema, {"d0": "d0.L0"})
+        assert str(Region(g, (7, 0))) == "<d0=7>"
+        assert str(Region(Granularity.all(schema), (0, 0))) == "<ALL>"
+
+
+class TestContainment:
+    def test_parent_child_relation(self, schema):
+        base = Granularity.base(schema)
+        coarse = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        child = Region(base, (13, 9))
+        parent = Region(coarse, (3, 0))
+        assert is_parent_region(parent, child)
+
+    def test_not_parent_when_values_mismatch(self, schema):
+        base = Granularity.base(schema)
+        coarse = Granularity.from_spec(schema, {"d0": "d0.L1"})
+        child = Region(base, (13, 9))
+        wrong = Region(coarse, (2, 0))
+        assert not is_parent_region(wrong, child)
+
+    def test_not_parent_at_same_granularity(self, schema):
+        g = Granularity.base(schema)
+        a, b = Region(g, (1, 1)), Region(g, (1, 1))
+        assert not is_parent_region(a, b)

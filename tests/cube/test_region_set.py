@@ -1,0 +1,51 @@
+"""Tests for region sets (the paper's [X1:D1, ...] notation)."""
+
+import pytest
+
+from repro.cube.region_set import RegionSet
+from repro.schema.dataset_schema import synthetic_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+RECORDS = [
+    (0, 0, 1.0),
+    (1, 5, 1.0),
+    (4, 5, 1.0),
+    (13, 9, 1.0),
+    (13, 9, 2.0),
+]
+
+
+def test_keys_are_distinct_region_keys(schema):
+    rs = RegionSet.from_spec(schema, {"d0": "d0.L1"})
+    assert rs.keys(RECORDS) == {(0, 0), (1, 0), (3, 0)}
+
+
+def test_regions_sorted_and_typed(schema):
+    rs = RegionSet.from_spec(schema, {"d0": "d0.L1"})
+    regions = list(rs.regions(RECORDS))
+    assert [r.values for r in regions] == [(0, 0), (1, 0), (3, 0)]
+    assert all(r.granularity == rs.granularity for r in regions)
+
+
+def test_partition_gives_coverage(schema):
+    rs = RegionSet.from_spec(schema, {"d0": "d0.L1"})
+    groups = rs.partition(RECORDS)
+    assert groups[(3, 0)] == [(13, 9, 1.0), (13, 9, 2.0)]
+    assert sum(len(v) for v in groups.values()) == len(RECORDS)
+
+
+def test_empty_dataset(schema):
+    rs = RegionSet.from_spec(schema, {"d0": "d0.L0"})
+    assert rs.keys([]) == set()
+    assert list(rs.regions([])) == []
+    assert rs.partition([]) == {}
+
+
+def test_repr_uses_square_brackets(schema):
+    rs = RegionSet.from_spec(schema, {"d0": "d0.L1"})
+    assert repr(rs) == "[d0:d0.L1]"

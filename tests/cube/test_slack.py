@@ -1,0 +1,118 @@
+"""Tests for the Table 6 order/slack algorithm."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.cube.order import SortKey
+from repro.cube.slack import Slack, StreamInfo, compute_order_slack
+from repro.schema.dataset_schema import network_log_schema
+
+
+@pytest.fixture(scope="module")
+def net():
+    return network_log_schema()
+
+
+def hour_day_key(net):
+    return SortKey.from_spec(net, [("t", "Day"), ("T", "IP"), ("U", "IP")])
+
+
+class TestSlackVector:
+    def test_zero(self):
+        s = Slack.zero(3)
+        assert s.is_zero
+        assert str(s) == "<(0,0), (0,0), (0,0)>"
+
+    def test_widened_is_bounding_box(self):
+        a = Slack(((-2, 0), (0, 1)))
+        b = Slack(((-1, 3), (-4, 0)))
+        assert a.widened(b).bounds == ((-2, 3), (-4, 1))
+
+    def test_widened_width_mismatch(self):
+        with pytest.raises(PlanError):
+            Slack.zero(2).widened(Slack.zero(3))
+
+    def test_shifted(self):
+        s = Slack.zero(2).shifted(1, -3, 2)
+        assert s.bounds == ((0, 0), (-3, 2))
+        assert not s.is_zero
+
+
+class TestComputeOrderSlack:
+    def test_synchronized_same_level_passthrough(self, net):
+        """All inputs agree and are synchronous: order passes through."""
+        key = hour_day_key(net)
+        day, ip_level = 2, 0
+        info = StreamInfo((day, ip_level, ip_level), Slack.zero(3))
+        out = compute_order_slack(
+            net, key, [day, 4, ip_level, ip_level][:1] + [4, ip_level, 2],
+            [info],
+        )
+        # region: (t at Day, U at IP) -> first attr kept at Day.
+        assert out.order_levels[0] == day
+
+    def test_paper_month_day_slack_example(self, net):
+        """Section 5.3.1: S1 at Month, S2 at Day, data sorted by Day.
+
+        The parent/child stream's slack on a Day-ordered axis rescales
+        by card(Day, Month) ~ 31; the output order coarsens to Month
+        and truncates.
+        """
+        key = SortKey.from_spec(net, [("t", "Day")])
+        month_level = net.dimensions[0].level_of("Month")
+        day_level = net.dimensions[0].level_of("Day")
+        input_stream = StreamInfo((day_level,), Slack(((0, 0),)))
+        region_levels = [month_level] + [
+            d.all_level for d in net.dimensions[1:]
+        ]
+        out = compute_order_slack(net, key, region_levels, [input_stream])
+        assert out.order_levels == (month_level,)
+        # Synchronous input rescaled: lower bound -1, upper 0.
+        assert out.slack.bounds[0] == (-1, 0)
+
+    def test_disagreeing_inputs_truncate_order(self, net):
+        key = SortKey.from_spec(net, [("t", "Day"), ("U", "IP")])
+        day = net.dimensions[0].level_of("Day")
+        month = net.dimensions[0].level_of("Month")
+        a = StreamInfo((day, 0), Slack.zero(2))
+        b = StreamInfo((month, 0), Slack.zero(2))
+        region = [day, net.dimensions[1].all_level,
+                  net.dimensions[2].all_level, net.dimensions[3].all_level]
+        out = compute_order_slack(net, key, region, [a, b])
+        # Disagreement at the first attribute: the order is empty
+        # (padded with ALL).
+        assert out.order_levels[0] == net.dimensions[0].all_level
+
+    def test_asynchronous_attribute_stops_order(self, net):
+        """Differing slack bounds at an attribute end the common order."""
+        key = SortKey.from_spec(net, [("t", "Day"), ("U", "IP")])
+        day = net.dimensions[0].level_of("Day")
+        lagging = StreamInfo((day, 0), Slack(((-3, 0), (0, 0))))
+        region = [day, 0, net.dimensions[2].all_level,
+                  net.dimensions[3].all_level]
+        out = compute_order_slack(net, key, region, [lagging])
+        assert out.order_levels[0] == day
+        assert out.slack.bounds[0] == (-3, 0)
+        # Second attribute padded out (slack was asynchronous at t).
+        assert out.order_levels[1] == net.dimensions[1].all_level
+
+    def test_bounding_box_across_inputs(self, net):
+        key = SortKey.from_spec(net, [("t", "Day")])
+        day = net.dimensions[0].level_of("Day")
+        a = StreamInfo((day,), Slack(((-2, 0),)))
+        b = StreamInfo((day,), Slack(((0, 1),)))
+        region = [day] + [d.all_level for d in net.dimensions[1:]]
+        out = compute_order_slack(net, key, region, [a, b])
+        assert out.slack.bounds[0] == (-2, 1)
+
+    def test_no_inputs_rejected(self, net):
+        key = SortKey.from_spec(net, [("t", "Day")])
+        with pytest.raises(PlanError):
+            compute_order_slack(net, key, [0, 0, 0, 0], [])
+
+    def test_width_mismatch_rejected(self, net):
+        key = SortKey.from_spec(net, [("t", "Day")])
+        with pytest.raises(PlanError):
+            compute_order_slack(
+                net, key, [0, 0, 0, 0], [StreamInfo((0, 0), Slack.zero(2))]
+            )

@@ -1,0 +1,130 @@
+"""Tests for the dataset generators (synthetic / netlog / honeynet)."""
+
+import pytest
+
+from repro.data.honeynet import (
+    EscalationEpisode,
+    HoneynetGenerator,
+    ReconEpisode,
+    honeynet_dataset,
+)
+from repro.data.netlog import NetworkLogGenerator
+from repro.data.synthetic import SyntheticGenerator, synthetic_dataset
+
+
+class TestSynthetic:
+    def test_paper_shape(self):
+        gen = SyntheticGenerator()
+        records = list(gen.records(100))
+        assert len(records) == 100
+        for record in records:
+            assert len(record) == 5  # 4 dims + measure
+            assert all(0 <= record[i] < 1000 for i in range(4))
+            assert 0.0 <= record[4] < 1.0
+
+    def test_deterministic_by_seed(self):
+        a = list(SyntheticGenerator(seed=5).records(50))
+        b = list(SyntheticGenerator(seed=5).records(50))
+        c = list(SyntheticGenerator(seed=6).records(50))
+        assert a == b
+        assert a != c
+
+    def test_values_roughly_uniform(self):
+        ds = synthetic_dataset(20_000, num_dimensions=1, fanout=10)
+        buckets = [0] * 10
+        for record in ds.scan():
+            buckets[record[0] // 100] += 1
+        assert max(buckets) < 2 * min(buckets)
+
+    def test_schema_validation(self):
+        ds = synthetic_dataset(200)
+        ds.schema.validate_records(ds.scan())
+
+
+class TestNetlog:
+    def test_records_fit_schema(self):
+        gen = NetworkLogGenerator(seed=1)
+        records = list(gen.records(500, hours=6))
+        assert len(records) == 500
+        gen.schema.validate_records(records)
+        for t, src, dst, port in records:
+            assert gen.start_time <= t < gen.start_time + 6 * 3600
+            assert 0 <= port < 65536
+
+    def test_heavy_hitters_exist(self):
+        gen = NetworkLogGenerator(seed=1)
+        counts = {}
+        for record in gen.records(3000, hours=6):
+            counts[record[1]] = counts.get(record[1], 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (3000 / len(counts))  # skew, not uniform
+
+    def test_port_concentration(self):
+        gen = NetworkLogGenerator(seed=1)
+        hot = {445, 135, 80, 22, 1433, 3389, 23, 25}
+        in_hot = sum(
+            1 for r in gen.records(2000, hours=6) if r[3] in hot
+        )
+        assert in_hot > 1200  # ~85% configured
+
+
+class TestHoneynet:
+    def test_default_episodes_present(self):
+        gen = HoneynetGenerator(seed=0, hours=24).with_default_episodes()
+        assert len(gen.escalations) == 1
+        assert len(gen.recons) == 1
+
+    def test_escalation_volume_grows(self):
+        gen = HoneynetGenerator(seed=0, hours=24)
+        episode = EscalationEpisode(
+            start_hour=2,
+            duration_hours=4,
+            target_subnet=(192 << 16) | (168 << 8) | 9,
+            port=445,
+            initial_packets=20,
+        )
+        gen.add_escalation(episode)
+        per_hour = {}
+        for t, __, dst, port in gen.records(0):
+            if port == 445 and (dst >> 8) == episode.target_subnet:
+                hour = (t - gen.start_time) // 3600
+                per_hour[hour] = per_hour.get(hour, 0) + 1
+        hours = sorted(per_hour)
+        assert hours == [2, 3, 4, 5]
+        volumes = [per_hour[h] for h in hours]
+        assert all(b > a for a, b in zip(volumes, volumes[1:]))
+
+    def test_recon_has_many_unique_sources(self):
+        gen = HoneynetGenerator(seed=0, hours=24)
+        episode = ReconEpisode(
+            start_hour=5,
+            duration_hours=2,
+            target_subnet=(192 << 16) | (168 << 8) | 3,
+            num_sources=70,
+        )
+        gen.add_recon(episode)
+        sources = {
+            r[1]
+            for r in gen.records(0)
+            if (r[2] >> 8) == episode.target_subnet
+        }
+        assert len(sources) >= 69  # collisions allowed but rare
+
+    def test_episode_clipped_at_trace_end(self):
+        gen = HoneynetGenerator(seed=0, hours=4)
+        gen.add_escalation(
+            EscalationEpisode(
+                start_hour=3,
+                duration_hours=10,
+                target_subnet=1,
+                port=445,
+                initial_packets=5,
+            )
+        )
+        last = gen.start_time + 4 * 3600
+        assert all(t < last for t, *_ in gen.records(0))
+
+    def test_honeynet_dataset_helper(self):
+        ds = honeynet_dataset(1000, hours=12)
+        assert len(ds) > 1000  # background + episodes
+        ds.schema.validate_records(ds.scan())

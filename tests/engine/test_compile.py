@@ -1,0 +1,112 @@
+"""Tests for compiling AW-RA expressions into evaluation graphs."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.algebra.conditions import Sibling
+from repro.algebra.predicates import Field
+from repro.engine.compile import (
+    BasicNode,
+    CombineNode,
+    CompositeNode,
+    compile_measures,
+    compile_workflow,
+)
+from repro.queries.examples import examples_workflow
+from repro.schema.dataset_schema import network_log_schema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def net():
+    return network_log_schema()
+
+
+@pytest.fixture(scope="module")
+def graph(net):
+    return compile_workflow(examples_workflow(net))
+
+
+class TestGraphShape:
+    def test_nodes_topologically_ordered(self, graph):
+        seen = set()
+        for node in graph.nodes:
+            for arc in node.in_arcs:
+                assert arc.src.name in seen
+            seen.add(node.name)
+
+    def test_selects_become_arc_filters_not_nodes(self, graph):
+        """sigma(Count) feeds sCount through a filtered arc."""
+        names = [type(n).__name__ for n in graph.nodes]
+        assert "Select" not in names
+        scount = next(n for n in graph.nodes if n.name == "sCount")
+        assert scount.values_arc.filter is not None
+
+    def test_shared_count_compiled_once(self, graph):
+        basics = [
+            n
+            for n in graph.nodes
+            if isinstance(n, BasicNode) and n.name == "Count"
+        ]
+        assert len(basics) == 1
+        # Count feeds both sCount and sTraffic.
+        count = basics[0]
+        assert len(count.out_arcs) == 2
+
+    def test_match_join_has_keys_and_values_arcs(self, graph):
+        avg = next(n for n in graph.nodes if n.name == "avgCount")
+        assert isinstance(avg, CompositeNode)
+        assert isinstance(avg.cond, Sibling)
+        assert avg.keys_arc is not None
+        assert avg.values_arc.src.name == "sCount"
+
+    def test_combine_node_slots(self, graph):
+        ratio = next(n for n in graph.nodes if n.name == "ratio")
+        assert isinstance(ratio, CombineNode)
+        assert ratio.num_inputs == 3
+        assert sorted(arc.index for arc in ratio.in_arcs) == [0, 1, 2]
+
+    def test_outputs_map_public_measures(self, graph):
+        assert set(graph.outputs) == {
+            "Count",
+            "sCount",
+            "sTraffic",
+            "avgCount",
+            "ratio",
+        }
+
+    def test_describe_lists_every_node(self, graph):
+        text = graph.describe()
+        for node in graph.nodes:
+            assert node.name in text
+
+
+class TestOutputFilters:
+    def test_top_level_select_becomes_output_filter(self, net):
+        wf = AggregationWorkflow(net)
+        wf.basic("cnt", {"t": "Hour"})
+        wf.filter("big", source="cnt", where=Field("M") > 3)
+        graph = compile_workflow(wf)
+        node, out_filter = graph.outputs["big"]
+        assert node.name == "cnt"
+        assert out_filter is not None
+        assert graph.output_names_of(node) == ["cnt", "big"]
+
+
+class TestErrors:
+    def test_empty_measures_rejected(self):
+        with pytest.raises(PlanError):
+            compile_measures({})
+
+    def test_unknown_outputs_rejected(self, net):
+        wf = AggregationWorkflow(net)
+        wf.basic("cnt", {"t": "Hour"})
+        exprs = wf.to_algebra()
+        with pytest.raises(PlanError):
+            compile_measures(exprs, outputs=["ghost"])
+
+    def test_bare_fact_table_rejected(self, net):
+        from repro.algebra.expr import FactTable
+
+        with pytest.raises(PlanError):
+            compile_measures({"d": FactTable(net)})

@@ -1,0 +1,233 @@
+"""The central correctness property: all engines agree.
+
+Random datasets × random composite-measure workflows, evaluated by the
+relational baseline, the single-scan engine, the sort/scan engine (with
+the late-update assertion armed, so watermark safety is checked on
+every example), and the multi-pass engine under a tight budget.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.conditions import ParentChild, SelfMatch
+from repro.algebra.predicates import Field
+from repro.cube.order import SortKey
+from repro.engine.multi_pass import MultiPassEngine
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+SCHEMA = synthetic_schema(num_dimensions=2, levels=3, fanout=3)
+#: Base domain has 27 values per dimension.
+BASE_CARD = 27
+
+AGGS = ["count", "sum", "min", "max", "avg"]
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    records = [
+        (
+            draw(st.integers(0, BASE_CARD - 1)),
+            draw(st.integers(0, BASE_CARD - 1)),
+            float(draw(st.integers(-5, 5))),
+        )
+        for __ in range(n)
+    ]
+    return InMemoryDataset(SCHEMA, records)
+
+
+@st.composite
+def granularities(draw, min_level=0):
+    l0 = draw(st.integers(min_level, 3))
+    l1 = draw(st.integers(min_level, 3))
+    if l0 == 3 and l1 == 3:
+        l0 = draw(st.integers(min_level, 2))
+    from repro.cube.granularity import Granularity
+
+    return Granularity(SCHEMA, (l0, l1))
+
+
+@st.composite
+def workflows(draw):
+    wf = AggregationWorkflow(SCHEMA, "random")
+    counter = [0]
+
+    def fresh(prefix):
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    num_basics = draw(st.integers(1, 3))
+    for __ in range(num_basics):
+        gran = draw(granularities())
+        agg = draw(st.sampled_from(AGGS))
+        field = "*" if agg == "count" else ("v",)
+        where = draw(
+            st.sampled_from([None, Field("v") >= 0.0, Field("v") < 3.0])
+        )
+        wf.basic(
+            fresh("b"),
+            gran,
+            agg=(agg, "v") if agg != "count" else "count",
+            where=where,
+        )
+
+    num_composites = draw(st.integers(0, 4))
+    for __ in range(num_composites):
+        sources = list(wf.measures)
+        source = draw(st.sampled_from(sources))
+        src_measure = wf[source]
+        src_gran = src_measure.granularity
+        kind = draw(
+            st.sampled_from(["rollup", "window", "self", "combine",
+                             "filter", "broadcast"])
+        )
+        agg = draw(st.sampled_from(AGGS))
+        where = draw(st.sampled_from([None, Field("M") > 0]))
+        if kind == "rollup":
+            coarser_levels = tuple(
+                min(level + draw(st.integers(0, 2)), 3)
+                for level in src_gran.levels
+            )
+            from repro.cube.granularity import Granularity
+
+            gran = Granularity(SCHEMA, coarser_levels)
+            if not src_gran.strictly_finer(gran):
+                continue
+            wf.rollup(fresh("r"), gran, source=source, agg=agg, where=where)
+        elif kind == "window":
+            window_dims = [
+                i for i in src_gran.key_dims
+            ]
+            if not window_dims:
+                continue
+            dim = draw(st.sampled_from(window_dims))
+            before = draw(st.integers(0, 2))
+            after = draw(st.integers(-1, 2))
+            if before + after < 0:
+                continue
+            wf.moving_window(
+                fresh("w"),
+                src_gran,
+                source=source,
+                windows={SCHEMA.dimensions[dim].name: (before, after)},
+                agg=agg,
+                where=where,
+            )
+        elif kind == "self":
+            wf.match(
+                fresh("s"),
+                src_gran,
+                source=source,
+                cond=SelfMatch(),
+                agg=agg,
+                where=where,
+            )
+        elif kind == "broadcast":
+            finer_levels = tuple(
+                max(level - draw(st.integers(0, 2)), 0)
+                for level in src_gran.levels
+            )
+            from repro.cube.granularity import Granularity
+
+            gran = Granularity(SCHEMA, finer_levels)
+            if not gran.strictly_finer(src_gran):
+                continue
+            wf.broadcast(
+                fresh("p"), gran, source=source, agg=agg, where=where
+            )
+        elif kind == "combine":
+            peers = [
+                name
+                for name in wf.measures
+                if wf[name].granularity == src_gran
+                and not wf[name].hidden
+            ]
+            chosen = [source] + peers[: draw(st.integers(0, 2))]
+            wf.combine(
+                fresh("c"),
+                chosen,
+                fn=lambda *vs: sum(v or 0 for v in vs),
+                handles_null=True,
+            )
+        elif kind == "filter":
+            wf.filter(fresh("f"), source=source, where=Field("M") >= 1)
+    return wf
+
+
+@st.composite
+def sort_keys(draw):
+    """A random (possibly suboptimal) sort key over the schema."""
+    dims = draw(st.permutations([0, 1]))
+    length = draw(st.integers(1, 2))
+    parts = [(d, draw(st.integers(0, 2))) for d in dims[:length]]
+    return SortKey(SCHEMA, parts)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(dataset=datasets(), wf=workflows(), sort_key=sort_keys())
+def test_all_engines_agree(dataset, wf, sort_key):
+    engines = [
+        RelationalEngine(spool=False),
+        RelationalEngine(spool=False, reuse_subexpressions=True),
+        SingleScanEngine(),
+        SortScanEngine(assert_no_late_updates=True),
+        SortScanEngine(sort_key=sort_key, assert_no_late_updates=True),
+        SortScanEngine(
+            assert_no_late_updates=True, cascade_prefix=2,
+            max_records_between_cascades=7,
+        ),
+        MultiPassEngine(memory_budget_entries=40),
+    ]
+    results = [engine.evaluate(dataset, wf) for engine in engines]
+    reference = results[0]
+    for engine, result in zip(engines[1:], results[1:]):
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name]), (
+                f"{engine.name} disagrees on {name}: "
+                f"{reference[name].diff(result[name])}"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(dataset=datasets())
+def test_paper_examples_on_random_data(dataset):
+    """The Examples 1-5 pipeline shape, over the synthetic schema."""
+    wf = AggregationWorkflow(SCHEMA)
+    wf.basic("Count", {"d0": "d0.L0", "d1": "d1.L0"})
+    wf.rollup(
+        "sCount", {"d0": "d0.L0"}, source="Count",
+        where=Field("M") > 1, agg="count",
+    )
+    wf.rollup(
+        "sTraffic", {"d0": "d0.L0"}, source="Count",
+        where=Field("M") > 1, agg=("sum", "M"),
+    )
+    wf.moving_window(
+        "avgCount", {"d0": "d0.L0"}, source="sCount",
+        windows={"d0": (0, 2)}, agg="avg",
+    )
+    wf.combine(
+        "ratio",
+        ["avgCount", "sTraffic", "sCount"],
+        fn=lambda a, t, c: None if (a is None or not t or not c) else (
+            a / (t / c)
+        ),
+        handles_null=True,
+    )
+    reference = RelationalEngine(spool=False).evaluate(dataset, wf)
+    streaming = SortScanEngine(assert_no_late_updates=True).evaluate(
+        dataset, wf
+    )
+    for name in wf.outputs():
+        assert reference[name].equal_rows(streaming[name]), (
+            reference[name].diff(streaming[name])
+        )

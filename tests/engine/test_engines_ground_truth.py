@@ -1,0 +1,222 @@
+"""Hand-computed ground truth for every engine.
+
+These cases are small enough to verify with pencil and paper — they pin
+the *semantics* down so the engine-equivalence property tests aren't
+just checking that four engines share a bug.
+"""
+
+import pytest
+
+from repro.algebra.conditions import ParentChild, SelfMatch, Sibling
+from repro.algebra.predicates import Field
+from repro.engine.multi_pass import MultiPassEngine
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+ENGINES = [
+    RelationalEngine(),
+    RelationalEngine(spool=False, reuse_subexpressions=True),
+    SingleScanEngine(),
+    SortScanEngine(assert_no_late_updates=True),
+    SortScanEngine(optimize=True, assert_no_late_updates=True),
+    MultiPassEngine(memory_budget_entries=1000),
+]
+
+
+@pytest.fixture(scope="module")
+def schema():
+    # 1 dim, 2 non-ALL levels, fanout 4: values 0..15, parents 0..3.
+    return synthetic_schema(num_dimensions=1, levels=2, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def dataset(schema):
+    # d0 values: 0,0,1,4,5,5,5,12 with measure v = d0 * 10.
+    values = [0, 0, 1, 4, 5, 5, 5, 12]
+    return InMemoryDataset(schema, [(v, float(v * 10)) for v in values])
+
+
+def run_all(dataset, wf):
+    return [(e, e.evaluate(dataset, wf)) for e in ENGINES]
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+class TestGroundTruth:
+    def test_basic_count_and_sum(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.basic("total", {"d0": "d0.L0"}, agg=("sum", "v"))
+        result = engine.evaluate(dataset, wf)
+        assert result["cnt"].rows == {
+            (0,): 2,
+            (1,): 1,
+            (4,): 1,
+            (5,): 3,
+            (12,): 1,
+        }
+        assert result["total"].rows == {
+            (0,): 0.0,
+            (1,): 10.0,
+            (4,): 40.0,
+            (5,): 150.0,
+            (12,): 120.0,
+        }
+
+    def test_record_filter(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L1"}, where=Field("v") >= 50.0)
+        result = engine.evaluate(dataset, wf)
+        # Records with v >= 50: d0 in {5,5,5,12} -> parents 1 and 3.
+        assert result["cnt"].rows == {(1,): 3, (3,): 1}
+
+    def test_rollup_with_selection(self, schema, dataset, engine):
+        """Example 2's shape: count child regions with M > 1."""
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.rollup(
+            "busy", {"d0": "d0.L1"}, source="cnt",
+            where=Field("M") > 1, agg="count",
+        )
+        result = engine.evaluate(dataset, wf)
+        # Child counts: 0->2, 1->1, 4->1, 5->3, 12->1.
+        # M>1 keeps {0:2, 5:3}; parents: 0->0, 5->1.
+        assert result["busy"].rows == {(0,): 1, (1,): 1}
+
+    def test_rollup_avg(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.rollup("mean", {"d0": "d0.L1"}, source="cnt", agg="avg")
+        result = engine.evaluate(dataset, wf)
+        # Parent 0: children counts (2,1) -> 1.5; parent 1: (1,3) -> 2;
+        # parent 3: (1,) -> 1.
+        assert result["mean"].rows == {
+            (0,): 1.5,
+            (1,): 2.0,
+            (3,): 1.0,
+        }
+
+    def test_sibling_window_left_outer(self, schema, dataset, engine):
+        """Forward window [t, t+1]; cells without matches still appear."""
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "win", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (0, 1)}, agg="sum",
+        )
+        result = engine.evaluate(dataset, wf)
+        # cnt: {0:2, 1:1, 4:1, 5:3, 12:1}
+        # win(k) = cnt[k] + cnt[k+1] over existing cells only.
+        assert result["win"].rows == {
+            (0,): 3,  # 2 + 1
+            (1,): 1,  # 1 (cell 2 empty)
+            (4,): 4,  # 1 + 3
+            (5,): 3,
+            (12,): 1,
+        }
+
+    def test_backward_window_excluding_self(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "prev", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (2, -1)}, agg="sum",
+        )
+        result = engine.evaluate(dataset, wf)
+        # prev(k) = sum of cnt[k-2..k-1] over existing cells; empty -> None
+        assert result["prev"].rows == {
+            (0,): None,
+            (1,): 2,  # cnt[0]
+            (4,): None,  # cells 2,3 empty
+            (5,): 1,  # cnt[4]
+            (12,): None,
+        }
+
+    def test_parent_child_broadcast(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("fine", {"d0": "d0.L0"})
+        wf.basic("coarse", {"d0": "d0.L1"})
+        wf.broadcast(
+            "inherited", {"d0": "d0.L0"}, source="coarse",
+            keys="fine", agg="max",
+        )
+        result = engine.evaluate(dataset, wf)
+        # coarse: parent 0 -> 3 records, parent 1 -> 3, parent 3 -> 2.
+        # Wait: values 0,0,1 -> parent 0 (3); 4,5,5,5 -> parent 1 (4);
+        # 12 -> parent 3 (1).
+        assert result["inherited"].rows == {
+            (0,): 3,
+            (1,): 3,
+            (4,): 4,
+            (5,): 4,
+            (12,): 1,
+        }
+
+    def test_self_match(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.match(
+            "same", {"d0": "d0.L0"}, source="cnt",
+            cond=SelfMatch(), agg="max", keys="cnt",
+        )
+        result = engine.evaluate(dataset, wf)
+        assert result["same"].rows == result["cnt"].rows
+
+    def test_combine_with_nulls(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "prev", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (1, -1)}, agg="sum",
+        )
+        wf.combine(
+            "ratio", ["cnt", "prev"],
+            fn=lambda c, p: None if not p else c / p,
+            handles_null=True,
+        )
+        result = engine.evaluate(dataset, wf)
+        # prev: 0->None, 1->2, 4->None, 5->1, 12->None.
+        assert result["ratio"].rows == {
+            (0,): None,
+            (1,): 0.5,
+            (4,): None,
+            (5,): 3.0,
+            (12,): None,
+        }
+
+    def test_filter_output(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.filter("big", source="cnt", where=Field("M") >= 2)
+        result = engine.evaluate(dataset, wf)
+        assert result["big"].rows == {(0,): 2, (5,): 3}
+
+    def test_global_aggregate(self, schema, dataset, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("all_cnt", {})
+        result = engine.evaluate(dataset, wf)
+        assert result["all_cnt"].rows == {(0,): 8}
+
+    def test_empty_dataset(self, schema, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.rollup("up", {"d0": "d0.L1"}, source="cnt")
+        empty = InMemoryDataset(schema, [])
+        result = engine.evaluate(empty, wf)
+        assert result["cnt"].rows == {}
+        assert result["up"].rows == {}
+
+    def test_single_record(self, schema, engine):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "win", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (0, 2)}, agg="avg",
+        )
+        one = InMemoryDataset(schema, [(7, 1.0)])
+        result = engine.evaluate(one, wf)
+        assert result["cnt"].rows == {(7,): 1}
+        assert result["win"].rows == {(7,): 1.0}

@@ -1,0 +1,137 @@
+"""Failure injection: malformed inputs and edge conditions.
+
+Errors should surface as typed exceptions at the earliest sensible
+point, never as silently wrong measures.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.algebra.predicates import Field, RawPredicate
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+ENGINES = [
+    RelationalEngine(spool=False),
+    SingleScanEngine(),
+    SortScanEngine(assert_no_late_updates=True),
+]
+
+
+@pytest.fixture()
+def schema():
+    return synthetic_schema(num_dimensions=1, levels=2, fanout=4)
+
+
+def count_workflow(schema, **basic_kwargs):
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0"}, **basic_kwargs)
+    return wf
+
+
+class TestMalformedRecords:
+    def test_validation_catches_short_records(self, schema):
+        with pytest.raises(SchemaError):
+            InMemoryDataset(schema, [(1, 2.0), (3,)], validate=True)
+
+    def test_validation_catches_float_dimensions(self, schema):
+        with pytest.raises(SchemaError):
+            InMemoryDataset(schema, [(1.5, 2.0)], validate=True)
+
+    def test_negative_timestamp_raises_during_evaluation(self):
+        net = network_log_schema()
+        ds = InMemoryDataset(net, [(-5, 1, 2, 80)])
+        wf = AggregationWorkflow(net)
+        wf.basic("cnt", {"t": "Hour"})
+        for engine in ENGINES:
+            with pytest.raises(DomainError):
+                engine.evaluate(ds, wf)
+
+
+class TestAwkwardMeasureValues:
+    def test_none_measure_values_are_sql_nulls(self, schema):
+        ds = InMemoryDataset(schema, [(1, None), (1, 4.0), (2, None)])
+        wf = AggregationWorkflow(schema)
+        wf.basic("total", {"d0": "d0.L0"}, agg=("sum", "v"))
+        wf.basic("n", {"d0": "d0.L0"}, agg=("count", "v"))
+        for engine in ENGINES:
+            result = engine.evaluate(ds, wf)
+            assert result["total"].rows == {(1,): 4.0, (2,): None}
+            assert result["n"].rows == {(1,): 1, (2,): 0}
+
+    def test_nan_measures_propagate_not_crash(self, schema):
+        ds = InMemoryDataset(schema, [(1, float("nan")), (1, 1.0)])
+        wf = AggregationWorkflow(schema)
+        wf.basic("total", {"d0": "d0.L0"}, agg=("sum", "v"))
+        for engine in ENGINES:
+            result = engine.evaluate(ds, wf)
+            assert math.isnan(result["total"].rows[(1,)])
+
+    def test_infinite_measures(self, schema):
+        ds = InMemoryDataset(schema, [(1, float("inf")), (1, 1.0)])
+        wf = AggregationWorkflow(schema)
+        wf.basic("peak", {"d0": "d0.L0"}, agg=("max", "v"))
+        for engine in ENGINES:
+            result = engine.evaluate(ds, wf)
+            assert result["peak"].rows[(1,)] == float("inf")
+
+
+class TestHostilePredicates:
+    def test_raising_predicate_surfaces(self, schema):
+        def boom(record):
+            raise ValueError("predicate exploded")
+
+        ds = InMemoryDataset(schema, [(1, 1.0)])
+        wf = count_workflow(
+            schema, where=RawPredicate(fact_fn=boom, label="boom")
+        )
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="exploded"):
+                engine.evaluate(ds, wf)
+
+    def test_combine_fn_exception_surfaces(self, schema):
+        ds = InMemoryDataset(schema, [(1, 1.0)])
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+
+        def bad(value):
+            raise ZeroDivisionError
+
+        wf.combine("broken", ["cnt"], fn=bad)
+        for engine in ENGINES:
+            with pytest.raises(ZeroDivisionError):
+                engine.evaluate(ds, wf)
+
+
+class TestDegenerateDatasets:
+    def test_all_identical_records(self, schema):
+        ds = InMemoryDataset(schema, [(7, 1.0)] * 500)
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "win", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (1, 1)}, agg="sum",
+        )
+        for engine in ENGINES:
+            result = engine.evaluate(ds, wf)
+            assert result["cnt"].rows == {(7,): 500}
+            assert result["win"].rows == {(7,): 500}
+
+    def test_single_region_whole_domain(self, schema):
+        ds = InMemoryDataset(
+            schema, [(v, 1.0) for v in range(16)]
+        )
+        wf = AggregationWorkflow(schema)
+        wf.basic("total", {})  # everything in one ALL region
+        for engine in ENGINES:
+            result = engine.evaluate(ds, wf)
+            assert result["total"].rows == {(0,): 16}

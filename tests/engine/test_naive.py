@@ -1,0 +1,93 @@
+"""Focused tests for the relational baseline engine."""
+
+import pytest
+
+from repro.engine.naive import RelationalEngine
+from repro.data.synthetic import synthetic_dataset
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset(2000, num_dimensions=2, levels=3, fanout=4)
+
+
+def shared_base_workflow(schema):
+    """Two outputs sharing one basic measure — the sharing testbed."""
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0"}, hidden=True)
+    wf.rollup("up_sum", {"d0": "d0.L1"}, source="cnt", agg="sum")
+    wf.rollup("up_max", {"d0": "d0.L1"}, source="cnt", agg="max")
+    return wf
+
+
+class TestExecutionModes:
+    def test_spool_and_memory_agree(self, dataset):
+        # Spooling applies to the shared-subexpression mode (one
+        # materialized table per measure); per-output query blocks keep
+        # their intermediates block-local.
+        wf = shared_base_workflow(dataset.schema)
+        spooled = RelationalEngine(
+            spool=True, reuse_subexpressions=True
+        ).evaluate(dataset, wf)
+        in_memory = RelationalEngine(
+            spool=False, reuse_subexpressions=True
+        ).evaluate(dataset, wf)
+        for name in wf.outputs():
+            assert spooled[name].equal_rows(in_memory[name])
+        assert spooled.stats.spooled_entries > 0
+        assert in_memory.stats.spooled_entries == 0
+
+    def test_reuse_modes_agree_on_results(self, dataset):
+        wf = shared_base_workflow(dataset.schema)
+        nested = RelationalEngine(spool=False).evaluate(dataset, wf)
+        shared = RelationalEngine(
+            spool=False, reuse_subexpressions=True
+        ).evaluate(dataset, wf)
+        for name in wf.outputs():
+            assert nested[name].equal_rows(shared[name])
+
+    def test_per_output_mode_rescans_shared_measures(self, dataset):
+        """The nested-SQL cost model: shared sub-measures are paid per
+        output query block."""
+        wf = shared_base_workflow(dataset.schema)
+        nested = RelationalEngine(spool=False).evaluate(dataset, wf)
+        shared = RelationalEngine(
+            spool=False, reuse_subexpressions=True
+        ).evaluate(dataset, wf)
+        assert nested.stats.scans == 2  # cnt evaluated per output
+        assert shared.stats.scans == 1  # cnt evaluated once
+
+    def test_sort_group_fallback_is_exact(self, dataset):
+        wf = shared_base_workflow(dataset.schema)
+        unconstrained = RelationalEngine(spool=False).evaluate(
+            dataset, wf
+        )
+        budgeted = RelationalEngine(
+            spool=False, memory_budget_entries=10, run_size=64
+        )
+        result = budgeted.evaluate(dataset, wf)
+        assert "sort-group" in result.stats.notes
+        for name in wf.outputs():
+            assert unconstrained[name].equal_rows(result[name])
+
+    def test_budget_larger_than_groups_keeps_hash_path(self, dataset):
+        wf = shared_base_workflow(dataset.schema)
+        result = RelationalEngine(
+            spool=False, memory_budget_entries=10**6
+        ).evaluate(dataset, wf)
+        assert "sort-group" not in result.stats.notes
+
+    def test_record_filter_respected_in_sort_group(self, dataset):
+        from repro.algebra.predicates import Field
+
+        schema = dataset.schema
+        wf = AggregationWorkflow(schema)
+        wf.basic(
+            "half", {"d0": "d0.L0"}, where=Field("v") >= 0.5
+        )
+        plain = RelationalEngine(spool=False).evaluate(dataset, wf)
+        grouped = RelationalEngine(
+            spool=False, memory_budget_entries=5, run_size=64
+        ).evaluate(dataset, wf)
+        assert plain["half"].equal_rows(grouped["half"])

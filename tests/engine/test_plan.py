@@ -1,0 +1,76 @@
+"""Tests for streaming-plan construction (orders, slack, estimates)."""
+
+import pytest
+
+from repro.cube.order import SortKey
+from repro.engine.compile import compile_workflow
+from repro.engine.plan import build_streaming_plan
+from repro.engine.sort_scan import SortScanEngine
+from repro.data.synthetic import synthetic_dataset
+from repro.schema.dataset_schema import synthetic_schema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+def window_chain(schema):
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0"})
+    wf.moving_window(
+        "w1", {"d0": "d0.L0"}, source="cnt", windows={"d0": (0, 2)}
+    )
+    wf.rollup("up", {"d0": "d0.L1"}, source="w1", agg="sum")
+    return wf
+
+
+class TestPlanFacts:
+    def test_basic_node_is_synchronous(self, schema):
+        graph = compile_workflow(window_chain(schema))
+        key = SortKey(schema, [(0, 0)])
+        plan = build_streaming_plan(graph, key)
+        assert plan.nodes["cnt"].slack.is_zero
+        assert plan.nodes["cnt"].order_levels == (0,)
+
+    def test_window_introduces_slack(self, schema):
+        graph = compile_workflow(window_chain(schema))
+        key = SortKey(schema, [(0, 0)])
+        plan = build_streaming_plan(graph, key)
+        lo, hi = plan.nodes["w1"].slack.bounds[0]
+        assert lo <= -2  # waits for inputs up to +2 ahead
+
+    def test_coarser_node_order_lifts(self, schema):
+        graph = compile_workflow(window_chain(schema))
+        key = SortKey(schema, [(0, 0)])
+        plan = build_streaming_plan(graph, key)
+        assert plan.nodes["up"].order_levels[0] == 1
+
+    def test_total_estimate_and_explain(self, schema):
+        graph = compile_workflow(window_chain(schema))
+        key = SortKey(schema, [(0, 0)])
+        plan = build_streaming_plan(graph, key, dataset_size=1000)
+        assert plan.total_estimated_entries >= len(graph.nodes)
+        text = plan.explain(graph)
+        assert "sort key" in text
+        for node in graph.nodes:
+            assert node.name in text
+
+    def test_estimates_rank_real_memory(self, schema):
+        """Plan estimates agree with measured peaks across keys."""
+        dataset = synthetic_dataset(
+            3000, num_dimensions=2, levels=3, fanout=4
+        )
+        wf = window_chain(dataset.schema)
+        graph = compile_workflow(wf)
+        good = SortKey(dataset.schema, [(0, 0)])
+        bad = SortKey(dataset.schema, [(1, 0)])
+        plan_good = build_streaming_plan(graph, good, len(dataset))
+        plan_bad = build_streaming_plan(graph, bad, len(dataset))
+        assert plan_good.total_estimated_entries < (
+            plan_bad.total_estimated_entries
+        )
+        run_good = SortScanEngine(sort_key=good).evaluate(dataset, wf)
+        run_bad = SortScanEngine(sort_key=bad).evaluate(dataset, wf)
+        assert run_good.stats.peak_entries < run_bad.stats.peak_entries

@@ -1,0 +1,82 @@
+"""Property test of Proposition 2 over the watermark machinery.
+
+"All update streams are ordered by an order vector in which the
+attribute vector is identical to the sort key for the dataset being
+scanned."  In spec terms: every finalization predicate's parts are a
+*prefix* of the scan key's attribute sequence, at levels no finer than
+the scan key provides.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cube.order import SortKey
+from repro.engine.compile import compile_workflow
+from repro.engine.watermark import build_node_specs
+from repro.schema.dataset_schema import synthetic_schema
+from repro.workflow.workflow import AggregationWorkflow
+
+SCHEMA = synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+@st.composite
+def random_workflow(draw):
+    from repro.cube.granularity import Granularity
+
+    wf = AggregationWorkflow(SCHEMA)
+    names = []
+    for i in range(draw(st.integers(1, 3))):
+        levels = tuple(draw(st.integers(0, 3)) for __ in range(3))
+        if all(level == 3 for level in levels):
+            levels = (0,) + levels[1:]
+        name = f"b{i}"
+        wf.basic(name, Granularity(SCHEMA, levels))
+        names.append(name)
+    for i in range(draw(st.integers(0, 2))):
+        source = draw(st.sampled_from(names))
+        gran = wf[source].granularity
+        coarser = tuple(
+            min(level + draw(st.integers(0, 2)), 3)
+            for level in gran.levels
+        )
+        from repro.cube.granularity import Granularity as G
+
+        target = G(SCHEMA, coarser)
+        if gran.strictly_finer(target):
+            name = f"r{i}"
+            wf.rollup(name, target, source=source, agg="sum")
+            names.append(name)
+    return wf
+
+
+@st.composite
+def random_sort_key(draw):
+    dims = draw(st.permutations([0, 1, 2]))
+    length = draw(st.integers(1, 3))
+    return SortKey(
+        SCHEMA,
+        [(d, draw(st.integers(0, 2))) for d in dims[:length]],
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(wf=random_workflow(), key=random_sort_key())
+def test_specs_follow_scan_key_attribute_order(wf, key):
+    graph = compile_workflow(wf)
+    specs = build_node_specs(graph, key)
+    scan_attrs = [dim for dim, __ in key.parts]
+    scan_levels = dict(key.parts)
+    for node in graph.nodes:
+        for spec in specs[node.name]:
+            part_dims = [dim for dim, __, ___, ____ in spec.parts]
+            # Prefix of the scan key's attribute sequence...
+            assert part_dims == scan_attrs[: len(part_dims)]
+            for dim, level, scan_index, scan_level in spec.parts:
+                # ...at levels no finer than the scan key carries...
+                assert level >= scan_levels[dim]
+                assert scan_level == scan_levels[dim]
+                assert scan_attrs[scan_index] == dim
+                # ...and never finer than the node's own keys.
+                assert level >= node.granularity.levels[dim] or (
+                    node.granularity.levels[dim]
+                    > scan_levels[dim]
+                )

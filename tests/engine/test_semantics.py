@@ -1,0 +1,163 @@
+"""Direct tests of the reference node semantics (Tables 2-4)."""
+
+import pytest
+
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import (
+    ChildParent,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.engine.compile import (
+    Arc,
+    BasicNode,
+    CombineNode,
+    CompositeNode,
+)
+from repro.engine.semantics import (
+    eval_basic,
+    eval_combine,
+    eval_composite,
+)
+from repro.algebra.expr import CombineFn
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=1, levels=2, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def fine(schema):
+    return Granularity(schema, (0,))
+
+
+@pytest.fixture(scope="module")
+def coarse(schema):
+    return Granularity(schema, (1,))
+
+
+def make_composite(name, gran, agg, cond, keys_node, values_node):
+    node = CompositeNode(name, gran, AggSpec(agg, "M"), cond=cond)
+    if keys_node is not None:
+        keys_arc = Arc(keys_node, node, "keys")
+        node.in_arcs.append(keys_arc)
+    values_arc = Arc(values_node, node, "values", cond=cond)
+    node.in_arcs.append(values_arc)
+    return node
+
+
+def stub_node(name, gran):
+    return BasicNode(name, gran, AggSpec("count", "*"))
+
+
+class TestEvalBasic:
+    def test_count_groups(self, schema, fine):
+        ds = InMemoryDataset(schema, [(0, 1.0), (0, 2.0), (3, 1.0)])
+        node = BasicNode("cnt", fine, AggSpec("count", "*"))
+        assert eval_basic(node, ds) == {(0,): 2, (3,): 1}
+
+    def test_value_index_and_filter(self, schema, fine):
+        ds = InMemoryDataset(schema, [(0, 1.0), (0, 2.0), (3, 5.0)])
+        node = BasicNode(
+            "sum",
+            fine,
+            AggSpec("sum", "v"),
+            record_filter=lambda r: r[1] > 1.0,
+            value_index=1,
+        )
+        assert eval_basic(node, ds) == {(0,): 2.0, (3,): 5.0}
+
+
+class TestEvalComposite:
+    def test_rollup_groups_by_lifted_key(self, schema, fine, coarse):
+        src = stub_node("src", fine)
+        node = make_composite("up", coarse, "sum", None, None, src)
+        tables = {"src": {(0,): 1, (1,): 2, (5,): 10}}
+        assert eval_composite(node, tables) == {(0,): 3, (1,): 10}
+
+    def test_self_match_left_outer(self, schema, fine):
+        keys = stub_node("keys", fine)
+        src = stub_node("src", fine)
+        node = make_composite("m", fine, "max", SelfMatch(), keys, src)
+        tables = {"keys": {(0,): 0, (1,): 0}, "src": {(0,): 7}}
+        assert eval_composite(node, tables) == {(0,): 7, (1,): None}
+
+    def test_parent_child_pulls_ancestor(self, schema, fine, coarse):
+        keys = stub_node("keys", fine)
+        src = stub_node("src", coarse)
+        node = make_composite("m", fine, "max", ParentChild(), keys, src)
+        tables = {"keys": {(1,): 0, (6,): 0}, "src": {(0,): 5}}
+        # key (1,) has ancestor (0,): gets 5; key (6,) ancestor (1,): none.
+        assert eval_composite(node, tables) == {(1,): 5, (6,): None}
+
+    def test_child_parent_aggregates_descendants(
+        self, schema, fine, coarse
+    ):
+        keys = stub_node("keys", coarse)
+        src = stub_node("src", fine)
+        node = make_composite("m", coarse, "sum", ChildParent(), keys, src)
+        tables = {
+            "keys": {(0,): 0, (2,): 0, (3,): 0},
+            "src": {(0,): 1, (3,): 2, (9,): 4},
+        }
+        # Children 0,3 -> parent 0; child 9 -> parent 2; parent 3 empty.
+        assert eval_composite(node, tables) == {
+            (0,): 3,
+            (2,): 4,
+            (3,): None,
+        }
+
+    def test_sibling_window(self, schema, fine):
+        keys = stub_node("keys", fine)
+        src = stub_node("src", fine)
+        node = make_composite(
+            "m", fine, "sum", Sibling({"d0": (1, 1)}), keys, src
+        )
+        tables = {
+            "keys": {(1,): 0, (5,): 0},
+            "src": {(0,): 1, (1,): 2, (2,): 4, (6,): 8},
+        }
+        # window of (1,) = cells 0..2 -> 7; window of (5,) = 4..6 -> 8.
+        assert eval_composite(node, tables) == {(1,): 7, (5,): 8}
+
+    def test_arc_filter_applies_before_matching(self, schema, fine):
+        keys = stub_node("keys", fine)
+        src = stub_node("src", fine)
+        node = make_composite("m", fine, "sum", SelfMatch(), keys, src)
+        node.values_arc.filter = lambda key, value: value > 1
+        tables = {"keys": {(0,): 0, (1,): 0}, "src": {(0,): 1, (1,): 5}}
+        assert eval_composite(node, tables) == {(0,): None, (1,): 5}
+
+
+class TestEvalCombine:
+    def test_left_outer_combination(self, schema, fine):
+        a, b = stub_node("a", fine), stub_node("b", fine)
+        node = CombineNode(
+            "c",
+            fine,
+            CombineFn(
+                lambda x, y: (x or 0) + 10 * (y or 0), handles_null=True
+            ),
+            num_inputs=2,
+        )
+        for index, src in enumerate((a, b)):
+            arc = Arc(src, node, "combine", index=index)
+            node.in_arcs.append(arc)
+        tables = {"a": {(0,): 1, (1,): 2}, "b": {(0,): 3}}
+        # Keys come from the base (slot 0): key (1,) keeps b=None.
+        assert eval_combine(node, tables) == {(0,): 31, (1,): 2}
+
+    def test_null_shortcircuit_without_handles_null(self, schema, fine):
+        a, b = stub_node("a", fine), stub_node("b", fine)
+        node = CombineNode(
+            "c", fine, CombineFn(lambda x, y: x + y), num_inputs=2
+        )
+        for index, src in enumerate((a, b)):
+            node.in_arcs.append(Arc(src, node, "combine", index=index))
+        tables = {"a": {(0,): 1}, "b": {}}
+        assert eval_combine(node, tables) == {(0,): None}

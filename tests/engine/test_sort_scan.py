@@ -1,0 +1,167 @@
+"""Focused tests for the one-pass sort/scan engine."""
+
+import pytest
+
+from repro.errors import MemoryBudgetExceeded
+from repro.algebra.predicates import Field
+from repro.cube.order import SortKey
+from repro.engine.compile import compile_workflow
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine, default_sort_key
+from repro.data.synthetic import synthetic_dataset
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.flatfile import FlatFileDataset, write_flatfile
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset(4000, num_dimensions=2, levels=3, fanout=4)
+
+
+def chain_workflow(schema):
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0"})
+    wf.rollup("up", {"d0": "d0.L1"}, source="cnt", agg="sum")
+    wf.moving_window(
+        "trend", {"d0": "d0.L1"}, source="up",
+        windows={"d0": (0, 2)}, agg="avg",
+    )
+    return wf
+
+
+class TestEarlyFlushing:
+    def test_peak_far_below_single_scan(self, dataset):
+        wf = chain_workflow(dataset.schema)
+        streamed = SortScanEngine().evaluate(dataset, wf)
+        resident = SingleScanEngine().evaluate(dataset, wf)
+        assert streamed.stats.peak_entries < resident.stats.peak_entries / 4
+
+    def test_flushed_entries_counted(self, dataset):
+        wf = chain_workflow(dataset.schema)
+        stats = SortScanEngine().evaluate(dataset, wf).stats
+        assert stats.flushed_entries > 0
+        assert stats.rows_scanned == len(dataset)
+        assert stats.scans == 1
+
+    def test_ablation_no_early_flush_uses_more_memory(self, dataset):
+        """Disable mid-scan cascades (the paper's early-flush idea) by
+        setting an enormous cascade interval: memory balloons."""
+        wf = chain_workflow(dataset.schema)
+        eager = SortScanEngine().evaluate(dataset, wf)
+        lazy = SortScanEngine(
+            cascade_prefix=1,
+            max_records_between_cascades=10**9,
+            sort_key=SortKey(dataset.schema, [(1, 0)]),  # useless key
+        ).evaluate(dataset, wf)
+        assert eager.stats.peak_entries < lazy.stats.peak_entries
+
+
+class TestSortKeys:
+    def test_default_key_covers_used_dims(self, dataset):
+        wf = chain_workflow(dataset.schema)
+        graph = compile_workflow(wf)
+        key = default_sort_key(graph)
+        assert key.parts == ((0, 0),)
+
+    def test_bad_key_still_correct(self, dataset):
+        """A sort key that never helps flushing must not break results."""
+        wf = chain_workflow(dataset.schema)
+        good = SortScanEngine().evaluate(dataset, wf)
+        bad = SortScanEngine(
+            sort_key=SortKey(dataset.schema, [(1, 2)]),
+            assert_no_late_updates=True,
+        ).evaluate(dataset, wf)
+        for name in wf.outputs():
+            assert good[name].equal_rows(bad[name])
+
+    def test_optimize_flag_picks_a_key(self, dataset):
+        wf = chain_workflow(dataset.schema)
+        result = SortScanEngine(optimize=True).evaluate(dataset, wf)
+        assert "sort_key" in result.stats.notes
+
+
+class TestBudget:
+    def test_budget_violation_raises(self, dataset):
+        wf = chain_workflow(dataset.schema)
+        engine = SortScanEngine(
+            sort_key=SortKey(dataset.schema, [(1, 2)]),
+            memory_budget_entries=50,
+            max_records_between_cascades=16,
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.evaluate(dataset, wf)
+
+    def test_within_budget_succeeds(self, dataset):
+        wf = chain_workflow(dataset.schema)
+        result = SortScanEngine(memory_budget_entries=5000).evaluate(
+            dataset, wf
+        )
+        assert result.stats.peak_entries <= 5000
+
+
+class TestExternalSortPath:
+    def test_small_run_size_forces_external_sort(self, dataset, tmp_path):
+        wf = chain_workflow(dataset.schema)
+        reference = SortScanEngine().evaluate(dataset, wf)
+        external = SortScanEngine(
+            run_size=500, assert_no_late_updates=True
+        ).evaluate(dataset, wf)
+        assert external.stats.sort_seconds > 0
+        for name in wf.outputs():
+            assert reference[name].equal_rows(external[name])
+
+    def test_flat_file_input(self, dataset, tmp_path):
+        wf = chain_workflow(dataset.schema)
+        path = str(tmp_path / "facts.bin")
+        write_flatfile(path, dataset.schema, dataset.records)
+        on_disk = FlatFileDataset(path, dataset.schema)
+        reference = SortScanEngine().evaluate(dataset, wf)
+        from_disk = SortScanEngine().evaluate(on_disk, wf)
+        for name in wf.outputs():
+            assert reference[name].equal_rows(from_disk[name])
+
+
+class TestCascadeTuning:
+    @pytest.mark.parametrize("prefix", [1, 2])
+    @pytest.mark.parametrize("interval", [8, 4096])
+    def test_cascade_policy_never_changes_results(
+        self, dataset, prefix, interval
+    ):
+        wf = chain_workflow(dataset.schema)
+        reference = SortScanEngine().evaluate(dataset, wf)
+        tuned = SortScanEngine(
+            cascade_prefix=prefix,
+            max_records_between_cascades=interval,
+            assert_no_late_updates=True,
+        ).evaluate(dataset, wf)
+        for name in wf.outputs():
+            assert reference[name].equal_rows(tuned[name])
+
+    def test_finer_cascades_use_less_memory(self, dataset):
+        schema = dataset.schema
+        wf = AggregationWorkflow(schema)
+        wf.basic("pair", {"d0": "d0.L0", "d1": "d1.L0"})
+        frequent = SortScanEngine(
+            cascade_prefix=2, max_records_between_cascades=64
+        ).evaluate(dataset, wf)
+        rare = SortScanEngine(
+            cascade_prefix=1, max_records_between_cascades=10**9
+        ).evaluate(dataset, wf)
+        assert frequent.stats.peak_entries <= rare.stats.peak_entries
+
+
+class TestMeasureAttributesAndFilters:
+    def test_sum_of_measure_attribute(self):
+        schema = synthetic_schema(num_dimensions=1, levels=2, fanout=4)
+        records = [(i % 8, float(i)) for i in range(32)]
+        ds = InMemoryDataset(schema, records)
+        wf = AggregationWorkflow(schema)
+        wf.basic("total", {"d0": "d0.L0"}, agg=("sum", "v"))
+        wf.filter("positive", source="total", where=Field("M") > 60)
+        result = SortScanEngine(
+            assert_no_late_updates=True
+        ).evaluate(ds, wf)
+        assert sum(result["total"].rows.values()) == sum(r[1] for r in records)
+        assert all(v > 60 for v in result["positive"].rows.values())

@@ -1,0 +1,122 @@
+"""Tests for the Section 6 cost model."""
+
+import pytest
+
+from repro.engine.compile import compile_workflow
+from repro.optimizer.cost_model import (
+    estimate_plan_cost,
+    estimate_region_count,
+    estimate_update_work,
+    per_measure_plan_cost,
+)
+from repro.optimizer.greedy import plan_passes
+from repro.queries.combined import combined_workflow
+from repro.queries.q1_child_parent import q1_workflow
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+class TestRegionCounts:
+    def test_capped_by_dataset_size(self, schema):
+        wf = AggregationWorkflow(schema)
+        wf.basic("fine", {"d0": "d0.L0", "d1": "d1.L0"})  # 4096 regions
+        graph = compile_workflow(wf)
+        node = graph.nodes[0]
+        assert estimate_region_count(node, 100) == 100
+        assert estimate_region_count(node, 100_000) == 4096
+
+    def test_all_dims_is_single_region(self, schema):
+        wf = AggregationWorkflow(schema)
+        wf.basic("total", {})
+        graph = compile_workflow(wf)
+        assert estimate_region_count(graph.nodes[0], 10_000) == 1
+
+
+class TestUpdateWork:
+    def test_basic_touches_every_record(self, schema):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        graph = compile_workflow(wf)
+        assert estimate_update_work(graph.nodes[0], 5000) == 5000
+
+    def test_window_multiplies_source_rows(self, schema):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "win", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (1, 2)}, agg="sum",
+        )
+        graph = compile_workflow(wf)
+        win = next(n for n in graph.nodes if n.name == "win")
+        narrow = estimate_update_work(win, 100_000)
+        wf2 = AggregationWorkflow(schema)
+        wf2.basic("cnt", {"d0": "d0.L0"})
+        wf2.moving_window(
+            "win", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (4, 5)}, agg="sum",
+        )
+        graph2 = compile_workflow(wf2)
+        win2 = next(n for n in graph2.nodes if n.name == "win")
+        wide = estimate_update_work(win2, 100_000)
+        assert wide > narrow
+
+
+class TestPlanComparisons:
+    def test_fused_beats_per_measure_on_combined_query(self):
+        """Figure 6(f)'s claim, visible at plan time: the one-pass
+        fused plan costs far less than per-measure query blocks."""
+        net = network_log_schema()
+        graph = compile_workflow(combined_workflow(net))
+        n = 500_000
+        fused = estimate_plan_cost(graph, plan_passes(graph), n)
+        per_measure = per_measure_plan_cost(graph, n)
+        assert fused.total < per_measure.total / 2
+        # The gap is in the repeated sorts/scans, not the update work.
+        assert per_measure.sort_work > fused.sort_work * 3
+
+    def test_q1_gap_grows_with_children(self):
+        schema = synthetic_schema()
+        n = 100_000
+        gaps = []
+        for children in (2, 6):
+            graph = compile_workflow(q1_workflow(schema, children))
+            fused = estimate_plan_cost(graph, plan_passes(graph), n)
+            relational = per_measure_plan_cost(graph, n)
+            gaps.append(relational.total - fused.total)
+        assert gaps[1] > gaps[0]
+
+    def test_deferred_nodes_priced_relationally(self, schema):
+        wf = AggregationWorkflow(schema)
+        wf.basic("a", {"d0": "d0.L0"})
+        wf.basic("b", {"d1": "d1.L0"})
+        wf.rollup("ga", {}, source="a", agg="sum")
+        wf.rollup("gb", {}, source="b", agg="sum")
+        wf.combine(
+            "both", ["ga", "gb"],
+            fn=lambda x, y: (x or 0) + (y or 0), handles_null=True,
+        )
+        graph = compile_workflow(wf)
+        plan = plan_passes(graph, memory_budget_entries=60)
+        assert plan.deferred  # the combine spans passes
+        cost = estimate_plan_cost(graph, plan, 10_000)
+        assert cost.relational_work > 0
+        assert "relational" in cost.describe()
+
+    def test_more_passes_cost_more_sorting(self, schema):
+        wf = AggregationWorkflow(schema)
+        wf.basic("a", {"d0": "d0.L0"})
+        wf.basic("b", {"d1": "d1.L0"})
+        graph = compile_workflow(wf)
+        one_pass = estimate_plan_cost(graph, plan_passes(graph), 50_000)
+        two_pass = estimate_plan_cost(
+            graph, plan_passes(graph, memory_budget_entries=60), 50_000
+        )
+        assert two_pass.sort_work > one_pass.sort_work

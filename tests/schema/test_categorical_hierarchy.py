@@ -1,0 +1,127 @@
+"""Tests for the imposed-order categorical hierarchy (Proposition 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DomainError, SchemaError
+from repro.schema.categorical_hierarchy import CategoricalHierarchy
+
+CHAINS = [
+    ("madison", "wisconsin", "usa"),
+    ("milwaukee", "wisconsin", "usa"),
+    ("seattle", "washington", "usa"),
+    ("seoul", "seoul-province", "korea"),
+    ("busan", "south-gyeongsang", "korea"),
+]
+
+
+def geo():
+    return CategoricalHierarchy(["City", "State", "Country"], CHAINS)
+
+
+class TestConstruction:
+    def test_domain_chain(self):
+        h = geo()
+        assert [d.name for d in h.domains] == [
+            "City",
+            "State",
+            "Country",
+            "ALL",
+        ]
+
+    def test_cardinalities(self):
+        h = geo()
+        assert h.level_cardinality(0) == 5
+        assert h.level_cardinality(1) == 4
+        assert h.level_cardinality(2) == 2
+
+    def test_duplicate_chain_tolerated(self):
+        CategoricalHierarchy(
+            ["City", "Country"],
+            [("a", "x"), ("a", "x"), ("b", "x")],
+        )
+
+    def test_conflicting_parents_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalHierarchy(
+                ["City", "Country"],
+                [("paris", "france"), ("paris", "usa")],
+            )
+
+    def test_wrong_chain_length_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalHierarchy(["City", "Country"], [("a",)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalHierarchy(["City"], [])
+
+
+class TestEncodingAndGeneralization:
+    def test_roundtrip_all_levels(self):
+        h = geo()
+        for chain in CHAINS:
+            for level, label in enumerate(chain):
+                code = h.encode(label, level)
+                assert h.decode(code, level) == label
+
+    def test_generalization_respects_chains(self):
+        h = geo()
+        for city, state, country in CHAINS:
+            code = h.encode(city)
+            assert h.decode(h.generalize(code, 0, 1), 1) == state
+            assert h.decode(h.generalize(code, 0, 2), 2) == country
+            assert h.generalize(code, 0, 3) == 0  # ALL
+
+    def test_intermediate_generalization(self):
+        h = geo()
+        state_code = h.encode("wisconsin", 1)
+        assert h.decode(h.generalize(state_code, 1, 2), 2) == "usa"
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(DomainError):
+            geo().encode("atlantis")
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(DomainError):
+            geo().decode(99, 0)
+
+    def test_parents_cover_contiguous_code_ranges(self):
+        """The imposed order makes every parent a contiguous block of
+        child codes — the property Proposition 1 needs."""
+        h = geo()
+        for level in (1, 2):
+            seen = [
+                h.generalize(code, 0, level)
+                for code in range(h.level_cardinality(0))
+            ]
+            # Contiguity: the parent sequence never revisits a value.
+            revisits = [
+                value
+                for i, value in enumerate(seen[1:], 1)
+                if value != seen[i - 1] and value in seen[:i]
+            ]
+            assert revisits == []
+
+    def test_format_value(self):
+        h = geo()
+        assert h.format_value(h.encode("seoul"), 0) == "seoul"
+        assert h.format_value(0, h.all_level) == "ALL"
+
+    def test_fanout_estimate(self):
+        h = geo()
+        assert h.fanout(0, 0) == 1
+        assert h.fanout(0, 2) >= 1
+
+
+@given(
+    u=st.integers(min_value=0, max_value=4),
+    v=st.integers(min_value=0, max_value=4),
+    level=st.integers(min_value=0, max_value=3),
+)
+def test_categorical_generalization_monotone(u, v, level):
+    """The encoding imposes Proposition 1's order."""
+    h = geo()
+    if u > v:
+        u, v = v, u
+    assert h.generalize(u, 0, level) <= h.generalize(v, 0, level)

@@ -1,0 +1,97 @@
+"""Tests for dataset schemas and the standard schema factories."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.dataset_schema import (
+    DatasetSchema,
+    network_log_schema,
+    synthetic_schema,
+)
+from repro.schema.dimension import Dimension
+from repro.schema.numeric_hierarchy import UniformHierarchy
+
+
+def two_dim_schema():
+    return DatasetSchema(
+        [
+            Dimension("alpha", UniformHierarchy("alpha", 2, 4), "a"),
+            Dimension("beta", UniformHierarchy("beta", 2, 4), "b"),
+        ],
+        measures=("value",),
+    )
+
+
+class TestLookups:
+    def test_dim_index_by_name_and_abbrev(self):
+        s = two_dim_schema()
+        assert s.dim_index("alpha") == 0
+        assert s.dim_index("a") == 0
+        assert s.dim_index("b") == 1
+
+    def test_unknown_dimension(self):
+        with pytest.raises(SchemaError):
+            two_dim_schema().dim_index("gamma")
+
+    def test_measure_index_offsets_past_dims(self):
+        s = two_dim_schema()
+        assert s.measure_index("value") == 2
+        with pytest.raises(SchemaError):
+            s.measure_index("other")
+
+    def test_field_index_resolves_both(self):
+        s = two_dim_schema()
+        assert s.field_index("beta") == 1
+        assert s.field_index("value") == 2
+
+    def test_record_width(self):
+        assert two_dim_schema().record_width == 3
+
+
+class TestValidation:
+    def test_duplicate_dimension_names(self):
+        dim = Dimension("x", UniformHierarchy("x", 2, 4))
+        with pytest.raises(SchemaError):
+            DatasetSchema([dim, Dimension("x", UniformHierarchy("x", 2, 4))])
+
+    def test_dimension_measure_overlap(self):
+        dim = Dimension("x", UniformHierarchy("x", 2, 4))
+        with pytest.raises(SchemaError):
+            DatasetSchema([dim], measures=("x",))
+
+    def test_empty_dimensions(self):
+        with pytest.raises(SchemaError):
+            DatasetSchema([])
+
+    def test_validate_record_shape(self):
+        s = two_dim_schema()
+        s.validate_record((1, 2, 3.5))
+        with pytest.raises(SchemaError):
+            s.validate_record((1, 2))
+        with pytest.raises(SchemaError):
+            s.validate_record((1.5, 2, 3.0))  # dim must be int
+
+    def test_validate_records_iterates(self):
+        s = two_dim_schema()
+        with pytest.raises(SchemaError):
+            s.validate_records([(1, 2, 3.0), (1,)])
+
+
+class TestFactories:
+    def test_network_log_schema_matches_table_1(self):
+        s = network_log_schema()
+        assert [d.name for d in s.dimensions] == [
+            "Timestamp",
+            "Source",
+            "Target",
+            "TargetPort",
+        ]
+        assert [d.abbrev for d in s.dimensions] == ["t", "U", "T", "P"]
+        assert s.measures == ()  # the Dshield set has none
+
+    def test_synthetic_schema_defaults(self):
+        s = synthetic_schema()
+        assert s.num_dimensions == 4
+        assert s.measures == ("v",)
+        # Four domains per attribute: 3 non-ALL + ALL (Section 7.1).
+        assert all(d.num_levels == 4 for d in s.dimensions)

@@ -1,0 +1,41 @@
+"""Tests for the Dimension wrapper."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.dimension import Dimension
+from repro.schema.numeric_hierarchy import UniformHierarchy
+
+
+def dim():
+    return Dimension("speed", UniformHierarchy("speed", 2, 4), "s")
+
+
+def test_name_and_abbrev():
+    d = dim()
+    assert d.name == "speed"
+    assert d.abbrev == "s"
+    # Abbreviation defaults to the name.
+    assert Dimension("x", UniformHierarchy("x", 2, 4)).abbrev == "x"
+
+
+def test_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        Dimension("", UniformHierarchy("x", 2, 4))
+
+
+def test_delegation_to_hierarchy():
+    d = dim()
+    assert d.num_levels == 3
+    assert d.all_level == 2
+    assert d.level_of("speed.L1") == 1
+    assert d.generalize(13, 0, 1) == 3
+    assert [dom.name for dom in d.domains] == [
+        "speed.L0",
+        "speed.L1",
+        "ALL",
+    ]
+
+
+def test_repr_mentions_name():
+    assert "speed" in repr(dim())

@@ -1,0 +1,116 @@
+"""Tests for domains and the Hierarchy base class."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.schema.domain import ALL_VALUE, Domain, Hierarchy
+from repro.schema.numeric_hierarchy import UniformHierarchy
+
+
+class TestDomain:
+    def test_base_domain_fields(self):
+        dom = Domain("Hour", 1)
+        assert dom.name == "Hour"
+        assert dom.level == 1
+        assert not dom.is_all
+
+    def test_all_domain_flag(self):
+        assert Domain("ALL", 5).is_all
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain("x", -1)
+
+    def test_str(self):
+        assert str(Domain("Day", 2)) == "Day"
+
+
+class TestHierarchyStructure:
+    def test_all_domain_appended_automatically(self):
+        h = UniformHierarchy("d", levels=2, fanout=3)
+        assert [d.name for d in h.domains] == ["d.L0", "d.L1", "ALL"]
+        assert h.num_levels == 3
+        assert h.all_level == 2
+
+    def test_explicit_all_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy(["base", "ALL"])
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy([])
+
+    def test_level_of(self):
+        h = UniformHierarchy("d", levels=2, fanout=3)
+        assert h.level_of("d.L0") == 0
+        assert h.level_of("ALL") == 2
+
+    def test_level_of_unknown_raises(self):
+        h = UniformHierarchy("d", levels=2, fanout=3)
+        with pytest.raises(DomainError):
+            h.level_of("Week")
+
+    def test_domain_accessor_validates(self):
+        h = UniformHierarchy("d", levels=2, fanout=3)
+        assert h.domain(1).name == "d.L1"
+        with pytest.raises(DomainError):
+            h.domain(7)
+
+
+class TestGeneralize:
+    def test_same_level_is_identity(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        assert h.generalize(123, 1, 1) == 123
+
+    def test_to_all_is_all_value(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        assert h.generalize(999, 0, h.all_level) == ALL_VALUE
+
+    def test_downward_rejected(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        with pytest.raises(DomainError):
+            h.generalize(5, 2, 1)
+
+    def test_bad_level_rejected(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        with pytest.raises(DomainError):
+            h.generalize(5, 0, 9)
+
+    def test_consistency_composition(self):
+        """gamma must compose: base->mid->top == base->top (S2.1)."""
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        for value in range(0, 1000, 37):
+            via_mid = h.generalize(h.generalize(value, 0, 1), 1, 2)
+            direct = h.generalize(value, 0, 2)
+            assert via_mid == direct
+
+
+class TestMapper:
+    def test_identity_mapper_is_none(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        assert h.mapper(1, 1) is None
+
+    def test_all_mapper_constant(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        fn = h.mapper(0, h.all_level)
+        assert fn(12345) == ALL_VALUE
+
+    def test_mapper_matches_generalize(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        for from_level in range(3):
+            for to_level in range(from_level, 4):
+                fn = h.mapper(from_level, to_level)
+                for value in (0, 7, 99, 500):
+                    expected = h.generalize(value, from_level, to_level)
+                    got = value if fn is None else fn(value)
+                    assert got == expected
+
+    def test_mapper_validates_levels(self):
+        h = UniformHierarchy("d", levels=3, fanout=10)
+        with pytest.raises(DomainError):
+            h.mapper(2, 0)
+
+    def test_format_value_defaults(self):
+        h = UniformHierarchy("d", levels=2, fanout=3)
+        assert h.format_value(4, 0) == "4"
+        assert h.format_value(0, h.all_level) == "ALL"

@@ -1,0 +1,108 @@
+"""Tests for the IPv4 hierarchy (IP < /24 < /16 < /8 < ALL)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DomainError
+from repro.schema.ip_hierarchy import (
+    IP,
+    IP_ALL,
+    SLASH8,
+    SLASH16,
+    SLASH24,
+    IPv4Hierarchy,
+    format_ip,
+    parse_ip,
+)
+
+
+class TestParseFormat:
+    def test_parse_known(self):
+        assert parse_ip("0.0.0.0") == 0
+        assert parse_ip("255.255.255.255") == (1 << 32) - 1
+        assert parse_ip("10.0.0.1") == (10 << 24) | 1
+
+    def test_format_known(self):
+        assert format_ip((192 << 24) | (168 << 16) | (1 << 8) | 7) == (
+            "192.168.1.7"
+        )
+
+    def test_malformed_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d"):
+            with pytest.raises((DomainError, ValueError)):
+                parse_ip(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(DomainError):
+            format_ip(1 << 32)
+        with pytest.raises(DomainError):
+            format_ip(-1)
+
+
+class TestGeneralization:
+    def test_paper_24_subnet_example(self):
+        """gamma_/24(a.b.c.d) drops the host octet (Section 2.1)."""
+        h = IPv4Hierarchy()
+        ip = parse_ip("120.32.32.4")
+        assert h.generalize(ip, IP, SLASH24) == ip >> 8
+        assert h.format_value(ip >> 8, SLASH24) == "120.32.32.*/24"
+
+    def test_all_levels(self):
+        h = IPv4Hierarchy()
+        ip = parse_ip("10.20.30.40")
+        assert h.generalize(ip, IP, SLASH16) == (10 << 8) | 20
+        assert h.generalize(ip, IP, SLASH8) == 10
+        assert h.generalize(ip, IP, IP_ALL) == 0
+
+    def test_between_intermediate_levels(self):
+        h = IPv4Hierarchy()
+        sub24 = parse_ip("10.20.30.40") >> 8
+        assert h.generalize(sub24, SLASH24, SLASH8) == 10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DomainError):
+            IPv4Hierarchy().generalize(1 << 33, IP, SLASH24)
+
+    def test_format_value_levels(self):
+        h = IPv4Hierarchy()
+        assert h.format_value(parse_ip("1.2.3.4"), IP) == "1.2.3.4"
+        assert h.format_value(10, SLASH8) == "10.*/8"
+        assert h.format_value(0, IP_ALL) == "ALL"
+
+
+class TestEstimates:
+    def test_fanout(self):
+        h = IPv4Hierarchy()
+        assert h.fanout(IP, SLASH24) == 256
+        assert h.fanout(IP, SLASH16) == 65536
+        assert h.fanout(SLASH24, SLASH16) == 256
+
+    def test_cardinality_uses_active_hosts(self):
+        h = IPv4Hierarchy(active_hosts=1 << 12)
+        assert h.level_cardinality(IP) == 1 << 12
+        assert h.level_cardinality(SLASH24) == 1 << 4
+        assert h.level_cardinality(IP_ALL) == 1
+
+    def test_cardinality_capped_by_structure(self):
+        # The shift model scales the host estimate down per level but
+        # can never exceed the structural prefix count.
+        h = IPv4Hierarchy(active_hosts=1 << 30)
+        assert h.level_cardinality(SLASH8) == min(1 << 8, 1 << 6)
+        assert h.level_cardinality(SLASH16) <= 1 << 16
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_parse_format_roundtrip(value):
+    assert parse_ip(format_ip(value)) == value
+
+
+@given(
+    u=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    v=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    level=st.integers(min_value=0, max_value=4),
+)
+def test_ip_generalization_monotone(u, v, level):
+    h = IPv4Hierarchy()
+    if u > v:
+        u, v = v, u
+    assert h.generalize(u, IP, level) <= h.generalize(v, IP, level)

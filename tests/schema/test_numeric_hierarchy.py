@@ -1,0 +1,97 @@
+"""Tests for the synthetic uniform hierarchy (paper Section 7.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.schema.numeric_hierarchy import UniformHierarchy
+
+
+def paper_hierarchy():
+    """The paper's exact synthetic setting: 3 non-ALL levels, fan-out 10."""
+    return UniformHierarchy("d", levels=3, fanout=10)
+
+
+class TestConstruction:
+    def test_paper_setting_shape(self):
+        h = paper_hierarchy()
+        assert h.num_levels == 4  # D1 < D2 < D3 < D_ALL
+        assert h.base_cardinality == 1000
+        assert h.per_level_fanout == 10
+
+    def test_each_value_covers_fanout_children(self):
+        """"Any value in any domain will cover 10 distinct values of
+        its sub-domains" — the defining property."""
+        h = paper_hierarchy()
+        parents = {}
+        for value in range(1000):
+            parents.setdefault(h.generalize(value, 0, 1), set()).add(value)
+        assert all(len(kids) == 10 for kids in parents.values())
+        assert len(parents) == 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchemaError):
+            UniformHierarchy("d", levels=0)
+        with pytest.raises(SchemaError):
+            UniformHierarchy("d", fanout=1)
+        with pytest.raises(SchemaError):
+            UniformHierarchy("d", base_cardinality=0)
+
+
+class TestFanoutAndCardinality:
+    def test_fanout_between_levels(self):
+        h = paper_hierarchy()
+        assert h.fanout(0, 1) == 10
+        assert h.fanout(0, 2) == 100
+        assert h.fanout(1, 2) == 10
+        assert h.fanout(2, 2) == 1
+
+    def test_fanout_to_all_is_level_cardinality(self):
+        h = paper_hierarchy()
+        assert h.fanout(0, h.all_level) == 1000
+        assert h.fanout(2, h.all_level) == 10
+
+    def test_fanout_downward_rejected(self):
+        with pytest.raises(SchemaError):
+            paper_hierarchy().fanout(2, 1)
+
+    def test_level_cardinality(self):
+        h = paper_hierarchy()
+        assert [h.level_cardinality(i) for i in range(4)] == [
+            1000,
+            100,
+            10,
+            1,
+        ]
+
+    def test_custom_base_cardinality(self):
+        h = UniformHierarchy("d", levels=2, fanout=10, base_cardinality=55)
+        assert h.level_cardinality(0) == 55
+        assert h.level_cardinality(1) == 5
+
+
+@given(
+    u=st.integers(min_value=0, max_value=999),
+    v=st.integers(min_value=0, max_value=999),
+    level=st.integers(min_value=0, max_value=3),
+)
+def test_generalization_is_monotone(u, v, level):
+    """Proposition 1: u <= v implies gamma(u) <= gamma(v)."""
+    h = paper_hierarchy()
+    if u > v:
+        u, v = v, u
+    assert h.generalize(u, 0, level) <= h.generalize(v, 0, level)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=999),
+    mid=st.integers(min_value=0, max_value=3),
+    top=st.integers(min_value=0, max_value=3),
+)
+def test_generalization_is_consistent(value, mid, top):
+    """gamma composes along the chain (Section 2.1 consistency)."""
+    h = paper_hierarchy()
+    if mid > top:
+        mid, top = top, mid
+    via = h.generalize(h.generalize(value, 0, mid), mid, top)
+    assert via == h.generalize(value, 0, top)

@@ -1,0 +1,63 @@
+"""Tests for the target-port hierarchy (Port < PortRange < ALL)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DomainError
+from repro.schema.port_hierarchy import (
+    PORT,
+    PORT_ALL,
+    PORT_RANGE,
+    PortHierarchy,
+)
+
+
+class TestGeneralization:
+    def test_block_mapping(self):
+        h = PortHierarchy()
+        assert h.generalize(80, PORT, PORT_RANGE) == 0
+        assert h.generalize(445, PORT, PORT_RANGE) == 1
+        assert h.generalize(65535, PORT, PORT_RANGE) == 255
+
+    def test_to_all(self):
+        h = PortHierarchy()
+        assert h.generalize(8080, PORT, PORT_ALL) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DomainError):
+            PortHierarchy().generalize(70000, PORT, PORT_RANGE)
+
+    def test_format(self):
+        h = PortHierarchy()
+        assert h.format_value(22, PORT) == "22"
+        assert h.format_value(1, PORT_RANGE) == "[256..511]"
+        assert h.format_value(0, PORT_ALL) == "ALL"
+
+
+class TestEstimates:
+    def test_fanout(self):
+        h = PortHierarchy()
+        assert h.fanout(PORT, PORT_RANGE) == 256
+        assert h.fanout(PORT, PORT) == 1
+        assert h.fanout(PORT, PORT_ALL) == 65536
+        with pytest.raises(DomainError):
+            h.fanout(PORT_RANGE, PORT)
+
+    def test_cardinality(self):
+        h = PortHierarchy()
+        assert h.level_cardinality(PORT) == 65536
+        assert h.level_cardinality(PORT_RANGE) == 256
+        assert h.level_cardinality(PORT_ALL) == 1
+
+
+@given(
+    u=st.integers(min_value=0, max_value=65535),
+    v=st.integers(min_value=0, max_value=65535),
+)
+def test_port_generalization_monotone(u, v):
+    h = PortHierarchy()
+    if u > v:
+        u, v = v, u
+    assert h.generalize(u, PORT, PORT_RANGE) <= h.generalize(
+        v, PORT, PORT_RANGE
+    )

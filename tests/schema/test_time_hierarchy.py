@@ -1,0 +1,162 @@
+"""Tests for the calendar time hierarchy (Figure 1 of the paper)."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DomainError
+from repro.schema.time_hierarchy import (
+    DAY,
+    HOUR,
+    MONTH,
+    SECOND,
+    TIME_ALL,
+    YEAR,
+    TimeHierarchy,
+    day_to_month,
+    month_to_day,
+)
+
+#: 2038-ish bound keeps hypothesis inside the supported range.
+MAX_TS = int(
+    (
+        datetime.datetime(2099, 12, 31) - datetime.datetime(1970, 1, 1)
+    ).total_seconds()
+)
+
+
+def ts(year, month, day, hour=0, minute=0, second=0):
+    """UNIX timestamp helper via the standard library (oracle)."""
+    epoch = datetime.datetime(1970, 1, 1)
+    moment = datetime.datetime(year, month, day, hour, minute, second)
+    return int((moment - epoch).total_seconds())
+
+
+class TestChain:
+    def test_domain_names_match_figure_1(self):
+        h = TimeHierarchy()
+        assert [d.name for d in h.domains] == [
+            "Second",
+            "Hour",
+            "Day",
+            "Month",
+            "Year",
+            "ALL",
+        ]
+
+    def test_level_constants(self):
+        assert (SECOND, HOUR, DAY, MONTH, YEAR, TIME_ALL) == tuple(range(6))
+
+
+class TestCalendarCorrectness:
+    def test_hour_and_day(self):
+        h = TimeHierarchy()
+        t = ts(2002, 2, 14, 13, 45, 7)
+        assert h.generalize(t, SECOND, HOUR) == t // 3600
+        assert h.generalize(t, SECOND, DAY) == t // 86400
+
+    def test_month_against_datetime(self):
+        h = TimeHierarchy()
+        for y, m, d in [
+            (1970, 1, 1),
+            (1972, 2, 29),  # leap day
+            (1999, 12, 31),
+            (2000, 2, 29),  # century leap year
+            (2002, 2, 14),
+            (2038, 1, 19),
+        ]:
+            t = ts(y, m, d, 12)
+            expected_month = (y - 1970) * 12 + (m - 1)
+            assert h.generalize(t, SECOND, MONTH) == expected_month
+            assert h.generalize(t, SECOND, YEAR) == y - 1970
+
+    def test_1900_rule_not_applicable_but_2100_is_common_year(self):
+        # 2100 is divisible by 100 but not 400: 28-day February.
+        feb28 = day_to_month(month_to_day((2100 - 1970) * 12 + 1) + 27)
+        mar1 = day_to_month(month_to_day((2100 - 1970) * 12 + 1) + 28)
+        assert feb28 == (2100 - 1970) * 12 + 1
+        assert mar1 == (2100 - 1970) * 12 + 2
+
+    def test_intermediate_level_generalization(self):
+        h = TimeHierarchy()
+        t = ts(2002, 2, 14, 13)
+        hour = h.generalize(t, SECOND, HOUR)
+        day = h.generalize(hour, HOUR, DAY)
+        month = h.generalize(day, DAY, MONTH)
+        year = h.generalize(month, MONTH, YEAR)
+        assert day == t // 86400
+        assert month == (2002 - 1970) * 12 + 1
+        assert year == 2002 - 1970
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(DomainError):
+            TimeHierarchy().generalize(-1, SECOND, DAY)
+
+    def test_out_of_range_day_rejected(self):
+        with pytest.raises(DomainError):
+            day_to_month(10**7)
+        with pytest.raises(DomainError):
+            month_to_day(-1)
+
+
+class TestFormatting:
+    def test_format_values(self):
+        h = TimeHierarchy()
+        t = ts(2002, 2, 14, 13)
+        assert h.format_value(t // 3600, HOUR) == "2002-02-14T13h"
+        assert h.format_value(t // 86400, DAY) == "2002-02-14"
+        assert h.format_value((2002 - 1970) * 12 + 1, MONTH) == "2002-02"
+        assert h.format_value(2002 - 1970, YEAR) == "2002"
+        assert h.format_value(0, TIME_ALL) == "ALL"
+
+
+class TestEstimates:
+    def test_fanout_steps(self):
+        h = TimeHierarchy()
+        assert h.fanout(SECOND, HOUR) == 3600
+        assert h.fanout(HOUR, DAY) == 24
+        assert h.fanout(DAY, MONTH) == 30
+        assert h.fanout(MONTH, YEAR) == 12
+        assert h.fanout(HOUR, MONTH) == 24 * 30
+        assert h.fanout(DAY, DAY) == 1
+
+    def test_level_cardinality_scales_with_span(self):
+        assert TimeHierarchy(span_years=2).level_cardinality(DAY) == 730
+        assert TimeHierarchy(span_years=1).level_cardinality(TIME_ALL) == 1
+
+
+@given(
+    u=st.integers(min_value=0, max_value=MAX_TS),
+    v=st.integers(min_value=0, max_value=MAX_TS),
+    level=st.integers(min_value=0, max_value=5),
+)
+def test_time_generalization_monotone(u, v, level):
+    """Proposition 1 for the calendar chain."""
+    h = TimeHierarchy()
+    if u > v:
+        u, v = v, u
+    assert h.generalize(u, SECOND, level) <= h.generalize(v, SECOND, level)
+
+
+@given(t=st.integers(min_value=0, max_value=MAX_TS))
+def test_month_matches_datetime_oracle(t):
+    """Calendar arithmetic agrees with the standard library."""
+    h = TimeHierarchy()
+    moment = datetime.datetime(1970, 1, 1) + datetime.timedelta(seconds=t)
+    expected = (moment.year - 1970) * 12 + (moment.month - 1)
+    assert h.generalize(t, SECOND, MONTH) == expected
+    assert h.generalize(t, SECOND, YEAR) == moment.year - 1970
+
+
+@given(
+    t=st.integers(min_value=0, max_value=MAX_TS),
+    mid=st.integers(min_value=0, max_value=5),
+    top=st.integers(min_value=0, max_value=5),
+)
+def test_time_generalization_consistent(t, mid, top):
+    h = TimeHierarchy()
+    if mid > top:
+        mid, top = top, mid
+    via = h.generalize(h.generalize(t, SECOND, mid), mid, top)
+    assert via == h.generalize(t, SECOND, top)

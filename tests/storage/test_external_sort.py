@@ -1,0 +1,74 @@
+"""Tests for the external merge sort."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.external_sort import external_sort
+
+
+def test_in_memory_path_when_input_fits():
+    records = [(3,), (1,), (2,)]
+    assert list(external_sort(records, lambda r: r, run_size=10)) == [
+        (1,),
+        (2,),
+        (3,),
+    ]
+
+
+def test_spill_path_multiple_runs(tmp_path):
+    records = [(i % 7, i) for i in range(100)]
+    out = list(
+        external_sort(
+            records, lambda r: r[0], run_size=8, tmp_dir=str(tmp_path)
+        )
+    )
+    assert [r[0] for r in out] == sorted(r[0] for r in records)
+    # Spill files are cleaned up afterwards.
+    assert [p for p in os.listdir(tmp_path) if p.startswith("run-")] == []
+
+
+def test_exact_run_boundary():
+    records = [(i,) for i in range(20, 0, -1)]
+    out = list(external_sort(records, lambda r: r, run_size=10))
+    assert out == sorted(records)
+
+
+def test_empty_input():
+    assert list(external_sort([], lambda r: r)) == []
+
+
+def test_invalid_run_size():
+    with pytest.raises(StorageError):
+        list(external_sort([(1,)], lambda r: r, run_size=0))
+
+
+def test_early_abandonment_cleans_up(tmp_path):
+    records = [(i,) for i in range(50)]
+    iterator = external_sort(
+        records, lambda r: r, run_size=5, tmp_dir=str(tmp_path)
+    )
+    next(iterator)
+    iterator.close()  # abandon mid-stream
+    assert [p for p in os.listdir(tmp_path) if p.startswith("run-")] == []
+
+
+def test_duplicate_keys_all_preserved():
+    records = [(1, "a"), (1, "b"), (0, "c"), (1, "d")]
+    out = list(external_sort(records, lambda r: r[0], run_size=2))
+    assert len(out) == 4
+    assert [r[0] for r in out] == [0, 1, 1, 1]
+    assert {r[1] for r in out} == {"a", "b", "c", "d"}
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(st.integers(-1000, 1000), max_size=200),
+    run_size=st.integers(min_value=1, max_value=50),
+)
+def test_matches_builtin_sorted(values, run_size):
+    records = [(v,) for v in values]
+    out = list(external_sort(records, lambda r: r, run_size=run_size))
+    assert out == sorted(records)

@@ -1,0 +1,122 @@
+"""Tests for binary flat files and CSV I/O."""
+
+import struct
+
+import pytest
+
+from repro.errors import StorageError
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+from repro.storage.flatfile import (
+    FlatFileDataset,
+    read_csv,
+    write_csv,
+    write_flatfile,
+)
+
+RECORDS = [
+    (1, 2, 0.5),
+    (3, 4, 1.5),
+    (5, 6, -2.0),
+]
+
+
+@pytest.fixture()
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=2, fanout=4)
+
+
+class TestBinaryRoundtrip:
+    def test_write_read(self, schema, tmp_path):
+        path = str(tmp_path / "data.bin")
+        assert write_flatfile(path, schema, RECORDS) == 3
+        ds = FlatFileDataset(path, schema)
+        assert len(ds) == 3
+        assert list(ds.scan()) == RECORDS
+
+    def test_scan_is_repeatable(self, schema, tmp_path):
+        path = str(tmp_path / "data.bin")
+        write_flatfile(path, schema, RECORDS)
+        ds = FlatFileDataset(path, schema)
+        assert list(ds.scan()) == list(ds.scan())
+
+    def test_empty_file(self, schema, tmp_path):
+        path = str(tmp_path / "empty.bin")
+        write_flatfile(path, schema, [])
+        ds = FlatFileDataset(path, schema)
+        assert len(ds) == 0
+        assert list(ds.scan()) == []
+
+    def test_large_batch_boundary(self, schema, tmp_path):
+        """Cross the internal write/read batch size."""
+        records = [(i % 16, i % 16, float(i)) for i in range(5000)]
+        path = str(tmp_path / "big.bin")
+        write_flatfile(path, schema, records)
+        assert list(FlatFileDataset(path, schema).scan()) == records
+
+    def test_no_measure_schema(self, tmp_path):
+        net = network_log_schema()
+        records = [(10, 20, 30, 40), (11, 21, 31, 41)]
+        path = str(tmp_path / "net.bin")
+        write_flatfile(path, net, records)
+        assert list(FlatFileDataset(path, net).scan()) == records
+
+
+class TestBinaryValidation:
+    def test_missing_file(self, schema):
+        with pytest.raises(StorageError):
+            FlatFileDataset("/nonexistent/file.bin", schema)
+
+    def test_bad_magic(self, schema, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(StorageError, match="not an AWRA"):
+            FlatFileDataset(str(path), schema)
+
+    def test_truncated_header(self, schema, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"AW")
+        with pytest.raises(StorageError, match="truncated"):
+            FlatFileDataset(str(path), schema)
+
+    def test_schema_mismatch(self, schema, tmp_path):
+        other = synthetic_schema(num_dimensions=3, levels=2, fanout=4)
+        path = str(tmp_path / "data.bin")
+        write_flatfile(path, other, [(1, 2, 3, 0.0)])
+        with pytest.raises(StorageError, match="does not match"):
+            FlatFileDataset(path, schema)
+
+    def test_torn_record_detected(self, schema, tmp_path):
+        path = str(tmp_path / "data.bin")
+        write_flatfile(path, schema, RECORDS)
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<q", 7))  # half a record
+        with pytest.raises(StorageError, match="truncated record"):
+            FlatFileDataset(path, schema)
+
+
+class TestCsv:
+    def test_roundtrip(self, schema, tmp_path):
+        path = str(tmp_path / "data.csv")
+        assert write_csv(path, schema, RECORDS) == 3
+        assert list(read_csv(path, schema)) == RECORDS
+
+    def test_header_validated(self, schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n1,2,3\n")
+        with pytest.raises(StorageError, match="header"):
+            list(read_csv(str(path), schema))
+
+    def test_malformed_value_reported_with_line(self, schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("d0,d1,v\n1,2,0.5\n1,oops,0.5\n")
+        with pytest.raises(StorageError, match=":3"):
+            list(read_csv(str(path), schema))
+
+    def test_wrong_field_count_reported(self, schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("d0,d1,v\n1,2\n")
+        with pytest.raises(StorageError, match="fields"):
+            list(read_csv(str(path), schema))

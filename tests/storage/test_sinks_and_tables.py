@@ -1,0 +1,113 @@
+"""Tests for result sinks and measure tables."""
+
+import pytest
+
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.sink import FileSink, MemorySink, NullSink
+from repro.storage.table import InMemoryDataset, MeasureTable
+
+
+@pytest.fixture()
+def gran():
+    schema = synthetic_schema(num_dimensions=2, levels=2, fanout=4)
+    return Granularity.from_spec(schema, {"d0": "d0.L0"})
+
+
+class TestMemorySink:
+    def test_collects_tables(self, gran):
+        sink = MemorySink()
+        sink.open_measure("m", gran)
+        sink.emit("m", (1, 0), 5)
+        sink.emit("m", (2, 0), 7)
+        tables = sink.result()
+        assert tables["m"].rows == {(1, 0): 5, (2, 0): 7}
+
+    def test_reopen_keeps_rows(self, gran):
+        sink = MemorySink()
+        sink.open_measure("m", gran)
+        sink.emit("m", (1, 0), 5)
+        sink.open_measure("m", gran)
+        assert sink.result()["m"].rows == {(1, 0): 5}
+
+
+class TestNullSink:
+    def test_counts_only(self, gran):
+        sink = NullSink()
+        sink.open_measure("m", gran)
+        sink.emit("m", (1, 0), 5)
+        sink.emit("m", (2, 0), 5)
+        assert sink.counts == {"m": 2}
+        assert sink.result() is None
+
+
+class TestFileSink:
+    def test_writes_tsv_per_measure(self, gran, tmp_path):
+        sink = FileSink(str(tmp_path))
+        sink.open_measure("m", gran)
+        sink.emit("m", (1, 0), 5)
+        sink.emit("m", (2, 0), None)
+        sink.close()
+        content = (tmp_path / "m.tsv").read_text().splitlines()
+        assert content == ["1\t0\t5", "2\t0\tNone"]
+
+
+class TestMeasureTable:
+    def test_mapping_protocol(self, gran):
+        t = MeasureTable("m", gran, {(1, 0): 5})
+        assert len(t) == 1
+        assert t[(1, 0)] == 5
+        assert t.get((9, 9)) is None
+        assert (1, 0) in t
+
+    def test_items_sorted(self, gran):
+        t = MeasureTable("m", gran, {(2, 0): 1, (1, 0): 2})
+        assert t.items_sorted() == [((1, 0), 2), ((2, 0), 1)]
+
+    def test_equal_rows_with_tolerance(self, gran):
+        a = MeasureTable("m", gran, {(1, 0): 1.0})
+        b = MeasureTable("m", gran, {(1, 0): 1.0 + 1e-12})
+        c = MeasureTable("m", gran, {(1, 0): 1.1})
+        assert a.equal_rows(b)
+        assert not a.equal_rows(c)
+
+    def test_equal_rows_none_handling(self, gran):
+        a = MeasureTable("m", gran, {(1, 0): None})
+        b = MeasureTable("m", gran, {(1, 0): None})
+        c = MeasureTable("m", gran, {(1, 0): 0})
+        assert a.equal_rows(b)
+        assert not a.equal_rows(c)
+        assert not c.equal_rows(a)
+
+    def test_diff_describes_differences(self, gran):
+        a = MeasureTable("m", gran, {(1, 0): 1, (2, 0): 2})
+        b = MeasureTable("m", gran, {(2, 0): 3, (3, 0): 4})
+        text = a.diff(b)
+        assert "missing" in text and "extra" in text and "changed" in text
+        assert a.diff(a) == "identical"
+
+    def test_pretty_renders_and_truncates(self, gran):
+        rows = {(i, 0): i for i in range(30)}
+        t = MeasureTable("m", gran, rows)
+        text = t.pretty(limit=3)
+        assert "m (" in text
+        assert "... 27 more" in text
+
+
+class TestInMemoryDataset:
+    def test_len_and_scan(self, gran):
+        ds = InMemoryDataset(gran.schema, [(1, 2, 0.0), (3, 4, 1.0)])
+        assert len(ds) == 2
+        assert list(ds.scan()) == [(1, 2, 0.0), (3, 4, 1.0)]
+
+    def test_validation_flag(self, gran):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            InMemoryDataset(gran.schema, [(1,)], validate=True)
+
+    def test_sorted_copy(self, gran):
+        ds = InMemoryDataset(gran.schema, [(3, 0, 0.0), (1, 0, 0.0)])
+        out = ds.sorted_copy(lambda r: r[0])
+        assert [r[0] for r in out.records] == [1, 3]
+        assert [r[0] for r in ds.records] == [3, 1]  # original intact

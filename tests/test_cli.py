@@ -1,0 +1,243 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def honeynet_file(tmp_path):
+    path = str(tmp_path / "trace.bin")
+    code = main(
+        [
+            "generate",
+            "--kind",
+            "honeynet",
+            "--records",
+            "2000",
+            "--out",
+            path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def synthetic_file(tmp_path):
+    path = str(tmp_path / "syn.bin")
+    assert (
+        main(
+            [
+                "generate",
+                "--kind",
+                "synthetic",
+                "--records",
+                "2000",
+                "--out",
+                path,
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestGenerate:
+    def test_generate_binary(self, tmp_path, capsys):
+        path = str(tmp_path / "out.bin")
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "honeynet",
+                "--records",
+                "500",
+                "--out",
+                path,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "out.bin" in out
+
+    def test_generate_csv(self, tmp_path, capsys):
+        path = str(tmp_path / "data.csv")
+        assert (
+            main(
+                [
+                    "generate",
+                    "--kind",
+                    "netlog",
+                    "--records",
+                    "100",
+                    "--format",
+                    "csv",
+                    "--out",
+                    path,
+                ]
+            )
+            == 0
+        )
+        header = open(path).readline()
+        assert header.startswith("Timestamp,")
+
+    def test_bad_output_path(self, capsys):
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "synthetic",
+                "--records",
+                "10",
+                "--out",
+                "/nonexistent/dir/x.bin",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_escalation(self, honeynet_file, capsys):
+        code = main(
+            [
+                "run",
+                "--query",
+                "escalation",
+                "--data",
+                honeynet_file,
+                "--limit",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out
+        assert "engine=sort-scan" in out
+
+    @pytest.mark.parametrize(
+        "engine",
+        ["relational", "singlescan", "multipass", "partitioned"],
+    )
+    def test_run_engines(self, synthetic_file, engine, capsys):
+        code = main(
+            [
+                "run",
+                "--query",
+                "q2",
+                "--data",
+                synthetic_file,
+                "--engine",
+                engine,
+            ]
+        )
+        assert code == 0
+        assert "rows=" in capsys.readouterr().out
+
+    def test_run_selected_measures(self, honeynet_file, capsys):
+        code = main(
+            [
+                "run",
+                "--query",
+                "multirecon",
+                "--data",
+                honeynet_file,
+                "--measures",
+                "reconAlerts",
+                "nosuch",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "reconAlerts" in captured.out
+        assert "nosuch" in captured.err
+
+    def test_run_missing_file(self, capsys):
+        code = main(
+            ["run", "--query", "q1", "--data", "/nope.bin"]
+        )
+        assert code == 2
+
+
+class TestExplain:
+    @pytest.mark.parametrize(
+        "show,needle",
+        [
+            ("algebra", "g[("),
+            ("sql", "LEFT OUTER JOIN"),
+            ("graph", "BasicNode"),
+            ("plan", "sort key"),
+            ("dot", "digraph"),
+        ],
+    )
+    def test_explain_modes(self, show, needle, capsys):
+        code = main(
+            ["explain", "--query", "combined", "--show", show]
+        )
+        assert code == 0
+        assert needle in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_figure(self, capsys):
+        code = main(["bench", "--figure", "fig7a", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out and "SortScan" in out
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "generate" in proc.stdout
+
+
+class TestExplainCost:
+    def test_cost_mode_reports_fused_advantage(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query",
+                "combined",
+                "--show",
+                "cost",
+                "--rows",
+                "100000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fused sort/scan plan" in out
+        assert "per-measure relational" in out
+        assert "advantage" in out
+
+
+class TestRunExport:
+    def test_out_writes_tsv_per_measure(self, honeynet_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        code = main(
+            [
+                "run",
+                "--query",
+                "escalation",
+                "--data",
+                honeynet_file,
+                "--out",
+                out_dir,
+            ]
+        )
+        assert code == 0
+        import os
+
+        written = sorted(os.listdir(out_dir))
+        assert "traffic.tsv" in written
+        assert "alerts.tsv" in written
+        assert "written to" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Tests for GraphViz DOT export of workflows."""
+
+from repro.algebra.conditions import Sibling
+from repro.algebra.predicates import Field
+from repro.schema.dataset_schema import network_log_schema
+from repro.workflow.dot import to_dot
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def build_workflow():
+    wf = AggregationWorkflow(network_log_schema(), name="viz")
+    wf.basic("Count", {"t": "Hour", "U": "IP"})
+    wf.rollup(
+        "busy", {"t": "Hour"}, source="Count", where=Field("M") > 5
+    )
+    wf.match(
+        "trend", {"t": "Hour"}, source="busy",
+        cond=Sibling({"t": (0, 5)}),
+    )
+    return wf
+
+
+def test_dot_is_a_digraph_with_clusters():
+    dot = to_dot(build_workflow())
+    assert dot.startswith('digraph "viz"')
+    assert dot.rstrip().endswith("}")
+    # One cluster (rectangle) per region set.
+    assert dot.count("subgraph cluster_") == 2
+
+
+def test_dot_contains_measures_and_arcs():
+    dot = to_dot(build_workflow())
+    for name in ("Count", "busy", "trend"):
+        assert f'"{name}"' in dot
+    assert '"Count" -> "busy"' in dot
+    assert '"busy" -> "trend"' in dot
+
+
+def test_dot_marks_hidden_cells_dashed():
+    dot = to_dot(build_workflow())
+    assert "style=dashed" in dot
+
+
+def test_dot_labels_match_conditions():
+    dot = to_dot(build_workflow())
+    assert "cond_sb" in dot
+
+
+def test_dot_escapes_quotes():
+    wf = AggregationWorkflow(network_log_schema(), name='with "quotes"')
+    wf.basic("Count", {"t": "Hour"})
+    dot = to_dot(wf)
+    assert 'with \\"quotes\\"' in dot

@@ -1,0 +1,81 @@
+"""Tests for topological ordering of measure dependencies."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import synthetic_schema
+from repro.workflow.measure import Measure, MeasureKind
+from repro.workflow.toposort import topological_order
+
+
+def _measure(name, schema, source=None, inputs=()):
+    return Measure(
+        name,
+        Granularity.base(schema),
+        MeasureKind.BASIC if source is None and not inputs else (
+            MeasureKind.COMBINE if inputs else MeasureKind.ROLLUP
+        ),
+        source=source,
+        inputs=inputs,
+    )
+
+
+@pytest.fixture()
+def schema():
+    return synthetic_schema(num_dimensions=2, levels=2, fanout=4)
+
+
+def test_linear_chain(schema):
+    measures = {
+        "a": _measure("a", schema),
+        "b": _measure("b", schema, source="a"),
+        "c": _measure("c", schema, source="b"),
+    }
+    assert topological_order(measures) == ["a", "b", "c"]
+
+
+def test_diamond_respects_dependencies(schema):
+    measures = {
+        "a": _measure("a", schema),
+        "b": _measure("b", schema, source="a"),
+        "c": _measure("c", schema, source="a"),
+        "d": _measure("d", schema, inputs=("b", "c")),
+    }
+    order = topological_order(measures)
+    assert order.index("a") < order.index("b")
+    assert order.index("a") < order.index("c")
+    assert order.index("d") == 3
+
+
+def test_insertion_order_breaks_ties(schema):
+    measures = {
+        "z": _measure("z", schema),
+        "a": _measure("a", schema),
+    }
+    assert topological_order(measures) == ["z", "a"]
+
+
+def test_cycle_detected(schema):
+    measures = {
+        "a": _measure("a", schema, source="b"),
+        "b": _measure("b", schema, source="a"),
+    }
+    with pytest.raises(WorkflowError, match="cycle"):
+        topological_order(measures)
+
+
+def test_self_cycle_detected(schema):
+    measures = {"a": _measure("a", schema, source="a")}
+    with pytest.raises(WorkflowError, match="cycle"):
+        topological_order(measures)
+
+
+def test_unknown_dependency(schema):
+    measures = {"a": _measure("a", schema, source="ghost")}
+    with pytest.raises(WorkflowError, match="unknown"):
+        topological_order(measures)
+
+
+def test_empty_is_fine():
+    assert topological_order({}) == []

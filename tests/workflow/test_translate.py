@@ -1,0 +1,80 @@
+"""Tests for workflow-to-AW-RA translation (Theorem 2)."""
+
+import pytest
+
+from repro.algebra.conditions import Sibling
+from repro.algebra.expr import (
+    Aggregate,
+    CombineJoin,
+    FactTable,
+    MatchJoin,
+    Select,
+)
+from repro.algebra.predicates import Field
+from repro.schema.dataset_schema import network_log_schema
+from repro.queries.examples import examples_workflow
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture(scope="module")
+def net():
+    return network_log_schema()
+
+
+class TestExampleTranslations:
+    """The paper's Examples 1-5 translate to their stated formulas."""
+
+    @pytest.fixture(scope="class")
+    def exprs(self, net):
+        return examples_workflow(net).to_algebra()
+
+    def test_example1_is_basic_aggregation(self, exprs):
+        count = exprs["Count"]
+        assert isinstance(count, Aggregate)
+        assert isinstance(count.child, FactTable)
+        assert repr(count.granularity) == "(t:Hour, U:IP)"
+
+    def test_example2_aggregates_filtered_counts(self, exprs):
+        scount = exprs["sCount"]
+        assert isinstance(scount, Aggregate)
+        assert isinstance(scount.child, Select)
+        assert scount.child.child is exprs["Count"]  # shared object
+
+    def test_example4_is_sibling_match_join(self, exprs):
+        avg = exprs["avgCount"]
+        assert isinstance(avg, MatchJoin)
+        assert isinstance(avg.cond, Sibling)
+        # Keys come from the hidden S_base cells measure.
+        assert isinstance(avg.target, Aggregate)
+        assert avg.target.agg.function.name.startswith(
+            ("cells", "const")
+        )
+
+    def test_example5_is_combine_join(self, exprs):
+        ratio = exprs["ratio"]
+        assert isinstance(ratio, CombineJoin)
+        assert ratio.base is exprs["avgCount"]
+        assert ratio.inputs == (exprs["sTraffic"], exprs["sCount"])
+
+    def test_shared_subexpressions_are_shared_objects(self, exprs):
+        assert exprs["sCount"].child.child is exprs["Count"]
+        assert exprs["sTraffic"].child.child is exprs["Count"]
+
+
+class TestOtherKinds:
+    def test_filter_translates_to_select(self, net):
+        wf = AggregationWorkflow(net)
+        wf.basic("cnt", {"t": "Hour"})
+        wf.filter("big", source="cnt", where=Field("M") > 3)
+        exprs = wf.to_algebra()
+        assert isinstance(exprs["big"], Select)
+        assert exprs["big"].child is exprs["cnt"]
+
+    def test_single_input_combine(self, net):
+        wf = AggregationWorkflow(net)
+        wf.basic("cnt", {"t": "Hour"})
+        wf.combine("double", ["cnt"], fn=lambda v: None if v is None else (
+            2 * v
+        ))
+        exprs = wf.to_algebra()
+        assert isinstance(exprs["double"], CombineJoin)

@@ -1,0 +1,181 @@
+"""Tests for the aggregation-workflow builder API."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.algebra.conditions import ChildParent, ParentChild, Sibling
+from repro.algebra.predicates import Field
+from repro.schema.dataset_schema import synthetic_schema
+from repro.workflow.measure import MeasureKind
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture()
+def schema():
+    return synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+@pytest.fixture()
+def wf(schema):
+    return AggregationWorkflow(schema, "test")
+
+
+class TestBasic:
+    def test_basic_defaults_to_count_star(self, wf):
+        m = wf.basic("cnt", {"d0": "d0.L0"})
+        assert m.kind is MeasureKind.BASIC
+        assert m.agg.function.name == "count"
+        assert m.agg.input_field == "*"
+
+    def test_basic_with_measure_field(self, wf):
+        m = wf.basic("total", {"d0": "d0.L0"}, agg=("sum", "v"))
+        assert m.agg.input_field == "v"
+
+    def test_duplicate_name_rejected(self, wf):
+        wf.basic("cnt", {"d0": "d0.L0"})
+        with pytest.raises(WorkflowError):
+            wf.basic("cnt", {"d0": "d0.L1"})
+
+
+class TestRollup:
+    def test_rollup_requires_strictly_finer_source(self, wf):
+        wf.basic("cnt", {"d0": "d0.L0"})
+        with pytest.raises(WorkflowError):
+            wf.rollup("same", {"d0": "d0.L0"}, source="cnt")
+        m = wf.rollup("up", {"d0": "d0.L1"}, source="cnt")
+        assert m.kind is MeasureKind.ROLLUP
+
+    def test_unknown_source_rejected(self, wf):
+        with pytest.raises(WorkflowError):
+            wf.rollup("up", {"d0": "d0.L1"}, source="missing")
+
+
+class TestMatch:
+    def test_match_auto_creates_cells(self, wf):
+        wf.basic("cnt", {"d0": "d0.L0"})
+        m = wf.match(
+            "win",
+            {"d0": "d0.L0"},
+            source="cnt",
+            cond=Sibling({"d0": (0, 2)}),
+        )
+        assert m.keys.startswith("__cells")
+        assert wf[m.keys].hidden
+
+    def test_cells_reused_across_matches(self, wf):
+        wf.basic("cnt", {"d0": "d0.L0"})
+        a = wf.match(
+            "w1", {"d0": "d0.L0"}, source="cnt",
+            cond=Sibling({"d0": (0, 1)}),
+        )
+        b = wf.match(
+            "w2", {"d0": "d0.L0"}, source="cnt",
+            cond=Sibling({"d0": (0, 2)}),
+        )
+        assert a.keys == b.keys
+
+    def test_child_parent_directed_to_rollup(self, wf):
+        wf.basic("cnt", {"d0": "d0.L0"})
+        with pytest.raises(WorkflowError):
+            wf.match(
+                "up", {"d0": "d0.L1"}, source="cnt", cond=ChildParent()
+            )
+
+    def test_keys_granularity_checked(self, wf):
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.basic("other", {"d1": "d1.L0"})
+        with pytest.raises(WorkflowError):
+            wf.match(
+                "win",
+                {"d0": "d0.L0"},
+                source="cnt",
+                cond=Sibling({"d0": (0, 1)}),
+                keys="other",
+            )
+
+    def test_broadcast_is_parent_child(self, wf):
+        wf.basic("coarse", {"d0": "d0.L1"})
+        wf.basic("fine", {"d0": "d0.L0"})
+        m = wf.broadcast(
+            "down", {"d0": "d0.L0"}, source="coarse", keys="fine"
+        )
+        assert isinstance(m.cond, ParentChild)
+
+
+class TestCombineAndFilter:
+    def test_combine_requires_same_granularity(self, wf):
+        wf.basic("a", {"d0": "d0.L0"})
+        wf.basic("b", {"d0": "d0.L1"})
+        with pytest.raises(WorkflowError):
+            wf.combine("c", ["a", "b"], fn=lambda x, y: x)
+
+    def test_combine_builds(self, wf):
+        wf.basic("a", {"d0": "d0.L0"})
+        wf.basic("b", {"d0": "d0.L0"})
+        m = wf.combine("c", ["a", "b"], fn=lambda x, y: (x or 0) + (y or 0))
+        assert m.inputs == ("a", "b")
+
+    def test_filter_keeps_granularity(self, wf):
+        wf.basic("a", {"d0": "d0.L0"})
+        m = wf.filter("big", source="a", where=Field("M") > 2)
+        assert m.kind is MeasureKind.FILTER
+        assert m.granularity == wf["a"].granularity
+
+    def test_derive_is_self_match(self, wf):
+        wf.basic("a", {"d0": "d0.L0"})
+        m = wf.derive("view", source="a")
+        assert m.kind is MeasureKind.MATCH
+
+
+class TestWholeWorkflow:
+    def test_outputs_exclude_hidden(self, wf):
+        wf.basic("a", {"d0": "d0.L0"}, hidden=True)
+        wf.basic("b", {"d0": "d0.L0"})
+        assert wf.outputs() == ["b"]
+
+    def test_order_is_topological(self, wf):
+        wf.basic("a", {"d0": "d0.L0"})
+        wf.rollup("b", {"d0": "d0.L1"}, source="a")
+        wf.combine("c", ["b", "b"], fn=lambda x, y: x)
+        order = wf.order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_getitem_and_contains(self, wf):
+        wf.basic("a", {"d0": "d0.L0"})
+        assert "a" in wf
+        assert wf["a"].name == "a"
+        with pytest.raises(WorkflowError):
+            wf["zzz"]
+
+    def test_merge_shares_hidden_cells(self, schema):
+        def build(tag):
+            w = AggregationWorkflow(schema, tag)
+            w.basic(f"{tag}cnt", {"d0": "d0.L0"})
+            w.match(
+                f"{tag}win",
+                {"d0": "d0.L0"},
+                source=f"{tag}cnt",
+                cond=Sibling({"d0": (0, 1)}),
+            )
+            return w
+
+        first, second = build("x"), build("y")
+        merged = first.merge(second)
+        assert merged is first
+        assert "ycnt" in merged
+        merged.validate()
+
+    def test_merge_name_clash_rejected(self, schema):
+        a = AggregationWorkflow(schema)
+        b = AggregationWorkflow(schema)
+        a.basic("cnt", {"d0": "d0.L0"})
+        b.basic("cnt", {"d0": "d0.L0"})
+        with pytest.raises(WorkflowError):
+            a.merge(b)
+
+    def test_merge_cross_schema_rejected(self, schema):
+        other = synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+        a = AggregationWorkflow(schema)
+        b = AggregationWorkflow(other)
+        with pytest.raises(WorkflowError):
+            a.merge(b)
