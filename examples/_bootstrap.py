@@ -1,0 +1,28 @@
+"""Make the in-repo ``repro`` package importable without installation.
+
+Every example imports this module first.  When ``repro`` is already
+installed (or ``PYTHONPATH`` points at ``src/``) this is a no-op;
+otherwise the repository's ``src/`` directory is prepended to
+``sys.path`` so the examples run from a plain checkout, from any
+working directory:
+
+    python examples/quickstart.py
+"""
+
+import os
+import sys
+
+
+def ensure_repro_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "src")
+        )
+        if src not in sys.path:
+            sys.path.insert(0, src)
+
+
+ensure_repro_importable()

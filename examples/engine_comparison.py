@@ -12,6 +12,8 @@ Run:  python examples/engine_comparison.py
 import os
 import tempfile
 
+import _bootstrap  # noqa: F401  (makes the in-repo package importable)
+
 from repro import (
     MemoryBudgetExceeded,
     MultiPassEngine,

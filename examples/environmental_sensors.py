@@ -20,6 +20,8 @@ Run:  python examples/environmental_sensors.py
 import math
 import random
 
+import _bootstrap  # noqa: F401  (makes the in-repo package importable)
+
 from repro import (
     AggregationWorkflow,
     CategoricalHierarchy,

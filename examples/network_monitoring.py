@@ -8,6 +8,8 @@ the alerts with human-readable subnets and timestamps.
 Run:  python examples/network_monitoring.py
 """
 
+import _bootstrap  # noqa: F401  (makes the in-repo package importable)
+
 from repro import SortScanEngine
 from repro.data.honeynet import (
     EscalationEpisode,

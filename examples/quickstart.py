@@ -8,6 +8,8 @@ sorted scan.
 Run:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (makes the in-repo package importable)
+
 from repro import AggregationWorkflow, Field, Sibling, SortScanEngine
 from repro.data import honeynet_dataset
 

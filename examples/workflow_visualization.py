@@ -8,6 +8,8 @@ GraphViz DOT source to ``combined_workflow.dot`` — render it with
 Run:  python examples/workflow_visualization.py
 """
 
+import _bootstrap  # noqa: F401  (makes the in-repo package importable)
+
 from repro import compile_workflow, to_dot, to_formula
 from repro.cube.slack import compute_order_slack  # noqa: F401 (see docs)
 from repro.engine.sort_scan import default_sort_key

@@ -74,11 +74,15 @@ _QUERIES = {
 }
 
 _ENGINES = {
-    "sortscan": lambda: SortScanEngine(optimize=True),
-    "relational": lambda: RelationalEngine(),
-    "singlescan": lambda: SingleScanEngine(),
-    "multipass": lambda: MultiPassEngine(memory_budget_entries=500_000),
-    "partitioned": lambda: PartitionedEngine(num_partitions=4),
+    "sortscan": lambda args: SortScanEngine(optimize=True),
+    "relational": lambda args: RelationalEngine(),
+    "singlescan": lambda args: SingleScanEngine(),
+    "multipass": lambda args: MultiPassEngine(
+        memory_budget_entries=500_000
+    ),
+    "partitioned": lambda args: PartitionedEngine(
+        num_partitions=args.partitions, parallel=args.parallel
+    ),
 }
 
 
@@ -108,6 +112,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--data", required=True, help="binary flat file")
     run.add_argument(
         "--engine", choices=sorted(_ENGINES), default="sortscan"
+    )
+    run.add_argument(
+        "--parallel",
+        choices=("serial", "threads", "processes"),
+        default="serial",
+        help="partitioned engine only: evaluate partitions serially, "
+        "on a thread pool, or on one OS process per partition",
+    )
+    run.add_argument(
+        "--partitions", type=int, default=None,
+        help="partitioned engine only: partition count "
+        "(default: one per CPU core)",
     )
     run.add_argument(
         "--limit", type=int, default=10,
@@ -172,7 +188,7 @@ def _cmd_run(args) -> int:
     schema = _SCHEMAS[family]()
     dataset = FlatFileDataset(args.data, schema)
     workflow = build(schema)
-    engine = _ENGINES[args.engine]()
+    engine = _ENGINES[args.engine](args)
     sink = None
     if args.out:
         from repro.storage.sink import FileSink, MemorySink

@@ -60,6 +60,20 @@ class Granularity:
         self._record_key_fn = None
         self._lift_cache: dict = {}
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only ``(schema, levels)``.
+
+        The compiled key/lift closures are per-process caches and are
+        not picklable; workers rebuild them lazily on first use.
+        """
+        return (self.schema, self.levels)
+
+    def __setstate__(self, state) -> None:
+        schema, levels = state
+        self.__init__(schema, levels)
+
     # -- constructors -----------------------------------------------------
 
     @classmethod

@@ -51,6 +51,17 @@ class SortKey:
         self.parts = tuple((int(d), int(lv)) for d, lv in parts)
         self._record_mapper = None
 
+    def __getstate__(self):
+        """Pickle only ``(schema, parts)`` — the cached record mapper
+        is a compiled closure, rebuilt lazily after unpickling."""
+        return (self.schema, self.parts)
+
+    def __setstate__(self, state) -> None:
+        schema, parts = state
+        self.schema = schema
+        self.parts = parts
+        self._record_mapper = None
+
     @classmethod
     def from_spec(
         cls,

@@ -32,7 +32,10 @@ from repro.engine.naive import RelationalEngine
 from repro.engine.single_scan import SingleScanEngine
 from repro.engine.sort_scan import SortScanEngine
 from repro.engine.multi_pass import MultiPassEngine
-from repro.engine.partitioned import PartitionedEngine
+from repro.engine.partitioned import (
+    PartitionedEngine,
+    default_partition_count,
+)
 from repro.engine.plan import StreamingPlan, build_streaming_plan
 
 __all__ = [
@@ -51,6 +54,7 @@ __all__ = [
     "SortScanEngine",
     "MultiPassEngine",
     "PartitionedEngine",
+    "default_partition_count",
     "StreamingPlan",
     "build_streaming_plan",
 ]

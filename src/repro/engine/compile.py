@@ -168,6 +168,13 @@ class CompiledGraph:
     ``outputs`` maps each query-output name to ``(node, filter)`` where
     ``filter`` is the residual selection to apply at emission time (a
     ``σ`` sitting on top of the output expression).
+
+    ``workflow`` is the :class:`~repro.workflow.AggregationWorkflow`
+    the graph was compiled from, when known (set by
+    :func:`compile_workflow`).  A compiled graph itself is *not*
+    picklable — its arcs hold compiled filter closures — but a workflow
+    is, so distributed evaluators ship the workflow as the serializable
+    plan spec and recompile in each worker.
     """
 
     def __init__(
@@ -179,6 +186,7 @@ class CompiledGraph:
         self.schema = schema
         self.nodes = nodes
         self.outputs = outputs
+        self.workflow = None
         self._check_topological()
 
     def _check_topological(self) -> None:
@@ -433,4 +441,6 @@ def compile_measures(
 def compile_workflow(workflow) -> CompiledGraph:
     """Compile an :class:`~repro.workflow.AggregationWorkflow`."""
     exprs = workflow.to_algebra()
-    return compile_measures(exprs, outputs=workflow.outputs())
+    graph = compile_measures(exprs, outputs=workflow.outputs())
+    graph.workflow = workflow
+    return graph

@@ -31,9 +31,19 @@ class EvalStats:
     flushed_entries: int = 0
     spooled_entries: int = 0
     notes: str = ""
+    #: Per-worker sub-run statistics, retained by partitioned /
+    #: distributed evaluation so the sort/scan breakdown of every
+    #: partition stays inspectable after the merge.
+    workers: list = field(default_factory=list)
 
     def merge(self, other: "EvalStats") -> None:
-        """Accumulate a sub-run (used by the multi-pass engine)."""
+        """Accumulate a sub-run (multi-pass and partitioned engines).
+
+        Totals add up; ``peak_entries`` takes the maximum — with
+        shared-nothing partitions running in separate processes the
+        per-process peak is the honest footprint figure (concurrent
+        partitions each pay their own peak in their own address space).
+        """
         self.rows_scanned += other.rows_scanned
         self.scans += other.scans
         self.sort_seconds += other.sort_seconds
@@ -42,6 +52,7 @@ class EvalStats:
         self.peak_entries = max(self.peak_entries, other.peak_entries)
         self.flushed_entries += other.flushed_entries
         self.spooled_entries += other.spooled_entries
+        self.workers.extend(other.workers)
 
 
 @dataclass

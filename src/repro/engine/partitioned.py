@@ -3,10 +3,11 @@
 Section 1: "the approach offers potentially unlimited parallelism and
 ability to distribute computation, but our current implementation does
 not take advantage of these opportunities."  This engine takes the
-first step the paper's language was designed for: range-partition the
-cube space along one dimension, evaluate each partition with an
-independent one-pass sort/scan, and concatenate the (provably disjoint)
-results.
+steps the paper's language was designed for: range-partition the cube
+space along one dimension, evaluate each partition with an independent
+one-pass sort/scan, and concatenate the (provably disjoint) results —
+optionally on a pool of worker *processes*, i.e. true shared-nothing
+parallel evaluation unconstrained by the GIL.
 
 Design:
 
@@ -22,25 +23,75 @@ Design:
   boundary, but only *emits* regions inside its own range.  The reach
   is derived per node by walking the evaluation graph's arcs (the same
   information the watermark slack uses).
-- Partitions are independent; with ``parallel=True`` they run on a
-  thread pool (each partition scans, sorts, and aggregates its own
-  slice — in CPython the benefit is bounded by the GIL, but the
-  execution structure is exactly the distributable plan shape).
+- Partitions are independent.  ``parallel`` selects the execution
+  substrate: ``"serial"`` runs them one after another (bounding memory
+  without concurrency), ``"threads"`` uses a thread pool (GIL-bound in
+  CPython, but zero serialization cost), and ``"processes"`` spawns one
+  OS process per partition for real CPU parallelism.
+- Process workers are **shared-nothing**: each receives a picklable
+  :class:`_ProcessTask` — the source workflow (the serializable plan
+  spec; the compiled graph's closures cannot be pickled, so workers
+  recompile), the sort-key parts, and either its pre-bucketed record
+  slice or the base dataset plus read bounds.  Workers return plain
+  ``{measure: {key: value}}`` row dicts plus their
+  :class:`~repro.engine.interfaces.EvalStats`; the parent merges the
+  provably disjoint tables and accumulates the stats (keeping each
+  worker's sort/scan breakdown in ``stats.workers``).
+- Anything that cannot be pickled (a lambda combine function, a graph
+  compiled without a source workflow, an exotic dataset) triggers a
+  **graceful fallback to serial in-process evaluation**; the reason is
+  recorded in ``stats.notes`` so the degradation is observable.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import PlanError
 from repro.algebra.conditions import Lags, Sibling
 from repro.cube.order import SortKey
-from repro.engine.compile import BasicNode, CompiledGraph
+from repro.engine.compile import BasicNode, CompiledGraph, compile_workflow
 from repro.engine.interfaces import Engine, EvalStats
 from repro.engine.sort_scan import SortScanEngine, default_sort_key
 from repro.storage.sink import MemorySink, Sink
-from repro.storage.table import Dataset
+from repro.storage.table import Dataset, InMemoryDataset
+
+#: Accepted values of the ``parallel`` knob.
+PARALLEL_MODES = ("serial", "threads", "processes")
+
+
+def normalize_parallel_mode(parallel) -> str:
+    """Resolve the ``parallel`` knob to one of :data:`PARALLEL_MODES`.
+
+    Booleans are accepted for backward compatibility with the original
+    thread-pool-only engine: ``True`` means ``"threads"``, ``False``
+    means ``"serial"``.
+    """
+    if parallel is True:
+        return "threads"
+    if parallel is False or parallel is None:
+        return "serial"
+    if parallel in PARALLEL_MODES:
+        return parallel
+    raise PlanError(
+        f"unknown parallel mode {parallel!r}; "
+        f"expected one of {PARALLEL_MODES}"
+    )
+
+
+def default_partition_count(cap: int = 16) -> int:
+    """CPU-aware partition-count heuristic.
+
+    One partition per available core, clamped to ``[2, cap]``: fewer
+    than two partitions defeats the point of partitioning even on a
+    single-core box (smaller per-pass working sets), while far more
+    partitions than cores only multiplies margin re-reads.
+    """
+    return max(2, min(os.cpu_count() or 1, cap))
 
 
 def partition_level(graph: CompiledGraph, dim: int) -> int:
@@ -130,21 +181,32 @@ def window_reach(
 
 
 class _SliceDataset(Dataset):
-    """A dataset view: records whose partition value is in a range."""
+    """A dataset view: records whose partition value is in a range.
 
-    def __init__(self, base: Dataset, value_fn, lo, hi) -> None:
+    Built from ``(dim, level)`` rather than a compiled value function so
+    instances can be constructed inside worker processes from picklable
+    parts.
+    """
+
+    def __init__(self, base: Dataset, dim: int, level: int, lo, hi) -> None:
         self.schema = base.schema
         self._base = base
-        self._value_fn = value_fn
+        self._dim = dim
+        self._map = base.schema.dimensions[dim].hierarchy.mapper(0, level)
         self._lo = lo
         self._hi = hi
         self._count: Optional[int] = None
 
     def scan(self) -> Iterator[tuple]:
-        lo, hi, value_fn = self._lo, self._hi, self._value_fn
-        for record in self._base.scan():
-            if lo <= value_fn(record) < hi:
-                yield record
+        lo, hi, dim, fn = self._lo, self._hi, self._dim, self._map
+        if fn is None:
+            for record in self._base.scan():
+                if lo <= record[dim] < hi:
+                    yield record
+        else:
+            for record in self._base.scan():
+                if lo <= fn(record[dim]) < hi:
+                    yield record
 
     def __len__(self) -> int:
         if self._count is None:
@@ -181,6 +243,73 @@ class _RangeSink(Sink):
             self._inner.emit(name, key, value)
 
 
+class _UnpicklablePlan(Exception):
+    """Raised when a plan/task cannot be shipped to worker processes."""
+
+
+@dataclass
+class _PartitionRange:
+    """One partition's owned range and (margin-extended) read range."""
+
+    lo: object
+    hi: object
+    read_lo: object
+    read_hi: object
+
+
+@dataclass
+class _ProcessTask:
+    """Everything one worker process needs, as picklable state.
+
+    The whole task is pickled as a single object so pickle's memo
+    preserves sharing: the workflow, the shipped records/dataset, and
+    the sort-key parts all resolve to *one* schema copy inside the
+    worker, keeping identity-based checks coherent there.
+    """
+
+    workflow: object
+    sort_parts: tuple
+    run_size: int
+    dim: int
+    level: int
+    span: _PartitionRange
+    #: Pre-bucketed record slice (in-memory datasets)…
+    records: Optional[list] = None
+    #: …or the base dataset for worker-side slicing (file-backed ones).
+    dataset: Optional[Dataset] = None
+
+
+def _evaluate_partition(payload: bytes):
+    """Worker entry point: evaluate one partition, shared-nothing.
+
+    Takes the pickled :class:`_ProcessTask`, recompiles the workflow
+    (closures never cross the process boundary), runs an independent
+    one-pass sort/scan over the partition's slice, and returns plain
+    ``({measure: {key: value}}, EvalStats)`` data.
+    """
+    task: _ProcessTask = pickle.loads(payload)
+    workflow = task.workflow
+    graph = compile_workflow(workflow)
+    schema = workflow.schema
+    span = task.span
+    if task.records is not None:
+        slice_ds: Dataset = InMemoryDataset(schema, task.records)
+    else:
+        slice_ds = _SliceDataset(
+            task.dataset, task.dim, task.level, span.read_lo, span.read_hi
+        )
+    partial = MemorySink()
+    ranged = _RangeSink(
+        partial, task.dim, task.level, span.lo, span.hi, graph
+    )
+    engine = SortScanEngine(
+        sort_key=SortKey(schema, task.sort_parts), run_size=task.run_size
+    )
+    result = engine.evaluate(slice_ds, graph, sink=ranged)
+    rows = {name: table.rows for name, table in partial.tables.items()}
+    return rows, result.stats
+
+
 class PartitionedEngine(Engine):
     """Range-partitioned, optionally parallel, sort/scan evaluation.
 
@@ -188,10 +317,18 @@ class PartitionedEngine(Engine):
         partition_dim: Dimension (index or name) to partition on;
             defaults to the leading dimension of the sort key.
         num_partitions: Target partition count (actual count may be
-            lower when the dimension has few distinct values).
+            lower when the dimension has few distinct values).  ``None``
+            picks a CPU-aware default (:func:`default_partition_count`).
         sort_key: Sort key for the per-partition passes.
-        parallel: Evaluate partitions on a thread pool.
+        parallel: ``"serial"`` | ``"threads"`` | ``"processes"``
+            (booleans accepted: ``True`` → threads, ``False`` → serial).
+            Process mode requires the plan and data slices to be
+            picklable and falls back to serial — noting why in
+            ``stats.notes`` — when they are not.
         run_size: External-sort run size per partition.
+        max_workers: Concurrency cap for the thread/process pool;
+            defaults to one worker per partition (processes additionally
+            clamp to the CPU count).
     """
 
     name = "partitioned"
@@ -199,18 +336,20 @@ class PartitionedEngine(Engine):
     def __init__(
         self,
         partition_dim: Optional[object] = None,
-        num_partitions: int = 4,
+        num_partitions: Optional[int] = None,
         sort_key: Optional[SortKey] = None,
-        parallel: bool = False,
+        parallel="serial",
         run_size: int = 200_000,
+        max_workers: Optional[int] = None,
     ) -> None:
-        if num_partitions < 1:
+        if num_partitions is not None and num_partitions < 1:
             raise PlanError("need at least one partition")
         self.partition_dim = partition_dim
         self.num_partitions = num_partitions
         self.sort_key = sort_key
-        self.parallel = parallel
+        self.parallel = normalize_parallel_mode(parallel)
         self.run_size = run_size
+        self.max_workers = max_workers
 
     def _resolve_dim(self, graph: CompiledGraph, sort_key: SortKey) -> int:
         if self.partition_dim is None:
@@ -218,6 +357,77 @@ class PartitionedEngine(Engine):
         if isinstance(self.partition_dim, int):
             return self.partition_dim
         return graph.schema.dim_index(self.partition_dim)
+
+    # -- process-mode task construction ---------------------------------
+
+    def _build_payloads(
+        self,
+        dataset: Dataset,
+        graph: CompiledGraph,
+        spans: list[_PartitionRange],
+        sort_key: SortKey,
+        dim: int,
+        level: int,
+        partition_value,
+    ) -> list[bytes]:
+        """Pickle one :class:`_ProcessTask` per partition.
+
+        Raises:
+            _UnpicklablePlan: when the workflow is unknown or any part
+                of a task refuses to pickle — callers fall back to
+                in-process evaluation.
+        """
+        workflow = getattr(graph, "workflow", None)
+        if workflow is None:
+            raise _UnpicklablePlan(
+                "compiled graph has no source workflow to ship"
+            )
+        tasks = []
+        if isinstance(dataset, InMemoryDataset):
+            # Shared-nothing bucketing: one parent scan assigns each
+            # record to every partition whose read range covers it
+            # (margins make boundary records members of several).
+            buckets: list[list] = [[] for __ in spans]
+            for record in dataset.records:
+                value = partition_value(record)
+                for index, span in enumerate(spans):
+                    if span.read_lo <= value < span.read_hi:
+                        buckets[index].append(record)
+            for span, bucket in zip(spans, buckets):
+                tasks.append(
+                    _ProcessTask(
+                        workflow,
+                        sort_key.parts,
+                        self.run_size,
+                        dim,
+                        level,
+                        span,
+                        records=bucket,
+                    )
+                )
+        else:
+            # File-backed (or otherwise external) datasets ship by
+            # reference; each worker scans and filters its own slice.
+            for span in spans:
+                tasks.append(
+                    _ProcessTask(
+                        workflow,
+                        sort_key.parts,
+                        self.run_size,
+                        dim,
+                        level,
+                        span,
+                        dataset=dataset,
+                    )
+                )
+        try:
+            return [pickle.dumps(task) for task in tasks]
+        except Exception as exc:  # pickle raises a zoo of types
+            raise _UnpicklablePlan(
+                f"plan is not picklable: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    # -- top level -------------------------------------------------------
 
     def _run(
         self,
@@ -240,43 +450,87 @@ class PartitionedEngine(Engine):
         distinct = sorted({partition_value(r) for r in dataset.scan()})
         if not distinct:
             return  # empty dataset: nothing to emit
-        count = min(self.num_partitions, len(distinct))
+        wanted = self.num_partitions or default_partition_count()
+        count = min(wanted, len(distinct))
         boundaries = [
             distinct[(len(distinct) * i) // count] for i in range(count)
         ]
         boundaries.append(distinct[-1] + 1)
 
         before, after = window_reach(graph, dim, level)
+        spans = [
+            _PartitionRange(
+                boundaries[i],
+                boundaries[i + 1],
+                boundaries[i] - before,
+                boundaries[i + 1] + after,
+            )
+            for i in range(count)
+        ]
+
+        mode = self.parallel
+        fallback = ""
+        outcomes = None
+        if mode == "processes" and count > 1:
+            try:
+                payloads = self._build_payloads(
+                    dataset, graph, spans, sort_key, dim, level,
+                    partition_value,
+                )
+            except _UnpicklablePlan as exc:
+                mode = "serial"
+                fallback = f"; fell back to serial: {exc}"
+            else:
+                workers = min(
+                    count, self.max_workers or os.cpu_count() or count
+                )
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(
+                        pool.map(_evaluate_partition, payloads)
+                    )
+        elif mode == "processes":
+            mode = "serial"  # a single partition needs no pool
+
+        if outcomes is None:
+
+            def run_partition(index: int):
+                span = spans[index]
+                slice_ds = _SliceDataset(
+                    dataset, dim, level, span.read_lo, span.read_hi
+                )
+                partial = MemorySink()
+                ranged = _RangeSink(
+                    partial, dim, level, span.lo, span.hi, graph
+                )
+                engine = SortScanEngine(
+                    sort_key=sort_key, run_size=self.run_size
+                )
+                result = engine.evaluate(slice_ds, graph, sink=ranged)
+                rows = {
+                    name: table.rows
+                    for name, table in partial.tables.items()
+                }
+                return rows, result.stats
+
+            if mode == "threads" and count > 1:
+                workers = min(count, self.max_workers or count)
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run_partition, range(count)))
+            else:
+                outcomes = [run_partition(i) for i in range(count)]
+
         stats.notes = (
             f"{count} partitions on "
             f"{schema.dimensions[dim].name}@"
             f"{schema.dimensions[dim].hierarchy.domain(level).name}, "
-            f"margin=({before},{after}), sort_key={sort_key!r}"
+            f"margin=({before},{after}), mode={mode}, "
+            f"sort_key={sort_key!r}{fallback}"
         )
 
-        def run_partition(index: int):
-            lo = boundaries[index]
-            hi = boundaries[index + 1]
-            read_lo = lo - before
-            read_hi = hi + after
-            slice_ds = _SliceDataset(
-                dataset, partition_value, read_lo, read_hi
-            )
-            partial = MemorySink()
-            ranged = _RangeSink(partial, dim, level, lo, hi, graph)
-            engine = SortScanEngine(
-                sort_key=sort_key, run_size=self.run_size
-            )
-            result = engine.evaluate(slice_ds, graph, sink=ranged)
-            return partial, result.stats
-
-        if self.parallel and count > 1:
-            with ThreadPoolExecutor(max_workers=count) as pool:
-                outcomes = list(pool.map(run_partition, range(count)))
-        else:
-            outcomes = [run_partition(i) for i in range(count)]
-
-        for partial, partial_stats in outcomes:
+        # Merge: tables are disjoint by construction, so emission order
+        # between partitions is irrelevant; stats accumulate with the
+        # per-worker breakdown kept for inspection.
+        for rows_by_name, partial_stats in outcomes:
             stats.rows_scanned += partial_stats.rows_scanned
             stats.scans += partial_stats.scans
             stats.sort_seconds += partial_stats.sort_seconds
@@ -285,7 +539,9 @@ class PartitionedEngine(Engine):
                 stats.peak_entries, partial_stats.peak_entries
             )
             stats.flushed_entries += partial_stats.flushed_entries
-            for name, table in partial.tables.items():
-                for key, value in table.rows.items():
+            stats.spooled_entries += partial_stats.spooled_entries
+            stats.workers.append(partial_stats)
+            for name, rows in rows_by_name.items():
+                for key, value in rows.items():
                     sink.emit(name, key, value)
         stats.passes = count

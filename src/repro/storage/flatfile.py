@@ -85,6 +85,16 @@ class FlatFileDataset(Dataset):
             raise StorageError(f"{path}: truncated record data")
         self._count = payload // self._struct.size
 
+    def __getstate__(self):
+        """Pickle ``(path, schema)`` only: ``struct.Struct`` objects are
+        not picklable, and re-validating the header in the receiving
+        process catches files that vanished in transit."""
+        return (self.path, self.schema)
+
+    def __setstate__(self, state) -> None:
+        path, schema = state
+        self.__init__(path, schema)
+
     def scan(self) -> Iterator[Record]:
         rec_size = self._struct.size
         num_dims = self.schema.num_dimensions

@@ -63,9 +63,18 @@ def all_engines(budget: int = 50_000):
     ]
 
 
-def assert_engines_agree(dataset, workflow, budget: int = 50_000):
-    """The central invariant: every engine computes identical tables."""
-    engines = all_engines(budget)
+def assert_engines_agree(
+    dataset, workflow, budget: int = 50_000, extra_engines=()
+):
+    """The central invariant: every engine computes identical tables.
+
+    ``extra_engines`` joins the standard roster — used by tests that
+    exercise engines with plan preconditions (e.g. the partitioned
+    engine rejects workflows whose measures hold the partition
+    dimension at ``D_ALL``, so it only joins when the workflow is known
+    to qualify).
+    """
+    engines = all_engines(budget) + list(extra_engines)
     results = [engine.evaluate(dataset, workflow) for engine in engines]
     reference = results[0]
     for engine, result in zip(engines[1:], results[1:]):

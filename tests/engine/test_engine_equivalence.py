@@ -7,9 +7,10 @@ every example), and the multi-pass engine under a tight budget.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.algebra.conditions import ParentChild, SelfMatch
+from repro.errors import PlanError
 from repro.algebra.predicates import Field
 from repro.cube.order import SortKey
 from repro.engine.multi_pass import MultiPassEngine
@@ -187,7 +188,16 @@ def test_all_engines_agree(dataset, wf, sort_key):
         ),
         MultiPassEngine(memory_budget_entries=40),
     ]
-    results = [engine.evaluate(dataset, wf) for engine in engines]
+    try:
+        results = [engine.evaluate(dataset, wf) for engine in engines]
+    except PlanError as exc:
+        # The streaming planner has one documented unsupported shape —
+        # sibling windows chained at *different* levels of one dimension
+        # (e.g. window -> rollup -> window) — and the generator can
+        # occasionally build it.  Discard such examples; any other
+        # PlanError is a real bug and must surface.
+        assume("chained sibling windows" not in str(exc))
+        raise
     reference = results[0]
     for engine, result in zip(engines[1:], results[1:]):
         for name in wf.outputs():

@@ -1,17 +1,24 @@
 """Tests for range-partitioned (parallelizable) evaluation."""
 
+import pickle
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import PlanError
 from repro.algebra.conditions import Lags
-from repro.engine.compile import compile_workflow
+from repro.cube.granularity import Granularity
+from repro.cube.order import SortKey
+from repro.engine.compile import compile_measures, compile_workflow
 from repro.engine.naive import RelationalEngine
 from repro.engine.partitioned import (
     PartitionedEngine,
+    default_partition_count,
+    normalize_parallel_mode,
     partition_level,
     window_reach,
 )
+from repro.engine.sort_scan import SortScanEngine
 from repro.data.synthetic import synthetic_dataset
 from repro.schema.dataset_schema import synthetic_schema
 from repro.storage.table import InMemoryDataset
@@ -152,6 +159,242 @@ class TestCorrectness:
         ).evaluate(dataset, wf)
         for name in wf.outputs():
             assert reference[name].equal_rows(result[name])
+
+
+class TestParallelKnob:
+    def test_bool_back_compat(self):
+        assert normalize_parallel_mode(True) == "threads"
+        assert normalize_parallel_mode(False) == "serial"
+        assert normalize_parallel_mode(None) == "serial"
+        assert normalize_parallel_mode("processes") == "processes"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(PlanError, match="parallel"):
+            PartitionedEngine(parallel="gpu")
+
+    def test_partition_count_heuristic_bounds(self):
+        assert 2 <= default_partition_count() <= 16
+        assert default_partition_count(cap=4) <= 4
+
+    def test_auto_partition_count_used(self, dataset):
+        wf = windowed_workflow(dataset.schema)
+        result = PartitionedEngine().evaluate(dataset, wf)
+        assert result.stats.passes == min(
+            default_partition_count(), 16  # 16 distinct d0.L1 values
+        )
+
+
+class TestMultiprocess:
+    """Shared-nothing process evaluation: the paper's deferred step."""
+
+    def test_processes_match_serial_and_threads(self, dataset):
+        wf = windowed_workflow(dataset.schema)
+        by_mode = {
+            mode: PartitionedEngine(
+                num_partitions=4, parallel=mode
+            ).evaluate(dataset, wf)
+            for mode in ("serial", "threads", "processes")
+        }
+        assert "mode=processes" in by_mode["processes"].stats.notes
+        for name in wf.outputs():
+            for mode in ("threads", "processes"):
+                assert by_mode["serial"][name].equal_rows(
+                    by_mode[mode][name]
+                ), f"{mode}: {by_mode['serial'][name].diff(by_mode[mode][name])}"
+
+    def test_matches_sort_scan_reference(self, dataset):
+        wf = windowed_workflow(dataset.schema)
+        reference = SortScanEngine().evaluate(dataset, wf)
+        result = PartitionedEngine(
+            num_partitions=3, parallel="processes"
+        ).evaluate(dataset, wf)
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name]), (
+                reference[name].diff(result[name])
+            )
+
+    def test_d_all_rejection_raises_plan_error(self, schema, dataset):
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d1": "d1.L0"})  # d0 (partition dim) at ALL
+        engine = PartitionedEngine(
+            partition_dim=0, num_partitions=2, parallel="processes"
+        )
+        with pytest.raises(PlanError, match="span"):
+            engine.evaluate(dataset, wf)
+
+    def test_sibling_margins_across_boundaries(self, schema):
+        # Values straddle every partition boundary; windows must see
+        # across them via margin replication.
+        values = list(range(32)) * 4
+        dataset = InMemoryDataset(
+            schema, [(v, v % 5, float(v)) for v in values]
+        )
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.moving_window(
+            "win", {"d0": "d0.L0"}, source="cnt",
+            windows={"d0": (3, 3)}, agg="sum",
+        )
+        reference = RelationalEngine(spool=False).evaluate(dataset, wf)
+        result = PartitionedEngine(
+            num_partitions=4, parallel="processes"
+        ).evaluate(dataset, wf)
+        assert "mode=processes" in result.stats.notes
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name]), (
+                reference[name].diff(result[name])
+            )
+
+    def test_lags_margins_across_boundaries(self, schema):
+        values = list(range(30)) * 3
+        dataset = InMemoryDataset(
+            schema, [(v, v % 7, 1.0) for v in values]
+        )
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.match(
+            "lagged", {"d0": "d0.L0"}, source="cnt",
+            cond=Lags({"d0": (-6, 5)}), agg="sum",
+        )
+        reference = RelationalEngine(spool=False).evaluate(dataset, wf)
+        result = PartitionedEngine(
+            num_partitions=5, parallel="processes"
+        ).evaluate(dataset, wf)
+        assert "mode=processes" in result.stats.notes
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name]), (
+                reference[name].diff(result[name])
+            )
+
+    def test_single_partition_degenerate(self, dataset):
+        # One partition needs no pool; processes degrades to serial
+        # without losing correctness.
+        wf = windowed_workflow(dataset.schema)
+        reference = SortScanEngine().evaluate(dataset, wf)
+        result = PartitionedEngine(
+            num_partitions=1, parallel="processes"
+        ).evaluate(dataset, wf)
+        assert result.stats.passes == 1
+        assert "mode=serial" in result.stats.notes
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name])
+
+    def test_stats_merge_totals(self, dataset):
+        from repro.engine.interfaces import EvalStats
+
+        wf = windowed_workflow(dataset.schema)
+        result = PartitionedEngine(
+            num_partitions=4, parallel="processes"
+        ).evaluate(dataset, wf)
+        stats = result.stats
+        workers = stats.workers
+        assert len(workers) == stats.passes == 4
+        assert stats.rows_scanned == sum(w.rows_scanned for w in workers)
+        assert stats.scans == sum(w.scans for w in workers)
+        assert stats.flushed_entries == sum(
+            w.flushed_entries for w in workers
+        )
+        assert stats.peak_entries == max(w.peak_entries for w in workers)
+        assert stats.sort_seconds == pytest.approx(
+            sum(w.sort_seconds for w in workers)
+        )
+        assert stats.scan_seconds == pytest.approx(
+            sum(w.scan_seconds for w in workers)
+        )
+        # EvalStats.merge reproduces the engine's own accumulation.
+        merged = EvalStats()
+        for w in workers:
+            merged.merge(w)
+        assert merged.rows_scanned == stats.rows_scanned
+        assert merged.peak_entries == stats.peak_entries
+        assert merged.flushed_entries == stats.flushed_entries
+        # Margin replication re-reads boundary records.
+        assert stats.rows_scanned >= len(dataset)
+
+    def test_fallback_on_unpicklable_plan(self, dataset):
+        # A lambda combine function cannot cross a process boundary:
+        # the engine must degrade to serial, note why, and stay correct.
+        wf = AggregationWorkflow(dataset.schema)
+        wf.basic("a", {"d0": "d0.L0"})
+        wf.basic("b", {"d0": "d0.L0"}, agg=("sum", "v"))
+        wf.combine("ratio", ["a", "b"], fn=lambda a, b: b / a)
+        reference = RelationalEngine(spool=False).evaluate(dataset, wf)
+        result = PartitionedEngine(
+            num_partitions=3, parallel="processes"
+        ).evaluate(dataset, wf)
+        assert "fell back to serial" in result.stats.notes
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name])
+
+    def test_fallback_without_source_workflow(self, dataset):
+        # A graph compiled straight from algebra has no workflow to
+        # ship; process mode must fall back, not crash.
+        wf = windowed_workflow(dataset.schema)
+        graph = compile_measures(wf.to_algebra(), outputs=wf.outputs())
+        assert graph.workflow is None
+        reference = SortScanEngine().evaluate(dataset, wf)
+        result = PartitionedEngine(
+            num_partitions=3, parallel="processes"
+        ).evaluate(dataset, graph)
+        assert "no source workflow" in result.stats.notes
+        for name in wf.outputs():
+            assert reference[name].equal_rows(result[name])
+
+
+class TestPicklability:
+    """The serialization layer process workers depend on."""
+
+    def test_granularity_roundtrip_with_warm_caches(self, schema):
+        g = Granularity(schema, (0, 1))
+        g.record_key_fn()  # warm the unpicklable closure caches
+        g.lift_fn(Granularity(schema, (0, 0)))
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone.levels == g.levels
+        record = (5, 7, 1.0)
+        assert clone.record_key_fn()(record) == g.record_key_fn()(record)
+
+    def test_sort_key_roundtrip_with_warm_mapper(self, schema):
+        key = SortKey(schema, [(0, 0), (1, 1)])
+        key.record_mapper()  # warm the unpicklable mapper cache
+        clone = pickle.loads(pickle.dumps(key))
+        assert clone.parts == key.parts
+        record = (5, 7, 1.0)
+        assert clone.map_record(record) == key.map_record(record)
+
+    def test_workflow_roundtrip_evaluates_identically(self, dataset):
+        wf = windowed_workflow(dataset.schema)
+        clone = pickle.loads(pickle.dumps(wf))
+        reference = SortScanEngine().evaluate(dataset, wf)
+        got = SortScanEngine().evaluate(dataset, clone)
+        for name in wf.outputs():
+            assert reference[name].equal_rows(got[name])
+
+    def test_sink_result_tables_roundtrip(self, dataset):
+        wf = windowed_workflow(dataset.schema)
+        result = SortScanEngine().evaluate(dataset, wf)
+        for name in wf.outputs():
+            clone = pickle.loads(pickle.dumps(result[name]))
+            assert clone.rows == result[name].rows
+            assert clone.granularity.levels == (
+                result[name].granularity.levels
+            )
+
+    def test_flat_file_dataset_roundtrip(self, tmp_path):
+        from repro.data.synthetic import SyntheticGenerator
+        from repro.storage.flatfile import (
+            FlatFileDataset,
+            write_flatfile,
+        )
+
+        generator = SyntheticGenerator(
+            num_dimensions=2, levels=3, fanout=4, seed=3
+        )
+        path = str(tmp_path / "facts.bin")
+        write_flatfile(path, generator.schema, generator.records(100))
+        original = FlatFileDataset(path, generator.schema)
+        clone = pickle.loads(pickle.dumps(original))
+        assert list(clone.scan()) == list(original.scan())
+        assert len(clone) == len(original)
 
 
 @settings(max_examples=30, deadline=None)

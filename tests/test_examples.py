@@ -36,12 +36,22 @@ EXAMPLES = {
 
 @pytest.mark.parametrize("script", sorted(EXAMPLES))
 def test_example_runs(script, tmp_path):
+    # Propagate src/ on PYTHONPATH so the subprocess finds the in-repo
+    # package even without installation; the examples' _bootstrap import
+    # covers the same hole for users running them by hand.
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
     proc = subprocess.run(
         [sys.executable, os.path.join(REPO_ROOT, "examples", script)],
         capture_output=True,
         text=True,
         cwd=str(tmp_path),  # scripts must not depend on the CWD
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr
     for needle in EXAMPLES[script]:
@@ -54,7 +64,9 @@ def test_every_example_is_covered():
     on_disk = {
         name
         for name in os.listdir(os.path.join(REPO_ROOT, "examples"))
-        if name.endswith(".py")
+        # Underscore-prefixed modules are shared helpers (e.g. the
+        # sys.path bootstrap), not runnable examples.
+        if name.endswith(".py") and not name.startswith("_")
     }
     assert on_disk == set(EXAMPLES), (
         "examples/ and the smoke-test inventory diverged"
