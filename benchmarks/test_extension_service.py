@@ -1,0 +1,158 @@
+"""Extension bench: incremental ingestion vs full recompute, LRU reads.
+
+The measure service's value proposition is twofold:
+
+- a 1% delta batch folds into the persisted accumulator states in time
+  proportional to the *delta and the region sets*, not the full fact
+  history — so ingestion must beat re-evaluating the grown dataset from
+  scratch by a wide margin;
+- a warm point query is served from the in-process LRU cache without
+  touching the store's segment files — so repeated reads must beat cold
+  sparse-index lookups by an order of magnitude.
+
+Both claims are asserted, not just printed.  The workflow here is
+purely distributive/algebraic, and the bench additionally asserts that
+ingestion deferred nothing — i.e. the incremental path really ran (no
+silent fall back to recompute).
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.bench.harness import BenchRow, time_engine
+from repro.data.synthetic import synthetic_dataset
+from repro.engine.sort_scan import SortScanEngine
+from repro.service import Ingestor, MeasureService, MeasureStore
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def _service_workflow(schema) -> AggregationWorkflow:
+    """Coarse granularities: few regions, many facts per region.
+
+    ``d?.L2`` has 10 values under the default synthetic hierarchy, so
+    the largest table here is 100 regions — the regime the incremental
+    path is built for (region sets orders of magnitude below |D|).
+    """
+    wf = AggregationWorkflow(schema, name="bench-service")
+    wf.basic("Count", {"d0": "d0.L2", "d1": "d1.L2"}, agg="count")
+    wf.basic("AvgV", {"d0": "d0.L2"}, agg=("avg", "v"))
+    wf.rollup("sCount", {"d0": "d0.L2"}, source="Count", agg="sum")
+    return wf
+
+
+def test_extension_service(benchmark, scale, tmp_path):
+    size = max(50_000, int(1_000_000 * scale))
+    delta_size = max(1, size // 100)  # a 1% delta batch
+    dataset = synthetic_dataset(size)
+    records = list(dataset.records)
+    base = records[:-delta_size]
+    delta = records[-delta_size:]
+    workflow = _service_workflow(dataset.schema)
+    config = f"|D|={size} delta={delta_size}"
+
+    store = MeasureStore(str(tmp_path / "store"))
+    ingestor = Ingestor(store, workflow)
+    ingestor.bootstrap(InMemoryDataset(dataset.schema, base))
+
+    def run():
+        rows: list[BenchRow] = []
+
+        # Full recompute over the grown dataset: the baseline the
+        # incremental path must beat.
+        rows.append(
+            time_engine(
+                SortScanEngine(),
+                dataset,
+                workflow,
+                "ext-service",
+                config,
+                label="full-recompute",
+            )
+        )
+
+        started = time.perf_counter()
+        ingest_report = ingestor.ingest(delta)
+        ingest_seconds = time.perf_counter() - started
+        rows.append(
+            BenchRow(
+                figure="ext-service",
+                config=config,
+                engine="ingest-1pct",
+                seconds=ingest_seconds,
+                note=f"gen={ingest_report.generation} "
+                f"merged={len(ingest_report.merged_nodes)}",
+            )
+        )
+
+        # Point reads: cold through the sparse index, then warm from
+        # the LRU cache.
+        service = MeasureService(
+            MeasureStore(store.path), workflow, cache_size=4096
+        )
+        keys = [key for key, __ in store.iter_table("Count")]
+        started = time.perf_counter()
+        for key in keys:
+            service.point("Count", key)
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        for __ in range(5):
+            for key in keys:
+                service.point("Count", key)
+        warm_seconds = (time.perf_counter() - started) / 5
+        rows.append(
+            BenchRow(
+                figure="ext-service",
+                config=config,
+                engine="point-cold",
+                seconds=cold_seconds,
+                note=f"{len(keys)} lookups",
+            )
+        )
+        rows.append(
+            BenchRow(
+                figure="ext-service",
+                config=config,
+                engine="point-warm",
+                seconds=warm_seconds,
+                note=f"{len(keys)} lookups (LRU)",
+            )
+        )
+        return rows, ingest_report
+
+    (rows, ingest_report) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(rows, "Extension — measure service (ingest + cached reads)")
+    by_engine = {row.engine: row for row in rows}
+
+    # The incremental path really ran: distributive/algebraic nodes
+    # merged, nothing deferred to a lazy recompute.
+    assert sorted(ingest_report.merged_nodes) == ["AvgV", "Count"]
+    assert ingest_report.deferred_measures == []
+    assert store.dirty_measures() == set()
+
+    # Correctness first: the maintained store equals full recompute.
+    reference = SortScanEngine().evaluate(dataset, workflow)
+    for name in workflow.outputs():
+        expected = reference[name]
+        got = store.measure_table(name, expected.granularity)
+        assert got.equal_rows(expected), expected.diff(got)
+
+    # A 1% delta must land at least 5x faster than recomputing all of
+    # the (old + new) facts.
+    full = by_engine["full-recompute"].seconds
+    ingest_seconds = by_engine["ingest-1pct"].seconds
+    assert full is not None and ingest_seconds is not None
+    assert ingest_seconds * 5 <= full, (
+        f"incremental ingest {ingest_seconds:.3f}s vs full recompute "
+        f"{full:.3f}s — less than the required 5x advantage"
+    )
+
+    # Warm (cached) point reads must beat cold store reads 10x.
+    cold = by_engine["point-cold"].seconds
+    warm = by_engine["point-warm"].seconds
+    assert warm * 10 <= cold, (
+        f"warm reads {warm * 1e3:.2f}ms vs cold reads "
+        f"{cold * 1e3:.2f}ms — less than the required 10x advantage"
+    )

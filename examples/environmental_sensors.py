@@ -144,7 +144,7 @@ def main() -> None:
     print(f"fault injected: {FAULTY_STATION} from hour "
           f"{FAULT_START_HOUR}\n")
     print("=== station anomaly alerts (score = min(vs-self, vs-region)) ===")
-    for key, score in result["alerts"].items_sorted():
+    for key, score in result["alerts"].items():
         hour = time_h.format_value(key[0], 1)
         station = sites.decode(key[1], 0)
         print(f"  {hour}  {station:<14} x{score:.1f}")

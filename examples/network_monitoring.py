@@ -54,12 +54,12 @@ def main() -> None:
         return f"{hour}  {subnet}"
 
     print("=== escalation alerts (volume vs trailing average) ===")
-    for key, ratio in result["alerts"].items_sorted():
+    for key, ratio in result["alerts"].items():
         print(f"  {render(key)}  x{ratio:.1f}")
 
     print()
     print("=== multi-recon alerts (unique sources x ports) ===")
-    for key, score in result["reconAlerts"].items_sorted():
+    for key, score in result["reconAlerts"].items():
         sources = result["uniqueSources"][key]
         print(f"  {render(key)}  {sources} sources (score {score:.0f})")
 

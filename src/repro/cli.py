@@ -11,7 +11,12 @@ module is that front door:
 - ``explain`` — show a query's AW-RA algebra, its equivalent SQL
   (Tables 2-4), the compiled evaluation graph, the streaming plan, or
   GraphViz DOT;
-- ``bench`` — regenerate one of the paper's figures at a chosen scale.
+- ``bench`` — regenerate one of the paper's figures at a chosen scale;
+- ``ingest`` — bootstrap a persistent measure store from a flat file,
+  or fold a delta batch into it incrementally;
+- ``query`` — read a stored measure (table, point, or prefix range)
+  without re-evaluating anything;
+- ``serve`` — expose a store over a JSON/HTTP endpoint.
 """
 
 from __future__ import annotations
@@ -162,6 +167,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", type=float, default=0.1)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="bootstrap a measure store or fold a delta batch into it",
+    )
+    ingest.add_argument("--store", required=True, help="store directory")
+    ingest.add_argument("--data", required=True, help="binary flat file")
+    ingest.add_argument(
+        "--query", choices=sorted(_QUERIES), default=None,
+        help="query the store serves (required on first ingest)",
+    )
+
+    query = sub.add_parser(
+        "query", help="read measures from a persistent store"
+    )
+    query.add_argument("--store", required=True, help="store directory")
+    query.add_argument(
+        "--measure", default=None,
+        help="measure to read (omit to list the store's measures)",
+    )
+    query.add_argument(
+        "--key", default=None,
+        help="comma-separated region key for a point lookup",
+    )
+    query.add_argument(
+        "--prefix", default=None,
+        help="comma-separated key prefix for a range scan",
+    )
+    query.add_argument(
+        "--stats", action="store_true", help="print serving statistics"
+    )
+    query.add_argument(
+        "--limit", type=int, default=10, help="rows to print"
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a measure store over JSON/HTTP"
+    )
+    serve.add_argument("--store", required=True, help="store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8651, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--query", choices=sorted(_QUERIES), default=None,
+        help="workflow override when the store has none saved",
+    )
+
     return parser
 
 
@@ -191,27 +243,9 @@ def _cmd_run(args) -> int:
     engine = _ENGINES[args.engine](args)
     sink = None
     if args.out:
-        from repro.storage.sink import FileSink, MemorySink
+        from repro.storage.sink import DirectorySink, MemorySink, TeeSink
 
-        class _Tee(MemorySink):
-            """Keep tables for printing while also writing TSVs."""
-
-            def __init__(self, directory):
-                super().__init__()
-                self._files = FileSink(directory)
-
-            def open_measure(self, name, granularity):
-                super().open_measure(name, granularity)
-                self._files.open_measure(name, granularity)
-
-            def emit(self, name, key, value):
-                super().emit(name, key, value)
-                self._files.emit(name, key, value)
-
-            def close(self):
-                self._files.close()
-
-        sink = _Tee(args.out)
+        sink = TeeSink(MemorySink(), DirectorySink(args.out))
     result = engine.evaluate(dataset, workflow, sink=sink)
     wanted = args.measures or workflow.outputs()
     for name in wanted:
@@ -295,6 +329,128 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _store_workflow(store, query_name: Optional[str]):
+    """Resolve the workflow a store serves.
+
+    Priority: an explicit ``--query`` override, then the workflow
+    pickled at bootstrap time, then the query name recorded in the
+    store's metadata.
+    """
+    from repro.errors import ServiceError
+    from repro.service.ingest import load_workflow
+
+    if query_name is None:
+        query_name = store.meta().get("query")
+        workflow = load_workflow(store)
+        if workflow is not None:
+            return workflow
+    if query_name not in _QUERIES:
+        raise ServiceError(
+            f"store {store.path!r} has no saved workflow; "
+            f"pass --query (one of {sorted(_QUERIES)})"
+        )
+    family, build = _QUERIES[query_name]
+    return build(_SCHEMAS[family]())
+
+
+def _cmd_ingest(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import Ingestor, MeasureStore
+
+    store = MeasureStore(args.store)
+    if store.is_empty():
+        if args.query is None:
+            raise ServiceError(
+                "first ingest into an empty store needs --query"
+            )
+        family, build = _QUERIES[args.query]
+        schema = _SCHEMAS[family]()
+        workflow = build(schema)
+        dataset = FlatFileDataset(args.data, schema)
+        ingestor = Ingestor(store, workflow)
+        generation = ingestor.bootstrap(
+            dataset, meta={"query": args.query, "family": family}
+        )
+        print(
+            f"bootstrapped {args.store} at generation {generation}: "
+            f"{len(dataset)} facts, measures "
+            f"{', '.join(store.measures())}"
+        )
+        return 0
+    workflow = _store_workflow(store, args.query)
+    dataset = FlatFileDataset(args.data, workflow.schema)
+    report = Ingestor(store, workflow).ingest(dataset)
+    line = (
+        f"ingested {report.records} facts into {args.store} "
+        f"(generation {report.generation}); "
+        f"updated: {', '.join(report.updated_measures) or 'none'}"
+    )
+    if report.deferred_measures:
+        line += (
+            f"; deferred (holistic, recomputed on next read): "
+            f"{', '.join(report.deferred_measures)}"
+        )
+    print(line)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+
+    from repro.service import MeasureService, MeasureStore
+
+    store = MeasureStore(args.store)
+    service = MeasureService(store, _store_workflow(store, None))
+    if args.stats:
+        print(_json.dumps(service.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.measure is None:
+        for entry in service.measures():
+            dirty = " (dirty)" if entry["dirty"] else ""
+            rows = entry.get("rows", "?")
+            print(
+                f"{entry['measure']}: levels={entry['levels']} "
+                f"rows={rows}{dirty}"
+            )
+        return 0
+    if args.key is not None:
+        key = tuple(int(part) for part in args.key.split(","))
+        print(service.point(args.measure, key))
+        return 0
+    if args.prefix is not None:
+        prefix = tuple(
+            int(part) for part in args.prefix.split(",") if part
+        )
+        rows = service.range(args.measure, prefix)
+        for key, value in rows[: args.limit]:
+            print(f"{','.join(str(k) for k in key)}\t{value}")
+        if len(rows) > args.limit:
+            print(f"... {len(rows) - args.limit} more")
+        return 0
+    print(service.table(args.measure).pretty(limit=args.limit))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import MeasureService, MeasureStore, make_server
+
+    store = MeasureStore(args.store)
+    service = MeasureService(store, _store_workflow(store, args.query))
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.store} on http://{host}:{port} "
+        f"(routes: /measures /point /range /table /stats, POST /ingest)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -304,6 +460,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "explain": _cmd_explain,
         "bench": _cmd_bench,
+        "ingest": _cmd_ingest,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -201,6 +201,12 @@ class SortScanEngine(Engine):
                 rt.flushed_keys = set()
             runtime[node.name] = rt
         topo_runtime = [runtime[node.name] for node in graph.nodes]
+        if sink.wants_states:
+            # Partial-state capture (the measure service's ingestion
+            # hook): announce every basic node so the sink can set up
+            # one state table per fact-facing measure.
+            for node in graph.basic_nodes:
+                sink.open_states(node.name, node.granularity)
         # Precompiled per-basic-node update plan: (filter, key_fn,
         # value_index, aggregate, table, runtime) — the innermost loop.
         basic_plan = [
@@ -371,10 +377,15 @@ class SortScanEngine(Engine):
                 return
 
         node = rt.node
+        capture_states = sink.wants_states and rt.kind == "basic"
         for key in ready:
             entry = table.pop(key)
             if rt.flushed_keys is not None:
                 rt.flushed_keys.add(key)
+            if capture_states:
+                # The entry *is* the accumulator state for basic nodes;
+                # hand it over before finalization (which never mutates).
+                sink.emit_state(node.name, key, entry)
             emit, value = self._finalize_entry(rt, key, entry)
             if not emit:
                 continue

@@ -66,3 +66,12 @@ class MemoryBudgetExceeded(EvaluationError):
 
 class StorageError(ReproError):
     """A flat-file table is corrupt or was written with another schema."""
+
+
+class ServiceError(ReproError):
+    """A measure-service request is invalid or cannot be satisfied.
+
+    Raised by the :mod:`repro.service` layer: unknown measures, queries
+    against an empty store, ingestion against a store whose workflow is
+    unavailable, and similar front-door failures.
+    """

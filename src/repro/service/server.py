@@ -1,0 +1,407 @@
+"""Concurrent query layer over a persistent measure store.
+
+:class:`MeasureService` wraps a :class:`~repro.service.store.MeasureStore`
+with the operations a long-lived serving process needs:
+
+- **point / range / table** reads, answered from the store's sorted
+  segments through the sparse index, with a per-measure LRU cache in
+  front (invalidated per measure when ingestion commits);
+- **rollup-on-read**: any stored measure built from a distributive or
+  algebraic-over-values aggregate can be generalized to a coarser
+  granularity at query time, without touching facts;
+- **ingest**: delegates to :class:`~repro.service.ingest.Ingestor`
+  under the service lock, so readers never observe a half-applied
+  delta;
+- **lazy resolution**: queries against measures deferred by holistic
+  ingestion trigger the fact-log recompute transparently (point reads
+  of regions the delta did not touch skip it).
+
+All public methods are thread-safe (one reentrant lock; the store's
+commit protocol makes mutations atomic anyway, the lock just
+serializes cache bookkeeping and resolution).  A minimal JSON/HTTP
+front end built on the stdlib ``ThreadingHTTPServer`` is provided by
+:func:`make_server` — no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ServiceError
+from repro.aggregates.base import get_aggregate
+from repro.cube.granularity import Granularity
+from repro.storage.table import MeasureTable
+from repro.service.ingest import IngestReport, Ingestor, load_workflow
+from repro.service.store import MeasureStore
+
+
+class MeasureService:
+    """Thread-safe query front end over one measure store.
+
+    Args:
+        store: An open :class:`MeasureStore`, or a path to one.
+        workflow: The workflow the store serves.  When omitted, the
+            workflow pickled at bootstrap time is loaded from the store
+            directory; a store with neither cannot be served.
+        cache_size: LRU capacity (entries) per measure for point and
+            range reads.
+    """
+
+    def __init__(
+        self,
+        store,
+        workflow=None,
+        cache_size: int = 256,
+    ) -> None:
+        if isinstance(store, str):
+            store = MeasureStore(store)
+        self.store = store
+        if workflow is None:
+            workflow = load_workflow(store)
+        if workflow is None:
+            raise ServiceError(
+                f"store {store.path!r} has no saved workflow; "
+                "pass the workflow explicitly"
+            )
+        self.workflow = workflow
+        self.ingestor = Ingestor(store, workflow)
+        self.graph = self.ingestor.graph
+        self.cache_size = cache_size
+        self._lock = threading.RLock()
+        self._caches: dict[str, OrderedDict] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache plumbing ------------------------------------------------
+
+    def _cache_get(self, measure: str, cache_key):
+        cache = self._caches.get(measure)
+        if cache is None or cache_key not in cache:
+            self.cache_misses += 1
+            return None, False
+        cache.move_to_end(cache_key)
+        self.cache_hits += 1
+        return cache[cache_key], True
+
+    def _cache_put(self, measure: str, cache_key, value) -> None:
+        cache = self._caches.setdefault(measure, OrderedDict())
+        cache[cache_key] = value
+        cache.move_to_end(cache_key)
+        while len(cache) > self.cache_size:
+            cache.popitem(last=False)
+
+    def _invalidate(self, measures) -> None:
+        for measure in measures:
+            self._caches.pop(measure, None)
+
+    # -- measure metadata ----------------------------------------------
+
+    def _output(self, measure: str):
+        try:
+            return self.graph.outputs[measure]
+        except KeyError:
+            raise ServiceError(
+                f"unknown measure {measure!r}; "
+                f"have {sorted(self.graph.outputs)}"
+            ) from None
+
+    def granularity_of(self, measure: str) -> Granularity:
+        """The granularity a measure is stored (and served) at."""
+        return self._output(measure)[0].granularity
+
+    def measures(self) -> list[dict]:
+        """Servable measures with granularity, row count, dirty flag."""
+        with self._lock:
+            dirty = self.store.dirty_measures()
+            out = []
+            for name in sorted(self.graph.outputs):
+                entry = {
+                    "measure": name,
+                    "levels": list(self.granularity_of(name).levels),
+                    "dirty": name in dirty,
+                }
+                if name in self.store.measures():
+                    entry["rows"] = self.store.table_info(name)["rows"]
+                out.append(entry)
+            return out
+
+    # -- freshness -----------------------------------------------------
+
+    def _ensure_fresh(self, measure: str, key: Optional[tuple]) -> None:
+        """Resolve deferred recomputes this read would observe.
+
+        Point reads get a shortcut: when the measure maps straight to a
+        dirty holistic *basic* node and the store knows exactly which
+        region keys the deltas touched, reads of untouched regions are
+        served from the stored table without resolving.
+        """
+        if measure not in self.store.dirty_measures():
+            return
+        node = self._output(measure)[0]
+        if key is not None:
+            dirty_keys = self.store.dirty_nodes().get(node.name)
+            if dirty_keys is not None and tuple(key) not in dirty_keys:
+                return
+        self.ingestor.resolve()
+        self._invalidate(list(self._caches))
+
+    def resolve(self) -> bool:
+        """Force deferred recomputes now; True when work was done."""
+        with self._lock:
+            did = self.ingestor.resolve()
+            if did:
+                self._invalidate(list(self._caches))
+            return did
+
+    # -- reads ---------------------------------------------------------
+
+    def point(self, measure: str, key, default=None):
+        """One region's value; ``default`` when the region is absent."""
+        key = tuple(key)
+        with self._lock:
+            self._output(measure)
+            cached, hit = self._cache_get(measure, ("point", key))
+            if hit:
+                return cached
+            self._ensure_fresh(measure, key)
+            try:
+                value = self.store.point(measure, key)
+            except KeyError:
+                value = default
+            self._cache_put(measure, ("point", key), value)
+            return value
+
+    def range(self, measure: str, prefix=()) -> list:
+        """All rows whose region key starts with ``prefix``, sorted."""
+        prefix = tuple(prefix)
+        with self._lock:
+            self._output(measure)
+            cached, hit = self._cache_get(measure, ("range", prefix))
+            if hit:
+                return cached
+            self._ensure_fresh(measure, None)
+            rows = self.store.scan_prefix(measure, prefix)
+            self._cache_put(measure, ("range", prefix), rows)
+            return rows
+
+    def table(self, measure: str) -> MeasureTable:
+        """The full measure table (uncached — callers keep the object)."""
+        with self._lock:
+            self._ensure_fresh(measure, None)
+            return self.store.measure_table(
+                measure, self.granularity_of(measure)
+            )
+
+    def rollup(self, measure: str, spec, agg: str = "sum") -> MeasureTable:
+        """Generalize a stored measure to a coarser granularity on read.
+
+        ``spec`` is a granularity spec (e.g. ``{"t": "Day"}``) naming
+        the target; unnamed dimensions roll up to ALL.  ``agg`` must be
+        meaningful over the stored *values* (e.g. summing stored counts
+        — the paper's distributive roll-up; averaging stored averages is
+        the caller's responsibility to want).
+        """
+        with self._lock:
+            source_gran = self.granularity_of(measure)
+            target = Granularity.from_spec(source_gran.schema, spec)
+            if not source_gran.finer_or_equal(target):
+                raise ServiceError(
+                    f"rollup target {target!r} is not coarser than "
+                    f"{measure!r}'s granularity {source_gran!r}"
+                )
+            function = get_aggregate(agg)
+            self._ensure_fresh(measure, None)
+            grouped: dict = {}
+            for key, value in self.store.iter_table(measure):
+                out_key = target.generalize_key(key, source_gran)
+                state = grouped.get(out_key)
+                if state is None and out_key not in grouped:
+                    state = function.create()
+                grouped[out_key] = function.update(state, value)
+            rows = {
+                key: function.finalize(state)
+                for key, state in grouped.items()
+            }
+            return MeasureTable(
+                f"{measure}@{agg}", target, rows=rows
+            )
+
+    # -- writes --------------------------------------------------------
+
+    def bootstrap(self, records, meta: Optional[dict] = None) -> int:
+        """First full evaluation into an empty store."""
+        with self._lock:
+            generation = self.ingestor.bootstrap(records, meta=meta)
+            self._invalidate(list(self._caches))
+            return generation
+
+    def ingest(self, records) -> IngestReport:
+        """Fold a delta batch in; invalidates affected measure caches."""
+        with self._lock:
+            report = self.ingestor.ingest(records)
+            self._invalidate(
+                report.updated_measures + report.deferred_measures
+            )
+            return report
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving statistics (generation, cache counters, sizes)."""
+        with self._lock:
+            return {
+                "generation": self.store.generation,
+                "measures": len(self.graph.outputs),
+                "facts": self.store.fact_count(),
+                "dirty_measures": sorted(self.store.dirty_measures()),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cached_entries": sum(
+                    len(cache) for cache in self._caches.values()
+                ),
+            }
+
+
+# -- HTTP front end ----------------------------------------------------
+
+
+def _parse_key(text: str) -> tuple:
+    """Parse ``"3,0,7"`` into a region-key tuple of ints."""
+    if not text:
+        return ()
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise ServiceError(
+            f"malformed region key {text!r}; expected comma-separated "
+            "integers"
+        ) from None
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """JSON request handler; one route per MeasureService read."""
+
+    server_version = "ReproMeasureService/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MeasureService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002
+        """Silence default stderr access logging."""
+
+    def _send(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _params(self) -> dict:
+        query = parse_qs(urlsplit(self.path).query)
+        return {name: values[-1] for name, values in query.items()}
+
+    def _route(self) -> str:
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            route = self._route()
+            params = self._params()
+            if route == "/measures":
+                self._send({"measures": self.service.measures()})
+            elif route == "/stats":
+                self._send(self.service.stats())
+            elif route == "/point":
+                measure = params["measure"]
+                key = _parse_key(params["key"])
+                value = self.service.point(measure, key)
+                self._send(
+                    {"measure": measure, "key": list(key),
+                     "value": value}
+                )
+            elif route == "/range":
+                measure = params["measure"]
+                prefix = _parse_key(params.get("prefix", ""))
+                rows = self.service.range(measure, prefix)
+                self._send(
+                    {
+                        "measure": measure,
+                        "prefix": list(prefix),
+                        "rows": [
+                            [list(key), value] for key, value in rows
+                        ],
+                    }
+                )
+            elif route == "/table":
+                measure = params["measure"]
+                table = self.service.table(measure)
+                self._send(
+                    {
+                        "measure": measure,
+                        "levels": list(table.granularity.levels),
+                        "rows": [
+                            [list(key), value]
+                            for key, value in table.items()
+                        ],
+                    }
+                )
+            else:
+                self._send({"error": f"unknown route {route!r}"}, 404)
+        except KeyError as exc:
+            self._send({"error": f"missing parameter: {exc}"}, 400)
+        except ServiceError as exc:
+            self._send({"error": str(exc)}, 404)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self._route() != "/ingest":
+                self._send(
+                    {"error": f"unknown route {self._route()!r}"}, 404
+                )
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            body = json.loads(self.rfile.read(length) or b"{}")
+            records = [tuple(record) for record in body["records"]]
+            report = self.service.ingest(records)
+            self._send(
+                {
+                    "generation": report.generation,
+                    "records": report.records,
+                    "merged_nodes": report.merged_nodes,
+                    "updated_measures": report.updated_measures,
+                    "deferred_measures": report.deferred_measures,
+                }
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send({"error": f"bad ingest body: {exc}"}, 400)
+        except ServiceError as exc:
+            self._send({"error": str(exc)}, 400)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
+
+
+def make_server(
+    service: MeasureService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A threaded HTTP server bound to ``host:port`` (0 = ephemeral).
+
+    The caller owns the server's lifecycle::
+
+        server = make_server(service, port=8651)
+        threading.Thread(target=server.serve_forever).start()
+        ...
+        server.shutdown()
+    """
+    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server.service = service  # type: ignore[attr-defined]
+    return server

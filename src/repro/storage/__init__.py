@@ -16,7 +16,14 @@ from repro.storage.flatfile import (
     write_flatfile,
 )
 from repro.storage.external_sort import external_sort
-from repro.storage.sink import FileSink, MemorySink, NullSink, Sink
+from repro.storage.sink import (
+    DirectorySink,
+    FileSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TeeSink,
+)
 
 __all__ = [
     "Dataset",
@@ -30,5 +37,7 @@ __all__ = [
     "Sink",
     "MemorySink",
     "FileSink",
+    "DirectorySink",
+    "TeeSink",
     "NullSink",
 ]

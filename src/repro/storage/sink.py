@@ -3,8 +3,19 @@
 The one-pass algorithm (Table 7, line 13) flushes finalized entries "to
 disk" as soon as they are known complete.  Engines write through a
 :class:`Sink` so that callers choose the destination: keep everything in
-memory (the default, and what tests compare), append to files, or drop
-values entirely when only statistics are wanted.
+memory (the default, and what tests compare), append to files, fan out
+to several destinations at once (:class:`TeeSink`), or drop values
+entirely when only statistics are wanted.
+
+Sinks may additionally ask for *raw accumulator states*: a sink that
+sets :attr:`Sink.wants_states` receives every basic measure's
+pre-finalization state through :meth:`Sink.emit_state` as entries
+finalize.  States of disjoint record batches are combinable with
+:meth:`~repro.aggregates.base.AggregateFunction.merge`, which is what
+the measure service's incremental ingestion builds on (only the
+one-pass :class:`~repro.engine.sort_scan.SortScanEngine` offers state
+capture — multi-pass and partitioned evaluation spool finalized values
+between stages).
 """
 
 from __future__ import annotations
@@ -19,11 +30,26 @@ from repro.storage.table import MeasureTable
 class Sink:
     """Receives finalized ``(key, value)`` entries per measure."""
 
+    #: Set by sinks that also want raw basic-node accumulator states;
+    #: engines supporting capture check this before finalizing entries.
+    wants_states = False
+
     def open_measure(self, name: str, granularity: Granularity) -> None:
         """Called once per measure before any emit."""
 
     def emit(self, name: str, key: tuple, value) -> None:
         raise NotImplementedError
+
+    def open_states(self, name: str, granularity: Granularity) -> None:
+        """Called once per basic node when :attr:`wants_states` is set."""
+
+    def emit_state(self, name: str, key: tuple, state) -> None:
+        """One basic node's raw accumulator state, as it finalizes.
+
+        Only called by state-capturing engines, and only when
+        :attr:`wants_states` is set.  ``state`` must not be mutated by
+        the receiver — the engine finalizes the same object next.
+        """
 
     def close(self) -> None:
         """Called once after the scan completes."""
@@ -88,3 +114,60 @@ class FileSink(Sink):
         for fh in self._files.values():
             fh.close()
         self._files.clear()
+
+
+class DirectorySink(FileSink):
+    """One TSV per measure under a directory — the CLI's ``--out``.
+
+    A thin, documented alias of :class:`FileSink` kept as its own class
+    so callers can say what they mean: a *directory of measure files*
+    rather than an arbitrary file destination.
+    """
+
+
+class TeeSink(Sink):
+    """Fans every sink callback out to several child sinks.
+
+    The canonical use is keeping tables in memory for printing while
+    also writing TSVs::
+
+        sink = TeeSink(MemorySink(), DirectorySink(out_dir))
+
+    :meth:`result` returns the first child's non-``None`` result, in
+    construction order.  State capture is offered to children that ask
+    for it (:attr:`Sink.wants_states`), and the tee itself advertises
+    ``wants_states`` when any child does.
+    """
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks: tuple[Sink, ...] = tuple(sinks)
+        self.wants_states = any(sink.wants_states for sink in sinks)
+
+    def open_measure(self, name: str, granularity: Granularity) -> None:
+        for sink in self.sinks:
+            sink.open_measure(name, granularity)
+
+    def emit(self, name: str, key: tuple, value) -> None:
+        for sink in self.sinks:
+            sink.emit(name, key, value)
+
+    def open_states(self, name: str, granularity: Granularity) -> None:
+        for sink in self.sinks:
+            if sink.wants_states:
+                sink.open_states(name, granularity)
+
+    def emit_state(self, name: str, key: tuple, state) -> None:
+        for sink in self.sinks:
+            if sink.wants_states:
+                sink.emit_state(name, key, state)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def result(self) -> Optional[dict[str, MeasureTable]]:
+        for sink in self.sinks:
+            tables = sink.result()
+            if tables is not None:
+                return tables
+        return None

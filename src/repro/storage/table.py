@@ -84,15 +84,27 @@ class MeasureTable:
     def __contains__(self, key: tuple) -> bool:
         return key in self.rows
 
-    def items_sorted(self) -> list[tuple[tuple, object]]:
+    def __iter__(self):
+        """Iterate region keys in ascending order."""
+        return iter(sorted(self.rows))
+
+    def keys(self) -> list[tuple]:
+        """Region keys in ascending order."""
+        return sorted(self.rows)
+
+    def items(self) -> list[tuple[tuple, object]]:
         """Rows in ascending region-key order (deterministic output)."""
         return sorted(self.rows.items())
+
+    def items_sorted(self) -> list[tuple[tuple, object]]:
+        """Alias of :meth:`items`, kept for callers of the old name."""
+        return self.items()
 
     def pretty(self, limit: int = 20) -> str:
         """Human-readable rendering of up to ``limit`` rows."""
         schema = self.granularity.schema
         lines = [f"{self.name} {self.granularity!r} ({len(self.rows)} rows)"]
-        for key, value in self.items_sorted()[:limit]:
+        for key, value in self.items()[:limit]:
             parts = []
             for i, dim in enumerate(schema.dimensions):
                 level = self.granularity.levels[i]

@@ -4,11 +4,8 @@ import pytest
 
 from repro.errors import AlgebraError
 from repro.algebra.predicates import (
-    And,
     Comparison,
     Field,
-    Not,
-    Or,
     RawPredicate,
 )
 from repro.cube.granularity import Granularity

@@ -10,7 +10,7 @@ import random
 import pytest
 
 from repro.aggregates.base import AggSpec
-from repro.algebra.conditions import ChildParent, SelfMatch
+from repro.algebra.conditions import ChildParent
 from repro.algebra.expr import (
     Aggregate,
     CombineFn,

@@ -1,6 +1,5 @@
 """Tests for the dataset generators (synthetic / netlog / honeynet)."""
 
-import pytest
 
 from repro.data.honeynet import (
     EscalationEpisode,

@@ -6,10 +6,9 @@ the late-update assertion armed, so watermark safety is checked on
 every example), and the multi-pass engine under a tight budget.
 """
 
-import pytest
 from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
-from repro.algebra.conditions import ParentChild, SelfMatch
+from repro.algebra.conditions import SelfMatch
 from repro.errors import PlanError
 from repro.algebra.predicates import Field
 from repro.cube.order import SortKey
@@ -66,7 +65,6 @@ def workflows(draw):
     for __ in range(num_basics):
         gran = draw(granularities())
         agg = draw(st.sampled_from(AGGS))
-        field = "*" if agg == "count" else ("v",)
         where = draw(
             st.sampled_from([None, Field("v") >= 0.0, Field("v") < 3.0])
         )

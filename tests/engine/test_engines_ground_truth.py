@@ -7,7 +7,7 @@ just checking that four engines share a bug.
 
 import pytest
 
-from repro.algebra.conditions import ParentChild, SelfMatch, Sibling
+from repro.algebra.conditions import SelfMatch
 from repro.algebra.predicates import Field
 from repro.engine.multi_pass import MultiPassEngine
 from repro.engine.naive import RelationalEngine

@@ -9,7 +9,7 @@ import math
 import pytest
 
 from repro.errors import DomainError, SchemaError
-from repro.algebra.predicates import Field, RawPredicate
+from repro.algebra.predicates import RawPredicate
 from repro.engine.naive import RelationalEngine
 from repro.engine.single_scan import SingleScanEngine
 from repro.engine.sort_scan import SortScanEngine

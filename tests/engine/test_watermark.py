@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import PlanError
-from repro.algebra.conditions import Sibling
 from repro.cube.order import SortKey
 from repro.engine.compile import compile_workflow
 from repro.engine.watermark import (

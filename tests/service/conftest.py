@@ -1,0 +1,45 @@
+"""Shared fixtures for the measure-service tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture()
+def service_workflow(syn_schema):
+    """Distributive + algebraic + holistic + derived measures."""
+    wf = AggregationWorkflow(syn_schema, name="service-test")
+    wf.basic("Count", {"d0": "d0.L1", "d1": "d1.L1"}, agg="count")
+    wf.basic("Total", {"d0": "d0.L1"}, agg=("sum", "v"))
+    wf.basic("AvgV", {"d1": "d1.L1"}, agg=("avg", "v"))
+    wf.basic("MedV", {"d0": "d0.L1"}, agg=("median", "v"))
+    wf.rollup("sCount", {"d0": "d0.L1"}, source="Count", agg="sum")
+    return wf
+
+
+@pytest.fixture()
+def mergeable_workflow(syn_schema):
+    """No holistic measures: every ingest is fully incremental."""
+    wf = AggregationWorkflow(syn_schema, name="mergeable-test")
+    wf.basic("Count", {"d0": "d0.L1", "d1": "d1.L1"}, agg="count")
+    wf.basic("Total", {"d0": "d0.L1"}, agg=("sum", "v"))
+    wf.rollup("sCount", {"d0": "d0.L1"}, source="Count", agg="sum")
+    return wf
+
+
+def make_records(count: int, seed: int) -> list[tuple]:
+    """Seeded synthetic records for the 3-dim/64-value schema."""
+    rng = random.Random(seed)
+    return [
+        (
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.randrange(64),
+            round(rng.random(), 6),
+        )
+        for __ in range(count)
+    ]

@@ -1,0 +1,202 @@
+"""Tests for incremental delta ingestion (merge + dirty-region paths)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.engine.sort_scan import SortScanEngine
+from repro.service.ingest import Ingestor, load_workflow
+from repro.service.store import MeasureStore
+from repro.storage.table import InMemoryDataset
+
+from tests.service.conftest import make_records
+
+
+def full_reference(schema, workflow, *batches):
+    """One-shot evaluation over the union of all fact batches."""
+    records = [record for batch in batches for record in batch]
+    return SortScanEngine().evaluate(
+        InMemoryDataset(schema, records), workflow
+    )
+
+
+def assert_store_matches(store, workflow, reference) -> None:
+    """Every output table in the store equals the reference tables.
+
+    Uses the float-tolerant row comparison: merging partial sums
+    associates additions differently than a single sequential fold, so
+    values may differ in the last ulp.
+    """
+    for name in workflow.outputs():
+        expected = reference[name]
+        got = store.measure_table(name, expected.granularity)
+        assert got.equal_rows(expected), f"{name}: {expected.diff(got)}"
+
+
+class TestBootstrap:
+    def test_bootstrap_matches_direct_eval(
+        self, tmp_path, syn_schema, service_workflow
+    ):
+        base = make_records(1500, seed=1)
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, service_workflow)
+        assert ingestor.bootstrap(base) == 1
+        reference = full_reference(syn_schema, service_workflow, base)
+        for name in service_workflow.outputs():
+            assert store.read_table(name) == dict(reference[name].rows)
+        assert store.fact_count() == len(base)
+        # Holistic states are never persisted; mergeable ones are.
+        assert store.state_nodes() == ["AvgV", "Count", "Total"]
+
+    def test_bootstrap_twice_rejected(
+        self, tmp_path, service_workflow
+    ):
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, service_workflow)
+        ingestor.bootstrap(make_records(50, seed=2))
+        with pytest.raises(ServiceError, match="not empty"):
+            ingestor.bootstrap(make_records(50, seed=3))
+
+    def test_workflow_pickled_for_reopen(
+        self, tmp_path, service_workflow
+    ):
+        store = MeasureStore(str(tmp_path / "store"))
+        Ingestor(store, service_workflow).bootstrap(
+            make_records(50, seed=4)
+        )
+        reopened = MeasureStore(store.path)
+        assert load_workflow(reopened) is not None
+        # Ingestor picks the pickled workflow up automatically.
+        assert Ingestor(reopened).workflow.name == service_workflow.name
+
+    def test_missing_workflow_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="no saved workflow"):
+            Ingestor(MeasureStore(str(tmp_path / "store")))
+
+
+class TestIncrementalIngest:
+    def test_ingest_into_empty_store_rejected(
+        self, tmp_path, service_workflow
+    ):
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, service_workflow)
+        with pytest.raises(ServiceError, match="bootstrap"):
+            ingestor.ingest(make_records(10, seed=5))
+
+    def test_mergeable_measures_update_without_fact_rescan(
+        self, tmp_path, syn_schema, mergeable_workflow
+    ):
+        base = make_records(1200, seed=6)
+        delta = make_records(200, seed=7)
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, mergeable_workflow)
+        ingestor.bootstrap(base)
+        report = ingestor.ingest(delta)
+        assert report.merged_nodes == ["Count", "Total"]
+        assert report.dirty_nodes == []
+        assert report.deferred_measures == []
+        assert sorted(report.updated_measures) == [
+            "Count", "Total", "sCount",
+        ]
+        reference = full_reference(
+            syn_schema, mergeable_workflow, base, delta
+        )
+        assert_store_matches(store, mergeable_workflow, reference)
+        # Nothing dirty: the store is immediately servable.
+        assert store.dirty_measures() == set()
+
+    def test_holistic_measures_deferred_then_resolved(
+        self, tmp_path, syn_schema, service_workflow
+    ):
+        base = make_records(1000, seed=8)
+        delta = make_records(150, seed=9)
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, service_workflow)
+        ingestor.bootstrap(base)
+        report = ingestor.ingest(delta)
+        assert report.dirty_nodes == ["MedV"]
+        assert report.deferred_measures == ["MedV"]
+        assert "MedV" not in report.updated_measures
+        assert store.dirty_measures() == {"MedV"}
+        dirty_keys = store.dirty_nodes()["MedV"]
+        assert dirty_keys  # exactly the delta's touched regions
+        assert ingestor.resolve() is True
+        assert store.dirty_measures() == set()
+        reference = full_reference(
+            syn_schema, service_workflow, base, delta
+        )
+        assert_store_matches(store, service_workflow, reference)
+        assert ingestor.resolve() is False  # nothing left to do
+
+    def test_many_small_deltas_equal_one_shot(
+        self, tmp_path, syn_schema, service_workflow
+    ):
+        base = make_records(800, seed=10)
+        deltas = [make_records(60, seed=11 + i) for i in range(4)]
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, service_workflow)
+        ingestor.bootstrap(base)
+        for delta in deltas:
+            ingestor.ingest(delta)
+        ingestor.resolve()
+        reference = full_reference(
+            syn_schema, service_workflow, base, *deltas
+        )
+        assert_store_matches(store, service_workflow, reference)
+
+    def test_crash_mid_ingest_preserves_prior_generation(
+        self, tmp_path, syn_schema, mergeable_workflow, monkeypatch
+    ):
+        base = make_records(500, seed=20)
+        delta = make_records(100, seed=21)
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, mergeable_workflow)
+        ingestor.bootstrap(base)
+        before = {
+            name: store.read_table(name)
+            for name in mergeable_workflow.outputs()
+        }
+
+        from repro.service import store as store_module
+
+        def crash(src, dst):
+            raise OSError("simulated crash before manifest swap")
+
+        monkeypatch.setattr(store_module.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            ingestor.ingest(delta)
+        monkeypatch.undo()
+
+        reopened = MeasureStore(store.path)
+        assert reopened.generation == 1
+        for name, rows in before.items():
+            assert reopened.read_table(name) == rows
+        # The interrupted delta can be retried cleanly.
+        report = Ingestor(reopened, mergeable_workflow).ingest(delta)
+        assert report.generation == 2
+        reference = full_reference(
+            syn_schema, mergeable_workflow, base, delta
+        )
+        assert_store_matches(reopened, mergeable_workflow, reference)
+
+
+class TestHyperLogLogIngest:
+    def test_sketch_states_merge_instead_of_deferring(
+        self, tmp_path, syn_schema
+    ):
+        from repro.workflow.workflow import AggregationWorkflow
+
+        wf = AggregationWorkflow(syn_schema, name="hll")
+        wf.basic(
+            "Approx", {"d0": "d0.L1"}, agg=("approx_distinct", "v")
+        )
+        base = make_records(900, seed=30)
+        delta = make_records(150, seed=31)
+        store = MeasureStore(str(tmp_path / "store"))
+        ingestor = Ingestor(store, wf)
+        ingestor.bootstrap(base)
+        report = ingestor.ingest(delta)
+        # HLL is algebraic: merged, never dirty.
+        assert report.merged_nodes == ["Approx"]
+        assert report.dirty_nodes == []
+        reference = full_reference(syn_schema, wf, base, delta)
+        assert_store_matches(store, wf, reference)

@@ -1,0 +1,223 @@
+"""Tests for the concurrent query layer and the HTTP front end."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.engine.sort_scan import SortScanEngine
+from repro.service import MeasureService, MeasureStore, make_server
+from repro.storage.table import InMemoryDataset
+
+from tests.service.conftest import make_records
+
+
+@pytest.fixture()
+def service(tmp_path, service_workflow):
+    store = MeasureStore(str(tmp_path / "store"))
+    svc = MeasureService(store, service_workflow)
+    svc.bootstrap(make_records(1200, seed=40))
+    return svc
+
+
+class TestReads:
+    def test_point_and_cache(self, service):
+        table = service.table("Count")
+        key = table.keys()[3]
+        assert service.point("Count", key) == table[key]
+        misses = service.cache_misses
+        assert service.point("Count", key) == table[key]
+        assert service.cache_hits >= 1
+        assert service.cache_misses == misses
+        assert service.point("Count", (63, 63, 63), default=-1) == -1
+
+    def test_range_prefix(self, service):
+        table = service.table("Count")
+        prefix = table.keys()[0][:1]
+        rows = service.range("Count", prefix)
+        assert rows == [
+            (key, value)
+            for key, value in table.items()
+            if key[:1] == prefix
+        ]
+
+    def test_unknown_measure(self, service):
+        with pytest.raises(ServiceError, match="unknown measure"):
+            service.point("nope", (0, 0, 0))
+
+    def test_rollup_on_read(self, service, syn_schema):
+        rolled = service.rollup("Count", {"d0": "d0.L1"}, agg="sum")
+        assert dict(rolled.rows) == dict(service.table("sCount").rows)
+
+    def test_rollup_rejects_finer_target(self, service):
+        with pytest.raises(ServiceError, match="not coarser"):
+            service.rollup(
+                "Total", {"d0": "d0.L0", "d1": "d1.L0"}, agg="sum"
+            )
+
+    def test_measures_listing(self, service, service_workflow):
+        names = [entry["measure"] for entry in service.measures()]
+        assert names == sorted(service_workflow.outputs())
+
+
+class TestIngestIntegration:
+    def test_ingest_invalidates_caches(self, service, syn_schema):
+        table = service.table("Count")
+        key = table.keys()[0]
+        service.point("Count", key)
+        report = service.ingest(make_records(200, seed=41))
+        assert report.generation >= 2
+        # Cache was dropped: the next read reflects the new facts.
+        fresh = service.table("Count")
+        assert service.point("Count", key) == fresh.get(key)
+
+    def test_holistic_read_triggers_lazy_resolution(
+        self, service, service_workflow, syn_schema
+    ):
+        base = make_records(1200, seed=40)
+        delta = make_records(150, seed=42)
+        service.ingest(delta)
+        assert "MedV" in service.store.dirty_measures()
+        reference = SortScanEngine().evaluate(
+            InMemoryDataset(syn_schema, base + delta), service_workflow
+        )
+        got = service.table("MedV")  # forces resolution
+        assert got.equal_rows(reference["MedV"])
+        assert service.store.dirty_measures() == set()
+
+    def test_clean_point_read_skips_resolution(self, service):
+        # A tiny delta: most of MedV's 16 regions stay untouched.
+        delta = make_records(5, seed=43)
+        service.ingest(delta)
+        dirty_keys = service.store.dirty_nodes()["MedV"]
+        clean_keys = [
+            key
+            for key, __ in service.store.iter_table("MedV")
+            if key not in dirty_keys
+        ]
+        assert clean_keys, "delta touched every region; rescale test"
+        value = service.point("MedV", clean_keys[0])
+        assert value is not None
+        # Untouched region served from the stored table, no resolve.
+        assert "MedV" in service.store.dirty_measures()
+
+
+class TestConcurrency:
+    def test_parallel_reads_with_ingest(self, service, syn_schema):
+        errors = []
+
+        def reader():
+            try:
+                for __ in range(30):
+                    table = service.table("Count")
+                    if len(table):
+                        key = table.keys()[0]
+                        service.point("Count", key)
+                    service.range("Total", ())
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer():
+            try:
+                for i in range(3):
+                    service.ingest(make_records(40, seed=50 + i))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestHTTPEndpoint:
+    @pytest.fixture()
+    def http(self, service):
+        server = make_server(service, port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        port = server.server_address[1]
+        yield f"http://127.0.0.1:{port}"
+        server.shutdown()
+        server.server_close()
+
+    @staticmethod
+    def _get(url):
+        with urllib.request.urlopen(url) as response:
+            return json.loads(response.read())
+
+    def test_measures_and_stats(self, http):
+        payload = self._get(f"{http}/measures")
+        names = [e["measure"] for e in payload["measures"]]
+        assert "Count" in names
+        stats = self._get(f"{http}/stats")
+        assert stats["generation"] >= 1 and stats["facts"] > 0
+
+    def test_point_range_table(self, http, service):
+        table = service.table("Count")
+        key = table.keys()[0]
+        key_text = ",".join(str(part) for part in key)
+        point = self._get(f"{http}/point?measure=Count&key={key_text}")
+        assert point["value"] == table[key]
+        rows = self._get(
+            f"{http}/range?measure=Count&prefix={key[0]}"
+        )["rows"]
+        assert [tuple(k) for k, __ in rows] == [
+            k for k in table.keys() if k[:1] == key[:1]
+        ]
+        full = self._get(f"{http}/table?measure=Count")["rows"]
+        assert len(full) == len(table)
+
+    def test_error_statuses(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(f"{http}/point?measure=nope&key=0")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(f"{http}/point?measure=Count")
+        assert excinfo.value.code in (400, 404)
+
+    def test_post_ingest(self, http, service):
+        before = service.stats()["facts"]
+        records = make_records(25, seed=60)
+        body = json.dumps({"records": records}).encode()
+        request = urllib.request.Request(
+            f"{http}/ingest", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read())
+        assert payload["records"] == 25
+        assert service.stats()["facts"] == before + 25
+
+    def test_concurrent_http_queries(self, http, service):
+        table = service.table("Count")
+        keys = table.keys()[:8]
+        errors = []
+
+        def worker(key):
+            try:
+                key_text = ",".join(str(part) for part in key)
+                payload = self._get(
+                    f"{http}/point?measure=Count&key={key_text}"
+                )
+                assert payload["value"] == table[key]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(key,))
+            for key in keys * 3
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []

@@ -1,0 +1,231 @@
+"""Tests for the persistent measure store (segments, commits, crashes)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cube.granularity import Granularity
+from repro.errors import StorageError
+from repro.service.store import (
+    INDEX_EVERY,
+    MeasureStore,
+    StoreSink,
+    decode_cell,
+    encode_cell,
+)
+from repro.storage.table import InMemoryDataset
+
+
+@pytest.fixture()
+def gran(syn_schema):
+    return Granularity.from_spec(syn_schema, {"d0": "d0.L0"})
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return MeasureStore(str(tmp_path / "store"))
+
+
+class TestCellCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            0,
+            3.5,
+            True,
+            "text",
+            (2, 7.5),
+            (None, (1, 2)),
+            bytearray(b"\x00\xff\x10"),
+            [1.5, 2.5],
+            {1, 2, 3},
+        ],
+    )
+    def test_round_trip(self, value):
+        encoded = json.loads(json.dumps(encode_cell(value)))
+        assert decode_cell(encoded) == value
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(StorageError):
+            encode_cell(object())
+
+
+class TestCommitAndRead:
+    def test_put_and_read_table(self, store, gran):
+        rows = {(i, 0, 0): float(i) for i in range(10)}
+        commit = store.begin()
+        commit.put_values("m", gran, rows)
+        assert commit.commit() == 1
+        assert store.measures() == ["m"]
+        assert store.read_table("m") == rows
+        assert store.levels("m") == tuple(gran.levels)
+
+    def test_point_lookup_spans_index_strides(self, store, gran):
+        rows = {(i, i % 7, 0): i * 2 for i in range(INDEX_EVERY * 3 + 5)}
+        commit = store.begin()
+        commit.put_values("m", gran, rows)
+        commit.commit()
+        for key in [min(rows), max(rows), (INDEX_EVERY, INDEX_EVERY % 7, 0)]:
+            assert store.point("m", key) == rows[key]
+        with pytest.raises(KeyError):
+            store.point("m", (-1, 0, 0))
+        with pytest.raises(KeyError):
+            store.point("m", (10, 6, 1))
+
+    def test_prefix_scan(self, store, gran):
+        rows = {(a, b, 0): a * 10 + b for a in range(20) for b in range(5)}
+        commit = store.begin()
+        commit.put_values("m", gran, rows)
+        commit.commit()
+        got = store.scan_prefix("m", (7,))
+        assert got == [((7, b, 0), 70 + b) for b in range(5)]
+        assert store.scan_prefix("m", ()) == sorted(rows.items())
+        assert store.scan_prefix("m", (99,)) == []
+
+    def test_states_namespace_is_separate(self, store, gran):
+        commit = store.begin()
+        commit.put_values("m", gran, {(1, 0, 0): 5})
+        commit.put_states("m", gran, {(1, 0, 0): (2, 10.0)}, agg_name="avg")
+        commit.commit()
+        assert store.read_table("m") == {(1, 0, 0): 5}
+        assert store.read_table("m", kind="states") == {(1, 0, 0): (2, 10.0)}
+        assert store.table_info("m", "states")["agg"] == "avg"
+
+    def test_facts_round_trip(self, store, syn_schema):
+        records = [(1, 2, 3, 0.5), (4, 5, 6, 1.5)]
+        commit = store.begin()
+        commit.append_facts(syn_schema, records)
+        commit.commit()
+        commit = store.begin()
+        commit.append_facts(syn_schema, records)
+        commit.commit()
+        assert store.fact_count() == 4
+        assert list(store.fact_dataset(syn_schema).scan()) == records * 2
+
+    def test_unknown_table_raises(self, store):
+        with pytest.raises(StorageError, match="no values table"):
+            store.read_table("nope")
+
+
+class TestCrashSafety:
+    def test_staged_but_uncommitted_is_invisible(self, store, gran):
+        commit = store.begin()
+        commit.put_values("m", gran, {(1, 0, 0): 1})
+        commit.commit()
+        # Simulate a crash: stage a second commit, never swap the
+        # manifest, "restart" by reopening the directory.
+        dangling = store.begin()
+        dangling.put_values("m", gran, {(1, 0, 0): 999})
+        reopened = MeasureStore(store.path)
+        assert reopened.generation == 1
+        assert reopened.read_table("m") == {(1, 0, 0): 1}
+
+    def test_reopen_garbage_collects_orphans(self, store, gran):
+        commit = store.begin()
+        commit.put_values("m", gran, {(1, 0, 0): 1})
+        commit.commit()
+        dangling = store.begin()
+        dangling.put_values("m", gran, {(1, 0, 0): 999})
+        before = set(os.listdir(store._segment_dir))
+        reopened = MeasureStore(store.path)
+        after = set(os.listdir(reopened._segment_dir))
+        assert after < before
+        assert after == reopened._referenced_files()
+
+    def test_abort_removes_staged_files(self, store, gran):
+        commit = store.begin()
+        commit.put_values("m", gran, {(1, 0, 0): 1})
+        commit.abort()
+        assert store.is_empty()
+        assert os.listdir(store._segment_dir) == []
+
+    def test_replaced_segments_are_deleted(self, store, gran):
+        first = store.begin()
+        first.put_values("m", gran, {(1, 0, 0): 1})
+        first.commit()
+        second = store.begin()
+        second.put_values("m", gran, {(1, 0, 0): 2})
+        second.commit()
+        files = set(os.listdir(store._segment_dir))
+        assert files == store._referenced_files()
+        assert store.read_table("m") == {(1, 0, 0): 2}
+
+    def test_commit_object_is_single_use(self, store, gran):
+        commit = store.begin()
+        commit.put_values("m", gran, {(1, 0, 0): 1})
+        commit.commit()
+        with pytest.raises(StorageError, match="already finished"):
+            commit.commit()
+
+    def test_format_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = MeasureStore(path)
+        commit = store.begin()
+        commit.update_meta({"x": 1})
+        commit.commit()
+        manifest = os.path.join(path, "MANIFEST.json")
+        with open(manifest) as fh:
+            data = json.load(fh)
+        data["format"] = 99
+        with open(manifest, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(StorageError, match="format"):
+            MeasureStore(path)
+
+
+class TestDirtyBookkeeping:
+    def test_dirty_nodes_merge_and_clear(self, store):
+        commit = store.begin()
+        commit.mark_dirty("h", [(1, 0, 0)])
+        commit.commit()
+        commit = store.begin()
+        commit.mark_dirty("h", [(2, 0, 0)])
+        commit.mark_measure_dirty("out")
+        commit.commit()
+        assert store.dirty_nodes() == {"h": {(1, 0, 0), (2, 0, 0)}}
+        assert store.dirty_measures() == {"out"}
+        commit = store.begin()
+        commit.clear_dirty()
+        commit.commit()
+        assert store.dirty_nodes() == {}
+        assert store.dirty_measures() == set()
+
+    def test_all_dirty_swallows_keys(self, store):
+        commit = store.begin()
+        commit.mark_dirty("h", None)
+        commit.mark_dirty("h", [(1, 0, 0)])
+        commit.commit()
+        assert store.dirty_nodes() == {"h": None}
+
+
+class TestStoreSink:
+    def test_engine_run_lands_in_store(self, store, syn_schema):
+        from repro.engine.sort_scan import SortScanEngine
+        from repro.workflow.workflow import AggregationWorkflow
+
+        wf = AggregationWorkflow(syn_schema, name="sinked")
+        wf.basic("Count", {"d0": "d0.L1"}, agg="count")
+        dataset = InMemoryDataset(
+            syn_schema, [(i % 64, 0, 0, 1.0) for i in range(100)]
+        )
+        sink = StoreSink(store)
+        result = SortScanEngine().evaluate(dataset, wf, sink=sink)
+        assert sink.committed_generation == 1
+        assert store.read_table("Count") == dict(result["Count"].rows)
+
+    def test_autocommit_off_stages_nothing(self, store, syn_schema):
+        from repro.engine.sort_scan import SortScanEngine
+        from repro.workflow.workflow import AggregationWorkflow
+
+        wf = AggregationWorkflow(syn_schema, name="staged")
+        wf.basic("Count", {"d0": "d0.L1"}, agg="count")
+        dataset = InMemoryDataset(syn_schema, [(0, 0, 0, 1.0)])
+        sink = StoreSink(store, autocommit=False)
+        SortScanEngine().evaluate(dataset, wf, sink=sink)
+        assert store.is_empty()
+        commit = store.begin()
+        sink.stage_into(commit)
+        commit.commit()
+        assert store.measures() == ["Count"]

@@ -4,7 +4,14 @@ import pytest
 
 from repro.cube.granularity import Granularity
 from repro.schema.dataset_schema import synthetic_schema
-from repro.storage.sink import FileSink, MemorySink, NullSink
+from repro.storage.sink import (
+    DirectorySink,
+    FileSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TeeSink,
+)
 from repro.storage.table import InMemoryDataset, MeasureTable
 
 
@@ -52,6 +59,70 @@ class TestFileSink:
         assert content == ["1\t0\t5", "2\t0\tNone"]
 
 
+class TestDirectorySink:
+    def test_is_a_file_sink(self, gran, tmp_path):
+        sink = DirectorySink(str(tmp_path))
+        sink.open_measure("m", gran)
+        sink.emit("m", (1, 0), 5)
+        sink.close()
+        assert (tmp_path / "m.tsv").read_text() == "1\t0\t5\n"
+
+
+class _StateWanter(Sink):
+    """Test double that records the state-capture callbacks."""
+
+    wants_states = True
+
+    def __init__(self):
+        self.opened = []
+        self.states = []
+        self.closed = False
+
+    def emit(self, name, key, value):
+        pass
+
+    def open_states(self, name, granularity):
+        self.opened.append(name)
+
+    def emit_state(self, name, key, state):
+        self.states.append((name, key, state))
+
+    def close(self):
+        self.closed = True
+
+
+class TestTeeSink:
+    def test_fans_out_and_returns_first_result(self, gran, tmp_path):
+        memory = MemorySink()
+        files = DirectorySink(str(tmp_path))
+        tee = TeeSink(memory, files)
+        tee.open_measure("m", gran)
+        tee.emit("m", (1, 0), 5)
+        tee.close()
+        assert tee.result() is memory.result()
+        assert tee.result()["m"].rows == {(1, 0): 5}
+        assert (tmp_path / "m.tsv").read_text() == "1\t0\t5\n"
+
+    def test_result_skips_resultless_children(self, gran):
+        memory = MemorySink()
+        tee = TeeSink(NullSink(), memory)
+        tee.open_measure("m", gran)
+        tee.emit("m", (1, 0), 5)
+        assert tee.result() is memory.result()
+
+    def test_wants_states_follows_children(self, gran):
+        assert not TeeSink(MemorySink(), NullSink()).wants_states
+        wanter = _StateWanter()
+        tee = TeeSink(MemorySink(), wanter)
+        assert tee.wants_states
+        tee.open_states("b", gran)
+        tee.emit_state("b", (1, 0), 7)
+        tee.close()
+        assert wanter.opened == ["b"]
+        assert wanter.states == [("b", (1, 0), 7)]
+        assert wanter.closed
+
+
 class TestMeasureTable:
     def test_mapping_protocol(self, gran):
         t = MeasureTable("m", gran, {(1, 0): 5})
@@ -63,6 +134,12 @@ class TestMeasureTable:
     def test_items_sorted(self, gran):
         t = MeasureTable("m", gran, {(2, 0): 1, (1, 0): 2})
         assert t.items_sorted() == [((1, 0), 2), ((2, 0), 1)]
+
+    def test_items_keys_and_iter_are_key_sorted(self, gran):
+        t = MeasureTable("m", gran, {(2, 0): 1, (1, 0): 2, (0, 3): 9})
+        assert t.items() == [((0, 3), 9), ((1, 0), 2), ((2, 0), 1)]
+        assert t.keys() == [(0, 3), (1, 0), (2, 0)]
+        assert list(t) == t.keys()
 
     def test_equal_rows_with_tolerance(self, gran):
         a = MeasureTable("m", gran, {(1, 0): 1.0})

@@ -220,6 +220,138 @@ class TestExplainCost:
         assert "advantage" in out
 
 
+class TestServiceCommands:
+    @pytest.fixture()
+    def delta_file(self, tmp_path):
+        path = str(tmp_path / "delta.bin")
+        assert (
+            main(
+                [
+                    "generate",
+                    "--kind",
+                    "honeynet",
+                    "--records",
+                    "300",
+                    "--seed",
+                    "9",
+                    "--out",
+                    path,
+                ]
+            )
+            == 0
+        )
+        return path
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path, honeynet_file):
+        path = str(tmp_path / "store")
+        code = main(
+            [
+                "ingest",
+                "--store",
+                path,
+                "--data",
+                honeynet_file,
+                "--query",
+                "escalation",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_bootstrap_then_delta_ingest(
+        self, store_dir, delta_file, capsys
+    ):
+        capsys.readouterr()
+        code = main(
+            ["ingest", "--store", store_dir, "--data", delta_file]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and "generation 2" in out
+
+    def test_empty_store_requires_query(
+        self, tmp_path, honeynet_file, capsys
+    ):
+        code = main(
+            [
+                "ingest",
+                "--store",
+                str(tmp_path / "fresh"),
+                "--data",
+                honeynet_file,
+            ]
+        )
+        assert code == 2
+        assert "--query" in capsys.readouterr().err
+
+    def test_query_lists_measures(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["query", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out and "rows=" in out
+
+    def test_query_table_point_and_prefix(self, store_dir, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--store",
+                    store_dir,
+                    "--measure",
+                    "traffic",
+                    "--limit",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        table_out = capsys.readouterr().out
+        assert "traffic" in table_out
+
+        from repro.service import MeasureStore
+
+        key, value = next(MeasureStore(store_dir).iter_table("traffic"))
+        key_text = ",".join(str(part) for part in key)
+        assert (
+            main(
+                [
+                    "query",
+                    "--store",
+                    store_dir,
+                    "--measure",
+                    "traffic",
+                    "--key",
+                    key_text,
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.strip() == str(value)
+        assert (
+            main(
+                [
+                    "query",
+                    "--store",
+                    store_dir,
+                    "--measure",
+                    "traffic",
+                    "--prefix",
+                    str(key[0]),
+                ]
+            )
+            == 0
+        )
+        assert key_text in capsys.readouterr().out
+
+    def test_query_stats(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(["query", "--store", store_dir, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert '"generation": 1' in out
+
+
 class TestRunExport:
     def test_out_writes_tsv_per_measure(self, honeynet_file, tmp_path, capsys):
         out_dir = str(tmp_path / "results")

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.engine",
     "repro.optimizer",
     "repro.storage",
+    "repro.service",
     "repro.data",
     "repro.queries",
     "repro.bench",
