@@ -29,7 +29,8 @@ Layers (bottom-up): :mod:`repro.schema` (domains & hierarchies),
 language), :mod:`repro.engine` (relational / single-scan / sort-scan /
 multi-pass evaluation), :mod:`repro.optimizer` (sort-order search),
 :mod:`repro.queries` (the paper's query library), :mod:`repro.bench`
-(the figure harness).
+(the figure harness), :mod:`repro.obs` (tracing spans, metrics
+registry, per-node profiling).
 """
 
 from repro.errors import (
@@ -89,6 +90,13 @@ from repro.engine import (
     compile_workflow,
 )
 from repro.optimizer import best_sort_key, plan_passes
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_tracing,
+)
 
 __version__ = "1.0.0"
 
@@ -153,4 +161,10 @@ __all__ = [
     # optimizer
     "best_sort_key",
     "plan_passes",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "get_tracer",
+    "get_registry",
+    "set_tracing",
 ]

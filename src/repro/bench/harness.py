@@ -23,6 +23,9 @@ class BenchRow:
     scan_seconds: float = 0.0
     peak_entries: int = 0
     note: str = ""
+    #: Full ``EvalStats.to_dict()`` payload (``None`` for failed runs);
+    #: carried so ``repro bench --json`` can emit machine-readable rows.
+    stats: Optional[dict] = None
 
     @property
     def seconds_text(self) -> str:
@@ -65,6 +68,7 @@ def time_engine(
         scan_seconds=stats.scan_seconds,
         peak_entries=stats.peak_entries,
         note=stats.notes,
+        stats=stats.to_dict(),
     )
 
 

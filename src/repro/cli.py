@@ -16,12 +16,23 @@ module is that front door:
   or fold a delta batch into it incrementally;
 - ``query`` — read a stored measure (table, point, or prefix range)
   without re-evaluating anything;
-- ``serve`` — expose a store over a JSON/HTTP endpoint.
+- ``serve`` — expose a store over a JSON/HTTP endpoint (including a
+  Prometheus ``/metrics`` route);
+- ``trace`` — run a query with span recording on and write a Chrome
+  trace-event JSON (open it in ``chrome://tracing`` or Perfetto);
+- ``profile`` — per-workflow-node timing/footprint table for a
+  sort/scan run.
+
+Results (measure tables, stats lines, bench tables) go to stdout;
+operational chatter goes through the ``repro.*`` loggers to stderr,
+tunable with ``-v``/``-q``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -36,6 +47,12 @@ from repro.engine.partitioned import PartitionedEngine
 from repro.engine.single_scan import SingleScanEngine
 from repro.engine.sort_scan import SortScanEngine
 from repro.errors import ReproError
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    set_tracing,
+    telemetry_forced,
+)
 from repro.queries.combined import combined_workflow
 from repro.queries.escalation import escalation_workflow
 from repro.queries.examples import examples_workflow
@@ -51,6 +68,33 @@ from repro.storage.flatfile import (
     write_csv,
     write_flatfile,
 )
+
+logger = logging.getLogger("repro.cli")
+
+
+def _setup_logging(verbosity: int) -> None:
+    """(Re)configure the ``repro`` logger tree for one CLI invocation.
+
+    The stream handler is recreated on every call and bound to the
+    *current* ``sys.stderr`` so repeated ``main()`` calls in one
+    process (tests, notebooks) write to the right stream even after
+    the caller swaps ``sys.stderr`` out.
+    """
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+
 
 _GENERATORS = {
     "synthetic": lambda seed: SyntheticGenerator(seed=seed),
@@ -91,28 +135,8 @@ _ENGINES = {
 }
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Composite subset measures over flat files "
-        "(VLDB 2006 reproduction).",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    generate = sub.add_parser(
-        "generate", help="generate a dataset flat file"
-    )
-    generate.add_argument(
-        "--kind", choices=sorted(_GENERATORS), default="honeynet"
-    )
-    generate.add_argument("--records", type=int, default=50_000)
-    generate.add_argument("--seed", type=int, default=0)
-    generate.add_argument("--out", required=True)
-    generate.add_argument(
-        "--format", choices=("bin", "csv"), default="bin"
-    )
-
-    run = sub.add_parser("run", help="run a paper query over a file")
+def _add_run_arguments(run: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``run`` and ``trace run``."""
     run.add_argument("--query", choices=sorted(_QUERIES), required=True)
     run.add_argument("--data", required=True, help="binary flat file")
     run.add_argument(
@@ -142,6 +166,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="directory to write one TSV per output measure",
     )
+    run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record spans and write a Chrome trace-event JSON here",
+    )
+    run.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="dump the metrics registry as JSON ('-' for stdout)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Composite subset measures over flat files "
+        "(VLDB 2006 reproduction).",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more operational logging (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less operational logging (repeatable)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a dataset flat file"
+    )
+    generate.add_argument(
+        "--kind", choices=sorted(_GENERATORS), default="honeynet"
+    )
+    generate.add_argument("--records", type=int, default=50_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.add_argument(
+        "--format", choices=("bin", "csv"), default="bin"
+    )
+
+    run = sub.add_parser("run", help="run a paper query over a file")
+    _add_run_arguments(run)
+
+    trace = sub.add_parser(
+        "trace", help="run a command with span recording on"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_run = trace_sub.add_parser(
+        "run", help="run a query and write a Chrome trace-event JSON"
+    )
+    _add_run_arguments(trace_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-workflow-node timing table for a sort/scan run",
+    )
+    profile.add_argument(
+        "--query", choices=sorted(_QUERIES), required=True
+    )
+    profile.add_argument(
+        "--data", required=True, help="binary flat file"
+    )
 
     explain = sub.add_parser(
         "explain", help="show a query's algebra / SQL / plan"
@@ -166,6 +251,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figure", choices=sorted(ALL_FIGURES), required=True
     )
     bench.add_argument("--scale", type=float, default=0.1)
+    bench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the rows (with full run stats) as JSON",
+    )
+    bench.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="dump the metrics registry as JSON ('-' for stdout)",
+    )
 
     ingest = sub.add_parser(
         "ingest",
@@ -227,30 +320,65 @@ def _cmd_generate(args) -> int:
     schema_name = (
         "synthetic" if args.kind == "synthetic" else "network"
     )
-    print(
-        f"wrote {count} records to {args.out} "
-        f"({args.kind}; use --query families for schema "
-        f"'{schema_name}')"
+    logger.info(
+        "wrote %d records to %s (%s; use --query families for "
+        "schema '%s')",
+        count, args.out, args.kind, schema_name,
     )
     return 0
 
 
+def _write_metrics_json(path: Optional[str]) -> None:
+    """Dump the process metrics registry as JSON (``-`` = stdout)."""
+    if not path:
+        return
+    payload = json.dumps(
+        get_registry().to_dict(), indent=2, sort_keys=True
+    )
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w") as fh:
+            fh.write(payload + "\n")
+        logger.info("metrics JSON written to %s", path)
+
+
 def _cmd_run(args) -> int:
+    from repro.storage.sink import (
+        DirectorySink,
+        MemorySink,
+        ObservedSink,
+        TeeSink,
+    )
+
     family, build = _QUERIES[args.query]
     schema = _SCHEMAS[family]()
     dataset = FlatFileDataset(args.data, schema)
     workflow = build(schema)
     engine = _ENGINES[args.engine](args)
-    sink = None
     if args.out:
-        from repro.storage.sink import DirectorySink, MemorySink, TeeSink
-
-        sink = TeeSink(MemorySink(), DirectorySink(args.out))
-    result = engine.evaluate(dataset, workflow, sink=sink)
+        sink = ObservedSink(
+            TeeSink(MemorySink(), DirectorySink(args.out))
+        )
+    else:
+        sink = ObservedSink(MemorySink())
+    tracer = get_tracer()
+    if args.trace:
+        set_tracing(True)
+        tracer.reset()
+    try:
+        result = engine.evaluate(dataset, workflow, sink=sink)
+    finally:
+        if args.trace:
+            count = tracer.write(args.trace)
+            set_tracing(telemetry_forced())
+            logger.info(
+                "trace written to %s (%d events)", args.trace, count
+            )
     wanted = args.measures or workflow.outputs()
     for name in wanted:
         if name not in result.tables:
-            print(f"(no measure named {name!r})", file=sys.stderr)
+            logger.warning("(no measure named %r)", name)
             continue
         print(result[name].pretty(limit=args.limit))
         print()
@@ -262,7 +390,35 @@ def _cmd_run(args) -> int:
         f"peak_entries={stats.peak_entries}"
     )
     if args.out:
-        print(f"measure TSVs written to {args.out}/")
+        logger.info("measure TSVs written to %s/", args.out)
+    _write_metrics_json(args.metrics_json)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace run …`` — a run with tracing forced on."""
+    if not args.trace:
+        args.trace = "trace.json"
+    return _cmd_run(args)
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import format_node_table
+    from repro.storage.sink import NullSink
+
+    family, build = _QUERIES[args.query]
+    schema = _SCHEMAS[family]()
+    dataset = FlatFileDataset(args.data, schema)
+    workflow = build(schema)
+    engine = SortScanEngine(optimize=True, profile=True)
+    result = engine.evaluate(dataset, workflow, sink=NullSink())
+    stats = result.stats
+    print(
+        f"engine={stats.engine} rows={stats.rows_scanned} "
+        f"sort={stats.sort_seconds:.3f}s scan={stats.scan_seconds:.3f}s "
+        f"total={stats.total_seconds:.3f}s"
+    )
+    print(format_node_table(stats.nodes))
     return 0
 
 
@@ -326,6 +482,14 @@ def _cmd_explain(args) -> int:
 def _cmd_bench(args) -> int:
     rows = ALL_FIGURES[args.figure](scale=args.scale)
     print(format_table(f"{args.figure} (scale={args.scale})", rows))
+    if args.json:
+        from dataclasses import asdict
+
+        with open(args.json, "w") as fh:
+            json.dump([asdict(row) for row in rows], fh, indent=2)
+            fh.write("\n")
+        logger.info("bench rows written to %s", args.json)
+    _write_metrics_json(args.metrics_json)
     return 0
 
 
@@ -371,10 +535,10 @@ def _cmd_ingest(args) -> int:
         generation = ingestor.bootstrap(
             dataset, meta={"query": args.query, "family": family}
         )
-        print(
-            f"bootstrapped {args.store} at generation {generation}: "
-            f"{len(dataset)} facts, measures "
-            f"{', '.join(store.measures())}"
+        logger.info(
+            "bootstrapped %s at generation %d: %d facts, measures %s",
+            args.store, generation, len(dataset),
+            ", ".join(store.measures()),
         )
         return 0
     workflow = _store_workflow(store, args.query)
@@ -390,7 +554,7 @@ def _cmd_ingest(args) -> int:
             f"; deferred (holistic, recomputed on next read): "
             f"{', '.join(report.deferred_measures)}"
         )
-    print(line)
+    logger.info("%s", line)
     return 0
 
 
@@ -438,9 +602,10 @@ def _cmd_serve(args) -> int:
     service = MeasureService(store, _store_workflow(store, args.query))
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
-    print(
-        f"serving {args.store} on http://{host}:{port} "
-        f"(routes: /measures /point /range /table /stats, POST /ingest)"
+    logger.info(
+        "serving %s on http://%s:%s (routes: /measures /point /range "
+        "/table /stats /metrics, POST /ingest)",
+        args.store, host, port,
     )
     try:
         server.serve_forever()
@@ -455,9 +620,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _setup_logging(args.verbose - args.quiet)
     handlers = {
         "generate": _cmd_generate,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "explain": _cmd_explain,
         "bench": _cmd_bench,
         "ingest": _cmd_ingest,
@@ -467,10 +635,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("error: %s", exc)
         return 2
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("error: %s", exc)
         return 2
 
 

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.obs import get_tracer, publish_eval_stats
 from repro.storage.sink import MemorySink, Sink
 from repro.storage.table import Dataset, MeasureTable
 
@@ -17,7 +18,9 @@ class EvalStats:
     The benchmark harness prints these the way the paper's figures do:
     wall-clock execution time, a sort/scan cost breakdown (Figure 6(e)),
     and memory footprints in hash-table entries (the unit the paper's
-    footprint estimates use).
+    footprint estimates use).  Finished stats are also published into
+    the process-wide metrics registry (:mod:`repro.obs.metrics`) once
+    per top-level run.
     """
 
     engine: str = ""
@@ -35,24 +38,83 @@ class EvalStats:
     #: distributed evaluation so the sort/scan breakdown of every
     #: partition stays inspectable after the merge.
     workers: list = field(default_factory=list)
+    #: Per-node profile rows (plain dicts, see
+    #: :class:`repro.obs.profile.NodeProfile`), filled when an engine
+    #: runs with profiling enabled.
+    nodes: list = field(default_factory=list)
 
     def merge(self, other: "EvalStats") -> None:
         """Accumulate a sub-run (multi-pass and partitioned engines).
 
-        Totals add up; ``peak_entries`` takes the maximum — with
-        shared-nothing partitions running in separate processes the
-        per-process peak is the honest footprint figure (concurrent
-        partitions each pay their own peak in their own address space).
+        Totals — including ``passes`` — add up; ``peak_entries`` takes
+        the maximum: with shared-nothing partitions running in separate
+        processes the per-process peak is the honest footprint figure
+        (concurrent partitions each pay their own peak in their own
+        address space).  The sub-run's ``engine`` and ``notes`` are
+        preserved: the engine name is adopted when this side has none,
+        and novel notes are appended rather than dropped.
         """
         self.rows_scanned += other.rows_scanned
         self.scans += other.scans
+        self.passes += other.passes
         self.sort_seconds += other.sort_seconds
         self.scan_seconds += other.scan_seconds
         self.total_seconds += other.total_seconds
         self.peak_entries = max(self.peak_entries, other.peak_entries)
         self.flushed_entries += other.flushed_entries
         self.spooled_entries += other.spooled_entries
+        if not self.engine:
+            self.engine = other.engine
+        if other.notes and other.notes not in self.notes:
+            self.notes = (
+                f"{self.notes}; {other.notes}"
+                if self.notes
+                else other.notes
+            )
         self.workers.extend(other.workers)
+        self.nodes.extend(other.nodes)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict (the cross-process / benchmark format)."""
+        return {
+            "engine": self.engine,
+            "rows_scanned": self.rows_scanned,
+            "scans": self.scans,
+            "passes": self.passes,
+            "sort_seconds": self.sort_seconds,
+            "scan_seconds": self.scan_seconds,
+            "total_seconds": self.total_seconds,
+            "peak_entries": self.peak_entries,
+            "flushed_entries": self.flushed_entries,
+            "spooled_entries": self.spooled_entries,
+            "notes": self.notes,
+            "workers": [worker.to_dict() for worker in self.workers],
+            "nodes": [dict(node) for node in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvalStats":
+        """Inverse of :meth:`to_dict` (workers round-trip recursively)."""
+        return cls(
+            engine=data.get("engine", ""),
+            rows_scanned=data.get("rows_scanned", 0),
+            scans=data.get("scans", 0),
+            passes=data.get("passes", 1),
+            sort_seconds=data.get("sort_seconds", 0.0),
+            scan_seconds=data.get("scan_seconds", 0.0),
+            total_seconds=data.get("total_seconds", 0.0),
+            peak_entries=data.get("peak_entries", 0),
+            flushed_entries=data.get("flushed_entries", 0),
+            spooled_entries=data.get("spooled_entries", 0),
+            notes=data.get("notes", ""),
+            workers=[
+                cls.from_dict(worker)
+                for worker in data.get("workers", [])
+            ],
+            nodes=[dict(node) for node in data.get("nodes", [])],
+        )
 
 
 @dataclass
@@ -82,23 +144,46 @@ class Engine:
         dataset: Dataset,
         query,
         sink: Optional[Sink] = None,
+        publish_metrics: bool = True,
     ) -> EvalResult:
+        """Evaluate ``query`` over ``dataset``, flushing into ``sink``.
+
+        Args:
+            dataset: The fact records.
+            query: A workflow or compiled graph.
+            sink: Destination for finalized entries (memory by default).
+            publish_metrics: Record the finished stats in the global
+                metrics registry.  Engines that drive *sub*-runs
+                (multi-pass passes, per-partition scans) pass False so
+                a run is counted exactly once — by the run the caller
+                asked for.
+        """
         from repro.engine.compile import CompiledGraph, compile_workflow
 
-        if isinstance(query, CompiledGraph):
-            graph = query
-        else:
-            graph = compile_workflow(query)
-        if sink is None:
-            sink = MemorySink()
-        for name, (node, __) in graph.outputs.items():
-            sink.open_measure(name, node.granularity)
-        stats = EvalStats(engine=self.name)
-        started = time.perf_counter()
-        self._run(dataset, graph, sink, stats)
-        stats.total_seconds = time.perf_counter() - started
+        tracer = get_tracer()
+        with tracer.span(f"evaluate:{self.name}", cat="engine") as span:
+            if isinstance(query, CompiledGraph):
+                graph = query
+            else:
+                with tracer.span("compile", cat="engine"):
+                    graph = compile_workflow(query)
+            if sink is None:
+                sink = MemorySink()
+            for name, (node, __) in graph.outputs.items():
+                sink.open_measure(name, node.granularity)
+            stats = EvalStats(engine=self.name)
+            started = time.perf_counter()
+            self._run(dataset, graph, sink, stats)
+            stats.total_seconds = time.perf_counter() - started
+            span.set(
+                rows=stats.rows_scanned, peak_entries=stats.peak_entries
+            )
         sink.close()
         tables = sink.result() or {}
+        if publish_metrics and not getattr(
+            stats, "published_by_workers", False
+        ):
+            publish_eval_stats(stats)
         return EvalResult(tables=tables, stats=stats)
 
     def _run(self, dataset, graph, sink: Sink, stats: EvalStats) -> None:

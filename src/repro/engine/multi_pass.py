@@ -22,6 +22,7 @@ from repro.engine.compile import (
 )
 from repro.engine.interfaces import Engine, EvalStats
 from repro.engine.semantics import eval_node_from_tables
+from repro.obs import get_tracer
 from repro.engine.sort_scan import SortScanEngine
 from repro.optimizer.greedy import MultiPassPlan, plan_passes
 from repro.storage.sink import MemorySink, Sink
@@ -123,35 +124,47 @@ class MultiPassEngine(Engine):
             memory_budget_entries=self.memory_budget_entries,
             dataset_size=dataset_size,
         )
-        stats.passes = plan.num_passes
+        # Each sub-run arrives with ``passes == 1`` and merge()
+        # accumulates them, so the parent starts from zero.
+        stats.passes = 0
         stats.notes = (
             f"{plan.num_passes} passes, {len(plan.deferred)} deferred"
         )
 
+        tracer = get_tracer()
         tables: dict[str, dict] = {}
-        for pass_plan in plan.passes:
-            subgraph = extract_subgraph(graph, pass_plan.node_names)
-            # The budget is the *planning* objective; per the paper,
-            # footprint estimates "will not impact the correctness of
-            # the evaluation algorithm", so passes are not killed when
-            # an estimate proves optimistic — the true peak is reported
-            # in the stats instead.
-            engine = SortScanEngine(
-                sort_key=pass_plan.sort_key,
-                run_size=self.run_size,
-            )
-            pass_sink = MemorySink()
-            result = engine.evaluate(dataset, subgraph, sink=pass_sink)
-            stats.merge(result.stats)
-            for name, table in pass_sink.tables.items():
-                tables[name] = table.rows
+        for index, pass_plan in enumerate(plan.passes):
+            with tracer.span(
+                f"pass:{index}",
+                cat="engine",
+                nodes=len(pass_plan.node_names),
+            ):
+                subgraph = extract_subgraph(graph, pass_plan.node_names)
+                # The budget is the *planning* objective; per the paper,
+                # footprint estimates "will not impact the correctness of
+                # the evaluation algorithm", so passes are not killed when
+                # an estimate proves optimistic — the true peak is
+                # reported in the stats instead.
+                engine = SortScanEngine(
+                    sort_key=pass_plan.sort_key,
+                    run_size=self.run_size,
+                )
+                pass_sink = MemorySink()
+                result = engine.evaluate(
+                    dataset, subgraph, sink=pass_sink,
+                    publish_metrics=False,
+                )
+                stats.merge(result.stats)
+                for name, table in pass_sink.tables.items():
+                    tables[name] = table.rows
 
         # Post-combination: deferred nodes from materialized tables
         # ("traditional join strategies").
         by_name = {node.name: node for node in graph.nodes}
-        for name in plan.deferred:
-            node = by_name[name]
-            tables[name] = eval_node_from_tables(node, tables, dataset)
+        with tracer.span("post-combine", cat="engine"):
+            for name in plan.deferred:
+                node = by_name[name]
+                tables[name] = eval_node_from_tables(node, tables, dataset)
 
         for name, (node, out_filter) in graph.outputs.items():
             for key, value in tables[node.name].items():

@@ -57,6 +57,12 @@ from repro.cube.order import SortKey
 from repro.engine.compile import BasicNode, CompiledGraph, compile_workflow
 from repro.engine.interfaces import Engine, EvalStats
 from repro.engine.sort_scan import SortScanEngine, default_sort_key
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    reset_registry,
+    telemetry_forced,
+)
 from repro.storage.sink import MemorySink, Sink
 from repro.storage.table import Dataset, InMemoryDataset
 
@@ -277,6 +283,9 @@ class _ProcessTask:
     records: Optional[list] = None
     #: …or the base dataset for worker-side slicing (file-backed ones).
     dataset: Optional[Dataset] = None
+    #: Record spans in the worker and ship them back with the result
+    #: (set when the parent's tracer is enabled).
+    trace: bool = False
 
 
 def _evaluate_partition(payload: bytes):
@@ -285,9 +294,18 @@ def _evaluate_partition(payload: bytes):
     Takes the pickled :class:`_ProcessTask`, recompiles the workflow
     (closures never cross the process boundary), runs an independent
     one-pass sort/scan over the partition's slice, and returns plain
-    ``({measure: {key: value}}, EvalStats)`` data.
+    ``({measure: {key: value}}, stats_dict, trace_events,
+    metrics_dict)`` data — everything JSON-safe/picklable, so the
+    parent can reassemble the run's full telemetry.
     """
     task: _ProcessTask = pickle.loads(payload)
+    # Fork-started workers inherit the parent's recorded events and
+    # metric values; both must be cleared or absorbing/merging in the
+    # parent would double-count them.
+    tracer = get_tracer()
+    tracer.reset()
+    tracer.enabled = task.trace or telemetry_forced()
+    registry = reset_registry()
     workflow = task.workflow
     graph = compile_workflow(workflow)
     schema = workflow.schema
@@ -305,9 +323,19 @@ def _evaluate_partition(payload: bytes):
     engine = SortScanEngine(
         sort_key=SortKey(schema, task.sort_parts), run_size=task.run_size
     )
-    result = engine.evaluate(slice_ds, graph, sink=ranged)
+    with tracer.span(
+        "partition", cat="engine", lo=repr(span.lo), hi=repr(span.hi)
+    ):
+        # Publishing stays on: the worker's registry is fresh, so it
+        # carries exactly this partition's run for the parent to merge.
+        result = engine.evaluate(slice_ds, graph, sink=ranged)
     rows = {name: table.rows for name, table in partial.tables.items()}
-    return rows, result.stats
+    return (
+        rows,
+        result.stats.to_dict(),
+        tracer.take_events(),
+        registry.to_dict(),
+    )
 
 
 class PartitionedEngine(Engine):
@@ -382,6 +410,7 @@ class PartitionedEngine(Engine):
             raise _UnpicklablePlan(
                 "compiled graph has no source workflow to ship"
             )
+        trace = get_tracer().enabled
         tasks = []
         if isinstance(dataset, InMemoryDataset):
             # Shared-nothing bucketing: one parent scan assigns each
@@ -403,6 +432,7 @@ class PartitionedEngine(Engine):
                         level,
                         span,
                         records=bucket,
+                        trace=trace,
                     )
                 )
         else:
@@ -418,6 +448,7 @@ class PartitionedEngine(Engine):
                         level,
                         span,
                         dataset=dataset,
+                        trace=trace,
                     )
                 )
         try:
@@ -493,6 +524,8 @@ class PartitionedEngine(Engine):
 
         if outcomes is None:
 
+            tracer = get_tracer()
+
             def run_partition(index: int):
                 span = spans[index]
                 slice_ds = _SliceDataset(
@@ -505,7 +538,19 @@ class PartitionedEngine(Engine):
                 engine = SortScanEngine(
                     sort_key=sort_key, run_size=self.run_size
                 )
-                result = engine.evaluate(slice_ds, graph, sink=ranged)
+                with tracer.span(
+                    "partition",
+                    cat="engine",
+                    index=index,
+                    lo=repr(span.lo),
+                    hi=repr(span.hi),
+                ):
+                    # In-process sub-runs don't publish: the parent
+                    # publishes the merged stats once.
+                    result = engine.evaluate(
+                        slice_ds, graph, sink=ranged,
+                        publish_metrics=False,
+                    )
                 rows = {
                     name: table.rows
                     for name, table in partial.tables.items()
@@ -528,20 +573,38 @@ class PartitionedEngine(Engine):
         )
 
         # Merge: tables are disjoint by construction, so emission order
-        # between partitions is irrelevant; stats accumulate with the
-        # per-worker breakdown kept for inspection.
-        for rows_by_name, partial_stats in outcomes:
-            stats.rows_scanned += partial_stats.rows_scanned
-            stats.scans += partial_stats.scans
-            stats.sort_seconds += partial_stats.sort_seconds
-            stats.scan_seconds += partial_stats.scan_seconds
-            stats.peak_entries = max(
-                stats.peak_entries, partial_stats.peak_entries
-            )
-            stats.flushed_entries += partial_stats.flushed_entries
-            stats.spooled_entries += partial_stats.spooled_entries
+        # between partitions is irrelevant; stats accumulate via
+        # EvalStats.merge (each sub-run counts one pass; counters add,
+        # peaks take the per-process maximum) with the per-worker
+        # breakdown kept for inspection.  Process workers additionally
+        # ship their trace events and metric samples, which fold into
+        # the parent's tracer and registry here.
+        tracer = get_tracer()
+        registry = get_registry()
+        workers_published = False
+        stats.passes = 0
+        parent_notes, stats.notes = stats.notes, ""
+        for outcome in outcomes:
+            rows_by_name, partial_stats = outcome[0], outcome[1]
+            if isinstance(partial_stats, dict):
+                partial_stats = EvalStats.from_dict(partial_stats)
+            if len(outcome) > 2:
+                events, metric_samples = outcome[2], outcome[3]
+                if events:
+                    tracer.absorb(events)
+                if metric_samples:
+                    registry.merge_dict(metric_samples)
+                    workers_published = True
+            stats.merge(partial_stats)
             stats.workers.append(partial_stats)
             for name, rows in rows_by_name.items():
                 for key, value in rows.items():
                     sink.emit(name, key, value)
-        stats.passes = count
+        # The parent's own note stays authoritative (worker notes are
+        # per-partition sort keys, already summarized in it).
+        stats.notes = parent_notes
+        if workers_published:
+            # Each worker already published its run into its own
+            # registry (now merged above); Engine.evaluate must not
+            # publish the merged stats a second time.
+            stats.published_by_workers = True

@@ -36,6 +36,8 @@ from repro.engine.compile import (
 )
 from repro.engine.interfaces import Engine, EvalStats
 from repro.engine.watermark import NodeChecker, build_node_specs
+from repro.obs import get_tracer
+from repro.obs.profile import NodeProfile
 from repro.storage.external_sort import DEFAULT_RUN_SIZE, external_sort
 from repro.storage.flatfile import FlatFileDataset, write_flatfile
 from repro.storage.sink import Sink
@@ -80,6 +82,7 @@ class _RuntimeNode:
         "flushed_keys",
         "src_levels",
         "touched",
+        "prof",
     )
 
     def __init__(self, node: Node, checker: NodeChecker, outputs) -> None:
@@ -92,6 +95,8 @@ class _RuntimeNode:
         self.src_levels: Optional[tuple] = None
         #: Set when upstream delivered entries since the last flush scan.
         self.touched = False
+        #: Per-node profile counters (``profile=True`` runs only).
+        self.prof: Optional[NodeProfile] = None
         if isinstance(node, BasicNode):
             self.kind = "basic"
         elif isinstance(node, CombineNode):
@@ -146,6 +151,10 @@ class SortScanEngine(Engine):
             and raise if any update arrives for a finalized entry.
             This turns the watermark-safety theorem into a runtime
             assertion (used by the property-based tests).
+        profile: Collect one :class:`~repro.obs.profile.NodeProfile`
+            row per graph node (rows in/out, flush counts and seconds,
+            per-node peaks, watermark advances) into ``stats.nodes``.
+            Off by default; adds one branch per delivery when on.
     """
 
     name = "sort-scan"
@@ -159,6 +168,7 @@ class SortScanEngine(Engine):
         assert_no_late_updates: bool = False,
         cascade_prefix: int = 1,
         max_records_between_cascades: int = 4096,
+        profile: bool = False,
     ) -> None:
         self.sort_key = sort_key
         self.optimize = optimize
@@ -167,6 +177,7 @@ class SortScanEngine(Engine):
         self.assert_no_late_updates = assert_no_late_updates
         self.cascade_prefix = max(1, cascade_prefix)
         self.max_records_between_cascades = max_records_between_cascades
+        self.profile = profile
         self._cascade_count = 0
 
     # -- top level ---------------------------------------------------------
@@ -178,28 +189,33 @@ class SortScanEngine(Engine):
         sink: Sink,
         stats: EvalStats,
     ) -> None:
-        sort_key = self.sort_key
-        if sort_key is None:
-            if self.optimize:
-                from repro.optimizer.brute_force import best_sort_key
+        tracer = get_tracer()
+        with tracer.span("plan", cat="engine") as plan_span:
+            sort_key = self.sort_key
+            if sort_key is None:
+                if self.optimize:
+                    from repro.optimizer.brute_force import best_sort_key
 
-                sort_key = best_sort_key(graph)
-            else:
-                sort_key = default_sort_key(graph)
-        stats.notes = f"sort_key={sort_key!r}"
+                    sort_key = best_sort_key(graph)
+                else:
+                    sort_key = default_sort_key(graph)
+            stats.notes = f"sort_key={sort_key!r}"
+            plan_span.set(sort_key=repr(sort_key), nodes=len(graph.nodes))
 
-        specs = build_node_specs(graph, sort_key)
-        runtime: dict[str, _RuntimeNode] = {}
-        for node in graph.nodes:
-            checker = NodeChecker(node, specs[node.name])
-            outputs = [
-                (name, graph.outputs[name][1])
-                for name in graph.output_names_of(node)
-            ]
-            rt = _RuntimeNode(node, checker, outputs)
-            if self.assert_no_late_updates:
-                rt.flushed_keys = set()
-            runtime[node.name] = rt
+            specs = build_node_specs(graph, sort_key)
+            runtime: dict[str, _RuntimeNode] = {}
+            for node in graph.nodes:
+                checker = NodeChecker(node, specs[node.name])
+                outputs = [
+                    (name, graph.outputs[name][1])
+                    for name in graph.output_names_of(node)
+                ]
+                rt = _RuntimeNode(node, checker, outputs)
+                if self.assert_no_late_updates:
+                    rt.flushed_keys = set()
+                if self.profile:
+                    rt.prof = NodeProfile(name=node.name, kind=rt.kind)
+                runtime[node.name] = rt
         topo_runtime = [runtime[node.name] for node in graph.nodes]
         if sink.wants_states:
             # Partial-state capture (the measure service's ingestion
@@ -225,13 +241,17 @@ class SortScanEngine(Engine):
         # ---- sort phase ---------------------------------------------------
         mapper = sort_key.record_mapper()
         sort_started = time.perf_counter()
-        records, cleanup = self._sorted_records(dataset, mapper, stats)
+        with tracer.span("sort", cat="engine"):
+            records, cleanup = self._sorted_records(dataset, mapper, stats)
         stats.sort_seconds = time.perf_counter() - sort_started
 
         # ---- scan phase ---------------------------------------------------
         scan_started = time.perf_counter()
+        scan_span = tracer.span("scan", cat="engine")
+        scan_span.__enter__()
         prefix = self.cascade_prefix
         force_every = self.max_records_between_cascades
+        profiling = self.profile
         try:
             prev_trigger: Optional[tuple] = None
             since_cascade = 0
@@ -269,6 +289,8 @@ class SortScanEngine(Engine):
                             )
                         state = agg.create()
                     table[key] = agg.update(state, value)
+                    if profiling:
+                        rt.prof.rows_in += 1
                 rows += 1
             stats.rows_scanned = rows
             stats.scans = 1
@@ -277,7 +299,13 @@ class SortScanEngine(Engine):
             )
         finally:
             cleanup()
+            scan_span.set(rows=stats.rows_scanned)
+            scan_span.__exit__(None, None, None)
         stats.scan_seconds = time.perf_counter() - scan_started
+        if profiling:
+            stats.nodes.extend(
+                rt.prof.to_dict() for rt in topo_runtime
+            )
 
     def _sorted_records(self, dataset: Dataset, mapper, stats: EvalStats):
         """Sort the dataset; returns (iterable, cleanup callable)."""
@@ -326,7 +354,12 @@ class SortScanEngine(Engine):
         if final or self._cascade_count % 32 == 1:
             resident = 0
             for rt in topo_runtime:
-                resident += rt.entries()
+                entries = rt.entries()
+                resident += entries
+                if rt.prof is not None:
+                    rt.prof.peak_entries = max(
+                        rt.prof.peak_entries, entries
+                    )
             stats.peak_entries = max(stats.peak_entries, resident)
             budget = self.memory_budget_entries
             if budget is not None and resident > budget:
@@ -334,19 +367,58 @@ class SortScanEngine(Engine):
                     resident, budget, where="sort-scan cascade"
                 )
 
+        tracer = get_tracer()
+        flush_started = (
+            time.perf_counter() if tracer.enabled else 0.0
+        )
+        flushed_before = stats.flushed_entries
         for rt in topo_runtime:
             if final:
                 self._flush_node(rt, runtime, sink, stats, final)
                 continue
             changed = rt.checker.refresh(pos)
+            if changed and rt.prof is not None:
+                rt.prof.bound_advances += 1
             # Unchanged bounds + no deliveries since the last scan means
             # the previous flush already drained everything finalizable.
             if not changed and not rt.touched:
                 continue
             rt.touched = False
             self._flush_node(rt, runtime, sink, stats, final)
+        if tracer.enabled:
+            tracer.add_complete(
+                "flush",
+                cat="engine",
+                start_perf=flush_started,
+                duration=time.perf_counter() - flush_started,
+                args={
+                    "final": final,
+                    "emitted": stats.flushed_entries - flushed_before,
+                },
+            )
 
     def _flush_node(
+        self,
+        rt: _RuntimeNode,
+        runtime: dict[str, _RuntimeNode],
+        sink: Sink,
+        stats: EvalStats,
+        final: bool,
+    ) -> None:
+        prof = rt.prof
+        if prof is None:
+            self._flush_node_inner(rt, runtime, sink, stats, final)
+            return
+        prof.flushes += 1
+        emitted_before = stats.flushed_entries
+        started = time.perf_counter()
+        try:
+            self._flush_node_inner(rt, runtime, sink, stats, final)
+        finally:
+            prof.flush_seconds += time.perf_counter() - started
+            prof.rows_out += stats.flushed_entries - emitted_before
+
+    def _flush_node_inner(
         self,
         rt: _RuntimeNode,
         runtime: dict[str, _RuntimeNode],
@@ -456,6 +528,8 @@ class SortScanEngine(Engine):
             return
         dst = runtime[arc.dst.name]
         dst.touched = True
+        if dst.prof is not None:
+            dst.prof.rows_in += 1
         if dst.flushed_keys is not None and arc.role != "values":
             if key in dst.flushed_keys:
                 raise EvaluationError(

@@ -1,0 +1,84 @@
+"""``repro.obs`` — the unified, dependency-free telemetry layer.
+
+Three pillars, all stdlib-only:
+
+- :mod:`repro.obs.trace` — hierarchical spans with a Chrome
+  trace-event JSON exporter (``repro trace run …``, ``--trace``);
+- :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms, rendered as Prometheus text
+  (the service's ``/metrics`` route) or JSON;
+- :mod:`repro.obs.profile` — per-workflow-node timing/footprint rows
+  (``repro profile``).
+
+This module owns the *process-wide singletons*: one tracer and one
+metrics registry per process.  Tracing is **off by default** and costs
+one attribute check per instrumented site when off; the metrics
+registry is always live, but is only touched at coarse boundaries
+(once per engine run, per ingest, per query — never per record).
+
+Set the ``REPRO_TELEMETRY`` environment variable (``1``/``true``/
+``on``) to force tracing on process-wide — CI runs the test suite once
+in this mode to catch instrumentation regressions.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import MetricsRegistry, publish_eval_stats
+from repro.obs.profile import NodeProfile, format_node_table
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "NodeProfile",
+    "format_node_table",
+    "publish_eval_stats",
+    "get_tracer",
+    "get_registry",
+    "set_tracing",
+    "tracing_enabled",
+    "telemetry_forced",
+    "reset_registry",
+]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def telemetry_forced() -> bool:
+    """True when ``REPRO_TELEMETRY`` force-enables tracing."""
+    return os.environ.get("REPRO_TELEMETRY", "").lower() in _TRUTHY
+
+
+_tracer = Tracer(enabled=telemetry_forced())
+_registry = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _tracer
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def set_tracing(enabled: bool) -> None:
+    """Turn span recording on or off process-wide."""
+    _tracer.enabled = bool(enabled)
+
+
+def tracing_enabled() -> bool:
+    """Whether the process-wide tracer is currently recording."""
+    return _tracer.enabled
+
+
+def reset_registry() -> MetricsRegistry:
+    """Swap in a fresh registry (worker processes and test isolation)."""
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry

@@ -1,0 +1,448 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Dependency-free, Prometheus-flavoured metrics.  Every long-lived
+component of the system — engines (via
+:func:`publish_eval_stats`), the measure store's commit path, the
+ingestor, the query service, and the HTTP front end — publishes into
+one process-wide registry, which renders as the Prometheus text
+exposition format (the ``/metrics`` route) or as JSON (the CLI's
+``--metrics-json``).
+
+Cross-process semantics: a registry serializes with :meth:`to_dict`
+and merges with :meth:`MetricsRegistry.merge_dict` — counters and
+histogram buckets *add* (work done is work done, whichever process
+did it), gauges take the *maximum* (every gauge in this system is a
+peak or a monotone level: peak hash-table entries, store generation,
+segment count), which is the honest footprint figure for
+shared-nothing workers that each pay their own peak in their own
+address space.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "publish_eval_stats",
+]
+
+#: Default histogram buckets for second-valued latencies: 1 ms .. 60 s.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+# -- canonical metric names (shared by publishers and scrapers) ------------
+
+ENGINE_RUNS = "repro_engine_runs_total"
+ENGINE_ROWS = "repro_engine_rows_scanned_total"
+ENGINE_SORT_SECONDS = "repro_engine_sort_seconds_total"
+ENGINE_SCAN_SECONDS = "repro_engine_scan_seconds_total"
+ENGINE_FLUSHED = "repro_engine_flushed_entries_total"
+ENGINE_RUN_SECONDS = "repro_engine_run_seconds"
+ENGINE_PEAK_ENTRIES = "repro_engine_peak_entries"
+STORE_GENERATION = "repro_store_generation"
+STORE_SEGMENTS = "repro_store_segments"
+STORE_FACTS = "repro_store_facts"
+STORE_COMMIT_SECONDS = "repro_store_commit_seconds"
+INGEST_BATCHES = "repro_ingest_batches_total"
+INGEST_RECORDS = "repro_ingest_records_total"
+INGEST_COMMIT_SECONDS = "repro_ingest_commit_seconds"
+QUERY_CACHE_HITS = "repro_query_cache_hits_total"
+QUERY_CACHE_MISSES = "repro_query_cache_misses_total"
+QUERY_SECONDS = "repro_query_seconds"
+HTTP_REQUESTS = "repro_http_requests_total"
+SINK_EMITTED = "repro_sink_emitted_total"
+
+
+class _Metric:
+    """Common shape: a named family with zero or more labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple, _Metric] = {}
+        if self.labelnames:
+            # A labelled family is only a container; samples live on
+            # children obtained through labels().
+            self._active = False
+        else:
+            self._active = True
+
+    def labels(self, **labelvalues) -> "_Metric":
+        """The child sample for one label-value combination."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.help)
+                self._init_child(child)
+                self._children[key] = child
+            return child
+
+    def _init_child(self, child: "_Metric") -> None:
+        """Hook for subclasses that carry configuration (buckets)."""
+
+    def _samples(self) -> Iterable[tuple[tuple, "_Metric"]]:
+        if self._active:
+            yield (), self
+        with self._lock:
+            items = sorted(self._children.items())
+        for key, child in items:
+            yield key, child
+
+    def _label_text(self, key: tuple, extra: str = "") -> str:
+        parts = [
+            f'{name}="{value}"'
+            for name, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{self._label_text(key)} "
+            f"{_format_value(child._value)}"
+            for key, child in self._samples()
+        ]
+
+    def dump(self) -> dict:
+        return {
+            key: child._value for key, child in self._samples()
+        }
+
+    def merge_sample(self, key: tuple, data: float) -> None:
+        target = self if not key else self.labels(
+            **dict(zip(self.labelnames, key))
+        )
+        with target._lock:
+            target._value += data
+
+
+class Gauge(_Metric):
+    """A level; merged across processes by maximum (peak semantics)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames=(), fn: Optional[Callable] = None):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if higher (peak tracking)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{self._label_text(key)} "
+            f"{_format_value(child.value)}"
+            for key, child in self._samples()
+        ]
+
+    def dump(self) -> dict:
+        return {key: child.value for key, child in self._samples()}
+
+    def merge_sample(self, key: tuple, data: float) -> None:
+        target = self if not key else self.labels(
+            **dict(zip(self.labelnames, key))
+        )
+        target.set_max(data)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative buckets, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames=(), buckets=LATENCY_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError(f"{self.name}: need at least one bucket")
+        self.bounds = bounds
+        # counts[i] counts observations <= bounds[i]; the +Inf bucket
+        # is implicit (== count).
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def _init_child(self, child: "Histogram") -> None:
+        child.bounds = self.bounds
+        child._counts = [0] * len(self.bounds)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def render(self) -> list[str]:
+        lines = []
+        for key, child in self._samples():
+            # _counts is already cumulative (observe increments every
+            # bucket whose bound covers the value).
+            for bound, bucket in zip(child.bounds, child._counts):
+                le = f'le="{_format_value(bound)}"'
+                lines.append(
+                    f"{self.name}_bucket{self._label_text(key, le)} "
+                    f"{bucket}"
+                )
+            inf_label = self._label_text(key, 'le="+Inf"')
+            lines.append(
+                f"{self.name}_bucket{inf_label} {child._count}"
+            )
+            lines.append(
+                f"{self.name}_sum{self._label_text(key)} "
+                f"{_format_value(child._sum)}"
+            )
+            lines.append(
+                f"{self.name}_count{self._label_text(key)} {child._count}"
+            )
+        return lines
+
+    def dump(self) -> dict:
+        return {
+            key: {
+                "buckets": list(child._counts),
+                "sum": child._sum,
+                "count": child._count,
+            }
+            for key, child in self._samples()
+        }
+
+    def merge_sample(self, key: tuple, data: dict) -> None:
+        target = self if not key else self.labels(
+            **dict(zip(self.labelnames, key))
+        )
+        with target._lock:
+            counts = data.get("buckets", [])
+            if len(counts) != len(target._counts):
+                raise ValueError(
+                    f"{self.name}: bucket layout mismatch on merge"
+                )
+            for i, c in enumerate(counts):
+                target._counts[i] += c
+            target._sum += data.get("sum", 0.0)
+            target._count += data.get("count", 0)
+
+
+class MetricsRegistry:
+    """One process's metric families, by name.
+
+    Getter methods are idempotent: asking for an existing name returns
+    the existing family (and validates that the kind matches), so
+    publishers and scrapers can both "declare" the metric they need
+    without coordinating creation order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, cls, name, help, labelnames, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames=labelnames, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name, help="", labelnames=()) -> Counter:
+        return self._get(Counter, name, help, labelnames)
+
+    def gauge(self, name, help="", labelnames=(), fn=None) -> Gauge:
+        return self._get(Gauge, name, help, labelnames, fn=fn)
+
+    def histogram(
+        self, name, help="", labelnames=(), buckets=LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def metrics(self) -> list[_Metric]:
+        with self._lock:
+            return [m for __, m in sorted(self._metrics.items())]
+
+    # -- exposition ----------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (also the cross-process wire format)."""
+        out = {}
+        for metric in self.metrics():
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "samples": [
+                    {"labels": list(key), "data": data}
+                    for key, data in metric.dump().items()
+                ],
+            }
+            if isinstance(metric, Histogram):
+                out[metric.name]["bounds"] = list(metric.bounds)
+        return out
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold another process's :meth:`to_dict` snapshot into this
+        registry: counters/histograms add, gauges take the max."""
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for name, family in data.items():
+            cls = kinds.get(family.get("kind"))
+            if cls is None:
+                continue
+            kwargs = {}
+            if cls is Histogram:
+                kwargs["buckets"] = tuple(
+                    family.get("bounds", LATENCY_BUCKETS)
+                )
+            metric = self._get(
+                cls,
+                name,
+                family.get("help", ""),
+                tuple(family.get("labelnames", ())),
+                **kwargs,
+            )
+            for sample in family.get("samples", []):
+                metric.merge_sample(
+                    tuple(sample.get("labels", ())), sample["data"]
+                )
+
+
+def engine_metrics(registry: MetricsRegistry) -> dict:
+    """Declare (or fetch) the engine metric family, by short key."""
+    return {
+        "runs": registry.counter(
+            ENGINE_RUNS, "Top-level engine evaluations completed"
+        ),
+        "rows": registry.counter(
+            ENGINE_ROWS, "Fact records scanned by engines"
+        ),
+        "sort_seconds": registry.counter(
+            ENGINE_SORT_SECONDS, "Seconds spent in engine sort phases"
+        ),
+        "scan_seconds": registry.counter(
+            ENGINE_SCAN_SECONDS, "Seconds spent in engine scan phases"
+        ),
+        "flushed": registry.counter(
+            ENGINE_FLUSHED, "Finalized entries flushed by engines"
+        ),
+        "run_seconds": registry.histogram(
+            ENGINE_RUN_SECONDS, "Wall-clock engine run duration"
+        ),
+        "peak_entries": registry.gauge(
+            ENGINE_PEAK_ENTRIES,
+            "Peak resident hash-table entries of any engine run "
+            "(per-process peak under shared-nothing parallelism)",
+        ),
+    }
+
+
+def publish_eval_stats(stats, registry: Optional[MetricsRegistry] = None):
+    """Publish one finished :class:`~repro.engine.interfaces.EvalStats`.
+
+    Called once per top-level engine run (sub-runs of the multi-pass
+    and partitioned engines are folded into their parent's stats and
+    must not double-publish; shared-nothing process workers publish
+    into their own registry, which the parent merges instead).
+    """
+    if registry is None:
+        from repro.obs import get_registry
+
+        registry = get_registry()
+    family = engine_metrics(registry)
+    family["runs"].inc()
+    family["rows"].inc(stats.rows_scanned)
+    family["sort_seconds"].inc(stats.sort_seconds)
+    family["scan_seconds"].inc(stats.scan_seconds)
+    family["flushed"].inc(stats.flushed_entries)
+    family["run_seconds"].observe(stats.total_seconds)
+    family["peak_entries"].set_max(stats.peak_entries)

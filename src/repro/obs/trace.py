@@ -1,0 +1,214 @@
+"""Hierarchical tracing spans with a Chrome trace-event exporter.
+
+The paper's evaluation (Section 6, Figures 6-7) is a cost *breakdown*:
+where do the seconds go — sorting, scanning, flushing, which node?
+This module records exactly that as spans: named, nested intervals
+with attributes, emitted in the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+(the ``chrome://tracing`` / Perfetto JSON), so a run can be *looked at*
+instead of summarized into one wall-clock number.
+
+Design constraints:
+
+- **off by default, near-zero cost when off** — a disabled tracer's
+  :meth:`Tracer.span` returns one shared no-op context manager and
+  records nothing;
+- **cross-process mergeable** — every event carries its ``pid``/``tid``
+  and a wall-clock-aligned microsecond timestamp, so events shipped
+  back from shared-nothing worker processes interleave correctly when
+  absorbed into the parent's tracer (:meth:`Tracer.absorb`);
+- **bounded** — a ``max_events`` cap guards against a pathological
+  span-per-cascade run exhausting memory; overflow is counted, not
+  silently ignored.
+
+Spans nest lexically (``with tracer.span("sort"): ...``); the exporter
+does not need an explicit parent pointer because the Chrome viewer
+derives nesting from interval containment per thread lane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **args) -> None:
+        """Discard attributes (the disabled-tracing fast path)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live interval; records a complete ("X") event when it exits."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = time.perf_counter()
+
+    def set(self, **args) -> None:
+        """Attach attributes to the span (shown in the trace viewer)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.add_complete(
+            self.name,
+            self.cat,
+            start_perf=self._start,
+            duration=time.perf_counter() - self._start,
+            args=self.args,
+        )
+
+
+class Tracer:
+    """Collects trace events; one per process (see :mod:`repro.obs`).
+
+    Args:
+        enabled: Record spans; when False every :meth:`span` call
+            returns the shared no-op span.
+        max_events: Hard cap on retained events; events past the cap
+            are dropped and counted in :attr:`dropped`.
+    """
+
+    def __init__(self, enabled: bool = False, max_events: int = 200_000):
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped = 0
+        # Wall-aligned monotonic clock: timestamps are
+        # (wall epoch + monotonic offset), so they are strictly ordered
+        # within the process yet comparable across processes.
+        self._epoch_wall = time.time()
+        self._epoch_perf = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+
+    def _timestamp_us(self, at_perf: float) -> int:
+        return int(
+            (self._epoch_wall + (at_perf - self._epoch_perf)) * 1_000_000
+        )
+
+    def span(self, name: str, cat: str = "", **args):
+        """A context manager recording one complete event on exit."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, cat, args)
+
+    def add_complete(
+        self,
+        name: str,
+        cat: str = "",
+        start_perf: Optional[float] = None,
+        duration: float = 0.0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record one already-measured interval (the hot-path API).
+
+        ``start_perf`` is a ``time.perf_counter()`` reading; when
+        omitted the interval is taken to end now.
+        """
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        if start_perf is None:
+            start_perf = time.perf_counter() - duration
+        event = {
+            "name": name,
+            "cat": cat or "repro",
+            "ph": "X",
+            "ts": self._timestamp_us(start_perf),
+            "dur": max(0, int(duration * 1_000_000)),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        """Record a zero-duration instant event."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        event = {
+            "name": name,
+            "cat": cat or "repro",
+            "ph": "i",
+            "s": "t",
+            "ts": self._timestamp_us(time.perf_counter()),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- merging / export ----------------------------------------------
+
+    def absorb(self, events: list) -> None:
+        """Merge events shipped from another process (or tracer).
+
+        Worker events already carry their own ``pid``/``tid`` and
+        wall-aligned timestamps, so absorption is a plain append; the
+        cap still applies.
+        """
+        for event in events:
+            if len(self.events) >= self.max_events:
+                self.dropped += len(events) - events.index(event)
+                break
+            self.events.append(event)
+
+    def take_events(self) -> list[dict]:
+        """Drain and return the recorded events (used by workers)."""
+        events, self.events = self.events, []
+        return events
+
+    def reset(self) -> None:
+        """Drop all recorded events and the overflow counter."""
+        self.events = []
+        self.dropped = 0
+
+    def export(self) -> dict:
+        """The Chrome trace JSON object (``{"traceEvents": [...]}``)."""
+        return {
+            "traceEvents": sorted(
+                self.events, key=lambda e: (e["pid"], e["tid"], e["ts"])
+            ),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs", "dropped": self.dropped},
+        }
+
+    def write(self, path: str) -> int:
+        """Write the Chrome trace JSON to ``path``; returns event count."""
+        payload = self.export()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return len(payload["traceEvents"])

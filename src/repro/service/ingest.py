@@ -28,10 +28,17 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.errors import ServiceError
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import (
+    INGEST_BATCHES,
+    INGEST_COMMIT_SECONDS,
+    INGEST_RECORDS,
+)
 from repro.aggregates.base import Kind
 from repro.cube.granularity import Granularity
 from repro.engine.compile import (
@@ -188,23 +195,28 @@ class Ingestor:
                 f"store {self.store.path!r} is not empty "
                 f"(generation {self.store.generation}); use ingest()"
             )
-        dataset = self._as_dataset(records)
-        state_aggs = {
-            node.name: node.agg.function
-            for node in self.graph.basic_nodes
-        }
-        sink = StoreSink(
-            self.store, state_aggs=state_aggs, autocommit=False
-        )
-        self._engine.evaluate(dataset, self.graph, sink=sink)
-        self._save_workflow()
-        commit = self.store.begin()
-        sink.stage_into(commit)
-        commit.append_facts(self.workflow.schema, dataset.scan())
-        commit.update_meta(
-            {"facts_complete": True, **(meta or {})}
-        )
-        return commit.commit()
+        tracer = get_tracer()
+        with tracer.span("service:bootstrap", cat="service") as span:
+            dataset = self._as_dataset(records)
+            state_aggs = {
+                node.name: node.agg.function
+                for node in self.graph.basic_nodes
+            }
+            sink = StoreSink(
+                self.store, state_aggs=state_aggs, autocommit=False
+            )
+            self._engine.evaluate(dataset, self.graph, sink=sink)
+            self._save_workflow()
+            with tracer.span("commit", cat="service"):
+                commit = self.store.begin()
+                sink.stage_into(commit)
+                commit.append_facts(self.workflow.schema, dataset.scan())
+                commit.update_meta(
+                    {"facts_complete": True, **(meta or {})}
+                )
+                generation = commit.commit()
+            span.set(generation=generation, records=len(dataset))
+            return generation
 
     def _save_workflow(self) -> None:
         path = os.path.join(self.store.path, WORKFLOW_FILE)
@@ -228,71 +240,107 @@ class Ingestor:
             raise ServiceError(
                 f"store {self.store.path!r} is empty; bootstrap() first"
             )
-        delta = self._as_dataset(records)
-        capture = _StateCaptureSink()
-        self._engine.evaluate(delta, self.graph, sink=capture)
+        tracer = get_tracer()
+        started = time.perf_counter()
+        ingest_span = tracer.span("service:ingest", cat="service")
+        ingest_span.__enter__()
+        try:
+            report = self._ingest_inner(records, tracer)
+            ingest_span.set(
+                generation=report.generation, records=report.records
+            )
+        finally:
+            ingest_span.__exit__(None, None, None)
+        duration = time.perf_counter() - started
+        registry = get_registry()
+        registry.counter(
+            INGEST_BATCHES, "Delta batches folded into the store"
+        ).inc()
+        registry.counter(
+            INGEST_RECORDS, "Fact records ingested across all batches"
+        ).inc(report.records)
+        registry.histogram(
+            INGEST_COMMIT_SECONDS,
+            "End-to-end latency of one ingest fold "
+            "(delta evaluation through manifest swap)",
+        ).observe(duration)
+        return report
+
+    def _ingest_inner(self, records, tracer) -> IngestReport:
+        with tracer.span("delta-eval", cat="service"):
+            delta = self._as_dataset(records)
+            capture = _StateCaptureSink()
+            self._engine.evaluate(delta, self.graph, sink=capture)
 
         commit = self.store.begin()
         report = IngestReport(generation=0, records=len(delta))
 
-        # 1. Merge delta states into stored states (non-holistic), or
-        #    mark affected regions dirty (holistic).
-        merged_tables: dict[str, dict] = {}
-        stored_states = set(self.store.state_nodes())
-        for node in self.graph.basic_nodes:
-            agg = node.agg.function
-            delta_states = capture.states.get(node.name, {})
-            if agg.kind is Kind.HOLISTIC:
-                commit.mark_dirty(node.name, delta_states.keys())
-                continue
-            if node.name in stored_states:
-                table = self.store.read_table(node.name, kind="states")
-            else:
-                table = {}
-            for key, delta_state in delta_states.items():
-                if key in table:
-                    table[key] = agg.merge(table[key], delta_state)
+        with tracer.span("fold", cat="service"):
+            # 1. Merge delta states into stored states (non-holistic),
+            #    or mark affected regions dirty (holistic).
+            merged_tables: dict[str, dict] = {}
+            stored_states = set(self.store.state_nodes())
+            for node in self.graph.basic_nodes:
+                agg = node.agg.function
+                delta_states = capture.states.get(node.name, {})
+                if agg.kind is Kind.HOLISTIC:
+                    commit.mark_dirty(node.name, delta_states.keys())
+                    continue
+                if node.name in stored_states:
+                    table = self.store.read_table(
+                        node.name, kind="states"
+                    )
                 else:
-                    table[key] = delta_state
-            merged_tables[node.name] = table
-            commit.put_states(
-                node.name, node.granularity, table, agg_name=agg.name
-            )
-            report.merged_nodes.append(node.name)
+                    table = {}
+                for key, delta_state in delta_states.items():
+                    if key in table:
+                        table[key] = agg.merge(table[key], delta_state)
+                    else:
+                        table[key] = delta_state
+                merged_tables[node.name] = table
+                commit.put_states(
+                    node.name, node.granularity, table, agg_name=agg.name
+                )
+                report.merged_nodes.append(node.name)
 
-        # 2. The deferred subgraph: every holistic basic node (its full
-        #    table is not materializable from states) plus all
-        #    transitive consumers.  Prior unresolved dirt carries over
-        #    through the commit's dirty bookkeeping.
-        holistic_names = [node.name for node in self._holistic_basics()]
-        closure = self._dirty_closure(holistic_names)
-        report.dirty_nodes = sorted(holistic_names)
+            # 2. The deferred subgraph: every holistic basic node (its
+            #    full table is not materializable from states) plus all
+            #    transitive consumers.  Prior unresolved dirt carries
+            #    over through the commit's dirty bookkeeping.
+            holistic_names = [
+                node.name for node in self._holistic_basics()
+            ]
+            closure = self._dirty_closure(holistic_names)
+            report.dirty_nodes = sorted(holistic_names)
 
-        # 3. Finalize merged basics and re-derive composites from
-        #    tables — no fact rescan on this path.
-        node_tables: dict[str, dict] = {
-            name: finalize_basic(self._node(name), table)
-            for name, table in merged_tables.items()
-        }
-        self._derive_composites(node_tables, skip=closure)
+            # 3. Finalize merged basics and re-derive composites from
+            #    tables — no fact rescan on this path.
+            node_tables: dict[str, dict] = {
+                name: finalize_basic(self._node(name), table)
+                for name, table in merged_tables.items()
+            }
+            self._derive_composites(node_tables, skip=closure)
 
-        # 4. Refresh servable outputs; defer those in the closure.
-        for out_name, (node, out_filter) in self.graph.outputs.items():
-            if node.name in closure:
-                commit.mark_measure_dirty(out_name)
-                report.deferred_measures.append(out_name)
-                continue
-            commit.put_values(
-                out_name,
-                node.granularity,
-                self._output_rows(node_tables, node, out_filter),
-            )
-            report.updated_measures.append(out_name)
+            # 4. Refresh servable outputs; defer those in the closure.
+            for out_name, (node, out_filter) in (
+                self.graph.outputs.items()
+            ):
+                if node.name in closure:
+                    commit.mark_measure_dirty(out_name)
+                    report.deferred_measures.append(out_name)
+                    continue
+                commit.put_values(
+                    out_name,
+                    node.granularity,
+                    self._output_rows(node_tables, node, out_filter),
+                )
+                report.updated_measures.append(out_name)
 
         # 5. The delta joins the fact log (resolution's input), and
         #    everything becomes visible at once.
-        commit.append_facts(self.workflow.schema, delta.scan())
-        report.generation = commit.commit()
+        with tracer.span("commit", cat="service"):
+            commit.append_facts(self.workflow.schema, delta.scan())
+            report.generation = commit.commit()
         return report
 
     def _node(self, name: str) -> Node:
@@ -316,6 +364,13 @@ class Ingestor:
         dirty_measures = self.store.dirty_measures()
         if not dirty_nodes and not dirty_measures:
             return False
+        with get_tracer().span(
+            "service:resolve", cat="service",
+            dirty_measures=sorted(dirty_measures),
+        ):
+            return self._resolve_inner(dirty_nodes, dirty_measures)
+
+    def _resolve_inner(self, dirty_nodes, dirty_measures) -> bool:
         if not self.store.meta().get("facts_complete"):
             raise ServiceError(
                 f"store {self.store.path!r} has dirty holistic measures "

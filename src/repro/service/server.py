@@ -26,7 +26,9 @@ front end built on the stdlib ``ThreadingHTTPServer`` is provided by
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
@@ -35,9 +37,21 @@ from urllib.parse import parse_qs, urlsplit
 from repro.errors import ServiceError
 from repro.aggregates.base import get_aggregate
 from repro.cube.granularity import Granularity
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import (
+    HTTP_REQUESTS,
+    QUERY_CACHE_HITS,
+    QUERY_CACHE_MISSES,
+    QUERY_SECONDS,
+    STORE_FACTS,
+    STORE_GENERATION,
+    STORE_SEGMENTS,
+)
 from repro.storage.table import MeasureTable
 from repro.service.ingest import IngestReport, Ingestor, load_workflow
 from repro.service.store import MeasureStore
+
+logger = logging.getLogger("repro.service")
 
 
 class MeasureService:
@@ -76,6 +90,37 @@ class MeasureService:
         self._caches: dict[str, OrderedDict] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        registry = get_registry()
+        self._hits_metric = registry.counter(
+            QUERY_CACHE_HITS, "Query-cache hits of the measure service"
+        )
+        self._misses_metric = registry.counter(
+            QUERY_CACHE_MISSES,
+            "Query-cache misses of the measure service",
+        )
+        self._query_seconds = registry.histogram(
+            QUERY_SECONDS,
+            "Measure-service read latency by operation",
+            labelnames=("op",),
+        )
+        # Store-shape gauges read the live store on scrape, so a
+        # serving process reports the current generation even when
+        # every commit so far happened in another process.
+        registry.gauge(
+            STORE_GENERATION,
+            "Current committed generation of the measure store",
+            fn=lambda: store.generation,
+        )
+        registry.gauge(
+            STORE_SEGMENTS,
+            "Segment files in the store's current manifest",
+            fn=store.segment_count,
+        )
+        registry.gauge(
+            STORE_FACTS,
+            "Fact records in the store's append-only log",
+            fn=store.fact_count,
+        )
 
     # -- cache plumbing ------------------------------------------------
 
@@ -83,9 +128,11 @@ class MeasureService:
         cache = self._caches.get(measure)
         if cache is None or cache_key not in cache:
             self.cache_misses += 1
+            self._misses_metric.inc()
             return None, False
         cache.move_to_end(cache_key)
         self.cache_hits += 1
+        self._hits_metric.inc()
         return cache[cache_key], True
 
     def _cache_put(self, measure: str, cache_key, value) -> None:
@@ -160,42 +207,69 @@ class MeasureService:
 
     # -- reads ---------------------------------------------------------
 
+    def _observe_query(self, op: str, started: float) -> None:
+        self._query_seconds.labels(op=op).observe(
+            time.perf_counter() - started
+        )
+
     def point(self, measure: str, key, default=None):
         """One region's value; ``default`` when the region is absent."""
         key = tuple(key)
-        with self._lock:
-            self._output(measure)
-            cached, hit = self._cache_get(measure, ("point", key))
-            if hit:
-                return cached
-            self._ensure_fresh(measure, key)
-            try:
-                value = self.store.point(measure, key)
-            except KeyError:
-                value = default
-            self._cache_put(measure, ("point", key), value)
-            return value
+        started = time.perf_counter()
+        with get_tracer().span(
+            "query:point", cat="query", measure=measure
+        ) as span:
+            with self._lock:
+                self._output(measure)
+                cached, hit = self._cache_get(measure, ("point", key))
+                if hit:
+                    span.set(cache="hit")
+                    self._observe_query("point", started)
+                    return cached
+                span.set(cache="miss")
+                self._ensure_fresh(measure, key)
+                try:
+                    value = self.store.point(measure, key)
+                except KeyError:
+                    value = default
+                self._cache_put(measure, ("point", key), value)
+                self._observe_query("point", started)
+                return value
 
     def range(self, measure: str, prefix=()) -> list:
         """All rows whose region key starts with ``prefix``, sorted."""
         prefix = tuple(prefix)
-        with self._lock:
-            self._output(measure)
-            cached, hit = self._cache_get(measure, ("range", prefix))
-            if hit:
-                return cached
-            self._ensure_fresh(measure, None)
-            rows = self.store.scan_prefix(measure, prefix)
-            self._cache_put(measure, ("range", prefix), rows)
-            return rows
+        started = time.perf_counter()
+        with get_tracer().span(
+            "query:range", cat="query", measure=measure
+        ) as span:
+            with self._lock:
+                self._output(measure)
+                cached, hit = self._cache_get(measure, ("range", prefix))
+                if hit:
+                    span.set(cache="hit")
+                    self._observe_query("range", started)
+                    return cached
+                span.set(cache="miss")
+                self._ensure_fresh(measure, None)
+                rows = self.store.scan_prefix(measure, prefix)
+                self._cache_put(measure, ("range", prefix), rows)
+                self._observe_query("range", started)
+                return rows
 
     def table(self, measure: str) -> MeasureTable:
         """The full measure table (uncached — callers keep the object)."""
-        with self._lock:
-            self._ensure_fresh(measure, None)
-            return self.store.measure_table(
-                measure, self.granularity_of(measure)
-            )
+        started = time.perf_counter()
+        with get_tracer().span(
+            "query:table", cat="query", measure=measure
+        ):
+            with self._lock:
+                self._ensure_fresh(measure, None)
+                table = self.store.measure_table(
+                    measure, self.granularity_of(measure)
+                )
+                self._observe_query("table", started)
+                return table
 
     def rollup(self, measure: str, spec, agg: str = "sum") -> MeasureTable:
         """Generalize a stored measure to a coarser granularity on read.
@@ -294,12 +368,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002
-        """Silence default stderr access logging."""
+        """Route access logs to the ``repro.service`` logger (debug)."""
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _count_request(self, route: str) -> None:
+        get_registry().counter(
+            HTTP_REQUESTS,
+            "HTTP requests served, by route",
+            labelnames=("route",),
+        ).labels(route=route).inc()
 
     def _send(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -315,7 +407,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             route = self._route()
             params = self._params()
-            if route == "/measures":
+            self._count_request(route)
+            if route == "/metrics":
+                # Prometheus scrape target: the whole process registry
+                # (service counters, store gauges, engine totals alike).
+                self._send_text(get_registry().render_prometheus())
+            elif route == "/measures":
                 self._send({"measures": self.service.measures()})
             elif route == "/stats":
                 self._send(self.service.stats())
@@ -364,6 +461,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         try:
+            self._count_request(self._route())
             if self._route() != "/ingest":
                 self._send(
                     {"error": f"unknown route {self._route()!r}"}, 404

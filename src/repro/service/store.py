@@ -37,10 +37,18 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from bisect import bisect_right
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import StorageError
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import (
+    STORE_COMMIT_SECONDS,
+    STORE_FACTS,
+    STORE_GENERATION,
+    STORE_SEGMENTS,
+)
 from repro.cube.granularity import Granularity
 from repro.schema.dataset_schema import DatasetSchema, Record
 from repro.storage.flatfile import FlatFileDataset, write_flatfile
@@ -225,6 +233,16 @@ class MeasureStore:
     def dirty_measures(self) -> set[str]:
         """Value tables whose contents are stale pending recompute."""
         return set(self.manifest["dirty"]["measures"])
+
+    def segment_count(self) -> int:
+        """Live segments the manifest references: one per value table,
+        one per state table, one per fact batch (index files are not
+        counted — they ride along with their segment)."""
+        return (
+            len(self.manifest["values"])
+            + len(self.manifest["states"])
+            + len(self.manifest["facts"])
+        )
 
     # -- reads ---------------------------------------------------------
 
@@ -530,6 +548,7 @@ class StoreCommit:
         if self._done:
             raise StorageError("commit object already finished")
         self._done = True
+        started = time.perf_counter()
         store = self.store
         old_manifest = store.manifest
         manifest = {
@@ -570,6 +589,29 @@ class StoreCommit:
                     )
                 except OSError:
                     pass
+        duration = time.perf_counter() - started
+        registry = get_registry()
+        registry.histogram(
+            STORE_COMMIT_SECONDS,
+            "Manifest-swap commit latency of the measure store",
+        ).observe(duration)
+        registry.gauge(
+            STORE_GENERATION, "Committed generation of the measure store"
+        ).set(manifest["generation"])
+        registry.gauge(
+            STORE_SEGMENTS,
+            "Live segments (value + state tables and fact batches)",
+        ).set(store.segment_count())
+        registry.gauge(
+            STORE_FACTS, "Fact records across all committed batches"
+        ).set(store.fact_count())
+        get_tracer().add_complete(
+            "store:commit",
+            cat="store",
+            start_perf=started,
+            duration=duration,
+            args={"generation": manifest["generation"]},
+        )
         return manifest["generation"]
 
 

@@ -125,6 +125,53 @@ class DirectorySink(FileSink):
     """
 
 
+class ObservedSink(Sink):
+    """Wraps a sink and publishes per-measure emission counts.
+
+    Counts accumulate in a local dict (one increment per emitted entry)
+    and land in the process metrics registry — the
+    ``repro_sink_emitted_total`` counter, labelled by measure — in one
+    batch at :meth:`close`, keeping the per-entry hot path free of
+    metric locks.
+    """
+
+    def __init__(self, inner: Sink) -> None:
+        self.inner = inner
+        self.wants_states = inner.wants_states
+        self._emitted: dict[str, int] = {}
+
+    def open_measure(self, name: str, granularity: Granularity) -> None:
+        self._emitted.setdefault(name, 0)
+        self.inner.open_measure(name, granularity)
+
+    def emit(self, name: str, key: tuple, value) -> None:
+        self._emitted[name] += 1
+        self.inner.emit(name, key, value)
+
+    def open_states(self, name: str, granularity: Granularity) -> None:
+        self.inner.open_states(name, granularity)
+
+    def emit_state(self, name: str, key: tuple, state) -> None:
+        self.inner.emit_state(name, key, state)
+
+    def close(self) -> None:
+        self.inner.close()
+        from repro.obs import get_registry
+        from repro.obs.metrics import SINK_EMITTED
+
+        counter = get_registry().counter(
+            SINK_EMITTED,
+            "Finalized entries emitted to sinks, by measure",
+            labelnames=("measure",),
+        )
+        for name, count in self._emitted.items():
+            if count:
+                counter.labels(measure=name).inc(count)
+
+    def result(self) -> Optional[dict[str, MeasureTable]]:
+        return self.inner.result()
+
+
 class TeeSink(Sink):
     """Fans every sink callback out to several child sinks.
 

@@ -1,0 +1,264 @@
+"""Engine-level telemetry: spans, stats merging, cross-process shipping."""
+
+import time
+
+import pytest
+
+from repro.data.synthetic import synthetic_dataset
+from repro.engine.interfaces import EvalStats
+from repro.engine.partitioned import PartitionedEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    reset_registry,
+    set_tracing,
+    telemetry_forced,
+)
+from repro.obs.metrics import ENGINE_RUNS
+from repro.schema.dataset_schema import synthetic_schema
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@pytest.fixture()
+def tracing():
+    """Enable the global tracer for one test, restoring it after."""
+    tracer = get_tracer()
+    tracer.reset()
+    set_tracing(True)
+    yield tracer
+    tracer.reset()
+    set_tracing(telemetry_forced())
+
+
+@pytest.fixture(scope="module")
+def small_schema():
+    return synthetic_schema(num_dimensions=2, levels=3, fanout=4)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return synthetic_dataset(2000, num_dimensions=2, levels=3, fanout=4)
+
+
+def picklable_workflow(schema):
+    """No closures anywhere, so it survives the process-pool pickle."""
+    wf = AggregationWorkflow(schema)
+    wf.basic("cnt", {"d0": "d0.L0", "d1": "d1.L0"})
+    wf.rollup("per_d0", {"d0": "d0.L0"}, source="cnt", agg="sum")
+    return wf
+
+
+class TestEvalStatsMerge:
+    def test_passes_accumulate(self):
+        total = EvalStats(passes=0)
+        total.merge(EvalStats(passes=1))
+        total.merge(EvalStats(passes=1))
+        assert total.passes == 2
+
+    def test_engine_adopted_when_empty(self):
+        total = EvalStats(passes=0)
+        total.merge(EvalStats(engine="sort-scan"))
+        assert total.engine == "sort-scan"
+        total.merge(EvalStats(engine="other"))
+        assert total.engine == "sort-scan"
+
+    def test_novel_notes_appended_duplicates_dropped(self):
+        total = EvalStats(notes="parent summary")
+        total.merge(EvalStats(notes="sort_key=<a>"))
+        total.merge(EvalStats(notes="sort_key=<a>"))
+        assert total.notes == "parent summary; sort_key=<a>"
+
+    def test_peak_is_max_totals_add(self):
+        total = EvalStats(passes=0)
+        total.merge(EvalStats(rows_scanned=10, peak_entries=5))
+        total.merge(EvalStats(rows_scanned=20, peak_entries=3))
+        assert total.rows_scanned == 30
+        assert total.peak_entries == 5
+
+    def test_workers_and_nodes_extend(self):
+        total = EvalStats(passes=0)
+        sub = EvalStats(nodes=[{"name": "cnt", "rows_in": 4}])
+        sub_outer = EvalStats(workers=[sub], nodes=list(sub.nodes))
+        total.merge(sub_outer)
+        assert total.workers == [sub]
+        assert total.nodes == [{"name": "cnt", "rows_in": 4}]
+
+
+class TestEvalStatsRoundTrip:
+    def test_round_trip_including_workers(self):
+        worker = EvalStats(
+            engine="sort-scan",
+            rows_scanned=10,
+            sort_seconds=0.1,
+            notes="w",
+            nodes=[{"name": "cnt", "rows_in": 10}],
+        )
+        stats = EvalStats(
+            engine="partitioned",
+            rows_scanned=10,
+            scans=2,
+            passes=2,
+            peak_entries=9,
+            notes="2 partitions",
+            workers=[worker],
+        )
+        back = EvalStats.from_dict(stats.to_dict())
+        assert back == stats
+        assert back.workers[0].nodes == worker.nodes
+
+    def test_from_dict_defaults_missing_fields(self):
+        back = EvalStats.from_dict({"engine": "x"})
+        assert back.engine == "x"
+        assert back.passes == 1
+        assert back.workers == []
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        stats = EvalStats(engine="e", workers=[EvalStats(engine="w")])
+        assert EvalStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        ) == stats
+
+
+class TestSortScanSpans:
+    def test_run_records_phase_spans(
+        self, tracing, small_schema, small_dataset
+    ):
+        wf = picklable_workflow(small_schema)
+        SortScanEngine().evaluate(
+            small_dataset, wf, publish_metrics=False
+        )
+        by_name = {}
+        for event in tracing.events:
+            by_name.setdefault(event["name"], []).append(event)
+        for phase in ("evaluate:sort-scan", "compile", "plan", "sort",
+                      "scan", "flush"):
+            assert phase in by_name, f"missing span {phase!r}"
+
+        def interval(event):
+            return event["ts"], event["ts"] + event["dur"]
+
+        outer_lo, outer_hi = interval(by_name["evaluate:sort-scan"][0])
+        for phase in ("compile", "plan", "sort", "scan"):
+            lo, hi = interval(by_name[phase][0])
+            assert outer_lo <= lo and hi <= outer_hi, phase
+
+    def test_disabled_tracer_records_nothing(
+        self, small_schema, small_dataset
+    ):
+        tracer = get_tracer()
+        saved = tracer.enabled
+        set_tracing(False)
+        tracer.reset()
+        try:
+            SortScanEngine().evaluate(
+                small_dataset,
+                picklable_workflow(small_schema),
+                publish_metrics=False,
+            )
+            assert tracer.events == []
+        finally:
+            tracer.enabled = saved
+
+    def test_disabled_overhead_is_small(
+        self, small_schema, small_dataset
+    ):
+        """Telemetry off must not slow evaluation down measurably.
+
+        Compares best-of-5 disabled-tracing runs against best-of-5
+        enabled runs; the disabled path doing *extra* work would show
+        up here.  The bound is generous (1.5x) to stay robust on
+        loaded CI machines.
+        """
+        wf = picklable_workflow(small_schema)
+        engine = SortScanEngine()
+        graph_warmup = engine.evaluate(
+            small_dataset, wf, publish_metrics=False
+        )
+        assert graph_warmup.stats.rows_scanned == len(small_dataset)
+
+        def best_of(runs: int) -> float:
+            best = float("inf")
+            for __ in range(runs):
+                started = time.perf_counter()
+                engine.evaluate(small_dataset, wf, publish_metrics=False)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        tracer = get_tracer()
+        saved = tracer.enabled
+        try:
+            set_tracing(True)
+            enabled = best_of(5)
+            set_tracing(False)
+            disabled = best_of(5)
+        finally:
+            tracer.reset()
+            tracer.enabled = saved
+        assert disabled <= enabled * 1.5 + 0.01
+
+
+class TestProfiling:
+    def test_profile_rows_land_in_stats(
+        self, small_schema, small_dataset
+    ):
+        wf = picklable_workflow(small_schema)
+        result = SortScanEngine(profile=True).evaluate(
+            small_dataset, wf, publish_metrics=False
+        )
+        nodes = {row["name"]: row for row in result.stats.nodes}
+        assert "cnt" in nodes and "per_d0" in nodes
+        assert nodes["cnt"]["rows_in"] == len(small_dataset)
+        assert nodes["cnt"]["rows_out"] > 0
+        assert nodes["cnt"]["flushes"] > 0
+        assert nodes["per_d0"]["rows_in"] > 0
+
+    def test_profile_off_keeps_nodes_empty(
+        self, small_schema, small_dataset
+    ):
+        result = SortScanEngine().evaluate(
+            small_dataset,
+            picklable_workflow(small_schema),
+            publish_metrics=False,
+        )
+        assert result.stats.nodes == []
+
+
+class TestCrossProcessShipping:
+    def test_worker_spans_and_metrics_reach_parent(
+        self, tracing, small_schema, small_dataset
+    ):
+        registry = reset_registry()
+        engine = PartitionedEngine(num_partitions=4, parallel="processes")
+        result = engine.evaluate(
+            small_dataset, picklable_workflow(small_schema)
+        )
+        assert "mode=processes" in result.stats.notes
+
+        partition_events = [
+            e for e in tracing.events if e["name"] == "partition"
+        ]
+        assert len(partition_events) == 4
+        import os
+
+        worker_pids = {e["pid"] for e in partition_events}
+        assert os.getpid() not in worker_pids
+
+        # Workers published into their own registries; the parent
+        # merged them and did not publish again on top.
+        runs = registry.counter(ENGINE_RUNS).value
+        assert runs == 4.0
+        assert getattr(result.stats, "published_by_workers", False)
+        assert result.stats.passes == 4
+        assert len(result.stats.workers) == 4
+
+    def test_serial_mode_publishes_once(
+        self, small_schema, small_dataset
+    ):
+        registry = reset_registry()
+        PartitionedEngine(num_partitions=4, parallel="serial").evaluate(
+            small_dataset, picklable_workflow(small_schema)
+        )
+        assert registry.counter(ENGINE_RUNS).value == 1.0

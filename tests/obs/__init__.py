@@ -1,0 +1,1 @@
+"""Tests for the telemetry layer (tracing, metrics, profiling)."""

@@ -1,0 +1,178 @@
+"""Tests for the metrics registry and its exposition formats."""
+
+import pytest
+
+from repro.engine.interfaces import EvalStats
+from repro.obs.metrics import (
+    ENGINE_RUNS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish_eval_stats,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counters_only_go_up(self):
+        c = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labels(self):
+        c = Counter("req_total", "help", labelnames=("route",))
+        c.labels(route="/a").inc()
+        c.labels(route="/a").inc()
+        c.labels(route="/b").inc()
+        assert c.dump() == {("/a",): 2.0, ("/b",): 1.0}
+        assert 'req_total{route="/a"} 2' in c.render()
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("req_total", "help", labelnames=("route",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.labels(nope="x")
+
+
+class TestGauge:
+    def test_set_and_peak(self):
+        g = Gauge("g", "help")
+        g.set(5)
+        g.set_max(3)
+        assert g.value == 5.0
+        g.set_max(9)
+        assert g.value == 9.0
+
+    def test_inc_dec(self):
+        g = Gauge("g", "help")
+        g.inc(4)
+        g.dec()
+        assert g.value == 3.0
+
+    def test_callback_gauge(self):
+        state = {"n": 7}
+        g = Gauge("g", "help", fn=lambda: state["n"])
+        assert g.value == 7.0
+        state["n"] = 8
+        assert g.value == 8.0
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_render(self):
+        h = Histogram("lat", "help", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        lines = h.render()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 3' in lines
+        assert 'lat_bucket{le="10"} 4' in lines
+        assert 'lat_bucket{le="+Inf"} 5' in lines
+        assert "lat_count 5" in lines
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError, match="bucket"):
+            Histogram("lat", "help", buckets=())
+
+    def test_merge_rejects_layout_mismatch(self):
+        h = Histogram("lat", "help", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="layout mismatch"):
+            h.merge_sample((), {"buckets": [1], "sum": 0, "count": 1})
+
+
+class TestRegistry:
+    def test_idempotent_declaration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_render_prometheus_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "counts a").inc(2)
+        reg.gauge("b_level", "level of b").set(1.5)
+        reg.histogram("c_seconds", "c latency", buckets=(1.0,)).observe(
+            0.5
+        )
+        text = reg.render_prometheus()
+        assert "# HELP a_total counts a" in text
+        assert "# TYPE a_total counter" in text
+        assert "a_total 2" in text
+        assert "# TYPE b_level gauge" in text
+        assert "b_level 1.5" in text
+        assert "# TYPE c_seconds histogram" in text
+        assert 'c_seconds_bucket{le="+Inf"} 1' in text
+        assert text.endswith("\n")
+
+    def test_merge_dict_semantics(self):
+        a = MetricsRegistry()
+        a.counter("work_total", "h").inc(3)
+        a.gauge("peak", "h").set(10)
+        a.histogram("lat", "h", buckets=(1.0, 5.0)).observe(0.5)
+
+        b = MetricsRegistry()
+        b.counter("work_total", "h").inc(4)
+        b.gauge("peak", "h").set(7)
+        b.histogram("lat", "h", buckets=(1.0, 5.0)).observe(3.0)
+
+        a.merge_dict(b.to_dict())
+        # Counters add: work done is work done, whichever process did it.
+        assert a.counter("work_total").value == 7.0
+        # Gauges take the max: per-process peak semantics.
+        assert a.gauge("peak").value == 10.0
+        hist = a.histogram("lat", buckets=(1.0, 5.0))
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(3.5)
+
+    def test_merge_dict_into_empty_registry(self):
+        src = MetricsRegistry()
+        src.counter("n_total", "h", labelnames=("k",)).labels(
+            k="a"
+        ).inc(2)
+        dst = MetricsRegistry()
+        dst.merge_dict(src.to_dict())
+        assert dst.counter("n_total").dump() == {("a",): 2.0}
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.histogram("lat", "h", buckets=(1.0,)).observe(0.2)
+        payload = json.loads(json.dumps(reg.to_dict()))
+        other = MetricsRegistry()
+        other.merge_dict(payload)
+        assert other.histogram("lat", buckets=(1.0,)).count == 1
+
+
+class TestPublishEvalStats:
+    def test_publishes_engine_family(self):
+        reg = MetricsRegistry()
+        stats = EvalStats(
+            engine="sort-scan",
+            rows_scanned=100,
+            sort_seconds=0.25,
+            scan_seconds=0.5,
+            total_seconds=0.8,
+            flushed_entries=40,
+            peak_entries=12,
+        )
+        publish_eval_stats(stats, registry=reg)
+        publish_eval_stats(stats, registry=reg)
+        assert reg.counter(ENGINE_RUNS).value == 2.0
+        assert (
+            reg.counter("repro_engine_rows_scanned_total").value == 200.0
+        )
+        assert reg.gauge("repro_engine_peak_entries").value == 12.0
+        assert reg.histogram("repro_engine_run_seconds").count == 2

@@ -1,0 +1,132 @@
+"""Tests for the span tracer and its Chrome trace-event exporter."""
+
+import json
+import os
+import time
+
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+def _span_interval(event):
+    return event["ts"], event["ts"] + event["dur"]
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", cat="x", a=1)
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(b=2)
+        assert tracer.events == []
+
+    def test_disabled_add_complete_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.add_complete("x", duration=0.5)
+        tracer.instant("y")
+        assert tracer.events == []
+        assert tracer.dropped == 0
+
+
+class TestRecording:
+    def test_span_records_complete_event(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", cat="test", size=3) as span:
+            span.set(rows=7)
+        (event,) = tracer.events
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["args"] == {"size": 3, "rows": 7}
+        assert event["pid"] == os.getpid()
+
+    def test_nested_spans_are_contained_intervals(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            time.sleep(0.002)
+            with tracer.span("inner"):
+                time.sleep(0.002)
+            time.sleep(0.002)
+        by_name = {e["name"]: e for e in tracer.events}
+        outer_lo, outer_hi = _span_interval(by_name["outer"])
+        inner_lo, inner_hi = _span_interval(by_name["inner"])
+        assert outer_lo <= inner_lo
+        assert inner_hi <= outer_hi
+
+    def test_max_events_cap_counts_drops(self):
+        tracer = Tracer(enabled=True, max_events=2)
+        for i in range(5):
+            tracer.add_complete(f"e{i}", duration=0.0)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+        assert tracer.export()["otherData"]["dropped"] == 3
+
+    def test_take_events_drains(self):
+        tracer = Tracer(enabled=True)
+        tracer.add_complete("a")
+        events = tracer.take_events()
+        assert [e["name"] for e in events] == ["a"]
+        assert tracer.events == []
+
+    def test_absorb_merges_foreign_events(self):
+        parent = Tracer(enabled=True)
+        parent.add_complete("parent-side")
+        worker = Tracer(enabled=True)
+        worker.add_complete("worker-side")
+        shipped = worker.take_events()
+        shipped[0]["pid"] = 99999  # as if from another process
+        parent.absorb(shipped)
+        names = {e["name"] for e in parent.events}
+        assert names == {"parent-side", "worker-side"}
+
+
+class TestExportSchema:
+    """The exported JSON must be valid Chrome trace-event format."""
+
+    def _sample_tracer(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", cat="engine"):
+            with tracer.span("inner", cat="engine", detail="x"):
+                pass
+        tracer.instant("mark", cat="engine")
+        return tracer
+
+    def test_export_schema(self):
+        payload = self._sample_tracer().export()
+        assert set(payload) == {
+            "traceEvents", "displayTimeUnit", "otherData",
+        }
+        assert payload["displayTimeUnit"] == "ms"
+        for event in payload["traceEvents"]:
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+            assert event["ph"] in ("X", "i")
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["dur"], int)
+                assert event["dur"] >= 0
+
+    def test_export_is_sorted_per_lane(self):
+        events = self._sample_tracer().export()["traceEvents"]
+        keys = [(e["pid"], e["tid"], e["ts"]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = str(tmp_path / "trace.json")
+        count = tracer.write(path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert count == len(payload["traceEvents"]) == 3
+        assert payload["otherData"]["producer"] == "repro.obs"
+
+    def test_timestamps_are_wall_aligned(self):
+        tracer = Tracer(enabled=True)
+        before = time.time() * 1_000_000
+        tracer.add_complete("now", duration=0.0)
+        after = time.time() * 1_000_000
+        ts = tracer.events[0]["ts"]
+        # Wall alignment is what makes cross-process merge meaningful.
+        assert before - 1_000_000 <= ts <= after + 1_000_000

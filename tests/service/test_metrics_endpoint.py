@@ -1,0 +1,140 @@
+"""The Prometheus ``/metrics`` route, scraped cold and under load."""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import reset_registry
+from repro.service import MeasureService, MeasureStore, make_server
+
+from tests.service.conftest import make_records
+
+
+@pytest.fixture()
+def service(tmp_path, mergeable_workflow):
+    # A fresh registry *before* the service exists: the service binds
+    # its cache counters at construction time.
+    reset_registry()
+    store = MeasureStore(str(tmp_path / "store"))
+    svc = MeasureService(store, mergeable_workflow)
+    svc.bootstrap(make_records(800, seed=50))
+    return svc
+
+
+@pytest.fixture()
+def http(service):
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def scrape(base_url):
+    with urllib.request.urlopen(f"{base_url}/metrics") as response:
+        assert response.status == 200
+        content_type = response.headers["Content-Type"]
+        return response.read().decode("utf-8"), content_type
+
+
+def metric_value(text, name):
+    for line in text.splitlines():
+        if line.startswith(f"{name} ") or line.startswith(f"{name}{{"):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"metric {name!r} not in exposition")
+
+
+class TestScrape:
+    def test_content_type_is_prometheus_text(self, http):
+        __, content_type = scrape(http)
+        assert "text/plain" in content_type
+        assert "version=0.0.4" in content_type
+
+    def test_acceptance_metrics_present(self, http, service):
+        # Warm the query path so cache counters exist with real values.
+        table = service.table("Count")
+        key = table.keys()[0]
+        service.point("Count", key)
+        service.point("Count", key)
+        text, __ = scrape(http)
+        # Store shape.
+        assert metric_value(text, "repro_store_segments") > 0
+        assert metric_value(text, "repro_store_generation") == 1
+        # Ingest/commit latency histogram (bootstrap committed once).
+        assert (
+            metric_value(text, "repro_store_commit_seconds_count") >= 1
+        )
+        # Query cache hit/miss counters.
+        assert metric_value(text, "repro_query_cache_misses_total") >= 1
+        assert metric_value(text, "repro_query_cache_hits_total") >= 1
+        # Engine sort/scan second counters (bootstrap ran the engine).
+        assert "# TYPE repro_engine_sort_seconds_total counter" in text
+        assert "# TYPE repro_engine_scan_seconds_total counter" in text
+        assert metric_value(text, "repro_engine_runs_total") >= 1
+
+    def test_ingest_latency_histogram_filled(self, http, service):
+        service.ingest(make_records(100, seed=51))
+        text, __ = scrape(http)
+        assert metric_value(text, "repro_ingest_batches_total") == 1
+        assert metric_value(text, "repro_ingest_records_total") == 100
+        assert (
+            metric_value(text, "repro_ingest_commit_seconds_count") == 1
+        )
+        assert 'le="+Inf"' in text
+
+    def test_http_requests_counted_by_route(self, http):
+        scrape(http)
+        text, __ = scrape(http)
+        route_metric = 'repro_http_requests_total{route="/metrics"}'
+        assert metric_value(text, route_metric) >= 1
+
+
+class TestConcurrentScrape:
+    def test_metrics_stable_under_ingest_and_query(self, http, service):
+        """Scrape /metrics while writers and readers hammer the store."""
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                table = service.table("Count")
+                keys = table.keys()[:8]
+                while not stop.is_set():
+                    for key in keys:
+                        service.point("Count", key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer():
+            try:
+                for seed in (52, 53, 54):
+                    service.ingest(make_records(60, seed=seed))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+            threading.Thread(target=writer),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            scrapes = [scrape(http)[0] for __ in range(10)]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert errors == []
+        final, __ = scrape(http)
+        assert metric_value(final, "repro_ingest_batches_total") == 3
+        assert (
+            metric_value(final, "repro_ingest_records_total") == 180
+        )
+        # Every mid-flight scrape was well-formed text exposition.
+        for text in scrapes:
+            for line in text.strip().splitlines():
+                assert line.startswith("#") or " " in line

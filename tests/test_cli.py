@@ -58,8 +58,8 @@ class TestGenerate:
             ]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "wrote" in out and "out.bin" in out
+        err = capsys.readouterr().err
+        assert "wrote" in err and "out.bin" in err
 
     def test_generate_csv(self, tmp_path, capsys):
         path = str(tmp_path / "data.csv")
@@ -267,8 +267,8 @@ class TestServiceCommands:
             ["ingest", "--store", store_dir, "--data", delta_file]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "ingested" in out and "generation 2" in out
+        err = capsys.readouterr().err
+        assert "ingested" in err and "generation 2" in err
 
     def test_empty_store_requires_query(
         self, tmp_path, honeynet_file, capsys
@@ -372,4 +372,4 @@ class TestRunExport:
         written = sorted(os.listdir(out_dir))
         assert "traffic.tsv" in written
         assert "alerts.tsv" in written
-        assert "written to" in capsys.readouterr().out
+        assert "written to" in capsys.readouterr().err

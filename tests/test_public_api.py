@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.data",
     "repro.queries",
     "repro.bench",
+    "repro.obs",
 ]
 
 
