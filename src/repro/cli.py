@@ -294,6 +294,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=10, help="rows to print"
     )
 
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection toolkit: fail points, oracles, crash sweep",
+    )
+    faults_sub = faults.add_subparsers(
+        dest="faults_command", required=True
+    )
+    faults_list = faults_sub.add_parser(
+        "list", help="show registered fail-point injection sites"
+    )
+    faults_list.add_argument(
+        "--scope", default=None,
+        help="only sites of one scope (store, ingest, sort, engine)",
+    )
+    faults_run = faults_sub.add_parser(
+        "run", help="run the metamorphic oracle batch over a seed range"
+    )
+    faults_run.add_argument(
+        "--seeds", type=int, default=50, help="number of seeds to check"
+    )
+    faults_run.add_argument(
+        "--start", type=int, default=0, help="first seed of the range"
+    )
+    faults_run.add_argument(
+        "--families", nargs="*", default=None,
+        help="oracle families to check (default: all)",
+    )
+    faults_sweep = faults_sub.add_parser(
+        "sweep",
+        help="kill a committing subprocess at every store/ingest "
+        "fail point and verify recovery",
+    )
+    faults_sweep.add_argument(
+        "--seed", type=int, default=0, help="RandomCase seed"
+    )
+    faults_sweep.add_argument(
+        "--action", choices=("crash", "torn-write"), default="crash",
+        help="what the armed site does before the process dies",
+    )
+    faults_sweep.add_argument(
+        "--sites", nargs="*", default=None,
+        help="site names to sweep (default: every store/ingest site)",
+    )
+
     serve = sub.add_parser(
         "serve", help="serve a measure store over JSON/HTTP"
     )
@@ -595,6 +639,77 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """``repro faults list|run|sweep`` — the correctness harness."""
+    if args.faults_command == "list":
+        from repro.testkit.failpoints import (
+            is_armed,
+            load_instrumented_sites,
+            registered,
+        )
+
+        load_instrumented_sites()
+        sites = registered(args.scope)
+        if not sites:
+            print(f"(no registered sites for scope {args.scope!r})")
+            return 0
+        for site in sites:
+            armed = " [armed]" if is_armed(site.name) else ""
+            print(f"{site.name:24s} {site.scope:8s} {site.doc}{armed}")
+        return 0
+
+    if args.faults_command == "run":
+        from repro.testkit.oracles import FAMILIES, run_batch
+
+        families = args.families or list(FAMILIES)
+        seeds = range(args.start, args.start + args.seeds)
+
+        def on_seed(seed, failures):
+            logger.info(
+                "seed %d: %s", seed,
+                "ok" if not failures else f"{len(failures)} FAILURES",
+            )
+
+        failures = run_batch(
+            seeds, families=families, on_seed=on_seed
+        )
+        for failure in failures:
+            print(failure.describe())
+        print(
+            f"checked {args.seeds} seeds x {len(families)} families "
+            f"({', '.join(families)}): "
+            f"{len(failures)} failure(s)"
+        )
+        return 1 if failures else 0
+
+    import tempfile
+
+    from repro.obs import get_registry
+    from repro.obs.metrics import FAILPOINT_TRIGGERS
+    from repro.testkit.sweeper import sweep
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as work_dir:
+        results = sweep(
+            work_dir,
+            seed=args.seed,
+            action=args.action,
+            sites=args.sites,
+            on_result=lambda result: print(result.describe()),
+        )
+    failed = [result for result in results if not result.ok]
+    triggers = get_registry().to_dict().get(FAILPOINT_TRIGGERS)
+    if triggers:
+        # Parent-process trigger counts; the children's counters died
+        # with them (that is the point), so this reflects local drills.
+        logger.info("fail-point triggers (this process): %s", triggers)
+    print(
+        f"swept {len(results)} sites (action={args.action}, "
+        f"seed={args.seed}): "
+        f"{'all recovered' if not failed else f'{len(failed)} FAILED'}"
+    )
+    return 1 if failed else 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import MeasureService, MeasureStore, make_server
 
@@ -630,6 +745,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "ingest": _cmd_ingest,
         "query": _cmd_query,
+        "faults": _cmd_faults,
         "serve": _cmd_serve,
     }
     try:

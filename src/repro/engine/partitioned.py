@@ -65,9 +65,15 @@ from repro.obs import (
 )
 from repro.storage.sink import MemorySink, Sink
 from repro.storage.table import Dataset, InMemoryDataset
+from repro.testkit.failpoints import fire, register
 
 #: Accepted values of the ``parallel`` knob.
 PARALLEL_MODES = ("serial", "threads", "processes")
+
+FP_WORKER = register(
+    "partitioned.worker", "engine",
+    "inside a shared-nothing process worker, before its partition scan",
+)
 
 
 def normalize_parallel_mode(parallel) -> str:
@@ -299,6 +305,7 @@ def _evaluate_partition(payload: bytes):
     parent can reassemble the run's full telemetry.
     """
     task: _ProcessTask = pickle.loads(payload)
+    fire(FP_WORKER)
     # Fork-started workers inherit the parent's recorded events and
     # metric values; both must be cleared or absorbing/merging in the
     # parent would double-count them.

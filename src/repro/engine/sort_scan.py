@@ -42,8 +42,18 @@ from repro.storage.external_sort import DEFAULT_RUN_SIZE, external_sort
 from repro.storage.flatfile import FlatFileDataset, write_flatfile
 from repro.storage.sink import Sink
 from repro.storage.table import Dataset, InMemoryDataset
+from repro.testkit.failpoints import fire, register
 
 _MISSING = object()
+
+FP_CASCADE = register(
+    "sortscan.cascade", "engine",
+    "at the start of every flush cascade of the one-pass scan",
+)
+FP_FINAL_FLUSH = register(
+    "sortscan.final-flush", "engine",
+    "at the final (end-of-scan) flush cascade",
+)
 
 
 def default_sort_key(graph: CompiledGraph) -> SortKey:
@@ -347,6 +357,9 @@ class SortScanEngine(Engine):
         stats: EvalStats,
         final: bool,
     ) -> None:
+        fire(FP_CASCADE)
+        if final:
+            fire(FP_FINAL_FLUSH)
         # Sampling the footprint every cascade is wasteful when the
         # position changes with nearly every record; every 32 cascades
         # captures the peak closely (resident state evolves slowly).

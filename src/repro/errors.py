@@ -68,6 +68,16 @@ class StorageError(ReproError):
     """A flat-file table is corrupt or was written with another schema."""
 
 
+class FailPointError(ReproError):
+    """A fault deliberately injected through :mod:`repro.testkit`.
+
+    Raised by armed fail points with the ``raise`` action, and for
+    malformed fail-point specs.  Deriving from :class:`ReproError`
+    keeps injected faults catchable alongside organic ones, while the
+    distinct type lets tests assert the fault came from the harness.
+    """
+
+
 class ServiceError(ReproError):
     """A measure-service request is invalid or cannot be satisfied.
 

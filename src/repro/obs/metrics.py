@@ -59,6 +59,7 @@ QUERY_CACHE_MISSES = "repro_query_cache_misses_total"
 QUERY_SECONDS = "repro_query_seconds"
 HTTP_REQUESTS = "repro_http_requests_total"
 SINK_EMITTED = "repro_sink_emitted_total"
+FAILPOINT_TRIGGERS = "repro_failpoint_triggers_total"
 
 
 class _Metric:

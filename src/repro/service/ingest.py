@@ -56,6 +56,27 @@ from repro.engine.sort_scan import SortScanEngine
 from repro.storage.sink import Sink
 from repro.storage.table import Dataset, InMemoryDataset
 from repro.service.store import MeasureStore, StoreSink
+from repro.testkit.failpoints import fire, register
+
+# Ingest-path injection sites, swept by repro.testkit.sweeper: a kill
+# at any of them must leave the store serving either the pre-delta or
+# the post-delta generation, never a mixture.
+FP_DELTA_EVAL = register(
+    "ingest.delta-eval", "ingest",
+    "after the delta batch is evaluated, before any staging",
+)
+FP_FOLD = register(
+    "ingest.fold", "ingest",
+    "after states are merged and tables staged, before the fact append",
+)
+FP_PRE_COMMIT = register(
+    "ingest.pre-commit", "ingest",
+    "after everything is staged, just before the manifest swap",
+)
+FP_POST_COMMIT = register(
+    "ingest.post-commit", "ingest",
+    "immediately after an ingest commit becomes visible",
+)
 
 #: File next to the manifest holding the pickled workflow, when the
 #: workflow is picklable (combine functions defined as lambdas are not;
@@ -271,6 +292,7 @@ class Ingestor:
             delta = self._as_dataset(records)
             capture = _StateCaptureSink()
             self._engine.evaluate(delta, self.graph, sink=capture)
+        fire(FP_DELTA_EVAL)
 
         commit = self.store.begin()
         report = IngestReport(generation=0, records=len(delta))
@@ -338,9 +360,12 @@ class Ingestor:
 
         # 5. The delta joins the fact log (resolution's input), and
         #    everything becomes visible at once.
+        fire(FP_FOLD)
         with tracer.span("commit", cat="service"):
             commit.append_facts(self.workflow.schema, delta.scan())
+            fire(FP_PRE_COMMIT)
             report.generation = commit.commit()
+        fire(FP_POST_COMMIT)
         return report
 
     def _node(self, name: str) -> Node:

@@ -54,6 +54,39 @@ from repro.schema.dataset_schema import DatasetSchema, Record
 from repro.storage.flatfile import FlatFileDataset, write_flatfile
 from repro.storage.sink import Sink
 from repro.storage.table import Dataset, MeasureTable
+from repro.testkit.failpoints import fire, register
+
+# Injection sites of the commit protocol and its recovery half; the
+# crash-recovery sweeper (repro.testkit.sweeper) enumerates the
+# ``store`` scope and kills a committing subprocess at each of these.
+FP_SEGMENT_WRITE = register(
+    "store.segment-write", "store",
+    "after a segment's rows are written, before its fsync",
+)
+FP_SEGMENT_FSYNC = register(
+    "store.segment-fsync", "store",
+    "after a segment data file is fsynced, before its index is written",
+)
+FP_FACTS_APPEND = register(
+    "store.facts-append", "store",
+    "after a fact batch lands on disk, before it is staged",
+)
+FP_MANIFEST_WRITE = register(
+    "store.manifest-write", "store",
+    "after the new manifest is written to its temp file, before the swap",
+)
+FP_MANIFEST_SWAP = register(
+    "store.manifest-swap", "store",
+    "immediately after the atomic manifest swap",
+)
+FP_REPLACED_GC = register(
+    "store.replaced-gc", "store",
+    "after the swap, before segments replaced by the commit are deleted",
+)
+FP_OPEN_GC = register(
+    "store.open-gc", "store",
+    "at the start of orphan collection when a store is opened",
+)
 
 _MANIFEST = "MANIFEST.json"
 _SEGMENT_DIR = "segments"
@@ -160,6 +193,13 @@ class MeasureStore:
         os.makedirs(self._segment_dir, exist_ok=True)
         self._index_cache: dict[str, dict] = {}
         manifest_path = os.path.join(path, _MANIFEST)
+        # A commit that crashed between writing the new manifest and
+        # swapping it in leaves a stale (possibly torn) temp file; it
+        # was never authoritative, so drop it on open.
+        try:
+            os.remove(manifest_path + ".tmp")
+        except OSError:
+            pass
         if os.path.exists(manifest_path):
             with open(manifest_path, "r", encoding="utf-8") as fh:
                 self.manifest = json.load(fh)
@@ -392,6 +432,7 @@ class MeasureStore:
         commit that crashed before its manifest swap are invisible (the
         manifest never pointed at them) and reclaimed here.
         """
+        fire(FP_OPEN_GC)
         referenced = self._referenced_files()
         try:
             present = os.listdir(self._segment_dir)
@@ -454,7 +495,9 @@ class StoreCommit:
                 line = _dump_row(key, value)
                 fh.write(line)
                 offset += len(line)
+            fire(FP_SEGMENT_WRITE, path=seg_path)
             _fsync_file(fh)
+        fire(FP_SEGMENT_FSYNC, path=seg_path)
         with open(idx_path, "w", encoding="utf-8") as fh:
             json.dump(
                 {"every": INDEX_EVERY, "entries": entries,
@@ -499,6 +542,7 @@ class StoreCommit:
         count = write_flatfile(path, schema, records)
         with open(path, "rb") as fh:
             os.fsync(fh.fileno())
+        fire(FP_FACTS_APPEND, path=path)
         self._staged_facts.append({"file": name, "rows": count})
         return count
 
@@ -579,8 +623,14 @@ class StoreCommit:
         with open(tmp_path, "w", encoding="utf-8") as fh:
             json.dump(manifest, fh)
             _fsync_file(fh)
+        fire(FP_MANIFEST_WRITE, path=tmp_path)
         os.replace(tmp_path, manifest_path)
+        # No path here: post-swap the manifest is authoritative, and a
+        # torn authoritative manifest is outside the protocol's fault
+        # model (fsync + atomic replace rule it out).
+        fire(FP_MANIFEST_SWAP)
         store.manifest = manifest
+        fire(FP_REPLACED_GC)
         for info in replaced:
             for filename in (info["file"], info["index"]):
                 try:

@@ -6,8 +6,11 @@ input into runs that fit the memory budget, sort each in memory, spill
 it, then ``heapq.merge`` all runs back in key order.
 
 Runs are spilled with ``pickle`` (records are plain tuples); spill files
-live in a caller-provided or temporary directory and are always removed,
-even when the consumer abandons the iterator early.
+live in a caller-provided or temporary directory and are always removed
+— even when the consumer abandons the iterator early, a spill write
+dies half way through, or a reader raises mid-merge.  Every spill path
+is claimed (and therefore tracked for cleanup) *before* its file is
+written, so a partially written run can never outlive the sort.
 """
 
 from __future__ import annotations
@@ -15,21 +18,31 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import shutil
 import tempfile
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.schema.dataset_schema import Record
+from repro.testkit.failpoints import fire, register
 
 #: Default run size: comfortably in-memory for tuple records.
 DEFAULT_RUN_SIZE = 200_000
 
+FP_SPILL = register(
+    "sort.spill", "sort",
+    "after one sorted run is spilled to disk",
+)
+FP_MERGE = register(
+    "sort.merge", "sort",
+    "after all runs are spilled, before the k-way merge starts",
+)
 
-def _spill_run(run: list, directory: str, index: int) -> str:
-    path = os.path.join(directory, f"run-{index:05d}.pkl")
+
+def _spill_run(run: list, path: str) -> None:
     with open(path, "wb") as fh:
         pickle.dump(run, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    return path
+    fire(FP_SPILL, path=path)
 
 
 def _read_run(path: str) -> Iterator[Record]:
@@ -74,9 +87,17 @@ def external_sort(
     own_tmp = tmp_dir is None
     directory = tempfile.mkdtemp(prefix="awra-sort-") if own_tmp else tmp_dir
     spill_paths: list[str] = []
+
+    def claim_path() -> str:
+        # Claimed before the write so a run that dies half way through
+        # is still removed by the cleanup below.
+        path = os.path.join(directory, f"run-{len(spill_paths):05d}.pkl")
+        spill_paths.append(path)
+        return path
+
     try:
         first_run.sort(key=key_fn)
-        spill_paths.append(_spill_run(first_run, directory, 0))
+        _spill_run(first_run, claim_path())
         del first_run
 
         run: list = []
@@ -84,15 +105,14 @@ def external_sort(
             run.append(record)
             if len(run) >= run_size:
                 run.sort(key=key_fn)
-                spill_paths.append(
-                    _spill_run(run, directory, len(spill_paths))
-                )
+                _spill_run(run, claim_path())
                 run = []
         if run:
             run.sort(key=key_fn)
-            spill_paths.append(_spill_run(run, directory, len(spill_paths)))
+            _spill_run(run, claim_path())
             del run
 
+        fire(FP_MERGE)
         streams = [_read_run(path) for path in spill_paths]
         yield from heapq.merge(*streams, key=key_fn)
     finally:
@@ -102,7 +122,6 @@ def external_sort(
             except OSError:
                 pass
         if own_tmp:
-            try:
-                os.rmdir(directory)
-            except OSError:
-                pass
+            # rmtree, not rmdir: even if a stray file somehow landed in
+            # the owned directory, the sort owns the whole tree.
+            shutil.rmtree(directory, ignore_errors=True)

@@ -1,0 +1,83 @@
+"""``repro.testkit`` — fault-injection and metamorphic correctness kit.
+
+Four pieces, all importable from production code paths at negligible
+cost:
+
+- :mod:`repro.testkit.failpoints` — a deterministic fail-point
+  registry with named injection sites woven through the hot paths
+  (store commits, ingestion, external sort, sort/scan cascades,
+  partitioned workers), armed via API or ``REPRO_FAILPOINT``;
+- :mod:`repro.testkit.generator` — the seeded random workflow/dataset
+  generator behind the differential harness, with structured recipes
+  and recipe shrinking;
+- :mod:`repro.testkit.oracles` — metamorphic oracle families (rewrite
+  equivalence, merge algebra, roll-up consistency, partition
+  invariance, ingest-vs-recompute) checked per seed;
+- :mod:`repro.testkit.sweeper` — the crash-recovery sweeper that kills
+  a committing subprocess at every registered store/ingest fail point
+  and asserts the reopened store is intact and equivalent.
+
+The CLI front door is ``repro faults`` (list / run / sweep).
+"""
+
+from repro.testkit.failpoints import (
+    CRASH_EXIT_CODE,
+    FailPointError,
+    FailPointSite,
+    activate,
+    clear,
+    deactivate,
+    failpoint,
+    fire,
+    is_armed,
+    register,
+    registered,
+    trigger_count,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FailPointError",
+    "FailPointSite",
+    "OracleFailure",
+    "RandomCase",
+    "SweepResult",
+    "activate",
+    "all_engines",
+    "assert_engines_agree",
+    "clear",
+    "deactivate",
+    "failpoint",
+    "fire",
+    "is_armed",
+    "register",
+    "registered",
+    "run_batch",
+    "run_seed",
+    "sweep",
+    "trigger_count",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports: the failpoints API must stay importable from
+    production hot paths without dragging every engine in."""
+    if name in ("all_engines", "assert_engines_agree"):
+        from repro.testkit import differential
+
+        return getattr(differential, name)
+    if name == "RandomCase":
+        from repro.testkit.generator import RandomCase
+
+        return RandomCase
+    if name in ("OracleFailure", "run_batch", "run_seed"):
+        from repro.testkit import oracles
+
+        return getattr(oracles, name)
+    if name in ("SweepResult", "sweep"):
+        from repro.testkit import sweeper
+
+        return getattr(sweeper, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,54 @@
+"""The differential core: every engine must compute identical tables.
+
+This module holds the engine roster and the agreement assertion the
+whole correctness harness is built on.  It lives in ``repro.testkit``
+(not in ``tests/``) so the metamorphic oracles, the crash-recovery
+sweeper, and the ``repro faults`` CLI can reuse it without importing
+the test suite; ``tests/conftest.py`` re-exports both names.
+"""
+
+from __future__ import annotations
+
+from repro.engine.multi_pass import MultiPassEngine
+from repro.engine.naive import RelationalEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+
+__all__ = ["all_engines", "assert_engines_agree"]
+
+
+def all_engines(budget: int = 50_000):
+    """One instance of every engine, streaming ones instrumented."""
+    return [
+        RelationalEngine(),
+        RelationalEngine(spool=False, reuse_subexpressions=True),
+        SingleScanEngine(),
+        SortScanEngine(assert_no_late_updates=True),
+        SortScanEngine(optimize=True, assert_no_late_updates=True),
+        MultiPassEngine(memory_budget_entries=budget),
+    ]
+
+
+def assert_engines_agree(
+    dataset, workflow, budget: int = 50_000, extra_engines=()
+):
+    """The central invariant: every engine computes identical tables.
+
+    ``extra_engines`` joins the standard roster — used by callers that
+    exercise engines with plan preconditions (e.g. the partitioned
+    engine rejects workflows whose measures hold the partition
+    dimension at ``D_ALL``, so it only joins when the workflow is known
+    to qualify).
+    """
+    engines = all_engines(budget) + list(extra_engines)
+    results = [engine.evaluate(dataset, workflow) for engine in engines]
+    reference = results[0]
+    for engine, result in zip(engines[1:], results[1:]):
+        for name in workflow.outputs():
+            ref_table = reference[name]
+            got_table = result[name]
+            assert ref_table.equal_rows(got_table), (
+                f"{engine.name} disagrees on {name!r}: "
+                f"{ref_table.diff(got_table)}"
+            )
+    return reference

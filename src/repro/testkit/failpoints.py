@@ -1,0 +1,291 @@
+"""Deterministic fail-point registry for fault-injection testing.
+
+A *fail point* is a named site woven into a hot path — the measure
+store's segment write/fsync/manifest swap/GC, the ingestor's commit,
+the external sort's spill, the sort/scan flush cascade, partitioned
+process workers.  Each site calls :func:`fire` with its name; when the
+site is not armed this is one dict truthiness check, so instrumented
+production paths stay effectively free.
+
+Arming a site attaches an *action*:
+
+- ``raise`` — raise :class:`~repro.errors.FailPointError` at the site;
+- ``crash`` — hard-exit the process (``os._exit``) with
+  :data:`CRASH_EXIT_CODE`, simulating a kill -9 mid-operation (used by
+  the crash-recovery sweeper, which runs the victim in a subprocess);
+- ``delay`` / ``delay:SECONDS`` — sleep at the site (races, in-flight
+  reads during slow ingests);
+- ``torn-write`` — truncate the file the site is writing to half its
+  current length, then hard-exit: a torn write followed by a crash.
+
+Activation is programmatic (:func:`activate`, the :func:`failpoint`
+context manager) or environmental: ``REPRO_FAILPOINT=name:action`` —
+comma-separated for several sites — is parsed at import time, which is
+how subprocesses of the crash sweeper get armed before any repro code
+runs.  Every trigger increments the
+``repro_failpoint_triggers_total{name=...}`` counter in the process
+metrics registry, so fault drills are visible in telemetry.
+
+Sites self-register at module import via :func:`register`, carrying a
+*scope* (``store``, ``ingest``, ``sort``, ``engine``).  The
+crash-recovery sweeper enumerates :func:`registered` scopes rather
+than a hand-written list, so a newly woven store or ingest site is
+swept automatically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FailPointError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FailPointError",
+    "FailPointSite",
+    "activate",
+    "clear",
+    "deactivate",
+    "failpoint",
+    "fire",
+    "is_armed",
+    "load_instrumented_sites",
+    "register",
+    "registered",
+    "trigger_count",
+]
+
+#: Exit status of a ``crash`` / ``torn-write`` action — chosen to be
+#: distinguishable from ordinary failures (1/2) and signal deaths.
+CRASH_EXIT_CODE = 77
+
+#: Environment variable holding ``name:action[,name:action...]`` specs.
+ENV_VAR = "REPRO_FAILPOINT"
+
+_ACTIONS = ("raise", "crash", "delay", "torn-write")
+
+
+@dataclass(frozen=True)
+class FailPointSite:
+    """One registered injection site."""
+
+    name: str
+    scope: str
+    doc: str = ""
+
+
+class _Armed:
+    """An armed site: parsed action plus trigger bookkeeping."""
+
+    __slots__ = ("name", "action", "param", "hits")
+
+    def __init__(self, name: str, action: str, param: Optional[float]):
+        self.name = name
+        self.action = action
+        self.param = param
+        self.hits = 0
+
+
+_lock = threading.Lock()
+_SITES: dict[str, FailPointSite] = {}
+_ARMED: dict[str, _Armed] = {}
+_HITS: dict[str, int] = {}
+
+
+def register(name: str, scope: str, doc: str = "") -> str:
+    """Register an injection site; returns ``name`` for use at the site.
+
+    Idempotent: re-registering the same name replaces the doc (modules
+    may be reloaded by tests) but keeps one entry.
+    """
+    with _lock:
+        _SITES[name] = FailPointSite(name=name, scope=scope, doc=doc)
+    return name
+
+
+def registered(scope: Optional[str] = None) -> list[FailPointSite]:
+    """All registered sites (optionally one scope), sorted by name."""
+    with _lock:
+        sites = sorted(_SITES.values(), key=lambda site: site.name)
+    if scope is None:
+        return sites
+    return [site for site in sites if site.scope == scope]
+
+
+def load_instrumented_sites() -> None:
+    """Import every module that weaves fail points, populating the
+    registry.  Sites register at module import, so enumerators (the
+    CLI's ``faults list``, the crash sweeper) call this first to see
+    the full set regardless of what happens to be imported already."""
+    import repro.engine.partitioned  # noqa: F401
+    import repro.engine.sort_scan  # noqa: F401
+    import repro.service.ingest  # noqa: F401
+    import repro.service.store  # noqa: F401
+    import repro.storage.external_sort  # noqa: F401
+
+
+def _parse(name: str, action_spec: str) -> _Armed:
+    action, __, raw_param = action_spec.partition(":")
+    action = action.strip()
+    if action not in _ACTIONS:
+        raise FailPointError(
+            f"unknown fail-point action {action!r} for {name!r}; "
+            f"expected one of {_ACTIONS}"
+        )
+    param: Optional[float] = None
+    if raw_param:
+        try:
+            param = float(raw_param)
+        except ValueError:
+            raise FailPointError(
+                f"malformed fail-point parameter {raw_param!r} "
+                f"in {name}:{action_spec}"
+            ) from None
+    return _Armed(name, action, param)
+
+
+def activate(name: str, action: str, force: bool = False) -> None:
+    """Arm one site with ``action`` (e.g. ``"raise"``, ``"delay:0.1"``).
+
+    Unknown site names are rejected unless ``force`` is set — the
+    environment path uses ``force`` because it is parsed before the
+    instrumented modules have imported and registered their sites.
+    """
+    armed = _parse(name, action)
+    with _lock:
+        if not force and name not in _SITES:
+            raise FailPointError(
+                f"unknown fail point {name!r}; registered: "
+                f"{sorted(_SITES)}"
+            )
+        _ARMED[name] = armed
+
+
+def deactivate(name: str) -> None:
+    """Disarm one site (a no-op when it was not armed)."""
+    with _lock:
+        _ARMED.pop(name, None)
+
+
+def clear() -> None:
+    """Disarm every site and reset trigger counts."""
+    with _lock:
+        _ARMED.clear()
+        _HITS.clear()
+
+
+def is_armed(name: str) -> bool:
+    """True when ``name`` currently has an action attached."""
+    return name in _ARMED
+
+
+def trigger_count(name: str) -> int:
+    """How many times ``name`` has fired since the last :func:`clear`."""
+    return _HITS.get(name, 0)
+
+
+@contextmanager
+def failpoint(name: str, action: str):
+    """Arm ``name`` for the duration of a ``with`` block."""
+    activate(name, action)
+    try:
+        yield
+    finally:
+        deactivate(name)
+
+
+def fire(name: str, path: Optional[str] = None) -> None:
+    """The injection site: trigger ``name``'s action if armed.
+
+    ``path`` names the file the site is currently writing, consumed by
+    the ``torn-write`` action.  When nothing at all is armed this
+    returns after a single dict truthiness check.
+    """
+    if not _ARMED:
+        return
+    armed = _ARMED.get(name)
+    if armed is None:
+        return
+    _trigger(armed, path)
+
+
+def _trigger(armed: _Armed, path: Optional[str]) -> None:
+    armed.hits += 1
+    with _lock:
+        _HITS[armed.name] = _HITS.get(armed.name, 0) + 1
+    _count_trigger(armed.name, armed.action)
+    action = armed.action
+    if action == "delay":
+        time.sleep(armed.param if armed.param is not None else 0.05)
+        return
+    if action == "raise":
+        raise FailPointError(
+            f"fail point {armed.name!r} triggered (action=raise)"
+        )
+    if action == "torn-write" and path is not None:
+        _tear(path)
+    # crash, or torn-write without a file to tear: hard exit, skipping
+    # atexit handlers and buffered-stream flushes — as close to kill -9
+    # as one process can do to itself.
+    os._exit(CRASH_EXIT_CODE)
+
+
+def _tear(path: str) -> None:
+    """Truncate ``path`` to half its length (best effort)."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(size // 2)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError:
+        pass
+
+
+def _count_trigger(name: str, action: str) -> None:
+    # Imported lazily: repro.obs must stay importable without testkit
+    # and vice versa, and a trigger is never on a per-record path.
+    try:
+        from repro.obs import get_registry
+        from repro.obs.metrics import FAILPOINT_TRIGGERS
+
+        get_registry().counter(
+            FAILPOINT_TRIGGERS,
+            "Fail-point actions triggered, by site name",
+            labelnames=("name", "action"),
+        ).labels(name=name, action=action).inc()
+    except Exception:  # pragma: no cover - metrics must never mask faults
+        pass
+
+
+def install_from_env(env: Optional[str] = None) -> list[str]:
+    """Arm sites from a ``name:action[,name:action...]`` spec string.
+
+    Called at import with the :data:`ENV_VAR` value so crash-sweeper
+    subprocesses arm their fail point before any instrumented module
+    runs.  Returns the armed site names.
+    """
+    if env is None:
+        env = os.environ.get(ENV_VAR, "")
+    armed = []
+    for chunk in env.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, action = chunk.partition(":")
+        if not sep:
+            raise FailPointError(
+                f"malformed {ENV_VAR} entry {chunk!r}; "
+                "expected name:action"
+            )
+        activate(name.strip(), action.strip(), force=True)
+        armed.append(name.strip())
+    return armed
+
+
+install_from_env()

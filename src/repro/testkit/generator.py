@@ -1,0 +1,482 @@
+"""Seeded random workflow/dataset generator with shrinkable recipes.
+
+A :class:`RandomCase` is fully determined by its seed: a random
+dataset, a random-but-valid workflow (random granularities, rollup
+chains, sibling windows, lag sets, and a mix of distributive,
+algebraic, and holistic aggregates), and a partition count.  The same
+generator feeds the differential tests, the metamorphic oracles
+(:mod:`repro.testkit.oracles`), and the crash-recovery sweeper
+(:mod:`repro.testkit.sweeper`).
+
+Beyond the printable recipe (one builder call per line, reprinted by
+every failure message), the workflow is recorded as structured
+:class:`Step` records — each knows its name, the measures it depends
+on, and how to re-issue its builder call.  That makes a failing case
+*shrinkable*: :func:`shrink_steps` greedily deletes steps (dragging
+their dependents along, so the reduced recipe is always valid) while
+the caller-supplied predicate keeps failing, yielding a 1-minimal
+reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.algebra.conditions import Lags
+from repro.cube.granularity import Granularity
+from repro.engine.partitioned import PartitionedEngine
+from repro.storage.table import InMemoryDataset
+from repro.testkit.differential import assert_engines_agree
+from repro.workflow.workflow import AggregationWorkflow
+
+__all__ = [
+    "ALGEBRAIC",
+    "ALL_AGGS",
+    "DISTRIBUTIVE",
+    "HOLISTIC",
+    "PARTITION_DIM",
+    "RandomCase",
+    "Step",
+    "build_workflow",
+    "ingestion_divergence",
+    "shrink_steps",
+]
+
+#: Aggregates by Gray et al. class; every class must be exercised.
+DISTRIBUTIVE = ["count", "sum", "min", "max"]
+ALGEBRAIC = ["avg", "var"]
+HOLISTIC = ["median", "count_distinct"]
+ALL_AGGS = DISTRIBUTIVE + ALGEBRAIC + HOLISTIC
+
+#: Dimension the partitioned engine splits on; the generator keeps it
+#: below ``D_ALL`` in every measure so partition planning never rejects.
+PARTITION_DIM = 0
+
+
+@dataclass(frozen=True)
+class Step:
+    """One workflow builder call of a generated recipe.
+
+    ``deps`` names the measures this step reads, so deleting a step
+    during shrinking can drag its transitive dependents along and the
+    reduced recipe stays buildable.  ``payload`` exposes the call's
+    arguments (granularity, agg, windows, ...) so the metamorphic
+    oracles can derive variant workflows from a recipe without parsing
+    its printable lines.
+    """
+
+    kind: str
+    name: str
+    deps: tuple[str, ...]
+    build: Callable[[AggregationWorkflow], None]
+    line: str
+    payload: dict
+
+
+def build_workflow(
+    schema, steps: Sequence[Step], name: str = "rebuilt"
+) -> AggregationWorkflow:
+    """Re-issue a recipe's builder calls against a fresh workflow."""
+    wf = AggregationWorkflow(schema, name=name)
+    for step in steps:
+        step.build(wf)
+    return wf
+
+
+def _drop_with_dependents(
+    steps: Sequence[Step], victim: Step
+) -> list[Step]:
+    """``steps`` minus ``victim`` and everything depending on it.
+
+    Steps are in builder order (topological), so one forward pass
+    closes the dependency set.
+    """
+    dropped = {victim.name}
+    kept: list[Step] = []
+    for step in steps:
+        if step.name in dropped or any(
+            dep in dropped for dep in step.deps
+        ):
+            dropped.add(step.name)
+            continue
+        kept.append(step)
+    return kept
+
+
+def shrink_steps(
+    schema,
+    steps: Sequence[Step],
+    still_fails: Callable[[AggregationWorkflow], bool],
+) -> list[Step]:
+    """Greedy 1-minimal reduction of a failing recipe.
+
+    Repeatedly tries to delete one step (plus its dependents); a
+    deletion sticks when ``still_fails`` still returns True for the
+    reduced workflow.  A predicate that *raises* on a candidate is
+    treated as "does not reproduce" — only the original failure
+    counts.  Returns the surviving steps (possibly all of them).
+    """
+    current = list(steps)
+    changed = True
+    while changed:
+        changed = False
+        for victim in reversed(list(current)):
+            candidate = _drop_with_dependents(current, victim)
+            if len(candidate) == len(current):
+                continue
+            try:
+                reproduces = still_fails(
+                    build_workflow(schema, candidate)
+                )
+            except Exception:
+                reproduces = False
+            if reproduces:
+                current = candidate
+                changed = True
+    return current
+
+
+class RandomCase:
+    """One differential test case, fully determined by its seed."""
+
+    def __init__(self, seed: int, schema) -> None:
+        self.seed = seed
+        self.schema = schema
+        self.recipe: list[str] = []
+        self.steps: list[Step] = []
+        rng = random.Random(seed)
+        self.dataset = self._random_dataset(rng)
+        self.workflow = self._random_workflow(rng)
+        self.num_partitions = rng.randint(2, 5)
+
+    # -- building blocks ------------------------------------------------
+
+    def _random_dataset(self, rng: random.Random) -> InMemoryDataset:
+        count = rng.randint(150, 450)
+        records = [
+            (
+                rng.randrange(64),
+                rng.randrange(64),
+                rng.randrange(64),
+                round(rng.random() * 100, 3),
+            )
+            for __ in range(count)
+        ]
+        self.recipe.append(f"# dataset: {count} uniform records")
+        return InMemoryDataset(self.schema, records)
+
+    def _random_granularity(self, rng: random.Random) -> Granularity:
+        """A random granularity with the partition dimension non-ALL."""
+        schema = self.schema
+        levels = []
+        for i, dim in enumerate(schema.dimensions):
+            if i == PARTITION_DIM:
+                # Keep the partition dimension fine enough for rollups
+                # *and* strictly below ALL for partition planning.
+                levels.append(rng.randint(0, dim.all_level - 2))
+            else:
+                levels.append(rng.randint(0, dim.all_level))
+        return Granularity(schema, levels)
+
+    def _coarsen(
+        self, rng: random.Random, gran: Granularity
+    ) -> Granularity | None:
+        """A strictly coarser granularity (partition dim kept non-ALL)."""
+        schema = self.schema
+        levels = list(gran.levels)
+        raisable = [
+            i
+            for i, level in enumerate(levels)
+            if level
+            < (
+                schema.dimensions[i].all_level - 1
+                if i == PARTITION_DIM
+                else schema.dimensions[i].all_level
+            )
+        ]
+        if not raisable:
+            return None
+        for i in rng.sample(raisable, rng.randint(1, len(raisable))):
+            cap = schema.dimensions[i].all_level
+            if i == PARTITION_DIM:
+                cap -= 1
+            levels[i] = rng.randint(levels[i] + 1, cap)
+        return Granularity(schema, levels)
+
+    def _windowable_dims(self, gran: Granularity) -> list[int]:
+        return [
+            i
+            for i, level in enumerate(gran.levels)
+            if level != self.schema.dimensions[i].all_level
+        ]
+
+    # -- workflow generation --------------------------------------------
+
+    def _step(
+        self, wf: AggregationWorkflow, step: Step
+    ) -> None:
+        """Record one builder call and apply it to the live workflow."""
+        step.build(wf)
+        self.steps.append(step)
+        self.recipe.append(step.line)
+
+    def _random_workflow(self, rng: random.Random) -> AggregationWorkflow:
+        schema = self.schema
+        wf = AggregationWorkflow(schema, name=f"rand{self.seed}")
+        sources: list[str] = []
+
+        def spec(gran: Granularity) -> dict:
+            return {
+                schema.dimensions[i].name: schema.dimensions[i]
+                .hierarchy.domain(level)
+                .name
+                for i, level in enumerate(gran.levels)
+                if level != schema.dimensions[i].all_level
+            }
+
+        for b in range(rng.randint(1, 2)):
+            gran = self._random_granularity(rng)
+            agg = rng.choice(ALL_AGGS)
+            agg_spec = "count" if agg == "count" else (agg, "v")
+            name = f"base{b}"
+            self._step(
+                wf,
+                Step(
+                    kind="basic",
+                    name=name,
+                    deps=(),
+                    build=lambda w, _n=name, _g=gran, _a=agg_spec: (
+                        w.basic(_n, _g, agg=_a)
+                    ),
+                    line=(
+                        f"wf.basic({name!r}, {spec(gran)}, "
+                        f"agg={agg_spec!r})"
+                    ),
+                    payload={"granularity": gran, "agg": agg_spec},
+                ),
+            )
+            sources.append(name)
+
+        for d in range(rng.randint(1, 3)):
+            source = rng.choice(sources)
+            gran = wf[source].granularity
+            kind = rng.choice(["rollup", "window", "lags"])
+            agg = rng.choice(ALL_AGGS)
+            name = f"m{d}"
+            if kind == "rollup":
+                coarser = self._coarsen(rng, gran)
+                if coarser is None:
+                    continue
+                self._step(
+                    wf,
+                    Step(
+                        kind="rollup",
+                        name=name,
+                        deps=(source,),
+                        build=lambda w, _n=name, _g=coarser,
+                        _s=source, _a=agg: (
+                            w.rollup(_n, _g, source=_s, agg=_a)
+                        ),
+                        line=(
+                            f"wf.rollup({name!r}, {spec(coarser)}, "
+                            f"source={source!r}, agg={agg!r})"
+                        ),
+                        payload={
+                            "granularity": coarser,
+                            "source": source,
+                            "agg": agg,
+                        },
+                    ),
+                )
+            elif kind == "window":
+                dims = self._windowable_dims(gran)
+                chosen = rng.sample(
+                    dims, rng.randint(1, min(2, len(dims)))
+                )
+                windows = {
+                    schema.dimensions[i].name: (
+                        rng.randint(0, 3),
+                        rng.randint(0, 3),
+                    )
+                    for i in chosen
+                }
+                self._step(
+                    wf,
+                    Step(
+                        kind="moving_window",
+                        name=name,
+                        deps=(source,),
+                        build=lambda w, _n=name, _g=gran, _s=source,
+                        _w=windows, _a=agg: (
+                            w.moving_window(
+                                _n, _g, source=_s, windows=_w, agg=_a
+                            )
+                        ),
+                        line=(
+                            f"wf.moving_window({name!r}, {spec(gran)}, "
+                            f"source={source!r}, windows={windows}, "
+                            f"agg={agg!r})"
+                        ),
+                        payload={
+                            "granularity": gran,
+                            "source": source,
+                            "windows": windows,
+                            "agg": agg,
+                        },
+                    ),
+                )
+            else:
+                dims = self._windowable_dims(gran)
+                lag_dim = schema.dimensions[rng.choice(dims)].name
+                deltas = tuple(
+                    sorted(
+                        rng.sample(range(-8, 9), rng.randint(1, 3))
+                    )
+                )
+                cond = Lags({lag_dim: deltas})
+                self._step(
+                    wf,
+                    Step(
+                        kind="match",
+                        name=name,
+                        deps=(source,),
+                        build=lambda w, _n=name, _g=gran, _s=source,
+                        _c=cond, _a=agg: (
+                            w.match(_n, _g, source=_s, cond=_c, agg=_a)
+                        ),
+                        line=(
+                            f"wf.match({name!r}, {spec(gran)}, "
+                            f"source={source!r}, "
+                            f"cond=Lags({{{lag_dim!r}: {deltas}}}), "
+                            f"agg={agg!r})"
+                        ),
+                        payload={
+                            "granularity": gran,
+                            "source": source,
+                            "cond": cond,
+                            "agg": agg,
+                        },
+                    ),
+                )
+            sources.append(name)
+        return wf
+
+    # -- reproduction helpers -------------------------------------------
+
+    def recipe_text(self, indent: str = "    ") -> str:
+        return "\n".join(f"{indent}{line}" for line in self.recipe)
+
+    def rebuild_workflow(
+        self, steps: Sequence[Step] | None = None
+    ) -> AggregationWorkflow:
+        """A fresh workflow from (a subset of) this case's steps."""
+        return build_workflow(
+            self.schema,
+            self.steps if steps is None else steps,
+            name=f"rand{self.seed}",
+        )
+
+    def shrink(
+        self, still_fails: Callable[[AggregationWorkflow], bool]
+    ) -> list[Step]:
+        """Minimize this case's recipe against ``still_fails``."""
+        return shrink_steps(self.schema, self.steps, still_fails)
+
+    # -- the differential assertion -------------------------------------
+
+    def partitioned_engines(self) -> list[PartitionedEngine]:
+        return [
+            PartitionedEngine(
+                partition_dim=PARTITION_DIM,
+                num_partitions=self.num_partitions,
+                parallel=mode,
+            )
+            for mode in ("serial", "threads", "processes")
+        ]
+
+    def check(self) -> None:
+        try:
+            assert_engines_agree(
+                self.dataset,
+                self.workflow,
+                extra_engines=self.partitioned_engines(),
+            )
+        except AssertionError as exc:
+            raise AssertionError(
+                f"engines disagree for seed={self.seed} "
+                f"(partitions={self.num_partitions}).\n"
+                f"Reproduce with RandomCase({self.seed}, schema); "
+                f"shrink by deleting recipe lines:\n"
+                f"{self.recipe_text()}\n{exc}"
+            ) from exc
+
+    def check_ingestion(self, store_path: str) -> None:
+        """Incremental ingestion mode of the differential harness.
+
+        The case's dataset is split into a base batch plus a few
+        deltas; the base is bootstrapped into a measure store and the
+        deltas are ingested incrementally (holistic measures resolved
+        lazily at the end).  The stored tables must equal a one-shot
+        evaluation over the full dataset.
+        """
+        divergence = ingestion_divergence(
+            self.schema,
+            self.dataset,
+            self.workflow,
+            self.seed,
+            store_path,
+        )
+        if divergence is not None:
+            raise AssertionError(
+                f"incremental ingestion diverges from one-shot "
+                f"evaluation for seed={self.seed}: {divergence}\n"
+                f"Recipe:\n{self.recipe_text()}"
+            )
+
+
+def ingestion_divergence(
+    schema, dataset, workflow, seed: int, store_path: str
+) -> str | None:
+    """Ingest-then-query vs recompute-from-scratch, mechanically.
+
+    Splits ``dataset`` (seed-deterministically) into a base batch plus
+    1-3 deltas, bootstraps a store at ``store_path``, folds the deltas
+    in, resolves holistic dirt, and compares every stored output table
+    against a one-shot sort/scan evaluation over the full dataset.
+    Returns a human-readable divergence description, or ``None`` when
+    the store matches — the form both :meth:`RandomCase.check_ingestion`
+    and the ingest oracle family (including its shrink predicate) use.
+    """
+    from repro.engine.sort_scan import SortScanEngine
+    from repro.service import Ingestor, MeasureStore
+
+    rng = random.Random(seed ^ 0x5EED)
+    records = list(dataset.records)
+    num_deltas = rng.randint(1, 3)
+    delta_size = rng.randint(5, 40)
+    base_count = max(1, len(records) - num_deltas * delta_size)
+    base, rest = records[:base_count], records[base_count:]
+    deltas = [
+        rest[i : i + delta_size]
+        for i in range(0, len(rest), delta_size)
+    ]
+
+    store = MeasureStore(store_path)
+    ingestor = Ingestor(store, workflow)
+    ingestor.bootstrap(InMemoryDataset(schema, base))
+    for delta in deltas:
+        ingestor.ingest(delta)
+    ingestor.resolve()
+
+    reference = SortScanEngine().evaluate(dataset, workflow)
+    for name in workflow.outputs():
+        expected = reference[name]
+        got = store.measure_table(name, expected.granularity)
+        if not got.equal_rows(expected):
+            return (
+                f"measure {name!r} (base={len(base)}, deltas="
+                f"{[len(d) for d in deltas]}): {expected.diff(got)}"
+            )
+    return None

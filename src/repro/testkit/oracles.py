@@ -1,0 +1,583 @@
+"""Metamorphic oracle families over the seeded random generator.
+
+Each family states a *metamorphic relation* — a transformation of a
+computation that must not change (or must predictably change) its
+result — and checks it for one seed of :class:`~repro.testkit
+.generator.RandomCase`:
+
+- ``rewrite`` — the algebra's Theorem 1 rewrites (Properties 1, 2, 4,
+  5 and the child/parent-match-as-aggregation identity) evaluated
+  semantically: original and rewritten expression must produce the
+  same measure table;
+- ``merge`` — aggregate state algebra: for every registered aggregate,
+  folding a concatenation equals merging per-chunk states, merge is
+  associative and commutative, and the empty state is an identity
+  (HyperLogLog registers merge exactly; its *estimate* must sit within
+  the sketch's rank error of the true distinct count);
+- ``rollup`` — roll-up consistency: aggregating a fine distributive
+  basic measure up with its combiner equals aggregating the facts at
+  the coarse granularity directly;
+- ``partition`` — partition-count invariance: the partitioned engine
+  must produce identical tables for any partition count;
+- ``ingest`` — ingest-then-query equals recompute-from-scratch
+  (the incremental-maintenance contract).
+
+:func:`run_seed` checks one seed against all (or selected) families
+and returns :class:`OracleFailure` records; every failure message
+reprints the seed and the generated workflow recipe, and
+workflow-shaped failures carry a shrunk (1-minimal) recipe produced by
+:func:`~repro.testkit.generator.shrink_steps`.  :func:`run_batch`
+sweeps a seed range — the ``repro faults run`` CLI front end.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.aggregates.base import AggregateFunction, AggSpec, get_aggregate
+from repro.algebra.conditions import ChildParent
+from repro.algebra.expr import (
+    Aggregate,
+    CombineFn,
+    CombineJoin,
+    FactTable,
+    Select,
+    MatchJoin,
+)
+from repro.algebra.predicates import Field
+from repro.algebra.properties import (
+    cells,
+    collapse_aggregations,
+    match_join_as_aggregate,
+    push_selection_below_aggregate,
+    reorder_combine_inputs,
+    simplify,
+    split_combine_join,
+)
+from repro.cube.granularity import Granularity
+from repro.engine.compile import compile_measures
+from repro.engine.partitioned import PartitionedEngine
+from repro.engine.single_scan import SingleScanEngine
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+from repro.testkit.generator import (
+    PARTITION_DIM,
+    RandomCase,
+    Step,
+    ingestion_divergence,
+)
+
+__all__ = [
+    "FAMILIES",
+    "OracleFailure",
+    "default_schema",
+    "run_batch",
+    "run_seed",
+]
+
+
+def default_schema():
+    """The harness schema: 3 dims, 3 levels, fan-out 4 (64 values)."""
+    return synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+@dataclass
+class OracleFailure:
+    """One violated metamorphic relation, fully reproducible."""
+
+    family: str
+    seed: int
+    message: str
+    shrunk_recipe: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        text = f"[{self.family}] seed={self.seed}: {self.message}"
+        if self.shrunk_recipe:
+            lines = "\n".join(
+                f"    {line}" for line in self.shrunk_recipe
+            )
+            text += f"\nShrunk recipe:\n{lines}"
+        return text
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+def _evaluate(expr, dataset) -> dict:
+    graph = compile_measures({"out": expr})
+    return SingleScanEngine().evaluate(dataset, graph)["out"].rows
+
+
+def _assert_expr_equivalent(label, original, rewritten, dataset) -> None:
+    before = _evaluate(original, dataset)
+    after = _evaluate(rewritten, dataset)
+    if before != after:
+        changed = [
+            (key, before.get(key), after.get(key))
+            for key in sorted(set(before) | set(after))
+            if before.get(key) != after.get(key)
+        ]
+        raise AssertionError(
+            f"{label}: rewrite changed the result "
+            f"({len(changed)} rows differ; first: {changed[:3]})"
+        )
+
+
+def _gran(schema, at: dict) -> Granularity:
+    """Granularity with the given ``{dim index: level}``, rest ALL."""
+    levels = [dim.all_level for dim in schema.dimensions]
+    for index, level in at.items():
+        levels[index] = level
+    return Granularity(schema, levels)
+
+
+# -- family: rewrite equivalence (Theorem 1) --------------------------------
+
+#: Outer/inner pairs Property 1 collapses, with the fact-level input.
+_COLLAPSE_PAIRS = [
+    ("sum", "sum", "v"),
+    ("min", "min", "v"),
+    ("max", "max", "v"),
+    ("sum", "count", "*"),
+]
+
+
+def _rewrite_dataset(case: RandomCase, rng: random.Random):
+    """Integer-valued measures keep re-associated sums bit-exact, so
+    rewrite equivalence can be checked with ``==`` instead of a
+    tolerance that could mask real bugs."""
+    count = rng.randint(200, 400)
+    records = [
+        (
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.randrange(64),
+            float(rng.randrange(10)),
+        )
+        for __ in range(count)
+    ]
+    return InMemoryDataset(case.schema, records)
+
+
+def _oracle_rewrite(case: RandomCase, rng: random.Random, tmp) -> None:
+    schema = case.schema
+    dataset = _rewrite_dataset(case, rng)
+    fact = FactTable(schema)
+    dim = rng.randrange(len(schema.dimensions))
+    all_level = schema.dimensions[dim].all_level
+    fine = rng.randint(0, all_level - 2)
+    coarse = rng.randint(fine + 1, all_level - 1)
+    fine_gran = _gran(schema, {dim: fine})
+    coarse_gran = _gran(schema, {dim: coarse})
+
+    # Property 1: two-level distributive aggregation collapses.
+    for outer, inner, input_field in _COLLAPSE_PAIRS:
+        nested = Aggregate(
+            Aggregate(fact, fine_gran, AggSpec(inner, input_field)),
+            coarse_gran,
+            AggSpec(outer, "M"),
+        )
+        collapsed = collapse_aggregations(nested)
+        if not isinstance(collapsed.child, FactTable):
+            raise AssertionError(
+                f"Property 1 did not fire for {outer}({inner})"
+            )
+        _assert_expr_equivalent(
+            f"Property 1 {outer}∘{inner}", nested, collapsed, dataset
+        )
+
+    # Property 2: dimension selections push below the aggregation.
+    constant = rng.randrange(4)
+    selected = Select(
+        Aggregate(fact, coarse_gran, AggSpec("count", "*")),
+        Field(schema.dimensions[dim].name) >= constant,
+    )
+    pushed = push_selection_below_aggregate(selected)
+    if not isinstance(pushed, Aggregate):
+        raise AssertionError("Property 2 did not fire")
+    _assert_expr_equivalent("Property 2", selected, pushed, dataset)
+
+    # Property 4: combine-join inputs permute freely.
+    base = Aggregate(fact, fine_gran, AggSpec("count", "*"))
+    inputs = [
+        Aggregate(fact, fine_gran, AggSpec(name, "v"))
+        for name in ("sum", "max", "min")
+    ]
+    join = CombineJoin(
+        base,
+        inputs,
+        CombineFn(
+            lambda c, a, b, d: (
+                (c or 0) + 2 * (a or 0) - (b or 0) + 3 * (d or 0)
+            ),
+            name="mix",
+            handles_null=True,
+        ),
+    )
+    permutation = rng.sample(range(3), 3)
+    _assert_expr_equivalent(
+        f"Property 4 π{permutation}",
+        join,
+        reorder_combine_inputs(join, permutation),
+        dataset,
+    )
+
+    # Property 5: a combine join decomposes into two stages.
+    additive = CombineJoin(
+        base,
+        inputs[:2],
+        CombineFn(
+            lambda c, a, b: (c or 0) + (a or 0) + (b or 0),
+            name="add",
+            handles_null=True,
+        ),
+    )
+    split = split_combine_join(
+        additive,
+        split_at=1,
+        fc1=lambda c, a: (c or 0) + (a or 0),
+        fc2=lambda acc, b: (acc or 0) + (b or 0),
+        handles_null=True,
+    )
+    _assert_expr_equivalent("Property 5", additive, split, dataset)
+
+    # Child/parent match join == aggregation (cells preserved).
+    child = Aggregate(fact, fine_gran, AggSpec("sum", "v"))
+    cp_join = MatchJoin(
+        cells(fact, coarse_gran), child, ChildParent(), AggSpec("sum", "M")
+    )
+    rewritten = match_join_as_aggregate(cp_join)
+    if not isinstance(rewritten, Aggregate):
+        raise AssertionError("child/parent rewrite did not fire")
+    _assert_expr_equivalent("cp-match", cp_join, rewritten, dataset)
+
+    # simplify() composes the always-sound rewrites to a fixpoint.
+    nested = Select(
+        Aggregate(
+            Aggregate(fact, fine_gran, AggSpec("sum", "v")),
+            coarse_gran,
+            AggSpec("sum", "M"),
+        ),
+        Field(schema.dimensions[dim].name) >= constant,
+    )
+    _assert_expr_equivalent(
+        "simplify fixpoint", nested, simplify(nested), dataset
+    )
+
+
+# -- family: merge algebra --------------------------------------------------
+
+_MERGEABLE = [
+    "count", "sum", "min", "max", "avg", "var", "stddev",
+    "median", "count_distinct",
+]
+
+#: HyperLogLog(12) relative standard error is 1.04/sqrt(4096) ≈ 1.6%;
+#: five sigma keeps the deterministic check far from the noise floor.
+_HLL_RELATIVE_TOLERANCE = 5 * 1.04 / math.sqrt(1 << 12)
+
+
+def _fold(fn: AggregateFunction, values) -> object:
+    state = fn.create()
+    for value in values:
+        state = fn.update(state, value)
+    return state
+
+
+def _close(a, b) -> bool:
+    if a is None or b is None:
+        return a is b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _check_merge_laws(fn: AggregateFunction, chunks) -> None:
+    a, b, c = chunks
+    whole = fn.finalize(_fold(fn, a + b + c))
+    left = fn.finalize(
+        fn.merge(fn.merge(_fold(fn, a), _fold(fn, b)), _fold(fn, c))
+    )
+    right = fn.finalize(
+        fn.merge(_fold(fn, a), fn.merge(_fold(fn, b), _fold(fn, c)))
+    )
+    forward = fn.finalize(fn.merge(_fold(fn, a), _fold(fn, b)))
+    backward = fn.finalize(fn.merge(_fold(fn, b), _fold(fn, a)))
+    with_empty = fn.finalize(fn.merge(_fold(fn, a), fn.create()))
+    alone = fn.finalize(_fold(fn, a))
+    for law, got, expected in (
+        ("merge == fold of concatenation", left, whole),
+        ("associativity", right, left),
+        ("commutativity", backward, forward),
+        ("empty-state identity", with_empty, alone),
+    ):
+        if not _close(got, expected):
+            raise AssertionError(
+                f"{fn.name}: {law} violated ({got!r} != {expected!r})"
+            )
+
+
+def _oracle_merge(case: RandomCase, rng: random.Random, tmp) -> None:
+    numeric_chunks = [
+        [
+            round(rng.uniform(-50, 50), 3) if rng.random() < 0.8 else None
+            for __ in range(rng.randint(5, 60))
+        ]
+        for __ in range(3)
+    ]
+    discrete_chunks = [
+        [rng.randrange(40) for __ in range(rng.randint(5, 60))]
+        for __ in range(3)
+    ]
+    for name in _MERGEABLE:
+        fn = get_aggregate(name)
+        chunks = (
+            discrete_chunks
+            if name in ("count_distinct",)
+            else numeric_chunks
+        )
+        _check_merge_laws(fn, chunks)
+
+    # HyperLogLog: register-wise max merges exactly, and the estimate
+    # must sit within the sketch's rank error of the true cardinality.
+    hll = get_aggregate("approx_distinct")
+    sketch_chunks = [
+        [rng.randrange(1_000_000) for __ in range(1500)]
+        for __ in range(3)
+    ]
+    _check_merge_laws(hll, sketch_chunks)
+    estimate = hll.finalize(
+        _fold(hll, sketch_chunks[0] + sketch_chunks[1] + sketch_chunks[2])
+    )
+    truth = len(set().union(*map(set, sketch_chunks)))
+    if abs(estimate - truth) > _HLL_RELATIVE_TOLERANCE * truth:
+        raise AssertionError(
+            f"HLL estimate {estimate} outside "
+            f"{_HLL_RELATIVE_TOLERANCE:.1%} of true {truth}"
+        )
+
+
+# -- family: roll-up consistency --------------------------------------------
+
+#: Combiner a roll-up must apply to re-aggregate a distributive basic
+#: (Property 1's side condition: COUNT is combined by SUM).
+_COMBINER = {"count": "sum", "sum": "sum", "min": "min", "max": "max"}
+
+
+def _basic_agg_name(step: Step) -> str:
+    agg = step.payload["agg"]
+    return agg if isinstance(agg, str) else agg[0]
+
+
+def _oracle_rollup(case: RandomCase, rng: random.Random, tmp) -> None:
+    checked = 0
+    for step in case.steps:
+        if step.kind != "basic":
+            continue
+        agg_name = _basic_agg_name(step)
+        combiner = _COMBINER.get(agg_name)
+        if combiner is None:
+            continue
+        gran = step.payload["granularity"]
+        coarser = case._coarsen(rng, gran)
+        if coarser is None:
+            continue
+        variant = case.rebuild_workflow([step])
+        variant.rollup(
+            "rolled", coarser, source=step.name, agg=combiner
+        )
+        variant.basic(
+            "direct", coarser, agg=step.payload["agg"]
+        )
+        result = SingleScanEngine().evaluate(case.dataset, variant)
+        if not result["rolled"].equal_rows(result["direct"]):
+            raise AssertionError(
+                f"rolling {step.name!r} ({agg_name}) up with "
+                f"{combiner} diverges from direct aggregation at "
+                f"{coarser!r}: "
+                f"{result['direct'].diff(result['rolled'])}"
+            )
+        checked += 1
+    if checked == 0:
+        # Nothing distributive in this seed's recipe: check the law on
+        # a canonical workflow so every seed exercises the family.
+        wf = case.rebuild_workflow([])
+        fine = case._random_granularity(rng)
+        coarser = case._coarsen(rng, fine)
+        if coarser is None:
+            return
+        wf.basic("fine", fine, agg=("sum", "v"))
+        wf.rollup("rolled", coarser, source="fine", agg="sum")
+        wf.basic("direct", coarser, agg=("sum", "v"))
+        result = SingleScanEngine().evaluate(case.dataset, wf)
+        if not result["rolled"].equal_rows(result["direct"]):
+            raise AssertionError(
+                "canonical sum roll-up diverges from direct "
+                f"aggregation: {result['direct'].diff(result['rolled'])}"
+            )
+
+
+# -- family: partition-count invariance -------------------------------------
+
+
+def _partition_counts(case: RandomCase) -> list[int]:
+    return sorted({2, case.num_partitions, 7})
+
+
+def _partition_mismatch(case: RandomCase, workflow) -> Optional[str]:
+    if not workflow.outputs():
+        return None
+    reference = SingleScanEngine().evaluate(case.dataset, workflow)
+    for count in _partition_counts(case):
+        engine = PartitionedEngine(
+            partition_dim=PARTITION_DIM,
+            num_partitions=count,
+            parallel="serial",
+        )
+        result = engine.evaluate(case.dataset, workflow)
+        for name in workflow.outputs():
+            if not reference[name].equal_rows(result[name]):
+                return (
+                    f"{count} partitions change {name!r}: "
+                    f"{reference[name].diff(result[name])}"
+                )
+    return None
+
+
+def _oracle_partition(case: RandomCase, rng: random.Random, tmp) -> None:
+    mismatch = _partition_mismatch(case, case.workflow)
+    if mismatch is not None:
+        raise AssertionError(
+            f"partition-count invariance violated: {mismatch}"
+        )
+
+
+# -- family: ingest-then-query vs recompute ---------------------------------
+
+
+def _oracle_ingest(case: RandomCase, rng: random.Random, tmp) -> None:
+    store_path = os.path.join(tmp, f"store-{case.seed}")
+    divergence = ingestion_divergence(
+        case.schema, case.dataset, case.workflow, case.seed, store_path
+    )
+    if divergence is not None:
+        raise AssertionError(
+            f"ingest-then-query != recompute: {divergence}"
+        )
+
+
+# -- the harness ------------------------------------------------------------
+
+#: Family name → (check, shrink predicate builder or None).  A check
+#: takes ``(case, rng, tmp_dir)`` and raises AssertionError on a
+#: violated relation; the shrink builder turns a failing case into a
+#: ``still_fails(workflow)`` predicate for recipe minimization.
+_FamilyCheck = Callable[[RandomCase, random.Random, str], None]
+
+FAMILIES: tuple[str, ...] = (
+    "rewrite", "merge", "rollup", "partition", "ingest",
+)
+
+_CHECKS: dict[str, _FamilyCheck] = {
+    "rewrite": _oracle_rewrite,
+    "merge": _oracle_merge,
+    "rollup": _oracle_rollup,
+    "partition": _oracle_partition,
+    "ingest": _oracle_ingest,
+}
+
+
+def _shrink_predicate(
+    family: str, case: RandomCase, tmp: str
+) -> Optional[Callable]:
+    """``still_fails(workflow)`` for workflow-shaped families."""
+    if family == "partition":
+        return lambda wf: _partition_mismatch(case, wf) is not None
+    if family == "ingest":
+        counter = [0]
+
+        def still_fails(wf) -> bool:
+            if not wf.outputs():
+                return False
+            counter[0] += 1
+            path = os.path.join(tmp, f"shrink-{counter[0]}")
+            return (
+                ingestion_divergence(
+                    case.schema, case.dataset, wf, case.seed, path
+                )
+                is not None
+            )
+
+        return still_fails
+    return None
+
+
+def run_seed(
+    seed: int,
+    schema=None,
+    families: Optional[Sequence[str]] = None,
+    tmp_dir: Optional[str] = None,
+    shrink: bool = True,
+) -> list[OracleFailure]:
+    """Check one seed against the oracle families; [] means all held."""
+    if schema is None:
+        schema = default_schema()
+    selected = list(families) if families else list(FAMILIES)
+    unknown = [name for name in selected if name not in _CHECKS]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle families {unknown}; have {list(FAMILIES)}"
+        )
+    case = RandomCase(seed, schema)
+    own_tmp = tmp_dir is None
+    tmp = tempfile.mkdtemp(prefix="repro-oracles-") if own_tmp else tmp_dir
+    failures: list[OracleFailure] = []
+    try:
+        for family in selected:
+            # Seeded with a string: deterministic across processes
+            # (unlike hash(), which is salted per interpreter).
+            rng = random.Random(f"{seed}:{family}")
+            try:
+                _CHECKS[family](case, rng, tmp)
+            except AssertionError as exc:
+                failure = OracleFailure(
+                    family=family,
+                    seed=seed,
+                    message=(
+                        f"{exc}\nReproduce with "
+                        f"run_seed({seed}, families=[{family!r}]); "
+                        f"recipe:\n{case.recipe_text()}"
+                    ),
+                )
+                predicate = _shrink_predicate(family, case, tmp)
+                if shrink and predicate is not None:
+                    failure.shrunk_recipe = [
+                        step.line for step in case.shrink(predicate)
+                    ]
+                failures.append(failure)
+    finally:
+        if own_tmp:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return failures
+
+
+def run_batch(
+    seeds: Iterable[int],
+    schema=None,
+    families: Optional[Sequence[str]] = None,
+    on_seed: Optional[Callable[[int, list[OracleFailure]], None]] = None,
+) -> list[OracleFailure]:
+    """Check a seed range; returns every failure across all seeds."""
+    if schema is None:
+        schema = default_schema()
+    failures: list[OracleFailure] = []
+    for seed in seeds:
+        seed_failures = run_seed(seed, schema=schema, families=families)
+        failures.extend(seed_failures)
+        if on_seed is not None:
+            on_seed(seed, seed_failures)
+    return failures

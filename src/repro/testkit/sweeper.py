@@ -1,0 +1,272 @@
+"""Crash-recovery sweeper: kill a committing process at every site.
+
+The measure store's commit protocol claims a crash can never corrupt
+it (segments first, fsynced and unreferenced; then one atomic manifest
+swap).  This module *enumerates the claim*: for every registered
+``store``/``ingest`` fail point — taken from the live registry in
+:mod:`repro.testkit.failpoints`, never a hand-written list, so a newly
+woven site is swept automatically — it
+
+1. bootstraps a store from a seeded :class:`~repro.testkit.generator
+   .RandomCase` base batch (once, then copied per site);
+2. runs a delta ingest in a *subprocess* armed via ``REPRO_FAILPOINT``
+   with a ``crash`` (or ``torn-write``) action at that one site, and
+   requires the child to die with :data:`~repro.testkit.failpoints
+   .CRASH_EXIT_CODE` — a site that does not fire fails the sweep,
+   catching registry drift;
+3. reopens the store in the parent (running recovery: stale-temp
+   removal and orphan GC), asserts the manifest references exactly the
+   files on disk, and that the surviving generation is either the
+   pre-delta or the post-delta one — never a mixture;
+4. re-ingests the delta if it was lost, resolves holistic dirt, and
+   asserts every output table equals an uninjected one-shot
+   evaluation over the full dataset.
+
+``repro faults sweep`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+import repro
+from repro.engine.sort_scan import SortScanEngine
+from repro.schema.dataset_schema import synthetic_schema
+from repro.storage.table import InMemoryDataset
+from repro.testkit.failpoints import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    load_instrumented_sites,
+    registered,
+)
+from repro.testkit.generator import RandomCase
+
+__all__ = [
+    "SWEEP_SCOPES",
+    "SweepResult",
+    "child_main",
+    "sweep",
+    "sweep_sites",
+]
+
+#: Scopes whose sites guard the durability protocol and get swept.
+SWEEP_SCOPES = ("store", "ingest")
+
+#: Environment plumbing between :func:`sweep` and :func:`child_main`.
+STORE_ENV = "REPRO_SWEEP_STORE"
+SEED_ENV = "REPRO_SWEEP_SEED"
+
+#: Records held back from the bootstrap batch and ingested by the
+#: doomed child; large enough to touch every basic node.
+_DELTA_SIZE = 40
+
+
+@dataclass
+class SweepResult:
+    """Outcome of killing one commit at one injection site."""
+
+    site: str
+    action: str
+    exit_code: int
+    fired: bool
+    committed: bool
+    ok: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        survived = "post-delta" if self.committed else "pre-delta"
+        text = (
+            f"{status:4s} {self.site:22s} action={self.action} "
+            f"exit={self.exit_code} survived={survived}"
+        )
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+def _default_schema():
+    return synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+
+
+def _split(case: RandomCase):
+    records = list(case.dataset.records)
+    return records[:-_DELTA_SIZE], records[-_DELTA_SIZE:]
+
+
+def sweep_sites() -> list[str]:
+    """The sites a sweep covers, straight from the registry."""
+    load_instrumented_sites()
+    return [
+        site.name
+        for scope in SWEEP_SCOPES
+        for site in registered(scope)
+    ]
+
+
+def child_main() -> None:
+    """Entry point of the doomed subprocess.
+
+    Rebuilds the seed's case (the workflow is derived from the seed,
+    not unpickled, so the parent and child agree by construction),
+    opens the copied store, and ingests the held-back delta.  The
+    armed fail point — installed from ``REPRO_FAILPOINT`` when
+    :mod:`repro.testkit.failpoints` was imported, before any of this
+    ran — kills the process somewhere along that path.
+    """
+    from repro.service import Ingestor, MeasureStore
+
+    store_path = os.environ[STORE_ENV]
+    seed = int(os.environ[SEED_ENV])
+    case = RandomCase(seed, _default_schema())
+    __, delta = _split(case)
+    store = MeasureStore(store_path)
+    Ingestor(store, case.workflow).ingest(delta)
+
+
+def _subprocess_env(site: str, action: str, store_path: str, seed: int):
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env[ENV_VAR] = f"{site}:{action}"
+    env[STORE_ENV] = store_path
+    env[SEED_ENV] = str(seed)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing
+        else src_root + os.pathsep + existing
+    )
+    return env
+
+
+def _unreferenced_files(store) -> list[str]:
+    present = set(os.listdir(store._segment_dir))
+    return sorted(present - store._referenced_files())
+
+
+def _check_recovery(
+    site_dir: str, case: RandomCase, baseline_generation: int, reference
+) -> tuple[bool, bool, str]:
+    """Reopen, recover, converge, and compare; the sweep's step 3/4."""
+    from repro.service import Ingestor, MeasureStore
+
+    store = MeasureStore(site_dir)  # recovery runs here
+    orphans = _unreferenced_files(store)
+    if orphans:
+        return False, False, f"orphans survived recovery: {orphans}"
+    generation = store.generation
+    committed = generation > baseline_generation
+    if generation not in (baseline_generation, baseline_generation + 1):
+        return committed, False, (
+            f"generation {generation} is neither pre ("
+            f"{baseline_generation}) nor post ("
+            f"{baseline_generation + 1})"
+        )
+    ingestor = Ingestor(store, case.workflow)
+    if not committed:
+        __, delta = _split(case)
+        ingestor.ingest(delta)
+    ingestor.resolve()
+    for name in case.workflow.outputs():
+        expected = reference[name]
+        got = store.measure_table(name, expected.granularity)
+        if not got.equal_rows(expected):
+            return committed, False, (
+                f"measure {name!r} diverges after recovery: "
+                f"{expected.diff(got)}"
+            )
+    return committed, True, ""
+
+
+def sweep(
+    work_dir: str,
+    seed: int = 0,
+    action: str = "crash",
+    sites: Optional[Iterable[str]] = None,
+    schema=None,
+    on_result: Optional[Callable[[SweepResult], None]] = None,
+) -> list[SweepResult]:
+    """Run the crash-recovery sweep; one result per injection site.
+
+    Args:
+        work_dir: Scratch directory (template store + one copy per
+            site); the caller owns its lifetime.
+        seed: :class:`RandomCase` seed shared by parent and children.
+        action: ``"crash"`` or ``"torn-write"`` — both end in a hard
+            ``os._exit``, the latter after tearing the file being
+            written, exercising recovery against partial data.
+        sites: Site names to sweep (default: every registered
+            ``store``/``ingest`` site).
+        on_result: Optional progress callback, called per site.
+    """
+    from repro.service import Ingestor, MeasureStore
+
+    if schema is None:
+        schema = _default_schema()
+    case = RandomCase(seed, schema)
+    base, __ = _split(case)
+    reference = SortScanEngine().evaluate(case.dataset, case.workflow)
+
+    template = os.path.join(work_dir, "template")
+    store = MeasureStore(template)
+    Ingestor(store, case.workflow).bootstrap(
+        InMemoryDataset(schema, base)
+    )
+    baseline_generation = store.generation
+
+    results: list[SweepResult] = []
+    for site in sites if sites is not None else sweep_sites():
+        site_dir = os.path.join(
+            work_dir, site.replace(".", "-").replace("/", "-")
+        )
+        shutil.copytree(template, site_dir)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.testkit.sweeper import child_main; "
+                "child_main()",
+            ],
+            env=_subprocess_env(site, action, site_dir, seed),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        fired = proc.returncode == CRASH_EXIT_CODE
+        if not fired:
+            result = SweepResult(
+                site=site,
+                action=action,
+                exit_code=proc.returncode,
+                fired=False,
+                committed=False,
+                ok=False,
+                detail=(
+                    "site never fired during the scripted commit"
+                    if proc.returncode == 0
+                    else f"child failed unexpectedly: "
+                    f"{(proc.stderr or '').strip()[-300:]}"
+                ),
+            )
+        else:
+            committed, ok, detail = _check_recovery(
+                site_dir, case, baseline_generation, reference
+            )
+            result = SweepResult(
+                site=site,
+                action=action,
+                exit_code=proc.returncode,
+                fired=True,
+                committed=committed,
+                ok=ok,
+                detail=detail,
+            )
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+        shutil.rmtree(site_dir, ignore_errors=True)
+    return results

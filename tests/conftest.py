@@ -7,15 +7,18 @@ import random
 import pytest
 
 from repro.data.honeynet import honeynet_dataset
-from repro.engine.multi_pass import MultiPassEngine
-from repro.engine.naive import RelationalEngine
-from repro.engine.single_scan import SingleScanEngine
-from repro.engine.sort_scan import SortScanEngine
 from repro.schema.dataset_schema import (
     network_log_schema,
     synthetic_schema,
 )
 from repro.storage.table import InMemoryDataset
+
+# The engine roster and agreement assertion live in repro.testkit so
+# the oracles/sweeper/CLI share them; re-exported here for the tests.
+from repro.testkit.differential import (  # noqa: F401
+    all_engines,
+    assert_engines_agree,
+)
 
 
 @pytest.fixture(scope="session")
@@ -51,38 +54,10 @@ def net_dataset():
     return honeynet_dataset(4000, hours=24)
 
 
-def all_engines(budget: int = 50_000):
-    """One instance of every engine, streaming ones instrumented."""
-    return [
-        RelationalEngine(),
-        RelationalEngine(spool=False, reuse_subexpressions=True),
-        SingleScanEngine(),
-        SortScanEngine(assert_no_late_updates=True),
-        SortScanEngine(optimize=True, assert_no_late_updates=True),
-        MultiPassEngine(memory_budget_entries=budget),
-    ]
+@pytest.fixture(autouse=True)
+def _no_leaked_failpoints():
+    """Any fail point armed by a test is disarmed afterwards."""
+    from repro.testkit import failpoints
 
-
-def assert_engines_agree(
-    dataset, workflow, budget: int = 50_000, extra_engines=()
-):
-    """The central invariant: every engine computes identical tables.
-
-    ``extra_engines`` joins the standard roster — used by tests that
-    exercise engines with plan preconditions (e.g. the partitioned
-    engine rejects workflows whose measures hold the partition
-    dimension at ``D_ALL``, so it only joins when the workflow is known
-    to qualify).
-    """
-    engines = all_engines(budget) + list(extra_engines)
-    results = [engine.evaluate(dataset, workflow) for engine in engines]
-    reference = results[0]
-    for engine, result in zip(engines[1:], results[1:]):
-        for name in workflow.outputs():
-            ref_table = reference[name]
-            got_table = result[name]
-            assert ref_table.equal_rows(got_table), (
-                f"{engine.name} disagrees on {name!r}: "
-                f"{ref_table.diff(got_table)}"
-            )
-    return reference
+    yield
+    failpoints.clear()

@@ -1,270 +1,33 @@
 """Seeded randomized differential testing across every engine.
 
-A deterministic generator builds random-but-valid workflows — random
-granularities, rollup chains, sibling windows, lag sets, and a mix of
-distributive, algebraic, and holistic aggregates — over the synthetic
-schema, plus a random dataset, and asserts that *all* engines (the
-relational baselines, single-scan, sort/scan, multi-pass, and the
-partitioned engine in serial, thread, and process mode) produce
-identical measure tables.
+The deterministic generator (:mod:`repro.testkit.generator`) builds
+random-but-valid workflows — random granularities, rollup chains,
+sibling windows, lag sets, and a mix of distributive, algebraic, and
+holistic aggregates — over the synthetic schema, plus a random
+dataset, and asserts that *all* engines (the relational baselines,
+single-scan, sort/scan, multi-pass, and the partitioned engine in
+serial, thread, and process mode) produce identical measure tables.
 
 Every case is reproducible from its seed alone.  On a mismatch the
 failure message carries the seed and the workflow recipe (one builder
-call per line), so shrinking is a matter of re-running the seed and
-deleting recipe lines.
+call per line); :func:`repro.testkit.generator.shrink_steps` minimizes
+the recipe automatically.
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.algebra.conditions import Lags, Sibling
-from repro.cube.granularity import Granularity
-from repro.engine.partitioned import PartitionedEngine
-from repro.storage.table import InMemoryDataset
-from repro.workflow.workflow import AggregationWorkflow
-
-from tests.conftest import assert_engines_agree
-
-#: Aggregates by Gray et al. class; every class must be exercised.
-DISTRIBUTIVE = ["count", "sum", "min", "max"]
-ALGEBRAIC = ["avg", "var"]
-HOLISTIC = ["median", "count_distinct"]
-ALL_AGGS = DISTRIBUTIVE + ALGEBRAIC + HOLISTIC
-
-#: Dimension the partitioned engine splits on; the generator keeps it
-#: below ``D_ALL`` in every measure so partition planning never rejects.
-PARTITION_DIM = 0
-
-
-class RandomCase:
-    """One differential test case, fully determined by its seed."""
-
-    def __init__(self, seed: int, schema) -> None:
-        self.seed = seed
-        self.schema = schema
-        self.recipe: list[str] = []
-        rng = random.Random(seed)
-        self.dataset = self._random_dataset(rng)
-        self.workflow = self._random_workflow(rng)
-        self.num_partitions = rng.randint(2, 5)
-
-    # -- building blocks ------------------------------------------------
-
-    def _random_dataset(self, rng: random.Random) -> InMemoryDataset:
-        count = rng.randint(150, 450)
-        records = [
-            (
-                rng.randrange(64),
-                rng.randrange(64),
-                rng.randrange(64),
-                round(rng.random() * 100, 3),
-            )
-            for __ in range(count)
-        ]
-        self.recipe.append(f"# dataset: {count} uniform records")
-        return InMemoryDataset(self.schema, records)
-
-    def _random_granularity(self, rng: random.Random) -> Granularity:
-        """A random granularity with the partition dimension non-ALL."""
-        schema = self.schema
-        levels = []
-        for i, dim in enumerate(schema.dimensions):
-            if i == PARTITION_DIM:
-                # Keep the partition dimension fine enough for rollups
-                # *and* strictly below ALL for partition planning.
-                levels.append(rng.randint(0, dim.all_level - 2))
-            else:
-                levels.append(rng.randint(0, dim.all_level))
-        return Granularity(schema, levels)
-
-    def _coarsen(
-        self, rng: random.Random, gran: Granularity
-    ) -> Granularity | None:
-        """A strictly coarser granularity (partition dim kept non-ALL)."""
-        schema = self.schema
-        levels = list(gran.levels)
-        raisable = [
-            i
-            for i, level in enumerate(levels)
-            if level
-            < (
-                schema.dimensions[i].all_level - 1
-                if i == PARTITION_DIM
-                else schema.dimensions[i].all_level
-            )
-        ]
-        if not raisable:
-            return None
-        for i in rng.sample(raisable, rng.randint(1, len(raisable))):
-            cap = schema.dimensions[i].all_level
-            if i == PARTITION_DIM:
-                cap -= 1
-            levels[i] = rng.randint(levels[i] + 1, cap)
-        return Granularity(schema, levels)
-
-    def _windowable_dims(self, gran: Granularity) -> list[int]:
-        return [
-            i
-            for i, level in enumerate(gran.levels)
-            if level != self.schema.dimensions[i].all_level
-        ]
-
-    # -- workflow generation --------------------------------------------
-
-    def _random_workflow(self, rng: random.Random) -> AggregationWorkflow:
-        schema = self.schema
-        wf = AggregationWorkflow(schema, name=f"rand{self.seed}")
-        sources: list[str] = []
-
-        def spec(gran: Granularity) -> dict:
-            return {
-                schema.dimensions[i].name: schema.dimensions[i]
-                .hierarchy.domain(level)
-                .name
-                for i, level in enumerate(gran.levels)
-                if level != schema.dimensions[i].all_level
-            }
-
-        for b in range(rng.randint(1, 2)):
-            gran = self._random_granularity(rng)
-            agg = rng.choice(ALL_AGGS)
-            agg_spec = "count" if agg == "count" else (agg, "v")
-            name = f"base{b}"
-            wf.basic(name, gran, agg=agg_spec)
-            self.recipe.append(
-                f"wf.basic({name!r}, {spec(gran)}, agg={agg_spec!r})"
-            )
-            sources.append(name)
-
-        for d in range(rng.randint(1, 3)):
-            source = rng.choice(sources)
-            gran = wf[source].granularity
-            kind = rng.choice(["rollup", "window", "lags"])
-            agg = rng.choice(ALL_AGGS)
-            name = f"m{d}"
-            if kind == "rollup":
-                coarser = self._coarsen(rng, gran)
-                if coarser is None:
-                    continue
-                wf.rollup(name, coarser, source=source, agg=agg)
-                self.recipe.append(
-                    f"wf.rollup({name!r}, {spec(coarser)}, "
-                    f"source={source!r}, agg={agg!r})"
-                )
-            elif kind == "window":
-                dims = self._windowable_dims(gran)
-                chosen = rng.sample(
-                    dims, rng.randint(1, min(2, len(dims)))
-                )
-                windows = {
-                    schema.dimensions[i].name: (
-                        rng.randint(0, 3),
-                        rng.randint(0, 3),
-                    )
-                    for i in chosen
-                }
-                wf.moving_window(
-                    name, gran, source=source, windows=windows, agg=agg
-                )
-                self.recipe.append(
-                    f"wf.moving_window({name!r}, {spec(gran)}, "
-                    f"source={source!r}, windows={windows}, agg={agg!r})"
-                )
-            else:
-                dims = self._windowable_dims(gran)
-                lag_dim = schema.dimensions[rng.choice(dims)].name
-                deltas = tuple(
-                    sorted(
-                        rng.sample(range(-8, 9), rng.randint(1, 3))
-                    )
-                )
-                cond = Lags({lag_dim: deltas})
-                wf.match(name, gran, source=source, cond=cond, agg=agg)
-                self.recipe.append(
-                    f"wf.match({name!r}, {spec(gran)}, source={source!r}, "
-                    f"cond=Lags({{{lag_dim!r}: {deltas}}}), agg={agg!r})"
-                )
-            sources.append(name)
-        return wf
-
-    # -- the differential assertion -------------------------------------
-
-    def partitioned_engines(self) -> list[PartitionedEngine]:
-        return [
-            PartitionedEngine(
-                partition_dim=PARTITION_DIM,
-                num_partitions=self.num_partitions,
-                parallel=mode,
-            )
-            for mode in ("serial", "threads", "processes")
-        ]
-
-    def check(self) -> None:
-        try:
-            assert_engines_agree(
-                self.dataset,
-                self.workflow,
-                extra_engines=self.partitioned_engines(),
-            )
-        except AssertionError as exc:
-            recipe = "\n".join(f"    {line}" for line in self.recipe)
-            raise AssertionError(
-                f"engines disagree for seed={self.seed} "
-                f"(partitions={self.num_partitions}).\n"
-                f"Reproduce with RandomCase({self.seed}, schema); "
-                f"shrink by deleting recipe lines:\n{recipe}\n{exc}"
-            ) from exc
-
-    def check_ingestion(self, store_path: str) -> None:
-        """Incremental ingestion mode of the differential harness.
-
-        The case's dataset is split into a base batch plus a few
-        deltas; the base is bootstrapped into a measure store and the
-        deltas are ingested incrementally (holistic measures resolved
-        lazily at the end).  The stored tables must equal a one-shot
-        evaluation over the full dataset.
-        """
-        from repro.engine.sort_scan import SortScanEngine
-        from repro.service import Ingestor, MeasureStore
-
-        rng = random.Random(self.seed ^ 0x5EED)
-        records = list(self.dataset.records)
-        num_deltas = rng.randint(1, 3)
-        delta_size = rng.randint(5, 40)
-        base_count = max(1, len(records) - num_deltas * delta_size)
-        base, rest = records[:base_count], records[base_count:]
-        deltas = [
-            rest[i : i + delta_size]
-            for i in range(0, len(rest), delta_size)
-        ]
-
-        store = MeasureStore(store_path)
-        ingestor = Ingestor(store, self.workflow)
-        ingestor.bootstrap(InMemoryDataset(self.schema, base))
-        for delta in deltas:
-            ingestor.ingest(delta)
-        ingestor.resolve()
-
-        reference = SortScanEngine().evaluate(
-            self.dataset, self.workflow
-        )
-        for name in self.workflow.outputs():
-            expected = reference[name]
-            got = store.measure_table(name, expected.granularity)
-            if not got.equal_rows(expected):
-                recipe = "\n".join(
-                    f"    {line}" for line in self.recipe
-                )
-                raise AssertionError(
-                    f"incremental ingestion diverges from one-shot "
-                    f"evaluation for seed={self.seed}, measure "
-                    f"{name!r} (base={len(base)}, deltas="
-                    f"{[len(d) for d in deltas]}).\n"
-                    f"Recipe:\n{recipe}\n{expected.diff(got)}"
-                )
+from repro.testkit.generator import (
+    ALGEBRAIC,
+    ALL_AGGS,
+    DISTRIBUTIVE,
+    HOLISTIC,
+    RandomCase,
+    build_workflow,
+    shrink_steps,
+)
 
 
 @pytest.mark.parametrize("seed", range(12))
@@ -312,3 +75,60 @@ def test_generator_covers_both_match_conditions(syn_schema):
             if "Lags" in line:
                 kinds.add(Lags)
     assert kinds == {Sibling, Lags}
+
+
+def test_steps_rebuild_the_same_workflow(syn_schema):
+    """Structured steps re-issue builder calls faithfully."""
+    case = RandomCase(3, syn_schema)
+    rebuilt = case.rebuild_workflow()
+    assert rebuilt.outputs() == case.workflow.outputs()
+    for name in case.workflow.outputs():
+        assert (
+            rebuilt[name].granularity == case.workflow[name].granularity
+        )
+
+
+def test_shrink_minimizes_while_preserving_failure(syn_schema):
+    """Shrinking keeps the triggering step and drops the rest."""
+    # Find a seed whose recipe has several steps, then "fail" whenever
+    # a specific measure is present: shrinking must reduce to just that
+    # measure's dependency chain.
+    for seed in range(40):
+        case = RandomCase(seed, syn_schema)
+        if len(case.steps) >= 4:
+            break
+    target = case.steps[-1].name
+
+    def still_fails(wf):
+        return target in wf
+
+    minimal = case.shrink(still_fails)
+    names = [step.name for step in minimal]
+    assert target in names
+    assert len(minimal) < len(case.steps)
+    # The reduced recipe must still build.
+    wf = build_workflow(syn_schema, minimal)
+    assert target in wf
+
+
+def test_shrink_drags_dependents_along(syn_schema):
+    """Deleting a source also deletes measures built on it."""
+    case = RandomCase(1, syn_schema)
+    base = case.steps[0]
+    dependents = {
+        step.name for step in case.steps if base.name in step.deps
+    }
+
+    def never_fails(wf):
+        return False
+
+    # With a never-failing predicate nothing shrinks...
+    assert len(case.shrink(never_fails)) == len(case.steps)
+
+    # ...but the closure helper itself must drop dependents.
+    from repro.testkit.generator import _drop_with_dependents
+
+    kept = _drop_with_dependents(case.steps, base)
+    kept_names = {step.name for step in kept}
+    assert base.name not in kept_names
+    assert not (dependents & kept_names)

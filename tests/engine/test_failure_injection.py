@@ -1,7 +1,10 @@
-"""Failure injection: malformed inputs and edge conditions.
+"""Failure injection: malformed inputs, edge conditions, fail points.
 
 Errors should surface as typed exceptions at the earliest sensible
-point, never as silently wrong measures.
+point, never as silently wrong measures.  Engine-internal faults are
+injected through the same :mod:`repro.testkit.failpoints` registry the
+store's crash sweeper uses, so engine and store fault tests share one
+mechanism (and ``repro faults list`` shows every site either exercises).
 """
 
 import math
@@ -135,3 +138,72 @@ class TestDegenerateDatasets:
         for engine in ENGINES:
             result = engine.evaluate(ds, wf)
             assert result["total"].rows == {(0,): 16}
+
+
+class TestFailPointInjection:
+    """Engine faults injected through the shared fail-point registry."""
+
+    def _dataset_and_workflow(self, schema):
+        ds = InMemoryDataset(
+            schema, [(v % 16, float(v)) for v in range(200)]
+        )
+        wf = AggregationWorkflow(schema)
+        wf.basic("cnt", {"d0": "d0.L0"})
+        wf.basic("total", {"d0": "d0.L0"}, agg=("sum", "v"))
+        return ds, wf
+
+    def test_cascade_failpoint_aborts_sort_scan(self, schema):
+        from repro.testkit import FailPointError, failpoint
+
+        ds, wf = self._dataset_and_workflow(schema)
+        with failpoint("sortscan.cascade", "raise"):
+            with pytest.raises(FailPointError, match="sortscan.cascade"):
+                SortScanEngine().evaluate(ds, wf)
+
+    def test_final_flush_fires_exactly_once_per_run(self, schema):
+        from repro.testkit import failpoint, trigger_count
+
+        ds, wf = self._dataset_and_workflow(schema)
+        with failpoint("sortscan.final-flush", "delay:0"):
+            with failpoint("sortscan.cascade", "delay:0"):
+                result = SortScanEngine().evaluate(ds, wf)
+        # The delay action is benign: the run completes correctly ...
+        assert result["cnt"].rows[(0,)] == 13
+        # ... and the end-of-scan flush happened exactly once, while
+        # ordinary cascades ran at least as often.
+        assert trigger_count("sortscan.final-flush") == 1
+        assert trigger_count("sortscan.cascade") >= 1
+
+    def test_worker_failpoint_surfaces_from_process_pool(
+        self, schema, monkeypatch
+    ):
+        from repro.engine.partitioned import PartitionedEngine
+        from repro.testkit import FailPointError, activate
+        from repro.testkit.failpoints import ENV_VAR
+
+        ds, wf = self._dataset_and_workflow(schema)
+        # Armed both programmatically (inherited under fork) and via
+        # the environment (parsed at import under spawn), so the
+        # workers are armed whatever the start method.
+        activate("partitioned.worker", "raise")
+        monkeypatch.setenv(ENV_VAR, "partitioned.worker:raise")
+        engine = PartitionedEngine(
+            partition_dim=0, num_partitions=2, parallel="processes"
+        )
+        with pytest.raises(FailPointError, match="partitioned.worker"):
+            engine.evaluate(ds, wf)
+
+    def test_worker_failpoint_is_silent_in_serial_mode(self, schema):
+        from repro.engine.partitioned import PartitionedEngine
+        from repro.testkit import failpoint, trigger_count
+
+        ds, wf = self._dataset_and_workflow(schema)
+        engine = PartitionedEngine(
+            partition_dim=0, num_partitions=2, parallel="serial"
+        )
+        with failpoint("partitioned.worker", "raise"):
+            result = engine.evaluate(ds, wf)
+        # Serial evaluation never enters a process worker, so the site
+        # must not fire — it guards exactly the shared-nothing path.
+        assert trigger_count("partitioned.worker") == 0
+        assert result["cnt"].rows[(0,)] == 13

@@ -89,3 +89,56 @@ class TestEvalStatsMerge:
         assert a.peak_entries == 100  # max, not sum
         assert a.flushed_entries == 8
         assert a.spooled_entries == 8
+
+
+class TestEvalStatsSerialization:
+    def _stats(self):
+        worker = EvalStats(
+            engine="sort-scan",
+            rows_scanned=500,
+            scans=1,
+            peak_entries=64,
+            notes="partition 0",
+            nodes=[{"node": "cnt", "entries": 12}],
+        )
+        return EvalStats(
+            engine="partitioned[processes]",
+            rows_scanned=1000,
+            scans=2,
+            passes=3,
+            sort_seconds=0.25,
+            scan_seconds=0.5,
+            total_seconds=1.0,
+            peak_entries=128,
+            flushed_entries=9,
+            spooled_entries=4,
+            notes="fell back to serial: example",
+            workers=[worker],
+            nodes=[{"node": "cnt", "entries": 30}],
+        )
+
+    def test_round_trip_preserves_every_field(self):
+        stats = self._stats()
+        restored = EvalStats.from_dict(stats.to_dict())
+        assert restored == stats
+        # The nested worker rides along recursively.
+        assert restored.workers[0].notes == "partition 0"
+        assert restored.workers[0].nodes == [
+            {"node": "cnt", "entries": 12}
+        ]
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = json.dumps(self._stats().to_dict())
+        restored = EvalStats.from_dict(json.loads(payload))
+        assert restored == self._stats()
+
+    def test_from_dict_defaults_for_sparse_payloads(self):
+        restored = EvalStats.from_dict({"rows_scanned": 5})
+        assert restored.rows_scanned == 5
+        assert restored.engine == ""
+        assert restored.passes == 1
+        assert restored.notes == ""
+        assert restored.workers == []
+        assert restored.nodes == []

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -221,3 +222,101 @@ class TestHTTPEndpoint:
         for thread in threads:
             thread.join()
         assert errors == []
+
+    # -- error paths ---------------------------------------------------
+
+    @staticmethod
+    def _error_body(excinfo) -> str:
+        return json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_measure_is_404_everywhere(self, http):
+        for route in ("point?measure=nope&key=0",
+                      "range?measure=nope",
+                      "table?measure=nope"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(f"{http}/{route}")
+            assert excinfo.value.code == 404
+            assert "unknown measure" in self._error_body(excinfo)
+
+    def test_malformed_region_key_is_client_error(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(f"{http}/point?measure=Count&key=one,two")
+        assert excinfo.value.code == 404
+        assert "malformed region key" in self._error_body(excinfo)
+
+    def test_unknown_route_is_404(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(f"{http}/frobnicate")
+        assert excinfo.value.code == 404
+        assert "unknown route" in self._error_body(excinfo)
+
+    def _post(self, url, body: bytes):
+        request = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        return urllib.request.urlopen(request)
+
+    def test_post_ingest_malformed_json_is_400(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http}/ingest", b"{not json at all")
+        assert excinfo.value.code == 400
+        assert "bad ingest body" in self._error_body(excinfo)
+
+    def test_post_ingest_missing_records_is_400(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http}/ingest", json.dumps({"rows": []}).encode())
+        assert excinfo.value.code == 400
+        assert "bad ingest body" in self._error_body(excinfo)
+
+    def test_post_ingest_non_list_records_is_400(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(
+                f"{http}/ingest", json.dumps({"records": 42}).encode()
+            )
+        assert excinfo.value.code == 400
+
+    def test_post_to_unknown_route_is_404(self, http):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http}/measures", b"{}")
+        assert excinfo.value.code == 404
+
+    def test_query_during_in_flight_ingest(self, http, service):
+        # Slow the commit down with the shared ingest fail point, then
+        # read over HTTP while the POST is folding: the service lock
+        # must serialize them — the read never observes a half-applied
+        # delta, whichever side of the commit it lands on.
+        from repro.testkit import failpoint
+
+        table = service.table("Count")
+        key = table.keys()[0]
+        key_text = ",".join(str(part) for part in key)
+        url = f"{http}/point?measure=Count&key={key_text}"
+        records = make_records(30, seed=77)
+        results, errors = [], []
+
+        def writer():
+            try:
+                with self._post(
+                    f"{http}/ingest",
+                    json.dumps({"records": records}).encode(),
+                ) as response:
+                    results.append(json.loads(response.read()))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        before = service.stats()["generation"]
+        with failpoint("ingest.fold", "delay:0.4"):
+            thread = threading.Thread(target=writer)
+            thread.start()
+            time.sleep(0.1)  # let the POST reach the armed fold
+            payload = self._get(url)
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert errors == []
+        assert results and results[0]["records"] == len(records)
+        # The read returned a committed value: either the pre-ingest
+        # table's, or the post-ingest one recomputed from the store.
+        after_table = service.table("Count")
+        assert payload["value"] in (table[key], after_table[key])
+        assert service.stats()["generation"] == before + 1

@@ -72,3 +72,64 @@ def test_matches_builtin_sorted(values, run_size):
     records = [(v,) for v in values]
     out = list(external_sort(records, lambda r: r, run_size=run_size))
     assert out == sorted(records)
+
+
+class TestInjectedFailures:
+    """A spill or merge that dies must not leak temp run files."""
+
+    def _records(self):
+        return [(i % 9, i) for i in range(50)]
+
+    def test_failed_spill_leaves_no_run_files(self, tmp_path):
+        from repro.testkit import FailPointError, failpoint
+
+        with failpoint("sort.spill", "raise"):
+            with pytest.raises(FailPointError):
+                list(
+                    external_sort(
+                        self._records(),
+                        lambda r: r[0],
+                        run_size=5,
+                        tmp_dir=str(tmp_path),
+                    )
+                )
+        assert os.listdir(tmp_path) == []
+
+    def test_failed_merge_leaves_no_run_files(self, tmp_path):
+        from repro.testkit import FailPointError, failpoint
+
+        with failpoint("sort.merge", "raise"):
+            with pytest.raises(FailPointError):
+                list(
+                    external_sort(
+                        self._records(),
+                        lambda r: r[0],
+                        run_size=5,
+                        tmp_dir=str(tmp_path),
+                    )
+                )
+        assert os.listdir(tmp_path) == []
+
+    def test_failed_spill_removes_owned_temp_directory(self):
+        import tempfile
+
+        from repro.testkit import FailPointError, failpoint
+
+        base = tempfile.gettempdir()
+
+        def sort_dirs():
+            return {
+                name
+                for name in os.listdir(base)
+                if name.startswith("awra-sort-")
+            }
+
+        before = sort_dirs()
+        with failpoint("sort.spill", "raise"):
+            with pytest.raises(FailPointError):
+                list(
+                    external_sort(
+                        self._records(), lambda r: r[0], run_size=5
+                    )
+                )
+        assert sort_dirs() == before

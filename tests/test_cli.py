@@ -373,3 +373,51 @@ class TestRunExport:
         assert "traffic.tsv" in written
         assert "alerts.tsv" in written
         assert "written to" in capsys.readouterr().err
+
+
+class TestFaults:
+    def test_list_shows_registered_sites(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "store.manifest-swap" in out
+        assert "ingest.pre-commit" in out
+        assert "sort.spill" in out
+        assert "partitioned.worker" in out
+
+    def test_list_filters_by_scope(self, capsys):
+        assert main(["faults", "list", "--scope", "sort"]) == 0
+        out = capsys.readouterr().out
+        assert "sort.spill" in out
+        assert "store.manifest-swap" not in out
+
+    def test_list_unknown_scope_is_empty(self, capsys):
+        assert main(["faults", "list", "--scope", "nope"]) == 0
+        assert "no registered sites" in capsys.readouterr().out
+
+    def test_run_clean_seeds_exit_zero(self, capsys):
+        code = main(
+            ["faults", "run", "--seeds", "2", "--families", "merge"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checked 2 seeds x 1 families (merge): 0 failure(s)" in out
+
+    def test_run_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown oracle families"):
+            main(["faults", "run", "--seeds", "1", "--families", "vibes"])
+
+    def test_sweep_single_site(self, capsys):
+        code = main(
+            ["faults", "sweep", "--sites", "store.manifest-write"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store.manifest-write" in out
+        assert "all recovered" in out
+
+    def test_sweep_reports_unfired_site(self, capsys):
+        code = main(["faults", "sweep", "--sites", "store.not-woven"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "1 FAILED" in out

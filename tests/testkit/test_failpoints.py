@@ -1,0 +1,256 @@
+"""Tests for the fail-point registry itself.
+
+The registry is process-global state; the autouse conftest fixture
+disarms everything after each test, and sites registered here use a
+``test.``-prefixed scope so they never collide with woven production
+sites.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.errors import FailPointError
+from repro.testkit import failpoints
+from repro.testkit.failpoints import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    activate,
+    deactivate,
+    failpoint,
+    fire,
+    install_from_env,
+    is_armed,
+    load_instrumented_sites,
+    register,
+    registered,
+    trigger_count,
+)
+
+
+def _src_root() -> str:
+    return os.path.dirname(os.path.dirname(repro.__file__))
+
+
+def _subprocess_env(**extra) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root()
+    env.pop(ENV_VAR, None)
+    env.update(extra)
+    return env
+
+
+class TestRegistry:
+    def test_register_returns_name_and_lists(self):
+        name = register("test.alpha", "test", doc="a doc")
+        assert name == "test.alpha"
+        sites = {site.name: site for site in registered("test")}
+        assert "test.alpha" in sites
+        assert sites["test.alpha"].doc == "a doc"
+
+    def test_register_is_idempotent(self):
+        register("test.same", "test", doc="first")
+        register("test.same", "test", doc="second")
+        matching = [
+            site for site in registered("test")
+            if site.name == "test.same"
+        ]
+        assert len(matching) == 1
+        assert matching[0].doc == "second"
+
+    def test_registered_sorts_and_filters_by_scope(self):
+        register("test.z", "test")
+        register("test.a", "test")
+        names = [site.name for site in registered("test")]
+        assert names == sorted(names)
+        assert all(site.scope == "test" for site in registered("test"))
+
+    def test_load_instrumented_sites_covers_all_scopes(self):
+        load_instrumented_sites()
+        by_scope = {}
+        for site in registered():
+            by_scope.setdefault(site.scope, []).append(site.name)
+        assert "store.manifest-swap" in by_scope["store"]
+        assert "store.segment-write" in by_scope["store"]
+        assert "ingest.pre-commit" in by_scope["ingest"]
+        assert "sort.spill" in by_scope["sort"]
+        assert "sortscan.final-flush" in by_scope["engine"]
+        assert "partitioned.worker" in by_scope["engine"]
+
+    def test_unknown_site_rejected_without_force(self):
+        with pytest.raises(FailPointError, match="unknown fail point"):
+            activate("test.never-registered-xyz", "raise")
+        activate("test.never-registered-xyz", "raise", force=True)
+        assert is_armed("test.never-registered-xyz")
+
+    def test_unknown_action_rejected(self):
+        register("test.act", "test")
+        with pytest.raises(FailPointError, match="unknown fail-point"):
+            activate("test.act", "explode")
+
+    def test_malformed_delay_parameter_rejected(self):
+        register("test.act", "test")
+        with pytest.raises(FailPointError, match="malformed"):
+            activate("test.act", "delay:soon")
+
+
+class TestFiring:
+    def test_fire_is_a_noop_when_nothing_armed(self):
+        register("test.quiet", "test")
+        fire("test.quiet")  # must not raise
+        assert trigger_count("test.quiet") == 0
+
+    def test_fire_is_a_noop_when_another_site_armed(self):
+        register("test.quiet", "test")
+        register("test.loud", "test")
+        with failpoint("test.loud", "delay:0"):
+            fire("test.quiet")
+        assert trigger_count("test.quiet") == 0
+
+    def test_raise_action(self):
+        register("test.boom", "test")
+        activate("test.boom", "raise")
+        with pytest.raises(FailPointError, match="test.boom"):
+            fire("test.boom")
+        assert trigger_count("test.boom") == 1
+
+    def test_deactivate_disarms(self):
+        register("test.boom", "test")
+        activate("test.boom", "raise")
+        deactivate("test.boom")
+        fire("test.boom")
+        assert not is_armed("test.boom")
+
+    def test_failpoint_context_manager_disarms_on_exit(self):
+        register("test.boom", "test")
+        with failpoint("test.boom", "raise"):
+            assert is_armed("test.boom")
+            with pytest.raises(FailPointError):
+                fire("test.boom")
+        assert not is_armed("test.boom")
+        fire("test.boom")
+
+    def test_delay_action_sleeps(self):
+        register("test.slow", "test")
+        with failpoint("test.slow", "delay:0.05"):
+            started = time.perf_counter()
+            fire("test.slow")
+            elapsed = time.perf_counter() - started
+        assert elapsed >= 0.04
+
+    def test_trigger_count_accumulates_and_clears(self):
+        register("test.multi", "test")
+        with failpoint("test.multi", "delay:0"):
+            for __ in range(3):
+                fire("test.multi")
+        assert trigger_count("test.multi") == 3
+        failpoints.clear()
+        assert trigger_count("test.multi") == 0
+
+    def test_trigger_increments_metrics_counter(self):
+        from repro.obs import get_registry
+        from repro.obs.metrics import FAILPOINT_TRIGGERS
+
+        register("test.counted", "test")
+        counter = get_registry().counter(
+            FAILPOINT_TRIGGERS, labelnames=("name", "action")
+        ).labels(name="test.counted", action="raise")
+        before = counter.value
+        with failpoint("test.counted", "raise"):
+            with pytest.raises(FailPointError):
+                fire("test.counted")
+        assert counter.value == before + 1
+
+
+class TestEnvironmentInstall:
+    def test_install_from_spec_string(self):
+        armed = install_from_env("test.env-a:raise, test.env-b:delay:0.5")
+        assert armed == ["test.env-a", "test.env-b"]
+        assert is_armed("test.env-a")
+        assert is_armed("test.env-b")
+
+    def test_install_empty_spec_is_a_noop(self):
+        assert install_from_env("") == []
+
+    def test_install_malformed_spec_rejected(self):
+        with pytest.raises(FailPointError, match="malformed"):
+            install_from_env("just-a-name-no-action")
+
+    def test_env_var_arms_subprocess_at_import(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.testkit import failpoints; "
+                "assert failpoints.is_armed('test.from-env'); "
+                "print('armed')",
+            ],
+            env=_subprocess_env(**{ENV_VAR: "test.from-env:raise"}),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "armed" in proc.stdout
+
+
+class TestHardExitActions:
+    """crash / torn-write end in ``os._exit``; exercised in children."""
+
+    def test_crash_action_exits_with_crash_code(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.testkit import failpoints\n"
+                "failpoints.register('test.die', 'test')\n"
+                "failpoints.activate('test.die', 'crash')\n"
+                "failpoints.fire('test.die')\n"
+                "raise SystemExit('unreachable')\n",
+            ],
+            env=_subprocess_env(),
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == CRASH_EXIT_CODE
+
+    def test_torn_write_truncates_then_exits(self, tmp_path):
+        victim = tmp_path / "segment.bin"
+        victim.write_bytes(b"x" * 100)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys\n"
+                "from repro.testkit import failpoints\n"
+                "failpoints.register('test.tear', 'test')\n"
+                "failpoints.activate('test.tear', 'torn-write')\n"
+                "failpoints.fire('test.tear', path=sys.argv[1])\n",
+                str(victim),
+            ],
+            env=_subprocess_env(),
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == CRASH_EXIT_CODE
+        assert victim.stat().st_size == 50
+
+    def test_torn_write_without_path_still_crashes(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.testkit import failpoints\n"
+                "failpoints.register('test.tear', 'test')\n"
+                "failpoints.activate('test.tear', 'torn-write')\n"
+                "failpoints.fire('test.tear')\n",
+            ],
+            env=_subprocess_env(),
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == CRASH_EXIT_CODE

@@ -1,0 +1,157 @@
+"""Tests for the metamorphic oracle harness.
+
+Clean seeds assert the five families hold on the real system; the
+failure-path tests inject broken checks (monkeypatched) to verify the
+harness reports seeds, reprints recipes, and shrinks workflow-shaped
+failures to 1-minimal recipes.
+"""
+
+import pytest
+
+from repro.testkit import oracles
+from repro.testkit.generator import RandomCase
+from repro.testkit.oracles import (
+    FAMILIES,
+    OracleFailure,
+    _check_merge_laws,
+    default_schema,
+    run_batch,
+    run_seed,
+)
+
+
+class TestCleanSeeds:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_families_hold(self, seed, tmp_path):
+        assert run_seed(seed, tmp_dir=str(tmp_path)) == []
+
+    def test_family_selection(self, tmp_path):
+        assert (
+            run_seed(0, families=["merge"], tmp_dir=str(tmp_path)) == []
+        )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle families"):
+            run_seed(0, families=["vibes"])
+
+    def test_families_constant_matches_checks(self):
+        assert set(FAMILIES) == set(oracles._CHECKS)
+
+
+class TestFailureReporting:
+    def test_failure_reprints_seed_and_recipe(
+        self, monkeypatch, tmp_path
+    ):
+        def boom(case, rng, tmp):
+            raise AssertionError("deliberately broken")
+
+        monkeypatch.setitem(oracles._CHECKS, "merge", boom)
+        failures = run_seed(7, families=["merge"], tmp_dir=str(tmp_path))
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure.family == "merge"
+        assert failure.seed == 7
+        assert "deliberately broken" in failure.message
+        assert "run_seed(7, families=['merge'])" in failure.message
+        # The full recipe is reprinted, so the failure reproduces from
+        # the message alone.
+        case = RandomCase(7, default_schema())
+        assert case.recipe_text() in failure.message
+
+    def test_describe_includes_shrunk_recipe(self):
+        failure = OracleFailure(
+            family="partition",
+            seed=3,
+            message="boom",
+            shrunk_recipe=["wf.basic('a', ...)"],
+        )
+        text = failure.describe()
+        assert "[partition] seed=3" in text
+        assert "Shrunk recipe" in text
+        assert "wf.basic" in text
+
+    def test_describe_without_shrunk_recipe(self):
+        text = OracleFailure("merge", 1, "law violated").describe()
+        assert "Shrunk recipe" not in text
+
+    def test_workflow_failure_carries_minimal_recipe(
+        self, monkeypatch, tmp_path
+    ):
+        schema = default_schema()
+        case = RandomCase(11, schema)
+        target = case.steps[-1].name
+
+        def fake_mismatch(case_, workflow):
+            if target in workflow.outputs():
+                return f"{target} diverges (injected)"
+            return None
+
+        monkeypatch.setattr(
+            oracles, "_partition_mismatch", fake_mismatch
+        )
+        failures = run_seed(
+            11, families=["partition"], tmp_dir=str(tmp_path)
+        )
+        assert len(failures) == 1
+        recipe = failures[0].shrunk_recipe
+        assert recipe
+        assert len(recipe) <= len(case.steps)
+        assert any(target in line for line in recipe)
+
+    def test_shrink_flag_off_skips_minimization(
+        self, monkeypatch, tmp_path
+    ):
+        schema = default_schema()
+        target = RandomCase(11, schema).steps[-1].name
+
+        def fake_mismatch(case_, workflow):
+            if target in workflow.outputs():
+                return "diverges (injected)"
+            return None
+
+        monkeypatch.setattr(
+            oracles, "_partition_mismatch", fake_mismatch
+        )
+        failures = run_seed(
+            11,
+            families=["partition"],
+            tmp_dir=str(tmp_path),
+            shrink=False,
+        )
+        assert len(failures) == 1
+        assert failures[0].shrunk_recipe == []
+
+
+class TestRunBatch:
+    def test_on_seed_callback_sees_every_seed(self):
+        seen = []
+        failures = run_batch(
+            range(3),
+            families=["merge"],
+            on_seed=lambda seed, found: seen.append((seed, len(found))),
+        )
+        assert failures == []
+        assert seen == [(0, 0), (1, 0), (2, 0)]
+
+
+class TestMergeLawChecker:
+    def test_catches_merge_that_drops_a_state(self):
+        class BrokenSum:
+            name = "broken-sum"
+
+            def create(self):
+                return 0.0
+
+            def update(self, state, value):
+                return state + (value or 0.0)
+
+            def merge(self, a, b):
+                return a  # drops b's state entirely
+
+            def finalize(self, state):
+                return state
+
+        with pytest.raises(AssertionError, match="broken-sum"):
+            _check_merge_laws(
+                BrokenSum(), ([1.0], [2.0], [3.0])
+            )
