@@ -9,7 +9,6 @@ states stays exact.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
 
@@ -32,7 +31,7 @@ class Average(AggregateFunction):
     def merge(self, left, right):
         return (left[0] + right[0], left[1] + right[1])
 
-    def finalize(self, state) -> Optional[float]:
+    def finalize(self, state) -> float | None:
         count, total = state
         if count == 0:
             return None
@@ -71,7 +70,7 @@ class Variance(AggregateFunction):
         m2 = m2_a + m2_b + delta * delta * n_a * n_b / n
         return (n, mean, m2)
 
-    def finalize(self, state) -> Optional[float]:
+    def finalize(self, state) -> float | None:
         n, __, m2 = state
         if n == 0:
             return None
@@ -83,7 +82,7 @@ class StdDev(Variance):
 
     name = "stddev"
 
-    def finalize(self, state) -> Optional[float]:
+    def finalize(self, state) -> float | None:
         var = super().finalize(state)
         return None if var is None else math.sqrt(var)
 

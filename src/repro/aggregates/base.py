@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import AlgebraError
 
@@ -47,11 +47,11 @@ class AggregateFunction:
     def merge(self, left: Any, right: Any) -> Any:
         raise NotImplementedError
 
-    def finalize(self, state: Any) -> Optional[float]:
+    def finalize(self, state: Any) -> float | None:
         raise NotImplementedError
 
     # Convenience for the non-streaming engines and tests.
-    def over(self, values) -> Optional[float]:
+    def over(self, values) -> float | None:
         """Aggregate an iterable of values in one shot."""
         state = self.create()
         for value in values:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
 
@@ -34,7 +34,7 @@ class Sum(AggregateFunction):
     name = "sum"
     kind = Kind.DISTRIBUTIVE
 
-    def create(self) -> Optional[float]:
+    def create(self) -> float | None:
         return None
 
     def update(self, state, value):

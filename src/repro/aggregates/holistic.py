@@ -10,7 +10,6 @@ RDBMS) is expensive.
 from __future__ import annotations
 
 from statistics import median as _median
-from typing import Optional
 
 from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
 
@@ -55,7 +54,7 @@ class Median(AggregateFunction):
         left.extend(right)
         return left
 
-    def finalize(self, state: list) -> Optional[float]:
+    def finalize(self, state: list) -> float | None:
         if not state:
             return None
         return _median(state)

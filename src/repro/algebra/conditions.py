@@ -22,10 +22,10 @@ relational baseline).
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from repro.errors import AlgebraError
-from repro.cube.granularity import Granularity
+from repro.cube.granularity import Granularity, Key
 from repro.schema.dataset_schema import DatasetSchema
 
 
@@ -37,8 +37,8 @@ class MatchCondition:
         raise NotImplementedError
 
     def affected_keys(
-        self, t_key: tuple, s_gran: Granularity, t_gran: Granularity
-    ) -> Iterator[tuple]:
+        self, t_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[Key]:
         """Target (S) keys whose windows/ancestry include ``t_key``.
 
         Only defined for conditions where the set is enumerable from the
@@ -49,8 +49,8 @@ class MatchCondition:
 
     def matches(
         self,
-        s_key: tuple,
-        t_key: tuple,
+        s_key: Key,
+        t_key: Key,
         s_gran: Granularity,
         t_gran: Granularity,
     ) -> bool:
@@ -66,17 +66,25 @@ class MatchCondition:
 class SelfMatch(MatchCondition):
     """``S.X = T.X``: same region; equivalent to a combine join."""
 
-    def validate(self, s_gran, t_gran):
+    def validate(self, s_gran: Granularity, t_gran: Granularity) -> None:
         if s_gran != t_gran:
             raise AlgebraError(
                 f"self match needs equal granularities, got {s_gran} "
                 f"vs {t_gran}"
             )
 
-    def affected_keys(self, t_key, s_gran, t_gran):
+    def affected_keys(
+        self, t_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[Key]:
         yield t_key
 
-    def matches(self, s_key, t_key, s_gran, t_gran):
+    def matches(
+        self,
+        s_key: Key,
+        t_key: Key,
+        s_gran: Granularity,
+        t_gran: Granularity,
+    ) -> bool:
         return s_key == t_key
 
     def __repr__(self) -> str:
@@ -86,7 +94,7 @@ class SelfMatch(MatchCondition):
 class ParentChild(MatchCondition):
     """``γ(S.X) = T.X``: S finer; each S-region sees its T ancestor."""
 
-    def validate(self, s_gran, t_gran):
+    def validate(self, s_gran: Granularity, t_gran: Granularity) -> None:
         if not s_gran.strictly_finer(t_gran):
             raise AlgebraError(
                 f"parent/child match needs S strictly finer than T, got "
@@ -98,18 +106,26 @@ class ParentChild(MatchCondition):
         return False
 
     def ancestor(
-        self, s_key: tuple, s_gran: Granularity, t_gran: Granularity
-    ) -> tuple:
+        self, s_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Key:
         """The unique T key matched by an S key."""
         return t_gran.generalize_key(s_key, s_gran)
 
-    def affected_keys(self, t_key, s_gran, t_gran):
+    def affected_keys(
+        self, t_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[Key]:
         raise AlgebraError(
             "parent/child matches cannot be enumerated from the T side; "
             "use ancestor()"
         )
 
-    def matches(self, s_key, t_key, s_gran, t_gran):
+    def matches(
+        self,
+        s_key: Key,
+        t_key: Key,
+        s_gran: Granularity,
+        t_gran: Granularity,
+    ) -> bool:
         return self.ancestor(s_key, s_gran, t_gran) == t_key
 
     def __repr__(self) -> str:
@@ -119,17 +135,25 @@ class ParentChild(MatchCondition):
 class ChildParent(MatchCondition):
     """``γ(T.X) = S.X``: S coarser; aggregates T's descendants."""
 
-    def validate(self, s_gran, t_gran):
+    def validate(self, s_gran: Granularity, t_gran: Granularity) -> None:
         if not t_gran.strictly_finer(s_gran):
             raise AlgebraError(
                 f"child/parent match needs T strictly finer than S, got "
                 f"S={s_gran} vs T={t_gran}"
             )
 
-    def affected_keys(self, t_key, s_gran, t_gran):
+    def affected_keys(
+        self, t_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[Key]:
         yield s_gran.generalize_key(t_key, t_gran)
 
-    def matches(self, s_key, t_key, s_gran, t_gran):
+    def matches(
+        self,
+        s_key: Key,
+        t_key: Key,
+        s_gran: Granularity,
+        t_gran: Granularity,
+    ) -> bool:
         return s_gran.generalize_key(t_key, t_gran) == s_key
 
     def __repr__(self) -> str:
@@ -177,7 +201,7 @@ class Sibling(MatchCondition):
             self._resolved_schema = schema
         return self._resolved
 
-    def validate(self, s_gran, t_gran):
+    def validate(self, s_gran: Granularity, t_gran: Granularity) -> None:
         if s_gran != t_gran:
             raise AlgebraError(
                 f"sibling match needs equal granularities, got {s_gran} "
@@ -192,7 +216,9 @@ class Sibling(MatchCondition):
                     f"in {s_gran}"
                 )
 
-    def affected_keys(self, t_key, s_gran, t_gran):
+    def affected_keys(
+        self, t_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[Key]:
         """All S keys whose window contains ``t_key``.
 
         ``T.X ∈ [S.X - before, S.X + after]`` inverts to
@@ -211,7 +237,13 @@ class Sibling(MatchCondition):
         for combo in product(*dim_ranges):
             yield tuple(combo)
 
-    def matches(self, s_key, t_key, s_gran, t_gran):
+    def matches(
+        self,
+        s_key: Key,
+        t_key: Key,
+        s_gran: Granularity,
+        t_gran: Granularity,
+    ) -> bool:
         windows = self.resolve(s_gran.schema)
         for i in range(len(s_key)):
             if i in windows:
@@ -275,7 +307,7 @@ class Lags(MatchCondition):
             self._resolved_schema = schema
         return self._resolved
 
-    def validate(self, s_gran, t_gran):
+    def validate(self, s_gran: Granularity, t_gran: Granularity) -> None:
         if s_gran != t_gran:
             raise AlgebraError(
                 f"lag match needs equal granularities, got {s_gran} "
@@ -290,7 +322,9 @@ class Lags(MatchCondition):
                     f"ALL in {s_gran}"
                 )
 
-    def affected_keys(self, t_key, s_gran, t_gran):
+    def affected_keys(
+        self, t_key: Key, s_gran: Granularity, t_gran: Granularity
+    ) -> Iterator[Key]:
         """S keys with ``t = s + δ`` for some δ, i.e. ``s = t - δ``."""
         offsets = self.resolve(s_gran.schema)
         dim_choices = []
@@ -308,7 +342,13 @@ class Lags(MatchCondition):
             if None not in combo:
                 yield tuple(combo)
 
-    def matches(self, s_key, t_key, s_gran, t_gran):
+    def matches(
+        self,
+        s_key: Key,
+        t_key: Key,
+        s_gran: Granularity,
+        t_gran: Granularity,
+    ) -> bool:
         offsets = self.resolve(s_gran.schema)
         for i in range(len(s_key)):
             if i in offsets:

@@ -16,7 +16,7 @@ row per region of granularity ``G``, carrying a single measure value
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.errors import AlgebraError
 from repro.aggregates.base import AggSpec
@@ -197,7 +197,7 @@ class CombineFn:
 
     def __init__(
         self,
-        fn: Callable[..., Optional[float]],
+        fn: Callable[..., float | None],
         name: str = "fc",
         handles_null: bool = False,
     ) -> None:
@@ -205,7 +205,7 @@ class CombineFn:
         self.name = name
         self.handles_null = handles_null
 
-    def __call__(self, *values) -> Optional[float]:
+    def __call__(self, *values) -> float | None:
         if not self.handles_null and any(v is None for v in values):
             return None
         return self.fn(*values)

@@ -18,7 +18,7 @@ Field references:
 from __future__ import annotations
 
 import operator
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.errors import AlgebraError
 from repro.cube.granularity import Granularity
@@ -243,8 +243,8 @@ class RawPredicate(Predicate):
 
     def __init__(
         self,
-        fact_fn: Optional[Callable] = None,
-        measure_fn: Optional[Callable] = None,
+        fact_fn: Callable | None = None,
+        measure_fn: Callable | None = None,
         reads_measure: bool = True,
         label: str = "<raw>",
     ) -> None:

@@ -11,7 +11,7 @@ is nothing to rewrite, and the test suite demonstrates the inequality.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.errors import AlgebraError
 from repro.aggregates.base import AggSpec, Kind

@@ -1,0 +1,40 @@
+"""Static analysis of aggregation workflows (the ``CSM###`` linter).
+
+Public surface::
+
+    from repro.analysis import analyze
+    report = analyze(workflow)
+    if not report.ok:
+        for diag in report.errors:
+            print(diag.format())
+
+See ``docs/analysis.md`` for the full code catalogue.
+"""
+
+from repro.analysis.analyzer import (
+    DEFAULT_MEMORY_BUDGET,
+    AnalysisContext,
+    Report,
+    analyze,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    FAMILIES,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "CODES",
+    "DEFAULT_MEMORY_BUDGET",
+    "FAMILIES",
+    "AnalysisContext",
+    "CodeInfo",
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "analyze",
+]

@@ -1,0 +1,166 @@
+"""The analyzer driver: run every rule family and collect a report.
+
+:func:`analyze` is the single entry point used by ``repro lint``, by
+``AggregationWorkflow.validate(strict=True)``, and by the measure
+service's submit/ingest gate.  It walks the workflow first (families
+(a), (b), (d) need no plan), then — only when the workflow is
+structurally sound — compiles the AW-RA graph and the one-pass
+streaming plan and runs the §5.3 feasibility rules over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import (
+    granularity_rules,
+    performance_rules,
+    streaming_rules,
+    wellformedness_rules,
+)
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.compile import CompiledGraph
+    from repro.engine.plan import StreamingPlan
+    from repro.workflow.workflow import AggregationWorkflow
+
+#: Default resident-entry budget for CSM203, matching the single-scan
+#: engine's default memory budget.
+DEFAULT_MEMORY_BUDGET = 1_000_000
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may look at.
+
+    ``graph`` and ``plan`` are ``None`` when the workflow could not be
+    compiled (the structural errors that prevented compilation are
+    already in the report by then), so streaming rules must tolerate
+    their absence.
+    """
+
+    workflow: AggregationWorkflow
+    dataset_size: int | None = None
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    graph: CompiledGraph | None = None
+    plan: StreamingPlan | None = None
+
+
+@dataclass
+class Report:
+    """The analyzer's output: every diagnostic for one workflow."""
+
+    workflow: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        ]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [
+            d
+            for d in self.diagnostics
+            if d.severity is Severity.WARNING
+        ]
+
+    @property
+    def hints(self) -> list[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.HINT
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when the workflow has no error-level findings."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        """The distinct diagnostic codes present in this report."""
+        return {d.code for d in self.diagnostics}
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering for the CLI."""
+        lines = [
+            f"{self.workflow}: "
+            f"{len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.hints)} hint(s)"
+        ]
+        lines.extend(d.format() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form for ``repro lint --json`` and HTTP."""
+        return {
+            "workflow": self.workflow,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "hint": len(self.hints),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def analyze(
+    workflow: AggregationWorkflow,
+    *,
+    dataset_size: int | None = None,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+) -> Report:
+    """Statically analyze ``workflow`` and return a :class:`Report`.
+
+    Never raises for a bad workflow — badness *is* the output.  Only
+    programming errors inside the analyzer itself escape.
+    """
+    ctx = AnalysisContext(
+        workflow=workflow,
+        dataset_size=dataset_size,
+        memory_budget=memory_budget,
+    )
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(wellformedness_rules(ctx))
+    diagnostics.extend(granularity_rules(ctx))
+    diagnostics.extend(performance_rules(ctx))
+
+    # Plan-level rules only make sense for a compilable workflow; an
+    # error found above usually means compilation would raise anyway.
+    if not any(d.severity is Severity.ERROR for d in diagnostics):
+        _attach_plan(ctx)
+        diagnostics.extend(streaming_rules(ctx))
+
+    diagnostics.sort(
+        key=lambda d: (d.severity.rank, d.code, d.measure or "")
+    )
+    return Report(workflow=workflow.name, diagnostics=diagnostics)
+
+
+def _attach_plan(ctx: AnalysisContext) -> None:
+    """Compile the workflow and its streaming plan, best-effort.
+
+    Compilation can still fail on workflows the structural rules pass
+    (the builder API prevents most of those, but hand-built measure
+    dicts can reach here); the streaming family simply goes unchecked
+    then, which is the conservative choice for warnings.
+    """
+    from repro.engine.compile import compile_workflow
+    from repro.engine.plan import build_streaming_plan
+    from repro.engine.sort_scan import default_sort_key
+
+    try:
+        graph = compile_workflow(ctx.workflow)
+        plan = build_streaming_plan(
+            graph, default_sort_key(graph), ctx.dataset_size
+        )
+    except ReproError:
+        return
+    ctx.graph = graph
+    ctx.plan = plan

@@ -1,0 +1,236 @@
+"""Diagnostic objects and the stable code registry.
+
+Every rule of the workflow linter emits :class:`Diagnostic` instances
+carrying a stable ``CSM###`` code, a severity, the offending measure,
+a one-line explanation, and — where the rule can tell — a fix-it
+suggestion.  Codes are grouped in blocks of one hundred by rule family:
+
+- ``CSM0xx`` — well-formedness of the workflow DAG;
+- ``CSM1xx`` — granularity and match-condition validity (§3.2);
+- ``CSM2xx`` — streaming feasibility of the one-pass plan (§5.3,
+  Table 6);
+- ``CSM3xx`` — performance hints from the algebraic identities
+  (Theorem 1, Properties 1-5).
+
+The registry is append-only: a released code keeps its meaning forever
+so that suppressions and dashboards written against ``--json`` output
+stay valid across versions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` workflows are rejected by strict validation and by the
+    measure service; ``WARNING`` flags plans that run but may behave
+    pathologically; ``HINT`` marks rewrite opportunities.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    HINT = "hint"
+
+    @property
+    def rank(self) -> int:
+        """Ordering key: errors first, hints last."""
+        return {"error": 0, "warning": 1, "hint": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    family: str
+    severity: Severity
+    title: str
+
+
+#: Rule families, in presentation order.
+FAMILIES = (
+    "well-formedness",
+    "match-validity",
+    "streaming",
+    "performance",
+)
+
+CODES: dict[str, CodeInfo] = {}
+
+
+def _register(
+    code: str, family: str, severity: Severity, title: str
+) -> str:
+    if code in CODES:
+        raise ValueError(f"duplicate diagnostic code {code!r}")
+    if family not in FAMILIES:
+        raise ValueError(f"unknown rule family {family!r}")
+    CODES[code] = CodeInfo(code, family, severity, title)
+    return code
+
+# -- well-formedness ----------------------------------------------------
+
+CSM001 = _register(
+    "CSM001", "well-formedness", Severity.ERROR,
+    "dependency on an unknown measure",
+)
+CSM002 = _register(
+    "CSM002", "well-formedness", Severity.ERROR,
+    "measure dependencies form a cycle",
+)
+CSM003 = _register(
+    "CSM003", "well-formedness", Severity.WARNING,
+    "dead measure: hidden and feeds no output",
+)
+CSM004 = _register(
+    "CSM004", "well-formedness", Severity.WARNING,
+    "duplicate outputs computing the same measure",
+)
+CSM005 = _register(
+    "CSM005", "well-formedness", Severity.ERROR,
+    "workflow produces no visible outputs",
+)
+
+# -- granularity / match validity (§3.2) -------------------------------
+
+CSM101 = _register(
+    "CSM101", "match-validity", Severity.ERROR,
+    "rollup source is not strictly finer than its target",
+)
+CSM102 = _register(
+    "CSM102", "match-validity", Severity.ERROR,
+    "match condition is invalid for the granularity pair",
+)
+CSM103 = _register(
+    "CSM103", "match-validity", Severity.ERROR,
+    "window or lag set on a dimension at ALL",
+)
+CSM104 = _register(
+    "CSM104", "match-validity", Severity.ERROR,
+    "keys measure granularity differs from the match target",
+)
+CSM105 = _register(
+    "CSM105", "match-validity", Severity.ERROR,
+    "combine inputs sit at different granularities",
+)
+
+# -- streaming feasibility (§5.3, Table 6) ------------------------------
+
+CSM201 = _register(
+    "CSM201", "streaming", Severity.WARNING,
+    "holistic aggregate cannot flush in the one-pass plan",
+)
+CSM202 = _register(
+    "CSM202", "streaming", Severity.WARNING,
+    "stream is unordered under the scan key; table stays resident",
+)
+CSM203 = _register(
+    "CSM203", "streaming", Severity.WARNING,
+    "estimated resident footprint exceeds the memory budget",
+)
+CSM204 = _register(
+    "CSM204", "streaming", Severity.WARNING,
+    "measures sharing the scan have no common order prefix",
+)
+
+# -- performance hints (Theorem 1) --------------------------------------
+
+CSM301 = _register(
+    "CSM301", "performance", Severity.HINT,
+    "selection is pushable below the aggregation (Property 2)",
+)
+CSM302 = _register(
+    "CSM302", "performance", Severity.HINT,
+    "aggregation chain collapses to one roll-up (Property 1)",
+)
+CSM303 = _register(
+    "CSM303", "performance", Severity.HINT,
+    "identical basic aggregations could share one scan group",
+)
+CSM304 = _register(
+    "CSM304", "performance", Severity.HINT,
+    "zero-extent window is a self match",
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        code: Stable ``CSM###`` identifier (see :data:`CODES`).
+        severity: Error / warning / hint.
+        message: One-line explanation of what is wrong.
+        measure: Name of the offending measure, when one is at fault.
+        workflow: Name of the workflow the finding belongs to.
+        suggestion: Optional fix-it hint ("did you mean ...").
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    measure: str | None = None
+    workflow: str | None = None
+    suggestion: str | None = None
+    related: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def family(self) -> str:
+        """Rule family of this diagnostic's code."""
+        return CODES[self.code].family
+
+    def format(self) -> str:
+        """Render as a one- or two-line compiler-style message."""
+        where = ""
+        if self.measure is not None:
+            where = f" [{self.measure}]"
+        line = (
+            f"{self.severity.value} {self.code}{where}: {self.message}"
+        )
+        if self.suggestion:
+            line += f"\n  fix: {self.suggestion}"
+        return line
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form, used by ``repro lint --json`` and the
+        measure service's HTTP error bodies."""
+        payload: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "family": self.family,
+            "message": self.message,
+        }
+        if self.measure is not None:
+            payload["measure"] = self.measure
+        if self.workflow is not None:
+            payload["workflow"] = self.workflow
+        if self.suggestion is not None:
+            payload["suggestion"] = self.suggestion
+        if self.related:
+            payload["related"] = list(self.related)
+        return payload
+
+
+def make(
+    code: str,
+    message: str,
+    *,
+    measure: str | None = None,
+    workflow: str | None = None,
+    suggestion: str | None = None,
+    related: tuple[str, ...] = (),
+) -> Diagnostic:
+    """Build a diagnostic with the code's registered severity."""
+    return Diagnostic(
+        code=code,
+        severity=CODES[code].severity,
+        message=message,
+        measure=measure,
+        workflow=workflow,
+        suggestion=suggestion,
+        related=related,
+    )

@@ -1,0 +1,654 @@
+"""The linter's rule families.
+
+Each rule walks an :class:`~repro.workflow.AggregationWorkflow` (or the
+streaming plan compiled from it) and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` objects.  Rules never
+mutate the workflow and never touch data; everything here is decidable
+from the workflow graph, the hierarchy lattice, and the plan-time
+order/slack algebra of Table 6 — which is the point: a bad workflow is
+rejected at submit time, not mid-scan.
+
+The rule set is organised by family:
+
+- :func:`wellformedness_rules` — DAG shape (``CSM0xx``);
+- :func:`granularity_rules` — §3.2 match validity (``CSM1xx``);
+- :func:`streaming_rules` — §5.3 one-pass feasibility (``CSM2xx``);
+- :func:`performance_rules` — Theorem 1 rewrite hints (``CSM3xx``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
+
+from repro.aggregates.base import Kind
+from repro.algebra.conditions import (
+    Lags,
+    MatchCondition,
+    ParentChild,
+    SelfMatch,
+    Sibling,
+)
+from repro.analysis.diagnostics import (
+    CSM001,
+    CSM002,
+    CSM003,
+    CSM004,
+    CSM005,
+    CSM101,
+    CSM102,
+    CSM103,
+    CSM104,
+    CSM105,
+    CSM201,
+    CSM202,
+    CSM203,
+    CSM204,
+    CSM301,
+    CSM302,
+    CSM303,
+    CSM304,
+    Diagnostic,
+    make,
+)
+from repro.cube.granularity import Granularity
+from repro.errors import AlgebraError, measure_ref
+from repro.workflow.measure import Measure, MeasureKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.analyzer import AnalysisContext
+
+#: Outer/inner aggregate pairs that collapse per Property 1; mirrors
+#: ``repro.algebra.properties._COLLAPSIBLE``.
+_COLLAPSIBLE = {
+    ("sum", "sum"),
+    ("min", "min"),
+    ("max", "max"),
+    ("sum", "count"),
+}
+
+
+def _key_dims(granularity: Granularity) -> tuple[int, ...]:
+    """Dimensions below ALL — the dimensions that key a region."""
+    return granularity.key_dims
+
+
+def _gran_spec(granularity: Granularity) -> str:
+    return repr(granularity)
+
+
+# -- family (a): well-formedness ---------------------------------------
+
+
+def wellformedness_rules(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    """Structural checks: dangling deps, cycles, dead and duplicate measures (CSM0xx)."""
+    wf = ctx.workflow
+    measures = wf.measures
+
+    if not measures or all(m.hidden for m in measures.values()):
+        yield make(
+            CSM005,
+            f"workflow {wf.name!r} defines no visible output measure",
+            workflow=wf.name,
+            suggestion="mark at least one measure hidden=False, or "
+            "drop the workflow",
+        )
+
+    # CSM001 — dangling dependencies.
+    for name, measure in measures.items():
+        for dep in measure.dependencies():
+            if dep not in measures:
+                yield make(
+                    CSM001,
+                    f"{measure_ref(name, wf.name)} depends on "
+                    f"{dep!r}, which is not defined",
+                    measure=name,
+                    workflow=wf.name,
+                    suggestion=f"define {dep!r} before {name!r}, or "
+                    f"fix the reference",
+                )
+
+    # CSM002 — cycles, with the cycle's path named (beyond what
+    # toposort reports: the actual back-edge walk, not just the
+    # stuck set).
+    for cycle in _find_cycles(measures):
+        path = " -> ".join((*cycle, cycle[0]))
+        yield make(
+            CSM002,
+            f"dependencies of workflow {wf.name!r} form a cycle: "
+            f"{path}",
+            measure=cycle[0],
+            workflow=wf.name,
+            related=tuple(cycle[1:]),
+            suggestion="recursion is not allowed; break the cycle by "
+            "computing one member from the fact table",
+        )
+
+    # CSM003 — dead hidden measures: computed but feeding nothing.
+    consumed: set[str] = set()
+    for measure in measures.values():
+        consumed.update(measure.dependencies())
+    for name, measure in measures.items():
+        if measure.hidden and name not in consumed:
+            yield make(
+                CSM003,
+                f"{measure_ref(name, wf.name)} is hidden and feeds "
+                f"no other measure; it would be computed and thrown "
+                f"away",
+                measure=name,
+                workflow=wf.name,
+                suggestion=f"delete {name!r} or expose it as an output",
+            )
+
+    # CSM004 — duplicate outputs.
+    seen: dict[tuple, str] = {}
+    for name, measure in measures.items():
+        if measure.hidden:
+            continue
+        signature = _definition_signature(measure)
+        first = seen.get(signature)
+        if first is not None:
+            yield make(
+                CSM004,
+                f"output {name!r} recomputes the same measure as "
+                f"{first!r} (same kind, granularity, aggregate, "
+                f"inputs)",
+                measure=name,
+                workflow=wf.name,
+                related=(first,),
+                suggestion=f"drop {name!r} and read {first!r}, or use "
+                f"derive() for a renamed view",
+            )
+        else:
+            seen[signature] = name
+
+
+def _definition_signature(measure: Measure) -> tuple[Any, ...]:
+    return (
+        measure.kind.value,
+        measure.granularity.levels,
+        repr(measure.agg),
+        repr(measure.where),
+        measure.source,
+        measure.keys,
+        repr(measure.cond),
+        measure.inputs,
+        repr(measure.fn),
+    )
+
+
+def _find_cycles(measures: dict[str, Measure]) -> list[list[str]]:
+    """Every distinct dependency cycle, each reported once."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in measures}
+    cycles: list[list[str]] = []
+    reported: set[frozenset] = set()
+
+    def visit(name: str, stack: list[str]) -> None:
+        color[name] = GRAY
+        stack.append(name)
+        for dep in measures[name].dependencies():
+            if dep not in measures:
+                continue
+            if color[dep] == GRAY:
+                cycle = stack[stack.index(dep):]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    cycles.append(list(cycle))
+            elif color[dep] == WHITE:
+                visit(dep, stack)
+        stack.pop()
+        color[name] = BLACK
+
+    for name in measures:
+        if color[name] == WHITE:
+            visit(name, [])
+    return cycles
+
+
+# -- family (b): granularity / match validity (§3.2) --------------------
+
+
+def granularity_rules(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    """Granularity-lattice and match-condition validity per §3.2 (CSM1xx)."""
+    wf = ctx.workflow
+    measures = wf.measures
+    for name, measure in measures.items():
+        if any(dep not in measures for dep in measure.dependencies()):
+            continue  # CSM001 already covers this measure
+        if measure.kind is MeasureKind.ROLLUP:
+            yield from _check_rollup(ctx, name, measure)
+        elif measure.kind is MeasureKind.MATCH:
+            yield from _check_match(ctx, name, measure)
+        elif measure.kind is MeasureKind.COMBINE:
+            yield from _check_combine(ctx, name, measure)
+
+
+def _check_rollup(
+    ctx: "AnalysisContext", name: str, measure: Measure
+) -> Iterator[Diagnostic]:
+    wf = ctx.workflow
+    source = wf.measures[measure.source]
+    if source.granularity.strictly_finer(measure.granularity):
+        return
+    if source.granularity == measure.granularity:
+        suggestion = (
+            "equal granularities aggregate nothing; use derive() / a "
+            "self match to re-expose the measure"
+        )
+    elif measure.granularity.strictly_finer(source.granularity):
+        suggestion = (
+            f"the target is finer than the source; did you mean "
+            f"broadcast({name!r}, ...) — a parent/child match pushing "
+            f"{measure.source!r} down?"
+        )
+    else:
+        suggestion = (
+            f"granularities {source.granularity!r} and "
+            f"{measure.granularity!r} are incomparable under <_G; "
+            f"roll up through a common coarser granularity instead"
+        )
+    yield make(
+        CSM101,
+        f"rollup {measure_ref(name, wf.name)}: source "
+        f"{measure.source!r} at {_gran_spec(source.granularity)} is "
+        f"not strictly finer than the target "
+        f"{_gran_spec(measure.granularity)}",
+        measure=name,
+        workflow=wf.name,
+        suggestion=suggestion,
+    )
+
+
+def _window_dims_at_all(
+    cond: MatchCondition, granularity: Granularity
+) -> list[str]:
+    """Window/lag dimensions sitting at ALL in ``granularity``."""
+    schema = granularity.schema
+    if isinstance(cond, Sibling):
+        names = cond.windows
+    elif isinstance(cond, Lags):
+        names = cond.offsets
+    else:
+        return []
+    offenders = []
+    for dim_name in names:
+        idx = schema.dim_index(dim_name)
+        if granularity.levels[idx] == schema.dimensions[idx].all_level:
+            offenders.append(schema.dimensions[idx].name)
+    return offenders
+
+
+def _check_match(
+    ctx: "AnalysisContext", name: str, measure: Measure
+) -> Iterator[Diagnostic]:
+    wf = ctx.workflow
+    source = wf.measures[measure.source]
+    s_gran = measure.granularity
+    t_gran = source.granularity
+
+    if measure.cond is None:
+        yield make(
+            CSM102,
+            f"match {measure_ref(name, wf.name)} has no match "
+            f"condition",
+            measure=name,
+            workflow=wf.name,
+            suggestion="attach a SelfMatch, ParentChild, Sibling, or "
+            "Lags condition",
+        )
+        return
+
+    # CSM103 — window on an ALL dimension, reported before the generic
+    # condition check so the message names the dimension.
+    offenders = _window_dims_at_all(measure.cond, s_gran)
+    if offenders:
+        dims = ", ".join(repr(d) for d in offenders)
+        yield make(
+            CSM103,
+            f"match {measure_ref(name, wf.name)}: {measure.cond!r} "
+            f"windows dimension(s) {dims}, which sit at ALL in "
+            f"{_gran_spec(s_gran)} — no neighbours exist there",
+            measure=name,
+            workflow=wf.name,
+            suggestion="window a dimension the region set keys on, or "
+            "refine the granularity",
+        )
+    else:
+        # CSM102 — condition/granularity mismatch, checked against the
+        # hierarchy lattice exactly as the runtime would.
+        try:
+            measure.cond.validate(s_gran, t_gran)
+        except AlgebraError as exc:
+            yield make(
+                CSM102,
+                f"match {measure_ref(name, wf.name)}: {exc}",
+                measure=name,
+                workflow=wf.name,
+                suggestion=_match_fix(measure, s_gran, t_gran),
+            )
+
+    # CSM104 — keys provider must sit at the match's own granularity.
+    if measure.keys is not None and measure.keys in wf.measures:
+        keys = wf.measures[measure.keys]
+        if keys.granularity != s_gran:
+            yield make(
+                CSM104,
+                f"match {measure_ref(name, wf.name)}: keys measure "
+                f"{measure.keys!r} is at "
+                f"{_gran_spec(keys.granularity)}, but the match "
+                f"produces {_gran_spec(s_gran)}",
+                measure=name,
+                workflow=wf.name,
+                suggestion="omit keys= to auto-create a cell provider "
+                "at the right granularity",
+            )
+
+
+def _match_fix(
+    measure: Measure, s_gran: Granularity, t_gran: Granularity
+) -> str:
+    """Fix-it wording for a CSM102 granularity mismatch."""
+    cond = measure.cond
+    if isinstance(cond, (Sibling, SelfMatch, Lags)):
+        if t_gran.strictly_finer(s_gran):
+            return (
+                f"source {measure.source!r} is strictly finer than "
+                f"the target; sibling/self matches need equal "
+                f"granularities — did you mean a rollup "
+                f"(child/parent) to {_gran_spec(s_gran)}?"
+            )
+        if s_gran.strictly_finer(t_gran):
+            return (
+                f"the target is strictly finer than source "
+                f"{measure.source!r}; did you mean broadcast() — a "
+                f"parent/child match?"
+            )
+        return (
+            f"granularities {_gran_spec(s_gran)} and "
+            f"{_gran_spec(t_gran)} have no common coverage; roll "
+            f"both sides up to a shared granularity first"
+        )
+    if isinstance(cond, ParentChild):
+        return (
+            "parent/child matches need the target strictly finer "
+            "than the source; for the opposite direction use rollup()"
+        )
+    return "check the match condition against §3.2's conditions"
+
+
+def _check_combine(
+    ctx: "AnalysisContext", name: str, measure: Measure
+) -> Iterator[Diagnostic]:
+    wf = ctx.workflow
+    grans = {
+        wf.measures[inp].granularity.levels: inp
+        for inp in measure.inputs
+    }
+    if len(grans) > 1:
+        listing = ", ".join(
+            f"{inp}@{_gran_spec(wf.measures[inp].granularity)}"
+            for inp in measure.inputs
+        )
+        yield make(
+            CSM105,
+            f"combine {measure_ref(name, wf.name)}: inputs sit at "
+            f"different granularities ({listing}); a combine join "
+            f"requires one shared region set",
+            measure=name,
+            workflow=wf.name,
+            suggestion="roll the finer inputs up (or broadcast the "
+            "coarser ones down) to one granularity first",
+        )
+
+
+# -- family (c): streaming feasibility (§5.3, Table 6) ------------------
+
+
+def streaming_rules(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    """One-pass feasibility against the chosen scan order and memory budget (CSM2xx)."""
+    wf = ctx.workflow
+    plan = ctx.plan
+    if plan is None or ctx.graph is None:
+        return
+    schema = wf.schema
+    scan_dim = plan.sort_key.parts[0][0]
+    scan_all = schema.dimensions[scan_dim].all_level
+
+    for name, measure in wf.measures.items():
+        node_plan = plan.nodes.get(name)
+        if node_plan is None:
+            continue
+        if not _key_dims(measure.granularity):
+            continue  # a single global cell is always cheap
+        unordered = node_plan.order_levels[0] == scan_all
+        holistic = (
+            measure.agg is not None
+            and measure.agg.function.kind is Kind.HOLISTIC
+        )
+        if unordered and holistic:
+            # CSM201 — the paper's hard case: holistic state cannot be
+            # merged or flushed early, so the node pins every input
+            # value for the whole scan.
+            yield make(
+                CSM201,
+                f"{measure_ref(name, wf.name)} aggregates with "
+                f"holistic {measure.agg.function.name}() but its "
+                f"stream is unordered under sort key "
+                f"{plan.sort_key!r}: every value stays resident "
+                f"until the end of the scan, and incremental "
+                f"ingestion must mark its regions dirty",
+                measure=name,
+                workflow=wf.name,
+                suggestion="sort on a dimension the measure keys on, "
+                "use MultiPassEngine, or switch to a sketch "
+                "(approximate) aggregate",
+            )
+        elif unordered:
+            yield make(
+                CSM202,
+                f"{measure_ref(name, wf.name)} is unordered under "
+                f"sort key {plan.sort_key!r}; its whole table "
+                f"(~{node_plan.estimated_entries} entries) stays "
+                f"resident until the end of the scan",
+                measure=name,
+                workflow=wf.name,
+                suggestion="include one of the measure's key "
+                "dimensions early in the sort key, or split the "
+                "query into passes",
+            )
+        if node_plan.estimated_entries > ctx.memory_budget:
+            # CSM203 — the watermark arrays themselves grow with the
+            # resident-entry estimate; surface it before running.
+            yield make(
+                CSM203,
+                f"{measure_ref(name, wf.name)} keeps an estimated "
+                f"~{node_plan.estimated_entries} entries resident "
+                f"under sort key {plan.sort_key!r} (budget "
+                f"{ctx.memory_budget}); watermark state grows with "
+                f"it",
+                measure=name,
+                workflow=wf.name,
+                suggestion="shrink the window/lag reach, choose a "
+                "sort key covering the measure, or evaluate with "
+                "MultiPassEngine / PartitionedEngine",
+            )
+
+    # CSM204 — Table 6 order conflict: two scan-sharing measures with
+    # no common key dimension can never both stream, whatever single
+    # sort key is chosen.
+    basics = [
+        (name, set(_key_dims(m.granularity)))
+        for name, m in wf.measures.items()
+        if m.kind is MeasureKind.BASIC
+        and _key_dims(m.granularity)
+        and name in plan.nodes
+    ]
+    reported: set[frozenset] = set()
+    for i, (a_name, a_dims) in enumerate(basics):
+        for b_name, b_dims in basics[i + 1:]:
+            if a_dims & b_dims:
+                continue
+            pair = frozenset((a_name, b_name))
+            if pair in reported:
+                continue
+            reported.add(pair)
+            yield make(
+                CSM204,
+                f"basic measures {a_name!r} and {b_name!r} share the "
+                f"fact scan but key on disjoint dimensions; no "
+                f"single sort key orders both (Table 6), so one "
+                f"stays fully resident in any one-pass plan",
+                measure=b_name,
+                workflow=wf.name,
+                related=(a_name,),
+                suggestion="evaluate them in separate passes "
+                "(MultiPassEngine) or add a shared leading "
+                "dimension to both granularities",
+            )
+
+
+# -- family (d): performance hints (Theorem 1) --------------------------
+
+
+def performance_rules(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    """Rewrite opportunities from Properties 1–5 of the paper (CSM3xx)."""
+    wf = ctx.workflow
+    measures = wf.measures
+    consumers: dict[str, list[str]] = {name: [] for name in measures}
+    for name, measure in measures.items():
+        for dep in measure.dependencies():
+            if dep in consumers:
+                consumers[dep].append(name)
+
+    for name, measure in measures.items():
+        if any(dep not in measures for dep in measure.dependencies()):
+            continue
+
+        # CSM301 — Property 2: a dimension-only selection over a
+        # private basic source can run on the raw records instead of
+        # on a materialized measure table.
+        if (
+            measure.kind in (MeasureKind.ROLLUP, MeasureKind.FILTER)
+            and measure.where is not None
+            and not measure.where.references_measure()
+            and measures[measure.source].kind is MeasureKind.BASIC
+            and measures[measure.source].hidden
+            and consumers[measure.source] == [name]
+        ):
+            yield make(
+                CSM301,
+                f"{measure_ref(name, wf.name)} filters "
+                f"{measure.source!r} on dimension attributes only; "
+                f"Property 2 pushes the selection below the "
+                f"aggregation",
+                measure=name,
+                workflow=wf.name,
+                suggestion=f"move the predicate into "
+                f"{measure.source!r}'s where= so it runs on the fact "
+                f"scan: g_{{G,agg}}(sigma(D)) instead of "
+                f"sigma(g_{{G,agg}}(D))",
+            )
+
+        # CSM302 — Property 1: distributive roll-up of a private
+        # roll-up/basic collapses into one aggregation.
+        if (
+            measure.kind is MeasureKind.ROLLUP
+            and measure.where is None
+            and measure.agg is not None
+        ):
+            source = measures[measure.source]
+            if (
+                source.kind in (MeasureKind.BASIC, MeasureKind.ROLLUP)
+                and source.hidden
+                and consumers[measure.source] == [name]
+                and source.agg is not None
+                and source.where is None
+                and measure.agg.function.kind is Kind.DISTRIBUTIVE
+                and source.agg.function.kind is Kind.DISTRIBUTIVE
+                and (
+                    measure.agg.function.name,
+                    source.agg.function.name,
+                ) in _COLLAPSIBLE
+            ):
+                yield make(
+                    CSM302,
+                    f"{measure_ref(name, wf.name)}: "
+                    f"{measure.agg.function.name}() over "
+                    f"{measure.source!r}'s "
+                    f"{source.agg.function.name}() collapses to a "
+                    f"single {source.agg.function.name}() at "
+                    f"{_gran_spec(measure.granularity)} (Property 1)",
+                    measure=name,
+                    workflow=wf.name,
+                    suggestion=f"define {name!r} directly over "
+                    f"{source.source or 'the fact table'} and drop "
+                    f"{measure.source!r}",
+                )
+
+        # CSM304 — a window that reaches nowhere is a self match.
+        if measure.kind is MeasureKind.MATCH:
+            cond = measure.cond
+            degenerate = (
+                isinstance(cond, Sibling)
+                and all(
+                    before == 0 and after == 0
+                    for before, after in cond.windows.values()
+                )
+            ) or (
+                isinstance(cond, Lags)
+                and all(
+                    deltas == (0,) for deltas in cond.offsets.values()
+                )
+            )
+            if degenerate:
+                yield make(
+                    CSM304,
+                    f"{measure_ref(name, wf.name)}: {cond!r} matches "
+                    f"only the region itself — the moving window "
+                    f"machinery buys nothing",
+                    measure=name,
+                    workflow=wf.name,
+                    suggestion=f"use derive({name!r}, "
+                    f"{measure.source!r}) (a self match) or widen "
+                    f"the window",
+                )
+
+    # CSM303 — identical basic aggregations: one scan group can serve
+    # both consumers (the shared-sub-expression form of Property 5).
+    seen: dict[tuple, str] = {}
+    for name, measure in measures.items():
+        if measure.kind is not MeasureKind.BASIC:
+            continue
+        signature = (
+            measure.granularity.levels,
+            repr(measure.agg),
+            repr(measure.where),
+        )
+        first = seen.get(signature)
+        if first is not None and (
+            measure.hidden or measures[first].hidden
+        ):
+            yield make(
+                CSM303,
+                f"basic {measure_ref(name, wf.name)} duplicates "
+                f"{first!r} (same granularity, aggregate, and "
+                f"filter); one scan group can feed both consumers",
+                measure=name,
+                workflow=wf.name,
+                related=(first,),
+                suggestion=f"point {name!r}'s consumers at {first!r} "
+                f"and delete the duplicate",
+            )
+        elif first is None:
+            seen[signature] = name
+
+
+#: All rule families, in evaluation order.
+ALL_RULES = (
+    wellformedness_rules,
+    granularity_rules,
+    streaming_rules,
+    performance_rules,
+)

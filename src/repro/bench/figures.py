@@ -17,7 +17,7 @@ from __future__ import annotations
 import contextlib
 import os
 import tempfile
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.bench.harness import BenchRow, run_engines, time_engine
 from repro.data.honeynet import honeynet_dataset
@@ -73,10 +73,8 @@ def _on_disk(dataset: InMemoryDataset) -> Iterator[Dataset]:
         write_flatfile(path, dataset.schema, dataset.records)
         yield FlatFileDataset(path, dataset.schema)
     finally:
-        try:
+        with contextlib.suppress(OSError):
             os.remove(path)
-        except OSError:
-            pass
 
 
 def fig6a(scale: float = 1.0, seed: int = 0) -> list[BenchRow]:
@@ -134,7 +132,7 @@ def fig6b(scale: float = 1.0, seed: int = 0) -> list[BenchRow]:
 
 
 def fig6c(
-    scale: float = 1.0, seed: int = 0, size: Optional[int] = None
+    scale: float = 1.0, seed: int = 0, size: int | None = None
 ) -> list[BenchRow]:
     """Figure 6(c): #dependent child measures 2..6 at fixed |D|."""
     if size is None:
@@ -160,7 +158,7 @@ def fig6c(
 
 
 def fig6d(
-    scale: float = 1.0, seed: int = 0, size: Optional[int] = None
+    scale: float = 1.0, seed: int = 0, size: int | None = None
 ) -> list[BenchRow]:
     """Figure 6(d): #sibling chains 2..7 at fixed |D|."""
     if size is None:
@@ -211,7 +209,7 @@ def fig6e(scale: float = 1.0, seed: int = 0) -> list[BenchRow]:
 
 
 def fig6f(
-    scale: float = 1.0, seed: int = 0, background: Optional[int] = None
+    scale: float = 1.0, seed: int = 0, background: int | None = None
 ) -> list[BenchRow]:
     """Figure 6(f): both network analyses fused into one workflow."""
     if background is None:
@@ -232,7 +230,7 @@ def fig6f(
 
 
 def fig7a(
-    scale: float = 1.0, seed: int = 0, background: Optional[int] = None
+    scale: float = 1.0, seed: int = 0, background: int | None = None
 ) -> list[BenchRow]:
     """Figure 7(a): escalation detection — simple scan wins.
 
@@ -258,7 +256,7 @@ def fig7a(
 
 
 def fig7b(
-    scale: float = 1.0, seed: int = 0, background: Optional[int] = None
+    scale: float = 1.0, seed: int = 0, background: int | None = None
 ) -> list[BenchRow]:
     """Figure 7(b): multi-recon detection — sort/scan beats the DB."""
     if background is None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.errors import MemoryBudgetExceeded
 from repro.engine.interfaces import Engine
@@ -18,14 +18,14 @@ class BenchRow:
     figure: str
     config: str
     engine: str
-    seconds: Optional[float]  # None = did not complete (e.g. OOM)
+    seconds: float | None  # None = did not complete (e.g. OOM)
     sort_seconds: float = 0.0
     scan_seconds: float = 0.0
     peak_entries: int = 0
     note: str = ""
     #: Full ``EvalStats.to_dict()`` payload (``None`` for failed runs);
     #: carried so ``repro bench --json`` can emit machine-readable rows.
-    stats: Optional[dict] = None
+    stats: dict | None = None
 
     @property
     def seconds_text(self) -> str:
@@ -40,7 +40,7 @@ def time_engine(
     workflow,
     figure: str,
     config: str,
-    label: Optional[str] = None,
+    label: str | None = None,
 ) -> BenchRow:
     """Run one engine once, discarding values (NullSink), and record it.
 

@@ -34,7 +34,7 @@ import argparse
 import json
 import logging
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import format_table
@@ -338,6 +338,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="site names to sweep (default: every store/ingest site)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze workflows (CSM diagnostic codes)",
+    )
+    lint.add_argument(
+        "queries", nargs="*", metavar="QUERY",
+        help=f"built-in workflows to lint, from: "
+        f"{', '.join(sorted(_QUERIES))} (default: all of them)",
+    )
+    lint.add_argument(
+        "--generated-seeds", type=int, default=0, metavar="N",
+        help="also lint N testkit-generated random workflows",
+    )
+    lint.add_argument(
+        "--start", type=int, default=0,
+        help="first seed of the generated range",
+    )
+    lint.add_argument(
+        "--rows", type=int, default=None,
+        help="assumed dataset size for footprint estimates",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON report object per workflow",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "hint"),
+        default="error", dest="fail_on",
+        help="lowest severity that makes the exit code non-zero",
+    )
+
     serve = sub.add_parser(
         "serve", help="serve a measure store over JSON/HTTP"
     )
@@ -372,7 +403,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _write_metrics_json(path: Optional[str]) -> None:
+def _write_metrics_json(path: str | None) -> None:
     """Dump the process metrics registry as JSON (``-`` = stdout)."""
     if not path:
         return
@@ -537,7 +568,7 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _store_workflow(store, query_name: Optional[str]):
+def _store_workflow(store, query_name: str | None):
     """Resolve the workflow a store serves.
 
     Priority: an explicit ``--query`` override, then the workflow
@@ -710,6 +741,60 @@ def _cmd_faults(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint`` — static analysis of workflows.
+
+    Exit code 0 when every linted workflow is below the ``--fail-on``
+    severity, 1 otherwise (2 stays reserved for operational errors).
+    """
+    from repro.analysis import Severity, analyze
+
+    names = args.queries or sorted(_QUERIES)
+    targets = []
+    for name in names:
+        try:
+            schema_name, builder = _QUERIES[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown query {name!r}; choose from "
+                f"{', '.join(sorted(_QUERIES))}"
+            ) from None
+        targets.append((name, builder(_SCHEMAS[schema_name]())))
+    if args.generated_seeds:
+        from repro.testkit.generator import RandomCase
+
+        gen_schema = synthetic_schema(
+            num_dimensions=3, levels=3, fanout=4
+        )
+        for seed in range(
+            args.start, args.start + args.generated_seeds
+        ):
+            case = RandomCase(seed, gen_schema)
+            targets.append((f"generated-{seed}", case.workflow))
+
+    threshold = Severity(args.fail_on).rank
+    failed = 0
+    for label, workflow in targets:
+        report = analyze(workflow, dataset_size=args.rows)
+        bad = any(
+            d.severity.rank <= threshold for d in report.diagnostics
+        )
+        if bad:
+            failed += 1
+        if args.as_json:
+            payload = report.to_dict()
+            payload["label"] = label
+            print(json.dumps(payload))
+        else:
+            print(report.format())
+    if not args.as_json:
+        print(
+            f"linted {len(targets)} workflow(s): "
+            f"{failed} at or above {args.fail_on}"
+        )
+    return 1 if failed else 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import MeasureService, MeasureStore, make_server
 
@@ -719,7 +804,7 @@ def _cmd_serve(args) -> int:
     host, port = server.server_address[:2]
     logger.info(
         "serving %s on http://%s:%s (routes: /measures /point /range "
-        "/table /stats /metrics, POST /ingest)",
+        "/table /stats /metrics, POST /ingest /workflow)",
         args.store, host, port,
     )
     try:
@@ -731,7 +816,7 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -746,6 +831,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ingest": _cmd_ingest,
         "query": _cmd_query,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
         "serve": _cmd_serve,
     }
     try:

@@ -14,10 +14,15 @@ from finer to coarser.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.errors import GranularityError
 from repro.schema.dataset_schema import DatasetSchema, Record
+from repro.schema.domain import Mapper
+
+#: A region key: one generalized value per dimension.
+Key = tuple[Any, ...]
 
 
 class Granularity:
@@ -57,12 +62,12 @@ class Granularity:
             for i in range(schema.num_dimensions)
             if levels[i] != schema.dimensions[i].all_level
         )
-        self._record_key_fn = None
-        self._lift_cache: dict = {}
+        self._record_key_fn: Callable[[Record], Key] | None = None
+        self._lift_cache: dict[tuple[int, ...], Callable[[Key], Key]] = {}
 
     # -- pickling ----------------------------------------------------------
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[DatasetSchema, tuple[int, ...]]:
         """Pickle only ``(schema, levels)``.
 
         The compiled key/lift closures are per-process caches and are
@@ -70,7 +75,9 @@ class Granularity:
         """
         return (self.schema, self.levels)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(
+        self, state: tuple[DatasetSchema, tuple[int, ...]]
+    ) -> None:
         schema, levels = state
         self.__init__(schema, levels)
 
@@ -129,7 +136,7 @@ class Granularity:
         """Indices of dimensions below ``D_ALL`` (the region key dims)."""
         return self._key_dims
 
-    def key_of_record(self, record: Record) -> tuple:
+    def key_of_record(self, record: Record) -> Key:
         """Region key of the record: generalized value per dimension.
 
         Dimensions at ``D_ALL`` contribute the constant ``ALL`` value, so
@@ -138,15 +145,18 @@ class Granularity:
         """
         return self.record_key_fn()(record)
 
-    def record_key_fn(self):
+    def record_key_fn(self) -> Callable[[Record], Key]:
         """A compiled ``record -> region key`` closure (cached)."""
         if self._record_key_fn is None:
-            mappers = tuple(
+            mappers: tuple[Mapper | None, ...] = tuple(
                 dim.hierarchy.mapper(0, self.levels[i])
                 for i, dim in enumerate(self.schema.dimensions)
             )
 
-            def key_of(record, _mappers=mappers):
+            def key_of(
+                record: Record,
+                _mappers: tuple[Mapper | None, ...] = mappers,
+            ) -> Key:
                 return tuple(
                     record[i] if fn is None else fn(record[i])
                     for i, fn in enumerate(_mappers)
@@ -155,7 +165,7 @@ class Granularity:
             self._record_key_fn = key_of
         return self._record_key_fn
 
-    def generalize_key(self, key: tuple, finer: "Granularity") -> tuple:
+    def generalize_key(self, key: Key, finer: "Granularity") -> Key:
         """Roll a key up from a finer granularity to this one.
 
         Raises:
@@ -163,7 +173,7 @@ class Granularity:
         """
         return self.lift_fn(finer)(key)
 
-    def lift_fn(self, finer: "Granularity"):
+    def lift_fn(self, finer: "Granularity") -> Callable[[Key], Key]:
         """A compiled ``finer key -> this key`` closure (cached).
 
         Raises:
@@ -176,12 +186,14 @@ class Granularity:
             raise GranularityError(
                 f"{finer} is not finer than {self}; cannot roll up"
             )
-        mappers = tuple(
+        mappers: tuple[Mapper | None, ...] = tuple(
             dim.hierarchy.mapper(finer.levels[i], self.levels[i])
             for i, dim in enumerate(self.schema.dimensions)
         )
 
-        def lift(key, _mappers=mappers):
+        def lift(
+            key: Key, _mappers: tuple[Mapper | None, ...] = mappers
+        ) -> Key:
             return tuple(
                 key[i] if fn is None else fn(key[i])
                 for i, fn in enumerate(_mappers)

@@ -11,11 +11,12 @@ attributes appear, padding trailing attributes with ``D_ALL``; the
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import GranularityError, PlanError
-from repro.cube.granularity import Granularity
+from repro.cube.granularity import Granularity, Key
 from repro.schema.dataset_schema import DatasetSchema, Record
+from repro.schema.domain import Mapper
 
 
 class SortKey:
@@ -49,14 +50,18 @@ class SortKey:
             seen.add(dim_idx)
         self.schema = schema
         self.parts = tuple((int(d), int(lv)) for d, lv in parts)
-        self._record_mapper = None
+        self._record_mapper: Callable[[Record], Key] | None = None
 
-    def __getstate__(self):
+    def __getstate__(
+        self,
+    ) -> tuple[DatasetSchema, tuple[tuple[int, int], ...]]:
         """Pickle only ``(schema, parts)`` — the cached record mapper
         is a compiled closure, rebuilt lazily after unpickling."""
         return (self.schema, self.parts)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(
+        self, state: tuple[DatasetSchema, tuple[tuple[int, int], ...]]
+    ) -> None:
         schema, parts = state
         self.schema = schema
         self.parts = parts
@@ -78,20 +83,23 @@ class SortKey:
 
     # -- record/key mapping ------------------------------------------------
 
-    def map_record(self, record: Record) -> tuple:
+    def map_record(self, record: Record) -> Key:
         """Project a base record onto this order (mapKey of Table 8)."""
         return self.record_mapper()(record)
 
-    def record_mapper(self):
+    def record_mapper(self) -> Callable[[Record], Key]:
         """A compiled ``record -> order key`` closure (cached)."""
         if self._record_mapper is None:
             dims = self.schema.dimensions
-            steps = tuple(
+            steps: tuple[tuple[int, Mapper | None], ...] = tuple(
                 (d, dims[d].hierarchy.mapper(0, lv))
                 for d, lv in self.parts
             )
 
-            def mapper(record, _steps=steps):
+            def mapper(
+                record: Record,
+                _steps: tuple[tuple[int, Mapper | None], ...] = steps,
+            ) -> Key:
                 return tuple(
                     record[d] if fn is None else fn(record[d])
                     for d, fn in _steps
@@ -100,7 +108,7 @@ class SortKey:
             self._record_mapper = mapper
         return self._record_mapper
 
-    def map_key(self, key: tuple, key_granularity: Granularity) -> tuple:
+    def map_key(self, key: Key, key_granularity: Granularity) -> Key:
         """Project a region key at ``key_granularity`` onto this order.
 
         Every part of the sort key must be at a level coarser-or-equal
@@ -119,7 +127,7 @@ class SortKey:
             out.append(dims[d].generalize(key[d], have, lv))
         return tuple(out)
 
-    def sort_records(self, records: Iterable[Record]) -> list:
+    def sort_records(self, records: Iterable[Record]) -> list[Record]:
         """Sort base records by this key (in memory)."""
         return sorted(records, key=self.map_record)
 

@@ -8,9 +8,9 @@ materializes those from records.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
-from repro.cube.granularity import Granularity
+from repro.cube.granularity import Granularity, Key
 from repro.cube.region import Region
 from repro.schema.dataset_schema import DatasetSchema, Record
 
@@ -28,7 +28,7 @@ class RegionSet:
         """Shorthand: ``RegionSet.from_spec(schema, {"t": "Hour"})``."""
         return cls(Granularity.from_spec(schema, spec))
 
-    def keys(self, records: Iterable[Record]) -> set:
+    def keys(self, records: Iterable[Record]) -> set[Key]:
         """Distinct region keys populated by ``records``."""
         key_of = self.granularity.key_of_record
         return {key_of(record) for record in records}

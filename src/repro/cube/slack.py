@@ -16,7 +16,7 @@ padded with ``D_ALL`` once attributes stop influencing the sort.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import PlanError
 from repro.cube.order import SortKey

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.data.netlog import NetworkLogGenerator
 from repro.schema.dataset_schema import Record

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.schema.dataset_schema import (
     DatasetSchema,

@@ -16,7 +16,7 @@ chew on.
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import SchemaError
 from repro.schema.dataset_schema import (

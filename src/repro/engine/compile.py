@@ -17,7 +17,7 @@ treatment of selections as cheap streaming predicates.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.errors import PlanError
 from repro.aggregates.base import AggSpec
@@ -57,8 +57,8 @@ class Arc:
         dst: "Node",
         role: str,
         index: int = 0,
-        entry_filter: Optional[EntryFilter] = None,
-        cond: Optional[MatchCondition] = None,
+        entry_filter: EntryFilter | None = None,
+        cond: MatchCondition | None = None,
     ) -> None:
         self.src = src
         self.dst = dst
@@ -103,8 +103,8 @@ class BasicNode(Node):
         name: str,
         granularity: Granularity,
         agg: AggSpec,
-        record_filter: Optional[Callable[[tuple], bool]] = None,
-        value_index: Optional[int] = None,
+        record_filter: Callable[[tuple], bool] | None = None,
+        value_index: int | None = None,
     ) -> None:
         super().__init__(name, granularity)
         self.agg = agg
@@ -126,7 +126,7 @@ class CompositeNode(Node):
         name: str,
         granularity: Granularity,
         agg: AggSpec,
-        cond: Optional[MatchCondition] = None,
+        cond: MatchCondition | None = None,
     ) -> None:
         super().__init__(name, granularity)
         self.agg = agg
@@ -140,7 +140,7 @@ class CompositeNode(Node):
         raise PlanError(f"node {self.name!r} has no values arc")
 
     @property
-    def keys_arc(self) -> Optional[Arc]:
+    def keys_arc(self) -> Arc | None:
         for arc in self.in_arcs:
             if arc.role == "keys":
                 return arc
@@ -181,7 +181,7 @@ class CompiledGraph:
         self,
         schema: DatasetSchema,
         nodes: list[Node],
-        outputs: dict[str, tuple[Node, Optional[EntryFilter]]],
+        outputs: dict[str, tuple[Node, EntryFilter | None]],
     ) -> None:
         self.schema = schema
         self.nodes = nodes
@@ -261,7 +261,7 @@ class _Compiler:
 
     def _measure_filter(
         self, predicates: list, granularity: Granularity
-    ) -> Optional[EntryFilter]:
+    ) -> EntryFilter | None:
         if not predicates:
             return None
         compiled = [
@@ -300,7 +300,7 @@ class _Compiler:
 
     def _input(
         self, expr: Expr
-    ) -> tuple[Node, Optional[EntryFilter]]:
+    ) -> tuple[Node, EntryFilter | None]:
         """Compile an arc input: peel σ into an entry filter."""
         inner, predicates = self._peel_selects(expr)
         if isinstance(inner, FactTable):
@@ -405,7 +405,7 @@ class _Compiler:
 
 def compile_measures(
     exprs: dict[str, Expr],
-    outputs: Optional[list[str]] = None,
+    outputs: list[str] | None = None,
 ) -> CompiledGraph:
     """Compile named AW-RA expressions into a :class:`CompiledGraph`.
 
@@ -419,7 +419,7 @@ def compile_measures(
         raise PlanError("no measures to compile")
     schema = next(iter(exprs.values())).schema
     compiler = _Compiler(schema)
-    output_map: dict[str, tuple[Node, Optional[EntryFilter]]] = {}
+    output_map: dict[str, tuple[Node, EntryFilter | None]] = {}
     for name, expr in exprs.items():
         inner, predicates = compiler._peel_selects(expr)
         node = compiler.compile_expr(inner, name_hint=name)

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, TypeAlias
+
+if TYPE_CHECKING:
+    from repro.engine.compile import CompiledGraph
+    from repro.workflow.workflow import AggregationWorkflow
 
 from repro.obs import get_tracer, publish_eval_stats
 from repro.storage.sink import MemorySink, Sink
@@ -143,7 +147,7 @@ class Engine:
         self,
         dataset: Dataset,
         query,
-        sink: Optional[Sink] = None,
+        sink: Sink | None = None,
         publish_metrics: bool = True,
     ) -> EvalResult:
         """Evaluate ``query`` over ``dataset``, flushing into ``sink``.
@@ -190,4 +194,4 @@ class Engine:
         raise NotImplementedError
 
 
-Query = Union["CompiledGraph", "AggregationWorkflow"]  # noqa: F821
+Query: TypeAlias = "CompiledGraph | AggregationWorkflow"

@@ -10,7 +10,6 @@ exactly as the paper prescribes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.engine.compile import (
     Arc,
@@ -100,8 +99,8 @@ class MultiPassEngine(Engine):
 
     def __init__(
         self,
-        memory_budget_entries: Optional[int] = None,
-        plan: Optional[MultiPassPlan] = None,
+        memory_budget_entries: int | None = None,
+        plan: MultiPassPlan | None = None,
         run_size: int = 200_000,
     ) -> None:
         self.memory_budget_entries = memory_budget_entries
@@ -116,7 +115,7 @@ class MultiPassEngine(Engine):
         stats: EvalStats,
     ) -> None:
         try:
-            dataset_size: Optional[int] = len(dataset)
+            dataset_size: int | None = len(dataset)
         except (TypeError, NotImplementedError):
             dataset_size = None
         plan = self.plan or plan_passes(

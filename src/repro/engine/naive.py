@@ -18,10 +18,10 @@ cost stays nearly flat.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import tempfile
-from typing import Optional
 
 from repro.engine.compile import BasicNode, CompiledGraph
 from repro.engine.interfaces import Engine, EvalStats
@@ -66,8 +66,8 @@ class RelationalEngine(Engine):
     def __init__(
         self,
         spool: bool = True,
-        spool_dir: Optional[str] = None,
-        memory_budget_entries: Optional[int] = None,
+        spool_dir: str | None = None,
+        memory_budget_entries: int | None = None,
         run_size: int = 200_000,
         reuse_subexpressions: bool = False,
     ) -> None:
@@ -191,15 +191,11 @@ class RelationalEngine(Engine):
                 store(node.name, table)
         finally:
             for path in spool_paths.values():
-                try:
+                with contextlib.suppress(OSError):
                     os.remove(path)
-                except OSError:
-                    pass
             if own_dir is not None:
-                try:
+                with contextlib.suppress(OSError):
                     os.rmdir(own_dir)
-                except OSError:
-                    pass
 
     def _eval_basic_budgeted(
         self, node: BasicNode, dataset: Dataset, stats: EvalStats

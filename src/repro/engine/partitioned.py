@@ -49,7 +49,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.errors import PlanError
 from repro.algebra.conditions import Lags, Sibling
@@ -207,7 +207,7 @@ class _SliceDataset(Dataset):
         self._map = base.schema.dimensions[dim].hierarchy.mapper(0, level)
         self._lo = lo
         self._hi = hi
-        self._count: Optional[int] = None
+        self._count: int | None = None
 
     def scan(self) -> Iterator[tuple]:
         lo, hi, dim, fn = self._lo, self._hi, self._dim, self._map
@@ -286,9 +286,9 @@ class _ProcessTask:
     level: int
     span: _PartitionRange
     #: Pre-bucketed record slice (in-memory datasets)…
-    records: Optional[list] = None
+    records: list | None = None
     #: …or the base dataset for worker-side slicing (file-backed ones).
-    dataset: Optional[Dataset] = None
+    dataset: Dataset | None = None
     #: Record spans in the worker and ship them back with the result
     #: (set when the parent's tracer is enabled).
     trace: bool = False
@@ -370,12 +370,12 @@ class PartitionedEngine(Engine):
 
     def __init__(
         self,
-        partition_dim: Optional[object] = None,
-        num_partitions: Optional[int] = None,
-        sort_key: Optional[SortKey] = None,
+        partition_dim: object | None = None,
+        num_partitions: int | None = None,
+        sort_key: SortKey | None = None,
         parallel="serial",
         run_size: int = 200_000,
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
     ) -> None:
         if num_partitions is not None and num_partitions < 1:
             raise PlanError("need at least one partition")

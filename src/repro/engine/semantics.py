@@ -11,7 +11,6 @@ engine has a single, simple definition of correctness to match.
 from __future__ import annotations
 
 from itertools import product
-from typing import Optional
 
 from repro.errors import EvaluationError
 from repro.algebra.conditions import (
@@ -209,7 +208,7 @@ def _lag_keys(s_key: tuple, offsets: dict):
 
 def eval_combine(node: CombineNode, tables: dict[str, dict]) -> dict:
     """Evaluate a combine join (Table 4's chained left outer joins)."""
-    slots: list[Optional[dict]] = [None] * node.num_inputs
+    slots: list[dict | None] = [None] * node.num_inputs
     for arc in node.in_arcs:
         filtered = dict(filtered_items(arc, tables[arc.src.name]))
         if slots[arc.index] is not None:
@@ -232,7 +231,7 @@ def eval_combine(node: CombineNode, tables: dict[str, dict]) -> dict:
 
 
 def eval_node_from_tables(
-    node: Node, tables: dict[str, dict], dataset: Optional[Dataset] = None
+    node: Node, tables: dict[str, dict], dataset: Dataset | None = None
 ) -> dict:
     """Dispatch helper: evaluate any node given its inputs."""
     if isinstance(node, BasicNode):

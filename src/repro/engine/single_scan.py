@@ -13,7 +13,6 @@ number of distinct regions and the engine fails on large datasets
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.errors import MemoryBudgetExceeded
 from repro.engine.compile import BasicNode, CombineNode, CompiledGraph
@@ -47,7 +46,7 @@ class SingleScanEngine(Engine):
     BUDGET_CHECK_INTERVAL = 4096
 
     def __init__(
-        self, memory_budget_entries: Optional[int] = None
+        self, memory_budget_entries: int | None = None
     ) -> None:
         self.memory_budget_entries = memory_budget_entries
 

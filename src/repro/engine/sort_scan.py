@@ -12,10 +12,10 @@ dataset's size.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import tempfile
 import time
-from typing import Optional
 
 from repro.errors import EvaluationError, MemoryBudgetExceeded
 from repro.algebra.conditions import (
@@ -98,15 +98,15 @@ class _RuntimeNode:
     def __init__(self, node: Node, checker: NodeChecker, outputs) -> None:
         self.node = node
         self.table: dict = {}
-        self.parents: Optional[dict] = None
+        self.parents: dict | None = None
         self.checker = checker
         self.outputs = outputs  # list of (name, out_filter)
-        self.flushed_keys: Optional[set] = None
-        self.src_levels: Optional[tuple] = None
+        self.flushed_keys: set | None = None
+        self.src_levels: tuple | None = None
         #: Set when upstream delivered entries since the last flush scan.
         self.touched = False
         #: Per-node profile counters (``profile=True`` runs only).
-        self.prof: Optional[NodeProfile] = None
+        self.prof: NodeProfile | None = None
         if isinstance(node, BasicNode):
             self.kind = "basic"
         elif isinstance(node, CombineNode):
@@ -171,10 +171,10 @@ class SortScanEngine(Engine):
 
     def __init__(
         self,
-        sort_key: Optional[SortKey] = None,
+        sort_key: SortKey | None = None,
         optimize: bool = False,
         run_size: int = DEFAULT_RUN_SIZE,
-        memory_budget_entries: Optional[int] = None,
+        memory_budget_entries: int | None = None,
         assert_no_late_updates: bool = False,
         cascade_prefix: int = 1,
         max_records_between_cascades: int = 4096,
@@ -263,7 +263,7 @@ class SortScanEngine(Engine):
         force_every = self.max_records_between_cascades
         profiling = self.profile
         try:
-            prev_trigger: Optional[tuple] = None
+            prev_trigger: tuple | None = None
             since_cascade = 0
             rows = 0
             for record in records:
@@ -339,10 +339,8 @@ class SortScanEngine(Engine):
         sorted_dataset = FlatFileDataset(path, dataset.schema)
 
         def cleanup() -> None:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(path)
-            except OSError:
-                pass
 
         return sorted_dataset.scan(), cleanup
 
@@ -352,7 +350,7 @@ class SortScanEngine(Engine):
         self,
         topo_runtime: list[_RuntimeNode],
         runtime: dict[str, _RuntimeNode],
-        pos: Optional[tuple],
+        pos: tuple | None,
         sink: Sink,
         stats: EvalStats,
         final: bool,
@@ -543,11 +541,11 @@ class SortScanEngine(Engine):
         dst.touched = True
         if dst.prof is not None:
             dst.prof.rows_in += 1
-        if dst.flushed_keys is not None and arc.role != "values":
-            if key in dst.flushed_keys:
-                raise EvaluationError(
-                    f"late update: {arc!r} delivered finalized key {key}"
-                )
+        if (dst.flushed_keys is not None and arc.role != "values"
+                and key in dst.flushed_keys):
+            raise EvaluationError(
+                f"late update: {arc!r} delivered finalized key {key}"
+            )
 
         if arc.role == "keys":
             entry = dst.table.get(key)

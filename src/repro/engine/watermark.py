@@ -28,7 +28,7 @@ flush (the node's inputs recur across the whole scan).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.errors import PlanError
 from repro.algebra.conditions import (
@@ -67,7 +67,7 @@ class PredSpec:
     def __init__(
         self,
         parts: Sequence[tuple[int, int, int, int]],
-        shifts: Optional[dict[int, tuple[int, int]]] = None,
+        shifts: dict[int, tuple[int, int]] | None = None,
     ) -> None:
         self.parts = tuple(parts)
         self.shifts = dict(shifts or {})
@@ -281,7 +281,7 @@ class NodeChecker:
         self.levels = node.granularity.levels
         self.specs = specs
         self.bounds: list[tuple] = [()] * len(specs)
-        self._signature: Optional[tuple] = None
+        self._signature: tuple | None = None
         #: True when no entry can ever finalize before the end flush.
         self.never = not specs or any(not spec.parts for spec in specs)
         self._bound_steps = []

@@ -7,9 +7,25 @@ clause while still being able to distinguish the failure class.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import Any
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
+
+
+def measure_ref(measure: str, workflow: str | None = None) -> str:
+    """One shared phrasing for "this measure of that workflow".
+
+    Used by the workflow builder, the topological sorter, and the
+    static analyzer so runtime errors and lint diagnostics name the
+    offending measure identically — a message seen at submit time can
+    be grepped for verbatim in a runtime traceback.
+    """
+    if workflow:
+        return f"measure {measure!r} of workflow {workflow!r}"
+    return f"measure {measure!r}"
 
 
 class SchemaError(ReproError):
@@ -84,4 +100,14 @@ class ServiceError(ReproError):
     Raised by the :mod:`repro.service` layer: unknown measures, queries
     against an empty store, ingestion against a store whose workflow is
     unavailable, and similar front-door failures.
+
+    ``diagnostics`` carries the static-analysis findings when the
+    failure is a rejected workflow (error-level lint diagnostics);
+    the HTTP front end serializes them into the JSON error body.
     """
+
+    def __init__(
+        self, message: str, *, diagnostics: Iterable[Any] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
 
 __all__ = [
     "Counter",
@@ -169,7 +169,7 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def __init__(self, name, help, labelnames=(), fn: Optional[Callable] = None):
+    def __init__(self, name, help, labelnames=(), fn: Callable | None = None):
         super().__init__(name, help, labelnames)
         self._value = 0.0
         self._fn = fn
@@ -427,7 +427,7 @@ def engine_metrics(registry: MetricsRegistry) -> dict:
     }
 
 
-def publish_eval_stats(stats, registry: Optional[MetricsRegistry] = None):
+def publish_eval_stats(stats, registry: MetricsRegistry | None = None):
     """Publish one finished :class:`~repro.engine.interfaces.EvalStats`.
 
     Called once per top-level engine run (sub-runs of the multi-pass

@@ -13,7 +13,7 @@ dicts, so they serialize with the stats) and render as a table via
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 __all__ = ["NodeProfile", "format_node_table"]
 

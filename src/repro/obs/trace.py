@@ -32,7 +32,6 @@ import json
 import os
 import threading
 import time
-from typing import Optional
 
 __all__ = ["Span", "Tracer", "NULL_SPAN"]
 
@@ -122,9 +121,9 @@ class Tracer:
         self,
         name: str,
         cat: str = "",
-        start_perf: Optional[float] = None,
+        start_perf: float | None = None,
         duration: float = 0.0,
-        args: Optional[dict] = None,
+        args: dict | None = None,
     ) -> None:
         """Record one already-measured interval (the hot-path API).
 

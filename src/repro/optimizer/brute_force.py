@@ -12,7 +12,7 @@ at most 24 candidates; a cap keeps pathological schemas bounded.
 from __future__ import annotations
 
 from itertools import islice, permutations
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.cube.order import SortKey
 from repro.engine.compile import CompiledGraph
@@ -47,15 +47,15 @@ def candidate_sort_keys(graph: CompiledGraph) -> Iterator[SortKey]:
 
 
 def best_sort_key(
-    graph: CompiledGraph, dataset_size: Optional[int] = None
+    graph: CompiledGraph, dataset_size: int | None = None
 ) -> SortKey:
     """The candidate with the smallest estimated memory footprint.
 
     Ties break toward the first candidate in permutation order, which
     keeps plans deterministic.
     """
-    best: Optional[SortKey] = None
-    best_cost: Optional[int] = None
+    best: SortKey | None = None
+    best_cost: int | None = None
     for key in candidate_sort_keys(graph):
         cost = estimate_graph_entries(graph, key, dataset_size)
         if best_cost is None or cost < best_cost:

@@ -15,7 +15,6 @@ traditional join strategies", Section 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import PlanError
 from repro.cube.order import SortKey
@@ -51,8 +50,8 @@ def _streamable_under_key(
     graph: CompiledGraph,
     sort_key: SortKey,
     unassigned: set[str],
-    budget: Optional[int],
-    dataset_size: Optional[int],
+    budget: int | None,
+    dataset_size: int | None,
 ) -> tuple[list[str], int]:
     """Greedily grow the set of nodes streamable in one pass.
 
@@ -83,8 +82,8 @@ def _streamable_under_key(
 
 def plan_passes(
     graph: CompiledGraph,
-    memory_budget_entries: Optional[int] = None,
-    dataset_size: Optional[int] = None,
+    memory_budget_entries: int | None = None,
+    dataset_size: int | None = None,
     max_passes: int = 8,
 ) -> MultiPassPlan:
     """Assign every node to a Sort/Scan pass or to deferred evaluation.
@@ -110,8 +109,8 @@ def plan_passes(
                 f"{len(unassigned & basics)} basic measures unassigned "
                 f"(budget {memory_budget_entries} entries)"
             )
-        best: Optional[tuple[list[str], int, SortKey]] = None
-        best_score: Optional[tuple] = None
+        best: tuple[list[str], int, SortKey] | None = None
+        best_score: tuple | None = None
         for key in candidate_sort_keys(graph):
             chosen, total = _streamable_under_key(
                 graph, key, unassigned, memory_budget_entries, dataset_size

@@ -23,7 +23,6 @@ the correctness of the evaluation algorithm."
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cube.order import SortKey
 from repro.engine.compile import CompiledGraph, Node
@@ -41,7 +40,7 @@ def _spec_coverage(spec: PredSpec) -> dict[int, int]:
 def estimate_node_entries(
     node: Node,
     specs: list[PredSpec],
-    dataset_size: Optional[int] = None,
+    dataset_size: int | None = None,
 ) -> int:
     """Estimated resident entries of ``node`` given its specs.
 
@@ -104,7 +103,7 @@ def estimate_node_entries(
 def estimate_graph_entries(
     graph: CompiledGraph,
     sort_key: SortKey,
-    dataset_size: Optional[int] = None,
+    dataset_size: int | None = None,
 ) -> int:
     """Total estimated resident entries for the whole plan under a key."""
     specs = build_node_specs(graph, sort_key)

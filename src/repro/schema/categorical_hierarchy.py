@@ -18,7 +18,7 @@ Proposition 1 holds for the encoded domain.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 from repro.errors import DomainError, SchemaError
 from repro.schema.domain import Hierarchy

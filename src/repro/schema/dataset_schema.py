@@ -8,7 +8,8 @@ paper) and measures are numbers.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.errors import SchemaError
 from repro.schema.dimension import Dimension
@@ -17,7 +18,7 @@ from repro.schema.numeric_hierarchy import UniformHierarchy
 from repro.schema.port_hierarchy import PortHierarchy
 from repro.schema.time_hierarchy import TimeHierarchy
 
-Record = tuple  # (dim values..., measure values...)
+Record = tuple[Any, ...]  # (dim values..., measure values...)
 
 
 class DatasetSchema:

@@ -22,14 +22,18 @@ engines rely on to detect finalized hash-table entries.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any
 
 from repro.errors import DomainError, SchemaError
 
 #: The single value of the special ``D_ALL`` domain.  Generalizing any
 #: value all the way to the top of a hierarchy yields this constant.
 ALL_VALUE = 0
+
+#: A compiled ``value -> value`` generalization closure.
+Mapper = Callable[[Any], Any]
 
 
 @dataclass(frozen=True)
@@ -160,7 +164,7 @@ class Hierarchy:
             return self._generalize_from_base(value, to_level)
         return self._generalize_between(value, from_level, to_level)
 
-    def mapper(self, from_level: int, to_level: int):
+    def mapper(self, from_level: int, to_level: int) -> Mapper | None:
         """A compiled ``value -> value`` generalization closure.
 
         Levels are validated once, here, so the returned callable can
@@ -180,7 +184,7 @@ class Hierarchy:
             return lambda value: ALL_VALUE
         return self._mapper(from_level, to_level)
 
-    def _mapper(self, from_level: int, to_level: int):
+    def _mapper(self, from_level: int, to_level: int) -> Mapper:
         """Subclass hook for :meth:`mapper`; the default closes over
         the checked :meth:`generalize` arithmetic."""
         if from_level == 0:

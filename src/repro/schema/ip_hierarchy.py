@@ -12,7 +12,7 @@ by 8 bits per level, which is monotone, so Proposition 1 holds.
 from __future__ import annotations
 
 from repro.errors import DomainError
-from repro.schema.domain import Hierarchy
+from repro.schema.domain import Hierarchy, Mapper
 
 IP, SLASH24, SLASH16, SLASH8, IP_ALL = range(5)
 
@@ -63,7 +63,7 @@ class IPv4Hierarchy(Hierarchy):
     ) -> int:
         return value >> (_BITS_PER_LEVEL * (to_level - from_level))
 
-    def _mapper(self, from_level: int, to_level: int):
+    def _mapper(self, from_level: int, to_level: int) -> Mapper:
         shift = _BITS_PER_LEVEL * (to_level - from_level)
         return lambda value: value >> shift
 

@@ -12,7 +12,7 @@ holds trivially.
 from __future__ import annotations
 
 from repro.errors import SchemaError
-from repro.schema.domain import Hierarchy
+from repro.schema.domain import Hierarchy, Mapper
 
 
 class UniformHierarchy(Hierarchy):
@@ -67,7 +67,7 @@ class UniformHierarchy(Hierarchy):
     ) -> int:
         return value // (self._fanout ** (to_level - from_level))
 
-    def _mapper(self, from_level: int, to_level: int):
+    def _mapper(self, from_level: int, to_level: int) -> Mapper:
         divisor = self._fanout ** (to_level - from_level)
         return lambda value: value // divisor
 

@@ -9,7 +9,7 @@ monotone integer shift (Proposition 1 holds by construction).
 from __future__ import annotations
 
 from repro.errors import DomainError
-from repro.schema.domain import Hierarchy
+from repro.schema.domain import Hierarchy, Mapper
 
 PORT, PORT_RANGE, PORT_ALL = range(3)
 
@@ -33,7 +33,7 @@ class PortHierarchy(Hierarchy):
     ) -> int:  # pragma: no cover - only one intermediate level exists
         raise DomainError("port hierarchy has a single intermediate level")
 
-    def _mapper(self, from_level: int, to_level: int):
+    def _mapper(self, from_level: int, to_level: int) -> Mapper:
         return lambda value: value >> _BLOCK_BITS
 
     def fanout(self, fine_level: int, coarse_level: int) -> int:

@@ -17,9 +17,10 @@ search, so generalization stays O(log #months) with a tiny constant.
 from __future__ import annotations
 
 from bisect import bisect_right
+from typing import Any
 
 from repro.errors import DomainError
-from repro.schema.domain import Hierarchy
+from repro.schema.domain import Hierarchy, Mapper
 
 SECONDS_PER_HOUR = 3600
 SECONDS_PER_DAY = 86400
@@ -118,12 +119,12 @@ class TimeHierarchy(Hierarchy):
             f"cannot generalize time level {from_level} -> {to_level}"
         )
 
-    def _mapper(self, from_level: int, to_level: int):
-        def checked(fn):
+    def _mapper(self, from_level: int, to_level: int) -> Mapper:
+        def checked(fn: Mapper) -> Mapper:
             # Mappers from the base domain see raw record values; a
             # negative timestamp must fail loudly, not roll up to a
             # negative hour.
-            def wrapped(value, _fn=fn):
+            def wrapped(value: Any, _fn: Mapper = fn) -> Any:
                 if value < 0:
                     raise DomainError(f"negative timestamp {value}")
                 return _fn(value)

@@ -30,7 +30,7 @@ import os
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.errors import ServiceError
 from repro.obs import get_registry, get_tracer
@@ -123,6 +123,30 @@ def load_workflow(store: MeasureStore):
         return pickle.load(fh)
 
 
+def reject_invalid_workflow(workflow) -> None:
+    """Run the static analyzer; refuse error-level workflows.
+
+    This is the service's submit/ingest gate: workflows arrive over the
+    wire (pickled into the store, or POSTed to ``/workflow``) and
+    bypass the builder's incremental checks, so the linter is the only
+    line of defense before a bad plan touches data.  The rejected
+    diagnostics ride on :attr:`~repro.errors.ServiceError.diagnostics`
+    and are serialized into the HTTP error body.
+    """
+    from repro.analysis import analyze
+
+    report = analyze(workflow)
+    if not report.ok:
+        summary = "; ".join(
+            d.format().split("\n")[0] for d in report.errors
+        )
+        raise ServiceError(
+            f"workflow {workflow.name!r} rejected by static analysis "
+            f"({len(report.errors)} error(s)): {summary}",
+            diagnostics=report.errors,
+        )
+
+
 class Ingestor:
     """Incremental maintenance of one store against one workflow.
 
@@ -143,6 +167,7 @@ class Ingestor:
                 "pass the workflow explicitly"
             )
         self.workflow = workflow
+        reject_invalid_workflow(workflow)
         self.graph: CompiledGraph = compile_workflow(workflow)
         self._engine = SortScanEngine()
 
@@ -203,7 +228,7 @@ class Ingestor:
     # -- bootstrap -----------------------------------------------------
 
     def bootstrap(
-        self, records, meta: Optional[dict] = None
+        self, records, meta: dict | None = None
     ) -> int:
         """Full first evaluation: facts, states, and values in one commit.
 

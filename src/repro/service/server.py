@@ -25,13 +25,14 @@ front end built on the stdlib ``ThreadingHTTPServer`` is provided by
 
 from __future__ import annotations
 
+import base64
 import json
 import logging
+import pickle
 import threading
 import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ServiceError
@@ -179,7 +180,7 @@ class MeasureService:
 
     # -- freshness -----------------------------------------------------
 
-    def _ensure_fresh(self, measure: str, key: Optional[tuple]) -> None:
+    def _ensure_fresh(self, measure: str, key: tuple | None) -> None:
         """Resolve deferred recomputes this read would observe.
 
         Point reads get a shortcut: when the measure maps straight to a
@@ -216,60 +217,60 @@ class MeasureService:
         """One region's value; ``default`` when the region is absent."""
         key = tuple(key)
         started = time.perf_counter()
-        with get_tracer().span(
-            "query:point", cat="query", measure=measure
-        ) as span:
-            with self._lock:
-                self._output(measure)
-                cached, hit = self._cache_get(measure, ("point", key))
-                if hit:
-                    span.set(cache="hit")
-                    self._observe_query("point", started)
-                    return cached
-                span.set(cache="miss")
-                self._ensure_fresh(measure, key)
-                try:
-                    value = self.store.point(measure, key)
-                except KeyError:
-                    value = default
-                self._cache_put(measure, ("point", key), value)
+        with (
+            get_tracer().span("query:point", cat="query", measure=measure) as span,
+            self._lock,
+        ):
+            self._output(measure)
+            cached, hit = self._cache_get(measure, ("point", key))
+            if hit:
+                span.set(cache="hit")
                 self._observe_query("point", started)
-                return value
+                return cached
+            span.set(cache="miss")
+            self._ensure_fresh(measure, key)
+            try:
+                value = self.store.point(measure, key)
+            except KeyError:
+                value = default
+            self._cache_put(measure, ("point", key), value)
+            self._observe_query("point", started)
+            return value
 
     def range(self, measure: str, prefix=()) -> list:
         """All rows whose region key starts with ``prefix``, sorted."""
         prefix = tuple(prefix)
         started = time.perf_counter()
-        with get_tracer().span(
-            "query:range", cat="query", measure=measure
-        ) as span:
-            with self._lock:
-                self._output(measure)
-                cached, hit = self._cache_get(measure, ("range", prefix))
-                if hit:
-                    span.set(cache="hit")
-                    self._observe_query("range", started)
-                    return cached
-                span.set(cache="miss")
-                self._ensure_fresh(measure, None)
-                rows = self.store.scan_prefix(measure, prefix)
-                self._cache_put(measure, ("range", prefix), rows)
+        with (
+            get_tracer().span("query:range", cat="query", measure=measure) as span,
+            self._lock,
+        ):
+            self._output(measure)
+            cached, hit = self._cache_get(measure, ("range", prefix))
+            if hit:
+                span.set(cache="hit")
                 self._observe_query("range", started)
-                return rows
+                return cached
+            span.set(cache="miss")
+            self._ensure_fresh(measure, None)
+            rows = self.store.scan_prefix(measure, prefix)
+            self._cache_put(measure, ("range", prefix), rows)
+            self._observe_query("range", started)
+            return rows
 
     def table(self, measure: str) -> MeasureTable:
         """The full measure table (uncached — callers keep the object)."""
         started = time.perf_counter()
-        with get_tracer().span(
-            "query:table", cat="query", measure=measure
+        with (
+            get_tracer().span("query:table", cat="query", measure=measure),
+            self._lock,
         ):
-            with self._lock:
-                self._ensure_fresh(measure, None)
-                table = self.store.measure_table(
-                    measure, self.granularity_of(measure)
-                )
-                self._observe_query("table", started)
-                return table
+            self._ensure_fresh(measure, None)
+            table = self.store.measure_table(
+                measure, self.granularity_of(measure)
+            )
+            self._observe_query("table", started)
+            return table
 
     def rollup(self, measure: str, spec, agg: str = "sum") -> MeasureTable:
         """Generalize a stored measure to a coarser granularity on read.
@@ -307,7 +308,7 @@ class MeasureService:
 
     # -- writes --------------------------------------------------------
 
-    def bootstrap(self, records, meta: Optional[dict] = None) -> int:
+    def bootstrap(self, records, meta: dict | None = None) -> int:
         """First full evaluation into an empty store."""
         with self._lock:
             generation = self.ingestor.bootstrap(records, meta=meta)
@@ -459,16 +460,50 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
 
+    def _service_error(self, exc: ServiceError, status: int) -> None:
+        """Serialize a ServiceError, with analyzer diagnostics when the
+        failure is a rejected workflow."""
+        payload: dict = {"error": str(exc)}
+        if exc.diagnostics:
+            payload["diagnostics"] = [
+                d.to_dict() for d in exc.diagnostics
+            ]
+            status = 422
+        self._send(payload, status)
+
+    def _post_workflow(self, body: dict) -> None:
+        """``POST /workflow`` — submit a workflow for validation.
+
+        The body carries a base64-encoded pickled
+        :class:`~repro.workflow.AggregationWorkflow` (the same form the
+        store persists at bootstrap).  The full analysis report comes
+        back: 200 when the workflow is servable, 422 with the
+        error-level diagnostics when the service would reject it.
+        """
+        from repro.analysis import analyze
+
+        workflow = pickle.loads(base64.b64decode(body["workflow"]))
+        report = analyze(workflow)
+        payload = report.to_dict()
+        if not report.ok:
+            payload["error"] = (
+                f"workflow {workflow.name!r} rejected by static "
+                f"analysis ({len(report.errors)} error(s))"
+            )
+        self._send(payload, 200 if report.ok else 422)
+
     def do_POST(self) -> None:  # noqa: N802
+        route = self._route()
         try:
-            self._count_request(self._route())
-            if self._route() != "/ingest":
-                self._send(
-                    {"error": f"unknown route {self._route()!r}"}, 404
-                )
+            self._count_request(route)
+            if route not in ("/ingest", "/workflow"):
+                self._send({"error": f"unknown route {route!r}"}, 404)
                 return
             length = int(self.headers.get("Content-Length") or 0)
             body = json.loads(self.rfile.read(length) or b"{}")
+            if route == "/workflow":
+                self._post_workflow(body)
+                return
             records = [tuple(record) for record in body["records"]]
             report = self.service.ingest(records)
             self._send(
@@ -481,9 +516,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 }
             )
         except (KeyError, ValueError, TypeError) as exc:
-            self._send({"error": f"bad ingest body: {exc}"}, 400)
+            self._send(
+                {"error": f"bad {route.lstrip('/')} body: {exc}"}, 400
+            )
         except ServiceError as exc:
-            self._send({"error": str(exc)}, 400)
+            self._service_error(exc, 400)
         except Exception as exc:  # pragma: no cover - defensive
             self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
 

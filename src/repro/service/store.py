@@ -35,11 +35,12 @@ durable.  Readers therefore always see a consistent generation.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
 from bisect import bisect_right
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.obs import get_registry, get_tracer
@@ -196,10 +197,8 @@ class MeasureStore:
         # A commit that crashed between writing the new manifest and
         # swapping it in leaves a stale (possibly torn) temp file; it
         # was never authoritative, so drop it on open.
-        try:
+        with contextlib.suppress(OSError):
             os.remove(manifest_path + ".tmp")
-        except OSError:
-            pass
         if os.path.exists(manifest_path):
             with open(manifest_path, "r", encoding="utf-8") as fh:
                 self.manifest = json.load(fh)
@@ -258,12 +257,12 @@ class MeasureStore:
         """The free-form metadata blob recorded by commits."""
         return dict(self.manifest["meta"])
 
-    def dirty_nodes(self) -> dict[str, Optional[set]]:
+    def dirty_nodes(self) -> dict[str, set | None]:
         """Holistic basic nodes awaiting recompute: name → affected keys.
 
         A value of ``None`` means *all* regions of the node are dirty.
         """
-        out: dict[str, Optional[set]] = {}
+        out: dict[str, set | None] = {}
         for name, keys in self.manifest["dirty"]["nodes"].items():
             out[name] = (
                 None if keys is None else {tuple(key) for key in keys}
@@ -440,12 +439,10 @@ class MeasureStore:
             return
         for filename in present:
             if filename not in referenced:
-                try:
+                with contextlib.suppress(OSError):
                     os.remove(
                         os.path.join(self._segment_dir, filename)
                     )
-                except OSError:
-                    pass
 
 
 class StoreCommit:
@@ -547,7 +544,7 @@ class StoreCommit:
         return count
 
     def mark_dirty(
-        self, node: str, keys: Optional[Iterable[tuple]]
+        self, node: str, keys: Iterable[tuple] | None
     ) -> None:
         """Mark a basic node's regions dirty (``None`` = all regions)."""
         if keys is None:
@@ -577,10 +574,8 @@ class StoreCommit:
         """Discard the staged commit and remove its data files."""
         self._done = True
         for name in self._staged_files:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(os.path.join(self.store._segment_dir, name))
-            except OSError:
-                pass
 
     def commit(self) -> int:
         """Swap the new manifest in atomically; returns the generation.
@@ -633,12 +628,10 @@ class StoreCommit:
         fire(FP_REPLACED_GC)
         for info in replaced:
             for filename in (info["file"], info["index"]):
-                try:
+                with contextlib.suppress(OSError):
                     os.remove(
                         os.path.join(store._segment_dir, filename)
                     )
-                except OSError:
-                    pass
         duration = time.perf_counter() - started
         registry = get_registry()
         registry.histogram(
@@ -697,8 +690,8 @@ class StoreSink(Sink):
     def __init__(
         self,
         store: MeasureStore,
-        meta: Optional[dict] = None,
-        state_aggs: Optional[dict] = None,
+        meta: dict | None = None,
+        state_aggs: dict | None = None,
         autocommit: bool = True,
     ) -> None:
         self.store = store
@@ -707,7 +700,7 @@ class StoreSink(Sink):
         self.autocommit = autocommit
         self.tables: dict[str, MeasureTable] = {}
         self.states: dict[str, MeasureTable] = {}
-        self.committed_generation: Optional[int] = None
+        self.committed_generation: int | None = None
 
     def open_measure(self, name: str, granularity: Granularity) -> None:
         self.tables.setdefault(name, MeasureTable(name, granularity))
@@ -721,7 +714,7 @@ class StoreSink(Sink):
     def emit_state(self, name: str, key: tuple, state) -> None:
         self.states[name].rows[key] = state
 
-    def _persistable_state(self, name: str) -> Optional[str]:
+    def _persistable_state(self, name: str) -> str | None:
         """Agg name if this node's states should be persisted."""
         from repro.aggregates.base import Kind
 

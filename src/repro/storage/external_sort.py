@@ -15,12 +15,13 @@ written, so a partially written run can never outlive the sort.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import os
 import pickle
 import shutil
 import tempfile
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.schema.dataset_schema import Record
@@ -117,10 +118,8 @@ def external_sort(
         yield from heapq.merge(*streams, key=key_fn)
     finally:
         for path in spill_paths:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(path)
-            except OSError:
-                pass
         if own_tmp:
             # rmtree, not rmdir: even if a stray file somehow landed in
             # the owned directory, the sort owns the whole tree.

@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import os
 import struct
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.schema.dataset_schema import DatasetSchema, Record

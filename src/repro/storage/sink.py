@@ -21,7 +21,6 @@ between stages).
 from __future__ import annotations
 
 import os
-from typing import Optional
 
 from repro.cube.granularity import Granularity
 from repro.storage.table import MeasureTable
@@ -54,7 +53,7 @@ class Sink:
     def close(self) -> None:
         """Called once after the scan completes."""
 
-    def result(self) -> Optional[dict[str, MeasureTable]]:
+    def result(self) -> dict[str, MeasureTable] | None:
         """The collected tables, if this sink retains them."""
         return None
 
@@ -168,7 +167,7 @@ class ObservedSink(Sink):
             if count:
                 counter.labels(measure=name).inc(count)
 
-    def result(self) -> Optional[dict[str, MeasureTable]]:
+    def result(self) -> dict[str, MeasureTable] | None:
         return self.inner.result()
 
 
@@ -212,7 +211,7 @@ class TeeSink(Sink):
         for sink in self.sinks:
             sink.close()
 
-    def result(self) -> Optional[dict[str, MeasureTable]]:
+    def result(self) -> dict[str, MeasureTable] | None:
         for sink in self.sinks:
             tables = sink.result()
             if tables is not None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.cube.granularity import Granularity
@@ -66,7 +66,7 @@ class MeasureTable:
         self,
         name: str,
         granularity: Granularity,
-        rows: Optional[dict] = None,
+        rows: dict | None = None,
     ) -> None:
         self.name = name
         self.granularity = granularity

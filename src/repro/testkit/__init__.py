@@ -15,7 +15,10 @@ cost:
   invariance, ingest-vs-recompute) checked per seed;
 - :mod:`repro.testkit.sweeper` — the crash-recovery sweeper that kills
   a committing subprocess at every registered store/ingest fail point
-  and asserts the reopened store is intact and equivalent.
+  and asserts the reopened store is intact and equivalent;
+- :mod:`repro.testkit.mutations` — per-diagnostic workflow mutants for
+  the :mod:`repro.analysis` linter: for every ``CSM###`` code, a
+  minimal workflow that triggers it and a repaired one that does not.
 
 The CLI front door is ``repro faults`` (list / run / sweep).
 """
@@ -39,19 +42,23 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "FailPointError",
     "FailPointSite",
+    "MUTANT_CODES",
     "OracleFailure",
     "RandomCase",
     "SweepResult",
     "activate",
     "all_engines",
     "assert_engines_agree",
+    "clean_workflow",
     "clear",
     "deactivate",
     "failpoint",
     "fire",
     "is_armed",
+    "mutant",
     "register",
     "registered",
+    "repaired",
     "run_batch",
     "run_seed",
     "sweep",
@@ -78,6 +85,10 @@ def __getattr__(name):
         from repro.testkit import sweeper
 
         return getattr(sweeper, name)
+    if name in ("MUTANT_CODES", "clean_workflow", "mutant", "repaired"):
+        from repro.testkit import mutations
+
+        return getattr(mutations, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

@@ -35,12 +35,12 @@ swept automatically.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import FailPointError
 
@@ -84,7 +84,7 @@ class _Armed:
 
     __slots__ = ("name", "action", "param", "hits")
 
-    def __init__(self, name: str, action: str, param: Optional[float]):
+    def __init__(self, name: str, action: str, param: float | None):
         self.name = name
         self.action = action
         self.param = param
@@ -108,7 +108,7 @@ def register(name: str, scope: str, doc: str = "") -> str:
     return name
 
 
-def registered(scope: Optional[str] = None) -> list[FailPointSite]:
+def registered(scope: str | None = None) -> list[FailPointSite]:
     """All registered sites (optionally one scope), sorted by name."""
     with _lock:
         sites = sorted(_SITES.values(), key=lambda site: site.name)
@@ -137,7 +137,7 @@ def _parse(name: str, action_spec: str) -> _Armed:
             f"unknown fail-point action {action!r} for {name!r}; "
             f"expected one of {_ACTIONS}"
         )
-    param: Optional[float] = None
+    param: float | None = None
     if raw_param:
         try:
             param = float(raw_param)
@@ -199,7 +199,7 @@ def failpoint(name: str, action: str):
         deactivate(name)
 
 
-def fire(name: str, path: Optional[str] = None) -> None:
+def fire(name: str, path: str | None = None) -> None:
     """The injection site: trigger ``name``'s action if armed.
 
     ``path`` names the file the site is currently writing, consumed by
@@ -214,7 +214,7 @@ def fire(name: str, path: Optional[str] = None) -> None:
     _trigger(armed, path)
 
 
-def _trigger(armed: _Armed, path: Optional[str]) -> None:
+def _trigger(armed: _Armed, path: str | None) -> None:
     armed.hits += 1
     with _lock:
         _HITS[armed.name] = _HITS.get(armed.name, 0) + 1
@@ -237,20 +237,18 @@ def _trigger(armed: _Armed, path: Optional[str]) -> None:
 
 def _tear(path: str) -> None:
     """Truncate ``path`` to half its length (best effort)."""
-    try:
+    with contextlib.suppress(OSError):
         size = os.path.getsize(path)
         with open(path, "rb+") as fh:
             fh.truncate(size // 2)
             fh.flush()
             os.fsync(fh.fileno())
-    except OSError:
-        pass
 
 
 def _count_trigger(name: str, action: str) -> None:
     # Imported lazily: repro.obs must stay importable without testkit
     # and vice versa, and a trigger is never on a per-record path.
-    try:
+    with contextlib.suppress(Exception):
         from repro.obs import get_registry
         from repro.obs.metrics import FAILPOINT_TRIGGERS
 
@@ -259,11 +257,9 @@ def _count_trigger(name: str, action: str) -> None:
             "Fail-point actions triggered, by site name",
             labelnames=("name", "action"),
         ).labels(name=name, action=action).inc()
-    except Exception:  # pragma: no cover - metrics must never mask faults
-        pass
 
 
-def install_from_env(env: Optional[str] = None) -> list[str]:
+def install_from_env(env: str | None = None) -> list[str]:
     """Arm sites from a ``name:action[,name:action...]`` spec string.
 
     Called at import with the :data:`ENV_VAR` value so crash-sweeper

@@ -1,0 +1,351 @@
+"""Workflow mutations that trigger each linter diagnostic.
+
+For every ``CSM###`` code the analyzer knows, this module builds a
+minimal workflow that *triggers* it (:func:`mutant`) and a corrected
+counterpart that does *not* (:func:`repaired`).  The mutants exercise
+the analyzer the way a hostile client would: error-level cases bypass
+the :class:`~repro.workflow.AggregationWorkflow` builder entirely and
+splice raw :class:`~repro.workflow.measure.Measure` objects into the
+measure dict — exactly the shape a pickled workflow arriving over the
+measure service wire could take.
+
+Usage (the shape of the parametrized analyzer tests)::
+
+    wf = mutant("CSM101", schema)
+    assert "CSM101" in analyze(wf).codes()
+    assert "CSM101" not in analyze(repaired("CSM101", schema)).codes()
+
+Mutants are *minimal for the code*, not diagnostic-free otherwise: a
+dependency cycle, for example, also defeats the granularity checks, so
+a mutant may carry secondary findings.  Tests assert code membership,
+not exact equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.aggregates.base import AggSpec
+from repro.algebra.conditions import SelfMatch, Sibling
+from repro.algebra.expr import CombineFn
+from repro.algebra.predicates import Field
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.measure import Measure, MeasureKind
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def _gran(schema: DatasetSchema, keyed: dict[str, int]) -> Granularity:
+    """Granularity with the named dimensions at the given integer
+    levels and everything else at ALL."""
+    levels = [dim.all_level for dim in schema.dimensions]
+    for name, level in keyed.items():
+        levels[schema.dim_index(name)] = level
+    return Granularity(schema, levels)
+
+
+def _vfield(schema: DatasetSchema) -> str:
+    """A fact-table measure attribute to aggregate, if the schema has
+    one (the synthetic schema's ``v``)."""
+    return schema.measures[0] if schema.measures else "*"
+
+
+def _inject(wf: AggregationWorkflow, measure: Measure) -> Measure:
+    """Splice a measure in *without* builder validation — the shape a
+    workflow deserialized from the wire could have."""
+    wf.measures[measure.name] = measure
+    return measure
+
+
+def _ratio(a, b):  # pragma: no cover - never evaluated by the linter
+    """Module-level combine fn so mutant workflows stay picklable."""
+    if a is None or b is None:
+        return None
+    return a / b
+
+
+# -- per-code builders ---------------------------------------------------
+#
+# Each builder takes a schema and returns (trigger, repaired): the first
+# workflow carries the code, the second is the minimal fix.
+
+
+def _csm001(schema):
+    bad = AggregationWorkflow(schema, "csm001")
+    bad.basic("total", _gran(schema, {"d0": 0}))
+    _inject(bad, Measure(
+        "daily", _gran(schema, {"d0": 1}), MeasureKind.ROLLUP,
+        agg=AggSpec("sum", "M"), source="missing",
+    ))
+    good = AggregationWorkflow(schema, "csm001-fixed")
+    good.basic("total", _gran(schema, {"d0": 0}))
+    good.rollup("daily", _gran(schema, {"d0": 1}), source="total",
+                agg="sum")
+    return bad, good
+
+
+def _csm002(schema):
+    bad = AggregationWorkflow(schema, "csm002")
+    gran = _gran(schema, {"d0": 0})
+    _inject(bad, Measure(
+        "a", gran, MeasureKind.ROLLUP, agg=AggSpec("sum", "M"),
+        source="b",
+    ))
+    _inject(bad, Measure(
+        "b", gran, MeasureKind.ROLLUP, agg=AggSpec("sum", "M"),
+        source="a",
+    ))
+    good = AggregationWorkflow(schema, "csm002-fixed")
+    good.basic("a", gran, agg=("sum", _vfield(schema)))
+    good.rollup("b", _gran(schema, {"d0": 1}), source="a", agg="sum")
+    return bad, good
+
+
+def _csm003(schema):
+    bad = AggregationWorkflow(schema, "csm003")
+    bad.basic("out", _gran(schema, {"d0": 0}))
+    bad.basic("scratch", _gran(schema, {"d0": 0}),
+              agg=("sum", _vfield(schema)), hidden=True)
+    good = AggregationWorkflow(schema, "csm003-fixed")
+    good.basic("out", _gran(schema, {"d0": 0}))
+    good.basic("scratch", _gran(schema, {"d0": 0}),
+               agg=("sum", _vfield(schema)), hidden=True)
+    good.rollup("daily", _gran(schema, {"d0": 1}), source="scratch",
+                agg="avg")
+    return bad, good
+
+
+def _csm004(schema):
+    bad = AggregationWorkflow(schema, "csm004")
+    bad.basic("a", _gran(schema, {"d0": 0}))
+    bad.basic("b", _gran(schema, {"d0": 0}))
+    good = AggregationWorkflow(schema, "csm004-fixed")
+    good.basic("a", _gran(schema, {"d0": 0}))
+    good.basic("b", _gran(schema, {"d0": 0}),
+               agg=("sum", _vfield(schema)))
+    return bad, good
+
+
+def _csm005(schema):
+    bad = AggregationWorkflow(schema, "csm005")
+    good = AggregationWorkflow(schema, "csm005-fixed")
+    good.basic("total", _gran(schema, {"d0": 0}))
+    return bad, good
+
+
+def _csm101(schema):
+    bad = AggregationWorkflow(schema, "csm101")
+    gran = _gran(schema, {"d0": 0})
+    bad.basic("base", gran, hidden=True)
+    _inject(bad, Measure(
+        "agg", gran, MeasureKind.ROLLUP, agg=AggSpec("sum", "M"),
+        source="base",
+    ))
+    good = AggregationWorkflow(schema, "csm101-fixed")
+    good.basic("base", gran, hidden=True)
+    good.rollup("agg", _gran(schema, {"d0": 1}), source="base",
+                agg="avg")
+    return bad, good
+
+
+def _csm102(schema):
+    bad = AggregationWorkflow(schema, "csm102")
+    bad.basic("base", _gran(schema, {"d0": 0}), hidden=True)
+    _inject(bad, Measure(
+        "smooth", _gran(schema, {"d0": 1}), MeasureKind.MATCH,
+        agg=AggSpec("avg", "M"), source="base",
+        cond=Sibling({"d0": (0, 1)}),
+    ))
+    good = AggregationWorkflow(schema, "csm102-fixed")
+    good.basic("base", _gran(schema, {"d0": 0}), hidden=True)
+    good.rollup("daily", _gran(schema, {"d0": 1}), source="base",
+                hidden=True)
+    good.moving_window("smooth", _gran(schema, {"d0": 1}),
+                       source="daily", windows={"d0": (0, 1)})
+    return bad, good
+
+
+def _csm103(schema):
+    bad = AggregationWorkflow(schema, "csm103")
+    gran = _gran(schema, {"d0": 0})
+    bad.basic("base", gran, hidden=True)
+    _inject(bad, Measure(
+        "smooth", gran, MeasureKind.MATCH, agg=AggSpec("avg", "M"),
+        source="base", cond=Sibling({"d1": (0, 1)}),
+    ))
+    good = AggregationWorkflow(schema, "csm103-fixed")
+    good.basic("base", gran, hidden=True)
+    good.moving_window("smooth", gran, source="base",
+                       windows={"d0": (0, 1)})
+    return bad, good
+
+
+def _csm104(schema):
+    bad = AggregationWorkflow(schema, "csm104")
+    gran = _gran(schema, {"d0": 0})
+    bad.basic("base", gran, hidden=True)
+    bad.basic("keys", _gran(schema, {"d0": 1}), hidden=True)
+    _inject(bad, Measure(
+        "view", gran, MeasureKind.MATCH, agg=AggSpec("max", "M"),
+        source="base", keys="keys", cond=SelfMatch(),
+    ))
+    good = AggregationWorkflow(schema, "csm104-fixed")
+    good.basic("base", gran, hidden=True)
+    good.match("view", gran, source="base", cond=SelfMatch(),
+               agg="max")
+    return bad, good
+
+
+def _csm105(schema):
+    bad = AggregationWorkflow(schema, "csm105")
+    bad.basic("x", _gran(schema, {"d0": 0}), hidden=True)
+    bad.basic("y", _gran(schema, {"d0": 1}),
+              agg=("sum", _vfield(schema)), hidden=True)
+    _inject(bad, Measure(
+        "ratio", _gran(schema, {"d0": 0}), MeasureKind.COMBINE,
+        inputs=("x", "y"), fn=CombineFn(_ratio, name="ratio"),
+    ))
+    good = AggregationWorkflow(schema, "csm105-fixed")
+    good.basic("x", _gran(schema, {"d0": 0}), hidden=True)
+    good.basic("y", _gran(schema, {"d0": 0}),
+               agg=("sum", _vfield(schema)), hidden=True)
+    good.combine("ratio", ["x", "y"], _ratio, fn_name="ratio")
+    return bad, good
+
+
+def _csm201(schema):
+    bad = AggregationWorkflow(schema, "csm201")
+    bad.basic("byd0", _gran(schema, {"d0": 0}))
+    bad.basic("med", _gran(schema, {"d1": 0}),
+              agg=("median", _vfield(schema)))
+    good = AggregationWorkflow(schema, "csm201-fixed")
+    good.basic("med", _gran(schema, {"d0": 0}),
+               agg=("median", _vfield(schema)))
+    return bad, good
+
+
+def _csm202(schema):
+    bad = AggregationWorkflow(schema, "csm202")
+    bad.basic("byd0", _gran(schema, {"d0": 0}))
+    bad.basic("byd1", _gran(schema, {"d1": 0}),
+              agg=("sum", _vfield(schema)))
+    good = AggregationWorkflow(schema, "csm202-fixed")
+    good.basic("byd0", _gran(schema, {"d0": 0}))
+    good.basic("byd1", _gran(schema, {"d0": 0, "d1": 0}),
+               agg=("sum", _vfield(schema)))
+    return bad, good
+
+
+def _csm203(schema):
+    bad = AggregationWorkflow(schema, "csm203")
+    gran = _gran(schema, {"d0": 0})
+    bad.basic("base", gran, hidden=True)
+    bad.moving_window("smooth", gran, source="base",
+                      windows={"d0": (0, 2_000_000)})
+    good = AggregationWorkflow(schema, "csm203-fixed")
+    good.basic("base", gran, hidden=True)
+    good.moving_window("smooth", gran, source="base",
+                       windows={"d0": (0, 2)})
+    return bad, good
+
+
+def _csm204(schema):
+    return _csm202(schema)
+
+
+def _csm301(schema):
+    bad = AggregationWorkflow(schema, "csm301")
+    bad.basic("base", _gran(schema, {"d0": 0}), hidden=True)
+    bad.rollup("busy", _gran(schema, {"d0": 1}), source="base",
+               where=Field("d0") <= 1)
+    good = AggregationWorkflow(schema, "csm301-fixed")
+    good.basic("base", _gran(schema, {"d0": 0}),
+               where=Field("d0") <= 1, hidden=True)
+    good.rollup("busy", _gran(schema, {"d0": 1}), source="base")
+    return bad, good
+
+
+def _csm302(schema):
+    bad = AggregationWorkflow(schema, "csm302")
+    bad.basic("fine", _gran(schema, {"d0": 0}),
+              agg=("sum", _vfield(schema)), hidden=True)
+    bad.rollup("coarse", _gran(schema, {"d0": 1}), source="fine",
+               agg="sum")
+    good = AggregationWorkflow(schema, "csm302-fixed")
+    good.basic("coarse", _gran(schema, {"d0": 1}),
+               agg=("sum", _vfield(schema)))
+    return bad, good
+
+
+def _csm303(schema):
+    bad = AggregationWorkflow(schema, "csm303")
+    gran = _gran(schema, {"d0": 0})
+    bad.basic("a", gran)
+    bad.basic("b", gran, hidden=True)
+    bad.rollup("daily", _gran(schema, {"d0": 1}), source="b")
+    good = AggregationWorkflow(schema, "csm303-fixed")
+    good.basic("a", gran)
+    good.rollup("daily", _gran(schema, {"d0": 1}), source="a")
+    return bad, good
+
+
+def _csm304(schema):
+    bad = AggregationWorkflow(schema, "csm304")
+    gran = _gran(schema, {"d0": 0})
+    bad.basic("base", gran, hidden=True)
+    bad.moving_window("still", gran, source="base",
+                      windows={"d0": (0, 0)})
+    good = AggregationWorkflow(schema, "csm304-fixed")
+    good.basic("base", gran, hidden=True)
+    good.moving_window("still", gran, source="base",
+                       windows={"d0": (0, 2)})
+    return bad, good
+
+
+_BUILDERS: dict[str, Callable] = {
+    "CSM001": _csm001,
+    "CSM002": _csm002,
+    "CSM003": _csm003,
+    "CSM004": _csm004,
+    "CSM005": _csm005,
+    "CSM101": _csm101,
+    "CSM102": _csm102,
+    "CSM103": _csm103,
+    "CSM104": _csm104,
+    "CSM105": _csm105,
+    "CSM201": _csm201,
+    "CSM202": _csm202,
+    "CSM203": _csm203,
+    "CSM204": _csm204,
+    "CSM301": _csm301,
+    "CSM302": _csm302,
+    "CSM303": _csm303,
+    "CSM304": _csm304,
+}
+
+#: Every diagnostic code the mutation helper can trigger.
+MUTANT_CODES: tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+def mutant(code: str, schema: DatasetSchema) -> AggregationWorkflow:
+    """A minimal workflow whose analysis report contains ``code``."""
+    return _BUILDERS[code](schema)[0]
+
+
+def repaired(code: str, schema: DatasetSchema) -> AggregationWorkflow:
+    """The corrected counterpart: ``code`` absent from its report."""
+    return _BUILDERS[code](schema)[1]
+
+
+def clean_workflow(
+    schema: DatasetSchema, name: str = "clean"
+) -> AggregationWorkflow:
+    """A small workflow with *zero* diagnostics of any severity."""
+    wf = AggregationWorkflow(schema, name)
+    wf.basic("perCell", _gran(schema, {"d0": 0, "d1": 0}),
+             agg=("sum", _vfield(schema)))
+    wf.rollup("daily", _gran(schema, {"d0": 0}), source="perCell",
+              agg="avg")
+    wf.moving_window("smooth", _gran(schema, {"d0": 0}),
+                     source="daily", windows={"d0": (0, 2)})
+    return wf

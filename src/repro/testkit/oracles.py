@@ -38,7 +38,7 @@ import random
 import shutil
 import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.aggregates.base import AggregateFunction, AggSpec, get_aggregate
 from repro.algebra.conditions import ChildParent
@@ -428,7 +428,7 @@ def _partition_counts(case: RandomCase) -> list[int]:
     return sorted({2, case.num_partitions, 7})
 
 
-def _partition_mismatch(case: RandomCase, workflow) -> Optional[str]:
+def _partition_mismatch(case: RandomCase, workflow) -> str | None:
     if not workflow.outputs():
         return None
     reference = SingleScanEngine().evaluate(case.dataset, workflow)
@@ -493,7 +493,7 @@ _CHECKS: dict[str, _FamilyCheck] = {
 
 def _shrink_predicate(
     family: str, case: RandomCase, tmp: str
-) -> Optional[Callable]:
+) -> Callable | None:
     """``still_fails(workflow)`` for workflow-shaped families."""
     if family == "partition":
         return lambda wf: _partition_mismatch(case, wf) is not None
@@ -519,8 +519,8 @@ def _shrink_predicate(
 def run_seed(
     seed: int,
     schema=None,
-    families: Optional[Sequence[str]] = None,
-    tmp_dir: Optional[str] = None,
+    families: Sequence[str] | None = None,
+    tmp_dir: str | None = None,
     shrink: bool = True,
 ) -> list[OracleFailure]:
     """Check one seed against the oracle families; [] means all held."""
@@ -568,8 +568,8 @@ def run_seed(
 def run_batch(
     seeds: Iterable[int],
     schema=None,
-    families: Optional[Sequence[str]] = None,
-    on_seed: Optional[Callable[[int, list[OracleFailure]], None]] = None,
+    families: Sequence[str] | None = None,
+    on_seed: Callable[[int, list[OracleFailure]], None] | None = None,
 ) -> list[OracleFailure]:
     """Check a seed range; returns every failure across all seeds."""
     if schema is None:

@@ -32,7 +32,7 @@ import shutil
 import subprocess
 import sys
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
 
 import repro
 from repro.engine.sort_scan import SortScanEngine
@@ -186,9 +186,9 @@ def sweep(
     work_dir: str,
     seed: int = 0,
     action: str = "crash",
-    sites: Optional[Iterable[str]] = None,
+    sites: Iterable[str] | None = None,
     schema=None,
-    on_result: Optional[Callable[[SweepResult], None]] = None,
+    on_result: Callable[[SweepResult], None] | None = None,
 ) -> list[SweepResult]:
     """Run the crash-recovery sweep; one result per injection site.
 

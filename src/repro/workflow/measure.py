@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.aggregates.base import AggSpec
 from repro.algebra.conditions import MatchCondition
@@ -35,13 +35,13 @@ class Measure:
         name: str,
         granularity: Granularity,
         kind: MeasureKind,
-        agg: Optional[AggSpec] = None,
-        where: Optional[Predicate] = None,
-        source: Optional[str] = None,
-        keys: Optional[str] = None,
-        cond: Optional[MatchCondition] = None,
+        agg: AggSpec | None = None,
+        where: Predicate | None = None,
+        source: str | None = None,
+        keys: str | None = None,
+        cond: MatchCondition | None = None,
         inputs: Sequence[str] = (),
-        fn: Optional[CombineFn] = None,
+        fn: CombineFn | None = None,
         hidden: bool = False,
     ) -> None:
         self.name = name

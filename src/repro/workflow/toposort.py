@@ -8,18 +8,23 @@ is a workflow construction error.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
-from repro.errors import WorkflowError
+from repro.errors import WorkflowError, measure_ref
 from repro.workflow.measure import Measure
 
 
-def topological_order(measures: Mapping[str, Measure]) -> list[str]:
+def topological_order(
+    measures: Mapping[str, Measure],
+    workflow: str | None = None,
+) -> list[str]:
     """Kahn's algorithm over measure dependencies; deterministic.
 
     Returns measure names such that every measure appears after all of
     its dependencies.  Ties are broken by insertion order so plans are
-    reproducible run to run.
+    reproducible run to run.  ``workflow`` names the owning workflow in
+    error messages (shared phrasing with the ``repro.analysis`` linter
+    via :func:`repro.errors.measure_ref`).
 
     Raises:
         WorkflowError: if dependencies form a cycle (with the cycle's
@@ -32,7 +37,8 @@ def topological_order(measures: Mapping[str, Measure]) -> list[str]:
         for dep in measure.dependencies():
             if dep not in measures:
                 raise WorkflowError(
-                    f"measure {name!r} depends on unknown measure {dep!r}"
+                    f"{measure_ref(name, workflow)} depends on "
+                    f"unknown measure {dep!r}"
                 )
             indegree[name] += 1
             dependents[dep].append(name)
@@ -55,7 +61,9 @@ def topological_order(measures: Mapping[str, Measure]) -> list[str]:
 
     if len(result) != len(measures):
         stuck = sorted(set(measures) - set(result))
+        where = f" of workflow {workflow!r}" if workflow else ""
         raise WorkflowError(
-            f"measure dependencies contain a cycle involving {stuck}"
+            f"measure dependencies{where} contain a cycle involving "
+            f"{stuck}"
         )
     return result

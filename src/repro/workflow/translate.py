@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 from repro.errors import WorkflowError
 from repro.algebra.expr import (
     Aggregate,
+    CombineFn,
     CombineJoin,
     Expr,
     FactTable,
@@ -85,10 +86,8 @@ def _translate_measure(
     raise WorkflowError(f"unknown measure kind {measure.kind!r}")
 
 
-def _first_arg_only(fn):
+def _first_arg_only(fn: CombineFn) -> CombineFn:
     """Adapt a 1-ary combine fn to the (base, base) duplicated shape."""
-    from repro.algebra.expr import CombineFn
-
     return CombineFn(
         lambda base_value, __: fn(base_value),
         name=fn.name,

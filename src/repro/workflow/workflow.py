@@ -16,9 +16,9 @@ Example — the paper's Examples 1-4 in workflow form::
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional, Sequence, Union
+from collections.abc import Callable, Mapping, Sequence
 
-from repro.errors import WorkflowError
+from repro.errors import WorkflowError, measure_ref
 from repro.aggregates.base import AggSpec
 from repro.algebra.conditions import (
     ChildParent,
@@ -27,15 +27,15 @@ from repro.algebra.conditions import (
     SelfMatch,
     Sibling,
 )
-from repro.algebra.expr import CombineFn
+from repro.algebra.expr import CombineFn, Expr
 from repro.algebra.predicates import Predicate
 from repro.cube.granularity import Granularity
 from repro.schema.dataset_schema import DatasetSchema
 from repro.workflow.measure import Measure, MeasureKind
 from repro.workflow.toposort import topological_order
 
-GranSpec = Union[Granularity, Mapping[str, str]]
-AggLike = Union[AggSpec, str, tuple]
+GranSpec = Granularity | Mapping[str, str]
+AggLike = AggSpec | str | tuple
 
 
 class AggregationWorkflow:
@@ -65,14 +65,15 @@ class AggregationWorkflow:
     def _add(self, measure: Measure) -> Measure:
         if measure.name in self.measures:
             raise WorkflowError(
-                f"measure {measure.name!r} is already defined"
+                f"{measure_ref(measure.name, self.name)} is already "
+                f"defined"
             )
         for dep in measure.dependencies():
             if dep not in self.measures:
                 raise WorkflowError(
-                    f"measure {measure.name!r} depends on {dep!r}, which "
-                    f"is not defined yet (define dependencies first; "
-                    f"recursion is not allowed)"
+                    f"{measure_ref(measure.name, self.name)} depends "
+                    f"on {dep!r}, which is not defined yet (define "
+                    f"dependencies first; recursion is not allowed)"
                 )
         self.measures[measure.name] = measure
         return measure
@@ -93,7 +94,7 @@ class AggregationWorkflow:
         name: str,
         granularity: GranSpec,
         agg: AggLike = "count",
-        where: Optional[Predicate] = None,
+        where: Predicate | None = None,
         hidden: bool = False,
     ) -> Measure:
         """A basic measure: aggregate fact-table records directly.
@@ -139,9 +140,9 @@ class AggregationWorkflow:
         self,
         name: str,
         granularity: GranSpec,
-        source: Union[str, Measure],
+        source: str | Measure,
         agg: AggLike = "count",
-        where: Optional[Predicate] = None,
+        where: Predicate | None = None,
         hidden: bool = False,
     ) -> Measure:
         """Aggregate a finer measure up — a child/parent match join.
@@ -176,11 +177,11 @@ class AggregationWorkflow:
         self,
         name: str,
         granularity: GranSpec,
-        source: Union[str, Measure],
+        source: str | Measure,
         cond: MatchCondition,
         agg: AggLike = "avg",
-        where: Optional[Predicate] = None,
-        keys: Optional[Union[str, Measure]] = None,
+        where: Predicate | None = None,
+        keys: str | Measure | None = None,
         hidden: bool = False,
     ) -> Measure:
         """A match join: aggregate measures of *related* regions.
@@ -230,11 +231,11 @@ class AggregationWorkflow:
         self,
         name: str,
         granularity: GranSpec,
-        source: Union[str, Measure],
+        source: str | Measure,
         windows: Mapping[str, tuple[int, int]],
         agg: AggLike = "avg",
-        where: Optional[Predicate] = None,
-        keys: Optional[Union[str, Measure]] = None,
+        where: Predicate | None = None,
+        keys: str | Measure | None = None,
         hidden: bool = False,
     ) -> Measure:
         """Sugar for a sibling match with the given per-dim windows."""
@@ -253,10 +254,10 @@ class AggregationWorkflow:
         self,
         name: str,
         granularity: GranSpec,
-        source: Union[str, Measure],
+        source: str | Measure,
         agg: AggLike = "max",
-        where: Optional[Predicate] = None,
-        keys: Optional[Union[str, Measure]] = None,
+        where: Predicate | None = None,
+        keys: str | Measure | None = None,
         hidden: bool = False,
     ) -> Measure:
         """Sugar for a parent/child match: push an ancestor's measure
@@ -275,8 +276,8 @@ class AggregationWorkflow:
     def combine(
         self,
         name: str,
-        inputs: Sequence[Union[str, Measure]],
-        fn: Union[CombineFn, Callable],
+        inputs: Sequence[str | Measure],
+        fn: CombineFn | Callable,
         fn_name: str = "fc",
         handles_null: bool = False,
         hidden: bool = False,
@@ -316,7 +317,7 @@ class AggregationWorkflow:
     def filter(
         self,
         name: str,
-        source: Union[str, Measure],
+        source: str | Measure,
         where: Predicate,
     ) -> Measure:
         """A filtered view of a measure: ``σ_where(source)``.
@@ -341,8 +342,8 @@ class AggregationWorkflow:
     def derive(
         self,
         name: str,
-        source: Union[str, Measure],
-        where: Optional[Predicate] = None,
+        source: str | Measure,
+        where: Predicate | None = None,
         agg: AggLike = "max",
     ) -> Measure:
         """A self-match: re-expose a measure, optionally filtered.
@@ -395,7 +396,7 @@ class AggregationWorkflow:
 
     def order(self) -> list[str]:
         """Topological evaluation order of all measures."""
-        return topological_order(self.measures)
+        return topological_order(self.measures, self.name)
 
     def outputs(self) -> list[str]:
         """Names of non-hidden measures, in definition order."""
@@ -405,16 +406,41 @@ class AggregationWorkflow:
             if not measure.hidden
         ]
 
-    def validate(self) -> None:
-        """Check the workflow end to end (cycles, dangling names)."""
-        self.order()
+    def validate(self, strict: bool = False) -> None:
+        """Check the workflow end to end (cycles, dangling names).
 
-    def to_algebra(self):
+        With ``strict=True``, additionally run the full static
+        analyzer (:mod:`repro.analysis`) and raise on any error-level
+        diagnostic — the same gate the measure service applies to
+        submitted workflows.
+        """
+        self.order()
+        if strict:
+            self._check_strict()
+
+    def _check_strict(self) -> None:
+        from repro.analysis import analyze
+
+        report = analyze(self)
+        if not report.ok:
+            details = "; ".join(
+                d.format().split("\n")[0] for d in report.errors
+            )
+            raise WorkflowError(
+                f"workflow {self.name!r} failed strict validation "
+                f"({len(report.errors)} error(s)): {details}"
+            )
+
+    def to_algebra(self, strict: bool = False) -> dict[str, Expr]:
         """Translate to AW-RA expressions (Theorem 2).
 
         Returns a dict of measure name to :class:`~repro.algebra.Expr`,
-        with shared sub-expressions reused by object identity.
+        with shared sub-expressions reused by object identity.  With
+        ``strict=True``, run the static analyzer first and refuse to
+        translate a workflow with error-level diagnostics.
         """
+        if strict:
+            self._check_strict()
         from repro.workflow.translate import workflow_to_algebra
 
         return workflow_to_algebra(self)

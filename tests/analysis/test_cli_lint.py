@@ -1,0 +1,49 @@
+"""The ``repro lint`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def test_lint_all_builtin_queries_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "linted 6 workflow(s)" in out
+    assert "0 at or above error" in out
+
+
+def test_lint_single_query_json(capsys):
+    assert main(["lint", "q1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out.strip())
+    assert payload["ok"] is True
+    assert payload["label"] == "q1"
+    assert payload["counts"] == {"error": 0, "warning": 0, "hint": 0}
+
+
+def test_lint_fail_on_warning_is_nonzero(capsys):
+    # The combined query legitimately warns (CSM203: the port-traffic
+    # node's estimated footprint); error remains the default gate.
+    assert main(["lint", "combined"]) == 0
+    assert main(["lint", "combined", "--fail-on", "warning"]) == 1
+    out = capsys.readouterr().out
+    assert "CSM203" in out
+
+
+def test_lint_json_reports_diagnostics(capsys):
+    assert main(
+        ["lint", "combined", "--json", "--fail-on", "warning"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out.strip())
+    codes = [d["code"] for d in payload["diagnostics"]]
+    assert "CSM203" in codes
+    assert all(d["severity"] != "error" for d in payload["diagnostics"])
+
+
+def test_lint_generated_seeds(capsys):
+    assert main(["lint", "q1", "--generated-seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "linted 3 workflow(s)" in out
+
+
+def test_lint_unknown_query_is_operational_error(capsys):
+    assert main(["lint", "nosuch"]) == 2

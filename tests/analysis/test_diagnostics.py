@@ -1,0 +1,82 @@
+"""The diagnostic registry and the Diagnostic value object."""
+
+import pytest
+
+from repro.analysis import CODES, FAMILIES, Severity
+from repro.analysis.diagnostics import make
+
+
+class TestRegistry:
+    def test_at_least_twelve_codes(self):
+        assert len(CODES) >= 12
+
+    def test_codes_span_all_four_families(self):
+        assert {info.family for info in CODES.values()} == set(
+            FAMILIES
+        )
+
+    def test_code_blocks_match_families(self):
+        """CSM0xx well-formedness, 1xx match, 2xx streaming, 3xx perf."""
+        block_family = {
+            "0": "well-formedness",
+            "1": "match-validity",
+            "2": "streaming",
+            "3": "performance",
+        }
+        for code, info in CODES.items():
+            assert info.code == code
+            assert code.startswith("CSM") and len(code) == 6
+            assert info.family == block_family[code[3]]
+
+    def test_severity_rank_orders_errors_first(self):
+        assert (
+            Severity.ERROR.rank
+            < Severity.WARNING.rank
+            < Severity.HINT.rank
+        )
+
+    def test_every_family_has_an_error_or_warning(self):
+        """Hints alone cannot carry a family: each family must be able
+        to affect an exit code or a service decision."""
+        for family in ("well-formedness", "match-validity", "streaming"):
+            assert any(
+                info.family == family
+                and info.severity is not Severity.HINT
+                for info in CODES.values()
+            )
+
+
+class TestDiagnostic:
+    def test_make_applies_registered_severity(self):
+        diag = make("CSM001", "boom", measure="m", workflow="wf")
+        assert diag.severity is Severity.ERROR
+        assert diag.family == "well-formedness"
+
+    def test_format_includes_code_measure_and_fix(self):
+        diag = make(
+            "CSM101", "bad rollup", measure="daily",
+            suggestion="use broadcast()",
+        )
+        text = diag.format()
+        assert "error CSM101 [daily]: bad rollup" in text
+        assert "fix: use broadcast()" in text
+
+    def test_to_dict_shape(self):
+        diag = make(
+            "CSM204", "conflict", measure="b", workflow="wf",
+            related=("a",),
+        )
+        payload = diag.to_dict()
+        assert payload == {
+            "code": "CSM204",
+            "severity": "warning",
+            "family": "streaming",
+            "message": "conflict",
+            "measure": "b",
+            "workflow": "wf",
+            "related": ["a"],
+        }
+
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(KeyError):
+            make("CSM999", "nope")

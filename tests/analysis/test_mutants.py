@@ -1,0 +1,73 @@
+"""Every diagnostic code fires on its mutant and not on its repair.
+
+This is the analyzer's core contract: for each registered ``CSM###``
+code, :func:`repro.testkit.mutations.mutant` builds a minimal workflow
+that triggers it, and :func:`repro.testkit.mutations.repaired` the
+corrected counterpart that does not — every rule exercised both ways.
+"""
+
+import pytest
+
+from repro.analysis import CODES, FAMILIES, analyze
+from repro.testkit.mutations import (
+    MUTANT_CODES,
+    clean_workflow,
+    mutant,
+    repaired,
+)
+
+
+def test_mutants_cover_every_registered_code():
+    assert set(MUTANT_CODES) == set(CODES)
+
+
+def test_mutants_span_all_four_families():
+    assert {CODES[code].family for code in MUTANT_CODES} == set(
+        FAMILIES
+    )
+
+
+@pytest.mark.parametrize("code", MUTANT_CODES)
+def test_mutant_triggers_code(code, syn_schema):
+    report = analyze(mutant(code, syn_schema))
+    assert code in report.codes(), report.format()
+
+
+@pytest.mark.parametrize("code", MUTANT_CODES)
+def test_repaired_workflow_is_clean_of_code(code, syn_schema):
+    report = analyze(repaired(code, syn_schema))
+    assert code not in report.codes(), report.format()
+
+
+@pytest.mark.parametrize("code", MUTANT_CODES)
+def test_diagnostics_name_the_workflow(code, syn_schema):
+    """Findings carry the workflow name so multi-workflow lints (the
+    CLI, CI batches) stay attributable."""
+    report = analyze(mutant(code, syn_schema))
+    hits = [d for d in report.diagnostics if d.code == code]
+    assert hits and all(d.workflow == report.workflow for d in hits)
+
+
+def test_clean_workflow_has_zero_diagnostics(syn_schema):
+    report = analyze(clean_workflow(syn_schema))
+    assert report.diagnostics == [], report.format()
+    assert report.ok
+
+
+def test_report_orders_errors_first(syn_schema):
+    """A mutant carrying mixed severities reports errors before hints."""
+    wf = mutant("CSM101", syn_schema)  # also yields a CSM302 hint
+    report = analyze(wf)
+    ranks = [d.severity.rank for d in report.diagnostics]
+    assert ranks == sorted(ranks)
+    assert len({d.code for d in report.diagnostics}) >= 2
+
+
+def test_report_to_dict_counts(syn_schema):
+    report = analyze(mutant("CSM202", syn_schema))
+    payload = report.to_dict()
+    assert payload["ok"] is True  # warnings only
+    assert payload["counts"]["warning"] == len(report.warnings)
+    assert [d["code"] for d in payload["diagnostics"]] == [
+        d.code for d in report.diagnostics
+    ]

@@ -1,0 +1,48 @@
+"""Opt-in strict validation on the workflow itself."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.errors import WorkflowError
+from repro.testkit.mutations import clean_workflow, mutant
+
+
+class TestStrictValidate:
+    def test_strict_rejects_error_level_workflow(self, syn_schema):
+        # CSM101's mutant passes the builder-era checks (the raw
+        # measure was spliced in post-hoc), so non-strict validation
+        # is blind to it — exactly the gap strict mode closes.
+        wf = mutant("CSM101", syn_schema)
+        wf.validate()
+        with pytest.raises(WorkflowError, match="CSM101"):
+            wf.validate(strict=True)
+
+    def test_strict_message_names_workflow_and_measure(
+        self, syn_schema
+    ):
+        wf = mutant("CSM101", syn_schema)
+        with pytest.raises(
+            WorkflowError, match=r"workflow 'csm101'"
+        ) as excinfo:
+            wf.validate(strict=True)
+        assert "'agg'" in str(excinfo.value)
+
+    def test_strict_passes_clean_workflow(self, syn_schema):
+        clean_workflow(syn_schema).validate(strict=True)
+
+    def test_warnings_do_not_fail_strict_validation(self, syn_schema):
+        wf = mutant("CSM202", syn_schema)  # warning-level only
+        report = analyze(wf)
+        assert report.ok and report.warnings
+        wf.validate(strict=True)
+
+
+class TestStrictToAlgebra:
+    def test_strict_translation_refuses_errors(self, syn_schema):
+        with pytest.raises(WorkflowError, match="strict validation"):
+            mutant("CSM105", syn_schema).to_algebra(strict=True)
+
+    def test_strict_translation_of_clean_workflow(self, syn_schema):
+        wf = clean_workflow(syn_schema)
+        exprs = wf.to_algebra(strict=True)
+        assert set(wf.measures) <= set(exprs)

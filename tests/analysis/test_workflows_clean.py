@@ -1,0 +1,79 @@
+"""Shipped and generated workflows carry no error-level diagnostics.
+
+The analyzer must not cry wolf: every workflow this repository ships —
+the built-in paper queries, the example scripts' pipelines, and the
+testkit's random workflows — has to pass the same gate the measure
+service applies to submitted workflows.
+"""
+
+import pytest
+
+from repro.analysis import Severity, analyze
+from repro.cli import _QUERIES, _SCHEMAS
+from repro.schema.dataset_schema import network_log_schema
+from repro.testkit.generator import RandomCase
+from repro.workflow.workflow import AggregationWorkflow
+from repro.algebra.predicates import Field
+from repro.algebra.conditions import Sibling
+
+
+@pytest.mark.parametrize("name", sorted(_QUERIES))
+def test_builtin_query_has_no_errors(name):
+    schema_name, builder = _QUERIES[name]
+    workflow = builder(_SCHEMAS[schema_name]())
+    report = analyze(workflow)
+    assert report.ok, report.format()
+
+
+def _quickstart_workflow(schema):
+    """The pipeline built by examples/quickstart.py, verbatim."""
+    wf = AggregationWorkflow(schema, name="quickstart")
+    wf.basic("Count", {"t": "Hour", "U": "IP"}, agg="count")
+    wf.rollup("sCount", {"t": "Hour"}, source="Count",
+              where=Field("M") > 5, agg="count")
+    wf.rollup("sTraffic", {"t": "Hour"}, source="Count",
+              where=Field("M") > 5, agg=("sum", "M"))
+    wf.match("avgCount", {"t": "Hour"}, source="sCount",
+             cond=Sibling({"t": (0, 5)}), agg="avg")
+    wf.combine(
+        "ratio", ["avgCount", "sTraffic", "sCount"],
+        fn=lambda a, t, c: None,
+        fn_name="avg/(traffic/count)", handles_null=True,
+    )
+    return wf
+
+
+def test_quickstart_example_has_no_errors():
+    report = analyze(_quickstart_workflow(network_log_schema()))
+    assert report.ok, report.format()
+
+
+def test_environmental_sensors_example_has_no_errors():
+    """The bespoke workflow of examples/environmental_sensors.py."""
+    import os
+    import sys
+
+    examples_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))),
+        "examples",
+    )
+    sys.path.insert(0, examples_dir)
+    try:
+        import environmental_sensors as sensors
+    finally:
+        sys.path.remove(examples_dir)
+    schema, __ = sensors.build_schema()
+    workflow = sensors.build_workflow(schema)
+    report = analyze(workflow)
+    assert report.ok, report.format()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_generated_workflow_has_no_errors(seed, syn_schema):
+    case = RandomCase(seed, syn_schema)
+    report = analyze(case.workflow)
+    errors = [d for d in report.diagnostics
+              if d.severity is Severity.ERROR]
+    assert not errors, report.format()

@@ -156,17 +156,21 @@ class TestFailPointInjection:
         from repro.testkit import FailPointError, failpoint
 
         ds, wf = self._dataset_and_workflow(schema)
-        with failpoint("sortscan.cascade", "raise"):
-            with pytest.raises(FailPointError, match="sortscan.cascade"):
-                SortScanEngine().evaluate(ds, wf)
+        with (
+            failpoint("sortscan.cascade", "raise"),
+            pytest.raises(FailPointError, match="sortscan.cascade"),
+        ):
+            SortScanEngine().evaluate(ds, wf)
 
     def test_final_flush_fires_exactly_once_per_run(self, schema):
         from repro.testkit import failpoint, trigger_count
 
         ds, wf = self._dataset_and_workflow(schema)
-        with failpoint("sortscan.final-flush", "delay:0"):
-            with failpoint("sortscan.cascade", "delay:0"):
-                result = SortScanEngine().evaluate(ds, wf)
+        with (
+            failpoint("sortscan.final-flush", "delay:0"),
+            failpoint("sortscan.cascade", "delay:0"),
+        ):
+            result = SortScanEngine().evaluate(ds, wf)
         # The delay action is benign: the run completes correctly ...
         assert result["cnt"].rows[(0,)] == 13
         # ... and the end-of-scan flush happened exactly once, while

@@ -85,9 +85,11 @@ class TestExportSchema:
 
     def _sample_tracer(self):
         tracer = Tracer(enabled=True)
-        with tracer.span("outer", cat="engine"):
-            with tracer.span("inner", cat="engine", detail="x"):
-                pass
+        with (
+            tracer.span("outer", cat="engine"),
+            tracer.span("inner", cat="engine", detail="x"),
+        ):
+            pass
         tracer.instant("mark", cat="engine")
         return tracer
 

@@ -1,0 +1,124 @@
+"""The measure service rejects workflows with error-level diagnostics.
+
+Workflows reach the service over the wire (pickled at bootstrap, or
+POSTed to ``/workflow``), bypassing the builder's incremental checks —
+the static analyzer is the submit/ingest gate, and its findings must
+come back in the HTTP error body.
+"""
+
+import base64
+import json
+import pickle
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import MeasureService, MeasureStore, make_server
+from repro.service.ingest import Ingestor
+from repro.testkit.mutations import clean_workflow, mutant
+
+from tests.service.conftest import make_records
+
+
+class TestIngestorGate:
+    def test_rejects_error_level_workflow(self, tmp_path, syn_schema):
+        store = MeasureStore(str(tmp_path / "store"))
+        with pytest.raises(
+            ServiceError, match="rejected by static analysis"
+        ) as excinfo:
+            Ingestor(store, mutant("CSM105", syn_schema))
+        codes = [d.code for d in excinfo.value.diagnostics]
+        assert "CSM105" in codes
+
+    def test_service_construction_rejects_too(
+        self, tmp_path, syn_schema
+    ):
+        store = MeasureStore(str(tmp_path / "store"))
+        with pytest.raises(ServiceError, match="CSM101"):
+            MeasureService(store, mutant("CSM101", syn_schema))
+
+    def test_accepts_clean_workflow(self, tmp_path, syn_schema):
+        store = MeasureStore(str(tmp_path / "store"))
+        service = MeasureService(store, clean_workflow(syn_schema))
+        service.bootstrap(make_records(300, seed=7))
+        assert service.table("perCell")
+
+    def test_warnings_are_not_rejected(self, tmp_path, syn_schema):
+        # CSM202's mutant is warning-level: disjoint-dimension basics
+        # stream badly but compute correctly, so the service serves it.
+        store = MeasureStore(str(tmp_path / "store"))
+        service = MeasureService(store, mutant("CSM202", syn_schema))
+        service.bootstrap(make_records(300, seed=8))
+        assert service.table("byd0")
+
+
+class TestHTTPWorkflowRoute:
+    @pytest.fixture()
+    def http(self, tmp_path, syn_schema):
+        store = MeasureStore(str(tmp_path / "store"))
+        service = MeasureService(store, clean_workflow(syn_schema))
+        service.bootstrap(make_records(300, seed=9))
+        server = make_server(service, port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        port = server.server_address[1]
+        yield f"http://127.0.0.1:{port}"
+        server.shutdown()
+        server.server_close()
+
+    @staticmethod
+    def _post_workflow(base_url, workflow):
+        body = json.dumps({
+            "workflow": base64.b64encode(
+                pickle.dumps(workflow)
+            ).decode("ascii"),
+        }).encode("utf-8")
+        request = urllib.request.Request(
+            f"{base_url}/workflow", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_invalid_submission_is_422_with_diagnostics(
+        self, http, syn_schema
+    ):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post_workflow(http, mutant("CSM101", syn_schema))
+        assert excinfo.value.code == 422
+        payload = json.loads(excinfo.value.read())
+        assert "rejected by static analysis" in payload["error"]
+        errors = [
+            d for d in payload["diagnostics"]
+            if d["severity"] == "error"
+        ]
+        assert [d["code"] for d in errors] == ["CSM101"]
+        assert errors[0]["measure"] == "agg"
+        assert "fix" not in errors[0]  # suggestion rides its own key
+        assert errors[0]["suggestion"]
+
+    def test_clean_submission_is_accepted(self, http, syn_schema):
+        status, payload = self._post_workflow(
+            http, clean_workflow(syn_schema)
+        )
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["counts"]["error"] == 0
+
+    def test_malformed_submission_is_400(self, http):
+        body = json.dumps({"workflow": "!!not-base64!!"}).encode()
+        request = urllib.request.Request(
+            f"{http}/workflow", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "bad workflow body" in json.loads(
+            excinfo.value.read()
+        )["error"]

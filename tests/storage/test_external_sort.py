@@ -83,31 +83,35 @@ class TestInjectedFailures:
     def test_failed_spill_leaves_no_run_files(self, tmp_path):
         from repro.testkit import FailPointError, failpoint
 
-        with failpoint("sort.spill", "raise"):
-            with pytest.raises(FailPointError):
-                list(
-                    external_sort(
-                        self._records(),
-                        lambda r: r[0],
-                        run_size=5,
-                        tmp_dir=str(tmp_path),
-                    )
+        with (
+            failpoint("sort.spill", "raise"),
+            pytest.raises(FailPointError),
+        ):
+            list(
+                external_sort(
+                    self._records(),
+                    lambda r: r[0],
+                    run_size=5,
+                    tmp_dir=str(tmp_path),
                 )
+            )
         assert os.listdir(tmp_path) == []
 
     def test_failed_merge_leaves_no_run_files(self, tmp_path):
         from repro.testkit import FailPointError, failpoint
 
-        with failpoint("sort.merge", "raise"):
-            with pytest.raises(FailPointError):
-                list(
-                    external_sort(
-                        self._records(),
-                        lambda r: r[0],
-                        run_size=5,
-                        tmp_dir=str(tmp_path),
-                    )
+        with (
+            failpoint("sort.merge", "raise"),
+            pytest.raises(FailPointError),
+        ):
+            list(
+                external_sort(
+                    self._records(),
+                    lambda r: r[0],
+                    run_size=5,
+                    tmp_dir=str(tmp_path),
                 )
+            )
         assert os.listdir(tmp_path) == []
 
     def test_failed_spill_removes_owned_temp_directory(self):
@@ -125,11 +129,13 @@ class TestInjectedFailures:
             }
 
         before = sort_dirs()
-        with failpoint("sort.spill", "raise"):
-            with pytest.raises(FailPointError):
-                list(
-                    external_sort(
-                        self._records(), lambda r: r[0], run_size=5
-                    )
+        with (
+            failpoint("sort.spill", "raise"),
+            pytest.raises(FailPointError),
+        ):
+            list(
+                external_sort(
+                    self._records(), lambda r: r[0], run_size=5
                 )
+            )
         assert sort_dirs() == before

@@ -160,9 +160,11 @@ class TestFiring:
             FAILPOINT_TRIGGERS, labelnames=("name", "action")
         ).labels(name="test.counted", action="raise")
         before = counter.value
-        with failpoint("test.counted", "raise"):
-            with pytest.raises(FailPointError):
-                fire("test.counted")
+        with (
+            failpoint("test.counted", "raise"),
+            pytest.raises(FailPointError),
+        ):
+            fire("test.counted")
         assert counter.value == before + 1
 
 
