@@ -13,6 +13,20 @@ import os
 
 import pytest
 
+try:
+    from repro.storage.columnar import HAVE_NUMPY
+except ImportError:  # pragma: no cover - repro must be importable
+    HAVE_NUMPY = False
+
+#: Benchmarks of the columnar batched path skip (never error) when
+#: numpy is missing: without it the engines silently run the scalar
+#: path and the measurement would compare scalar against scalar.
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY,
+    reason="numpy unavailable: the columnar batched path is disabled, "
+    "so batched-vs-scalar timings would be meaningless",
+)
+
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))

@@ -1,0 +1,41 @@
+"""Extension benchmark: the columnar batched scan vs the scalar scan.
+
+Regenerates the perf target sheet's measurement
+(``docs/metrics_targets.md``) at the environment's scale and asserts
+the sheet's acceptance bars: headline geometric-mean speedup at or
+above the 10x target (scaled down leniently at tiny CI sizes, where
+fixed per-run costs dominate) and zero regressions on headline
+workloads.  Skips — with a reason, never an error — when numpy is
+unavailable.
+"""
+
+from benchmarks.conftest import report, requires_numpy
+
+
+@requires_numpy
+def test_columnar_batched_vs_scalar(benchmark, scale):
+    from repro.bench.columnar import columnar_bench
+
+    rows, payload = benchmark.pedantic(
+        columnar_bench, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report(rows, f"columnar batched vs scalar (scale={scale})")
+
+    metrics = payload["metrics"]
+    geomean = metrics["geometric_mean_speedup"]
+    assert geomean is not None
+    # The full 10x bar applies at the sheet's scale (>=1.0); small CI
+    # scales still must show a clear, monotone win.
+    floor = 10.0 if scale >= 1.0 else 2.0
+    assert geomean >= floor, (
+        f"headline geomean speedup {geomean:.2f}x fell below "
+        f"{floor:.0f}x at scale={scale}"
+    )
+    headline_regressions = [
+        point
+        for point in payload["speedups"]
+        if point["headline"]
+        and point["speedup"] is not None
+        and point["speedup"] < 1.0
+    ]
+    assert not headline_regressions

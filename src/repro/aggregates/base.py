@@ -7,6 +7,16 @@ from typing import Any
 
 from repro.errors import AlgebraError
 
+try:  # numpy is optional; the batched path is gated on it
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI installs numpy
+    _np = None  # type: ignore[assignment]
+
+
+def _is_array(values: Any) -> bool:
+    """Whether ``values`` is a numpy array (the vectorized fast path)."""
+    return _np is not None and isinstance(values, _np.ndarray)
+
 
 class Kind(enum.Enum):
     """Gray et al. aggregate classification (Section 5.1)."""
@@ -50,6 +60,34 @@ class AggregateFunction:
     def finalize(self, state: Any) -> float | None:
         raise NotImplementedError
 
+    # -- batched updates ----------------------------------------------
+    #
+    # The columnar engines fold whole group segments at once.  The
+    # contract is strict: ``update_many(state, values)`` must return a
+    # state *bit-identical* to folding ``values`` left-to-right through
+    # ``update`` (same arithmetic, same order — e.g. float sums use
+    # ``numpy.add.accumulate``, which is sequential, never the pairwise
+    # ``numpy.sum``), and the returned state must hold plain Python
+    # scalars so downstream serialization never sees numpy types.  The
+    # defaults below simply loop, which is what holistic aggregates and
+    # sketches keep (the automatic per-row fallback).
+
+    def update_many(self, state: Any, values: Any) -> Any:
+        """Fold a batch of values (numpy array or list, which may
+        contain ``None``); bit-identical to N ``update`` calls."""
+        if _is_array(values):
+            values = values.tolist()
+        for value in values:
+            state = self.update(state, value)
+        return state
+
+    def update_repeat(self, state: Any, value: Any, count: int) -> Any:
+        """Fold ``count`` copies of one value (the COUNT(*) path);
+        bit-identical to ``count`` ``update`` calls."""
+        for _ in range(count):
+            state = self.update(state, value)
+        return state
+
     # Convenience for the non-streaming engines and tests.
     def over(self, values) -> float | None:
         """Aggregate an iterable of values in one shot."""
@@ -82,6 +120,15 @@ def get_aggregate(name: str) -> AggregateFunction:
         raise AlgebraError(
             f"unknown aggregate {name!r}; have {sorted(_REGISTRY)}"
         ) from None
+
+
+def all_aggregates() -> dict[str, AggregateFunction]:
+    """A snapshot of the registry — every registered aggregate by name.
+
+    Used by the equivalence test pack to assert the ``update_many``
+    contract for *every* aggregate, including ones registered later.
+    """
+    return dict(_REGISTRY)
 
 
 class AggSpec:

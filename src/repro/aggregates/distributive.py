@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
+from repro.aggregates.base import (
+    AggregateFunction,
+    Kind,
+    _is_array,
+    _np,
+    register_aggregate,
+)
 
 
 class Count(AggregateFunction):
@@ -20,6 +26,17 @@ class Count(AggregateFunction):
         if value is None:
             return state
         return state + 1
+
+    def update_many(self, state: int, values: Any) -> int:
+        if _is_array(values):
+            # Arrays carry no NULLs; integer addition is exact.
+            return state + int(values.size)
+        return state + sum(1 for value in values if value is not None)
+
+    def update_repeat(self, state: int, value: Any, count: int) -> int:
+        if value is None:
+            return state
+        return state + count
 
     def merge(self, left: int, right: int) -> int:
         return left + right
@@ -41,6 +58,22 @@ class Sum(AggregateFunction):
         if value is None:
             return state
         return value if state is None else state + value
+
+    def update_many(self, state, values):
+        if _is_array(values):
+            if values.size == 0:
+                return state
+            if state is not None:
+                values = _np.concatenate(((state,), values))
+            # accumulate folds strictly left-to-right — unlike
+            # numpy.sum's pairwise tree — so the final prefix total is
+            # bit-identical to the scalar update loop.
+            return _np.add.accumulate(values)[-1].item()
+        for value in values:
+            if value is None:
+                continue
+            state = value if state is None else state + value
+        return state
 
     def merge(self, left, right):
         if left is None:
@@ -67,6 +100,23 @@ class Min(AggregateFunction):
             return state
         return value if state is None else min(state, value)
 
+    def update_many(self, state, values):
+        if _is_array(values):
+            if values.size == 0:
+                return state
+            low = values.min().item()
+            return low if state is None else min(state, low)
+        for value in values:
+            if value is None:
+                continue
+            state = value if state is None else min(state, value)
+        return state
+
+    def update_repeat(self, state, value, count):
+        if value is None or count <= 0:
+            return state
+        return value if state is None else min(state, value)
+
     def merge(self, left, right):
         if left is None:
             return right
@@ -89,6 +139,23 @@ class Max(AggregateFunction):
 
     def update(self, state, value):
         if value is None:
+            return state
+        return value if state is None else max(state, value)
+
+    def update_many(self, state, values):
+        if _is_array(values):
+            if values.size == 0:
+                return state
+            high = values.max().item()
+            return high if state is None else max(state, high)
+        for value in values:
+            if value is None:
+                continue
+            state = value if state is None else max(state, value)
+        return state
+
+    def update_repeat(self, state, value, count):
+        if value is None or count <= 0:
             return state
         return value if state is None else max(state, value)
 
@@ -121,6 +188,12 @@ class ConstantAggregate(AggregateFunction):
         return self.value
 
     def update(self, state, value):
+        return state
+
+    def update_many(self, state, values):
+        return state
+
+    def update_repeat(self, state, value, count):
         return state
 
     def merge(self, left, right):

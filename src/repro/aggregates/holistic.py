@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from statistics import median as _median
 
-from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
+from repro.aggregates.base import (
+    AggregateFunction,
+    Kind,
+    _is_array,
+    register_aggregate,
+)
 
 
 class CountDistinct(AggregateFunction):
@@ -26,6 +31,16 @@ class CountDistinct(AggregateFunction):
     def update(self, state: set, value) -> set:
         if value is not None:
             state.add(value)
+        return state
+
+    def update_many(self, state: set, values) -> set:
+        # Holistic fallback: per-value set inserts, on *Python* scalars
+        # so states never mix numpy and builtin number types.
+        if _is_array(values):
+            values = values.tolist()
+        for value in values:
+            if value is not None:
+                state.add(value)
         return state
 
     def merge(self, left: set, right: set) -> set:
@@ -48,6 +63,15 @@ class Median(AggregateFunction):
     def update(self, state: list, value) -> list:
         if value is not None:
             state.append(value)
+        return state
+
+    def update_many(self, state: list, values) -> list:
+        if _is_array(values):
+            state.extend(values.tolist())
+            return state
+        state.extend(
+            value for value in values if value is not None
+        )
         return state
 
     def merge(self, left: list, right: list) -> list:

@@ -20,7 +20,12 @@ import math
 import struct
 
 from repro.errors import AlgebraError
-from repro.aggregates.base import AggregateFunction, Kind, register_aggregate
+from repro.aggregates.base import (
+    AggregateFunction,
+    Kind,
+    _is_array,
+    register_aggregate,
+)
 
 #: Two-power register counts keep index extraction a mask.
 _MIN_PRECISION = 4
@@ -88,6 +93,17 @@ class HyperLogLog(AggregateFunction):
             rank = self._value_bits - remainder.bit_length() + 1
         if rank > state[index]:
             state[index] = rank
+        return state
+
+    def update_many(self, state: bytearray, values) -> bytearray:
+        # Sketch fallback: per-value register updates.  Converting to
+        # Python scalars first matters for correctness — ``_hash64``
+        # hashes ``repr(value)``, and ``repr(numpy.float64(x))`` is not
+        # ``repr(x)``.
+        if _is_array(values):
+            values = values.tolist()
+        for value in values:
+            state = self.update(state, value)
         return state
 
     def merge(self, left: bytearray, right: bytearray) -> bytearray:

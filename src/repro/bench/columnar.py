@@ -1,0 +1,244 @@
+"""The columnar batched-vs-scalar benchmark behind ``BENCH_columnar.json``.
+
+This driver is the perf target sheet's data source (see
+``docs/metrics_targets.md``): it times every engine's scalar
+(``batch_size=0``) and batched scan paths on the distributive-only
+Fig-6-family workloads and reports the three sheet metrics —
+geometric-mean speedup, total-runtime reduction, and the
+zero-regression count.  ``repro bench --figure columnar --json
+BENCH_columnar.json`` writes the machine-readable artifact CI uploads.
+
+The headline workloads are coarse-granularity aggregation lattices in
+the shape of Figures 6(c)/6(d) — pure distributive aggregates (sum,
+count, min, max) at the L1/L2 granularities the paper's Q1 parent
+region set uses — because that is where batch-at-a-time execution pays
+off: thousands of rows fold into each region per batch.  Q1 itself
+(Figure 6(a), seven base-granularity children) rides along as a
+non-headline reference point: its regions are nearly distinct per
+record, so segments degenerate to single rows and the batched path
+merely matches the scalar one.  Without numpy every point becomes an
+``n/a`` row (skip-with-reason, never an error).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import BenchRow, time_engine
+from repro.data.synthetic import synthetic_dataset
+from repro.engine.single_scan import SingleScanEngine
+from repro.engine.sort_scan import SortScanEngine
+from repro.queries.q1_child_parent import q1_workflow
+from repro.storage.columnar import HAVE_NUMPY
+from repro.workflow.workflow import AggregationWorkflow
+
+#: Version of the BENCH_columnar.json payload layout; the schema guard
+#: test (tests/bench/test_columnar_bench.py) pins the key structure.
+SCHEMA_VERSION = 1
+
+#: Rows per batch for the benchmark runs.  Larger than the engines'
+#: 4k default: the sheet workloads are coarse, so 16k-row batches
+#: amortize per-batch costs further while staying in the 4-64k window.
+BENCH_BATCH_SIZE = 16_384
+
+#: |D| at scale=1.0 — the 16M point of the paper's sweep at the
+#: figures' 1:100 reduction.
+BASE_SIZE = 160_000
+
+#: The perf sheet's headline target (docs/metrics_targets.md).
+TARGET_GEOMEAN_SPEEDUP = 10.0
+
+METRIC_DEFINITIONS = {
+    "geometric_mean_speedup": (
+        "geometric mean, over headline (workload, engine) points, of "
+        "scalar_seconds / batched_seconds; scalar is the same engine "
+        "with batch_size=0"
+    ),
+    "total_runtime_reduction": (
+        "1 - sum(batched_seconds) / sum(scalar_seconds) over headline "
+        "points (fraction of total scalar wall-clock eliminated)"
+    ),
+    "zero_regression_count": (
+        "number of measured points, headline or not, with speedup < "
+        "1.0; the sheet target is 0"
+    ),
+    "headline": (
+        "points counted by geometric_mean_speedup / "
+        "total_runtime_reduction: the distributive-only Fig-6-family "
+        "lattices; reference points (headline=false) are reported but "
+        "not averaged"
+    ),
+}
+
+
+def skip_reason() -> str | None:
+    """Why the benchmark cannot measure anything (``None`` = it can)."""
+    if not HAVE_NUMPY:
+        return "numpy unavailable: the columnar batched path is disabled"
+    return None
+
+
+def _lattice_workflow(schema) -> AggregationWorkflow:
+    """Figure 6(c)-shaped distributive lattice: sum/min/max/count
+    basics at coarse granularities plus a distributive roll-up."""
+    wf = AggregationWorkflow(schema, name="fig6c-lattice")
+    wf.basic("sum_d0", {"d0": "d0.L2"}, agg=("sum", "v"))
+    wf.basic(
+        "sum_d0d1", {"d0": "d0.L2", "d1": "d1.L2"}, agg=("sum", "v")
+    )
+    wf.basic("min_d1", {"d1": "d1.L2"}, agg=("min", "v"))
+    wf.basic("max_d2", {"d2": "d2.L2"}, agg=("max", "v"))
+    wf.basic(
+        "cnt_d2d3", {"d2": "d2.L2", "d3": "d3.L2"}, agg="count"
+    )
+    wf.rollup("sum_total", {}, source="sum_d0", agg=("sum", "M"))
+    return wf
+
+
+def _count_workflow(schema) -> AggregationWorkflow:
+    """Figure 6(d)-shaped sweep: COUNT region sets at L1/L2."""
+    wf = AggregationWorkflow(schema, name="fig6d-counts")
+    for i, spec in enumerate(
+        (
+            {"d0": "d0.L1"},
+            {"d1": "d1.L1"},
+            {"d0": "d0.L2", "d1": "d1.L2"},
+            {"d2": "d2.L1"},
+        )
+    ):
+        wf.basic(f"cnt{i}", spec, agg="count")
+    return wf
+
+
+#: (workload name, workflow builder, counts toward the headline mean?)
+WORKLOADS = (
+    ("fig6c-lattice", _lattice_workflow, True),
+    ("fig6d-counts", _count_workflow, True),
+    ("fig6a-q1-children7", q1_workflow, False),
+)
+
+#: (engine label, factory taking the effective batch size)
+ENGINES = (
+    ("single-scan", lambda bs: SingleScanEngine(batch_size=bs)),
+    ("sort-scan", lambda bs: SortScanEngine(batch_size=bs)),
+)
+
+
+def _geomean(values: list[float]) -> float | None:
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def columnar_bench(
+    scale: float = 1.0,
+    seed: int = 0,
+    batch_size: int = BENCH_BATCH_SIZE,
+) -> tuple[list[BenchRow], dict]:
+    """Measure scalar vs batched and build the JSON payload.
+
+    Returns ``(rows, payload)``: ``rows`` feed ``format_table`` (one
+    ``[scalar]`` and one ``[batched]`` row per workload and engine),
+    ``payload`` is the ``BENCH_columnar.json`` document.
+    """
+    from repro.bench.figures import _on_disk
+
+    size = max(2_000, int(BASE_SIZE * scale))
+    rows: list[BenchRow] = []
+    speedups: list[dict] = []
+    reason = skip_reason()
+    if reason is None:
+        generated = synthetic_dataset(size, seed=seed)
+        with _on_disk(generated) as dataset:
+            for workload, build, headline in WORKLOADS:
+                workflow = build(generated.schema)
+                for label, factory in ENGINES:
+                    scalar = time_engine(
+                        factory(0), dataset, workflow, "columnar",
+                        workload, label=f"{label}[scalar]",
+                    )
+                    batched = time_engine(
+                        factory(batch_size), dataset, workflow,
+                        "columnar", workload,
+                        label=f"{label}[batched]",
+                    )
+                    rows += [scalar, batched]
+                    speedup = None
+                    if scalar.seconds and batched.seconds:
+                        speedup = scalar.seconds / batched.seconds
+                    speedups.append(
+                        {
+                            "workload": workload,
+                            "engine": label,
+                            "rows": size,
+                            "headline": headline,
+                            "scalar_seconds": scalar.seconds,
+                            "batched_seconds": batched.seconds,
+                            "speedup": speedup,
+                        }
+                    )
+    else:
+        for workload, __, headline in WORKLOADS:
+            for label, __factory in ENGINES:
+                rows.append(
+                    BenchRow(
+                        "columnar", workload, label, None, note=reason
+                    )
+                )
+                speedups.append(
+                    {
+                        "workload": workload,
+                        "engine": label,
+                        "rows": size,
+                        "headline": headline,
+                        "scalar_seconds": None,
+                        "batched_seconds": None,
+                        "speedup": None,
+                    }
+                )
+
+    headline_points = [
+        point
+        for point in speedups
+        if point["headline"] and point["speedup"] is not None
+    ]
+    scalar_total = sum(
+        point["scalar_seconds"] for point in headline_points
+    )
+    batched_total = sum(
+        point["batched_seconds"] for point in headline_points
+    )
+    payload = {
+        "bench": "columnar",
+        "schema_version": SCHEMA_VERSION,
+        "scale": scale,
+        "rows_per_workload": size,
+        "batch_size": batch_size,
+        "skipped": reason,
+        "metrics": {
+            "geometric_mean_speedup": _geomean(
+                [point["speedup"] for point in headline_points]
+            ),
+            "total_runtime_reduction": (
+                1.0 - batched_total / scalar_total
+                if scalar_total
+                else None
+            ),
+            "zero_regression_count": sum(
+                1
+                for point in speedups
+                if point["speedup"] is not None
+                and point["speedup"] < 1.0
+            ),
+            "target_geometric_mean_speedup": TARGET_GEOMEAN_SPEEDUP,
+        },
+        "definitions": METRIC_DEFINITIONS,
+        "speedups": speedups,
+    }
+    return rows, payload
+
+
+def columnar_rows(scale: float = 1.0, seed: int = 0) -> list[BenchRow]:
+    """The ``ALL_FIGURES``-shaped driver (rows only)."""
+    rows, __ = columnar_bench(scale=scale, seed=seed)
+    return rows

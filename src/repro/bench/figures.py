@@ -282,7 +282,20 @@ def fig7b(
         )
 
 
+def columnar(scale: float = 1.0) -> list[BenchRow]:
+    """The batched-vs-scalar perf sheet (docs/metrics_targets.md).
+
+    Imported lazily: :mod:`repro.bench.columnar` is the one driver
+    with its own JSON payload, and ``repro bench --figure columnar``
+    fetches that payload separately via ``columnar_bench``.
+    """
+    from repro.bench.columnar import columnar_rows
+
+    return columnar_rows(scale=scale)
+
+
 ALL_FIGURES = {
+    "columnar": columnar,
     "fig6a": fig6a,
     "fig6b": fig6b,
     "fig6c": fig6c,

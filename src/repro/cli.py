@@ -123,9 +123,13 @@ _QUERIES = {
 }
 
 _ENGINES = {
-    "sortscan": lambda args: SortScanEngine(optimize=True),
+    "sortscan": lambda args: SortScanEngine(
+        optimize=True, batch_size=args.batch_size
+    ),
     "relational": lambda args: RelationalEngine(),
-    "singlescan": lambda args: SingleScanEngine(),
+    "singlescan": lambda args: SingleScanEngine(
+        batch_size=args.batch_size
+    ),
     "multipass": lambda args: MultiPassEngine(
         memory_budget_entries=500_000
     ),
@@ -153,6 +157,12 @@ def _add_run_arguments(run: argparse.ArgumentParser) -> None:
         "--partitions", type=int, default=None,
         help="partitioned engine only: partition count "
         "(default: one per CPU core)",
+    )
+    run.add_argument(
+        "--batch-size", type=int, default=None,
+        help="sort/scan and single-scan engines: rows per columnar "
+        "batch (0 forces the row-at-a-time scalar path; default: "
+        "auto — 4096 when numpy is available, scalar otherwise)",
     )
     run.add_argument(
         "--limit", type=int, default=10,
@@ -462,7 +472,8 @@ def _cmd_run(args) -> int:
         f"engine={stats.engine} rows={stats.rows_scanned} "
         f"scans={stats.scans} sort={stats.sort_seconds:.3f}s "
         f"scan={stats.scan_seconds:.3f}s total={stats.total_seconds:.3f}s "
-        f"peak_entries={stats.peak_entries}"
+        f"peak_entries={stats.peak_entries} "
+        f"batch={stats.batch_size if stats.batched else 'off'}"
     )
     if args.out:
         logger.info("measure TSVs written to %s/", args.out)
@@ -555,14 +566,44 @@ def _cmd_explain(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    rows = ALL_FIGURES[args.figure](scale=args.scale)
-    print(format_table(f"{args.figure} (scale={args.scale})", rows))
-    if args.json:
-        from dataclasses import asdict
+    payload = None
+    if args.figure == "columnar":
+        # The columnar figure carries the perf-sheet payload
+        # (metrics / definitions / speedups) alongside its rows; the
+        # JSON artifact is that payload, not the raw row dump.
+        from repro.bench.columnar import columnar_bench, skip_reason
 
-        with open(args.json, "w") as fh:
-            json.dump([asdict(row) for row in rows], fh, indent=2)
-            fh.write("\n")
+        rows, payload = columnar_bench(scale=args.scale)
+        if skip_reason():
+            logger.warning("columnar bench skipped: %s", skip_reason())
+    else:
+        rows = ALL_FIGURES[args.figure](scale=args.scale)
+    print(format_table(f"{args.figure} (scale={args.scale})", rows))
+    if payload is not None:
+        metrics = payload["metrics"]
+        geomean = metrics["geometric_mean_speedup"]
+        reduction = metrics["total_runtime_reduction"]
+        print(
+            "headline geomean speedup: "
+            + (f"{geomean:.2f}x" if geomean else "n/a")
+            + f" (target {metrics['target_geometric_mean_speedup']:.0f}x)"
+        )
+        print(
+            "total runtime reduction: "
+            + (f"{reduction:.1%}" if reduction is not None else "n/a")
+            + f"; regressions: {metrics['zero_regression_count']}"
+        )
+    if args.json:
+        if payload is not None:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+        else:
+            from dataclasses import asdict
+
+            with open(args.json, "w") as fh:
+                json.dump([asdict(row) for row in rows], fh, indent=2)
+                fh.write("\n")
         logger.info("bench rows written to %s", args.json)
     _write_metrics_json(args.metrics_json)
     return 0

@@ -1,0 +1,188 @@
+"""Batched (columnar) basic-measure updates shared by the engines.
+
+:class:`BasicBatchUpdater` is the batch-at-a-time counterpart of the
+scalar inner loops in :func:`repro.engine.semantics.update_basic_tables`
+(single-scan) and the precompiled ``basic_plan`` loop in
+:mod:`repro.engine.sort_scan`: it folds a whole
+:class:`~repro.storage.columnar.RecordBatch` into one basic node's
+hash table.  Per batch it
+
+1. evaluates the node's record filter per row (filters are arbitrary
+   Python predicates over record tuples) into a boolean mask,
+2. generalizes the dimension columns to the node's granularity with
+   vectorized mappers (:func:`repro.storage.columnar.key_columns`),
+3. groups rows by region key with one stable lexsort
+   (:func:`repro.storage.columnar.group_runs`), and
+4. folds each group segment through the aggregate's ``update_many``.
+
+Bit-identity with the scalar loops holds because the lexsort is stable
+(within-group value order is scan order), segments are visited in
+first-appearance order (hash tables gain keys in exactly the order the
+scalar loop would insert them, so downstream folds over ``dict``
+iteration order match too), and ``update_many`` folds left-to-right
+(see :mod:`repro.aggregates.base`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.engine.compile import BasicNode
+from repro.schema.domain import ALL_VALUE
+from repro.storage.columnar import (
+    RecordBatch,
+    group_runs,
+    key_columns,
+    np,
+)
+
+_MISSING = object()
+
+
+class BasicBatchUpdater:
+    """Applies record batches to one basic node's hash table.
+
+    Args:
+        node: The compiled basic node.
+        table: The node's (mutable) accumulator hash table.
+        flushed_keys: When the engine tracks flushed keys (the
+            ``assert_no_late_updates`` testing hook), updates for keys
+            in this set raise — same contract as the scalar loop.
+        prof: Optional :class:`~repro.obs.profile.NodeProfile`;
+            ``rows_in`` counts post-filter rows, as in the scalar loop.
+    """
+
+    __slots__ = (
+        "node",
+        "table",
+        "flushed_keys",
+        "prof",
+        "granularity",
+        "agg",
+        "record_filter",
+        "value_index",
+        "key_dims",
+        "template",
+        "all_key",
+        "_key_fn",
+    )
+
+    def __init__(
+        self,
+        node: BasicNode,
+        table: dict,
+        flushed_keys: set | None = None,
+        prof=None,
+    ) -> None:
+        self.node = node
+        self.table = table
+        self.flushed_keys = flushed_keys
+        self.prof = prof
+        self.granularity = node.granularity
+        self.agg = node.agg.function
+        self.record_filter = node.record_filter
+        self.value_index = node.value_index
+        self.key_dims = self.granularity.key_dims
+        # Region keys have full dimension width with ALL slots pinned
+        # to ALL_VALUE; only the key dims vary per segment.
+        self.template = [ALL_VALUE] * self.granularity.schema.num_dimensions
+        self.all_key = tuple(self.template)
+        self._key_fn = self.granularity.record_key_fn()
+
+    # -- scalar paths -------------------------------------------------
+
+    def _check_flushed(self, key: tuple) -> None:
+        if self.flushed_keys is not None and key in self.flushed_keys:
+            raise EvaluationError(
+                f"late update: record for finalized key {key} of "
+                f"basic node {self.node.name!r}"
+            )
+
+    def apply_record(self, record: tuple) -> None:
+        """Fold one record — the non-vector fallback, identical to the
+        scalar engines' inner loop (filter included)."""
+        if self.record_filter is not None and not self.record_filter(
+            record
+        ):
+            return
+        key = self._key_fn(record)
+        value = (
+            1 if self.value_index is None else record[self.value_index]
+        )
+        state = self.table.get(key, _MISSING)
+        if state is _MISSING:
+            self._check_flushed(key)
+            state = self.agg.create()
+        self.table[key] = self.agg.update(state, value)
+        if self.prof is not None:
+            self.prof.rows_in += 1
+
+    # -- batched path -------------------------------------------------
+
+    def apply(self, batch: RecordBatch) -> None:
+        """Fold a whole batch (vectorized when the batch is)."""
+        if len(batch) == 0:
+            return
+        if not batch.vector:
+            for record in batch.python_rows():
+                self.apply_record(record)
+            return
+        if self.record_filter is not None:
+            record_filter = self.record_filter
+            mask = np.fromiter(
+                (
+                    bool(record_filter(row))
+                    for row in batch.iter_records()
+                ),
+                dtype=bool,
+                count=len(batch),
+            )
+            if not mask.any():
+                return
+            if not mask.all():
+                batch = batch.take(mask)
+        n = len(batch)
+        if self.prof is not None:
+            self.prof.rows_in += n
+        values = (
+            batch.columns[self.value_index]
+            if self.value_index is not None
+            else None
+        )
+        agg = self.agg
+        table = self.table
+
+        key_cols = key_columns(self.granularity, batch)
+        keys = [key_cols[dim] for dim in self.key_dims]
+        if not keys:
+            # Every dimension at D_ALL: the batch is one segment.
+            key = self.all_key
+            state = table.get(key, _MISSING)
+            if state is _MISSING:
+                self._check_flushed(key)
+                state = agg.create()
+            if values is None:
+                table[key] = agg.update_repeat(state, 1, n)
+            else:
+                table[key] = agg.update_many(state, values)
+            return
+
+        order, sorted_keys, starts, ends = group_runs(keys, n)
+        ordered_values = values[order] if values is not None else None
+        template = self.template
+        key_dims = self.key_dims
+        for start, end in zip(starts, ends):
+            for dim, col in zip(key_dims, sorted_keys):
+                template[dim] = int(col[start])
+            key = tuple(template)
+            state = table.get(key, _MISSING)
+            if state is _MISSING:
+                self._check_flushed(key)
+                state = agg.create()
+            if ordered_values is None:
+                table[key] = agg.update_repeat(
+                    state, 1, int(end - start)
+                )
+            else:
+                table[key] = agg.update_many(
+                    state, ordered_values[start:end]
+                )

@@ -37,6 +37,10 @@ class EvalStats:
     peak_entries: int = 0
     flushed_entries: int = 0
     spooled_entries: int = 0
+    #: Whether the run used the columnar batched scan path, and the
+    #: effective rows-per-batch (0 on the scalar path).
+    batched: bool = False
+    batch_size: int = 0
     notes: str = ""
     #: Per-worker sub-run statistics, retained by partitioned /
     #: distributed evaluation so the sort/scan breakdown of every
@@ -67,6 +71,10 @@ class EvalStats:
         self.peak_entries = max(self.peak_entries, other.peak_entries)
         self.flushed_entries += other.flushed_entries
         self.spooled_entries += other.spooled_entries
+        # A run counts as batched when any sub-run was; the batch size
+        # reported is the largest any sub-run used.
+        self.batched = self.batched or other.batched
+        self.batch_size = max(self.batch_size, other.batch_size)
         if not self.engine:
             self.engine = other.engine
         if other.notes and other.notes not in self.notes:
@@ -93,6 +101,8 @@ class EvalStats:
             "peak_entries": self.peak_entries,
             "flushed_entries": self.flushed_entries,
             "spooled_entries": self.spooled_entries,
+            "batched": self.batched,
+            "batch_size": self.batch_size,
             "notes": self.notes,
             "workers": [worker.to_dict() for worker in self.workers],
             "nodes": [dict(node) for node in self.nodes],
@@ -112,6 +122,8 @@ class EvalStats:
             peak_entries=data.get("peak_entries", 0),
             flushed_entries=data.get("flushed_entries", 0),
             spooled_entries=data.get("spooled_entries", 0),
+            batched=data.get("batched", False),
+            batch_size=data.get("batch_size", 0),
             notes=data.get("notes", ""),
             workers=[
                 cls.from_dict(worker)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import MemoryBudgetExceeded
+from repro.engine.batch import BasicBatchUpdater
 from repro.engine.compile import BasicNode, CombineNode, CompiledGraph
 from repro.engine.interfaces import Engine, EvalStats
 from repro.engine.semantics import (
@@ -23,6 +24,7 @@ from repro.engine.semantics import (
     finalize_basic,
     update_basic_tables,
 )
+from repro.storage.columnar import resolve_batch_size
 from repro.storage.sink import Sink
 from repro.storage.table import Dataset
 
@@ -38,6 +40,11 @@ class SingleScanEngine(Engine):
             down significantly due to insufficient memory".  The check
             runs during the scan (basic tables) and after each
             composite materialization.
+        batch_size: Rows per columnar batch for the scan.  ``None``
+            (default) auto-selects — the columnar default when numpy is
+            available, scalar otherwise; ``0`` forces the row-at-a-time
+            scalar path.  Both paths produce bit-identical tables (see
+            :mod:`repro.engine.batch`).
     """
 
     name = "single-scan"
@@ -46,9 +53,12 @@ class SingleScanEngine(Engine):
     BUDGET_CHECK_INTERVAL = 4096
 
     def __init__(
-        self, memory_budget_entries: int | None = None
+        self,
+        memory_budget_entries: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         self.memory_budget_entries = memory_budget_entries
+        self.batch_size = batch_size
 
     def _run(
         self,
@@ -58,21 +68,47 @@ class SingleScanEngine(Engine):
         stats: EvalStats,
     ) -> None:
         budget = self.memory_budget_entries
+        batch_size = resolve_batch_size(self.batch_size)
+        stats.batched = batch_size > 0
+        stats.batch_size = batch_size
         basic_state = [
             (node, {}) for node in graph.nodes if isinstance(node, BasicNode)
         ]
 
         scan_started = time.perf_counter()
         rows = 0
-        for record in dataset.scan():
-            update_basic_tables(record, basic_state)
-            rows += 1
-            if budget is not None and rows % self.BUDGET_CHECK_INTERVAL == 0:
-                resident = sum(len(t) for __, t in basic_state)
-                if resident > budget:
-                    raise MemoryBudgetExceeded(
-                        resident, budget, where="single-scan basic tables"
-                    )
+        if batch_size > 0:
+            updaters = [
+                BasicBatchUpdater(node, table)
+                for node, table in basic_state
+            ]
+            for batch in dataset.scan_batches(batch_size):
+                for updater in updaters:
+                    updater.apply(batch)
+                rows += len(batch)
+                if budget is not None:
+                    resident = sum(len(t) for __, t in basic_state)
+                    if resident > budget:
+                        raise MemoryBudgetExceeded(
+                            resident,
+                            budget,
+                            where="single-scan basic tables",
+                        )
+        else:
+            for record in dataset.scan():
+                update_basic_tables(record, basic_state)
+                rows += 1
+                if (
+                    budget is not None
+                    and rows % self.BUDGET_CHECK_INTERVAL == 0
+                ):
+                    resident = sum(len(t) for __, t in basic_state)
+                    if resident > budget:
+                        raise MemoryBudgetExceeded(
+                            resident,
+                            budget,
+                            where="single-scan basic tables",
+                        )
         stats.rows_scanned = rows
         stats.scans = 1
         if budget is not None:

@@ -26,6 +26,7 @@ from repro.algebra.conditions import (
     Sibling,
 )
 from repro.cube.order import SortKey
+from repro.engine.batch import BasicBatchUpdater
 from repro.engine.compile import (
     Arc,
     BasicNode,
@@ -38,6 +39,13 @@ from repro.engine.interfaces import Engine, EvalStats
 from repro.engine.watermark import NodeChecker, build_node_specs
 from repro.obs import get_tracer
 from repro.obs.profile import NodeProfile
+from repro.storage.columnar import (
+    RecordBatch,
+    batches_from_records,
+    map_column,
+    np,
+    resolve_batch_size,
+)
 from repro.storage.external_sort import DEFAULT_RUN_SIZE, external_sort
 from repro.storage.flatfile import FlatFileDataset, write_flatfile
 from repro.storage.sink import Sink
@@ -165,6 +173,16 @@ class SortScanEngine(Engine):
             row per graph node (rows in/out, flush counts and seconds,
             per-node peaks, watermark advances) into ``stats.nodes``.
             Off by default; adds one branch per delivery when on.
+        batch_size: Rows per columnar batch for the sorted scan.
+            ``None`` (default) auto-selects — the columnar default when
+            numpy is available, scalar otherwise; ``0`` forces the
+            row-at-a-time scalar path.  The batched scan sorts with a
+            stable ``numpy.lexsort`` (the same permutation as the
+            scalar stable sort), detects trigger-prefix changes with a
+            vectorized key-change scan, slices the batch per region,
+            and cascades on region boundaries; results are
+            bit-identical to the scalar path (see
+            :mod:`repro.engine.batch`).
     """
 
     name = "sort-scan"
@@ -179,6 +197,7 @@ class SortScanEngine(Engine):
         cascade_prefix: int = 1,
         max_records_between_cascades: int = 4096,
         profile: bool = False,
+        batch_size: int | None = None,
     ) -> None:
         self.sort_key = sort_key
         self.optimize = optimize
@@ -188,6 +207,7 @@ class SortScanEngine(Engine):
         self.cascade_prefix = max(1, cascade_prefix)
         self.max_records_between_cascades = max_records_between_cascades
         self.profile = profile
+        self.batch_size = batch_size
         self._cascade_count = 0
 
     # -- top level ---------------------------------------------------------
@@ -249,10 +269,20 @@ class SortScanEngine(Engine):
         ]
 
         # ---- sort phase ---------------------------------------------------
+        batch_size = resolve_batch_size(self.batch_size)
+        stats.batched = batch_size > 0
+        stats.batch_size = batch_size
         mapper = sort_key.record_mapper()
         sort_started = time.perf_counter()
         with tracer.span("sort", cat="engine"):
-            records, cleanup = self._sorted_records(dataset, mapper, stats)
+            if batch_size > 0:
+                batches, cleanup = self._sorted_batches(
+                    dataset, sort_key, mapper, batch_size
+                )
+            else:
+                records, cleanup = self._sorted_records(
+                    dataset, mapper, stats
+                )
         stats.sort_seconds = time.perf_counter() - sort_started
 
         # ---- scan phase ---------------------------------------------------
@@ -263,45 +293,59 @@ class SortScanEngine(Engine):
         force_every = self.max_records_between_cascades
         profiling = self.profile
         try:
-            prev_trigger: tuple | None = None
-            since_cascade = 0
-            rows = 0
-            for record in records:
-                pos = mapper(record)
-                trigger = pos[:prefix]
-                since_cascade += 1
-                if trigger != prev_trigger or since_cascade >= force_every:
-                    if prev_trigger is not None:
-                        self._cascade(
-                            topo_runtime, runtime, pos, sink, stats,
-                            final=False,
-                        )
-                    prev_trigger = trigger
-                    since_cascade = 0
-                for rec_filter, key_fn, value_index, agg, table, rt in (
-                    basic_plan
-                ):
-                    if rec_filter is not None and not rec_filter(record):
-                        continue
-                    key = key_fn(record)
-                    value = (
-                        1 if value_index is None else record[value_index]
-                    )
-                    state = table.get(key, _MISSING)
-                    if state is _MISSING:
-                        if (
-                            rt.flushed_keys is not None
-                            and key in rt.flushed_keys
-                        ):
-                            raise EvaluationError(
-                                f"late update: record for finalized key "
-                                f"{key} of basic node {rt.node.name!r}"
+            if batch_size > 0:
+                rows = self._scan_batches(
+                    batches, sort_key, mapper, topo_runtime, runtime,
+                    sink, stats,
+                )
+            else:
+                prev_trigger: tuple | None = None
+                since_cascade = 0
+                rows = 0
+                for record in records:
+                    pos = mapper(record)
+                    trigger = pos[:prefix]
+                    since_cascade += 1
+                    if (
+                        trigger != prev_trigger
+                        or since_cascade >= force_every
+                    ):
+                        if prev_trigger is not None:
+                            self._cascade(
+                                topo_runtime, runtime, pos, sink, stats,
+                                final=False,
                             )
-                        state = agg.create()
-                    table[key] = agg.update(state, value)
-                    if profiling:
-                        rt.prof.rows_in += 1
-                rows += 1
+                        prev_trigger = trigger
+                        since_cascade = 0
+                    for rec_filter, key_fn, value_index, agg, table, rt in (
+                        basic_plan
+                    ):
+                        if rec_filter is not None and not rec_filter(
+                            record
+                        ):
+                            continue
+                        key = key_fn(record)
+                        value = (
+                            1
+                            if value_index is None
+                            else record[value_index]
+                        )
+                        state = table.get(key, _MISSING)
+                        if state is _MISSING:
+                            if (
+                                rt.flushed_keys is not None
+                                and key in rt.flushed_keys
+                            ):
+                                raise EvaluationError(
+                                    f"late update: record for finalized "
+                                    f"key {key} of basic node "
+                                    f"{rt.node.name!r}"
+                                )
+                            state = agg.create()
+                        table[key] = agg.update(state, value)
+                        if profiling:
+                            rt.prof.rows_in += 1
+                    rows += 1
             stats.rows_scanned = rows
             stats.scans = 1
             self._cascade(
@@ -316,6 +360,195 @@ class SortScanEngine(Engine):
             stats.nodes.extend(
                 rt.prof.to_dict() for rt in topo_runtime
             )
+
+    def _scan_batches(
+        self,
+        batches,
+        sort_key: SortKey,
+        mapper,
+        topo_runtime: list[_RuntimeNode],
+        runtime: dict[str, _RuntimeNode],
+        sink: Sink,
+        stats: EvalStats,
+    ) -> int:
+        """The batched sorted scan: vectorized trigger detection,
+        per-region batch slicing, cascades on region boundaries.
+
+        The cascade *positions* are the same trigger-prefix boundaries
+        the scalar loop cascades on (watermark bounds are consistent
+        functions of the scan position, so cascading at a subset of
+        position changes is always correct); the
+        ``max_records_between_cascades`` safety valve is honored by
+        splitting long regions.
+        """
+        prefix = self.cascade_prefix
+        force_every = self.max_records_between_cascades
+        schema = sort_key.schema
+        parts = sort_key.parts
+        updaters = [
+            BasicBatchUpdater(
+                rt.node, rt.table, rt.flushed_keys, rt.prof
+            )
+            for rt in topo_runtime
+            if rt.kind == "basic"
+        ]
+        prev_trigger: tuple | None = None
+        since_cascade = 0
+        rows = 0
+        for batch in batches:
+            n = len(batch)
+            if n == 0:
+                continue
+            if not batch.vector:
+                # Defensive fallback for rows that refused the columnar
+                # layout: per-record processing, same cascade rule as
+                # the scalar loop.
+                for record in batch.python_rows():
+                    pos = mapper(record)
+                    trigger = pos[:prefix]
+                    since_cascade += 1
+                    if (
+                        trigger != prev_trigger
+                        or since_cascade >= force_every
+                    ):
+                        if prev_trigger is not None:
+                            self._cascade(
+                                topo_runtime, runtime, pos, sink, stats,
+                                final=False,
+                            )
+                        prev_trigger = trigger
+                        since_cascade = 0
+                    for updater in updaters:
+                        updater.apply_record(record)
+                    rows += 1
+                continue
+            part_cols = [
+                map_column(
+                    schema.dimensions[dim].hierarchy,
+                    0,
+                    level,
+                    batch.columns[dim],
+                )
+                for dim, level in parts
+            ]
+            trigger_cols = part_cols[:prefix]
+            change = np.zeros(n, dtype=bool)
+            change[0] = True
+            for col in trigger_cols:
+                change[1:] |= col[1:] != col[:-1]
+            bounds = np.flatnonzero(change).tolist()
+            bounds.append(n)
+            for i in range(len(bounds) - 1):
+                start, end = bounds[i], bounds[i + 1]
+                trigger = tuple(
+                    int(col[start]) for col in trigger_cols
+                )
+                at = start
+                while at < end:
+                    if (
+                        trigger != prev_trigger
+                        or since_cascade >= force_every
+                    ):
+                        if prev_trigger is not None:
+                            pos = tuple(
+                                int(col[at]) for col in part_cols
+                            )
+                            self._cascade(
+                                topo_runtime, runtime, pos, sink, stats,
+                                final=False,
+                            )
+                        prev_trigger = trigger
+                        since_cascade = 0
+                    take = min(end - at, force_every - since_cascade)
+                    sub = batch.slice(at, at + take)
+                    for updater in updaters:
+                        updater.apply(sub)
+                    since_cascade += take
+                    at += take
+            rows += n
+        return rows
+
+    def _sorted_batches(
+        self,
+        dataset: Dataset,
+        sort_key: SortKey,
+        mapper,
+        batch_size: int,
+    ):
+        """Sort the dataset and return (batch iterable, cleanup).
+
+        In-memory datasets sort column-wise with a stable
+        ``numpy.lexsort`` over the generalized sort-key part columns —
+        the identical permutation to the scalar path's stable
+        ``sorted(records, key=mapper)``.  Oversized datasets reuse the
+        external sort and re-read the spooled flat file in batches.
+        """
+        try:
+            size = len(dataset)
+        except (TypeError, NotImplementedError):
+            size = None
+        schema = dataset.schema
+        if size is not None and size <= self.run_size:
+            chunks = list(dataset.scan_batches(batch_size))
+            if not chunks:
+                return [], lambda: None
+            if all(chunk.vector for chunk in chunks):
+                width = len(chunks[0].columns)
+                cols = [
+                    np.concatenate(
+                        [chunk.columns[i] for chunk in chunks]
+                    )
+                    if len(chunks) > 1
+                    else chunks[0].columns[i]
+                    for i in range(width)
+                ]
+                part_cols = [
+                    map_column(
+                        schema.dimensions[dim].hierarchy, 0, level,
+                        cols[dim],
+                    )
+                    for dim, level in sort_key.parts
+                ]
+                order = np.lexsort(tuple(reversed(part_cols)))
+                cols = [col[order] for col in cols]
+                total = len(order)
+                batches = [
+                    RecordBatch(
+                        schema,
+                        [col[s : s + batch_size] for col in cols],
+                        min(batch_size, total - s),
+                    )
+                    for s in range(0, total, batch_size)
+                ]
+                return batches, lambda: None
+            records = sorted(
+                (
+                    record
+                    for chunk in chunks
+                    for record in chunk.python_rows()
+                ),
+                key=mapper,
+            )
+            return (
+                batches_from_records(schema, records, batch_size),
+                lambda: None,
+            )
+        fd, path = tempfile.mkstemp(
+            prefix="awra-sorted-", suffix=".bin"
+        )
+        os.close(fd)
+        write_flatfile(
+            path,
+            schema,
+            external_sort(dataset.scan(), mapper, run_size=self.run_size),
+        )
+        sorted_dataset = FlatFileDataset(path, schema)
+
+        def cleanup() -> None:
+            with contextlib.suppress(OSError):
+                os.remove(path)
+
+        return sorted_dataset.scan_batches(batch_size), cleanup
 
     def _sorted_records(self, dataset: Dataset, mapper, stats: EvalStats):
         """Sort the dataset; returns (iterable, cleanup callable)."""

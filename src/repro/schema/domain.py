@@ -193,6 +193,24 @@ class Hierarchy:
             value, from_level, to_level
         )
 
+    def array_mapper(self, from_level: int, to_level: int) -> Mapper | None:
+        """An optional *vectorized* generalization closure.
+
+        When a hierarchy's generalization has a closed form that numpy
+        can evaluate element-wise (e.g. integer division for
+        :class:`~repro.schema.numeric_hierarchy.UniformHierarchy`),
+        subclasses return a callable mapping a whole int64 array of
+        values to the generalized array.  ``None`` — the default —
+        makes the columnar scan path fall back to generalizing each
+        distinct value once through :meth:`mapper` and scattering the
+        results with a lookup table, which is always correct.  Callers
+        handle the identity and ``D_ALL`` cases themselves, so this is
+        only consulted for ``from_level < to_level < all_level``.
+        """
+        self._check_level(from_level)
+        self._check_level(to_level)
+        return None
+
     def _generalize_between(
         self, value: int, from_level: int, to_level: int
     ) -> int:

@@ -71,6 +71,14 @@ class UniformHierarchy(Hierarchy):
         divisor = self._fanout ** (to_level - from_level)
         return lambda value: value // divisor
 
+    def array_mapper(self, from_level: int, to_level: int) -> Mapper | None:
+        """Vectorized form of :meth:`_mapper`: ``column // divisor``
+        works unchanged on numpy int64 arrays."""
+        self._check_level(from_level)
+        self._check_level(to_level)
+        divisor = self._fanout ** (to_level - from_level)
+        return lambda column: column // divisor
+
     def fanout(self, fine_level: int, coarse_level: int) -> int:
         self._check_level(fine_level)
         self._check_level(coarse_level)

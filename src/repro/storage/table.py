@@ -7,6 +7,11 @@ from collections.abc import Iterable, Iterator
 from repro.errors import StorageError
 from repro.cube.granularity import Granularity
 from repro.schema.dataset_schema import DatasetSchema, Record
+from repro.storage.columnar import (
+    DEFAULT_BATCH_SIZE,
+    RecordBatch,
+    batches_from_records,
+)
 
 
 class Dataset:
@@ -21,6 +26,17 @@ class Dataset:
 
     def scan(self) -> Iterator[Record]:
         raise NotImplementedError
+
+    def scan_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[RecordBatch]:
+        """Scan as columnar :class:`RecordBatch` chunks.
+
+        The default chunks :meth:`scan`; subclasses override when they
+        can build columns more directly (e.g. flat files decode whole
+        batches with one ``numpy.frombuffer`` call).
+        """
+        return batches_from_records(self.schema, self.scan(), batch_size)
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -42,6 +58,14 @@ class InMemoryDataset(Dataset):
 
     def scan(self) -> Iterator[Record]:
         return iter(self.records)
+
+    def scan_batches(
+        self, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[RecordBatch]:
+        """Chunk the record list directly — no iterator indirection."""
+        return batches_from_records(
+            self.schema, self.records, batch_size
+        )
 
     def __len__(self) -> int:
         return len(self.records)

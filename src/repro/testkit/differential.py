@@ -14,7 +14,58 @@ from repro.engine.naive import RelationalEngine
 from repro.engine.single_scan import SingleScanEngine
 from repro.engine.sort_scan import SortScanEngine
 
-__all__ = ["all_engines", "assert_engines_agree"]
+__all__ = [
+    "all_engines",
+    "assert_engines_agree",
+    "assert_batched_equals_scalar",
+    "batched_divergence",
+]
+
+#: Batch sizes the batched-vs-scalar checks sweep by default: the
+#: degenerate one-row batch, a size that never divides the dataset
+#: evenly (so group spans straddle batch boundaries), and the engines'
+#: production default.
+BATCH_SIZES = (1, 7, 4096)
+
+
+def batched_divergence(
+    dataset, workflow, batch_sizes=BATCH_SIZES
+) -> str | None:
+    """First way the batched scan differs from the scalar scan, if any.
+
+    For each scan engine, evaluates once with ``batch_size=0`` (the
+    row-at-a-time path) and once per requested batch size, comparing
+    raw row dicts with ``==`` — the batched path promises *bit-identical*
+    results, not merely tolerance-equal ones (see
+    :mod:`repro.storage.columnar`).  Returns ``None`` when every
+    comparison holds.
+    """
+    scan_engines = [
+        lambda bs: SingleScanEngine(batch_size=bs),
+        lambda bs: SortScanEngine(batch_size=bs),
+        lambda bs: SortScanEngine(optimize=True, batch_size=bs),
+    ]
+    for factory in scan_engines:
+        scalar = factory(0).evaluate(dataset, workflow)
+        for batch_size in batch_sizes:
+            engine = factory(batch_size)
+            batched = engine.evaluate(dataset, workflow)
+            for name in workflow.outputs():
+                if scalar[name].rows != batched[name].rows:
+                    return (
+                        f"{engine.name} batch_size={batch_size} is not "
+                        f"bit-identical to scalar on {name!r}: "
+                        f"{scalar[name].diff(batched[name])}"
+                    )
+    return None
+
+
+def assert_batched_equals_scalar(
+    dataset, workflow, batch_sizes=BATCH_SIZES
+) -> None:
+    """Assert the columnar path's bit-identity contract on a workflow."""
+    divergence = batched_divergence(dataset, workflow, batch_sizes)
+    assert divergence is None, divergence
 
 
 def all_engines(budget: int = 50_000):

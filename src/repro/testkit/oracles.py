@@ -20,7 +20,10 @@ result — and checks it for one seed of :class:`~repro.testkit
 - ``partition`` — partition-count invariance: the partitioned engine
   must produce identical tables for any partition count;
 - ``ingest`` — ingest-then-query equals recompute-from-scratch
-  (the incremental-maintenance contract).
+  (the incremental-maintenance contract);
+- ``batched`` — the columnar batched scan is *bit-identical* to the
+  row-at-a-time scalar scan for every scan engine at several batch
+  sizes (see :mod:`repro.storage.columnar`).
 
 :func:`run_seed` checks one seed against all (or selected) families
 and returns :class:`OracleFailure` records; every failure message
@@ -66,6 +69,7 @@ from repro.engine.partitioned import PartitionedEngine
 from repro.engine.single_scan import SingleScanEngine
 from repro.schema.dataset_schema import synthetic_schema
 from repro.storage.table import InMemoryDataset
+from repro.testkit.differential import batched_divergence
 from repro.testkit.generator import (
     PARTITION_DIM,
     RandomCase,
@@ -470,6 +474,17 @@ def _oracle_ingest(case: RandomCase, rng: random.Random, tmp) -> None:
         )
 
 
+# -- family: batched scan vs scalar scan ------------------------------------
+
+
+def _oracle_batched(case: RandomCase, rng: random.Random, tmp) -> None:
+    divergence = batched_divergence(case.dataset, case.workflow)
+    if divergence is not None:
+        raise AssertionError(
+            f"batched/scalar bit-identity violated: {divergence}"
+        )
+
+
 # -- the harness ------------------------------------------------------------
 
 #: Family name → (check, shrink predicate builder or None).  A check
@@ -479,7 +494,7 @@ def _oracle_ingest(case: RandomCase, rng: random.Random, tmp) -> None:
 _FamilyCheck = Callable[[RandomCase, random.Random, str], None]
 
 FAMILIES: tuple[str, ...] = (
-    "rewrite", "merge", "rollup", "partition", "ingest",
+    "rewrite", "merge", "rollup", "partition", "ingest", "batched",
 )
 
 _CHECKS: dict[str, _FamilyCheck] = {
@@ -488,6 +503,7 @@ _CHECKS: dict[str, _FamilyCheck] = {
     "rollup": _oracle_rollup,
     "partition": _oracle_partition,
     "ingest": _oracle_ingest,
+    "batched": _oracle_batched,
 }
 
 
@@ -497,6 +513,10 @@ def _shrink_predicate(
     """``still_fails(workflow)`` for workflow-shaped families."""
     if family == "partition":
         return lambda wf: _partition_mismatch(case, wf) is not None
+    if family == "batched":
+        return (
+            lambda wf: batched_divergence(case.dataset, wf) is not None
+        )
     if family == "ingest":
         counter = [0]
 

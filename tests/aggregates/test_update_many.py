@@ -1,0 +1,173 @@
+"""The batched-update contract, for every registered aggregate.
+
+``update_many(state, values)`` must return a state *bit-identical* to
+folding ``values`` left-to-right through N scalar ``update`` calls
+(same arithmetic, same order), and ``update_repeat`` likewise for
+repeated values.  This holds for the vectorized implementations
+(sum/count/min/max/avg, via strictly sequential ``add.accumulate``)
+and trivially for the per-row fallbacks (holistic aggregates and the
+HyperLogLog sketch).  The resulting states must hold plain Python
+scalars — never numpy types, which leak into serialized stores and
+change ``repr``-based sketch hashing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aggregates.base import all_aggregates
+from repro.storage.columnar import HAVE_NUMPY
+
+ALL = sorted(all_aggregates())
+
+#: Value batches chosen to stress float accumulation order (wildly
+#: different magnitudes make pairwise vs sequential summation visibly
+#: different) and duplicate-heavy inputs (sketches, count_distinct).
+BATCHES = [
+    [],
+    [1.5],
+    [1e16, 1.0, -1e16, 2.5, 3.25, 1e-8] * 3,
+    [round(random.Random(5).random() * 100, 3) for __ in range(57)],
+    [2.0, 2.0, 7.0, 2.0, 7.0] * 9,
+]
+
+
+def _scalar_fold(fn, state, values):
+    for value in values:
+        state = fn.update(state, value)
+    return state
+
+
+def _bits(value):
+    """Identity that distinguishes 0.0 from -0.0 and NaN payloads."""
+    if isinstance(value, float):
+        import struct
+
+        return struct.pack("<d", value)
+    return value
+
+
+def _assert_states_identical(name, got, expected):
+    assert type(got) is type(expected), (
+        f"{name}: update_many state type {type(got)} != scalar "
+        f"{type(expected)}"
+    )
+    if isinstance(got, tuple):
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert _bits(a) == _bits(b), (
+                f"{name}: component {a!r} != {b!r}"
+            )
+    elif isinstance(got, (set, list, dict)):
+        assert got == expected, f"{name}: {got!r} != {expected!r}"
+    else:
+        assert _bits(got) == _bits(expected), (
+            f"{name}: {got!r} != {expected!r}"
+        )
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("batch_index", range(len(BATCHES)))
+def test_update_many_equals_scalar_fold_on_lists(name, batch_index):
+    fn = all_aggregates()[name]
+    values = BATCHES[batch_index]
+    expected = _scalar_fold(fn, fn.create(), values)
+    got = fn.update_many(fn.create(), list(values))
+    _assert_states_identical(name, got, expected)
+    assert _bits(fn.finalize(got)) == _bits(fn.finalize(expected))
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vectorized path needs numpy")
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("batch_index", range(len(BATCHES)))
+def test_update_many_equals_scalar_fold_on_arrays(name, batch_index):
+    import numpy as np
+
+    fn = all_aggregates()[name]
+    values = BATCHES[batch_index]
+    expected = _scalar_fold(fn, fn.create(), values)
+    got = fn.update_many(
+        fn.create(), np.asarray(values, dtype=np.float64)
+    )
+    _assert_states_identical(name, got, expected)
+    assert _bits(fn.finalize(got)) == _bits(fn.finalize(expected))
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_update_many_resumes_from_prior_state(name):
+    """Splitting a fold across two update_many calls changes nothing."""
+    fn = all_aggregates()[name]
+    values = BATCHES[3]
+    expected = _scalar_fold(fn, fn.create(), values)
+    mid = fn.update_many(fn.create(), values[:20])
+    got = fn.update_many(mid, values[20:])
+    _assert_states_identical(name, got, expected)
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("count", [0, 1, 13])
+def test_update_repeat_equals_scalar_loop(name, count):
+    fn = all_aggregates()[name]
+    expected = fn.create()
+    for __ in range(count):
+        expected = fn.update(expected, 3.5)
+    got = fn.update_repeat(fn.create(), 3.5, count)
+    _assert_states_identical(name, got, expected)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_update_many_skips_nones_in_lists(name):
+    """SQL semantics: NULLs are ignored; list batches may carry them."""
+    fn = all_aggregates()[name]
+    values = [1.0, None, 2.5, None, 4.0]
+    expected = _scalar_fold(fn, fn.create(), values)
+    got = fn.update_many(fn.create(), list(values))
+    _assert_states_identical(name, got, expected)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+@pytest.mark.parametrize("name", ALL)
+def test_update_many_states_hold_no_numpy_scalars(name):
+    """States must stay JSON/pickle-safe plain Python values."""
+    import numpy as np
+
+    fn = all_aggregates()[name]
+    got = fn.update_many(
+        fn.create(), np.asarray([1.0, 2.0, 3.0], dtype=np.float64)
+    )
+
+    def walk(value):
+        if isinstance(value, (tuple, list, set, frozenset)):
+            for item in value:
+                walk(item)
+        elif isinstance(value, dict):
+            for k, v in value.items():
+                walk(k)
+                walk(v)
+        else:
+            assert not isinstance(value, np.generic), (
+                f"{name}: numpy scalar {value!r} leaked into state"
+            )
+
+    walk(got)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+def test_hll_array_batches_hash_like_scalars():
+    """The sketch hashes ``repr(value)``; ``repr(np.float64(x))`` is
+    not ``repr(x)`` under numpy 2, so the fallback must detour through
+    ``tolist`` before hashing."""
+    import numpy as np
+
+    from repro.aggregates.base import get_aggregate
+
+    fn = get_aggregate("approx_distinct")
+    values = [random.Random(9).random() for __ in range(200)]
+    scalar_state = _scalar_fold(fn, fn.create(), values)
+    array_state = fn.update_many(
+        fn.create(), np.asarray(values, dtype=np.float64)
+    )
+    assert scalar_state == array_state
+    assert fn.finalize(scalar_state) == fn.finalize(array_state)

@@ -1,0 +1,126 @@
+"""Schema guard for the BENCH_columnar.json perf-sheet artifact.
+
+CI uploads the payload ``repro bench --figure columnar --json`` writes;
+downstream tooling (and docs/metrics_targets.md) reads its keys, so
+the shape is pinned here: top-level ``metrics`` / ``definitions`` /
+``speedups`` keys, per-point fields, and JSON-serializability.  Any
+intentional change must bump ``SCHEMA_VERSION`` and update this guard.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.columnar import (
+    BENCH_BATCH_SIZE,
+    METRIC_DEFINITIONS,
+    SCHEMA_VERSION,
+    columnar_bench,
+    skip_reason,
+)
+
+TOP_LEVEL_KEYS = {
+    "bench",
+    "schema_version",
+    "scale",
+    "rows_per_workload",
+    "batch_size",
+    "skipped",
+    "metrics",
+    "definitions",
+    "speedups",
+}
+
+METRIC_KEYS = {
+    "geometric_mean_speedup",
+    "total_runtime_reduction",
+    "zero_regression_count",
+    "target_geometric_mean_speedup",
+}
+
+POINT_KEYS = {
+    "workload",
+    "engine",
+    "rows",
+    "headline",
+    "scalar_seconds",
+    "batched_seconds",
+    "speedup",
+}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    __, payload = columnar_bench(scale=0.02)
+    return payload
+
+
+def test_schema_version_pinned():
+    assert SCHEMA_VERSION == 1
+
+
+def test_top_level_keys_stable(payload):
+    assert set(payload) == TOP_LEVEL_KEYS
+    assert payload["bench"] == "columnar"
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["batch_size"] == BENCH_BATCH_SIZE
+
+
+def test_metrics_keys_stable(payload):
+    assert set(payload["metrics"]) == METRIC_KEYS
+    assert payload["metrics"]["target_geometric_mean_speedup"] == 10.0
+
+
+def test_definitions_cover_every_metric_and_the_headline_flag(payload):
+    assert payload["definitions"] == METRIC_DEFINITIONS
+    assert (
+        set(METRIC_DEFINITIONS)
+        == (METRIC_KEYS - {"target_geometric_mean_speedup"})
+        | {"headline"}
+    )
+
+
+def test_speedup_points_shape(payload):
+    points = payload["speedups"]
+    # 3 workloads x 2 engines, headline flags as declared.
+    assert len(points) == 6
+    for point in points:
+        assert set(point) == POINT_KEYS
+    assert sum(1 for p in points if p["headline"]) == 4
+
+
+def test_payload_is_json_serializable(payload):
+    rebuilt = json.loads(json.dumps(payload))
+    assert set(rebuilt) == TOP_LEVEL_KEYS
+
+
+def test_measured_or_skipped_consistently(payload):
+    if skip_reason() is None:
+        assert payload["skipped"] is None
+        for point in payload["speedups"]:
+            assert point["scalar_seconds"] is not None
+            assert point["batched_seconds"] is not None
+        assert payload["metrics"]["geometric_mean_speedup"] is not None
+    else:
+        assert payload["skipped"]
+        assert payload["metrics"]["geometric_mean_speedup"] is None
+
+
+def test_committed_artifact_matches_schema_and_target():
+    """The repo-root BENCH_columnar.json must stay loadable, on-schema,
+    and at or above the sheet's 10x headline target."""
+    import os
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "BENCH_columnar.json"
+    )
+    with open(path) as fh:
+        committed = json.load(fh)
+    assert set(committed) == TOP_LEVEL_KEYS
+    assert committed["schema_version"] == SCHEMA_VERSION
+    assert set(committed["metrics"]) == METRIC_KEYS
+    geomean = committed["metrics"]["geometric_mean_speedup"]
+    assert geomean is not None and geomean >= 10.0
+    assert committed["metrics"]["zero_regression_count"] == 0

@@ -1,0 +1,56 @@
+"""EvalStats serialization round-trips, including the batch fields."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.interfaces import EvalStats
+
+
+def test_to_dict_carries_batch_fields():
+    stats = EvalStats(engine="single-scan", batched=True, batch_size=4096)
+    data = stats.to_dict()
+    assert data["batched"] is True
+    assert data["batch_size"] == 4096
+
+
+def test_round_trip_preserves_batch_fields():
+    stats = EvalStats(
+        engine="sort-scan",
+        rows_scanned=123,
+        batched=True,
+        batch_size=16_384,
+        notes="sort_key=<d0:d0.L1>",
+    )
+    rebuilt = EvalStats.from_dict(stats.to_dict())
+    assert rebuilt == stats
+
+
+def test_round_trip_defaults_for_legacy_payloads():
+    """Dicts written before the batch fields existed still load."""
+    legacy = EvalStats(engine="single-scan").to_dict()
+    del legacy["batched"]
+    del legacy["batch_size"]
+    rebuilt = EvalStats.from_dict(legacy)
+    assert rebuilt.batched is False
+    assert rebuilt.batch_size == 0
+
+
+def test_round_trip_survives_json():
+    stats = EvalStats(engine="single-scan", batched=True, batch_size=7)
+    rebuilt = EvalStats.from_dict(
+        json.loads(json.dumps(stats.to_dict()))
+    )
+    assert rebuilt == stats
+
+
+def test_merge_combines_batch_fields():
+    """A run is batched when any sub-run was; the reported size is the
+    largest any sub-run used (partitioned/multi-pass engines)."""
+    total = EvalStats(engine="partitioned")
+    total.merge(EvalStats(engine="worker-0", batched=False, batch_size=0))
+    total.merge(
+        EvalStats(engine="worker-1", batched=True, batch_size=4096)
+    )
+    assert total.batched is True
+    assert total.batch_size == 4096

@@ -1,6 +1,6 @@
 """Tests for the metamorphic oracle harness.
 
-Clean seeds assert the five families hold on the real system; the
+Clean seeds assert the six families hold on the real system; the
 failure-path tests inject broken checks (monkeypatched) to verify the
 harness reports seeds, reprints recipes, and shrinks workflow-shaped
 failures to 1-minimal recipes.
