@@ -1,0 +1,174 @@
+"""End-to-end smoke of the sharded service: CI's `cluster-smoke` job.
+
+Boots a 2-shard process-mode cluster behind the asyncio front end,
+hammers it with concurrent HTTP ingests and queries, hard-kills one
+shard worker mid-traffic, and requires the whole thing to keep
+answering correctly (the router respawns the worker transparently).
+Exits non-zero on any failed request, any wrong answer, or a missed
+respawn — no green-by-silence.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+
+from repro.schema.dataset_schema import synthetic_schema
+from repro.service.cluster import ClusterFrontend, bootstrap_cluster
+from repro.workflow.workflow import AggregationWorkflow
+
+BOOTSTRAP = 2_000
+DELTA = 100
+TRAFFIC_SECONDS = 6.0
+KILL_AFTER = 2.0
+
+
+def _workflow(schema) -> AggregationWorkflow:
+    wf = AggregationWorkflow(schema, name="cluster-smoke")
+    wf.basic("Count", {"d0": "d0.L1", "d1": "d1.L1"}, agg="count")
+    wf.basic("Total", {"d0": "d0.L1"}, agg=("sum", "v"))
+    wf.rollup("sCount", {"d0": "d0.L2"}, source="Count", agg="sum")
+    return wf
+
+
+def _records(rng: random.Random, count: int) -> list:
+    return [
+        (
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.randrange(64),
+            round(rng.random(), 6),
+        )
+        for __ in range(count)
+    ]
+
+
+def _request(host, port, method, target, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, target, body=payload, headers=headers)
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        if response.status != 200:
+            raise RuntimeError(
+                f"{method} {target} -> {response.status}: {data}"
+            )
+        return data
+    finally:
+        conn.close()
+
+
+class _Traffic(threading.Thread):
+    """One client thread: mostly reads, occasional ingests."""
+
+    def __init__(self, host, port, seed, stop, ingests):
+        super().__init__(name=f"smoke-client-{seed}")
+        self.host, self.port = host, port
+        self.rng = random.Random(seed)
+        self.stop = stop
+        self.ingests = ingests
+        self.requests = 0
+        self.error: BaseException | None = None
+
+    def run(self):
+        try:
+            while not self.stop.is_set():
+                roll = self.rng.random()
+                if roll < 0.05 and self.ingests:
+                    _request(
+                        self.host, self.port, "POST", "/ingest",
+                        {"records": _records(self.rng, DELTA)},
+                    )
+                elif roll < 0.6:
+                    key = self.rng.randrange(16)
+                    _request(
+                        self.host, self.port, "GET",
+                        f"/point?measure=Total&key={key}",
+                    )
+                else:
+                    _request(
+                        self.host, self.port, "GET",
+                        "/table?measure=sCount",
+                    )
+                self.requests += 1
+        except BaseException as exc:
+            self.error = exc
+
+
+def main() -> int:
+    rng = random.Random(7)
+    schema = synthetic_schema(3, 3, 4)
+    with tempfile.TemporaryDirectory(prefix="cluster-smoke-") as root:
+        cluster = bootstrap_cluster(
+            f"{root}/cluster",
+            _workflow(schema),
+            _records(rng, BOOTSTRAP),
+            num_shards=2,
+            mode="process",
+        )
+        frontend = ClusterFrontend(cluster, port=0)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(
+            frontend.start(), loop
+        ).result(timeout=30)
+        host, port = frontend.host, frontend.port
+        print(f"serving 2-shard process-mode cluster on {host}:{port}")
+
+        stop = threading.Event()
+        clients = [
+            _Traffic(host, port, seed, stop, ingests=(seed % 2 == 0))
+            for seed in range(4)
+        ]
+        for client in clients:
+            client.start()
+        time.sleep(KILL_AFTER)
+        print("killing shard worker 0 under traffic")
+        cluster.kill_worker(0)
+        time.sleep(TRAFFIC_SECONDS - KILL_AFTER)
+        stop.set()
+        for client in clients:
+            client.join(timeout=60)
+
+        failures = [c.error for c in clients if c.error is not None]
+        total = sum(c.requests for c in clients)
+        stats = _request(host, port, "GET", "/stats")
+        asyncio.run_coroutine_threadsafe(
+            frontend.stop(), loop
+        ).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+        respawns = cluster.shards[0].respawns
+        print(
+            f"{total} requests, epoch {stats['epoch']}, "
+            f"facts {stats['facts']}, worker-0 respawns {respawns}"
+        )
+        if failures:
+            print(f"FAIL: {len(failures)} client error(s): {failures[0]}")
+            return 1
+        if respawns < 1:
+            print("FAIL: killed worker was never respawned")
+            return 1
+        if stats["epoch"] < 2:
+            print("FAIL: no ingest committed during the smoke")
+            return 1
+        print("cluster smoke ok")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -294,8 +294,21 @@ def columnar(scale: float = 1.0) -> list[BenchRow]:
     return columnar_rows(scale=scale)
 
 
+def service(scale: float = 1.0) -> list[BenchRow]:
+    """Sharded-service throughput sweep (not a paper figure).
+
+    Sustained read QPS under concurrent tail-append ingest at 1/2/4
+    shards; ``repro bench --figure service --json`` fetches the full
+    ``BENCH_service.json`` payload via ``service_bench``.
+    """
+    from repro.bench.service import service_rows
+
+    return service_rows(scale=scale)
+
+
 ALL_FIGURES = {
     "columnar": columnar,
+    "service": service,
     "fig6a": fig6a,
     "fig6b": fig6b,
     "fig6c": fig6c,

@@ -280,6 +280,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--query", choices=sorted(_QUERIES), default=None,
         help="query the store serves (required on first ingest)",
     )
+    ingest.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="treat --store as a sharded cluster directory: bootstrap "
+        "it with N shards on first ingest, two-phase ingest afterwards "
+        "(0 = single store)",
+    )
 
     query = sub.add_parser(
         "query", help="read measures from a persistent store"
@@ -316,7 +322,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     faults_list.add_argument(
         "--scope", default=None,
-        help="only sites of one scope (store, ingest, sort, engine)",
+        help="only sites of one scope "
+        "(store, ingest, cluster, sort, engine)",
     )
     faults_run = faults_sub.add_parser(
         "run", help="run the metamorphic oracle batch over a seed range"
@@ -333,8 +340,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     faults_sweep = faults_sub.add_parser(
         "sweep",
-        help="kill a committing subprocess at every store/ingest "
-        "fail point and verify recovery",
+        help="kill a committing subprocess at every store/ingest/"
+        "cluster fail point and verify recovery",
     )
     faults_sweep.add_argument(
         "--seed", type=int, default=0, help="RandomCase seed"
@@ -345,7 +352,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     faults_sweep.add_argument(
         "--sites", nargs="*", default=None,
-        help="site names to sweep (default: every store/ingest site)",
+        help="site names to sweep "
+        "(default: every store/ingest/cluster site)",
     )
 
     lint = sub.add_parser(
@@ -390,6 +398,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--query", choices=sorted(_QUERIES), default=None,
         help="workflow override when the store has none saved",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve a sharded cluster directory over the asyncio "
+        "frontend (0 = legacy threaded single-store server); the "
+        "cluster must exist (repro ingest --shards N)",
+    )
+    serve.add_argument(
+        "--mode", choices=("local", "process"), default="local",
+        help="cluster execution substrate: in-process shards or one "
+        "OS process per shard",
+    )
+    serve.add_argument(
+        "--tenants", action="store_true",
+        help="multi-tenant root: tenants register workflows over "
+        "POST /workflow and get isolated, admission-controlled "
+        "namespaces",
+    )
+    serve.add_argument(
+        "--budget", type=int, default=None, metavar="ENTRIES",
+        help="per-tenant footprint budget for admission control",
     )
 
     return parser
@@ -576,10 +605,15 @@ def _cmd_bench(args) -> int:
         rows, payload = columnar_bench(scale=args.scale)
         if skip_reason():
             logger.warning("columnar bench skipped: %s", skip_reason())
+    elif args.figure == "service":
+        # Same payload-carrying pattern for the service-QPS sheet.
+        from repro.bench.service import service_bench
+
+        rows, payload = service_bench(scale=args.scale)
     else:
         rows = ALL_FIGURES[args.figure](scale=args.scale)
     print(format_table(f"{args.figure} (scale={args.scale})", rows))
-    if payload is not None:
+    if payload is not None and args.figure == "columnar":
         metrics = payload["metrics"]
         geomean = metrics["geometric_mean_speedup"]
         reduction = metrics["total_runtime_reduction"]
@@ -592,6 +626,14 @@ def _cmd_bench(args) -> int:
             "total runtime reduction: "
             + (f"{reduction:.1%}" if reduction is not None else "n/a")
             + f"; regressions: {metrics['zero_regression_count']}"
+        )
+    elif payload is not None and args.figure == "service":
+        metrics = payload["metrics"]
+        scaling = metrics["read_scaling_4x"]
+        print(
+            "read scaling 1→4 shards: "
+            + (f"{scaling:.2f}x" if scaling else "n/a")
+            + f" (target {metrics['target_read_scaling_4x']:.1f}x)"
         )
     if args.json:
         if payload is not None:
@@ -633,10 +675,44 @@ def _store_workflow(store, query_name: str | None):
     return build(_SCHEMAS[family]())
 
 
+def _cluster_workflow(root: str, query_name: str | None):
+    """Resolve the workflow an existing cluster serves.
+
+    Mirrors :func:`_store_workflow`: an explicit ``--query`` override
+    wins, then the workflow pickled at bootstrap (``None`` lets
+    ``open_cluster`` load it), then the query name recorded in the
+    cluster manifest's meta — the fallback for query families whose
+    workflow is unpicklable.
+    """
+    import os
+
+    from repro.errors import ServiceError
+    from repro.service.cluster import ClusterManifest
+
+    if query_name is None:
+        if os.path.exists(os.path.join(root, "workflow.pkl")):
+            return None
+        query_name = ClusterManifest.load(
+            root, cleanup=False
+        ).meta.get("query")
+    if query_name not in _QUERIES:
+        raise ServiceError(
+            f"cluster {root!r} has no saved workflow; "
+            f"pass --query (one of {sorted(_QUERIES)})"
+        )
+    family, build = _QUERIES[query_name]
+    return build(_SCHEMAS[family]())
+
+
 def _cmd_ingest(args) -> int:
     from repro.errors import ServiceError
     from repro.service import Ingestor, MeasureStore
+    from repro.service.cluster import ClusterManifest
 
+    # A directory that is already a cluster stays one: delta ingests
+    # route through the two-phase path without re-passing --shards.
+    if args.shards or ClusterManifest.exists(args.store):
+        return _cmd_ingest_cluster(args)
     store = MeasureStore(args.store)
     if store.is_empty():
         if args.query is None:
@@ -674,13 +750,79 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_ingest_cluster(args) -> int:
+    """``repro ingest --shards N`` — bootstrap or feed a cluster."""
+    from repro.errors import ServiceError
+    from repro.service.cluster import (
+        ClusterManifest,
+        bootstrap_cluster,
+        open_cluster,
+    )
+
+    if ClusterManifest.exists(args.store):
+        cluster = open_cluster(
+            args.store, _cluster_workflow(args.store, args.query)
+        )
+        if args.shards and cluster.num_shards != args.shards:
+            logger.warning(
+                "cluster at %s has %d shards; --shards %d ignored "
+                "(the shard map is fixed at bootstrap)",
+                args.store, cluster.num_shards, args.shards,
+            )
+        records = list(
+            FlatFileDataset(
+                args.data, cluster.workflow.schema
+            ).scan()
+        )
+        report = cluster.ingest(records)
+        cluster.close()
+        logger.info(
+            "ingested %d facts into cluster %s (epoch %d, shards %s); "
+            "updated: %s",
+            report["records"], args.store, report["epoch"],
+            report["shards"],
+            ", ".join(report["updated_measures"]) or "none",
+        )
+        return 0
+    if args.query is None:
+        raise ServiceError(
+            "first ingest into an empty cluster needs --query"
+        )
+    family, build = _QUERIES[args.query]
+    schema = _SCHEMAS[family]()
+    workflow = build(schema)
+    records = list(FlatFileDataset(args.data, schema).scan())
+    cluster = bootstrap_cluster(
+        args.store, workflow, records, num_shards=args.shards,
+        meta={"query": args.query, "family": family},
+    )
+    logger.info(
+        "bootstrapped cluster %s: %d shards, %d facts, measures %s "
+        "(map: dim=%d level=%d cuts=%s)",
+        args.store, cluster.num_shards, len(records),
+        ", ".join(sorted(cluster.graph.outputs)),
+        cluster.shard_map.dim, cluster.shard_map.level,
+        list(cluster.shard_map.cuts),
+    )
+    cluster.close()
+    return 0
+
+
 def _cmd_query(args) -> int:
     import json as _json
 
     from repro.service import MeasureService, MeasureStore
+    from repro.service.cluster import ClusterManifest, open_cluster
 
-    store = MeasureStore(args.store)
-    service = MeasureService(store, _store_workflow(store, None))
+    # A cluster directory serves the same read surface (point/range/
+    # table/stats/measures) through the shard router.
+    if ClusterManifest.exists(args.store):
+        service = open_cluster(
+            args.store, _cluster_workflow(args.store, None)
+        )
+    else:
+        store = MeasureStore(args.store)
+        service = MeasureService(store, _store_workflow(store, None))
     if args.stats:
         print(_json.dumps(service.stats(), indent=2, sort_keys=True))
         return 0
@@ -838,7 +980,17 @@ def _cmd_lint(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.service import MeasureService, MeasureStore, make_server
+    from repro.service.cluster import ClusterManifest
+    from repro.service.server import shutdown_gracefully
 
+    # A directory that is already a cluster is served by the shard
+    # router's async frontend without re-passing --shards.
+    if (
+        args.shards
+        or args.tenants
+        or ClusterManifest.exists(args.store)
+    ):
+        return _cmd_serve_cluster(args)
     store = MeasureStore(args.store)
     service = MeasureService(store, _store_workflow(store, args.query))
     server = make_server(service, host=args.host, port=args.port)
@@ -851,9 +1003,68 @@ def _cmd_serve(args) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        logger.info("interrupt: draining in-flight requests")
     finally:
-        server.server_close()
+        shutdown_gracefully(server)
+    return 0
+
+
+def _cmd_serve_cluster(args) -> int:
+    """``repro serve --shards N [--tenants]`` — the asyncio frontend."""
+    import asyncio
+
+    from repro.service.cluster import (
+        ClusterFrontend,
+        TenantManager,
+        open_cluster,
+    )
+
+    if args.tenants:
+        backend = TenantManager(
+            args.store,
+            num_shards=args.shards or 1,
+            mode=args.mode,
+            **(
+                {"default_budget": args.budget}
+                if args.budget is not None
+                else {}
+            ),
+        )
+        what = f"tenant root {args.store}"
+    else:
+        backend = open_cluster(
+            args.store,
+            _cluster_workflow(args.store, args.query),
+            mode=args.mode,
+        )
+        what = (
+            f"cluster {args.store} "
+            f"({backend.num_shards} shards, {args.mode} mode)"
+        )
+
+    async def run() -> None:
+        frontend = ClusterFrontend(
+            backend, host=args.host, port=args.port
+        )
+        await frontend.start()
+        logger.info(
+            "serving %s on http://%s:%s (async; routes: /measures "
+            "/point /range /table /rollup /stats /metrics /healthz, "
+            "POST /ingest /workflow)",
+            what, frontend.host, frontend.port,
+        )
+        try:
+            await frontend.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            logger.info("interrupt: draining and flushing")
+            await frontend.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

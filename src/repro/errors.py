@@ -111,3 +111,53 @@ class ServiceError(ReproError):
     ) -> None:
         super().__init__(message)
         self.diagnostics = list(diagnostics or [])
+
+
+class ClusterError(ServiceError):
+    """The sharded cluster is misconfigured, torn, or unreachable.
+
+    Raised by :mod:`repro.service.cluster`: a cluster manifest that
+    does not match the shard stores on disk, a worker process that died
+    and could not be revived, a workflow that cannot be partitioned
+    (some measure aggregates the partition dimension to ALL), and
+    similar cluster-level failures.
+    """
+
+
+class AdmissionError(ServiceError):
+    """A multi-tenant request was rejected by admission control.
+
+    Carries a structured ``payload`` the HTTP front end serializes as
+    the 429 JSON body (mirroring the 422 lint-diagnostics body), and a
+    ``retryable`` flag: queue-pressure rejections clear on their own,
+    memory-budget rejections need a smaller workflow or a bigger
+    budget.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str,
+        reason: str,
+        retryable: bool,
+        **details: Any,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retryable = retryable
+        self.details = details
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        """The structured JSON body of the HTTP 429 response."""
+        return {
+            "error": str(self),
+            "admission": {
+                "tenant": self.tenant,
+                "reason": self.reason,
+                "retryable": self.retryable,
+                **self.details,
+            },
+        }

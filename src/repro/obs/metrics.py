@@ -60,6 +60,13 @@ QUERY_SECONDS = "repro_query_seconds"
 HTTP_REQUESTS = "repro_http_requests_total"
 SINK_EMITTED = "repro_sink_emitted_total"
 FAILPOINT_TRIGGERS = "repro_failpoint_triggers_total"
+CLUSTER_REQUESTS = "repro_cluster_requests_total"
+CLUSTER_QUERY_SECONDS = "repro_cluster_query_seconds"
+CLUSTER_INGEST_SECONDS = "repro_cluster_ingest_seconds"
+CLUSTER_EPOCH = "repro_cluster_epoch"
+SHARD_OPS = "repro_shard_ops_total"
+WORKER_RESPAWNS = "repro_cluster_worker_respawns_total"
+ADMISSION_REJECTS = "repro_admission_rejections_total"
 
 
 class _Metric:

@@ -1,0 +1,54 @@
+"""Sharded, async, multi-tenant measure serving.
+
+The cluster layer scales :mod:`repro.service` horizontally: the
+measure store is range-partitioned by partition key across N shard
+workers (each its own store + ingestor, margin-replicated at the
+boundaries exactly like the partitioned engine), a router fans reads
+out and merges them, ingest commits through a journal-backed
+two-phase cluster MANIFEST, and an asyncio front end serves thousands
+of concurrent connections.  Tenants get structurally isolated
+namespaces with footprint-based admission control.
+
+Typical use::
+
+    from repro.service.cluster import bootstrap_cluster, open_cluster
+
+    cluster = bootstrap_cluster(root, workflow, records, num_shards=4)
+    cluster.point("flows", (3, 0, 7))
+    cluster.ingest(more_records)          # two-phase, crash-safe
+    cluster.close()
+
+    cluster = open_cluster(root)          # recovers if needed
+"""
+
+from repro.service.cluster.frontend import ClusterFrontend
+from repro.service.cluster.manifest import ClusterManifest, IngestJournal
+from repro.service.cluster.partitioning import ShardMap, build_shard_map
+from repro.service.cluster.router import (
+    MeasureCluster,
+    bootstrap_cluster,
+    open_cluster,
+    recover_cluster,
+)
+from repro.service.cluster.tenancy import TenantManager
+from repro.service.cluster.worker import (
+    LocalShard,
+    ShardProcess,
+    ShardWorker,
+)
+
+__all__ = [
+    "ClusterFrontend",
+    "ClusterManifest",
+    "IngestJournal",
+    "LocalShard",
+    "MeasureCluster",
+    "ShardMap",
+    "ShardProcess",
+    "ShardWorker",
+    "TenantManager",
+    "bootstrap_cluster",
+    "build_shard_map",
+    "open_cluster",
+    "recover_cluster",
+]

@@ -1,0 +1,435 @@
+"""Asyncio HTTP front end for the sharded, multi-tenant service.
+
+The legacy front end (:mod:`repro.service.server`) spends one OS
+thread per connection; this one holds thousands of concurrent
+keep-alive connections on a single event loop and runs the actual
+measure work on a small, bounded executor pool — connection count and
+worker parallelism are decoupled.
+
+Routes mirror the legacy server byte-for-byte where they overlap
+(``/metrics``, ``/measures``, ``/stats``, ``/point``, ``/range``,
+``/table``, ``/ingest``, ``/workflow``) and add ``/rollup``,
+``/healthz``, and ``/tenants``.  In tenant mode every data route takes
+a ``tenant`` query parameter (default ``"default"``); admission
+rejections surface as HTTP 429 with the structured
+:class:`~repro.errors.AdmissionError` payload, the admission-control
+mirror of the 422 lint-rejection body.
+
+Shutdown is graceful: stop accepting, cancel idle keep-alive waits,
+drain requests already executing, then resolve deferred work so every
+store MANIFEST on disk is final before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import logging
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import AdmissionError, ServiceError
+from repro.obs import get_registry
+from repro.obs.metrics import HTTP_REQUESTS
+from repro.service.cluster.router import MeasureCluster
+from repro.service.cluster.tenancy import TenantManager
+from repro.service.server import _parse_key
+
+logger = logging.getLogger("repro.service.cluster")
+
+#: Seconds an idle keep-alive connection may sit between requests.
+IDLE_TIMEOUT = 30.0
+
+#: Seconds one request may spend executing before the front end gives
+#: up on it (the executor task keeps running; the client gets a 503).
+REQUEST_TIMEOUT = 120.0
+
+_MAX_HEADER_BYTES = 65536
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+
+
+class ClusterFrontend:
+    """Serve a :class:`MeasureCluster` or :class:`TenantManager`."""
+
+    def __init__(
+        self,
+        backend: MeasureCluster | TenantManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor_threads: int = 8,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self._tenants = isinstance(backend, TenantManager)
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads,
+            thread_name_prefix="repro-frontend",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._active = 0
+        self._drained = asyncio.Event()
+        self._stopping = False
+        self._requests = get_registry().counter(
+            HTTP_REQUESTS,
+            "HTTP requests served, by route",
+            labelnames=("route",),
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        logger.info(
+            "async frontend listening on %s:%d", self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, final flush."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._active:
+            await self._drained.wait()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._final_flush)
+        self._executor.shutdown(wait=True)
+        logger.info("async frontend drained and stopped")
+
+    def _final_flush(self) -> None:
+        """Resolve deferred work so on-disk MANIFESTs are final."""
+        if self._tenants:
+            for name in self.backend.tenants():
+                self.backend.cluster(name).resolve()
+            self.backend.close()
+        else:
+            self.backend.resolve()
+            self.backend.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while not self._stopping:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"),
+                        timeout=IDLE_TIMEOUT,
+                    )
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    ConnectionResetError,
+                ):
+                    return
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer, 431,
+                        {"error": "request headers too large"},
+                        close=True,
+                    )
+                    return
+                if len(head) > _MAX_HEADER_BYTES:
+                    await self._respond(
+                        writer, 431,
+                        {"error": "request headers too large"},
+                        close=True,
+                    )
+                    return
+                keep_alive = await self._serve_request(
+                    reader, writer, head
+                )
+                if not keep_alive:
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_request(self, reader, writer, head: bytes) -> bool:
+        self._active += 1
+        self._drained.clear()
+        try:
+            try:
+                method, target, headers = self._parse_head(head)
+            except ValueError:
+                await self._respond(
+                    writer, 400, {"error": "malformed request"},
+                    close=True,
+                )
+                return False
+            length = int(headers.get("content-length", 0) or 0)
+            if length > _MAX_BODY_BYTES:
+                await self._respond(
+                    writer, 413, {"error": "request body too large"},
+                    close=True,
+                )
+                return False
+            body = (
+                await reader.readexactly(length) if length else b""
+            )
+            close = (
+                headers.get("connection", "").lower() == "close"
+                or self._stopping
+            )
+            status, payload, text = await self._dispatch(
+                method, target, body
+            )
+            await self._respond(
+                writer, status, payload, text=text, close=close
+            )
+            return not close
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            return False
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._drained.set()
+
+    @staticmethod
+    def _parse_head(head: bytes):
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    async def _respond(
+        self,
+        writer,
+        status: int,
+        payload: dict | None,
+        text: str | None = None,
+        close: bool = False,
+    ) -> None:
+        if text is not None:
+            body = text.encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            ctype = "application/json"
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Status"
+        )
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'close' if close else 'keep-alive'}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        split = urlsplit(target)
+        route = split.path.rstrip("/") or "/"
+        params = {
+            name: values[-1]
+            for name, values in parse_qs(split.query).items()
+        }
+        self._requests.labels(route=route).inc()
+        loop = asyncio.get_running_loop()
+        try:
+            work = self._work_for(method, route, params, body)
+            result = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, work),
+                timeout=REQUEST_TIMEOUT,
+            )
+            if route == "/metrics":
+                return 200, None, result
+            return 200, result, None
+        except _HTTPError as exc:
+            return exc.status, exc.payload, None
+        except asyncio.TimeoutError:
+            return 503, {"error": "request timed out"}, None
+        except AdmissionError as exc:
+            return 429, exc.payload, None
+        except ServiceError as exc:
+            payload: dict = {"error": str(exc)}
+            status = 404 if method == "GET" else 400
+            if exc.diagnostics:
+                payload["diagnostics"] = [
+                    d.to_dict() for d in exc.diagnostics
+                ]
+                status = 422
+            return status, payload, None
+        except (KeyError, ValueError, TypeError) as exc:
+            return 400, {"error": f"bad request: {exc}"}, None
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("unhandled error on %s", route)
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+
+    def _cluster_for(self, params: dict):
+        if not self._tenants:
+            return self.backend
+        return self.backend.cluster(params.get("tenant", "default"))
+
+    def _work_for(self, method: str, route: str, params: dict, body: bytes):
+        """Build the blocking thunk for one request (raises for 404s)."""
+        if method == "GET":
+            return self._get_work(route, params)
+        if method == "POST":
+            return self._post_work(route, params, body)
+        raise _HTTPError(
+            405, {"error": f"method {method} not allowed"}
+        )
+
+    def _get_work(self, route: str, params: dict):
+        if route == "/healthz":
+            return lambda: {"status": "ok"}
+        if route == "/metrics":
+            def metrics():
+                if not self._tenants:
+                    self.backend.pull_telemetry()
+                return get_registry().render_prometheus()
+            return metrics
+        if route == "/tenants":
+            if not self._tenants:
+                raise _HTTPError(
+                    404, {"error": "not running in tenant mode"}
+                )
+            return lambda: {"tenants": self.backend.tenants()}
+        if route == "/stats":
+            if self._tenants and "tenant" not in params:
+                return self.backend.stats
+            cluster = self._cluster_for(params)
+            return cluster.stats
+        if route == "/measures":
+            cluster = self._cluster_for(params)
+            return lambda: {"measures": cluster.measures()}
+        if route == "/point":
+            cluster = self._cluster_for(params)
+            measure = params["measure"]
+            key = _parse_key(params["key"])
+            return lambda: {
+                "measure": measure,
+                "key": list(key),
+                "value": cluster.point(measure, key),
+            }
+        if route == "/range":
+            cluster = self._cluster_for(params)
+            measure = params["measure"]
+            prefix = _parse_key(params.get("prefix", ""))
+            return lambda: {
+                "measure": measure,
+                "prefix": list(prefix),
+                "rows": [
+                    [list(key), value]
+                    for key, value in cluster.range(measure, prefix)
+                ],
+            }
+        if route == "/table":
+            cluster = self._cluster_for(params)
+            measure = params["measure"]
+            def table():
+                result = cluster.table(measure)
+                return {
+                    "measure": measure,
+                    "levels": list(result.granularity.levels),
+                    "rows": [
+                        [list(key), value]
+                        for key, value in result.items()
+                    ],
+                }
+            return table
+        if route == "/rollup":
+            cluster = self._cluster_for(params)
+            measure = params["measure"]
+            spec = json.loads(params.get("spec", "{}"))
+            agg = params.get("agg", "sum")
+            def rollup():
+                result = cluster.rollup(measure, spec, agg=agg)
+                return {
+                    "measure": measure,
+                    "agg": agg,
+                    "levels": list(result.granularity.levels),
+                    "rows": [
+                        [list(key), value]
+                        for key, value in result.items()
+                    ],
+                }
+            return rollup
+        raise _HTTPError(404, {"error": f"unknown route {route!r}"})
+
+    def _post_work(self, route: str, params: dict, body: bytes):
+        if route == "/ingest":
+            data = json.loads(body or b"{}")
+            records = [tuple(record) for record in data["records"]]
+            if self._tenants:
+                tenant = params.get(
+                    "tenant", data.get("tenant", "default")
+                )
+                return lambda: self.backend.ingest(tenant, records)
+            return lambda: self.backend.ingest(records)
+        if route == "/workflow":
+            data = json.loads(body or b"{}")
+            return lambda: self._post_workflow(params, data)
+        raise _HTTPError(404, {"error": f"unknown route {route!r}"})
+
+    def _post_workflow(self, params: dict, data: dict) -> dict:
+        """Validate a workflow; in tenant mode, optionally register it.
+
+        Mirrors the legacy 422 contract for lint rejections and adds
+        the 429 admission contract: analysis first, then the footprint
+        gate, then (when ``records`` are supplied) tenant bootstrap.
+        """
+        from repro.analysis import analyze
+
+        workflow = pickle.loads(base64.b64decode(data["workflow"]))
+        report = analyze(workflow)
+        payload = report.to_dict()
+        if not report.ok:
+            payload["error"] = (
+                f"workflow {workflow.name!r} rejected by static "
+                f"analysis ({len(report.errors)} error(s))"
+            )
+            raise _HTTPError(422, payload)
+        if not self._tenants:
+            return payload
+        tenant = params.get("tenant", data.get("tenant"))
+        if tenant is None:
+            return payload
+        records = [tuple(r) for r in data.get("records", [])]
+        dataset_size = data.get("dataset_size", len(records) or None)
+        payload["estimate"] = self.backend.admit_workflow(
+            tenant, workflow, dataset_size=dataset_size
+        )
+        if records:
+            state = self.backend.register(tenant, workflow, records)
+            payload["tenant"] = tenant
+            payload["epoch"] = state.cluster.epoch
+        return payload

@@ -1,0 +1,252 @@
+"""The cluster MANIFEST and the two-phase ingest commit protocol.
+
+A cluster directory looks like::
+
+    cluster/
+      CLUSTER.json          # authoritative: shard map, epoch, per-shard
+                            # generations — swapped atomically
+      JOURNAL.json          # present only while an ingest is in flight
+      j000007.bin           # the journaled delta batch (flat file)
+      workflow.pkl          # the workflow every shard serves
+      shard-00/             # one MeasureStore directory per shard
+      shard-01/
+      ...
+
+Each shard's own store commit is already atomic (segments first, then
+one manifest swap), but a cluster ingest touches *several* shard
+stores, so a crash between shard commits would otherwise leave a
+mixture of pre- and post-delta shards with nothing recording which is
+which.  The cluster protocol closes that hole with a journal-backed
+two-phase commit:
+
+1. **Journal** — the delta batch is written next to the manifest as a
+   flat-file segment plus a ``JOURNAL.json`` recording the target
+   epoch and the *expected* post-prepare generation of every shard.
+   Both are fsynced before any shard is touched.
+2. **Prepare** — every affected shard ingests its sub-delta and
+   commits locally.  A crash here strands some shards one generation
+   ahead; the journal knows exactly which.
+3. **Swap** — a new ``CLUSTER.json`` (epoch + 1, the prepared
+   generations) is written to a temp file, fsynced, and atomically
+   swapped in; then the journal is deleted.
+
+Recovery on open is pure redo: when a journal is present, any shard
+still *behind* its expected generation re-ingests its journaled
+sub-delta (shard generations make the redo idempotent — a shard that
+already committed is simply skipped), then the swap is completed and
+the journal dropped.  At every observable instant the cluster manifest
+and the shard stores agree on exactly one of the pre-delta or
+post-delta states — the crash sweeper enumerates every injection site
+below and asserts precisely that.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+
+from repro.errors import ClusterError
+from repro.service.cluster.partitioning import ShardMap
+from repro.testkit.failpoints import fire, register
+
+# Injection sites of the cluster commit protocol, swept by
+# repro.testkit.sweeper (scope "cluster"): a kill at any of them must
+# leave the cluster recoverable to a consistent generation.
+FP_JOURNAL_WRITE = register(
+    "cluster.journal-write", "cluster",
+    "after the ingest journal is durable, before any shard prepares",
+)
+FP_SHARD_PREPARE = register(
+    "cluster.shard-prepare", "cluster",
+    "after one shard's prepare commit, before the next shard's",
+)
+FP_MANIFEST_SWAP = register(
+    "cluster.manifest-swap", "cluster",
+    "after the new cluster manifest is written, before its atomic swap",
+)
+FP_POST_SWAP = register(
+    "cluster.post-swap", "cluster",
+    "after the swap, before the ingest journal is deleted",
+)
+
+MANIFEST_FILE = "CLUSTER.json"
+JOURNAL_FILE = "JOURNAL.json"
+_FORMAT = 1
+
+
+def _fsync_write(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON durably and atomically (tmp + replace)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def shard_dir(root: str, index: int) -> str:
+    """The store directory of shard ``index`` under ``root``."""
+    return os.path.join(root, f"shard-{index:02d}")
+
+
+class ClusterManifest:
+    """The authoritative cluster state: shard map, epoch, generations.
+
+    ``epoch`` counts successful cluster-wide commits (bootstrap is
+    epoch 1); ``generations[i]`` is the shard-store generation the
+    manifest vouches for.  The file is only ever replaced atomically,
+    so readers always see a complete, internally consistent state.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        shard_map: ShardMap,
+        epoch: int,
+        generations: list[int],
+        meta: dict | None = None,
+    ) -> None:
+        self.root = root
+        self.shard_map = shard_map
+        self.epoch = epoch
+        self.generations = list(generations)
+        self.meta = dict(meta or {})
+
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.num_shards
+
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "epoch": self.epoch,
+            "shard_map": self.shard_map.to_dict(),
+            "generations": list(self.generations),
+            "meta": self.meta,
+        }
+
+    def write(self) -> None:
+        """Swap this state in as the authoritative manifest."""
+        path = os.path.join(self.root, MANIFEST_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        fire(FP_MANIFEST_SWAP, path=tmp)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(
+        cls, root: str, cleanup: bool = True
+    ) -> "ClusterManifest":
+        path = os.path.join(root, MANIFEST_FILE)
+        # A swap that crashed after writing its temp file never became
+        # authoritative; drop the leftover.  Only the router's own
+        # open-time recovery may clean: a worker process (re)loading
+        # the manifest can race a live swap, and removing the .tmp out
+        # from under `write()` would fail that commit — those callers
+        # pass cleanup=False.
+        if cleanup:
+            with contextlib.suppress(OSError):
+                os.remove(path + ".tmp")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            raise ClusterError(
+                f"{root!r} has no {MANIFEST_FILE}; not a cluster "
+                "directory (bootstrap one first)"
+            ) from None
+        if data.get("format") != _FORMAT:
+            raise ClusterError(
+                f"{root}: cluster format {data.get('format')!r}, "
+                f"expected {_FORMAT}"
+            )
+        return cls(
+            root=root,
+            shard_map=ShardMap.from_dict(data["shard_map"]),
+            epoch=data["epoch"],
+            generations=list(data["generations"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+    @staticmethod
+    def exists(root: str) -> bool:
+        return os.path.exists(os.path.join(root, MANIFEST_FILE))
+
+
+class IngestJournal:
+    """The redo record of one in-flight cluster ingest.
+
+    ``expected[i]`` is the generation shard ``i`` must reach for the
+    delta to count as applied there (its pre-delta generation plus one
+    for shards receiving records, unchanged for the rest); ``facts``
+    names the journaled flat-file copy of the delta batch.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        epoch: int,
+        expected: list[int],
+        baseline: list[int],
+        facts: str,
+        records: int,
+    ) -> None:
+        self.root = root
+        self.epoch = epoch
+        self.expected = list(expected)
+        self.baseline = list(baseline)
+        self.facts = facts
+        self.records = records
+
+    @property
+    def facts_path(self) -> str:
+        return os.path.join(self.root, self.facts)
+
+    def write(self) -> None:
+        """Make the journal durable; the point of no return for redo."""
+        _fsync_write(
+            os.path.join(self.root, JOURNAL_FILE),
+            {
+                "format": _FORMAT,
+                "epoch": self.epoch,
+                "expected": list(self.expected),
+                "baseline": list(self.baseline),
+                "facts": self.facts,
+                "records": self.records,
+            },
+        )
+        fire(FP_JOURNAL_WRITE)
+
+    def clear(self) -> None:
+        """Drop the journal and its facts file after a completed swap."""
+        fire(FP_POST_SWAP)
+        with contextlib.suppress(OSError):
+            os.remove(os.path.join(self.root, JOURNAL_FILE))
+        with contextlib.suppress(OSError):
+            os.remove(self.facts_path)
+
+    @classmethod
+    def load(cls, root: str) -> "IngestJournal | None":
+        path = os.path.join(root, JOURNAL_FILE)
+        # The journal itself is written via tmp + atomic replace, so a
+        # bare .tmp is a crashed phase-0 write: the ingest never
+        # started, drop it.
+        with contextlib.suppress(OSError):
+            os.remove(path + ".tmp")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return None
+        return cls(
+            root=root,
+            epoch=data["epoch"],
+            expected=list(data["expected"]),
+            baseline=list(data["baseline"]),
+            facts=data["facts"],
+            records=data["records"],
+        )

@@ -1,0 +1,182 @@
+"""Shard-map construction: range partitioning for the cluster.
+
+The cluster reuses the partitioned engine's two load-bearing ideas
+(:mod:`repro.engine.partitioned`):
+
+- the partition dimension is split at the *coarsest* non-ALL level any
+  measure uses for it (:func:`~repro.engine.partitioned.partition_level`),
+  so every region of every measure falls entirely inside one shard and
+  fan-out reads merge by plain concatenation of disjoint tables;
+- each shard's *read* range extends beyond its *owned* range by the
+  workflow's accumulated window reach
+  (:func:`~repro.engine.partitioned.window_reach`), so sibling windows
+  and lag sets that cross a shard boundary see their neighbors — margin
+  records are ingested by several shards, but each region is only ever
+  *served* by its owner.
+
+Unlike the engine's one-shot partitioning, a shard map must route
+records it has never seen: a continuous ingest feed keeps producing
+partition values past the bootstrap maximum (new hours of a network
+log).  Ownership is therefore expressed as ``n - 1`` interior *cut
+points* with open outer edges — shard 0 owns everything below the
+first cut, the last shard everything at or above the last cut — so no
+record and no region key is ever unroutable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.engine.compile import CompiledGraph
+from repro.engine.partitioned import partition_level, window_reach
+from repro.engine.sort_scan import default_sort_key
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Routing state shared by the router, the workers, and the manifest.
+
+    Attributes:
+        dim: Partition dimension index.
+        level: Hierarchy level the cuts live at (the coarsest non-ALL
+            level any measure holds ``dim`` at).
+        cuts: ``num_shards - 1`` ascending interior cut points; shard
+            ``i`` owns the half-open value range ``[cuts[i-1],
+            cuts[i])`` with open outer edges.
+        margin: ``(before, after)`` window reach in ``level`` units;
+            each shard reads (ingests) this much beyond its owned
+            range.
+    """
+
+    dim: int
+    level: int
+    cuts: tuple[int, ...]
+    margin: tuple[int, int]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.cuts) + 1
+
+    # -- routing -------------------------------------------------------
+
+    def owner_of_value(self, value: int) -> int:
+        """The shard that owns (serves) partition-level ``value``."""
+        return bisect_right(self.cuts, value)
+
+    def readers_of_value(self, value: int) -> list[int]:
+        """Every shard whose margin-extended read range covers ``value``.
+
+        The owner is always included; neighbors are included when
+        ``value`` falls within their window reach past a cut.
+        """
+        before, after = self.margin
+        shards = []
+        for index in range(self.num_shards):
+            lo = None if index == 0 else self.cuts[index - 1] - before
+            hi = (
+                None
+                if index == self.num_shards - 1
+                else self.cuts[index] + after
+            )
+            if (lo is None or value >= lo) and (hi is None or value < hi):
+                shards.append(index)
+        return shards
+
+    def owned_range(self, index: int) -> tuple[int | None, int | None]:
+        """Shard ``index``'s owned ``[lo, hi)`` (None = open edge)."""
+        lo = None if index == 0 else self.cuts[index - 1]
+        hi = None if index == self.num_shards - 1 else self.cuts[index]
+        return lo, hi
+
+    def owns(self, index: int, value: int) -> bool:
+        """True when shard ``index`` owns partition-level ``value``."""
+        lo, hi = self.owned_range(index)
+        return (lo is None or value >= lo) and (hi is None or value < hi)
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "dim": self.dim,
+            "level": self.level,
+            "cuts": list(self.cuts),
+            "margin": list(self.margin),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardMap":
+        return cls(
+            dim=data["dim"],
+            level=data["level"],
+            cuts=tuple(data["cuts"]),
+            margin=(data["margin"][0], data["margin"][1]),
+        )
+
+
+def partition_value_fn(graph: CompiledGraph, shard_map: ShardMap):
+    """``record -> partition-level value`` for routing raw records."""
+    mapper = graph.schema.dimensions[shard_map.dim].hierarchy.mapper(
+        0, shard_map.level
+    )
+    dim = shard_map.dim
+    if mapper is None:
+        return lambda record: record[dim]
+    return lambda record: mapper(record[dim])
+
+
+def key_lift_fn(graph: CompiledGraph, shard_map: ShardMap, measure: str):
+    """``region key -> partition-level value`` for routing reads.
+
+    Each measure stores keys at its own granularity; the partition
+    level is the coarsest any measure uses, so the lift always exists.
+    """
+    node = graph.outputs[measure][0]
+    node_level = node.granularity.levels[shard_map.dim]
+    mapper = graph.schema.dimensions[shard_map.dim].hierarchy.mapper(
+        node_level, shard_map.level
+    )
+    dim = shard_map.dim
+    if mapper is None:
+        return lambda key: key[dim]
+    return lambda key: mapper(key[dim])
+
+
+def build_shard_map(
+    graph: CompiledGraph,
+    records,
+    num_shards: int,
+    partition_dim: int | str | None = None,
+) -> ShardMap:
+    """Choose cut points from the bootstrap batch's value distribution.
+
+    The observed distinct partition-level values are split into
+    ``num_shards`` contiguous chunks of near-equal distinct-value
+    count (the partitioned engine's boundary heuristic); fewer distinct
+    values than shards collapses to one shard per value.
+
+    Raises:
+        PlanError: when some measure aggregates the partition dimension
+            to ALL (its regions would span shards) — propagated from
+            :func:`~repro.engine.partitioned.partition_level`.
+    """
+    if partition_dim is None:
+        dim = default_sort_key(graph).parts[0][0]
+    elif isinstance(partition_dim, int):
+        dim = partition_dim
+    else:
+        dim = graph.schema.dim_index(partition_dim)
+    level = partition_level(graph, dim)
+    margin = window_reach(graph, dim, level)
+
+    mapper = graph.schema.dimensions[dim].hierarchy.mapper(0, level)
+    values = {
+        record[dim] if mapper is None else mapper(record[dim])
+        for record in records
+    }
+    distinct = sorted(values)
+    count = max(1, min(num_shards, len(distinct)))
+    cuts = tuple(
+        distinct[(len(distinct) * i) // count] for i in range(1, count)
+    )
+    return ShardMap(dim=dim, level=level, cuts=cuts, margin=margin)

@@ -1,0 +1,348 @@
+"""Multi-tenant namespaces and admission control.
+
+Each tenant is a fully isolated namespace: its own directory under
+``<root>/tenants/<name>``, its own cluster (or single-shard service),
+and therefore its own per-shard LRU caches — tenant A's ingest
+invalidates A's caches and nobody else's, because no cache object is
+shared.  Isolation is structural, not filtered.
+
+Tenant names are restricted to ``[a-z0-9][a-z0-9_-]*`` (max 64 chars)
+and used verbatim as directory names: the strict charset means two
+distinct tenant names can never collide on disk (no case folding, no
+escaping, no truncation).
+
+Admission control guards the two expensive doors with the CSM2xx
+footprint model (:func:`repro.optimizer.memory_model.estimate_graph_entries`
+— the same estimate the static analyzer's CSM201 lint uses):
+
+- **workflow registration** is rejected outright (not retryable) when
+  the estimated resident footprint exceeds the tenant's budget;
+- **ingest** is re-estimated against the post-ingest fact count and
+  rejected when the tenant would outgrow its budget, and concurrent
+  ingests beyond the tenant's slot limit are *queued* (bounded wait)
+  or *rejected* (retryable) depending on the configured policy.
+
+Rejections raise :class:`~repro.errors.AdmissionError`, whose
+structured payload the HTTP front end serializes as a 429 body — the
+admission-control mirror of the 422 lint-rejection body.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+
+from repro.errors import AdmissionError, ServiceError
+from repro.analysis.analyzer import DEFAULT_MEMORY_BUDGET
+from repro.engine.compile import compile_workflow
+from repro.engine.sort_scan import default_sort_key
+from repro.obs import get_registry
+from repro.obs.metrics import ADMISSION_REJECTS
+from repro.optimizer.memory_model import (
+    estimate_graph_entries,
+    estimate_node_entries,
+)
+from repro.service.cluster.manifest import ClusterManifest
+from repro.service.cluster.router import (
+    MeasureCluster,
+    bootstrap_cluster,
+    open_cluster,
+)
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]{0,63}$")
+
+#: Concurrent ingests a tenant may have in flight before admission
+#: control starts queueing or rejecting.
+DEFAULT_INGEST_SLOTS = 2
+
+#: How long a queued ingest waits for a slot before giving up.
+DEFAULT_QUEUE_TIMEOUT = 30.0
+
+
+def validate_tenant_name(name: str) -> str:
+    """Return ``name`` when it is a safe, collision-free directory name."""
+    if not _NAME_RE.match(name):
+        raise ServiceError(
+            f"invalid tenant name {name!r}: must match "
+            "[a-z0-9][a-z0-9_-]{0,63}"
+        )
+    return name
+
+
+class TenantState:
+    """One tenant's cluster handle plus its admission bookkeeping."""
+
+    def __init__(
+        self,
+        name: str,
+        cluster: MeasureCluster,
+        budget: int,
+        ingest_slots: int,
+    ) -> None:
+        self.name = name
+        self.cluster = cluster
+        self.budget = budget
+        self.semaphore = threading.BoundedSemaphore(ingest_slots)
+        self.queued = 0
+        self.queue_lock = threading.Lock()
+
+
+class TenantManager:
+    """Routes tenant-scoped requests and enforces admission control."""
+
+    def __init__(
+        self,
+        root: str,
+        num_shards: int = 1,
+        mode: str = "local",
+        default_budget: int = DEFAULT_MEMORY_BUDGET,
+        ingest_slots: int = DEFAULT_INGEST_SLOTS,
+        queue_policy: str = "queue",
+        queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+        max_queue_depth: int = 16,
+        cache_size: int = 256,
+    ) -> None:
+        if queue_policy not in ("queue", "reject"):
+            raise ServiceError(
+                f"unknown admission queue policy {queue_policy!r}"
+            )
+        self.root = root
+        self.num_shards = num_shards
+        self.mode = mode
+        self.default_budget = default_budget
+        self.ingest_slots = ingest_slots
+        self.queue_policy = queue_policy
+        self.queue_timeout = queue_timeout
+        self.max_queue_depth = max_queue_depth
+        self.cache_size = cache_size
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+        self._rejects = get_registry().counter(
+            ADMISSION_REJECTS,
+            "Requests rejected by tenant admission control",
+            labelnames=("tenant", "reason"),
+        )
+        self._reopen_existing()
+
+    # -- namespace plumbing --------------------------------------------
+
+    def tenant_dir(self, name: str) -> str:
+        return os.path.join(
+            self.root, "tenants", validate_tenant_name(name)
+        )
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def _reopen_existing(self) -> None:
+        base = os.path.join(self.root, "tenants")
+        if not os.path.isdir(base):
+            return
+        for name in sorted(os.listdir(base)):
+            path = os.path.join(base, name)
+            if not _NAME_RE.match(name) or not ClusterManifest.exists(
+                path
+            ):
+                continue
+            cluster = open_cluster(
+                path, mode=self.mode, cache_size=self.cache_size
+            )
+            self._tenants[name] = TenantState(
+                name, cluster, self.default_budget, self.ingest_slots
+            )
+
+    def get(self, name: str) -> TenantState:
+        with self._lock:
+            state = self._tenants.get(name)
+        if state is None:
+            raise ServiceError(
+                f"unknown tenant {name!r}; register a workflow first"
+            )
+        return state
+
+    def cluster(self, name: str) -> MeasureCluster:
+        return self.get(name).cluster
+
+    # -- admission control ---------------------------------------------
+
+    def _reject(self, error: AdmissionError) -> AdmissionError:
+        self._rejects.labels(
+            tenant=error.tenant, reason=error.reason
+        ).inc()
+        return error
+
+    def _estimate(self, workflow, dataset_size: int | None) -> int:
+        """A tenant's resident footprint in entries, CSM2xx model.
+
+        Two parts share the watermark-driven cardinality model: the
+        *streaming* working set one ingest fold keeps resident
+        (:func:`estimate_graph_entries`, what CSM201 lints), plus the
+        *stored* state tables the service keeps hot for serving — each
+        node's full group count (``specs=[]`` means nothing flushes),
+        capped at the fact count.
+        """
+        graph = compile_workflow(workflow)
+        streaming = estimate_graph_entries(
+            graph, default_sort_key(graph), dataset_size=dataset_size
+        )
+        stored = sum(
+            estimate_node_entries(node, [], dataset_size=dataset_size)
+            for node in graph.nodes
+        )
+        return streaming + stored
+
+    def admit_workflow(
+        self,
+        name: str,
+        workflow,
+        dataset_size: int | None = None,
+        budget: int | None = None,
+    ) -> int:
+        """Gate a workflow registration; returns the footprint estimate."""
+        budget = self.default_budget if budget is None else budget
+        estimate = self._estimate(workflow, dataset_size)
+        if estimate > budget:
+            raise self._reject(
+                AdmissionError(
+                    f"tenant {name!r}: estimated footprint {estimate} "
+                    f"entries exceeds the tenant budget of {budget}",
+                    tenant=name,
+                    reason="memory-budget",
+                    retryable=False,
+                    estimate=estimate,
+                    budget=budget,
+                )
+            )
+        return estimate
+
+    def register(
+        self,
+        name: str,
+        workflow,
+        records,
+        budget: int | None = None,
+    ) -> TenantState:
+        """Admit and bootstrap a new tenant namespace."""
+        path = self.tenant_dir(name)
+        records = [tuple(record) for record in records]
+        with self._lock:
+            if name in self._tenants:
+                raise ServiceError(
+                    f"tenant {name!r} is already registered"
+                )
+            budget = (
+                self.default_budget if budget is None else budget
+            )
+            self.admit_workflow(
+                name, workflow, dataset_size=len(records), budget=budget
+            )
+            cluster = bootstrap_cluster(
+                path,
+                workflow,
+                records,
+                num_shards=self.num_shards,
+                mode=self.mode,
+                cache_size=self.cache_size,
+            )
+            state = TenantState(
+                name, cluster, budget, self.ingest_slots
+            )
+            self._tenants[name] = state
+            return state
+
+    def ingest(self, name: str, records) -> dict:
+        """Admission-checked, slot-limited ingest into one tenant."""
+        state = self.get(name)
+        records = [tuple(record) for record in records]
+
+        # Budget check against the post-ingest fact count: a tenant at
+        # its footprint ceiling cannot grow past it by ingesting.
+        facts = state.cluster.stats()["facts"]
+        estimate = self._estimate(
+            state.cluster.workflow, facts + len(records)
+        )
+        if estimate > state.budget:
+            raise self._reject(
+                AdmissionError(
+                    f"tenant {name!r}: ingesting {len(records)} records "
+                    f"would grow the estimated footprint to {estimate} "
+                    f"entries, over the budget of {state.budget}",
+                    tenant=name,
+                    reason="memory-budget",
+                    retryable=False,
+                    estimate=estimate,
+                    budget=state.budget,
+                )
+            )
+
+        # Slot check: queue (bounded) or reject (retryable).
+        if not state.semaphore.acquire(blocking=False):
+            if self.queue_policy == "reject":
+                raise self._reject(
+                    AdmissionError(
+                        f"tenant {name!r}: too many concurrent "
+                        "ingests; retry later",
+                        tenant=name,
+                        reason="ingest-slots",
+                        retryable=True,
+                    )
+                )
+            with state.queue_lock:
+                if state.queued >= self.max_queue_depth:
+                    raise self._reject(
+                        AdmissionError(
+                            f"tenant {name!r}: ingest queue is full "
+                            f"({state.queued} waiting); retry later",
+                            tenant=name,
+                            reason="queue-depth",
+                            retryable=True,
+                        )
+                    )
+                state.queued += 1
+            try:
+                acquired = state.semaphore.acquire(
+                    timeout=self.queue_timeout
+                )
+            finally:
+                with state.queue_lock:
+                    state.queued -= 1
+            if not acquired:
+                raise self._reject(
+                    AdmissionError(
+                        f"tenant {name!r}: timed out after "
+                        f"{self.queue_timeout}s waiting for an "
+                        "ingest slot",
+                        tenant=name,
+                        reason="queue-timeout",
+                        retryable=True,
+                    )
+                )
+        try:
+            return state.cluster.ingest(records)
+        finally:
+            state.semaphore.release()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            states = list(self._tenants.values())
+        return {
+            "tenants": {
+                state.name: {
+                    "budget": state.budget,
+                    "queued_ingests": state.queued,
+                    **state.cluster.stats(),
+                }
+                for state in states
+            }
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            states = list(self._tenants.values())
+            self._tenants.clear()
+        for state in states:
+            state.cluster.close()

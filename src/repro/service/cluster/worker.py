@@ -1,0 +1,388 @@
+"""Shard workers: one measure store + ingestor per key range.
+
+A shard worker is a :class:`~repro.service.server.MeasureService` (its
+own :class:`MeasureStore`, :class:`Ingestor`, LRU, and freshness
+handling) wrapped with the cluster's *owned-range filter*: margin
+replication means a shard's store contains regions beyond its owned
+range (ingested so sibling windows at the boundary see their
+neighbors), and the filter guarantees only owned regions ever leave
+the worker — every region has exactly one server.
+
+Two execution substrates expose the same ``call(op, *args)`` surface:
+
+- :class:`LocalShard` runs the worker in-process (tests, single-box
+  serving, the crash sweeper's coordinator child);
+- :class:`ShardProcess` runs it in a dedicated OS process talking over
+  a ``multiprocessing`` pipe — true shared-nothing parallel reads, one
+  request in flight per worker, fanned out from router threads.  A
+  worker that dies (crash, kill -9) is detected by the broken pipe and
+  respawned by the supervisor against the same shard directory; the
+  store's recovery protocol (stale-temp removal + orphan GC) runs on
+  reopen, and the cluster journal replays anything the dead worker had
+  not committed.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import threading
+
+from repro.errors import ClusterError, ReproError
+from repro.aggregates.base import get_aggregate
+from repro.cube.granularity import Granularity
+from repro.obs import get_registry, get_tracer
+from repro.obs.metrics import SHARD_OPS, WORKER_RESPAWNS
+from repro.service.cluster.manifest import ClusterManifest, shard_dir
+from repro.service.cluster.partitioning import ShardMap, key_lift_fn
+from repro.service.ingest import Ingestor, load_workflow
+from repro.service.server import MeasureService
+from repro.service.store import MeasureStore
+from repro.testkit.failpoints import fire, register
+
+logger = logging.getLogger("repro.service.cluster")
+
+FP_WORKER_DEATH = register(
+    "cluster.worker-death", "cluster",
+    "at the top of a shard worker's request dispatch",
+)
+
+#: Aggregates whose rollup partials merge exactly across shards by
+#: re-applying the same aggregate over the per-shard rolled values.
+MERGEABLE_ROLLUP_AGGS = frozenset({"sum", "min", "max", "count"})
+
+
+class ShardWorker:
+    """The shard-local implementation of every cluster operation."""
+
+    def __init__(
+        self,
+        store: MeasureStore | str,
+        workflow,
+        shard_map: ShardMap,
+        index: int,
+        cache_size: int = 256,
+    ) -> None:
+        if isinstance(store, str):
+            store = MeasureStore(store)
+        self.store = store
+        self.index = index
+        self.shard_map = shard_map
+        self.workflow = workflow
+        self._service: MeasureService | None = None
+        self._ingestor: Ingestor | None = None
+        self._cache_size = cache_size
+        self._lifts: dict[str, object] = {}
+
+    # The MeasureService requires a non-empty store's workflow at
+    # construction; defer it so a worker can be created pre-bootstrap.
+
+    @property
+    def service(self) -> MeasureService:
+        if self._service is None:
+            self._service = MeasureService(
+                self.store, self.workflow, cache_size=self._cache_size
+            )
+        return self._service
+
+    @property
+    def ingestor(self) -> Ingestor:
+        if self._service is not None:
+            return self._service.ingestor
+        if self._ingestor is None:
+            self._ingestor = Ingestor(self.store, self.workflow)
+        return self._ingestor
+
+    # -- owned-range filtering ----------------------------------------
+
+    def _lift(self, measure: str):
+        lift = self._lifts.get(measure)
+        if lift is None:
+            lift = key_lift_fn(
+                self.ingestor.graph, self.shard_map, measure
+            )
+            self._lifts[measure] = lift
+        return lift
+
+    def owns_key(self, measure: str, key: tuple) -> bool:
+        """True when this shard serves ``key`` of ``measure``."""
+        return self.shard_map.owns(
+            self.index, self._lift(measure)(tuple(key))
+        )
+
+    def _filter_rows(self, measure: str, rows):
+        lift = self._lift(measure)
+        owns = self.shard_map.owns
+        index = self.index
+        return [
+            (key, value)
+            for key, value in rows
+            if owns(index, lift(key))
+        ]
+
+    # -- operations ----------------------------------------------------
+
+    def bootstrap(self, records, meta: dict | None = None) -> int:
+        return self.ingestor.bootstrap(records, meta=meta)
+
+    def ingest(self, records, epoch: int | None = None) -> dict:
+        meta = None if epoch is None else {"cluster_epoch": epoch}
+        report = self.service.ingest(records, meta=meta)
+        return {
+            "generation": report.generation,
+            "records": report.records,
+            "updated_measures": report.updated_measures,
+            "deferred_measures": report.deferred_measures,
+        }
+
+    def point(self, measure: str, key, default=None):
+        key = tuple(key)
+        if not self.owns_key(measure, key):
+            raise ClusterError(
+                f"shard {self.index} does not own key {key} of "
+                f"{measure!r} (routing bug)"
+            )
+        return self.service.point(measure, key, default=default)
+
+    def bulk_point(self, measure: str, keys, default=None) -> list:
+        return [
+            self.point(measure, key, default=default) for key in keys
+        ]
+
+    def scan(self, measure: str, prefix=()) -> list:
+        return self._filter_rows(
+            measure, self.service.range(measure, prefix)
+        )
+
+    def table_rows(self, measure: str) -> dict:
+        table = self.service.table(measure)
+        return dict(self._filter_rows(measure, table.items()))
+
+    def rollup_rows(
+        self, measure: str, target_levels, agg: str = "sum"
+    ) -> dict:
+        """Shard-local rollup over *owned* rows only.
+
+        The router merges these partials across shards: exactly (by
+        re-applying ``agg``) for :data:`MERGEABLE_ROLLUP_AGGS`, or by
+        concatenation when the target keeps the partition dimension
+        fine enough that partials are disjoint.
+        """
+        schema = self.workflow.schema
+        source = self.service.granularity_of(measure)
+        target = Granularity(schema, tuple(target_levels))
+        function = get_aggregate(agg)
+        grouped: dict = {}
+        for key, value in self._filter_rows(
+            measure, self.service.table(measure).items()
+        ):
+            out_key = target.generalize_key(key, source)
+            state = grouped.get(out_key)
+            if state is None and out_key not in grouped:
+                state = function.create()
+            grouped[out_key] = function.update(state, value)
+        return {
+            key: function.finalize(state)
+            for key, state in grouped.items()
+        }
+
+    def resolve(self) -> bool:
+        return self.service.resolve()
+
+    def ping(self) -> str:
+        return "pong"
+
+    def generation(self) -> int:
+        return self.store.generation
+
+    def cluster_epoch(self) -> int:
+        """The last cluster epoch this shard durably committed."""
+        return int(self.store.meta().get("cluster_epoch", 0))
+
+    def measures(self) -> list[dict]:
+        return self.service.measures()
+
+    def stats(self) -> dict:
+        stats = self.service.stats()
+        stats["shard"] = self.index
+        return stats
+
+    def telemetry(self) -> tuple[list, dict]:
+        """Ship this worker's spans and metric samples to the router."""
+        return get_tracer().take_events(), get_registry().to_dict()
+
+    # -- dispatch ------------------------------------------------------
+
+    def call(self, op: str, *args):
+        """Uniform entry point shared by both execution substrates."""
+        fire(FP_WORKER_DEATH)
+        handler = getattr(self, op, None)
+        if handler is None or op.startswith("_"):
+            raise ClusterError(f"unknown shard operation {op!r}")
+        return handler(*args)
+
+
+class LocalShard:
+    """In-process shard handle: a worker plus a per-shard lock.
+
+    The per-shard lock (instead of the single-store service's global
+    one) is what lets reads of shard B proceed while shard A folds an
+    ingest — the cluster's answer to the lock convoy.
+    """
+
+    def __init__(self, worker: ShardWorker) -> None:
+        self.worker = worker
+        self.index = worker.index
+        self._lock = threading.RLock()
+
+    def call(self, op: str, *args):
+        _count_op(self.index, op)
+        with self._lock:
+            return self.worker.call(op, *args)
+
+    def close(self) -> None:
+        """Nothing to release in-process."""
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+
+def _count_op(index: int, op: str) -> None:
+    get_registry().counter(
+        SHARD_OPS,
+        "Shard worker operations dispatched, by shard and operation",
+        labelnames=("shard", "op"),
+    ).labels(shard=str(index), op=op).inc()
+
+
+def worker_main(conn, root: str, index: int) -> None:
+    """Entry point of a shard worker process.
+
+    Serves ``(op, args)`` requests from the pipe until it receives
+    ``("shutdown",)`` or the pipe closes.  Replies are ``("ok",
+    result)`` or ``("err", exception)`` — library errors are shipped
+    back to the router rather than killing the worker.
+    """
+    manifest = ClusterManifest.load(root, cleanup=False)
+    workflow = load_workflow(_RootPath(root))
+    if workflow is None:
+        raise ClusterError(f"cluster {root!r} has no saved workflow")
+    worker = ShardWorker(
+        MeasureStore(shard_dir(root, index)),
+        workflow,
+        manifest.shard_map,
+        index,
+    )
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        op, args = request[0], request[1:]
+        if op == "shutdown":
+            conn.send(("ok", None))
+            return
+        try:
+            conn.send(("ok", worker.call(op, *args)))
+        except ReproError as exc:
+            conn.send(("err", exc))
+
+
+class _RootPath:
+    """Duck-typed store for :func:`load_workflow` at the cluster root."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+
+class ShardProcess:
+    """A shard worker running in its own OS process.
+
+    One request is in flight per worker at a time (the router holds a
+    per-shard lock around the send/recv pair); different shards serve
+    concurrently from router threads — shared-nothing parallelism for
+    reads, and isolation for ingest folds.
+    """
+
+    def __init__(self, root: str, index: int, respawn_limit: int = 3):
+        self.root = root
+        self.index = index
+        self.respawn_limit = respawn_limit
+        self.respawns = 0
+        self._lock = threading.RLock()
+        self._ctx = multiprocessing.get_context("fork")
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe()
+        self._conn = parent
+        self._proc = self._ctx.Process(
+            target=worker_main,
+            args=(child, self.root, self.index),
+            daemon=True,
+            name=f"repro-shard-{self.index:02d}",
+        )
+        self._proc.start()
+        child.close()
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def call(self, op: str, *args):
+        _count_op(self.index, op)
+        with self._lock:
+            try:
+                return self._roundtrip(op, args)
+            except (BrokenPipeError, EOFError, OSError):
+                self._revive()
+                # One retry against the revived worker; the store's
+                # recovery ran on reopen, so a read retried here sees
+                # a consistent (pre- or post-commit) generation.
+                return self._roundtrip(op, args)
+
+    def _roundtrip(self, op: str, args):
+        self._conn.send((op, *args))
+        status, result = self._conn.recv()
+        if status == "err":
+            raise result
+        return result
+
+    def _revive(self) -> None:
+        if self.respawns >= self.respawn_limit:
+            raise ClusterError(
+                f"shard {self.index} worker died {self.respawns + 1} "
+                f"times; giving up"
+            )
+        exitcode = self._proc.exitcode
+        self.respawns += 1
+        logger.warning(
+            "shard %d worker died (exit %s); respawning (%d/%d)",
+            self.index, exitcode, self.respawns, self.respawn_limit,
+        )
+        get_registry().counter(
+            WORKER_RESPAWNS,
+            "Dead shard worker processes respawned by the supervisor",
+            labelnames=("shard",),
+        ).labels(shard=str(self.index)).inc()
+        self._proc.join(timeout=5)
+        self._spawn()
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (tests, chaos drills)."""
+        self._proc.kill()
+        self._proc.join(timeout=10)
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.send(("shutdown",))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            self._conn.close()
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - defensive
+            self._proc.kill()
+            self._proc.join(timeout=5)

@@ -275,12 +275,17 @@ class Ingestor:
 
     # -- incremental ingest --------------------------------------------
 
-    def ingest(self, records) -> IngestReport:
+    def ingest(
+        self, records, meta: dict | None = None
+    ) -> IngestReport:
         """Fold one delta batch into the store, atomically.
 
         Equivalent (for non-deferred measures, exactly; for deferred
         ones, after :meth:`resolve`) to a full recompute over the union
-        of all ingested facts.
+        of all ingested facts.  ``meta`` keys are merged into the store
+        metadata *in the same commit* as the delta — the cluster layer
+        stamps its epoch this way, so a shard's metadata never vouches
+        for a delta the shard did not durably apply.
         """
         if self.store.is_empty():
             raise ServiceError(
@@ -291,7 +296,7 @@ class Ingestor:
         ingest_span = tracer.span("service:ingest", cat="service")
         ingest_span.__enter__()
         try:
-            report = self._ingest_inner(records, tracer)
+            report = self._ingest_inner(records, tracer, meta=meta)
             ingest_span.set(
                 generation=report.generation, records=report.records
             )
@@ -312,7 +317,9 @@ class Ingestor:
         ).observe(duration)
         return report
 
-    def _ingest_inner(self, records, tracer) -> IngestReport:
+    def _ingest_inner(
+        self, records, tracer, meta: dict | None = None
+    ) -> IngestReport:
         with tracer.span("delta-eval", cat="service"):
             delta = self._as_dataset(records)
             capture = _StateCaptureSink()
@@ -388,6 +395,8 @@ class Ingestor:
         fire(FP_FOLD)
         with tracer.span("commit", cat="service"):
             commit.append_facts(self.workflow.schema, delta.scan())
+            if meta:
+                commit.update_meta(meta)
             fire(FP_PRE_COMMIT)
             report.generation = commit.commit()
         fire(FP_POST_COMMIT)

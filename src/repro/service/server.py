@@ -315,10 +315,12 @@ class MeasureService:
             self._invalidate(list(self._caches))
             return generation
 
-    def ingest(self, records) -> IngestReport:
+    def ingest(
+        self, records, meta: dict | None = None
+    ) -> IngestReport:
         """Fold a delta batch in; invalidates affected measure caches."""
         with self._lock:
-            report = self.ingestor.ingest(records)
+            report = self.ingestor.ingest(records, meta=meta)
             self._invalidate(
                 report.updated_measures + report.deferred_measures
             )
@@ -363,6 +365,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     server_version = "ReproMeasureService/1"
     protocol_version = "HTTP/1.1"
+    # Per-connection socket timeout: a client that stops sending mid
+    # request (or holds a keep-alive connection idle) releases its
+    # handler thread instead of pinning it forever.
+    timeout = 30.0
 
     @property
     def service(self) -> MeasureService:
@@ -525,9 +531,24 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send({"error": f"{type(exc).__name__}: {exc}"}, 500)
 
 
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for graceful teardown.
+
+    Handler threads are non-daemonic and joined on ``server_close()``,
+    so shutdown drains in-flight requests instead of abandoning them
+    mid-write; the per-connection socket timeout on the handler keeps
+    a stuck client from blocking that drain indefinitely.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    # Bound the accept loop's poll interval so shutdown() is prompt.
+    timeout = 5.0
+
+
 def make_server(
     service: MeasureService, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
+) -> ServiceHTTPServer:
     """A threaded HTTP server bound to ``host:port`` (0 = ephemeral).
 
     The caller owns the server's lifecycle::
@@ -535,8 +556,23 @@ def make_server(
         server = make_server(service, port=8651)
         threading.Thread(target=server.serve_forever).start()
         ...
-        server.shutdown()
+        shutdown_gracefully(server)
     """
-    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server = ServiceHTTPServer((host, port), _ServiceHandler)
     server.service = service  # type: ignore[attr-defined]
     return server
+
+
+def shutdown_gracefully(server: ServiceHTTPServer) -> None:
+    """Stop accepting, drain in-flight requests, flush pending work.
+
+    After the drain, deferred (dirty-holistic) measures are resolved so
+    the store's final MANIFEST on disk reflects everything the service
+    acknowledged — a restarted server serves every measure fresh
+    without a recovery recompute.
+    """
+    server.shutdown()
+    server.server_close()  # joins handler threads (block_on_close)
+    service = getattr(server, "service", None)
+    if service is not None:
+        service.resolve()

@@ -55,11 +55,16 @@ __all__ = [
 ]
 
 #: Scopes whose sites guard the durability protocol and get swept.
-SWEEP_SCOPES = ("store", "ingest")
+SWEEP_SCOPES = ("store", "ingest", "cluster")
 
 #: Environment plumbing between :func:`sweep` and :func:`child_main`.
 STORE_ENV = "REPRO_SWEEP_STORE"
 SEED_ENV = "REPRO_SWEEP_SEED"
+CLUSTER_ENV = "REPRO_SWEEP_CLUSTER"
+
+#: Shards of the sweep's scratch cluster — two is the smallest count
+#: where a crash between shard prepares can strand a *mixture*.
+CLUSTER_SHARDS = 2
 
 #: Records held back from the bootstrap batch and ingested by the
 #: doomed child; large enough to touch every basic node.
@@ -99,6 +104,27 @@ def _split(case: RandomCase):
     return records[:-_DELTA_SIZE], records[-_DELTA_SIZE:]
 
 
+def _cluster_workflow(schema):
+    """Fixed workflow for the cluster sweep.
+
+    The store/ingest sweep uses :class:`RandomCase`'s random workflow,
+    but a cluster must be *partitionable* (no measure may aggregate
+    the partition dimension to ALL), so the cluster scope sweeps a
+    fixed mix instead: distributive, algebraic-deferred (holistic
+    median exercises dirty bookkeeping through recovery), and a
+    derived rollup.  Records still come from the seeded case, so the
+    parent and the doomed child agree by construction.
+    """
+    from repro.workflow.workflow import AggregationWorkflow
+
+    wf = AggregationWorkflow(schema, name="cluster-sweep")
+    wf.basic("Count", {"d0": "d0.L1", "d1": "d1.L1"}, agg="count")
+    wf.basic("Total", {"d0": "d0.L1"}, agg=("sum", "v"))
+    wf.basic("MedV", {"d0": "d0.L1"}, agg=("median", "v"))
+    wf.rollup("sCount", {"d0": "d0.L1"}, source="Count", agg="sum")
+    return wf
+
+
 def sweep_sites() -> list[str]:
     """The sites a sweep covers, straight from the registry."""
     load_instrumented_sites()
@@ -118,23 +144,49 @@ def child_main() -> None:
     armed fail point — installed from ``REPRO_FAILPOINT`` when
     :mod:`repro.testkit.failpoints` was imported, before any of this
     ran — kills the process somewhere along that path.
+
+    For cluster-scope sites the child instead opens the copied
+    *cluster*, runs a two-phase ingest, and then a fan-out read of
+    every measure — the read is what makes the router fan-out and
+    worker dispatch sites fire, not just the commit-path ones.
     """
     from repro.service import Ingestor, MeasureStore
 
     store_path = os.environ[STORE_ENV]
     seed = int(os.environ[SEED_ENV])
-    case = RandomCase(seed, _default_schema())
+    schema = _default_schema()
+    case = RandomCase(seed, schema)
     __, delta = _split(case)
+    if os.environ.get(CLUSTER_ENV):
+        from repro.service.cluster import open_cluster
+
+        workflow = _cluster_workflow(schema)
+        cluster = open_cluster(store_path, workflow)
+        cluster.ingest(delta)
+        for name in workflow.outputs():
+            cluster.range(name, ())
+        cluster.close()
+        return
     store = MeasureStore(store_path)
     Ingestor(store, case.workflow).ingest(delta)
 
 
-def _subprocess_env(site: str, action: str, store_path: str, seed: int):
+def _subprocess_env(
+    site: str,
+    action: str,
+    store_path: str,
+    seed: int,
+    cluster: bool = False,
+):
     src_root = os.path.dirname(os.path.dirname(repro.__file__))
     env = dict(os.environ)
     env[ENV_VAR] = f"{site}:{action}"
     env[STORE_ENV] = store_path
     env[SEED_ENV] = str(seed)
+    if cluster:
+        env[CLUSTER_ENV] = "1"
+    else:
+        env.pop(CLUSTER_ENV, None)
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (
         src_root if not existing
@@ -182,6 +234,55 @@ def _check_recovery(
     return committed, True, ""
 
 
+def _check_cluster_recovery(
+    site_dir: str, case: RandomCase, workflow, reference
+) -> tuple[bool, bool, str]:
+    """Cluster analogue of :func:`_check_recovery`.
+
+    Opening the cluster runs journal redo; afterwards the cluster
+    MANIFEST must parse (never torn), the journal must be gone, the
+    epoch must be exactly pre- or post-delta, and — after re-ingesting
+    a lost delta and resolving — every measure table must equal the
+    uninjected one-shot evaluation.
+    """
+    from repro.errors import ClusterError
+    from repro.service.cluster import (
+        ClusterManifest,
+        IngestJournal,
+        open_cluster,
+    )
+
+    try:
+        ClusterManifest.load(site_dir)
+    except ClusterError as exc:
+        return False, False, f"torn cluster manifest: {exc}"
+    cluster = open_cluster(site_dir, workflow)  # journal redo runs here
+    try:
+        if IngestJournal.load(site_dir) is not None:
+            return False, False, "journal survived recovery"
+        epoch = cluster.epoch
+        committed = epoch > 1
+        if epoch not in (1, 2):
+            return committed, False, (
+                f"epoch {epoch} is neither pre (1) nor post (2)"
+            )
+        if not committed:
+            __, delta = _split(case)
+            cluster.ingest(delta)
+        cluster.resolve()
+        for name in workflow.outputs():
+            expected = reference[name]
+            got = cluster.table(name)
+            if not got.equal_rows(expected):
+                return committed, False, (
+                    f"measure {name!r} diverges after recovery: "
+                    f"{expected.diff(got)}"
+                )
+        return committed, True, ""
+    finally:
+        cluster.close()
+
+
 def sweep(
     work_dir: str,
     seed: int = 0,
@@ -218,12 +319,34 @@ def sweep(
     )
     baseline_generation = store.generation
 
+    # The cluster template (and its reference) is built lazily: only
+    # when the site list actually includes cluster-scope sites.
+    cluster_template = os.path.join(work_dir, "cluster-template")
+    cluster_workflow = None
+    cluster_reference = None
+
     results: list[SweepResult] = []
     for site in sites if sites is not None else sweep_sites():
+        is_cluster = site.startswith("cluster.")
+        if is_cluster and cluster_workflow is None:
+            from repro.service.cluster import bootstrap_cluster
+
+            cluster_workflow = _cluster_workflow(schema)
+            cluster_reference = SortScanEngine().evaluate(
+                case.dataset, cluster_workflow
+            )
+            bootstrap_cluster(
+                cluster_template,
+                cluster_workflow,
+                base,
+                num_shards=CLUSTER_SHARDS,
+            ).close()
         site_dir = os.path.join(
             work_dir, site.replace(".", "-").replace("/", "-")
         )
-        shutil.copytree(template, site_dir)
+        shutil.copytree(
+            cluster_template if is_cluster else template, site_dir
+        )
         proc = subprocess.run(
             [
                 sys.executable,
@@ -231,7 +354,9 @@ def sweep(
                 "from repro.testkit.sweeper import child_main; "
                 "child_main()",
             ],
-            env=_subprocess_env(site, action, site_dir, seed),
+            env=_subprocess_env(
+                site, action, site_dir, seed, cluster=is_cluster
+            ),
             capture_output=True,
             text=True,
             timeout=120,
@@ -253,9 +378,14 @@ def sweep(
                 ),
             )
         else:
-            committed, ok, detail = _check_recovery(
-                site_dir, case, baseline_generation, reference
-            )
+            if is_cluster:
+                committed, ok, detail = _check_cluster_recovery(
+                    site_dir, case, cluster_workflow, cluster_reference
+                )
+            else:
+                committed, ok, detail = _check_recovery(
+                    site_dir, case, baseline_generation, reference
+                )
             result = SweepResult(
                 site=site,
                 action=action,

@@ -1,0 +1,135 @@
+"""Schema guard for the BENCH_service.json perf-sheet artifact.
+
+CI uploads the payload ``repro bench --figure service --json`` writes;
+docs/metrics_targets.md reads its keys, so the shape is pinned here:
+top-level ``metrics`` / ``definitions`` / ``points`` keys, per-point
+fields, and JSON-serializability.  Any intentional change must bump
+``SCHEMA_VERSION`` and update this guard.
+
+The live run here uses a tiny scale and only the 1- and 2-shard
+configs — enough to pin the payload shape without paying the full
+sweep; the committed full-scale artifact at the repo root is guarded
+separately against the 2.5x headline target.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.service import (
+    METRIC_DEFINITIONS,
+    SCHEMA_VERSION,
+    TARGET_READ_SCALING,
+    service_bench,
+)
+
+TOP_LEVEL_KEYS = {
+    "bench",
+    "schema_version",
+    "scale",
+    "bootstrap_records",
+    "delta_records",
+    "reader_threads",
+    "window_seconds",
+    "metrics",
+    "definitions",
+    "points",
+}
+
+METRIC_KEYS = {
+    "read_scaling_4x",
+    "target_read_scaling_4x",
+    "baseline_read_qps",
+    "four_shard_read_qps",
+    "p99_improvement_4x",
+}
+
+POINT_KEYS = {
+    "shards",
+    "reads",
+    "read_qps",
+    "p50_ms",
+    "p99_ms",
+    "max_ms",
+    "ingests",
+    "ingest_seconds_avg",
+    "window_seconds",
+}
+
+
+@pytest.fixture(scope="module")
+def run():
+    return service_bench(scale=0.02, shard_counts=(1, 2), readers=2)
+
+
+def test_schema_version_pinned():
+    assert SCHEMA_VERSION == 1
+
+
+def test_top_level_keys_stable(run):
+    __, payload = run
+    assert set(payload) == TOP_LEVEL_KEYS
+    assert payload["bench"] == "service"
+    assert payload["schema_version"] == SCHEMA_VERSION
+
+
+def test_metrics_keys_stable(run):
+    __, payload = run
+    assert set(payload["metrics"]) == METRIC_KEYS
+    assert (
+        payload["metrics"]["target_read_scaling_4x"]
+        == TARGET_READ_SCALING
+        == 2.5
+    )
+    # No 4-shard config in this short sweep: the ratio is honestly
+    # absent, not fabricated from whatever configs did run.
+    assert payload["metrics"]["read_scaling_4x"] is None
+
+
+def test_definitions_cover_the_headline_metrics(run):
+    __, payload = run
+    assert payload["definitions"] == METRIC_DEFINITIONS
+    assert set(METRIC_DEFINITIONS) == {
+        "read_qps",
+        "p99_ms",
+        "read_scaling_4x",
+        "ingest_seconds_avg",
+    }
+
+
+def test_points_shape_and_rows(run):
+    rows, payload = run
+    points = payload["points"]
+    assert [point["shards"] for point in points] == [1, 2]
+    for point in points:
+        assert set(point) == POINT_KEYS
+        assert point["reads"] > 0
+        assert point["read_qps"] > 0
+        assert point["ingests"] >= 1
+    assert len(rows) == len(points)
+    assert all(row.figure == "service" for row in rows)
+
+
+def test_payload_is_json_serializable(run):
+    __, payload = run
+    rebuilt = json.loads(json.dumps(payload))
+    assert set(rebuilt) == TOP_LEVEL_KEYS
+
+
+def test_committed_artifact_matches_schema_and_target():
+    """The repo-root BENCH_service.json must stay loadable, on-schema,
+    and at or above the sheet's 2.5x read-scaling target."""
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "BENCH_service.json"
+    )
+    with open(path) as fh:
+        committed = json.load(fh)
+    assert set(committed) == TOP_LEVEL_KEYS
+    assert committed["schema_version"] == SCHEMA_VERSION
+    assert set(committed["metrics"]) == METRIC_KEYS
+    scaling = committed["metrics"]["read_scaling_4x"]
+    assert scaling is not None and scaling >= TARGET_READ_SCALING
+    assert [p["shards"] for p in committed["points"]] == [1, 2, 4]

@@ -1,0 +1,105 @@
+"""Cluster MANIFEST and ingest-journal durability plumbing."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.service.cluster import ClusterManifest, IngestJournal, ShardMap
+from repro.service.cluster.manifest import JOURNAL_FILE, MANIFEST_FILE
+
+
+@pytest.fixture()
+def shard_map():
+    return ShardMap(dim=0, level=1, cuts=(8,), margin=(0, 0))
+
+
+class TestClusterManifest:
+    def test_write_then_load_round_trips(self, tmp_path, shard_map):
+        root = str(tmp_path)
+        ClusterManifest(
+            root, shard_map, epoch=3, generations=[5, 4],
+            meta={"note": "x"},
+        ).write()
+        loaded = ClusterManifest.load(root)
+        assert loaded.epoch == 3
+        assert loaded.generations == [5, 4]
+        assert loaded.shard_map == shard_map
+        assert loaded.num_shards == 2
+        assert loaded.meta == {"note": "x"}
+
+    def test_missing_manifest_is_a_cluster_error(self, tmp_path):
+        with pytest.raises(ClusterError, match="not a cluster"):
+            ClusterManifest.load(str(tmp_path))
+        assert not ClusterManifest.exists(str(tmp_path))
+
+    def test_unknown_format_is_rejected(self, tmp_path, shard_map):
+        root = str(tmp_path)
+        ClusterManifest(root, shard_map, 1, [1, 1]).write()
+        path = os.path.join(root, MANIFEST_FILE)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["format"] = 99
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        with pytest.raises(ClusterError, match="format"):
+            ClusterManifest.load(root)
+
+    def test_load_discards_a_crashed_swap_temp(self, tmp_path, shard_map):
+        root = str(tmp_path)
+        ClusterManifest(root, shard_map, 1, [1, 1]).write()
+        stale = os.path.join(root, MANIFEST_FILE + ".tmp")
+        with open(stale, "w") as fh:
+            fh.write("{ torn")
+        loaded = ClusterManifest.load(root)
+        assert loaded.epoch == 1
+        assert not os.path.exists(stale)
+
+
+class TestIngestJournal:
+    def _journal(self, root: str) -> IngestJournal:
+        facts = "journal-000002.pkl"
+        with open(os.path.join(root, facts), "wb") as fh:
+            fh.write(b"delta-bytes")
+        return IngestJournal(
+            root, epoch=2, expected=[2, 1], baseline=[1, 1],
+            facts=facts, records=40,
+        )
+
+    def test_absent_journal_loads_as_none(self, tmp_path):
+        assert IngestJournal.load(str(tmp_path)) is None
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        root = str(tmp_path)
+        self._journal(root).write()
+        loaded = IngestJournal.load(root)
+        assert loaded is not None
+        assert loaded.epoch == 2
+        assert loaded.expected == [2, 1]
+        assert loaded.baseline == [1, 1]
+        assert loaded.records == 40
+        assert os.path.exists(loaded.facts_path)
+
+    def test_clear_removes_journal_and_facts(self, tmp_path):
+        root = str(tmp_path)
+        journal = self._journal(root)
+        journal.write()
+        journal.clear()
+        assert IngestJournal.load(root) is None
+        assert not os.path.exists(journal.facts_path)
+        assert not os.path.exists(os.path.join(root, JOURNAL_FILE))
+
+    def test_clear_is_idempotent(self, tmp_path):
+        journal = self._journal(str(tmp_path))
+        journal.write()
+        journal.clear()
+        journal.clear()  # nothing left to remove; must not raise
+
+    def test_load_discards_a_crashed_phase0_temp(self, tmp_path):
+        root = str(tmp_path)
+        stale = os.path.join(root, JOURNAL_FILE + ".tmp")
+        with open(stale, "w") as fh:
+            fh.write("{ torn")
+        assert IngestJournal.load(root) is None
+        assert not os.path.exists(stale)

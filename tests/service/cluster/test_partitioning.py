@@ -1,0 +1,123 @@
+"""Shard-map routing: cut points, open edges, margins, round-trips."""
+
+import pytest
+
+from repro.engine.compile import compile_workflow
+from repro.service.cluster import ShardMap, build_shard_map
+
+from tests.service.conftest import make_records
+
+
+class TestShardMapOwnership:
+    def setup_method(self):
+        self.shard_map = ShardMap(
+            dim=0, level=1, cuts=(4, 8, 12), margin=(0, 0)
+        )
+
+    def test_num_shards_is_cuts_plus_one(self):
+        assert self.shard_map.num_shards == 4
+
+    def test_open_outer_edges_route_everything(self):
+        # Values far below the first cut and far above the last cut
+        # (tail-append records with new time values) still route.
+        assert self.shard_map.owner_of_value(-100) == 0
+        assert self.shard_map.owner_of_value(0) == 0
+        assert self.shard_map.owner_of_value(10_000) == 3
+
+    def test_cut_points_belong_to_the_right_shard(self):
+        # Half-open ranges: [cuts[i-1], cuts[i]).
+        assert self.shard_map.owner_of_value(3) == 0
+        assert self.shard_map.owner_of_value(4) == 1
+        assert self.shard_map.owner_of_value(7) == 1
+        assert self.shard_map.owner_of_value(8) == 2
+        assert self.shard_map.owner_of_value(12) == 3
+
+    def test_exactly_one_owner_per_value(self):
+        for value in range(-2, 20):
+            owners = [
+                index
+                for index in range(self.shard_map.num_shards)
+                if self.shard_map.owns(index, value)
+            ]
+            assert owners == [self.shard_map.owner_of_value(value)]
+
+    def test_owned_ranges_tile_the_value_line(self):
+        ranges = [
+            self.shard_map.owned_range(i)
+            for i in range(self.shard_map.num_shards)
+        ]
+        assert ranges[0] == (None, 4)
+        assert ranges[1] == (4, 8)
+        assert ranges[2] == (8, 12)
+        assert ranges[3] == (12, None)
+
+    def test_zero_margin_readers_are_just_the_owner(self):
+        for value in range(-1, 16):
+            assert self.shard_map.readers_of_value(value) == [
+                self.shard_map.owner_of_value(value)
+            ]
+
+
+class TestShardMapMargins:
+    def test_margin_replicates_boundary_values_to_neighbors(self):
+        shard_map = ShardMap(
+            dim=0, level=1, cuts=(10, 20), margin=(2, 2)
+        )
+        # 9 is owned by shard 0 but within shard 1's before-margin
+        # (lo = 10 - 2 = 8), so both ingest it.
+        assert shard_map.readers_of_value(9) == [0, 1]
+        # 10 is owned by shard 1 but within shard 0's after-margin
+        # (hi = 10 + 2 = 12).
+        assert shard_map.readers_of_value(10) == [0, 1]
+        # Interior values stay single-homed.
+        assert shard_map.readers_of_value(5) == [0]
+        assert shard_map.readers_of_value(15) == [1]
+        assert shard_map.readers_of_value(25) == [2]
+
+    def test_owner_is_always_a_reader(self):
+        shard_map = ShardMap(
+            dim=0, level=1, cuts=(5, 9, 13), margin=(3, 1)
+        )
+        for value in range(-2, 20):
+            owner = shard_map.owner_of_value(value)
+            assert owner in shard_map.readers_of_value(value)
+
+
+class TestShardMapSerialization:
+    def test_round_trip(self):
+        shard_map = ShardMap(
+            dim=2, level=1, cuts=(3, 7), margin=(1, 2)
+        )
+        clone = ShardMap.from_dict(shard_map.to_dict())
+        assert clone == shard_map
+
+
+class TestBuildShardMap:
+    @pytest.fixture()
+    def graph(self, mergeable_cluster_workflow):
+        return compile_workflow(mergeable_cluster_workflow)
+
+    def test_cuts_follow_the_value_distribution(self, graph):
+        records = make_records(400, seed=1)
+        shard_map = build_shard_map(records=records, graph=graph,
+                                    num_shards=4)
+        assert shard_map.num_shards == 4
+        assert list(shard_map.cuts) == sorted(shard_map.cuts)
+        # Partition dimension comes from the default sort key; for
+        # this workflow that is d0 at its coarsest used level (L1).
+        assert shard_map.dim == 0
+        assert shard_map.level == 1
+
+    def test_fewer_distinct_values_than_shards_collapses(self, graph):
+        records = [(0, 1, 2, 0.5), (17, 3, 4, 0.25)]
+        shard_map = build_shard_map(records=records, graph=graph,
+                                    num_shards=8)
+        assert shard_map.num_shards <= 2
+
+    def test_explicit_partition_dim_by_name(self, graph):
+        records = make_records(100, seed=2)
+        shard_map = build_shard_map(
+            records=records, graph=graph, num_shards=2,
+            partition_dim="d0",
+        )
+        assert shard_map.dim == 0

@@ -1,0 +1,103 @@
+"""Process-mode shards: shared-nothing workers, death, and respawn."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.service.cluster import bootstrap_cluster, open_cluster
+
+from tests.service.cluster.conftest import reference_tables
+from tests.service.conftest import make_records
+
+BASE = 220
+DELTA = 40
+
+
+@pytest.fixture()
+def records():
+    return make_records(BASE + DELTA, seed=31)
+
+
+@pytest.fixture()
+def cluster(tmp_path, mergeable_cluster_workflow, records):
+    cluster = bootstrap_cluster(
+        str(tmp_path / "cluster"),
+        mergeable_cluster_workflow,
+        records[:BASE],
+        num_shards=2,
+        mode="process",
+    )
+    yield cluster
+    cluster.close()
+
+
+class TestProcessMode:
+    def test_serves_the_same_tables_as_one_shot(
+        self, cluster, syn_schema, mergeable_cluster_workflow, records
+    ):
+        reference = reference_tables(
+            syn_schema, mergeable_cluster_workflow, records[:BASE]
+        )
+        for name in mergeable_cluster_workflow.outputs():
+            assert cluster.table(name).equal_rows(reference[name]), name
+
+    def test_two_phase_ingest_spans_worker_processes(
+        self, cluster, syn_schema, mergeable_cluster_workflow, records
+    ):
+        report = cluster.ingest(records[BASE:])
+        assert report["epoch"] == 2
+        reference = reference_tables(
+            syn_schema, mergeable_cluster_workflow, records
+        )
+        assert cluster.table("Count").equal_rows(reference["Count"])
+
+    def test_killed_worker_is_revived_transparently(
+        self, cluster, syn_schema, mergeable_cluster_workflow, records
+    ):
+        cluster.kill_worker(0)
+        # The next call hits the broken pipe, respawns the worker
+        # against the same shard directory, and retries.
+        reference = reference_tables(
+            syn_schema, mergeable_cluster_workflow, records[:BASE]
+        )
+        assert cluster.table("Total").equal_rows(reference["Total"])
+        assert cluster.shards[0].respawns == 1
+        assert cluster.shards[0].alive
+
+    def test_telemetry_pull_absorbs_worker_metrics(self, cluster):
+        cluster.table("Count")
+        cluster.pull_telemetry()  # must not raise; absorbs into parent
+
+    def test_kill_worker_requires_process_mode(
+        self, tmp_path, mergeable_cluster_workflow, records
+    ):
+        local = bootstrap_cluster(
+            str(tmp_path / "local"),
+            mergeable_cluster_workflow,
+            records[:60],
+            num_shards=2,
+        )
+        try:
+            with pytest.raises(ClusterError, match="process mode"):
+                local.kill_worker(0)
+        finally:
+            local.close()
+
+    def test_reopen_in_process_mode(
+        self, tmp_path, cluster, syn_schema, mergeable_cluster_workflow,
+        records,
+    ):
+        cluster.ingest(records[BASE:])
+        cluster.close()
+        reopened = open_cluster(
+            str(tmp_path / "cluster"), mode="process"
+        )
+        try:
+            assert reopened.epoch == 2
+            reference = reference_tables(
+                syn_schema, mergeable_cluster_workflow, records
+            )
+            assert reopened.table("sCount").equal_rows(
+                reference["sCount"]
+            )
+        finally:
+            reopened.close()

@@ -1,0 +1,129 @@
+"""Two-phase commit recovery: abort at every protocol step, reopen.
+
+These tests abort a cluster ingest *in-process* (fail-point action
+``raise``) at each instrumented step of the protocol, then reopen the
+directory and assert the recovered cluster is exactly pre- or
+post-delta with the journal gone — the same invariant the subprocess
+crash sweeper enforces with real ``kill -9`` semantics.
+"""
+
+import os
+
+import pytest
+
+from repro.service.cluster import (
+    IngestJournal,
+    bootstrap_cluster,
+    open_cluster,
+)
+from repro.service.cluster.manifest import JOURNAL_FILE
+from repro.testkit.failpoints import FailPointError, failpoint
+
+from tests.service.cluster.conftest import reference_tables
+from tests.service.conftest import make_records
+
+BASE = 260
+DELTA = 60
+
+
+@pytest.fixture()
+def records():
+    return make_records(BASE + DELTA, seed=23)
+
+
+@pytest.fixture()
+def root(tmp_path, cluster_workflow, records):
+    root = str(tmp_path / "cluster")
+    bootstrap_cluster(
+        root, cluster_workflow, records[:BASE], num_shards=3
+    ).close()
+    return root
+
+
+def _abort_ingest(root, records, site):
+    cluster = open_cluster(root)
+    try:
+        with failpoint(site, "raise"), pytest.raises(FailPointError):
+            cluster.ingest(records[BASE:])
+    finally:
+        cluster.close()
+
+
+def _assert_recovered_post_delta(
+    root, syn_schema, cluster_workflow, records
+):
+    recovered = open_cluster(root)  # journal redo runs here
+    try:
+        assert recovered.epoch == 2
+        assert IngestJournal.load(root) is None
+        assert not os.path.exists(os.path.join(root, JOURNAL_FILE))
+        recovered.resolve()
+        reference = reference_tables(
+            syn_schema, cluster_workflow, records
+        )
+        for name in cluster_workflow.outputs():
+            assert recovered.table(name).equal_rows(
+                reference[name]
+            ), name
+    finally:
+        recovered.close()
+
+
+class TestRecoveryAtEveryStep:
+    def test_abort_after_journal_write_redoes_every_shard(
+        self, root, syn_schema, cluster_workflow, records
+    ):
+        # The journal is durable before any shard prepares: from that
+        # point the ingest survives — recovery redoes it in full.
+        _abort_ingest(root, records, "cluster.journal-write")
+        assert IngestJournal.load(root) is not None
+        _assert_recovered_post_delta(
+            root, syn_schema, cluster_workflow, records
+        )
+
+    def test_abort_between_shard_prepares_redoes_only_the_rest(
+        self, root, syn_schema, cluster_workflow, records
+    ):
+        # One shard committed its prepare (stamped with epoch 2); the
+        # epoch stamp makes the redo skip it — applied exactly once.
+        _abort_ingest(root, records, "cluster.shard-prepare")
+        _assert_recovered_post_delta(
+            root, syn_schema, cluster_workflow, records
+        )
+
+    def test_abort_before_manifest_swap_completes_the_swap(
+        self, root, syn_schema, cluster_workflow, records
+    ):
+        # Every shard prepared, the cluster manifest did not swap:
+        # recovery skips every shard and just finishes the swap.
+        _abort_ingest(root, records, "cluster.manifest-swap")
+        _assert_recovered_post_delta(
+            root, syn_schema, cluster_workflow, records
+        )
+
+    def test_abort_before_journal_cleanup_just_clears_it(
+        self, root, syn_schema, cluster_workflow, records
+    ):
+        # The swap completed; only the journal cleanup was lost.
+        _abort_ingest(root, records, "cluster.post-swap")
+        journal = IngestJournal.load(root)
+        assert journal is not None and journal.epoch == 2
+        _assert_recovered_post_delta(
+            root, syn_schema, cluster_workflow, records
+        )
+
+    def test_recovery_is_idempotent(
+        self, root, syn_schema, cluster_workflow, records
+    ):
+        _abort_ingest(root, records, "cluster.shard-prepare")
+        for __ in range(2):  # a second open must be a clean no-op
+            _assert_recovered_post_delta(
+                root, syn_schema, cluster_workflow, records
+            )
+
+    def test_clean_cluster_opens_without_recovery(self, root):
+        cluster = open_cluster(root)
+        try:
+            assert cluster.epoch == 1
+        finally:
+            cluster.close()

@@ -1,0 +1,267 @@
+"""Tenant isolation and admission control.
+
+The isolation claims under test are structural: tenant namespaces are
+separate directories with separate clusters and separate LRU caches,
+so one tenant's ingest can never invalidate another's cache, and two
+distinct tenant names can never share state on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service.cluster import TenantManager
+from repro.service.cluster.tenancy import validate_tenant_name
+
+from tests.service.conftest import make_records
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    manager = TenantManager(str(tmp_path / "svc"))
+    yield manager
+    manager.close()
+
+
+@pytest.fixture()
+def two_tenants(manager, mergeable_cluster_workflow):
+    manager.register(
+        "alpha", mergeable_cluster_workflow, make_records(250, seed=41)
+    )
+    manager.register(
+        "beta", mergeable_cluster_workflow, make_records(250, seed=42)
+    )
+    return manager
+
+
+class TestTenantNames:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "",
+            "Upper",
+            "has space",
+            "dot.dot",
+            "../escape",
+            "a/b",
+            "-leading",
+            "_leading",
+            "x" * 65,
+        ],
+    )
+    def test_unsafe_names_are_rejected_not_mangled(self, name):
+        with pytest.raises(ServiceError, match="invalid tenant name"):
+            validate_tenant_name(name)
+
+    @pytest.mark.parametrize(
+        "name", ["a", "tenant-1", "net_logs", "0abc", "x" * 64]
+    )
+    def test_safe_names_pass_through_verbatim(self, name):
+        assert validate_tenant_name(name) == name
+
+    def test_register_enforces_the_same_rule(
+        self, manager, mergeable_cluster_workflow
+    ):
+        with pytest.raises(ServiceError, match="invalid tenant name"):
+            manager.register(
+                "../outside",
+                mergeable_cluster_workflow,
+                make_records(50, seed=1),
+            )
+
+
+class TestNamespaceIsolation:
+    def test_tenant_paths_never_collide(self, two_tenants):
+        assert two_tenants.tenant_dir("alpha") != two_tenants.tenant_dir(
+            "beta"
+        )
+        assert two_tenants.tenants() == ["alpha", "beta"]
+
+    def test_duplicate_registration_is_rejected(
+        self, two_tenants, mergeable_cluster_workflow
+    ):
+        with pytest.raises(ServiceError, match="already registered"):
+            two_tenants.register(
+                "alpha",
+                mergeable_cluster_workflow,
+                make_records(10, seed=5),
+            )
+
+    def test_unknown_tenant_is_a_service_error(self, manager):
+        with pytest.raises(ServiceError, match="unknown tenant"):
+            manager.ingest("ghost", make_records(5, seed=6))
+
+    def test_ingest_into_a_never_invalidates_bs_cache(self, two_tenants):
+        beta = two_tenants.cluster("beta")
+        key = next(iter(beta.table("Total").items()))[0]
+        beta.point("Total", key)  # miss: fills beta's LRU
+        warm = beta.stats()
+        beta.point("Total", key)
+        hit_once = beta.stats()
+        assert hit_once["cache_hits"] == warm["cache_hits"] + 1
+
+        two_tenants.ingest("alpha", make_records(60, seed=43))
+
+        beta.point("Total", key)  # must still be a hit, not a miss
+        after = beta.stats()
+        assert after["cache_hits"] == hit_once["cache_hits"] + 1
+        assert after["cache_misses"] == hit_once["cache_misses"]
+
+    def test_ingest_into_a_leaves_bs_tables_untouched(self, two_tenants):
+        before = dict(two_tenants.cluster("beta").table("Count").items())
+        two_tenants.ingest("alpha", make_records(60, seed=44))
+        after = dict(two_tenants.cluster("beta").table("Count").items())
+        assert after == before
+
+    def test_reopen_rediscovers_tenants(
+        self, tmp_path, two_tenants, mergeable_cluster_workflow
+    ):
+        expected = dict(
+            two_tenants.cluster("alpha").table("Total").items()
+        )
+        two_tenants.close()
+        reopened = TenantManager(str(tmp_path / "svc"))
+        try:
+            assert reopened.tenants() == ["alpha", "beta"]
+            got = dict(reopened.cluster("alpha").table("Total").items())
+            assert got == expected
+        finally:
+            reopened.close()
+
+
+class TestAdmissionControl:
+    def test_workflow_over_budget_is_rejected_up_front(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(
+            str(tmp_path / "svc"), default_budget=10
+        )
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                manager.register(
+                    "greedy",
+                    mergeable_cluster_workflow,
+                    make_records(200, seed=45),
+                )
+        finally:
+            manager.close()
+        error = excinfo.value
+        assert error.reason == "memory-budget"
+        assert error.retryable is False
+        assert error.details["budget"] == 10
+        assert error.details["estimate"] > 10
+
+    def test_429_payload_round_trips_as_json(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(
+            str(tmp_path / "svc"), default_budget=10
+        )
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                manager.register(
+                    "greedy",
+                    mergeable_cluster_workflow,
+                    make_records(200, seed=45),
+                )
+        finally:
+            manager.close()
+        payload = json.loads(json.dumps(excinfo.value.payload))
+        assert payload["admission"]["tenant"] == "greedy"
+        assert payload["admission"]["reason"] == "memory-budget"
+        assert payload["admission"]["retryable"] is False
+        assert "exceeds the tenant budget" in payload["error"]
+
+    def test_ingest_cannot_grow_past_the_budget(self, two_tenants):
+        state = two_tenants.get("alpha")
+        # Pin the budget at the current footprint: any further growth
+        # must now be rejected, and rejected *before* any shard work.
+        facts = state.cluster.stats()["facts"]
+        state.budget = two_tenants._estimate(
+            state.cluster.workflow, facts
+        )
+        epoch = state.cluster.epoch
+        with pytest.raises(AdmissionError) as excinfo:
+            two_tenants.ingest("alpha", make_records(5000, seed=46))
+        assert excinfo.value.reason == "memory-budget"
+        assert state.cluster.epoch == epoch  # nothing was applied
+
+    def test_slot_exhaustion_rejects_retryably(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(
+            str(tmp_path / "svc"),
+            ingest_slots=1,
+            queue_policy="reject",
+        )
+        try:
+            manager.register(
+                "a", mergeable_cluster_workflow, make_records(80, seed=47)
+            )
+            state = manager.get("a")
+            assert state.semaphore.acquire(blocking=False)
+            try:
+                with pytest.raises(AdmissionError) as excinfo:
+                    manager.ingest("a", make_records(10, seed=48))
+            finally:
+                state.semaphore.release()
+            assert excinfo.value.reason == "ingest-slots"
+            assert excinfo.value.retryable is True
+        finally:
+            manager.close()
+
+    def test_queue_policy_times_out_rather_than_hanging(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(
+            str(tmp_path / "svc"),
+            ingest_slots=1,
+            queue_policy="queue",
+            queue_timeout=0.05,
+        )
+        try:
+            manager.register(
+                "a", mergeable_cluster_workflow, make_records(80, seed=49)
+            )
+            state = manager.get("a")
+            assert state.semaphore.acquire(blocking=False)
+            try:
+                with pytest.raises(AdmissionError) as excinfo:
+                    manager.ingest("a", make_records(10, seed=50))
+            finally:
+                state.semaphore.release()
+            assert excinfo.value.reason == "queue-timeout"
+            assert excinfo.value.retryable is True
+        finally:
+            manager.close()
+
+    def test_full_queue_is_rejected_immediately(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(
+            str(tmp_path / "svc"),
+            ingest_slots=1,
+            queue_policy="queue",
+            max_queue_depth=0,
+        )
+        try:
+            manager.register(
+                "a", mergeable_cluster_workflow, make_records(80, seed=51)
+            )
+            state = manager.get("a")
+            assert state.semaphore.acquire(blocking=False)
+            try:
+                with pytest.raises(AdmissionError) as excinfo:
+                    manager.ingest("a", make_records(10, seed=52))
+            finally:
+                state.semaphore.release()
+            assert excinfo.value.reason == "queue-depth"
+        finally:
+            manager.close()
+
+    def test_unknown_queue_policy_is_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="queue policy"):
+            TenantManager(
+                str(tmp_path / "svc"), queue_policy="drop"
+            )

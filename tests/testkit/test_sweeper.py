@@ -23,6 +23,10 @@ class TestSiteEnumeration:
         assert "store.segment-write" in sites
         assert "ingest.pre-commit" in sites
         assert "ingest.post-commit" in sites
+        assert "cluster.journal-write" in sites
+        assert "cluster.shard-prepare" in sites
+        assert "cluster.manifest-swap" in sites
+        assert "cluster.post-swap" in sites
         # Only durability-protocol scopes are swept.
         assert all(
             site.split(".")[0] in SWEEP_SCOPES for site in sites
