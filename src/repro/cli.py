@@ -53,16 +53,8 @@ from repro.obs import (
     set_tracing,
     telemetry_forced,
 )
-from repro.queries.combined import combined_workflow
-from repro.queries.escalation import escalation_workflow
-from repro.queries.examples import examples_workflow
-from repro.queries.multi_recon import multi_recon_workflow
-from repro.queries.q1_child_parent import q1_workflow
-from repro.queries.q2_sibling_chain import q2_workflow
-from repro.schema.dataset_schema import (
-    network_log_schema,
-    synthetic_schema,
-)
+from repro.queries.registry import QUERY_FAMILIES, SCHEMA_FAMILIES
+from repro.schema.dataset_schema import synthetic_schema
 from repro.storage.flatfile import (
     FlatFileDataset,
     write_csv,
@@ -104,23 +96,10 @@ _GENERATORS = {
     ),
 }
 
-_SCHEMAS = {
-    "synthetic": synthetic_schema,
-    "network": network_log_schema,
-}
-
-_QUERIES = {
-    "examples": ("network", lambda schema: examples_workflow(schema)),
-    "q1": ("synthetic", lambda schema: q1_workflow(schema)),
-    "q2": ("synthetic", lambda schema: q2_workflow(schema, depth=2)),
-    "escalation": (
-        "network", lambda schema: escalation_workflow(schema)
-    ),
-    "multirecon": (
-        "network", lambda schema: multi_recon_workflow(schema)
-    ),
-    "combined": ("network", lambda schema: combined_workflow(schema)),
-}
+# The named query families live in repro.queries.registry so the HTTP
+# front ends resolve exactly the same declarative encoding the CLI does.
+_SCHEMAS = SCHEMA_FAMILIES
+_QUERIES = QUERY_FAMILIES
 
 _ENGINES = {
     "sortscan": lambda args: SortScanEngine(
@@ -419,6 +398,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--budget", type=int, default=None, metavar="ENTRIES",
         help="per-tenant footprint budget for admission control",
+    )
+    serve.add_argument(
+        "--allow-pickle-workflows", action="store_true", default=None,
+        help="accept base64-pickle bodies on POST /workflow even on a "
+        "non-loopback bind (trusted operators only: unpickling "
+        "executes arbitrary client code; named 'query' families are "
+        "always accepted, and loopback binds accept pickles by "
+        "default)",
     )
 
     return parser
@@ -993,7 +980,12 @@ def _cmd_serve(args) -> int:
         return _cmd_serve_cluster(args)
     store = MeasureStore(args.store)
     service = MeasureService(store, _store_workflow(store, args.query))
-    server = make_server(service, host=args.host, port=args.port)
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        allow_pickle_workflows=args.allow_pickle_workflows,
+    )
     host, port = server.server_address[:2]
     logger.info(
         "serving %s on http://%s:%s (routes: /measures /point /range "
@@ -1044,7 +1036,10 @@ def _cmd_serve_cluster(args) -> int:
 
     async def run() -> None:
         frontend = ClusterFrontend(
-            backend, host=args.host, port=args.port
+            backend,
+            host=args.host,
+            port=args.port,
+            allow_pickle_workflows=args.allow_pickle_workflows,
         )
         await frontend.start()
         logger.info(

@@ -22,6 +22,11 @@ from repro.queries.q2_sibling_chain import q2_workflow
 from repro.queries.escalation import escalation_workflow
 from repro.queries.multi_recon import multi_recon_workflow
 from repro.queries.combined import combined_workflow
+from repro.queries.registry import (
+    QUERY_FAMILIES,
+    SCHEMA_FAMILIES,
+    build_query_workflow,
+)
 
 __all__ = [
     "examples_workflow",
@@ -30,4 +35,7 @@ __all__ = [
     "escalation_workflow",
     "multi_recon_workflow",
     "combined_workflow",
+    "QUERY_FAMILIES",
+    "SCHEMA_FAMILIES",
+    "build_query_workflow",
 ]

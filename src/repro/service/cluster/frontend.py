@@ -15,6 +15,15 @@ rejections surface as HTTP 429 with the structured
 :class:`~repro.errors.AdmissionError` payload, the admission-control
 mirror of the 422 lint-rejection body.
 
+``POST /workflow`` takes the workflow as a *named query family*
+(``{"query": "escalation"}``, resolved through
+:mod:`repro.queries.registry` by trusted server-side builders) or as a
+base64 pickle blob.  Unpickling client bytes executes arbitrary code,
+so pickle bodies are accepted only from trusted operators: by default
+on loopback binds, elsewhere only when the server was started with
+``allow_pickle_workflows=True`` (``repro serve
+--allow-pickle-workflows``); otherwise they are refused with 403.
+
 Shutdown is graceful: stop accepting, cancel idle keep-alive waits,
 drain requests already executing, then resolve deferred work so every
 store MANIFEST on disk is final before the process exits.
@@ -33,9 +42,10 @@ from urllib.parse import parse_qs, urlsplit
 from repro.errors import AdmissionError, ServiceError
 from repro.obs import get_registry
 from repro.obs.metrics import HTTP_REQUESTS
+from repro.queries.registry import QUERY_FAMILIES, build_query_workflow
 from repro.service.cluster.router import MeasureCluster
 from repro.service.cluster.tenancy import TenantManager
-from repro.service.server import _parse_key
+from repro.service.server import LOOPBACK_HOSTS, _parse_key
 
 logger = logging.getLogger("repro.service.cluster")
 
@@ -66,11 +76,18 @@ class ClusterFrontend:
         host: str = "127.0.0.1",
         port: int = 0,
         executor_threads: int = 8,
+        allow_pickle_workflows: bool | None = None,
     ) -> None:
         self.backend = backend
         self.host = host
         self.port = port
         self._tenants = isinstance(backend, TenantManager)
+        # None = decide from the bind: unpickling a request body runs
+        # arbitrary client code, so outside loopback it takes the
+        # operator's explicit opt-in.
+        if allow_pickle_workflows is None:
+            allow_pickle_workflows = host in LOOPBACK_HOSTS
+        self._allow_pickle = allow_pickle_workflows
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads,
             thread_name_prefix="repro-frontend",
@@ -237,9 +254,12 @@ class ClusterFrontend:
         else:
             body = json.dumps(payload).encode("utf-8")
             ctype = "application/json"
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
-            status, "Status"
-        )
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            403: "Forbidden",
+            404: "Not Found",
+        }.get(status, "Status")
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
@@ -313,7 +333,14 @@ class ClusterFrontend:
             return lambda: {"status": "ok"}
         if route == "/metrics":
             def metrics():
-                if not self._tenants:
+                # Absorb worker-process spans and metric samples into
+                # this process before rendering — per tenant cluster
+                # in tenant mode, so process-mode tenants' shard
+                # telemetry reaches the exported registry too.
+                if self._tenants:
+                    for name in self.backend.tenants():
+                        self.backend.cluster(name).pull_telemetry()
+                else:
                     self.backend.pull_telemetry()
                 return get_registry().render_prometheus()
             return metrics
@@ -400,6 +427,35 @@ class ClusterFrontend:
             return lambda: self._post_workflow(params, data)
         raise _HTTPError(404, {"error": f"unknown route {route!r}"})
 
+    def _decode_workflow(self, data: dict):
+        """Resolve the submitted workflow: named family, or gated pickle."""
+        query = data.get("query")
+        if query is not None:
+            return build_query_workflow(query)
+        blob = data.get("workflow")
+        if blob is None:
+            raise _HTTPError(
+                400,
+                {
+                    "error": "workflow body needs 'query' (a named "
+                    "query family) or 'workflow' (base64 pickle)",
+                    "queries": sorted(QUERY_FAMILIES),
+                },
+            )
+        if not self._allow_pickle:
+            raise _HTTPError(
+                403,
+                {
+                    "error": "pickled workflow submissions are "
+                    "disabled on this frontend (non-loopback bind); "
+                    "POST {'query': <name>} instead, or restart with "
+                    "--allow-pickle-workflows (trusted operators "
+                    "only: unpickling executes arbitrary code)",
+                    "queries": sorted(QUERY_FAMILIES),
+                },
+            )
+        return pickle.loads(base64.b64decode(blob))
+
     def _post_workflow(self, params: dict, data: dict) -> dict:
         """Validate a workflow; in tenant mode, optionally register it.
 
@@ -409,7 +465,7 @@ class ClusterFrontend:
         """
         from repro.analysis import analyze
 
-        workflow = pickle.loads(base64.b64decode(data["workflow"]))
+        workflow = self._decode_workflow(data)
         report = analyze(workflow)
         payload = report.to_dict()
         if not report.ok:

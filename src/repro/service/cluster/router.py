@@ -21,7 +21,11 @@ every affected shard prepare (its own atomic store commit, stamped
 with the target cluster epoch *inside* that commit), then swap the
 cluster manifest and drop the journal.  :func:`recover_cluster` is the
 redo path — it is called on every open, and the crash sweeper drives
-it through every registered fail point.
+it through every registered fail point.  An ingest that aborts
+mid-commit *fences* the cluster (reads and writes raise until
+:meth:`MeasureCluster.recover` rolls the journal forward): serving
+would mix pre- and post-delta shards, and a second ingest would reuse
+the journaled epoch and overwrite the only record of the first delta.
 """
 
 from __future__ import annotations
@@ -125,34 +129,21 @@ class MeasureCluster:
         self.mode = mode
         self.graph: CompiledGraph = compile_workflow(workflow)
         self._manifest = manifest
+        self._cache_size = cache_size
         self._ingest_lock = threading.Lock()
         self._route_record = partition_value_fn(
             self.graph, manifest.shard_map
         )
         self._lifts: dict[str, object] = {}
         self._closed = False
+        self._failed = False
+        self._open_shards()
         if mode == "process":
-            self.shards: list = [
-                ShardProcess(root, index)
-                for index in range(manifest.num_shards)
-            ]
             self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
                 max_workers=manifest.num_shards,
                 thread_name_prefix="repro-fanout",
             )
         else:
-            self.shards = [
-                LocalShard(
-                    ShardWorker(
-                        MeasureStore(shard_dir(root, index)),
-                        workflow,
-                        manifest.shard_map,
-                        index,
-                        cache_size=cache_size,
-                    )
-                )
-                for index in range(manifest.num_shards)
-            ]
             self._pool = None
         self._epoch_gauge = get_registry().gauge(
             CLUSTER_EPOCH, "Cluster epoch of the last completed commit"
@@ -169,11 +160,53 @@ class MeasureCluster:
             labelnames=("op",),
         )
 
+    def _open_shards(self) -> None:
+        """(Re)create one shard handle per manifest entry."""
+        if self.mode == "process":
+            self.shards: list = [
+                ShardProcess(self.root, index)
+                for index in range(self._manifest.num_shards)
+            ]
+        else:
+            self.shards = [
+                LocalShard(
+                    ShardWorker(
+                        MeasureStore(shard_dir(self.root, index)),
+                        self.workflow,
+                        self._manifest.shard_map,
+                        index,
+                        cache_size=self._cache_size,
+                    )
+                )
+                for index in range(self._manifest.num_shards)
+            ]
+
     # -- introspection -------------------------------------------------
 
     @property
     def manifest(self) -> ClusterManifest:
         return self._manifest
+
+    @property
+    def failed(self) -> bool:
+        """True after an aborted ingest, until :meth:`recover` runs."""
+        return self._failed
+
+    def _check_serving(self) -> None:
+        """Refuse to serve while shards may disagree on the epoch.
+
+        An ingest that aborted mid-prepare leaves some shards one
+        epoch ahead of the rest; until :meth:`recover` rolls the
+        journal forward, reads could mix pre- and post-delta rows and
+        a new ingest would reuse the journaled epoch — overwriting the
+        journal and losing the first delta on unprepared shards.
+        """
+        if self._failed:
+            raise ClusterError(
+                f"cluster {self.root!r} has an aborted ingest in its "
+                "journal; call recover() (or reopen the cluster) "
+                "before serving"
+            )
 
     @property
     def shard_map(self) -> ShardMap:
@@ -188,9 +221,11 @@ class MeasureCluster:
         return self._manifest.epoch
 
     def measures(self) -> list[dict]:
+        self._check_serving()
         return self.shards[0].call("measures")
 
     def stats(self) -> dict:
+        self._check_serving()
         shard_stats = self._fanout("stats")
         return {
             "epoch": self.epoch,
@@ -254,6 +289,7 @@ class MeasureCluster:
     def point(self, measure: str, key, default=None):
         """One region's value, from the shard that owns it."""
         started = time.perf_counter()
+        self._check_serving()
         key = tuple(key)
         self._granularity_of(measure)
         owner = self.shard_map.owner_of_value(self._lift(measure)(key))
@@ -264,6 +300,7 @@ class MeasureCluster:
     def range(self, measure: str, prefix=()) -> list:
         """All rows with the given key prefix, merged across shards."""
         started = time.perf_counter()
+        self._check_serving()
         prefix = tuple(prefix)
         self._granularity_of(measure)
         dim = self.shard_map.dim
@@ -286,6 +323,7 @@ class MeasureCluster:
     def table(self, measure: str) -> MeasureTable:
         """The full measure table: disjoint union of owned shard rows."""
         started = time.perf_counter()
+        self._check_serving()
         granularity = self._granularity_of(measure)
         rows: dict = {}
         for part in self._fanout("table_rows", measure):
@@ -297,6 +335,7 @@ class MeasureCluster:
     def rollup(self, measure: str, spec, agg: str = "sum") -> MeasureTable:
         """Roll a measure up to a coarser granularity across shards."""
         started = time.perf_counter()
+        self._check_serving()
         source = self._granularity_of(measure)
         target = Granularity.from_spec(source.schema, spec)
         if not source.finer_or_equal(target):
@@ -340,6 +379,7 @@ class MeasureCluster:
 
     def resolve(self) -> bool:
         """Force deferred recomputes on every shard."""
+        self._check_serving()
         return any(self._fanout("resolve"))
 
     # -- writes --------------------------------------------------------
@@ -363,6 +403,22 @@ class MeasureCluster:
         with self._ingest_lock, get_tracer().span(
             "cluster:ingest", cat="cluster", records=len(records)
         ) as span:
+            self._check_serving()
+            stale = IngestJournal.load(self.root)
+            if stale is not None:
+                if stale.epoch > self._manifest.epoch:
+                    # Another router object (or a crashed one) left an
+                    # uncommitted ingest behind; starting a new epoch
+                    # now would overwrite its journal and lose that
+                    # delta on every shard that had not prepared.
+                    raise ClusterError(
+                        f"cluster {self.root!r} has an uncommitted "
+                        f"ingest journal for epoch {stale.epoch}; "
+                        "recover before ingesting"
+                    )
+                # The swap completed but the cleanup was lost: the
+                # journal is stale, drop it before reusing the name.
+                stale.clear()
             per_shard = self._route_records(records)
             epoch = self._manifest.epoch + 1
 
@@ -390,25 +446,48 @@ class MeasureCluster:
             )
             journal.write()
 
-            # Phase 1: every affected shard prepares — its own atomic
-            # commit, carrying the target epoch in the same commit.
-            reports = self._prepare(per_shard, epoch)
+            try:
+                # Phase 1: every affected shard prepares — its own
+                # atomic commit, carrying the target epoch in the
+                # same commit.
+                reports = self._prepare(per_shard, epoch)
 
-            # Phase 2: swap the cluster manifest, then drop the journal.
-            generations = [
-                reports[i]["generation"] if i in reports else baseline[i]
-                for i in range(self.num_shards)
-            ]
-            manifest = ClusterManifest(
-                self.root,
-                self.shard_map,
-                epoch,
-                generations,
-                meta=self._manifest.meta,
-            )
-            manifest.write()
+                # Phase 2: swap the cluster manifest.
+                generations = [
+                    reports[i]["generation"]
+                    if i in reports
+                    else baseline[i]
+                    for i in range(self.num_shards)
+                ]
+                manifest = ClusterManifest(
+                    self.root,
+                    self.shard_map,
+                    epoch,
+                    generations,
+                    meta=self._manifest.meta,
+                )
+                manifest.write()
+            except Exception:
+                # Some shards may have prepared epoch N+1 while others
+                # are still at N, and the journal for N+1 is the only
+                # record of the delta.  Fence the cluster — reads
+                # would mix epochs, and a new ingest would reuse N+1
+                # and overwrite the journal — until recover() rolls
+                # the journal forward (or the directory is reopened,
+                # which recovers on open).
+                self._failed = True
+                logger.exception(
+                    "cluster %s: ingest for epoch %d aborted "
+                    "mid-commit; journal retained, cluster fenced "
+                    "until recover()",
+                    self.root, epoch,
+                )
+                raise
             self._manifest = manifest
             self._epoch_gauge.set(epoch)
+            # Drop the journal.  A failure past the swap is benign:
+            # the new manifest is durable, so the journal is merely
+            # stale and the next ingest or reopen clears it.
             journal.clear()
 
             updated: set[str] = set()
@@ -443,6 +522,26 @@ class MeasureCluster:
             )
             fire(FP_SHARD_PREPARE, path=shard_dir(self.root, index))
         return reports
+
+    def recover(self) -> ClusterManifest:
+        """Roll any in-flight ingest forward and reopen every shard.
+
+        This is the in-process counterpart of the recovery that
+        :func:`open_cluster` runs: redo the journaled delta on every
+        shard still behind it, finish the manifest swap, and rebuild
+        the shard handles so they serve the recovered state.  It
+        clears the fenced state an aborted ingest leaves behind; call
+        it with no requests in flight.
+        """
+        with self._ingest_lock:
+            for shard in self.shards:
+                shard.close()
+            manifest = recover_cluster(self.root, self.workflow)
+            self._manifest = manifest
+            self._open_shards()
+            self._epoch_gauge.set(manifest.epoch)
+            self._failed = False
+            return manifest
 
     # -- telemetry -----------------------------------------------------
 

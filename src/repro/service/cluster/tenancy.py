@@ -17,10 +17,17 @@ footprint model (:func:`repro.optimizer.memory_model.estimate_graph_entries`
 
 - **workflow registration** is rejected outright (not retryable) when
   the estimated resident footprint exceeds the tenant's budget;
-- **ingest** is re-estimated against the post-ingest fact count and
-  rejected when the tenant would outgrow its budget, and concurrent
-  ingests beyond the tenant's slot limit are *queued* (bounded wait)
-  or *rejected* (retryable) depending on the configured policy.
+- **ingest** is re-estimated against the post-ingest fact count —
+  including records admitted by concurrent ingests but not yet
+  committed — and rejected when the tenant would outgrow its budget;
+  the check runs while holding an ingest slot, so two deltas that only
+  fit alone cannot both be admitted.  Concurrent ingests beyond the
+  tenant's slot limit are *queued* (bounded wait) or *rejected*
+  (retryable) depending on the configured policy.
+
+Each tenant's budget is persisted in its cluster manifest at
+registration time and restored on reopen, so a manager restart never
+silently reverts a custom budget to the default.
 
 Rejections raise :class:`~repro.errors.AdmissionError`, whose
 structured payload the HTTP front end serializes as a 429 body — the
@@ -85,6 +92,10 @@ class TenantState:
         self.budget = budget
         self.semaphore = threading.BoundedSemaphore(ingest_slots)
         self.queued = 0
+        #: Records admitted but not yet committed: concurrent slot
+        #: holders charge the budget against facts + pending, so two
+        #: deltas that only fit alone cannot both be admitted.
+        self.pending_records = 0
         self.queue_lock = threading.Lock()
 
 
@@ -149,8 +160,17 @@ class TenantManager:
             cluster = open_cluster(
                 path, mode=self.mode, cache_size=self.cache_size
             )
+            # The budget was persisted in the cluster manifest at
+            # registration; falling back to the default would silently
+            # change admission decisions for tenants registered with a
+            # custom budget.
+            budget = int(
+                cluster.manifest.meta.get(
+                    "tenant_budget", self.default_budget
+                )
+            )
             self._tenants[name] = TenantState(
-                name, cluster, self.default_budget, self.ingest_slots
+                name, cluster, budget, self.ingest_slots
             )
 
     def get(self, name: str) -> TenantState:
@@ -245,6 +265,9 @@ class TenantManager:
                 num_shards=self.num_shards,
                 mode=self.mode,
                 cache_size=self.cache_size,
+                # Persisted so a restarted manager restores the same
+                # admission decisions (see _reopen_existing).
+                meta={"tenant_budget": budget},
             )
             state = TenantState(
                 name, cluster, budget, self.ingest_slots
@@ -256,73 +279,90 @@ class TenantManager:
         """Admission-checked, slot-limited ingest into one tenant."""
         state = self.get(name)
         records = [tuple(record) for record in records]
+        self._acquire_slot(state)
+        try:
+            # Budget check *while holding the slot*: a tenant at its
+            # footprint ceiling cannot grow past it by ingesting, and
+            # charging the delta against facts + in-flight records
+            # under the admission lock means a concurrent slot
+            # holder's uncommitted delta counts too — closing the
+            # check-then-ingest race where two deltas that only fit
+            # alone were both admitted.
+            self._charge_budget(state, len(records))
+            try:
+                return state.cluster.ingest(records)
+            finally:
+                with state.queue_lock:
+                    state.pending_records -= len(records)
+        finally:
+            state.semaphore.release()
 
-        # Budget check against the post-ingest fact count: a tenant at
-        # its footprint ceiling cannot grow past it by ingesting.
-        facts = state.cluster.stats()["facts"]
-        estimate = self._estimate(
-            state.cluster.workflow, facts + len(records)
-        )
-        if estimate > state.budget:
+    def _acquire_slot(self, state: TenantState) -> None:
+        """Take an ingest slot: queue (bounded) or reject (retryable)."""
+        if state.semaphore.acquire(blocking=False):
+            return
+        if self.queue_policy == "reject":
             raise self._reject(
                 AdmissionError(
-                    f"tenant {name!r}: ingesting {len(records)} records "
-                    f"would grow the estimated footprint to {estimate} "
-                    f"entries, over the budget of {state.budget}",
-                    tenant=name,
-                    reason="memory-budget",
-                    retryable=False,
-                    estimate=estimate,
-                    budget=state.budget,
+                    f"tenant {state.name!r}: too many concurrent "
+                    "ingests; retry later",
+                    tenant=state.name,
+                    reason="ingest-slots",
+                    retryable=True,
+                )
+            )
+        with state.queue_lock:
+            if state.queued >= self.max_queue_depth:
+                raise self._reject(
+                    AdmissionError(
+                        f"tenant {state.name!r}: ingest queue is full "
+                        f"({state.queued} waiting); retry later",
+                        tenant=state.name,
+                        reason="queue-depth",
+                        retryable=True,
+                    )
+                )
+            state.queued += 1
+        try:
+            acquired = state.semaphore.acquire(
+                timeout=self.queue_timeout
+            )
+        finally:
+            with state.queue_lock:
+                state.queued -= 1
+        if not acquired:
+            raise self._reject(
+                AdmissionError(
+                    f"tenant {state.name!r}: timed out after "
+                    f"{self.queue_timeout}s waiting for an "
+                    "ingest slot",
+                    tenant=state.name,
+                    reason="queue-timeout",
+                    retryable=True,
                 )
             )
 
-        # Slot check: queue (bounded) or reject (retryable).
-        if not state.semaphore.acquire(blocking=False):
-            if self.queue_policy == "reject":
+    def _charge_budget(self, state: TenantState, count: int) -> None:
+        """Admit ``count`` records against the budget, or reject."""
+        with state.queue_lock:
+            facts = state.cluster.stats()["facts"]
+            projected = facts + state.pending_records + count
+            estimate = self._estimate(state.cluster.workflow, projected)
+            if estimate > state.budget:
                 raise self._reject(
                     AdmissionError(
-                        f"tenant {name!r}: too many concurrent "
-                        "ingests; retry later",
-                        tenant=name,
-                        reason="ingest-slots",
-                        retryable=True,
+                        f"tenant {state.name!r}: ingesting {count} "
+                        "records would grow the estimated footprint "
+                        f"to {estimate} entries, over the budget of "
+                        f"{state.budget}",
+                        tenant=state.name,
+                        reason="memory-budget",
+                        retryable=False,
+                        estimate=estimate,
+                        budget=state.budget,
                     )
                 )
-            with state.queue_lock:
-                if state.queued >= self.max_queue_depth:
-                    raise self._reject(
-                        AdmissionError(
-                            f"tenant {name!r}: ingest queue is full "
-                            f"({state.queued} waiting); retry later",
-                            tenant=name,
-                            reason="queue-depth",
-                            retryable=True,
-                        )
-                    )
-                state.queued += 1
-            try:
-                acquired = state.semaphore.acquire(
-                    timeout=self.queue_timeout
-                )
-            finally:
-                with state.queue_lock:
-                    state.queued -= 1
-            if not acquired:
-                raise self._reject(
-                    AdmissionError(
-                        f"tenant {name!r}: timed out after "
-                        f"{self.queue_timeout}s waiting for an "
-                        "ingest slot",
-                        tenant=name,
-                        reason="queue-timeout",
-                        retryable=True,
-                    )
-                )
-        try:
-            return state.cluster.ingest(records)
-        finally:
-            state.semaphore.release()
+            state.pending_records += count
 
     # -- lifecycle -----------------------------------------------------
 

@@ -51,6 +51,13 @@ FP_WORKER_DEATH = register(
 #: re-applying the same aggregate over the per-shard rolled values.
 MERGEABLE_ROLLUP_AGGS = frozenset({"sum", "min", "max", "count"})
 
+#: Operations that must NOT be replayed against a revived worker.
+#: ``ingest`` is replay-safe — the worker skips any cluster epoch its
+#: store has already durably committed — and everything else routed
+#: through :class:`ShardProcess` is a read; ``bootstrap`` mutates with
+#: no such guard, so a death mid-bootstrap surfaces as an error.
+REPLAY_UNSAFE_OPS = frozenset({"bootstrap"})
+
 
 class ShardWorker:
     """The shard-local implementation of every cluster operation."""
@@ -126,6 +133,20 @@ class ShardWorker:
         return self.ingestor.bootstrap(records, meta=meta)
 
     def ingest(self, records, epoch: int | None = None) -> dict:
+        if epoch is not None and self.cluster_epoch() >= epoch:
+            # This cluster epoch is already in the store: the worker
+            # died after its prepare commit but before replying, and
+            # the supervisor is replaying the op against the revived
+            # worker.  Folding the sub-delta again would double-count
+            # every record, so report the committed state instead.
+            return {
+                "generation": self.store.generation,
+                "records": len(records),
+                "updated_measures": [],
+                "deferred_measures": self.service.stats()[
+                    "dirty_measures"
+                ],
+            }
         meta = None if epoch is None else {"cluster_epoch": epoch}
         report = self.service.ingest(records, meta=meta)
         return {
@@ -337,9 +358,17 @@ class ShardProcess:
                 return self._roundtrip(op, args)
             except (BrokenPipeError, EOFError, OSError):
                 self._revive()
-                # One retry against the revived worker; the store's
-                # recovery ran on reopen, so a read retried here sees
-                # a consistent (pre- or post-commit) generation.
+                if op in REPLAY_UNSAFE_OPS:
+                    raise ClusterError(
+                        f"shard {self.index} worker died during "
+                        f"{op!r}; the operation cannot be safely "
+                        "replayed"
+                    ) from None
+                # One retry against the revived worker: the store's
+                # recovery ran on reopen, so a read sees a consistent
+                # (pre- or post-commit) generation, and an ingest
+                # whose epoch the dead worker already durably
+                # committed is skipped rather than double-applied.
                 return self._roundtrip(op, args)
 
     def _roundtrip(self, op: str, args):

@@ -54,6 +54,12 @@ from repro.service.store import MeasureStore
 
 logger = logging.getLogger("repro.service")
 
+#: Bind hosts whose clients are local processes.  Pickled workflow
+#: submissions (arbitrary code execution by construction) are accepted
+#: from these by default; any other bind needs the operator's explicit
+#: ``allow_pickle_workflows`` opt-in.
+LOOPBACK_HOSTS = frozenset({"127.0.0.1", "::1", "localhost"})
+
 
 class MeasureService:
     """Thread-safe query front end over one measure store.
@@ -480,15 +486,40 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _post_workflow(self, body: dict) -> None:
         """``POST /workflow`` — submit a workflow for validation.
 
-        The body carries a base64-encoded pickled
-        :class:`~repro.workflow.AggregationWorkflow` (the same form the
-        store persists at bootstrap).  The full analysis report comes
-        back: 200 when the workflow is servable, 422 with the
-        error-level diagnostics when the service would reject it.
+        The body names a query family (``{"query": "escalation"}``,
+        resolved by the trusted server-side builders in
+        :mod:`repro.queries.registry`) or carries a base64-encoded
+        pickled :class:`~repro.workflow.AggregationWorkflow` (the same
+        form the store persists at bootstrap); pickle bodies are only
+        accepted when the server allows them — loopback binds by
+        default, since unpickling executes arbitrary client code.  The
+        full analysis report comes back: 200 when the workflow is
+        servable, 422 with the error-level diagnostics when the
+        service would reject it.
         """
         from repro.analysis import analyze
+        from repro.queries.registry import (
+            QUERY_FAMILIES,
+            build_query_workflow,
+        )
 
-        workflow = pickle.loads(base64.b64decode(body["workflow"]))
+        query = body.get("query")
+        if query is not None:
+            workflow = build_query_workflow(query)
+        elif not getattr(self.server, "allow_pickle_workflows", True):
+            self._send(
+                {
+                    "error": "pickled workflow submissions are "
+                    "disabled on this server (non-loopback bind); "
+                    "POST {'query': <name>} instead, or restart "
+                    "with --allow-pickle-workflows",
+                    "queries": sorted(QUERY_FAMILIES),
+                },
+                403,
+            )
+            return
+        else:
+            workflow = pickle.loads(base64.b64decode(body["workflow"]))
         report = analyze(workflow)
         payload = report.to_dict()
         if not report.ok:
@@ -547,9 +578,17 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    service: MeasureService, host: str = "127.0.0.1", port: int = 0
+    service: MeasureService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    allow_pickle_workflows: bool | None = None,
 ) -> ServiceHTTPServer:
     """A threaded HTTP server bound to ``host:port`` (0 = ephemeral).
+
+    ``allow_pickle_workflows`` gates pickle bodies on ``POST
+    /workflow`` (``None`` = only on loopback binds; ``True`` is for
+    trusted operators only, since unpickling executes arbitrary client
+    code — named ``query`` families are always accepted).
 
     The caller owns the server's lifecycle::
 
@@ -558,8 +597,13 @@ def make_server(
         ...
         shutdown_gracefully(server)
     """
+    if allow_pickle_workflows is None:
+        allow_pickle_workflows = host in LOOPBACK_HOSTS
     server = ServiceHTTPServer((host, port), _ServiceHandler)
     server.service = service  # type: ignore[attr-defined]
+    server.allow_pickle_workflows = (  # type: ignore[attr-defined]
+        allow_pickle_workflows
+    )
     return server
 
 

@@ -29,8 +29,8 @@ from tests.service.conftest import make_records
 class _Running:
     """A frontend serving on a background event loop."""
 
-    def __init__(self, backend):
-        self.frontend = ClusterFrontend(backend, port=0)
+    def __init__(self, backend, **kwargs):
+        self.frontend = ClusterFrontend(backend, port=0, **kwargs)
         self.loop = asyncio.new_event_loop()
         self.thread = threading.Thread(
             target=self.loop.run_forever, daemon=True
@@ -285,3 +285,73 @@ class TestTenantRoutes:
         )
         assert status == 400
         assert "bad request" in data["error"]
+
+    def test_tenant_mode_metrics_pull_worker_telemetry(
+        self, tmp_path, mergeable_cluster_workflow, monkeypatch
+    ):
+        manager = TenantManager(str(tmp_path / "svc"))
+        manager.register(
+            "alpha", mergeable_cluster_workflow, make_records(80, seed=71)
+        )
+        pulled = []
+        cluster = manager.cluster("alpha")
+        monkeypatch.setattr(
+            cluster, "pull_telemetry", lambda: pulled.append("alpha")
+        )
+        running = _Running(manager)
+        try:
+            status, text = running.request("GET", "/metrics")
+            assert status == 200 and "repro_" in text
+            assert pulled == ["alpha"]
+        finally:
+            running.stop()
+
+
+class TestWorkflowEncoding:
+    """Declarative query families and the pickle trust gate."""
+
+    def test_named_query_family_is_accepted(self, tenant_served):
+        status, data = tenant_served.request(
+            "POST", "/workflow", body={"query": "q1"}
+        )
+        assert status == 200
+        assert data["ok"] is True
+
+    def test_unknown_query_family_is_400(self, tenant_served):
+        status, data = tenant_served.request(
+            "POST", "/workflow", body={"query": "nope"}
+        )
+        assert status == 400
+        assert "unknown query family" in data["error"]
+
+    def test_missing_query_and_workflow_is_400(self, tenant_served):
+        status, data = tenant_served.request(
+            "POST", "/workflow", body={}
+        )
+        assert status == 400
+        assert "query" in data["error"]
+        assert data["queries"] == sorted(
+            ["combined", "escalation", "examples", "multirecon",
+             "q1", "q2"]
+        )
+
+    def test_pickle_refused_when_gated(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(str(tmp_path / "svc"))
+        running = _Running(manager, allow_pickle_workflows=False)
+        try:
+            status, data = running.request(
+                "POST", "/workflow",
+                body=_workflow_body(mergeable_cluster_workflow),
+            )
+            assert status == 403
+            assert "disabled" in data["error"]
+            assert "queries" in data
+            # Named families still work on the gated frontend.
+            status, data = running.request(
+                "POST", "/workflow", body={"query": "q1"}
+            )
+            assert status == 200 and data["ok"] is True
+        finally:
+            running.stop()

@@ -63,6 +63,23 @@ class TestProcessMode:
         assert cluster.shards[0].respawns == 1
         assert cluster.shards[0].alive
 
+    def test_replayed_ingest_epoch_is_not_double_applied(
+        self, cluster, syn_schema, mergeable_cluster_workflow, records
+    ):
+        cluster.ingest(records[BASE:])
+        reference = reference_tables(
+            syn_schema, mergeable_cluster_workflow, records
+        )
+        assert cluster.table("Total").equal_rows(reference["Total"])
+        # Replay the committed epoch-2 delta against shard 0, exactly
+        # as the supervisor's retry does when a worker dies after its
+        # prepare commit but before replying: the worker's epoch stamp
+        # must skip the fold instead of double-counting the records.
+        report = cluster.shards[0].call("ingest", records[BASE:], 2)
+        assert report["updated_measures"] == []
+        assert cluster.table("Total").equal_rows(reference["Total"])
+        assert cluster.table("Count").equal_rows(reference["Count"])
+
     def test_telemetry_pull_absorbs_worker_metrics(self, cluster):
         cluster.table("Count")
         cluster.pull_telemetry()  # must not raise; absorbs into parent

@@ -11,6 +11,7 @@ import os
 
 import pytest
 
+from repro.errors import ClusterError
 from repro.service.cluster import (
     IngestJournal,
     bootstrap_cluster,
@@ -125,5 +126,79 @@ class TestRecoveryAtEveryStep:
         cluster = open_cluster(root)
         try:
             assert cluster.epoch == 1
+        finally:
+            cluster.close()
+
+
+class TestFailedIngestFencing:
+    """An aborted ingest fences the cluster until recover().
+
+    Without the fence, shards that prepared the aborted epoch would be
+    served next to shards that did not (mixed-epoch reads), and the
+    next ingest would reuse the journaled epoch — overwriting
+    JOURNAL.json and the facts file, permanently losing the first
+    delta on every shard that had not prepared.
+    """
+
+    def test_aborted_ingest_fences_until_recover(
+        self, root, syn_schema, cluster_workflow, records
+    ):
+        cluster = open_cluster(root)
+        try:
+            with failpoint(
+                "cluster.shard-prepare", "raise"
+            ), pytest.raises(FailPointError):
+                cluster.ingest(records[BASE:])
+            assert cluster.failed
+            journal = IngestJournal.load(root)
+            assert journal is not None and journal.epoch == 2
+
+            # Reads and writes both refuse while shards disagree.
+            with pytest.raises(ClusterError, match="recover"):
+                cluster.table("Count")
+            with pytest.raises(ClusterError, match="recover"):
+                cluster.ingest(records[BASE:])
+            untouched = IngestJournal.load(root)
+            assert untouched is not None and untouched.epoch == 2
+
+            # recover() rolls the journal forward in place.
+            manifest = cluster.recover()
+            assert manifest.epoch == 2
+            assert not cluster.failed
+            assert IngestJournal.load(root) is None
+            cluster.resolve()
+            reference = reference_tables(
+                syn_schema, cluster_workflow, records
+            )
+            for name in cluster_workflow.outputs():
+                assert cluster.table(name).equal_rows(
+                    reference[name]
+                ), name
+
+            # The fence is fully lifted: the next ingest commits.
+            report = cluster.ingest(make_records(20, seed=99))
+            assert report["epoch"] == 3
+        finally:
+            cluster.close()
+
+    def test_uncommitted_journal_blocks_a_fresh_epoch(
+        self, root, records
+    ):
+        # Even a router that never observed the abort (fresh object,
+        # cleared flag) must not reuse the journaled epoch: the
+        # on-disk journal is authoritative.
+        cluster = open_cluster(root)
+        try:
+            with failpoint(
+                "cluster.shard-prepare", "raise"
+            ), pytest.raises(FailPointError):
+                cluster.ingest(records[BASE:])
+            cluster._failed = False  # simulate an unaware router
+            with pytest.raises(
+                ClusterError, match="uncommitted ingest journal"
+            ):
+                cluster.ingest(records[BASE:])
+            journal = IngestJournal.load(root)
+            assert journal is not None and journal.epoch == 2
         finally:
             cluster.close()

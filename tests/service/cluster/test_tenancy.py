@@ -187,6 +187,50 @@ class TestAdmissionControl:
         assert excinfo.value.reason == "memory-budget"
         assert state.cluster.epoch == epoch  # nothing was applied
 
+    def test_custom_budget_survives_a_manager_restart(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        manager = TenantManager(str(tmp_path / "svc"))
+        custom = manager.default_budget * 7
+        manager.register(
+            "alpha",
+            mergeable_cluster_workflow,
+            make_records(100, seed=53),
+            budget=custom,
+        )
+        manager.close()
+        reopened = TenantManager(str(tmp_path / "svc"))
+        try:
+            assert reopened.get("alpha").budget == custom
+        finally:
+            reopened.close()
+
+    def test_budget_check_counts_in_flight_records(self, two_tenants):
+        # A concurrent slot holder's uncommitted delta must count
+        # against the projection: a delta that fits on its own is over
+        # budget while another admitted delta is still in flight.
+        state = two_tenants.get("alpha")
+        facts = state.cluster.stats()["facts"]
+        # Budget sized for facts + 2: tight enough that a handful of
+        # pending records pushes the projection over it (the estimate
+        # saturates once every group domain is full, so the margins
+        # here must stay small).
+        state.budget = two_tenants._estimate(
+            state.cluster.workflow, facts + 2
+        )
+        state.pending_records = 6
+        epoch = state.cluster.epoch
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                two_tenants.ingest("alpha", make_records(2, seed=54))
+        finally:
+            state.pending_records = 0
+        assert excinfo.value.reason == "memory-budget"
+        assert state.cluster.epoch == epoch
+        # With nothing in flight the same delta is admitted.
+        report = two_tenants.ingest("alpha", make_records(2, seed=54))
+        assert report["epoch"] == epoch + 1
+
     def test_slot_exhaustion_rejects_retryably(
         self, tmp_path, mergeable_cluster_workflow
     ):

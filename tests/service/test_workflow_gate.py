@@ -122,3 +122,44 @@ class TestHTTPWorkflowRoute:
         assert "bad workflow body" in json.loads(
             excinfo.value.read()
         )["error"]
+
+    @staticmethod
+    def _post_json(base_url, body):
+        request = urllib.request.Request(
+            f"{base_url}/workflow",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_named_query_family_is_accepted(self, http):
+        status, payload = self._post_json(http, {"query": "q1"})
+        assert status == 200
+        assert payload["ok"] is True
+
+    def test_pickle_refused_when_gated(self, tmp_path, syn_schema):
+        store = MeasureStore(str(tmp_path / "gated"))
+        service = MeasureService(store, clean_workflow(syn_schema))
+        service.bootstrap(make_records(100, seed=10))
+        server = make_server(
+            service, port=0, allow_pickle_workflows=False
+        )
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post_workflow(base, clean_workflow(syn_schema))
+            assert excinfo.value.code == 403
+            payload = json.loads(excinfo.value.read())
+            assert "disabled" in payload["error"]
+            assert "queries" in payload
+            # Named families remain available on the gated server.
+            status, payload = self._post_json(base, {"query": "q1"})
+            assert status == 200 and payload["ok"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
