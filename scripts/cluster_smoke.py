@@ -128,6 +128,14 @@ def main() -> int:
         host, port = frontend.host, frontend.port
         print(f"serving 2-shard process-mode cluster on {host}:{port}")
 
+        health = _request(host, port, "GET", "/healthz")
+        if health["status"] != "ok" or health["fenced"]:
+            print(f"FAIL: unhealthy at boot: {health}")
+            return 1
+        if not all(s["alive"] for s in health["shards"]):
+            print(f"FAIL: dead shard at boot: {health['shards']}")
+            return 1
+
         stop = threading.Event()
         clients = [
             _Traffic(host, port, seed, stop, ingests=(seed % 2 == 0))
@@ -146,6 +154,7 @@ def main() -> int:
         failures = [c.error for c in clients if c.error is not None]
         total = sum(c.requests for c in clients)
         stats = _request(host, port, "GET", "/stats")
+        health = _request(host, port, "GET", "/healthz")
         asyncio.run_coroutine_threadsafe(
             frontend.stop(), loop
         ).result(timeout=60)
@@ -165,6 +174,18 @@ def main() -> int:
             return 1
         if stats["epoch"] < 2:
             print("FAIL: no ingest committed during the smoke")
+            return 1
+        # Real health, not a hollow liveness ping: after the kill and
+        # transparent respawn the cluster must report every shard
+        # alive again, with the respawn on the record.
+        if health["status"] != "ok" or health["fenced"]:
+            print(f"FAIL: unhealthy after recovery: {health}")
+            return 1
+        if not all(s["alive"] for s in health["shards"]):
+            print(f"FAIL: dead shard after recovery: {health['shards']}")
+            return 1
+        if health["shards"][0]["respawns"] != respawns:
+            print(f"FAIL: /healthz respawn count mismatch: {health}")
             return 1
         print("cluster smoke ok")
         return 0

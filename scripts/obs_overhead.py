@@ -1,0 +1,191 @@
+"""Measure the telemetry overhead recorded in docs/metrics_targets.md.
+
+Three measurements, printed as one line each:
+
+1. **Batched read path** (the < 5 % bar): the fig6c-family sort/scan
+   workload over 200 000 in-memory rows, evaluated with tracing off
+   and then on, median of 7 repetitions each.
+2. **Always-on request envelope**: a microbenchmark of what every
+   served request pays even with tracing off — trace-context creation
+   plus the access-log/histogram/SLO record.
+3. **Full-tracing HTTP cost** (reported, no bar): end-to-end point
+   reads against a 2-shard process-mode cluster, tracing off vs on —
+   dominated by the per-request eager worker-telemetry flush.
+
+Run from the repository root (~30 s):
+
+    PYTHONPATH=src python scripts/obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import random
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.engine.sort_scan import SortScanEngine
+from repro.obs import get_tracer, new_context, reset_registry, set_tracing
+from repro.obs.reqlog import RequestLog, RequestObserver, SlowQueryLog
+from repro.obs.slo import SLOTracker
+from repro.schema.dataset_schema import synthetic_schema
+from repro.service.cluster import ClusterFrontend, bootstrap_cluster
+from repro.storage.table import InMemoryDataset
+from repro.workflow.workflow import AggregationWorkflow
+
+ROWS = 200_000
+ENGINE_REPS = 7
+HTTP_REQUESTS = 400
+ENVELOPE_REPS = 20_000
+
+
+def _schema():
+    return synthetic_schema(3, 3, 4)
+
+
+def _records(rng: random.Random, count: int) -> list:
+    return [
+        (
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.randrange(64),
+            round(rng.random(), 6),
+        )
+        for __ in range(count)
+    ]
+
+
+def _workflow(schema, name: str) -> AggregationWorkflow:
+    wf = AggregationWorkflow(schema, name=name)
+    wf.basic("Count", {"d0": "d0.L1", "d1": "d1.L1"}, agg="count")
+    wf.basic("Total", {"d0": "d0.L1"}, agg=("sum", "v"))
+    wf.basic("MaxV", {"d0": "d0.L2"}, agg=("max", "v"))
+    return wf
+
+
+def batched_read_path() -> None:
+    """Tracing on vs off on the sort/scan engine (the < 5 % bar)."""
+    schema = _schema()
+    ds = InMemoryDataset(schema, _records(random.Random(5), ROWS))
+    wf = _workflow(schema, "overhead")
+
+    def run(reps: int, tracing: bool) -> list[float]:
+        set_tracing(tracing)
+        times = []
+        for __ in range(reps):
+            get_tracer().reset()
+            t0 = time.perf_counter()
+            SortScanEngine().evaluate(ds, wf, publish_metrics=True)
+            times.append(time.perf_counter() - t0)
+        return times
+
+    run(2, False)  # warm caches so the first timed rep is honest
+    off = statistics.median(run(ENGINE_REPS, False))
+    on = statistics.median(run(ENGINE_REPS, True))
+    set_tracing(False)
+    print(
+        f"batched read path, {ROWS // 1000}k rows, sort-scan: "
+        f"off={off:.4f}s on={on:.4f}s "
+        f"overhead={(on / off - 1) * 100:.2f}%  (target < 5%)"
+    )
+
+
+def request_envelope() -> None:
+    """Per-request cost paid even with tracing off."""
+    reset_registry()
+    observer = RequestObserver(
+        access_log=RequestLog(),
+        slow_log=SlowQueryLog(),
+        slo=SLOTracker(),
+    )
+    t0 = time.perf_counter()
+    for __ in range(ENVELOPE_REPS):
+        ctx = new_context()
+    t1 = time.perf_counter()
+    for __ in range(ENVELOPE_REPS):
+        observer.observe(
+            route="/point", method="GET", status=200,
+            seconds=0.0006, ctx=ctx, tenant="-",
+        )
+    t2 = time.perf_counter()
+    ctx_us = (t1 - t0) / ENVELOPE_REPS * 1e6
+    obs_us = (t2 - t1) / ENVELOPE_REPS * 1e6
+    print(
+        f"always-on envelope: new_context={ctx_us:.1f}us "
+        f"observe={obs_us:.1f}us "
+        f"total={ctx_us + obs_us:.1f}us/request"
+    )
+    reset_registry()
+
+
+def http_full_tracing() -> None:
+    """End-to-end point reads, tracing off vs on (reported, no bar)."""
+    schema = _schema()
+    rng = random.Random(9)
+    with tempfile.TemporaryDirectory(prefix="obs-overhead-") as root:
+        cluster = bootstrap_cluster(
+            f"{root}/cluster",
+            _workflow(schema, "overhead-http"),
+            _records(rng, 5_000),
+            num_shards=2,
+            mode="process",
+        )
+        frontend = ClusterFrontend(cluster, port=0)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(
+            frontend.start(), loop
+        ).result(timeout=30)
+        host, port = frontend.host, frontend.port
+
+        def burst(count: int) -> list[float]:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            times = []
+            for i in range(count):
+                t0 = time.perf_counter()
+                conn.request("GET", f"/point?measure=Total&key={i % 16}")
+                response = conn.getresponse()
+                response.read()
+                times.append(time.perf_counter() - t0)
+            conn.close()
+            return times
+
+        burst(100)  # warmup
+        set_tracing(False)
+        off = burst(HTTP_REQUESTS)
+        set_tracing(True)
+        on = burst(HTTP_REQUESTS)
+        set_tracing(False)
+
+        off_p50 = statistics.median(off) * 1000
+        on_p50 = statistics.median(on) * 1000
+        off_qps = HTTP_REQUESTS / sum(off)
+        on_qps = HTTP_REQUESTS / sum(on)
+        print(
+            f"HTTP point reads, full tracing: "
+            f"off p50={off_p50:.3f}ms ({off_qps:.0f} q/s)  "
+            f"on p50={on_p50:.3f}ms ({on_qps:.0f} q/s)  "
+            f"throughput cost={(1 - on_qps / off_qps) * 100:.1f}% "
+            "(eager per-request worker flush; debug mode, off by default)"
+        )
+
+        asyncio.run_coroutine_threadsafe(
+            frontend.stop(), loop
+        ).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+
+def main() -> int:
+    batched_read_path()
+    request_envelope()
+    http_full_tracing()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,219 @@
+"""End-to-end observability smoke: CI's `obs-smoke` job.
+
+Boots a 2-shard *process-mode* cluster behind the asyncio front end
+with telemetry on (CI sets ``REPRO_TELEMETRY=1``; the script forces
+tracing on regardless), runs one point query, one full-table query,
+and one ingest, and then asserts the acceptance property of the
+tracing layer: each request's trace reassembles into ONE tree that
+spans the frontend/router process AND both shard worker processes —
+spans recorded in three address spaces, stitched by trace/span ids.
+
+Artifacts written to the working directory (uploaded by CI):
+
+- ``obs-trace.json`` — the merged Chrome trace of the whole smoke;
+- ``obs-slow-queries.log`` — the slow-query log (threshold 0 so every
+  request captures its stage timings);
+- ``obs-access.log`` — the structured access log.
+
+Run from the repository root:
+
+    REPRO_TELEMETRY=1 PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import random
+import sys
+import tempfile
+import threading
+
+from repro.obs import get_tracer, set_tracing
+from repro.obs.context import parse_traceparent
+from repro.obs.trace import span_tree
+from repro.schema.dataset_schema import synthetic_schema
+from repro.service.cluster import ClusterFrontend, bootstrap_cluster
+from repro.workflow.workflow import AggregationWorkflow
+
+BOOTSTRAP = 1_000
+DELTA = 80
+
+
+def _workflow(schema) -> AggregationWorkflow:
+    wf = AggregationWorkflow(schema, name="obs-smoke")
+    wf.basic("Count", {"d0": "d0.L1", "d1": "d1.L1"}, agg="count")
+    wf.basic("Total", {"d0": "d0.L1"}, agg=("sum", "v"))
+    return wf
+
+
+def _records(rng: random.Random, count: int) -> list:
+    return [
+        (
+            rng.randrange(64),
+            rng.randrange(64),
+            rng.randrange(64),
+            round(rng.random(), 6),
+        )
+        for __ in range(count)
+    ]
+
+
+def _request(host, port, method, target, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, target, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        ctype = response.getheader("Content-Type", "")
+        data = json.loads(raw) if "json" in ctype else raw.decode()
+        if response.status != 200:
+            raise RuntimeError(
+                f"{method} {target} -> {response.status}: {data}"
+            )
+        return data, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def _tree_pids(node) -> set:
+    pids = {node["event"]["pid"]}
+    for child in node["children"]:
+        pids |= _tree_pids(child)
+    return pids
+
+
+def _check_trace(host, port, label, headers, root_name) -> bool:
+    """One request's trace must be one frontend+router+workers tree."""
+    trace_id = parse_traceparent(headers["traceparent"]).trace_id
+    data, __ = _request(
+        host, port, "GET", f"/debug/trace/{trace_id}"
+    )
+    roots = span_tree(data["events"])
+    if len(roots) != 1:
+        print(f"FAIL: {label}: {len(roots)} trace roots, expected 1")
+        return False
+    (root,) = roots
+    if root["event"]["name"] != root_name:
+        print(
+            f"FAIL: {label}: root span {root['event']['name']!r}, "
+            f"expected {root_name!r}"
+        )
+        return False
+    pids = _tree_pids(root)
+    worker_pids = pids - {os.getpid()}
+    if os.getpid() not in pids or len(worker_pids) != 2:
+        print(
+            f"FAIL: {label}: tree pids {sorted(pids)} do not span "
+            "the frontend and both shard workers"
+        )
+        return False
+    print(f"{label}: one tree, {len(data['events'])} spans, "
+          f"pids {sorted(pids)}")
+    for line in data["tree"][:8]:
+        print(f"  {line}")
+    return True
+
+
+def main() -> int:
+    set_tracing(True)
+    rng = random.Random(11)
+    schema = synthetic_schema(3, 3, 4)
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as root:
+        cluster = bootstrap_cluster(
+            f"{root}/cluster",
+            _workflow(schema),
+            _records(rng, BOOTSTRAP),
+            num_shards=2,
+            mode="process",
+        )
+        frontend = ClusterFrontend(
+            cluster,
+            port=0,
+            access_log_path="obs-access.log",
+            slow_query_path="obs-slow-queries.log",
+            slow_query_seconds=0.0,  # capture stages on every request
+        )
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(
+            frontend.start(), loop
+        ).result(timeout=30)
+        host, port = frontend.host, frontend.port
+        print(f"serving 2-shard process-mode cluster on {host}:{port}")
+
+        table, headers = _request(
+            host, port, "GET", "/table?measure=Total"
+        )
+        ok &= _check_trace(
+            host, port, "table query", headers, "http:/table"
+        )
+
+        key = table["rows"][0][0]
+        key_param = ",".join(str(part) for part in key)
+        __, headers = _request(
+            host, port, "GET",
+            f"/point?measure=Total&key={key_param}",
+        )
+        # A point query touches ONE owning shard; its tree must still
+        # be a single frontend-rooted trace (pids >= 2).
+        trace_id = parse_traceparent(headers["traceparent"]).trace_id
+        data, __ = _request(
+            host, port, "GET", f"/debug/trace/{trace_id}"
+        )
+        roots = span_tree(data["events"])
+        point_pids = _tree_pids(roots[0]) if len(roots) == 1 else set()
+        if len(roots) != 1 or len(point_pids) < 2:
+            print(f"FAIL: point query trace malformed: {len(roots)} "
+                  f"roots, pids {sorted(point_pids)}")
+            ok = False
+        else:
+            print(f"point query: one tree, pids {sorted(point_pids)}")
+
+        __, headers = _request(
+            host, port, "POST", "/ingest",
+            {"records": [list(r) for r in _records(rng, DELTA)]},
+        )
+        ok &= _check_trace(
+            host, port, "ingest", headers, "http:/ingest"
+        )
+
+        metrics, __ = _request(host, port, "GET", "/metrics")
+        for required in (
+            "repro_http_request_seconds_bucket",
+            "repro_slo_burn_rate",
+            "repro_shard_op_seconds_bucket",
+        ):
+            if required not in metrics:
+                print(f"FAIL: /metrics missing {required}")
+                ok = False
+
+        statusz, __ = _request(host, port, "GET", "/statusz")
+        slow = statusz.get("slow_queries", [])
+        if not any(e.get("stages") for e in slow):
+            print("FAIL: no slow-query entry captured stage timings")
+            ok = False
+
+        asyncio.run_coroutine_threadsafe(
+            frontend.stop(), loop
+        ).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+        count = get_tracer().write("obs-trace.json")
+        print(f"wrote obs-trace.json ({count} events), "
+              "obs-access.log, obs-slow-queries.log")
+    if not ok:
+        return 1
+    print("obs smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

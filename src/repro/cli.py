@@ -64,13 +64,32 @@ from repro.storage.flatfile import (
 logger = logging.getLogger("repro.cli")
 
 
+class _CurrentStderrHandler(logging.StreamHandler):
+    """Writes to whatever ``sys.stderr`` is *at emit time*.
+
+    The handler outlives ``main()`` on the ``repro`` logger, and other
+    threads (an HTTP server's access log) may route records through it
+    long after the stderr it was configured under has been swapped out
+    and closed (pytest capture, notebooks).  Resolving the stream per
+    record keeps those late writes off dead file objects — the same
+    idiom as ``logging``'s own lastResort handler.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+
 def _setup_logging(verbosity: int) -> None:
     """(Re)configure the ``repro`` logger tree for one CLI invocation.
 
-    The stream handler is recreated on every call and bound to the
-    *current* ``sys.stderr`` so repeated ``main()`` calls in one
-    process (tests, notebooks) write to the right stream even after
-    the caller swaps ``sys.stderr`` out.
+    The stream handler is recreated on every call and resolves the
+    *current* ``sys.stderr`` per record, so repeated ``main()`` calls
+    in one process (tests, notebooks) write to the right stream even
+    after the caller swaps ``sys.stderr`` out.
     """
     if verbosity > 0:
         level = logging.DEBUG
@@ -81,7 +100,7 @@ def _setup_logging(verbosity: int) -> None:
     root = logging.getLogger("repro")
     for handler in list(root.handlers):
         root.removeHandler(handler)
-    handler = logging.StreamHandler(sys.stderr)
+    handler = _CurrentStderrHandler()
     handler.setFormatter(logging.Formatter("%(message)s"))
     root.addHandler(handler)
     root.setLevel(level)
@@ -406,6 +425,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "executes arbitrary client code; named 'query' families are "
         "always accepted, and loopback binds accept pickles by "
         "default)",
+    )
+    serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one structured JSON line per HTTP request here",
+    )
+    serve.add_argument(
+        "--slow-query-log", default=None, metavar="PATH",
+        help="append slow requests (with per-stage timings and engine "
+        "profiles) here as JSON lines",
+    )
+    serve.add_argument(
+        "--slow-query-seconds", type=float, default=None,
+        metavar="SECONDS",
+        help="slow-query threshold (default 0.5, or the "
+        "REPRO_SLOW_QUERY_SECONDS environment variable)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability toolkit: request logs, traces, SLO status",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_tail = obs_sub.add_parser(
+        "tail",
+        help="pretty-print the last entries of a JSON-lines "
+        "access/slow-query log",
+    )
+    obs_tail.add_argument(
+        "--log", required=True, help="JSON-lines log file"
+    )
+    obs_tail.add_argument(
+        "--limit", type=int, default=20, help="entries to print"
+    )
+    obs_tail.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="raw JSON lines instead of the formatted view",
+    )
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="render a stored Chrome trace-event JSON as span trees",
+    )
+    obs_trace.add_argument(
+        "--file", required=True, help="trace-event JSON file"
+    )
+    obs_trace.add_argument(
+        "--trace-id", default=None,
+        help="render only this trace (default: every trace in the file)",
+    )
+    obs_slo = obs_sub.add_parser(
+        "slo",
+        help="dump a serving front end's SLO burn-rate status "
+        "(GET /statusz)",
+    )
+    obs_slo.add_argument(
+        "--url", required=True,
+        help="front-end base URL, e.g. http://127.0.0.1:8651",
+    )
+    obs_slo.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw /statusz JSON",
     )
 
     return parser
@@ -965,6 +1044,126 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _obs_tail(args) -> int:
+    """``repro obs tail`` — the last N entries of a JSON-lines log."""
+    with open(args.log, encoding="utf-8") as fh:
+        lines = [line for line in fh if line.strip()]
+    for line in lines[-args.limit:]:
+        entry = json.loads(line)
+        if args.as_json:
+            print(json.dumps(entry, separators=(",", ":")))
+            continue
+        parts = [
+            f"{entry.get('time', 0):.3f}",
+            f"{entry.get('status', '?')}",
+            f"{entry.get('method', '?')} {entry.get('route', '?')}",
+            f"{entry.get('duration_ms', 0):.1f}ms",
+        ]
+        if entry.get("tenant", "-") != "-":
+            parts.append(f"tenant={entry['tenant']}")
+        if entry.get("fanout"):
+            parts.append(f"fanout={entry['fanout']}")
+        if entry.get("queue_wait_ms"):
+            parts.append(f"queue={entry['queue_wait_ms']:.1f}ms")
+        if entry.get("trace_id"):
+            parts.append(f"trace={entry['trace_id']}")
+        if entry.get("error"):
+            parts.append(f"error={entry['error']!r}")
+        print("  ".join(parts))
+        for stage in entry.get("stages", []):
+            print(
+                f"    {stage.get('stage', '?'):32s} "
+                f"{stage.get('ms', 0):9.3f} ms  "
+                f"pid={stage.get('pid', '?')}"
+            )
+    return 0
+
+
+def _obs_trace(args) -> int:
+    """``repro obs trace`` — span trees of a stored trace JSON."""
+    from repro.obs import render_span_tree
+    from repro.obs.trace import events_for_trace
+
+    with open(args.file, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    events = (
+        payload["traceEvents"]
+        if isinstance(payload, dict)
+        else payload
+    )
+    if args.trace_id is not None:
+        trace_ids = [args.trace_id]
+    else:
+        seen: dict[str, None] = {}
+        for event in events:
+            trace_id = (event.get("args") or {}).get("trace_id")
+            if trace_id:
+                seen.setdefault(trace_id)
+        trace_ids = list(seen)
+    if not trace_ids:
+        print("(no trace-stamped events in file)")
+        return 1
+    for trace_id in trace_ids:
+        subset = events_for_trace(events, trace_id)
+        if not subset:
+            print(f"trace {trace_id}: (no events)")
+            continue
+        print(f"trace {trace_id} ({len(subset)} events)")
+        for line in render_span_tree(subset):
+            print(f"  {line}")
+    return 0
+
+
+def _obs_slo(args) -> int:
+    """``repro obs slo`` — a front end's burn rates, via /statusz."""
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/statusz"
+    with urllib.request.urlopen(url, timeout=10) as response:
+        status = json.loads(response.read().decode("utf-8"))
+    if args.as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    slo = status.get("slo", {})
+    windows = slo.get("windows", [])
+    print(
+        f"{status.get('service', '?')} up "
+        f"{status.get('uptime_seconds', 0):.0f}s  "
+        f"tracing={'on' if status.get('tracing') else 'off'}"
+    )
+    for objective in slo.get("objectives", []):
+        line = (
+            f"objective {objective['name']}: kind={objective['kind']} "
+            f"target={objective['target']}"
+        )
+        if "threshold_seconds" in objective:
+            line += f" threshold={objective['threshold_seconds']}s"
+        print(line)
+    burn = slo.get("burn_rates", {})
+    if not burn:
+        print("(no traffic recorded yet)")
+        return 0
+    header = f"{'tenant':16s} {'objective':20s} " + " ".join(
+        f"{window:>8s}" for window in windows
+    )
+    print(header)
+    for tenant, objectives in sorted(burn.items()):
+        for name, rates in sorted(objectives.items()):
+            cells = " ".join(
+                f"{rates.get(window, 0.0):8.3f}" for window in windows
+            )
+            print(f"{tenant:16s} {name:20s} {cells}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "tail":
+        return _obs_tail(args)
+    if args.obs_command == "trace":
+        return _obs_trace(args)
+    return _obs_slo(args)
+
+
 def _cmd_serve(args) -> int:
     from repro.service import MeasureService, MeasureStore, make_server
     from repro.service.cluster import ClusterManifest
@@ -985,11 +1184,15 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         allow_pickle_workflows=args.allow_pickle_workflows,
+        access_log_path=args.access_log,
+        slow_query_path=args.slow_query_log,
+        slow_query_seconds=args.slow_query_seconds,
     )
     host, port = server.server_address[:2]
     logger.info(
         "serving %s on http://%s:%s (routes: /measures /point /range "
-        "/table /stats /metrics, POST /ingest /workflow)",
+        "/table /stats /metrics /healthz /statusz, POST /ingest "
+        "/workflow)",
         args.store, host, port,
     )
     try:
@@ -1040,12 +1243,15 @@ def _cmd_serve_cluster(args) -> int:
             host=args.host,
             port=args.port,
             allow_pickle_workflows=args.allow_pickle_workflows,
+            access_log_path=args.access_log,
+            slow_query_path=args.slow_query_log,
+            slow_query_seconds=args.slow_query_seconds,
         )
         await frontend.start()
         logger.info(
             "serving %s on http://%s:%s (async; routes: /measures "
-            "/point /range /table /rollup /stats /metrics /healthz, "
-            "POST /ingest /workflow)",
+            "/point /range /table /rollup /stats /metrics /healthz "
+            "/statusz, POST /ingest /workflow)",
             what, frontend.host, frontend.port,
         )
         try:
@@ -1080,6 +1286,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "faults": _cmd_faults,
         "lint": _cmd_lint,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

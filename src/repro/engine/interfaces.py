@@ -10,7 +10,7 @@ if TYPE_CHECKING:
     from repro.engine.compile import CompiledGraph
     from repro.workflow.workflow import AggregationWorkflow
 
-from repro.obs import get_tracer, publish_eval_stats
+from repro.obs import current_context, get_tracer, publish_eval_stats
 from repro.storage.sink import MemorySink, Sink
 from repro.storage.table import Dataset, MeasureTable
 
@@ -200,6 +200,23 @@ class Engine:
             stats, "published_by_workers", False
         ):
             publish_eval_stats(stats)
+            ctx = current_context()
+            if ctx is not None:
+                # A request is in flight: attach this run's stats so
+                # the slow-query log can ship the plan profile of the
+                # exact evaluation that made the request slow.
+                run = {
+                    "engine": stats.engine,
+                    "rows_scanned": stats.rows_scanned,
+                    "passes": stats.passes,
+                    "sort_seconds": round(stats.sort_seconds, 6),
+                    "scan_seconds": round(stats.scan_seconds, 6),
+                    "total_seconds": round(stats.total_seconds, 6),
+                    "peak_entries": stats.peak_entries,
+                }
+                if stats.nodes:
+                    run["nodes"] = [dict(node) for node in stats.nodes]
+                ctx.stats.engine_runs.append(run)
         return EvalResult(tables=tables, stats=stats)
 
     def _run(self, dataset, graph, sink: Sink, stats: EvalStats) -> None:

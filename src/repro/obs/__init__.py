@@ -25,9 +25,22 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.context import (
+    RequestStats,
+    TraceContext,
+    current_context,
+    new_context,
+    use_context,
+)
 from repro.obs.metrics import MetricsRegistry, publish_eval_stats
 from repro.obs.profile import NodeProfile, format_node_table
-from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    render_span_tree,
+    span_tree,
+)
 
 __all__ = [
     "Tracer",
@@ -35,6 +48,13 @@ __all__ = [
     "NULL_SPAN",
     "MetricsRegistry",
     "NodeProfile",
+    "TraceContext",
+    "RequestStats",
+    "current_context",
+    "new_context",
+    "use_context",
+    "span_tree",
+    "render_span_tree",
     "format_node_table",
     "publish_eval_stats",
     "get_tracer",

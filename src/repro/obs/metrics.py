@@ -65,8 +65,18 @@ CLUSTER_QUERY_SECONDS = "repro_cluster_query_seconds"
 CLUSTER_INGEST_SECONDS = "repro_cluster_ingest_seconds"
 CLUSTER_EPOCH = "repro_cluster_epoch"
 SHARD_OPS = "repro_shard_ops_total"
+SHARD_OP_SECONDS = "repro_shard_op_seconds"
 WORKER_RESPAWNS = "repro_cluster_worker_respawns_total"
+WORKER_TELEMETRY_DROPPED = (
+    "repro_cluster_worker_telemetry_dropped_total"
+)
 ADMISSION_REJECTS = "repro_admission_rejections_total"
+HTTP_REQUEST_SECONDS = "repro_http_request_seconds"
+SLO_BURN_RATE = "repro_slo_burn_rate"
+SLO_BAD_REQUESTS = "repro_slo_bad_requests_total"
+SLO_GOOD_REQUESTS = "repro_slo_good_requests_total"
+OBS_LOG_ERRORS = "repro_obs_log_errors_total"
+SLOW_QUERIES = "repro_slow_queries_total"
 
 
 class _Metric:
@@ -116,12 +126,26 @@ class _Metric:
 
     def _label_text(self, key: tuple, extra: str = "") -> str:
         parts = [
-            f'{name}="{value}"'
+            f'{name}="{_escape_label_value(value)}"'
             for name, value in zip(self.labelnames, key)
         ]
         if extra:
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format escaping for label values.
+
+    The text format (version 0.0.4) requires backslash, double-quote,
+    and newline to be escaped inside label values; nothing else is.
+    """
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
 
 
 def _format_value(value: float) -> str:

@@ -1,0 +1,274 @@
+"""Per-tenant SLO objectives and multi-window burn-rate gauges.
+
+An *objective* is the fraction of requests that must be good over a
+compliance period — availability ("99.9% of requests succeed") or a
+latency threshold ("99% of requests finish within 250 ms").  The
+operational signal derived from it is the **burn rate** (Google SRE
+workbook, ch. 5): the ratio between the observed bad-request fraction
+in a recent window and the error budget ``1 - target``.  A burn rate
+of 1.0 spends the budget exactly at the sustainable pace; 14.4 over
+one hour exhausts a 30-day budget in two days — page someone.
+
+:class:`SLOTracker` keeps a ring of coarse time buckets per tenant
+(10 s wide by default) and computes the burn rate over several rolling
+windows (5 m / 1 h / 6 h by default) on scrape, exporting one
+``repro_slo_burn_rate{slo=...,window=...,tenant=...}`` gauge sample
+per (objective, window, tenant).  Recording a request is O(1) and
+lock-cheap; nothing is computed until :meth:`export`.
+
+Objectives are configurable as ``name:kind:target[:threshold]`` specs
+(:func:`parse_objectives`) — e.g. ``REPRO_SLO=availability:ratio:
+0.999,latency:latency:0.99:0.25`` — so deployments can tune targets
+without code changes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs.metrics import (
+    SLO_BAD_REQUESTS,
+    SLO_BURN_RATE,
+    SLO_GOOD_REQUESTS,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Objective",
+    "SLOTracker",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_WINDOWS",
+    "parse_objectives",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective.
+
+    ``kind`` is ``"ratio"`` (a request is bad when it errored) or
+    ``"latency"`` (bad when it errored *or* exceeded ``threshold``
+    seconds).  ``target`` is the good fraction the SLO promises.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if self.kind == "latency" and self.threshold <= 0.0:
+            raise ValueError(
+                f"latency SLO {self.name!r} needs a positive threshold"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the bad fraction the SLO tolerates."""
+        return 1.0 - self.target
+
+    def is_bad(self, seconds: float, error: bool) -> bool:
+        if error:
+            return True
+        return self.kind == "latency" and seconds > self.threshold
+
+
+DEFAULT_OBJECTIVES = (
+    Objective("availability", "ratio", 0.999),
+    Objective("latency-250ms", "latency", 0.99, 0.25),
+)
+
+#: Burn-rate windows, label -> seconds (multi-window alerting pairs).
+DEFAULT_WINDOWS = (("5m", 300.0), ("1h", 3600.0), ("6h", 21600.0))
+
+
+def parse_objectives(spec: str) -> tuple[Objective, ...]:
+    """Parse ``name:kind:target[:threshold][,...]`` objective specs."""
+    objectives = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"malformed SLO spec {chunk!r}; expected "
+                "name:kind:target[:threshold]"
+            )
+        name, kind, target = parts[0], parts[1], float(parts[2])
+        threshold = float(parts[3]) if len(parts) == 4 else 0.0
+        objectives.append(Objective(name, kind, target, threshold))
+    if not objectives:
+        raise ValueError(f"no objectives in SLO spec {spec!r}")
+    return tuple(objectives)
+
+
+class _Bucket:
+    """One coarse time slice of one tenant's request stream."""
+
+    __slots__ = ("start", "total", "bad")
+
+    def __init__(self, start: float, objectives) -> None:
+        self.start = start
+        self.total = 0
+        self.bad = {objective.name: 0 for objective in objectives}
+
+
+class SLOTracker:
+    """Rolling per-tenant good/bad accounting with burn-rate export."""
+
+    def __init__(
+        self,
+        objectives=DEFAULT_OBJECTIVES,
+        windows=DEFAULT_WINDOWS,
+        bucket_seconds: float = 10.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.objectives = tuple(objectives)
+        self.windows = tuple(windows)
+        self.bucket_seconds = float(bucket_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, list[_Bucket]] = {}
+        #: Monotonic lifetime totals per (tenant, objective): [good, bad].
+        self._cumulative: dict[tuple, list] = {}
+        # Retain just enough history to cover the longest window.
+        self._horizon = max(seconds for __, seconds in self.windows)
+
+    # -- recording -----------------------------------------------------
+
+    def record(
+        self, tenant: str, seconds: float, error: bool = False
+    ) -> None:
+        """Account one finished request for ``tenant``."""
+        now = self._clock()
+        start = now - (now % self.bucket_seconds)
+        with self._lock:
+            buckets = self._buckets.setdefault(tenant, [])
+            if not buckets or buckets[-1].start != start:
+                buckets.append(_Bucket(start, self.objectives))
+                self._prune(buckets, now)
+            bucket = buckets[-1]
+            bucket.total += 1
+            for objective in self.objectives:
+                entry = self._cumulative.setdefault(
+                    (tenant, objective.name), [0, 0]
+                )
+                if objective.is_bad(seconds, error):
+                    bucket.bad[objective.name] += 1
+                    entry[1] += 1
+                else:
+                    entry[0] += 1
+
+    def _prune(self, buckets: list[_Bucket], now: float) -> None:
+        cutoff = now - self._horizon - self.bucket_seconds
+        while buckets and buckets[0].start < cutoff:
+            buckets.pop(0)
+
+    # -- querying ------------------------------------------------------
+
+    def burn_rates(self, tenant: str | None = None) -> dict:
+        """``{(tenant, objective, window): burn_rate}`` for current data.
+
+        The burn rate is ``bad_fraction / error_budget`` over the
+        window; 0.0 when the window saw no traffic.
+        """
+        now = self._clock()
+        with self._lock:
+            tenants = (
+                [tenant] if tenant is not None else list(self._buckets)
+            )
+            out = {}
+            for name in tenants:
+                buckets = self._buckets.get(name, [])
+                for label, seconds in self.windows:
+                    cutoff = now - seconds
+                    total = 0
+                    bad = {o.name: 0 for o in self.objectives}
+                    for bucket in buckets:
+                        if bucket.start + self.bucket_seconds < cutoff:
+                            continue
+                        total += bucket.total
+                        for key, count in bucket.bad.items():
+                            bad[key] += count
+                    for objective in self.objectives:
+                        rate = 0.0
+                        if total:
+                            rate = (
+                                bad[objective.name] / total
+                            ) / objective.budget
+                        out[(name, objective.name, label)] = rate
+            return out
+
+    def status(self) -> dict:
+        """JSON-friendly snapshot for ``/statusz`` and ``repro obs slo``."""
+        rates = self.burn_rates()
+        out: dict = {
+            "objectives": [
+                {
+                    "name": o.name,
+                    "kind": o.kind,
+                    "target": o.target,
+                    **(
+                        {"threshold_seconds": o.threshold}
+                        if o.kind == "latency"
+                        else {}
+                    ),
+                }
+                for o in self.objectives
+            ],
+            "windows": [label for label, __ in self.windows],
+            "burn_rates": {},
+        }
+        for (tenant, objective, window), rate in sorted(rates.items()):
+            out["burn_rates"].setdefault(tenant, {}).setdefault(
+                objective, {}
+            )[window] = round(rate, 4)
+        return out
+
+    # -- export --------------------------------------------------------
+
+    def export(self, registry: MetricsRegistry) -> None:
+        """Publish burn-rate gauges and good/bad counters on scrape."""
+        gauge = registry.gauge(
+            SLO_BURN_RATE,
+            "Error-budget burn rate per objective and window "
+            "(1.0 spends the budget exactly at the sustainable pace)",
+            labelnames=("tenant", "slo", "window"),
+        )
+        for (tenant, slo, window), rate in self.burn_rates().items():
+            gauge.labels(tenant=tenant, slo=slo, window=window).set(rate)
+        good = registry.counter(
+            SLO_GOOD_REQUESTS,
+            "Requests meeting each objective since process start",
+            labelnames=("tenant", "slo"),
+        )
+        bad = registry.counter(
+            SLO_BAD_REQUESTS,
+            "Requests violating each objective since process start",
+            labelnames=("tenant", "slo"),
+        )
+        with self._lock:
+            totals = {
+                key: tuple(entry)
+                for key, entry in self._cumulative.items()
+            }
+        for (tenant, slo), (good_count, bad_count) in totals.items():
+            good_child = good.labels(tenant=tenant, slo=slo)
+            bad_child = bad.labels(tenant=tenant, slo=slo)
+            # The registry counters are additive across merges, so
+            # publish only the delta since the previous export.
+            good_delta = good_count - good_child.value
+            bad_delta = bad_count - bad_child.value
+            if good_delta > 0:
+                good_child.inc(good_delta)
+            if bad_delta > 0:
+                bad_child.inc(bad_delta)

@@ -33,7 +33,16 @@ import os
 import threading
 import time
 
-__all__ = ["Span", "Tracer", "NULL_SPAN"]
+from repro.obs import context as _context
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "events_for_trace",
+    "span_tree",
+    "render_span_tree",
+]
 
 
 class _NullSpan:
@@ -55,15 +64,25 @@ NULL_SPAN = _NullSpan()
 
 
 class Span:
-    """One live interval; records a complete ("X") event when it exits."""
+    """One live interval; records a complete ("X") event when it exits.
 
-    __slots__ = ("_tracer", "name", "cat", "args", "_start")
+    When a :class:`~repro.obs.context.TraceContext` is active on
+    entry, the span allocates a child context (fresh span id, parented
+    on the active one) and installs it for the span's dynamic extent,
+    so nested spans — including those opened in shard worker processes
+    that received the context over the pipe — chain into one tree.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_ctx",
+                 "_token")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
         self._tracer = tracer
         self.name = name
         self.cat = cat
         self.args = args
+        self._ctx = None
+        self._token = None
         self._start = time.perf_counter()
 
     def set(self, **args) -> None:
@@ -71,15 +90,23 @@ class Span:
         self.args.update(args)
 
     def __enter__(self) -> "Span":
+        parent = _context.current_context()
+        if parent is not None:
+            self._ctx = parent.child()
+            self._token = _context._set(self._ctx)
         return self
 
     def __exit__(self, *exc_info) -> None:
+        if self._token is not None:
+            _context._reset(self._token)
+        trace_ids = self._ctx.ids() if self._ctx is not None else None
         self._tracer.add_complete(
             self.name,
             self.cat,
             start_perf=self._start,
             duration=time.perf_counter() - self._start,
             args=self.args,
+            trace_ids=trace_ids,
         )
 
 
@@ -124,17 +151,25 @@ class Tracer:
         start_perf: float | None = None,
         duration: float = 0.0,
         args: dict | None = None,
+        trace_ids: dict | None = None,
     ) -> None:
         """Record one already-measured interval (the hot-path API).
 
         ``start_perf`` is a ``time.perf_counter()`` reading; when
-        omitted the interval is taken to end now.
+        omitted the interval is taken to end now.  ``trace_ids`` is
+        the :meth:`TraceContext.ids` triple; when omitted and a trace
+        context is active, the interval is recorded as a leaf span
+        under the current context (a fresh span id parented there).
         """
         if not self.enabled:
             return
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
+        if trace_ids is None:
+            ctx = _context.current_context()
+            if ctx is not None:
+                trace_ids = ctx.child().ids()
         if start_perf is None:
             start_perf = time.perf_counter() - duration
         event = {
@@ -146,6 +181,8 @@ class Tracer:
             "pid": os.getpid(),
             "tid": threading.get_ident(),
         }
+        if trace_ids:
+            args = {**(args or {}), **trace_ids}
         if args:
             event["args"] = args
         self.events.append(event)
@@ -157,6 +194,9 @@ class Tracer:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
+        ctx = _context.current_context()
+        if ctx is not None:
+            args = {**args, **ctx.ids()}
         event = {
             "name": name,
             "cat": cat or "repro",
@@ -211,3 +251,80 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh)
         return len(payload["traceEvents"])
+
+    def events_for_trace(self, trace_id: str) -> list[dict]:
+        """Events stamped with ``trace_id`` (see :mod:`repro.obs.context`)."""
+        return events_for_trace(self.events, trace_id)
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids present in the recorded events."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            tid = event.get("args", {}).get("trace_id")
+            if tid:
+                seen.setdefault(tid, None)
+        return list(seen)
+
+
+# -- trace-tree reassembly ---------------------------------------------
+
+
+def events_for_trace(events: list[dict], trace_id: str) -> list[dict]:
+    """Filter a Chrome-trace event list down to one trace id."""
+    return [
+        event
+        for event in events
+        if event.get("args", {}).get("trace_id") == trace_id
+    ]
+
+
+def span_tree(events: list[dict]) -> list[dict]:
+    """Reassemble span events into a forest of ``{event, children}``.
+
+    Works across processes: parent/child linkage uses the
+    ``span_id``/``parent_id`` stamps from :mod:`repro.obs.context`,
+    not interval containment, so spans recorded in different shard
+    worker processes hang under the router span that dispatched them.
+    Spans whose parent id has no recorded event become roots (e.g. the
+    request context itself records no event of its own).  Events
+    without a span id (instants, unstamped intervals) are skipped.
+    """
+    nodes: dict[str, dict] = {}
+    ordered: list[dict] = []
+    for event in sorted(events, key=lambda e: e.get("ts", 0)):
+        span_id = event.get("args", {}).get("span_id")
+        if not span_id or event.get("ph") != "X":
+            continue
+        node = {"event": event, "children": []}
+        # First event wins on a duplicated id (absorb ran twice).
+        if span_id not in nodes:
+            nodes[span_id] = node
+            ordered.append(node)
+    roots = []
+    for node in ordered:
+        parent_id = node["event"].get("args", {}).get("parent_id")
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+def render_span_tree(events: list[dict]) -> list[str]:
+    """Text rendering of :func:`span_tree` (CLI and /debug/trace)."""
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        event = node["event"]
+        dur_ms = event.get("dur", 0) / 1000.0
+        lines.append(
+            f"{'  ' * depth}{event['name']}  "
+            f"[{dur_ms:.3f} ms, pid={event.get('pid')}]"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(events):
+        walk(root, 0)
+    return lines

@@ -35,13 +35,30 @@ import asyncio
 import base64
 import json
 import logging
+import os
 import pickle
+import time
 from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import AdmissionError, ServiceError
-from repro.obs import get_registry
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    new_context,
+    render_span_tree,
+    tracing_enabled,
+    use_context,
+)
 from repro.obs.metrics import HTTP_REQUESTS
+from repro.obs.reqlog import (
+    DEFAULT_SLOW_QUERY_SECONDS,
+    RequestLog,
+    RequestObserver,
+    SlowQueryLog,
+)
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLOTracker, parse_objectives
+from repro.obs.trace import events_for_trace
 from repro.queries.registry import QUERY_FAMILIES, build_query_workflow
 from repro.service.cluster.router import MeasureCluster
 from repro.service.cluster.tenancy import TenantManager
@@ -67,6 +84,54 @@ class _HTTPError(Exception):
         self.payload = payload
 
 
+def _slow_query_threshold(value: float | None) -> float:
+    if value is not None:
+        return float(value)
+    env = os.environ.get("REPRO_SLOW_QUERY_SECONDS", "")
+    return float(env) if env else DEFAULT_SLOW_QUERY_SECONDS
+
+
+def _slo_objectives(objectives):
+    if objectives is not None:
+        return tuple(objectives)
+    spec = os.environ.get("REPRO_SLO", "")
+    return parse_objectives(spec) if spec else DEFAULT_OBJECTIVES
+
+
+def cluster_health(cluster: MeasureCluster) -> dict:
+    """Structured liveness snapshot of one cluster (``/healthz``).
+
+    ``status`` is ``"ok"`` (serving, all workers alive), ``"degraded"``
+    (serving, but a worker is dead pending respawn-on-next-call), or
+    ``"fenced"`` (an aborted ingest left the journal pending; reads and
+    writes refuse until recovery).
+    """
+    from repro.service.cluster.manifest import IngestJournal
+
+    shards = [
+        {
+            "shard": shard.index,
+            "alive": bool(shard.alive),
+            "respawns": getattr(shard, "respawns", 0),
+        }
+        for shard in cluster.shards
+    ]
+    if cluster.failed:
+        status = "fenced"
+    elif all(entry["alive"] for entry in shards):
+        status = "ok"
+    else:
+        status = "degraded"
+    return {
+        "status": status,
+        "mode": cluster.mode,
+        "epoch": cluster.epoch,
+        "fenced": cluster.failed,
+        "journal_pending": IngestJournal.load(cluster.root) is not None,
+        "shards": shards,
+    }
+
+
 class ClusterFrontend:
     """Serve a :class:`MeasureCluster` or :class:`TenantManager`."""
 
@@ -77,6 +142,10 @@ class ClusterFrontend:
         port: int = 0,
         executor_threads: int = 8,
         allow_pickle_workflows: bool | None = None,
+        access_log_path: str | None = None,
+        slow_query_path: str | None = None,
+        slow_query_seconds: float | None = None,
+        slo_objectives=None,
     ) -> None:
         self.backend = backend
         self.host = host
@@ -100,6 +169,18 @@ class ClusterFrontend:
             HTTP_REQUESTS,
             "HTTP requests served, by route",
             labelnames=("route",),
+        )
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
+        self.slo = SLOTracker(objectives=_slo_objectives(slo_objectives))
+        self.slow_log = SlowQueryLog(
+            threshold_seconds=_slow_query_threshold(slow_query_seconds),
+            path=slow_query_path,
+        )
+        self.observer = RequestObserver(
+            access_log=RequestLog(access_log_path),
+            slow_log=self.slow_log,
+            slo=self.slo,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -125,6 +206,7 @@ class ClusterFrontend:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(self._executor, self._final_flush)
         self._executor.shutdown(wait=True)
+        self.observer.close()
         logger.info("async frontend drained and stopped")
 
     def _final_flush(self) -> None:
@@ -210,11 +292,22 @@ class ClusterFrontend:
                 headers.get("connection", "").lower() == "close"
                 or self._stopping
             )
+            # Join the caller's distributed trace (or start a fresh
+            # one) and honor a supplied correlation id; the response
+            # always carries both so clients can stitch logs together.
+            ctx = new_context(
+                headers.get("traceparent"),
+                request_id=headers.get("x-request-id", ""),
+            )
             status, payload, text = await self._dispatch(
-                method, target, body
+                method, target, body, ctx
             )
             await self._respond(
-                writer, status, payload, text=text, close=close
+                writer, status, payload, text=text, close=close,
+                extra_headers={
+                    "X-Request-Id": ctx.request_id,
+                    "traceparent": ctx.traceparent(),
+                },
             )
             return not close
         except (
@@ -247,6 +340,7 @@ class ClusterFrontend:
         payload: dict | None,
         text: str | None = None,
         close: bool = False,
+        extra_headers: dict | None = None,
     ) -> None:
         if text is not None:
             body = text.encode("utf-8")
@@ -259,12 +353,24 @@ class ClusterFrontend:
             400: "Bad Request",
             403: "Forbidden",
             404: "Not Found",
+            405: "Method Not Allowed",
+            413: "Payload Too Large",
+            422: "Unprocessable Entity",
+            429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
         }.get(status, "Status")
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extras}"
                 f"Connection: {'close' if close else 'keep-alive'}\r\n"
                 "\r\n"
             ).encode("latin-1")
@@ -274,7 +380,7 @@ class ClusterFrontend:
 
     # -- dispatch ------------------------------------------------------
 
-    async def _dispatch(self, method: str, target: str, body: bytes):
+    async def _dispatch(self, method: str, target: str, body: bytes, ctx):
         split = urlsplit(target)
         route = split.path.rstrip("/") or "/"
         params = {
@@ -282,11 +388,23 @@ class ClusterFrontend:
             for name, values in parse_qs(split.query).items()
         }
         self._requests.labels(route=route).inc()
+        started = time.perf_counter()
+        status, payload, text = await self._execute(
+            method, route, params, body, ctx
+        )
+        self._observe_request(
+            method, route, params, status, payload,
+            time.perf_counter() - started, ctx,
+        )
+        return status, payload, text
+
+    async def _execute(self, method, route, params, body, ctx):
         loop = asyncio.get_running_loop()
         try:
             work = self._work_for(method, route, params, body)
+            traced = self._traced(work, method, route, params, ctx)
             result = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, work),
+                loop.run_in_executor(self._executor, traced),
                 timeout=REQUEST_TIMEOUT,
             )
             if route == "/metrics":
@@ -313,6 +431,67 @@ class ClusterFrontend:
             logger.exception("unhandled error on %s", route)
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
 
+    def _traced(self, work, method, route, params, ctx):
+        """Wrap one request thunk with the observability envelope.
+
+        Context variables do not follow ``run_in_executor``, so the
+        request context is entered *inside* the executor thread; the
+        ``http:`` span then parents everything downstream.  The gap
+        between submission here and the thunk actually starting is the
+        executor queue wait — the saturation signal the access log
+        reports per request.
+        """
+        submitted = time.perf_counter()
+
+        def run():
+            ctx.stats.queue_wait_seconds += (
+                time.perf_counter() - submitted
+            )
+            with use_context(ctx):
+                try:
+                    with get_tracer().span(
+                        f"http:{route}", cat="http", method=method
+                    ):
+                        return work()
+                finally:
+                    self._eager_flush(params, ctx)
+
+        return run
+
+    def _eager_flush(self, params: dict, ctx) -> None:
+        """Absorb worker-process spans right after a traced request.
+
+        Without this, a request's worker-side spans would sit in the
+        shard processes until the next ``/metrics`` scrape — too late
+        for the slow-query log's stage timings and for
+        ``/debug/trace/<id>`` immediately after the fact.
+        """
+        if not tracing_enabled() or ctx.stats.fanout == 0:
+            return
+        try:
+            cluster = self._cluster_for(params)
+            cluster.pull_telemetry()
+        except Exception:  # pragma: no cover - defensive
+            logger.debug("post-request telemetry pull failed", exc_info=True)
+
+    def _observe_request(
+        self, method, route, params, status, payload, seconds, ctx
+    ) -> None:
+        error = None
+        if status >= 400 and isinstance(payload, dict):
+            error = payload.get("error")
+        self.observer.observe(
+            route=route,
+            method=method,
+            status=status,
+            seconds=seconds,
+            ctx=ctx,
+            tenant=params.get(
+                "tenant", "default" if self._tenants else "-"
+            ),
+            error=error,
+        )
+
     def _cluster_for(self, params: dict):
         if not self._tenants:
             return self.backend
@@ -328,20 +507,88 @@ class ClusterFrontend:
             405, {"error": f"method {method} not allowed"}
         )
 
+    def _pull_all_telemetry(self) -> None:
+        """Absorb worker-process spans and metric samples into this
+        process — per tenant cluster in tenant mode, so process-mode
+        tenants' shard telemetry reaches the exported registry too."""
+        if self._tenants:
+            for name in self.backend.tenants():
+                self.backend.cluster(name).pull_telemetry()
+        else:
+            self.backend.pull_telemetry()
+
+    def _health(self) -> dict:
+        if not self._tenants:
+            return cluster_health(self.backend)
+        tenants = {
+            name: cluster_health(self.backend.cluster(name))
+            for name in self.backend.tenants()
+        }
+        status = "ok"
+        for health in tenants.values():
+            if health["status"] == "fenced":
+                status = "fenced"
+                break
+            if health["status"] != "ok":
+                status = "degraded"
+        return {"status": status, "tenants": tenants}
+
+    def _health_work(self) -> dict:
+        health = self._health()
+        if health["status"] == "fenced":
+            # A fenced cluster refuses reads and writes; tell the load
+            # balancer the truth instead of a hollow 200.
+            raise _HTTPError(503, health)
+        return health
+
+    def _statusz(self) -> dict:
+        status = {
+            "service": "repro-cluster-frontend",
+            "time": round(time.time(), 3),
+            "started": round(self._started_wall, 3),
+            "uptime_seconds": round(
+                time.monotonic() - self._started_mono, 3
+            ),
+            "host": self.host,
+            "port": self.port,
+            "tracing": tracing_enabled(),
+            "health": self._health(),
+            "slow_query_threshold_seconds": (
+                self.slow_log.threshold_seconds
+            ),
+            "slow_queries": self.slow_log.recent(),
+            "slo": self.slo.status(),
+        }
+        if self._tenants:
+            status["tenants"] = self.backend.stats()
+        return status
+
+    def _debug_trace(self, trace_id: str) -> dict:
+        self._pull_all_telemetry()
+        events = events_for_trace(get_tracer().events, trace_id)
+        if not events:
+            raise _HTTPError(
+                404, {"error": f"no recorded events for trace "
+                      f"{trace_id!r} (is tracing enabled?)"}
+            )
+        return {
+            "trace_id": trace_id,
+            "events": events,
+            "tree": render_span_tree(events),
+        }
+
     def _get_work(self, route: str, params: dict):
         if route == "/healthz":
-            return lambda: {"status": "ok"}
+            return self._health_work
+        if route == "/statusz":
+            return self._statusz
+        if route.startswith("/debug/trace/"):
+            trace_id = route.rsplit("/", 1)[-1]
+            return lambda: self._debug_trace(trace_id)
         if route == "/metrics":
             def metrics():
-                # Absorb worker-process spans and metric samples into
-                # this process before rendering — per tenant cluster
-                # in tenant mode, so process-mode tenants' shard
-                # telemetry reaches the exported registry too.
-                if self._tenants:
-                    for name in self.backend.tenants():
-                        self.backend.cluster(name).pull_telemetry()
-                else:
-                    self.backend.pull_telemetry()
+                self._pull_all_telemetry()
+                self.slo.export(get_registry())
                 return get_registry().render_prometheus()
             return metrics
         if route == "/tenants":

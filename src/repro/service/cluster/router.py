@@ -41,7 +41,12 @@ from repro.errors import ClusterError
 from repro.aggregates.base import get_aggregate
 from repro.cube.granularity import Granularity
 from repro.engine.compile import CompiledGraph, compile_workflow
-from repro.obs import get_registry, get_tracer
+from repro.obs import (
+    current_context,
+    get_registry,
+    get_tracer,
+    use_context,
+)
 from repro.obs.metrics import (
     CLUSTER_EPOCH,
     CLUSTER_INGEST_SECONDS,
@@ -278,10 +283,18 @@ class MeasureCluster:
         fire(FP_ROUTER_FANOUT)
         if self._pool is None:
             return [shard.call(op, *args) for shard in self.shards]
-        futures = [
-            self._pool.submit(shard.call, op, *args)
-            for shard in self.shards
-        ]
+        # Context variables do not cross thread-pool boundaries on
+        # their own: re-enter the request's trace context inside each
+        # pool thread so per-shard calls stay inside the trace.
+        ctx = current_context()
+
+        def run(shard):
+            if ctx is None:
+                return shard.call(op, *args)
+            with use_context(ctx):
+                return shard.call(op, *args)
+
+        futures = [self._pool.submit(run, shard) for shard in self.shards]
         return [future.result() for future in futures]
 
     # -- reads ---------------------------------------------------------
@@ -291,9 +304,16 @@ class MeasureCluster:
         started = time.perf_counter()
         self._check_serving()
         key = tuple(key)
-        self._granularity_of(measure)
-        owner = self.shard_map.owner_of_value(self._lift(measure)(key))
-        value = self.shards[owner].call("point", measure, key, default)
+        with get_tracer().span(
+            "cluster:point", cat="cluster", measure=measure
+        ):
+            self._granularity_of(measure)
+            owner = self.shard_map.owner_of_value(
+                self._lift(measure)(key)
+            )
+            value = self.shards[owner].call(
+                "point", measure, key, default
+            )
         self._observe("point", started)
         return value
 
@@ -302,21 +322,24 @@ class MeasureCluster:
         started = time.perf_counter()
         self._check_serving()
         prefix = tuple(prefix)
-        self._granularity_of(measure)
-        dim = self.shard_map.dim
-        if dim < len(prefix):
-            # The prefix pins the partition dimension: one shard owns
-            # every matching region.
-            owner = self.shard_map.owner_of_value(
-                self._lift(measure)(prefix)
-            )
-            rows = self.shards[owner].call("scan", measure, prefix)
-        else:
-            parts = self._fanout("scan", measure, prefix)
-            rows = sorted(
-                (row for part in parts if part for row in part),
-                key=lambda row: row[0],
-            )
+        with get_tracer().span(
+            "cluster:range", cat="cluster", measure=measure
+        ):
+            self._granularity_of(measure)
+            dim = self.shard_map.dim
+            if dim < len(prefix):
+                # The prefix pins the partition dimension: one shard
+                # owns every matching region.
+                owner = self.shard_map.owner_of_value(
+                    self._lift(measure)(prefix)
+                )
+                rows = self.shards[owner].call("scan", measure, prefix)
+            else:
+                parts = self._fanout("scan", measure, prefix)
+                rows = sorted(
+                    (row for part in parts if part for row in part),
+                    key=lambda row: row[0],
+                )
         self._observe("range", started)
         return rows
 
@@ -324,11 +347,14 @@ class MeasureCluster:
         """The full measure table: disjoint union of owned shard rows."""
         started = time.perf_counter()
         self._check_serving()
-        granularity = self._granularity_of(measure)
-        rows: dict = {}
-        for part in self._fanout("table_rows", measure):
-            if part:
-                rows.update(part)
+        with get_tracer().span(
+            "cluster:table", cat="cluster", measure=measure
+        ):
+            granularity = self._granularity_of(measure)
+            rows: dict = {}
+            for part in self._fanout("table_rows", measure):
+                if part:
+                    rows.update(part)
         self._observe("table", started)
         return MeasureTable(measure, granularity, rows=rows)
 
@@ -343,6 +369,14 @@ class MeasureCluster:
                 f"rollup target {target!r} is not coarser than "
                 f"{measure!r}'s granularity {source!r}"
             )
+        with get_tracer().span(
+            "cluster:rollup", cat="cluster", measure=measure, agg=agg
+        ):
+            rows = self._rollup_rows(measure, source, target, agg)
+        self._observe("rollup", started)
+        return MeasureTable(f"{measure}@{agg}", target, rows=rows)
+
+    def _rollup_rows(self, measure, source, target, agg) -> dict:
         if agg in MERGEABLE_ROLLUP_AGGS:
             merge = get_aggregate(_PARTIAL_MERGE[agg])
             merged: dict = {}
@@ -374,8 +408,7 @@ class MeasureCluster:
                 key: function.finalize(state)
                 for key, state in grouped.items()
             }
-        self._observe("rollup", started)
-        return MeasureTable(f"{measure}@{agg}", target, rows=rows)
+        return rows
 
     def resolve(self) -> bool:
         """Force deferred recomputes on every shard."""
@@ -533,7 +566,9 @@ class MeasureCluster:
         clears the fenced state an aborted ingest leaves behind; call
         it with no requests in flight.
         """
-        with self._ingest_lock:
+        with self._ingest_lock, get_tracer().span(
+            "cluster:recover", cat="cluster"
+        ) as span:
             for shard in self.shards:
                 shard.close()
             manifest = recover_cluster(self.root, self.workflow)
@@ -541,6 +576,7 @@ class MeasureCluster:
             self._open_shards()
             self._epoch_gauge.set(manifest.epoch)
             self._failed = False
+            span.set(epoch=manifest.epoch)
             return manifest
 
     # -- telemetry -----------------------------------------------------

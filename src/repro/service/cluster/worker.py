@@ -27,12 +27,27 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import threading
+import time
 
 from repro.errors import ClusterError, ReproError
 from repro.aggregates.base import get_aggregate
 from repro.cube.granularity import Granularity
-from repro.obs import get_registry, get_tracer
-from repro.obs.metrics import SHARD_OPS, WORKER_RESPAWNS
+from repro.obs import (
+    TraceContext,
+    current_context,
+    get_registry,
+    get_tracer,
+    reset_registry,
+    set_tracing,
+    tracing_enabled,
+    use_context,
+)
+from repro.obs.metrics import (
+    SHARD_OP_SECONDS,
+    SHARD_OPS,
+    WORKER_RESPAWNS,
+    WORKER_TELEMETRY_DROPPED,
+)
 from repro.service.cluster.manifest import ClusterManifest, shard_dir
 from repro.service.cluster.partitioning import ShardMap, key_lift_fn
 from repro.service.ingest import Ingestor, load_workflow
@@ -229,10 +244,24 @@ class ShardWorker:
         return stats
 
     def telemetry(self) -> tuple[list, dict]:
-        """Ship this worker's spans and metric samples to the router."""
-        return get_tracer().take_events(), get_registry().to_dict()
+        """Ship this worker's spans and metric samples to the router.
+
+        Both halves DRAIN: events are taken, and the registry is
+        swapped for a fresh one, so each pull ships only what
+        accumulated since the last.  The router merges counter and
+        histogram samples additively — shipping cumulative snapshots
+        would double-count them on every scrape (and the front end's
+        post-request eager flush pulls after every traced request).
+        """
+        events = get_tracer().take_events()
+        samples = get_registry().to_dict()
+        reset_registry()
+        return events, samples
 
     # -- dispatch ------------------------------------------------------
+
+    #: Maintenance operations that should not clutter traces with spans.
+    _UNTRACED_OPS = frozenset({"telemetry", "ping"})
 
     def call(self, op: str, *args):
         """Uniform entry point shared by both execution substrates."""
@@ -240,7 +269,15 @@ class ShardWorker:
         handler = getattr(self, op, None)
         if handler is None or op.startswith("_"):
             raise ClusterError(f"unknown shard operation {op!r}")
-        return handler(*args)
+        if op in self._UNTRACED_OPS:
+            return handler(*args)
+        # The span carries the request's trace context (propagated
+        # in-process or over the worker pipe), so per-shard work shows
+        # up as one child of the router's fan-out in the trace tree.
+        with get_tracer().span(
+            f"shard:{op}", cat="shard", shard=self.index
+        ):
+            return handler(*args)
 
 
 class LocalShard:
@@ -257,9 +294,14 @@ class LocalShard:
         self._lock = threading.RLock()
 
     def call(self, op: str, *args):
-        _count_op(self.index, op)
+        started = time.perf_counter()
         with self._lock:
-            return self.worker.call(op, *args)
+            try:
+                return self.worker.call(op, *args)
+            finally:
+                _observe_op(
+                    self.index, op, time.perf_counter() - started
+                )
 
     def close(self) -> None:
         """Nothing to release in-process."""
@@ -269,22 +311,52 @@ class LocalShard:
         return True
 
 
-def _count_op(index: int, op: str) -> None:
-    get_registry().counter(
+def _observe_op(index: int, op: str, seconds: float) -> None:
+    """Per-shard-op accounting shared by both substrates.
+
+    Counts the dispatch, feeds the per-(shard, op) latency histogram,
+    and bumps the active request's fan-out tally so the access log can
+    report how many shard calls one HTTP request cost.
+    """
+    registry = get_registry()
+    registry.counter(
         SHARD_OPS,
         "Shard worker operations dispatched, by shard and operation",
         labelnames=("shard", "op"),
     ).labels(shard=str(index), op=op).inc()
+    registry.histogram(
+        SHARD_OP_SECONDS,
+        "Shard operation latency as seen by the router, by shard "
+        "and operation",
+        labelnames=("shard", "op"),
+    ).labels(shard=str(index), op=op).observe(seconds)
+    ctx = current_context()
+    if ctx is not None and op != "telemetry":
+        ctx.stats.fanout += 1
 
 
 def worker_main(conn, root: str, index: int) -> None:
     """Entry point of a shard worker process.
 
-    Serves ``(op, args)`` requests from the pipe until it receives
-    ``("shutdown",)`` or the pipe closes.  Replies are ``("ok",
-    result)`` or ``("err", exception)`` — library errors are shipped
-    back to the router rather than killing the worker.
+    Serves ``(op, meta, *args)`` requests from the pipe until it
+    receives ``("shutdown", None)`` or the pipe closes.  ``meta`` is
+    either ``None`` or a dict carrying the caller's observability
+    state: a ``"tracing"`` flag (the fork inherits whatever the parent
+    had at spawn time, so the live setting rides every message) and
+    optionally ``"ctx"``, the originating request's trace context —
+    activating it before dispatch makes the worker's spans children of
+    the router's, so absorbed events reassemble into one tree.
+
+    Replies are ``("ok", result)`` or ``("err", exception)`` — library
+    errors are shipped back to the router rather than killing the
+    worker.  The shutdown reply carries the worker's final telemetry
+    so a graceful stop loses no spans or samples.
     """
+    # The fork inherited the parent's telemetry — spans and samples
+    # the parent already owns.  Shipping them back on the first pull
+    # would duplicate them, so the worker starts from zero.
+    get_tracer().reset()
+    reset_registry()
     manifest = ClusterManifest.load(root, cleanup=False)
     workflow = load_workflow(_RootPath(root))
     if workflow is None:
@@ -300,12 +372,24 @@ def worker_main(conn, root: str, index: int) -> None:
             request = conn.recv()
         except (EOFError, OSError):
             return
-        op, args = request[0], request[1:]
+        op, meta, args = request[0], request[1], request[2:]
+        # The flag is authoritative: a bare message (meta=None) means
+        # the supervisor has tracing off, even if this fork inherited
+        # it on or a previous message enabled it.
+        set_tracing(bool(meta and meta.get("tracing")))
         if op == "shutdown":
-            conn.send(("ok", None))
+            conn.send(("ok", worker.telemetry()))
             return
+        ctx = None
+        if meta is not None and meta.get("ctx"):
+            ctx = TraceContext.from_dict(meta["ctx"])
         try:
-            conn.send(("ok", worker.call(op, *args)))
+            if ctx is not None:
+                with use_context(ctx):
+                    result = worker.call(op, *args)
+            else:
+                result = worker.call(op, *args)
+            conn.send(("ok", result))
         except ReproError as exc:
             conn.send(("err", exc))
 
@@ -352,10 +436,11 @@ class ShardProcess:
         return self._proc.is_alive()
 
     def call(self, op: str, *args):
-        _count_op(self.index, op)
+        started = time.perf_counter()
+        meta = self._meta()
         with self._lock:
             try:
-                return self._roundtrip(op, args)
+                return self._roundtrip(op, meta, args)
             except (BrokenPipeError, EOFError, OSError):
                 self._revive()
                 if op in REPLAY_UNSAFE_OPS:
@@ -369,10 +454,30 @@ class ShardProcess:
                 # (pre- or post-commit) generation, and an ingest
                 # whose epoch the dead worker already durably
                 # committed is skipped rather than double-applied.
-                return self._roundtrip(op, args)
+                return self._roundtrip(op, meta, args)
+            finally:
+                _observe_op(
+                    self.index, op, time.perf_counter() - started
+                )
 
-    def _roundtrip(self, op: str, args):
-        self._conn.send((op, *args))
+    def _meta(self) -> dict | None:
+        """Observability envelope for one pipe message (or ``None``).
+
+        The worker process was forked once, possibly before tracing was
+        toggled, so the live tracing flag rides every message; the
+        request's trace context rides along when one is active so the
+        worker's spans join the caller's trace.
+        """
+        ctx = current_context()
+        if ctx is None and not tracing_enabled():
+            return None
+        meta: dict = {"tracing": tracing_enabled()}
+        if ctx is not None:
+            meta["ctx"] = ctx.to_dict()
+        return meta
+
+    def _roundtrip(self, op: str, meta, args):
+        self._conn.send((op, meta, *args))
         status, result = self._conn.recv()
         if status == "err":
             raise result
@@ -390,9 +495,18 @@ class ShardProcess:
             "shard %d worker died (exit %s); respawning (%d/%d)",
             self.index, exitcode, self.respawns, self.respawn_limit,
         )
-        get_registry().counter(
+        registry = get_registry()
+        registry.counter(
             WORKER_RESPAWNS,
             "Dead shard worker processes respawned by the supervisor",
+            labelnames=("shard",),
+        ).labels(shard=str(self.index)).inc()
+        # A crashed worker takes its unpulled spans and samples with
+        # it; count the loss so dashboards can explain telemetry gaps.
+        registry.counter(
+            WORKER_TELEMETRY_DROPPED,
+            "Worker telemetry batches lost to crashes (graceful stops "
+            "flush through the shutdown reply instead)",
             labelnames=("shard",),
         ).labels(shard=str(self.index)).inc()
         self._proc.join(timeout=5)
@@ -406,8 +520,15 @@ class ShardProcess:
     def close(self) -> None:
         with self._lock:
             try:
-                self._conn.send(("shutdown",))
-                self._conn.recv()
+                self._conn.send(("shutdown", None))
+                status, telemetry = self._conn.recv()
+                if status == "ok" and telemetry is not None:
+                    # The shutdown reply is the worker's final
+                    # telemetry flush — absorb it so a graceful stop
+                    # between pulls loses nothing.
+                    events, samples = telemetry
+                    get_tracer().absorb(events)
+                    get_registry().merge_dict(samples)
             except (BrokenPipeError, EOFError, OSError):
                 pass
             self._conn.close()

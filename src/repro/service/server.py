@@ -38,7 +38,14 @@ from urllib.parse import parse_qs, urlsplit
 from repro.errors import ServiceError
 from repro.aggregates.base import get_aggregate
 from repro.cube.granularity import Granularity
-from repro.obs import get_registry, get_tracer
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    new_context,
+    render_span_tree,
+    tracing_enabled,
+    use_context,
+)
 from repro.obs.metrics import (
     HTTP_REQUESTS,
     QUERY_CACHE_HITS,
@@ -48,6 +55,9 @@ from repro.obs.metrics import (
     STORE_GENERATION,
     STORE_SEGMENTS,
 )
+from repro.obs.reqlog import RequestLog, RequestObserver, SlowQueryLog
+from repro.obs.slo import SLOTracker
+from repro.obs.trace import events_for_trace
 from repro.storage.table import MeasureTable
 from repro.service.ingest import IngestReport, Ingestor, load_workflow
 from repro.service.store import MeasureStore
@@ -393,21 +403,32 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _send(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._status_sent = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_obs_headers()
         self.end_headers()
         self.wfile.write(body)
 
     def _send_text(self, text: str, status: int = 200) -> None:
         body = text.encode("utf-8")
+        self._status_sent = status
         self.send_response(status)
         self.send_header(
             "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
         )
         self.send_header("Content-Length", str(len(body)))
+        self._send_obs_headers()
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_obs_headers(self) -> None:
+        """Stamp the correlation id and trace parent on every reply."""
+        ctx = getattr(self, "_ctx", None)
+        if ctx is not None:
+            self.send_header("X-Request-Id", ctx.request_id)
+            self.send_header("traceparent", ctx.traceparent())
 
     def _params(self) -> dict:
         query = parse_qs(urlsplit(self.path).query)
@@ -417,14 +438,114 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return urlsplit(self.path).path.rstrip("/") or "/"
 
     def do_GET(self) -> None:  # noqa: N802
+        self._handle("GET", self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST", self._do_post)
+
+    def _handle(self, method: str, inner) -> None:
+        """Observability envelope shared by GET and POST.
+
+        Joins (or starts) the caller's distributed trace, runs the
+        route handler under the request context and an ``http:`` span,
+        then folds the finished request into the server's
+        :class:`~repro.obs.reqlog.RequestObserver`.
+        """
+        route = self._route()
+        self._ctx = new_context(
+            self.headers.get("traceparent"),
+            request_id=self.headers.get("X-Request-Id") or "",
+        )
+        self._status_sent = 200
+        started = time.perf_counter()
         try:
-            route = self._route()
+            with use_context(self._ctx), get_tracer().span(
+                f"http:{route}", cat="http", method=method
+            ):
+                inner(route)
+        finally:
+            observer = getattr(self.server, "observer", None)
+            if observer is not None:
+                observer.observe(
+                    route=route,
+                    method=method,
+                    status=self._status_sent,
+                    seconds=time.perf_counter() - started,
+                    ctx=self._ctx,
+                )
+
+    def _healthz(self) -> None:
+        """Liveness plus the store facts a probe can alert on."""
+        stats = self.service.stats()
+        self._send(
+            {
+                "status": "ok",
+                "generation": stats["generation"],
+                "facts": stats["facts"],
+                "dirty_measures": stats["dirty_measures"],
+                "uptime_seconds": self._uptime(),
+            }
+        )
+
+    def _uptime(self) -> float:
+        started = getattr(self.server, "started_mono", None)
+        if started is None:
+            return 0.0
+        return round(time.monotonic() - started, 3)
+
+    def _statusz(self) -> None:
+        payload = {
+            "service": "repro-measure-service",
+            "time": round(time.time(), 3),
+            "uptime_seconds": self._uptime(),
+            "tracing": tracing_enabled(),
+            "stats": self.service.stats(),
+        }
+        observer = getattr(self.server, "observer", None)
+        if observer is not None:
+            payload["slow_query_threshold_seconds"] = (
+                observer.slow_log.threshold_seconds
+            )
+            payload["slow_queries"] = observer.slow_log.recent()
+        slo = getattr(self.server, "slo", None)
+        if slo is not None:
+            payload["slo"] = slo.status()
+        self._send(payload)
+
+    def _debug_trace(self, trace_id: str) -> None:
+        events = events_for_trace(get_tracer().events, trace_id)
+        if not events:
+            self._send(
+                {"error": f"no recorded events for trace {trace_id!r} "
+                 "(is tracing enabled?)"},
+                404,
+            )
+            return
+        self._send(
+            {
+                "trace_id": trace_id,
+                "events": events,
+                "tree": render_span_tree(events),
+            }
+        )
+
+    def _do_get(self, route: str) -> None:
+        try:
             params = self._params()
             self._count_request(route)
             if route == "/metrics":
                 # Prometheus scrape target: the whole process registry
                 # (service counters, store gauges, engine totals alike).
+                slo = getattr(self.server, "slo", None)
+                if slo is not None:
+                    slo.export(get_registry())
                 self._send_text(get_registry().render_prometheus())
+            elif route == "/healthz":
+                self._healthz()
+            elif route == "/statusz":
+                self._statusz()
+            elif route.startswith("/debug/trace/"):
+                self._debug_trace(route.rsplit("/", 1)[-1])
             elif route == "/measures":
                 self._send({"measures": self.service.measures()})
             elif route == "/stats":
@@ -529,8 +650,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         self._send(payload, 200 if report.ok else 422)
 
-    def do_POST(self) -> None:  # noqa: N802
-        route = self._route()
+    def _do_post(self, route: str) -> None:
         try:
             self._count_request(route)
             if route not in ("/ingest", "/workflow"):
@@ -582,6 +702,9 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     allow_pickle_workflows: bool | None = None,
+    access_log_path: str | None = None,
+    slow_query_path: str | None = None,
+    slow_query_seconds: float | None = None,
 ) -> ServiceHTTPServer:
     """A threaded HTTP server bound to ``host:port`` (0 = ephemeral).
 
@@ -604,6 +727,16 @@ def make_server(
     server.allow_pickle_workflows = (  # type: ignore[attr-defined]
         allow_pickle_workflows
     )
+    server.started_mono = time.monotonic()  # type: ignore[attr-defined]
+    server.slo = SLOTracker()  # type: ignore[attr-defined]
+    slow_kwargs = {"path": slow_query_path}
+    if slow_query_seconds is not None:
+        slow_kwargs["threshold_seconds"] = float(slow_query_seconds)
+    server.observer = RequestObserver(  # type: ignore[attr-defined]
+        access_log=RequestLog(access_log_path),
+        slow_log=SlowQueryLog(**slow_kwargs),
+        slo=server.slo,
+    )
     return server
 
 
@@ -620,3 +753,6 @@ def shutdown_gracefully(server: ServiceHTTPServer) -> None:
     service = getattr(server, "service", None)
     if service is not None:
         service.resolve()
+    observer = getattr(server, "observer", None)
+    if observer is not None:
+        observer.close()

@@ -124,6 +124,7 @@ def load_instrumented_sites() -> None:
     the full set regardless of what happens to be imported already."""
     import repro.engine.partitioned  # noqa: F401
     import repro.engine.sort_scan  # noqa: F401
+    import repro.obs.reqlog  # noqa: F401
     import repro.service.cluster.manifest  # noqa: F401
     import repro.service.cluster.router  # noqa: F401
     import repro.service.cluster.worker  # noqa: F401

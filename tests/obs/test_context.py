@@ -1,0 +1,103 @@
+"""Tests for request-scoped trace contexts and their propagation."""
+
+import pickle
+
+import pytest
+
+from repro.obs import current_context, new_context, use_context
+from repro.obs.context import TraceContext, parse_traceparent
+
+
+class TestTraceparent:
+    def test_fresh_context_has_valid_ids(self):
+        ctx = new_context()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        int(ctx.trace_id, 16)
+        int(ctx.span_id, 16)
+        assert not ctx.parent_id
+        assert ctx.request_id
+
+    def test_traceparent_roundtrip(self):
+        ctx = new_context()
+        parsed = parse_traceparent(ctx.traceparent())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_incoming_traceparent_continues_the_trace(self):
+        upstream = new_context()
+        ctx = new_context(upstream.traceparent())
+        assert ctx.trace_id == upstream.trace_id
+        # The local context is a *child* of the caller's span, not the
+        # same span: its id is fresh and its parent is the caller.
+        assert ctx.span_id != upstream.span_id
+        assert ctx.parent_id == upstream.span_id
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-zz-zz-01",
+            "00-abc-def-01",
+            # version ff is explicitly invalid per W3C trace-context
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",
+        ],
+    )
+    def test_malformed_traceparent_starts_a_fresh_trace(self, header):
+        ctx = new_context(header)
+        assert ctx is not None
+        assert len(ctx.trace_id) == 32
+
+    def test_explicit_request_id_is_kept(self):
+        ctx = new_context(request_id="req-42")
+        assert ctx.request_id == "req-42"
+
+
+class TestChildAndWire:
+    def test_child_shares_trace_and_stats(self):
+        parent = new_context()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+        assert child.stats is parent.stats
+        child.stats.fanout += 1
+        assert parent.stats.fanout == 1
+
+    def test_wire_roundtrip(self):
+        ctx = new_context(request_id="req-7")
+        data = ctx.to_dict()
+        # The wire form must be plain picklable primitives (it rides
+        # the worker pipe inside each request message).
+        pickle.dumps(data)
+        back = TraceContext.from_dict(data)
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+        assert back.request_id == "req-7"
+
+    def test_ids_include_parent_only_when_set(self):
+        root = new_context()
+        assert "parent_id" not in root.ids()
+        child = root.child()
+        assert child.ids()["parent_id"] == root.span_id
+
+
+class TestCurrentContext:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+
+    def test_use_context_scopes_the_context(self):
+        ctx = new_context()
+        with use_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_use_context_nests(self):
+        outer = new_context()
+        inner = outer.child()
+        with use_context(outer):
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer

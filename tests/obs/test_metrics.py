@@ -39,6 +39,24 @@ class TestCounter:
             c.labels(nope="x")
 
 
+class TestLabelEscaping:
+    """Prometheus exposition requires \\, \", and newline escaped in
+    label values (and nothing else)."""
+
+    def test_backslash_quote_and_newline(self):
+        c = Counter("odd_total", "help", labelnames=("path",))
+        c.labels(path='C:\\tmp\\"log"\nnext').inc()
+        (line,) = c.render()
+        assert line == (
+            'odd_total{path="C:\\\\tmp\\\\\\"log\\"\\nnext"} 1'
+        )
+
+    def test_plain_values_pass_through(self):
+        c = Counter("plain_total", "help", labelnames=("route",))
+        c.labels(route="/point?q=1&r=2").inc()
+        assert 'route="/point?q=1&r=2"' in c.render()[0]
+
+
 class TestGauge:
     def test_set_and_peak(self):
         g = Gauge("g", "help")

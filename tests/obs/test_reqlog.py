@@ -1,0 +1,195 @@
+"""Tests for the structured access log, slow-query log, and observer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    new_context,
+    reset_registry,
+    set_tracing,
+    tracing_enabled,
+    use_context,
+)
+from repro.obs.metrics import (
+    HTTP_REQUEST_SECONDS,
+    OBS_LOG_ERRORS,
+    SLOW_QUERIES,
+)
+from repro.obs.reqlog import (
+    DEFAULT_SLOW_QUERY_SECONDS,
+    RequestLog,
+    RequestObserver,
+    SlowQueryLog,
+)
+from repro.testkit.failpoints import failpoint
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Observer metrics are process-global; isolate each test."""
+    reset_registry()
+    was_tracing = tracing_enabled()
+    yield
+    set_tracing(was_tracing)
+    reset_registry()
+
+
+def _read_jsonl(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestRequestLog:
+    def test_writes_json_lines_to_file(self, tmp_path):
+        path = str(tmp_path / "access.log")
+        log = RequestLog(path)
+        log.log({"route": "/point", "status": 200})
+        log.log({"route": "/table", "status": 404})
+        log.close()
+        entries = _read_jsonl(path)
+        assert [e["route"] for e in entries] == ["/point", "/table"]
+
+    def test_no_path_is_logger_only(self):
+        log = RequestLog()
+        log.log({"route": "/point"})  # must not raise
+        log.close()
+
+
+class TestSlowQueryLog:
+    def test_threshold_and_counter(self, tmp_path):
+        log = SlowQueryLog(threshold_seconds=0.2)
+        assert not log.is_slow(0.1)
+        assert log.is_slow(0.2)
+        log.log({"route": "/table", "duration_ms": 900.0})
+        counter = get_registry().counter(SLOW_QUERIES)
+        assert counter.dump() == {("/table",): 1.0}
+        log.close()
+
+    def test_recent_is_a_bounded_ring(self):
+        log = SlowQueryLog(threshold_seconds=0.0, keep_recent=3)
+        for i in range(5):
+            log.log({"route": f"/r{i}"})
+        assert [e["route"] for e in log.recent()] == ["/r2", "/r3", "/r4"]
+        log.close()
+
+    def test_default_threshold(self):
+        assert SlowQueryLog().threshold_seconds == (
+            DEFAULT_SLOW_QUERY_SECONDS
+        )
+
+
+class TestRequestObserver:
+    def _observer(self, tmp_path, threshold=10.0):
+        access_path = str(tmp_path / "access.log")
+        slow_path = str(tmp_path / "slow.log")
+        observer = RequestObserver(
+            access_log=RequestLog(access_path),
+            slow_log=SlowQueryLog(
+                threshold_seconds=threshold, path=slow_path
+            ),
+        )
+        return observer, access_path, slow_path
+
+    def test_access_entry_fields(self, tmp_path):
+        observer, access_path, __ = self._observer(tmp_path)
+        ctx = new_context(request_id="req-1")
+        ctx.stats.fanout = 2
+        ctx.stats.queue_wait_seconds = 0.004
+        observer.observe(
+            route="/point",
+            method="GET",
+            status=200,
+            seconds=0.01,
+            ctx=ctx,
+            tenant="acme",
+        )
+        observer.close()
+        (entry,) = _read_jsonl(access_path)
+        assert entry["route"] == "/point"
+        assert entry["method"] == "GET"
+        assert entry["status"] == 200
+        assert entry["tenant"] == "acme"
+        assert entry["request_id"] == "req-1"
+        assert entry["trace_id"] == ctx.trace_id
+        assert entry["fanout"] == 2
+        assert entry["queue_wait_ms"] == pytest.approx(4.0)
+        assert entry["duration_ms"] == pytest.approx(10.0)
+
+    def test_latency_histogram_and_error_field(self, tmp_path):
+        observer, access_path, __ = self._observer(tmp_path)
+        observer.observe(
+            route="/point",
+            method="GET",
+            status=500,
+            seconds=0.01,
+            error="boom",
+        )
+        observer.close()
+        (entry,) = _read_jsonl(access_path)
+        assert entry["error"] == "boom"
+        hist = get_registry().histogram(HTTP_REQUEST_SECONDS)
+        rendered = "\n".join(hist.render())
+        assert 'route="/point"' in rendered
+        assert 'tenant="-"' in rendered
+
+    def test_slow_request_captures_stages_and_engine_runs(self, tmp_path):
+        observer, __, slow_path = self._observer(tmp_path, threshold=0.0)
+        set_tracing(True)
+        get_tracer().reset()
+        ctx = new_context()
+        with use_context(ctx), get_tracer().span("work", cat="test"):
+            pass
+        ctx.stats.engine_runs.append({"engine": "sort-scan"})
+        observer.observe(
+            route="/table", method="GET", status=200, seconds=1.0, ctx=ctx
+        )
+        observer.close()
+        get_tracer().reset()
+        (entry,) = _read_jsonl(slow_path)
+        assert entry["stages"][0]["stage"] == "work"
+        assert entry["engine_runs"] == [{"engine": "sort-scan"}]
+
+    def test_fast_request_skips_the_slow_log(self, tmp_path):
+        observer, __, slow_path = self._observer(tmp_path, threshold=5.0)
+        observer.observe(
+            route="/point", method="GET", status=200, seconds=0.01
+        )
+        observer.close()
+        assert _read_jsonl(slow_path) == []
+
+    def test_slo_recording(self, tmp_path):
+        recorded = []
+
+        class FakeSLO:
+            def record(self, tenant, seconds, error=False):
+                recorded.append((tenant, seconds, error))
+
+        observer = RequestObserver(slo=FakeSLO())
+        observer.observe(
+            route="/point", method="GET", status=200, seconds=0.01,
+            tenant="t1",
+        )
+        observer.observe(
+            route="/point", method="GET", status=503, seconds=0.02,
+            tenant="t1",
+        )
+        observer.close()
+        assert recorded == [("t1", 0.01, False), ("t1", 0.02, True)]
+
+    def test_write_failures_never_escape(self, tmp_path):
+        observer, access_path, __ = self._observer(tmp_path)
+        errors = get_registry().counter(OBS_LOG_ERRORS)
+        with failpoint("obs.reqlog-write", "raise"):
+            observer.observe(
+                route="/point", method="GET", status=200, seconds=0.01
+            )
+        assert errors.value == 1.0
+        # With the fail point gone the same observer logs again.
+        observer.observe(
+            route="/point", method="GET", status=200, seconds=0.01
+        )
+        observer.close()
+        assert len(_read_jsonl(access_path)) == 1

@@ -1,0 +1,164 @@
+"""Tests for SLO objectives and multi-window burn-rate tracking."""
+
+import pytest
+
+from repro.obs.metrics import (
+    SLO_BAD_REQUESTS,
+    SLO_BURN_RATE,
+    SLO_GOOD_REQUESTS,
+    MetricsRegistry,
+)
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    SLOTracker,
+    parse_objectives,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestObjective:
+    def test_ratio_objective_flags_errors_only(self):
+        slo = Objective("avail", "ratio", 0.999)
+        assert slo.is_bad(10.0, error=True)
+        assert not slo.is_bad(10.0, error=False)
+        assert slo.budget == pytest.approx(0.001)
+
+    def test_latency_objective_flags_slow_or_errored(self):
+        slo = Objective("lat", "latency", 0.99, threshold=0.25)
+        assert slo.is_bad(0.3, error=False)
+        assert slo.is_bad(0.1, error=True)
+        assert not slo.is_bad(0.1, error=False)
+
+    def test_invalid_objectives_are_rejected(self):
+        with pytest.raises(ValueError):
+            Objective("x", "nope", 0.99)
+        with pytest.raises(ValueError):
+            Objective("x", "ratio", 1.5)
+        with pytest.raises(ValueError):
+            Objective("x", "latency", 0.99)  # missing threshold
+
+    def test_parse_objectives_spec(self):
+        objectives = parse_objectives(
+            "availability:ratio:0.999,lat:latency:0.99:0.25"
+        )
+        assert [o.name for o in objectives] == ["availability", "lat"]
+        assert objectives[1].threshold == 0.25
+
+    def test_parse_objectives_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_objectives("just-a-name")
+        with pytest.raises(ValueError):
+            parse_objectives("")
+
+
+class TestBurnRates:
+    def _tracker(self, clock):
+        return SLOTracker(
+            objectives=(Objective("avail", "ratio", 0.999),),
+            windows=(("5m", 300.0), ("1h", 3600.0)),
+            clock=clock,
+        )
+
+    def test_all_good_traffic_burns_nothing(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        for __ in range(100):
+            tracker.record("t1", 0.01)
+        rates = tracker.burn_rates()
+        assert rates[("t1", "avail", "5m")] == 0.0
+        assert rates[("t1", "avail", "1h")] == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        for i in range(100):
+            tracker.record("t1", 0.01, error=(i < 10))
+        # 10% bad over a 0.1% budget = burn rate 100.
+        assert tracker.burn_rates()[("t1", "avail", "5m")] == (
+            pytest.approx(100.0)
+        )
+
+    def test_old_traffic_ages_out_of_short_windows(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("t1", 0.01, error=True)
+        clock.advance(600.0)  # beyond 5m, inside 1h
+        tracker.record("t1", 0.01)
+        rates = tracker.burn_rates()
+        assert rates[("t1", "avail", "5m")] == 0.0
+        assert rates[("t1", "avail", "1h")] > 0.0
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("noisy", 0.01, error=True)
+        tracker.record("quiet", 0.01)
+        rates = tracker.burn_rates()
+        assert rates[("noisy", "avail", "5m")] > 0.0
+        assert rates[("quiet", "avail", "5m")] == 0.0
+
+    def test_status_shape(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        tracker.record("t1", 0.01, error=True)
+        status = tracker.status()
+        assert status["objectives"][0]["name"] == "avail"
+        assert status["windows"] == ["5m", "1h"]
+        assert set(status["burn_rates"]["t1"]["avail"]) == {"5m", "1h"}
+
+
+class TestExport:
+    def test_export_publishes_gauges_and_counters(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=(Objective("avail", "ratio", 0.9),),
+            windows=(("5m", 300.0),),
+            clock=clock,
+        )
+        registry = MetricsRegistry()
+        for i in range(10):
+            tracker.record("t1", 0.01, error=(i == 0))
+        tracker.export(registry)
+        text = registry.render_prometheus()
+        assert SLO_BURN_RATE in text
+        assert 'tenant="t1"' in text
+        assert 'window="5m"' in text
+        data = registry.to_dict()
+        good = data[SLO_GOOD_REQUESTS]
+        bad = data[SLO_BAD_REQUESTS]
+        assert good["samples"][0]["data"] == 9
+        assert bad["samples"][0]["data"] == 1
+
+    def test_export_counters_stay_monotonic_after_pruning(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=(Objective("avail", "ratio", 0.9),),
+            windows=(("5m", 300.0),),
+            clock=clock,
+        )
+        registry = MetricsRegistry()
+        tracker.record("t1", 0.01, error=True)
+        tracker.export(registry)
+        # Age the bucket out of every window, then export again: the
+        # cumulative counters must not regress (or double-count).
+        clock.advance(10_000.0)
+        tracker.record("t1", 0.01)
+        tracker.export(registry)
+        data = registry.to_dict()
+        assert data[SLO_BAD_REQUESTS]["samples"][0]["data"] == 1
+        assert data[SLO_GOOD_REQUESTS]["samples"][0]["data"] == 1
+
+    def test_default_objectives_cover_availability_and_latency(self):
+        kinds = {o.kind for o in DEFAULT_OBJECTIVES}
+        assert kinds == {"ratio", "latency"}

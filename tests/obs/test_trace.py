@@ -4,7 +4,14 @@ import json
 import os
 import time
 
-from repro.obs.trace import NULL_SPAN, Tracer
+from repro.obs import new_context, use_context
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    events_for_trace,
+    render_span_tree,
+    span_tree,
+)
 
 
 def _span_interval(event):
@@ -78,6 +85,105 @@ class TestRecording:
         parent.absorb(shipped)
         names = {e["name"] for e in parent.events}
         assert names == {"parent-side", "worker-side"}
+
+
+class TestTraceStamping:
+    def test_spans_inherit_the_active_trace_context(self):
+        tracer = Tracer(enabled=True)
+        ctx = new_context()
+        with use_context(ctx):
+            with tracer.span("outer"), tracer.span("inner"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["args"]["trace_id"] == ctx.trace_id
+        assert inner["args"]["trace_id"] == ctx.trace_id
+        # Lexical nesting becomes explicit parent/child linkage.
+        assert outer["args"]["parent_id"] == ctx.span_id
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_no_context_means_no_stamps(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("bare"):
+            pass
+        assert "args" not in tracer.events[0]
+
+    def test_events_for_trace_and_trace_ids(self):
+        tracer = Tracer(enabled=True)
+        ctx_a, ctx_b = new_context(), new_context()
+        for ctx, name in ((ctx_a, "a"), (ctx_b, "b")):
+            with use_context(ctx), tracer.span(name):
+                pass
+        a_events = events_for_trace(tracer.events, ctx_a.trace_id)
+        assert [e["name"] for e in a_events] == ["a"]
+        assert tracer.events_for_trace(ctx_b.trace_id)[0]["name"] == "b"
+        assert set(tracer.trace_ids()) == {
+            ctx_a.trace_id, ctx_b.trace_id,
+        }
+
+
+class TestSpanTree:
+    def _traced_events(self):
+        tracer = Tracer(enabled=True)
+        ctx = new_context()
+        with use_context(ctx):
+            with tracer.span("root"):
+                with tracer.span("left"):
+                    pass
+                with tracer.span("right"):
+                    pass
+        return tracer.events
+
+    def test_tree_reassembles_from_span_ids(self):
+        (root,) = span_tree(self._traced_events())
+        assert root["event"]["name"] == "root"
+        names = [child["event"]["name"] for child in root["children"]]
+        assert names == ["left", "right"]
+
+    def test_cross_process_linkage_uses_ids_not_containment(self):
+        # Simulate a worker: same parent/trace ids, different pid, and
+        # intervals that do NOT nest inside the router span.
+        tracer = Tracer(enabled=True)
+        ctx = new_context()
+        with use_context(ctx), tracer.span("router"):
+            pass
+        router = tracer.events[0]
+        worker_event = {
+            "name": "shard:point",
+            "cat": "shard",
+            "ph": "X",
+            "ts": router["ts"] + 10_000_000,
+            "dur": 5,
+            "pid": 99999,
+            "tid": 1,
+            "args": {
+                "trace_id": ctx.trace_id,
+                "span_id": "feedfacefeedface",
+                "parent_id": router["args"]["span_id"],
+            },
+        }
+        tracer.absorb([worker_event])
+        (root,) = span_tree(tracer.events)
+        assert root["event"]["name"] == "router"
+        assert root["children"][0]["event"]["name"] == "shard:point"
+
+    def test_dangling_parent_becomes_root(self):
+        events = [
+            {
+                "name": "orphan", "ph": "X", "ts": 1, "dur": 1,
+                "pid": 1, "tid": 1,
+                "args": {"span_id": "aa", "parent_id": "missing"},
+            }
+        ]
+        (root,) = span_tree(events)
+        assert root["event"]["name"] == "orphan"
+
+    def test_render_span_tree_indents_children(self):
+        lines = render_span_tree(self._traced_events())
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  left")
+        assert lines[2].startswith("  right")
+        assert all("pid=" in line for line in lines)
 
 
 class TestExportSchema:

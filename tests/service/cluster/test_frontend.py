@@ -104,9 +104,15 @@ def _workflow_body(workflow, **extra):
 
 class TestClusterRoutes:
     def test_healthz(self, served):
-        assert served.request("GET", "/healthz") == (
-            200, {"status": "ok"}
+        status, health = served.request("GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["fenced"] is False
+        assert health["epoch"] >= 1
+        assert [s["shard"] for s in health["shards"]] == list(
+            range(len(health["shards"]))
         )
+        assert all(s["alive"] for s in health["shards"])
 
     def test_measures_and_stats(self, served):
         status, data = served.request("GET", "/measures")

@@ -1,0 +1,321 @@
+"""End-to-end request observability over the sharded front end.
+
+The acceptance bar for the tracing work: a query and an ingest against
+a 2-shard *process-mode* cluster must each produce ONE trace tree that
+spans the frontend, the router, and both shard worker processes —
+reassembled from span/parent ids, not interval containment, because
+the spans were recorded in three different address spaces.
+"""
+
+import http.client
+import json
+import threading
+
+import asyncio
+
+import pytest
+
+from repro.obs import (
+    get_tracer,
+    set_tracing,
+    tracing_enabled,
+)
+from repro.obs.context import parse_traceparent
+from repro.obs.trace import span_tree
+from repro.service.cluster import bootstrap_cluster
+from repro.testkit.failpoints import FailPointError, failpoint
+
+from tests.service.conftest import make_records
+
+
+class _Running:
+    """A frontend on a background loop, with header-level access."""
+
+    def __init__(self, backend, **kwargs):
+        from repro.service.cluster import ClusterFrontend
+
+        self.frontend = ClusterFrontend(backend, port=0, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.frontend.start(), self.loop
+        ).result(timeout=10)
+
+    def request(self, method, target, body=None, headers=None):
+        conn = http.client.HTTPConnection(
+            self.frontend.host, self.frontend.port, timeout=60
+        )
+        try:
+            payload = (
+                json.dumps(body).encode() if body is not None else None
+            )
+            sent = dict(headers or {})
+            if payload:
+                sent.setdefault("Content-Type", "application/json")
+            conn.request(method, target, body=payload, headers=sent)
+            response = conn.getresponse()
+            raw = response.read()
+            ctype = response.getheader("Content-Type", "")
+            data = (
+                json.loads(raw) if "json" in ctype else raw.decode()
+            )
+            return response.status, data, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.frontend.stop(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture(autouse=True)
+def _tracer_isolation():
+    """Save/restore the process tracing flag, drop recorded events."""
+    was = tracing_enabled()
+    get_tracer().reset()
+    yield
+    set_tracing(was)
+    get_tracer().reset()
+
+
+@pytest.fixture()
+def served(tmp_path, mergeable_cluster_workflow):
+    """A 2-shard process-mode cluster behind a running frontend."""
+    set_tracing(True)
+    cluster = bootstrap_cluster(
+        str(tmp_path / "cluster"),
+        mergeable_cluster_workflow,
+        make_records(240, seed=81),
+        num_shards=2,
+        mode="process",
+    )
+    running = _Running(cluster)
+    yield running
+    running.stop()
+
+
+def _tree_pids(node):
+    pids = {node["event"]["pid"]}
+    for child in node["children"]:
+        pids |= _tree_pids(child)
+    return pids
+
+
+def _tree_names(node):
+    names = {node["event"]["name"]}
+    for child in node["children"]:
+        names |= _tree_names(child)
+    return names
+
+
+def _fetch_trace(served, headers):
+    traceparent = headers["traceparent"]
+    trace_id = parse_traceparent(traceparent).trace_id
+    status, data, __ = served.request(
+        "GET", f"/debug/trace/{trace_id}"
+    )
+    assert status == 200, data
+    assert data["trace_id"] == trace_id
+    return data
+
+
+class TestTracePropagation:
+    def test_query_trace_spans_frontend_router_and_both_workers(
+        self, served
+    ):
+        frontend_pid = __import__("os").getpid()
+        status, data, headers = served.request(
+            "GET", "/table?measure=Total"
+        )
+        assert status == 200 and data["rows"]
+        trace = _fetch_trace(served, headers)
+        roots = span_tree(trace["events"])
+        assert len(roots) == 1, [r["event"]["name"] for r in roots]
+        (root,) = roots
+        assert root["event"]["name"] == "http:/table"
+        names = _tree_names(root)
+        assert "cluster:table" in names
+        assert "shard:table_rows" in names
+        pids = _tree_pids(root)
+        # Frontend/router process plus BOTH shard worker processes.
+        assert frontend_pid in pids
+        assert len(pids - {frontend_pid}) == 2
+        # The rendered tree nests the shard spans under the router's.
+        assert trace["tree"][0].startswith("http:/table")
+
+    def test_ingest_trace_spans_frontend_router_and_both_workers(
+        self, served
+    ):
+        frontend_pid = __import__("os").getpid()
+        records = [list(r) for r in make_records(40, seed=82)]
+        status, report, headers = served.request(
+            "POST", "/ingest", body={"records": records}
+        )
+        assert status == 200 and report["epoch"] == 2
+        trace = _fetch_trace(served, headers)
+        roots = span_tree(trace["events"])
+        assert len(roots) == 1
+        (root,) = roots
+        assert root["event"]["name"] == "http:/ingest"
+        names = _tree_names(root)
+        assert "cluster:ingest" in names
+        assert "shard:ingest" in names
+        pids = _tree_pids(root)
+        assert frontend_pid in pids
+        assert len(pids - {frontend_pid}) == 2
+
+    def test_incoming_traceparent_is_continued(self, served):
+        upstream_trace = "c0ffee" + "0" * 26
+        upstream_span = "dead" + "0" * 12
+        status, __, headers = served.request(
+            "GET", "/stats",
+            headers={
+                "traceparent": (
+                    f"00-{upstream_trace}-{upstream_span}-01"
+                ),
+                "X-Request-Id": "req-corr-9",
+            },
+        )
+        assert status == 200
+        parsed = parse_traceparent(headers["traceparent"])
+        assert parsed.trace_id == upstream_trace
+        assert parsed.span_id != upstream_span
+        assert headers["X-Request-Id"] == "req-corr-9"
+
+    def test_fresh_request_gets_request_id_and_traceparent(
+        self, served
+    ):
+        status, __, headers = served.request("GET", "/stats")
+        assert status == 200
+        assert headers["X-Request-Id"]
+        assert parse_traceparent(headers["traceparent"]) is not None
+
+
+class TestStatusEndpoints:
+    def test_statusz_shape(self, served):
+        status, data, __ = served.request("GET", "/statusz")
+        assert status == 200
+        assert data["service"] == "repro-cluster-frontend"
+        assert data["tracing"] is True
+        assert data["uptime_seconds"] >= 0
+        assert data["health"]["status"] == "ok"
+        assert data["slow_query_threshold_seconds"] > 0
+        assert data["slo"]["objectives"]
+        assert data["slo"]["windows"]
+
+    def test_debug_trace_unknown_id_is_404(self, served):
+        status, data, __ = served.request(
+            "GET", "/debug/trace/" + "f" * 32
+        )
+        assert status == 404
+        assert "no recorded events" in data["error"]
+
+    def test_metrics_expose_latency_histogram_and_burn_rate(
+        self, served
+    ):
+        served.request("GET", "/table?measure=Total")
+        status, text, __ = served.request("GET", "/metrics")
+        assert status == 200
+        assert "repro_http_request_seconds_bucket" in text
+        assert 'route="/table"' in text
+        assert "repro_slo_burn_rate" in text
+        assert "repro_shard_op_seconds_bucket" in text
+
+    def test_healthz_turns_503_when_fenced(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        cluster = bootstrap_cluster(
+            str(tmp_path / "fenceable"),
+            mergeable_cluster_workflow,
+            make_records(120, seed=83),
+            num_shards=2,
+        )
+        running = _Running(cluster)
+        try:
+            status, health, __ = running.request("GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            delta = [list(r) for r in make_records(30, seed=84)]
+            with failpoint("cluster.shard-prepare", "raise"):
+                status, data, __ = running.request(
+                    "POST", "/ingest", body={"records": delta}
+                )
+            assert status == 500
+            status, health, __ = running.request("GET", "/healthz")
+            assert status == 503
+            assert health["status"] == "fenced"
+            assert health["fenced"] is True
+            assert health["journal_pending"] is True
+        finally:
+            # A fenced cluster refuses the final flush; lift the fence
+            # so the frontend can drain and stop cleanly.
+            try:
+                cluster.recover()
+            except Exception:
+                pass
+            running.stop()
+
+    def test_slow_query_log_captures_stage_timings(
+        self, tmp_path, mergeable_cluster_workflow
+    ):
+        set_tracing(True)
+        cluster = bootstrap_cluster(
+            str(tmp_path / "slow"),
+            mergeable_cluster_workflow,
+            make_records(120, seed=85),
+            num_shards=2,
+            mode="process",
+        )
+        slow_path = str(tmp_path / "slow.log")
+        running = _Running(
+            cluster,
+            slow_query_seconds=0.0,  # every request is "slow"
+            slow_query_path=slow_path,
+        )
+        try:
+            status, data, __ = running.request(
+                "GET", "/table?measure=Count"
+            )
+            assert status == 200 and data["rows"]
+            status, statusz, __ = running.request("GET", "/statusz")
+            entries = [
+                e for e in statusz["slow_queries"]
+                if e["route"] == "/table"
+            ]
+            assert entries
+            stages = entries[0].get("stages", [])
+            assert any(
+                s["stage"] == "shard:table_rows" for s in stages
+            )
+            with open(slow_path, encoding="utf-8") as fh:
+                logged = [json.loads(line) for line in fh if line.strip()]
+            assert any(e["route"] == "/table" for e in logged)
+        finally:
+            running.stop()
+
+
+class TestMetamorphicTelemetry:
+    def test_results_identical_with_telemetry_on_and_off(self, served):
+        set_tracing(True)
+        status, traced, __ = served.request(
+            "GET", "/table?measure=Total"
+        )
+        assert status == 200
+        set_tracing(False)
+        status, dark, __ = served.request(
+            "GET", "/table?measure=Total"
+        )
+        assert status == 200
+        assert traced["rows"] == dark["rows"]
+        set_tracing(True)
+        status, relit, __ = served.request(
+            "GET", "/table?measure=Total"
+        )
+        assert status == 200
+        assert relit["rows"] == traced["rows"]

@@ -1,12 +1,35 @@
 """Process-mode shards: shared-nothing workers, death, and respawn."""
 
+import os
+
 import pytest
 
 from repro.errors import ClusterError
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    new_context,
+    set_tracing,
+    tracing_enabled,
+    use_context,
+)
+from repro.obs.metrics import WORKER_TELEMETRY_DROPPED
+from repro.obs.trace import events_for_trace
 from repro.service.cluster import bootstrap_cluster, open_cluster
 
 from tests.service.cluster.conftest import reference_tables
 from tests.service.conftest import make_records
+
+
+@pytest.fixture()
+def tracing():
+    """Tracing on for one test, tracer drained before and after."""
+    was = tracing_enabled()
+    get_tracer().reset()
+    set_tracing(True)
+    yield get_tracer()
+    set_tracing(was)
+    get_tracer().reset()
 
 BASE = 220
 DELTA = 40
@@ -83,6 +106,54 @@ class TestProcessMode:
     def test_telemetry_pull_absorbs_worker_metrics(self, cluster):
         cluster.table("Count")
         cluster.pull_telemetry()  # must not raise; absorbs into parent
+
+    def test_respawned_worker_rejoins_the_request_trace(
+        self, cluster, tracing
+    ):
+        """A died-and-respawned worker keeps the caller's trace id.
+
+        The retry against the revived worker sends the same context
+        meta over the fresh pipe, so the spans it records join the
+        original request's trace — the respawn is invisible in the
+        trace tree except for the gap it explains.
+        """
+        dropped = get_registry().counter(
+            WORKER_TELEMETRY_DROPPED, labelnames=("shard",)
+        )
+        before = dict(dropped.dump())
+        cluster.kill_worker(0)
+        ctx = new_context()
+        with use_context(ctx):
+            assert cluster.table("Total").rows
+        cluster.pull_telemetry()
+        events = events_for_trace(tracing.events, ctx.trace_id)
+        worker_pids = {
+            e["pid"] for e in events if e["pid"] != os.getpid()
+        }
+        # Both workers — including the respawned shard 0 — recorded
+        # spans under the request's trace.
+        assert len(worker_pids) == 2
+        # The killed worker's unpulled telemetry is counted as lost.
+        after = dropped.dump()
+        assert after.get(("0",), 0.0) == before.get(("0",), 0.0) + 1.0
+
+    def test_graceful_close_flushes_worker_telemetry(
+        self, tmp_path, mergeable_cluster_workflow, records, tracing
+    ):
+        cluster = bootstrap_cluster(
+            str(tmp_path / "flush"),
+            mergeable_cluster_workflow,
+            records[:60],
+            num_shards=2,
+            mode="process",
+        )
+        worker_pids = {shard._proc.pid for shard in cluster.shards}
+        cluster.table("Count")
+        # No telemetry pull before close: the shutdown reply is the
+        # only way these spans can reach the parent process.
+        cluster.close()
+        seen = {e["pid"] for e in tracing.events}
+        assert worker_pids <= seen
 
     def test_kill_worker_requires_process_mode(
         self, tmp_path, mergeable_cluster_workflow, records

@@ -12,6 +12,14 @@ import os
 import pytest
 
 from repro.errors import ClusterError
+from repro.obs import (
+    get_tracer,
+    new_context,
+    set_tracing,
+    tracing_enabled,
+    use_context,
+)
+from repro.obs.trace import events_for_trace
 from repro.service.cluster import (
     IngestJournal,
     bootstrap_cluster,
@@ -179,6 +187,41 @@ class TestFailedIngestFencing:
             report = cluster.ingest(make_records(20, seed=99))
             assert report["epoch"] == 3
         finally:
+            cluster.close()
+
+    def test_spans_of_a_fenced_then_recovered_ingest_share_a_trace(
+        self, root, records
+    ):
+        """Failure paths must not drop out of the request's trace.
+
+        The aborted ingest's spans, and the recovery that follows,
+        both land under the trace id of the request that drove them —
+        the trace a responder pulls up IS the incident timeline.
+        """
+        was_tracing = tracing_enabled()
+        set_tracing(True)
+        get_tracer().reset()
+        cluster = open_cluster(root)
+        try:
+            ctx = new_context()
+            with use_context(ctx):
+                with failpoint(
+                    "cluster.shard-prepare", "raise"
+                ), pytest.raises(FailPointError):
+                    cluster.ingest(records[BASE:])
+                assert cluster.failed
+                cluster.recover()
+            events = events_for_trace(
+                get_tracer().events, ctx.trace_id
+            )
+            names = {e["name"] for e in events}
+            # The aborted attempt recorded its span before unwinding,
+            # and the recovery joined the same trace.
+            assert "cluster:ingest" in names
+            assert "cluster:recover" in names
+        finally:
+            set_tracing(was_tracing)
+            get_tracer().reset()
             cluster.close()
 
     def test_uncommitted_journal_blocks_a_fresh_epoch(
