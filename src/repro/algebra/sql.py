@@ -8,12 +8,34 @@ query with one CTE per measure sub-expression — both documentation
 of the paper's complaint that "the resulting query often contains
 multiply nested sub-queries".
 
-Value generalization appears as ``GAMMA_<attr>_<domain>(col)`` calls —
-in a real deployment those are the dimension-table lookups the paper
-treats as inexpensive functions (Section 3.2).
+Two rendering *dialects* share the translation skeleton:
+
+- :data:`PAPER` (the default) reproduces the paper's prose form.
+  Value generalization appears as ``GAMMA_<attr>_<domain>(col)``
+  calls — in a real deployment those are the dimension-table lookups
+  the paper treats as inexpensive functions (Section 3.2) — and
+  combine functions appear as ``FC(...)``-style pseudo-calls.
+- :data:`SQLITE` / :data:`DUCKDB` are *executable*: every ``GAMMA``
+  becomes a real join (or scalar lookup) against a materialized
+  dimension table, combine functions become registered UDF calls, and
+  aggregates without a native SQL form compile to portable arithmetic
+  (``var``/``stddev`` via the moment formula) or raise a structured
+  :class:`SqlUnsupportedError` (``median``, ``approx_distinct`` on
+  sqlite).  :func:`compile_sql` returns the query *plus* the lookup
+  tables and functions the executing backend must provide
+  (:mod:`repro.backends`).
+
+Identifier hygiene (the part the paper never needed): SQL engines
+resolve identifiers case-insensitively, so the network schema's ``t``
+(Timestamp) and ``T`` (Target) abbreviations would collide as column
+names.  :func:`fact_columns` and :func:`dim_columns` assign unique,
+reserved-word-free names deterministically (first occurrence keeps its
+name; later case-insensitive duplicates get a ``_<dim index>`` suffix).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from repro.errors import AlgebraError
 from repro.algebra.conditions import (
@@ -26,6 +48,7 @@ from repro.algebra.conditions import (
 )
 from repro.algebra.expr import (
     Aggregate,
+    CombineFn,
     CombineJoin,
     Expr,
     FactTable,
@@ -40,19 +63,41 @@ from repro.algebra.predicates import (
     Predicate,
 )
 from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+
+#: SQL keywords an identifier must not collide with (the union of the
+#: sqlite and common-ANSI words a schema author could plausibly use as
+#: a dimension or measure name).  Renaming beats quoting: the emitted
+#: SQL stays copy-pasteable into any engine's shell.
+RESERVED_WORDS = frozenset(
+    """
+    ALL AND AS ASC BETWEEN BY CASE CAST CHECK COLUMN CREATE CROSS
+    DEFAULT DELETE DESC DISTINCT DROP ELSE END EXCEPT EXISTS FROM FULL
+    GROUP HAVING IN INDEX INNER INSERT INTERSECT INTO IS JOIN KEY LEFT
+    LIKE LIMIT NATURAL NOT NULL OFFSET ON OR ORDER OUTER PRIMARY RIGHT
+    SELECT SET TABLE THEN TO UNION UNIQUE UPDATE USING VALUES WHEN
+    WHERE WITH
+    """.split()
+)
 
 
-def _dim_columns(granularity: Granularity) -> list[tuple[int, str]]:
-    """(dim index, SQL column name) for every non-ALL dimension."""
-    schema = granularity.schema
-    columns = []
-    for dim in granularity.key_dims:
-        domain = schema.dimensions[dim].hierarchy.domain(
-            granularity.levels[dim]
-        )
-        name = f"{schema.dimensions[dim].abbrev}_{domain.name}"
-        columns.append((dim, _sanitize(name)))
-    return columns
+class SqlUnsupportedError(AlgebraError):
+    """A feature with no executable SQL form in the target dialect.
+
+    ``feature`` names what failed (e.g. ``"median"``); ``measure`` is
+    filled in by the workflow compiler so the error names the exact
+    measure that cannot run (:mod:`repro.backends.compiler`).
+    """
+
+    def __init__(
+        self, message: str, feature: str = "", measure: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.feature = feature
+        self.measure = measure
+
+
+# -- identifier assignment --------------------------------------------------
 
 
 def _sanitize(name: str) -> str:
@@ -62,102 +107,338 @@ def _sanitize(name: str) -> str:
     return "".join(out)
 
 
-def _gamma(granularity: Granularity, dim: int, source_col: str) -> str:
-    schema = granularity.schema
-    level = granularity.levels[dim]
-    if level == 0:
-        return source_col
-    domain = schema.dimensions[dim].hierarchy.domain(level)
-    fn = _sanitize(
-        f"GAMMA_{schema.dimensions[dim].abbrev}_{domain.name}"
-    ).upper()
-    return f"{fn}({source_col})"
+def _identifier(name: str) -> str:
+    """A parseable bare identifier: sanitized, not reserved, not
+    starting with a digit."""
+    out = _sanitize(name) or "c"
+    if out[0].isdigit():
+        out = f"c_{out}"
+    if out.upper() in RESERVED_WORDS:
+        out = f"{out}_col"
+    return out
 
 
-def predicate_to_sql(predicate: Predicate, measure_col: str = "M") -> str:
-    """Render a predicate as a SQL boolean expression."""
-    if isinstance(predicate, Comparison):
-        field = measure_col if predicate.field == "M" else _sanitize(
-            predicate.field
+def _claim(base: str, taken: set[str], index: int) -> str:
+    """Claim ``base`` in ``taken`` (case-insensitive), suffixing with
+    ``index`` on collision — deterministic, first occurrence wins."""
+    name = base
+    if name.lower() in taken:
+        name = f"{base}_{index}"
+        while name.lower() in taken:
+            name += "_"
+    taken.add(name.lower())
+    return name
+
+
+def fact_columns(schema: DatasetSchema) -> dict[str, str]:
+    """Fact-table column per field (dimension abbrevs, then measures).
+
+    Keyed by dimension *name* and measure name; values are unique even
+    under case-insensitive resolution (sqlite folds ``t``/``T``).
+    """
+    taken: set[str] = set()
+    columns: dict[str, str] = {}
+    for i, dim in enumerate(schema.dimensions):
+        columns[dim.name] = _claim(_identifier(dim.abbrev), taken, i)
+    for j, measure in enumerate(schema.measures):
+        columns[measure] = _claim(
+            _identifier(measure), taken, len(schema.dimensions) + j
         )
+    return columns
+
+
+def _fact_column(schema: DatasetSchema, dim: int) -> str:
+    return fact_columns(schema)[schema.dimensions[dim].name]
+
+
+def dim_columns(granularity: Granularity) -> list[tuple[int, str]]:
+    """(dim index, SQL column name) for every non-ALL dimension.
+
+    The measure-table analogue of :func:`fact_columns`: names follow
+    the paper's ``<abbrev>_<domain>`` scheme, deduplicated
+    case-insensitively within the granularity.
+    """
+    schema = granularity.schema
+    taken: set[str] = {"m"}  # the measure column is always M
+    columns = []
+    for dim in granularity.key_dims:
+        domain = schema.dimensions[dim].hierarchy.domain(
+            granularity.levels[dim]
+        )
+        name = _identifier(
+            f"{schema.dimensions[dim].abbrev}_{domain.name}"
+        )
+        columns.append((dim, _claim(name, taken, dim)))
+    return columns
+
+
+#: Backwards-compatible alias (pre-dialect name).
+_dim_columns = dim_columns
+
+
+# -- dialects ---------------------------------------------------------------
+
+
+def _moment_variance(arg: str) -> str:
+    """Population variance via the moment formula.
+
+    Portable single-expression SQL; numerically this differs from the
+    engines' Welford/Chan recurrence by O(1e-12) relative at the test
+    workloads' magnitudes — the documented reason the sql differential
+    oracle compares with a looser tolerance than the engine-vs-engine
+    checks (``repro.testkit.differential.SQL_ORACLE_TOLERANCE``).
+    """
+    return f"AVG(({arg}) * ({arg})) - AVG({arg}) * AVG({arg})"
+
+
+class SqlDialect:
+    """How AW-RA renders to SQL.
+
+    The base dialect is the paper's documentation form: not meant to be
+    executed, faithful to the prose of Tables 2-4.
+    """
+
+    name = "paper"
+    #: Whether the output runs on a real engine (gammas become lookup
+    #: tables, combine fns become registered UDFs, empty-input
+    #: aggregates are guarded).
+    executable = False
+    #: Column type of fact measure attributes in generated DDL.
+    measure_type = "REAL"
+
+    def aggregate_sql(self, function_name: str, arg: str) -> str:
+        """Render one aggregate call; the paper form never refuses."""
+        return f"{function_name.upper()}({arg})"
+
+
+class SqliteDialect(SqlDialect):
+    """Executable SQL for stdlib ``sqlite3`` (the always-on engine)."""
+
+    name = "sqlite"
+    executable = True
+
+    #: Aggregates with a direct native form.
+    _NATIVE = {"count", "sum", "min", "max", "avg"}
+
+    def aggregate_sql(self, function_name: str, arg: str) -> str:
+        name = function_name.lower()
+        if name in self._NATIVE:
+            return f"{name.upper()}({arg})"
+        if name == "count_distinct":
+            return f"COUNT(DISTINCT {arg})"
+        if name == "var":
+            return _moment_variance(arg)
+        if name == "stddev":
+            # MAX() here is sqlite's two-argument scalar max, clamping
+            # the moment formula's tiny negative float residue.
+            return f"SQRT(MAX(0.0, {_moment_variance(arg)}))"
+        raise SqlUnsupportedError(
+            f"aggregate {function_name!r} has no executable "
+            f"{self.name} form (holistic aggregates need per-group "
+            f"value lists; use the in-memory engines or the duckdb "
+            f"backend)",
+            feature=function_name,
+        )
+
+
+class DuckDbDialect(SqliteDialect):
+    """Executable SQL for DuckDB (optional second engine).
+
+    DuckDB has native holistic/algebraic aggregates, so ``median``,
+    ``var`` and ``stddev`` compile directly.  ``approx_distinct`` stays
+    unsupported: DuckDB's ``approx_count_distinct`` is a different
+    sketch than this repo's HyperLogLog, so their estimates would
+    legitimately disagree and the differential oracle could not tell a
+    backend bug from estimator variance.
+    """
+
+    name = "duckdb"
+    measure_type = "DOUBLE"
+
+    def aggregate_sql(self, function_name: str, arg: str) -> str:
+        name = function_name.lower()
+        if name == "median":
+            return f"MEDIAN({arg})"
+        if name == "var":
+            return f"VAR_POP({arg})"
+        if name == "stddev":
+            return f"STDDEV_POP({arg})"
+        return super().aggregate_sql(function_name, arg)
+
+
+PAPER = SqlDialect()
+SQLITE = SqliteDialect()
+DUCKDB = DuckDbDialect()
+
+#: Executable dialects by engine name (the backend registry's view).
+EXECUTABLE_DIALECTS = {"sqlite": SQLITE, "duckdb": DUCKDB}
+
+
+def _constant_aggregate_value(function_name: str) -> float | int | None:
+    """The literal of a constant aggregate, or None if not constant.
+
+    ``cells`` (the paper's ``g_{G,0}`` idiom) and its ``const[c]``
+    spellings render as a literal — no SQL engine has a ``CELLS(*)``
+    aggregate, and none is needed: the value is data-independent.
+    """
+    name = function_name.lower()
+    if name == "cells":
+        return 0
+    if name.startswith("const[") and name.endswith("]"):
+        text = name[len("const["):-1]
+        try:
+            number = float(text)
+        except ValueError:
+            return None
+        return int(number) if number.is_integer() else number
+    return None
+
+
+# -- predicates -------------------------------------------------------------
+
+
+def _render_value(value) -> str:
+    """A SQL literal for a predicate constant (executable dialects)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+class _FactContext:
+    """Resolve predicate fields against the physical fact table."""
+
+    def __init__(
+        self, schema: DatasetSchema, alias: str | None = None
+    ) -> None:
+        self.schema = schema
+        self.alias = alias
+        self._columns = fact_columns(schema)
+
+    def resolve(self, field_name: str) -> str:
+        index = self.schema.field_index(field_name)  # raises on unknown
+        if index < self.schema.num_dimensions:
+            key = self.schema.dimensions[index].name
+        else:
+            key = self.schema.measures[
+                index - self.schema.num_dimensions
+            ]
+        column = self._columns[key]
+        return f"{self.alias}.{column}" if self.alias else column
+
+
+class _MeasureContext:
+    """Resolve predicate fields against a measure table ``<G, M>``."""
+
+    def __init__(
+        self, granularity: Granularity, alias: str | None = None
+    ) -> None:
+        self.granularity = granularity
+        self.alias = alias
+        self._columns = dict(dim_columns(granularity))
+
+    def resolve(self, field_name: str) -> str:
+        if field_name == "M":
+            return f"{self.alias}.M" if self.alias else "M"
+        schema = self.granularity.schema
+        index = schema.dim_index(field_name)
+        if index not in self._columns:
+            # Mirrors Comparison.compile_for_measure: a dimension at
+            # ALL has no column to compare against.
+            raise AlgebraError(
+                f"predicate references dimension {field_name!r} which "
+                f"is at ALL in granularity {self.granularity}"
+            )
+        column = self._columns[index]
+        return f"{self.alias}.{column}" if self.alias else column
+
+
+def predicate_to_sql(
+    predicate: Predicate, measure_col: str = "M", context=None
+) -> str:
+    """Render a predicate as a SQL boolean expression.
+
+    Without a ``context`` this is the paper's documentation rendering
+    (fields appear sanitized but unresolved).  With a
+    :class:`_FactContext` / :class:`_MeasureContext`, fields resolve to
+    the actual columns of the table in scope — the form the executable
+    dialects require, which also rejects fields the reference engines
+    would reject (unknown names, dimensions held at ALL).
+    """
+    if isinstance(predicate, Comparison):
+        if context is not None:
+            field_name = context.resolve(predicate.field)
+            rendered = _render_value(predicate.value)
+        else:
+            field_name = (
+                measure_col
+                if predicate.field == "M"
+                else _sanitize(predicate.field)
+            )
+            value = predicate.value
+            rendered = (
+                repr(value) if isinstance(value, str) else str(value)
+            )
         op = {"==": "=", "!=": "<>"}.get(predicate.op, predicate.op)
-        value = predicate.value
-        rendered = repr(value) if isinstance(value, str) else str(value)
-        return f"{field} {op} {rendered}"
+        return f"{field_name} {op} {rendered}"
     if isinstance(predicate, And):
         return (
-            f"({predicate_to_sql(predicate.left, measure_col)} AND "
-            f"{predicate_to_sql(predicate.right, measure_col)})"
+            f"({predicate_to_sql(predicate.left, measure_col, context)}"
+            f" AND "
+            f"{predicate_to_sql(predicate.right, measure_col, context)})"
         )
     if isinstance(predicate, Or):
         return (
-            f"({predicate_to_sql(predicate.left, measure_col)} OR "
-            f"{predicate_to_sql(predicate.right, measure_col)})"
+            f"({predicate_to_sql(predicate.left, measure_col, context)}"
+            f" OR "
+            f"{predicate_to_sql(predicate.right, measure_col, context)})"
         )
     if isinstance(predicate, Not):
-        return f"NOT ({predicate_to_sql(predicate.inner, measure_col)})"
+        return (
+            f"NOT "
+            f"({predicate_to_sql(predicate.inner, measure_col, context)})"
+        )
     raise AlgebraError(
         f"predicate {predicate!r} has no SQL rendering (raw predicates "
         f"are Python-only)"
     )
 
 
-def _cond_to_sql(
-    cond: MatchCondition,
-    s_gran: Granularity,
-    t_gran: Granularity,
-    s_alias: str,
-    t_alias: str,
-) -> str:
-    schema = s_gran.schema
-    clauses = []
-    if isinstance(cond, SelfMatch):
-        for __, col in _dim_columns(s_gran):
-            clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
-    elif isinstance(cond, ParentChild):
-        # gamma(S.X) = T.X
-        for dim, t_col in _dim_columns(t_gran):
-            s_col = dict(_dim_columns(s_gran))[dim]
-            lifted = _gamma_between(schema, dim, s_gran, t_gran,
-                                    f"{s_alias}.{s_col}")
-            clauses.append(f"{lifted} = {t_alias}.{t_col}")
-    elif isinstance(cond, ChildParent):
-        for dim, s_col in _dim_columns(s_gran):
-            t_col = dict(_dim_columns(t_gran))[dim]
-            lifted = _gamma_between(schema, dim, t_gran, s_gran,
-                                    f"{t_alias}.{t_col}")
-            clauses.append(f"{lifted} = {s_alias}.{s_col}")
-    elif isinstance(cond, Sibling):
-        windows = cond.resolve(schema)
-        for dim, col in _dim_columns(s_gran):
-            if dim in windows:
-                before, after = windows[dim]
-                clauses.append(
-                    f"{t_alias}.{col} BETWEEN {s_alias}.{col} - {before} "
-                    f"AND {s_alias}.{col} + {after}"
-                )
-            else:
-                clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
-    elif isinstance(cond, Lags):
-        offsets = cond.resolve(schema)
-        for dim, col in _dim_columns(s_gran):
-            if dim in offsets:
-                deltas = ", ".join(str(d) for d in offsets[dim])
-                clauses.append(
-                    f"({t_alias}.{col} - {s_alias}.{col}) IN ({deltas})"
-                )
-            else:
-                clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
-    else:
-        raise AlgebraError(f"no SQL rendering for condition {cond!r}")
-    return " AND ".join(clauses) if clauses else "1 = 1"
+# -- compilation output -----------------------------------------------------
 
 
-def _gamma_between(schema, dim, fine: Granularity, coarse: Granularity,
-                   column: str) -> str:
-    level = coarse.levels[dim]
-    if level == fine.levels[dim]:
-        return column
+@dataclass
+class SqlCompilation:
+    """One expression compiled to SQL plus its runtime requirements.
+
+    ``lookups`` maps ``(dim, from_level, to_level)`` to the dimension
+    lookup table the query joins (``src``/``dst`` columns, rows
+    materialized from the dataset by the backend); ``functions`` maps
+    registered UDF names to ``(CombineFn, arity)``.  Both are empty
+    for the paper dialect.
+    """
+
+    sql: str
+    dialect: SqlDialect = PAPER
+    lookups: dict[tuple[int, int, int], str] = field(default_factory=dict)
+    functions: dict[str, tuple[CombineFn, int]] = field(
+        default_factory=dict
+    )
+
+
+def _lookup_table_name(dim: int, from_level: int, to_level: int) -> str:
+    return f"gamma_d{dim}_{from_level}_{to_level}"
+
+
+# -- the translation --------------------------------------------------------
+
+
+def _gamma_pseudo(schema, dim: int, level: int, column: str) -> str:
+    """The paper's ``GAMMA_<attr>_<domain>(col)`` pseudo-call."""
     domain = schema.dimensions[dim].hierarchy.domain(level)
     fn = _sanitize(
         f"GAMMA_{schema.dimensions[dim].abbrev}_{domain.name}"
@@ -166,15 +447,72 @@ def _gamma_between(schema, dim, fine: Granularity, coarse: Granularity,
 
 
 class _SqlBuilder:
-    def __init__(self, fact_table_name: str) -> None:
+    def __init__(
+        self,
+        fact_table_name: str,
+        dialect: SqlDialect = PAPER,
+        lookups: dict[tuple[int, int, int], str] | None = None,
+        functions: dict[str, tuple[CombineFn, int]] | None = None,
+    ) -> None:
         self.fact_table_name = fact_table_name
+        self.dialect = dialect
         self.ctes: list[tuple[str, str]] = []
         self._memo: dict[int, str] = {}
         self._counter = 0
+        # Shared across measures of one workflow compilation so every
+        # query agrees on lookup-table and UDF names.
+        self.lookups = lookups if lookups is not None else {}
+        self.functions = functions if functions is not None else {}
 
     def _fresh(self, hint: str) -> str:
         self._counter += 1
         return f"{hint}_{self._counter}"
+
+    # -- runtime requirements -------------------------------------------
+
+    def lookup(self, dim: int, from_level: int, to_level: int) -> str:
+        """Register (and name) a dimension lookup table need."""
+        key = (dim, from_level, to_level)
+        if key not in self.lookups:
+            self.lookups[key] = _lookup_table_name(*key)
+        return self.lookups[key]
+
+    def function_name(self, fn: CombineFn, arity: int) -> str:
+        """Register a combine fn as a UDF; stable name per (fn, arity)."""
+        for name, (registered, registered_arity) in self.functions.items():
+            if registered is fn and registered_arity == arity:
+                return name
+        base = _identifier(fn.name).lower() or "fc"
+        name = f"fc_{len(self.functions)}_{base}"
+        self.functions[name] = (fn, arity)
+        return name
+
+    # -- gamma ----------------------------------------------------------
+
+    def gamma_between(
+        self,
+        schema,
+        dim: int,
+        fine: Granularity,
+        coarse: Granularity,
+        column: str,
+    ) -> str:
+        """Generalize ``column`` from ``fine`` to ``coarse`` levels.
+
+        Paper dialect: the ``GAMMA_*`` pseudo-call.  Executable
+        dialects: a scalar lookup against the materialized dimension
+        table (used inside join conditions, where a join-based rewrite
+        has no table to attach to).
+        """
+        level = coarse.levels[dim]
+        if level == fine.levels[dim]:
+            return column
+        if not self.dialect.executable:
+            return _gamma_pseudo(schema, dim, level, column)
+        table = self.lookup(dim, fine.levels[dim], level)
+        return f"(SELECT dst FROM {table} WHERE src = {column})"
+
+    # -- dispatch --------------------------------------------------------
 
     def build(self, expr: Expr) -> str:
         if id(expr) in self._memo:
@@ -193,7 +531,8 @@ class _SqlBuilder:
                 (
                     name,
                     f"SELECT * FROM {inner}\n"
-                    f"  WHERE {predicate_to_sql(expr.predicate)}",
+                    f"  WHERE "
+                    + self._predicate(expr.predicate, expr.child),
                 )
             )
             return name
@@ -207,15 +546,36 @@ class _SqlBuilder:
             return self.fact_table_name
         raise AlgebraError(f"no SQL rendering for {expr!r}")
 
+    # -- predicates ------------------------------------------------------
+
+    def _predicate(self, predicate: Predicate, over: Expr) -> str:
+        """Render a predicate in the context of the table ``over``."""
+        if not self.dialect.executable:
+            return predicate_to_sql(predicate)
+        if over.is_fact_like():
+            context = _FactContext(over.schema)
+        else:
+            context = _MeasureContext(over.granularity)
+        return predicate_to_sql(predicate, context=context)
+
+    def _predicates(self, predicates, over: Expr) -> str:
+        return " AND ".join(
+            self._predicate(p, over) for p in predicates
+        )
+
+    # -- Table 2: aggregation --------------------------------------------
+
     def _translate_aggregate(self, expr: Aggregate) -> str:
+        if self.dialect.executable:
+            return self._translate_aggregate_executable(expr)
         inner_expr, predicates = _peel(expr.child)
         if isinstance(inner_expr, FactTable):
             source = self.fact_table_name
             source_gran = inner_expr.granularity
             measure_arg = (
-                "*" if expr.agg.input_field == "*" else _sanitize(
-                    expr.agg.input_field
-                )
+                "*"
+                if expr.agg.input_field == "*"
+                else _sanitize(expr.agg.input_field)
             )
         else:
             source = self.build(inner_expr)
@@ -224,25 +584,27 @@ class _SqlBuilder:
         select_cols = []
         group_cols = []
         schema = expr.schema
-        for dim, col in _dim_columns(expr.granularity):
+        for dim, col in dim_columns(expr.granularity):
             base_col = (
-                _sanitize(schema.dimensions[dim].abbrev)
+                _fact_column(schema, dim)
                 if isinstance(inner_expr, FactTable)
-                else dict(_dim_columns(source_gran))[dim]
+                else dict(dim_columns(source_gran))[dim]
             )
-            rendered = _gamma_between(
+            rendered = self.gamma_between(
                 schema, dim, source_gran, expr.granularity, base_col
             )
             select_cols.append(f"{rendered} AS {col}")
             group_cols.append(rendered)
-        agg_fn = expr.agg.function.name.upper()
-        select_cols.append(f"{agg_fn}({measure_arg}) AS M")
+        agg_sql = self.dialect.aggregate_sql(
+            expr.agg.function.name, measure_arg
+        )
+        select_cols.append(f"{agg_sql} AS M")
         where = ""
         if predicates:
-            rendered = " AND ".join(
-                predicate_to_sql(p) for p in predicates
+            where = (
+                f"\n  WHERE "
+                f"{self._predicates(predicates, inner_expr)}"
             )
-            where = f"\n  WHERE {rendered}"
         group = (
             f"\n  GROUP BY {', '.join(group_cols)}" if group_cols else ""
         )
@@ -256,48 +618,215 @@ class _SqlBuilder:
         )
         return name
 
+    def _translate_aggregate_executable(self, expr: Aggregate) -> str:
+        """Table 2 with gammas as *real joins* on lookup tables.
+
+        The source (fact table or measure CTE) is aliased ``B``; every
+        dimension that generalizes joins its ``gamma_d<i>_<f>_<t>``
+        lookup table and groups by the looked-up ``dst``.  A constant
+        ``GROUP BY`` guards the zero-key-column case: SQL's global
+        aggregate returns one row even over empty input, while the
+        engines' region sets contain only non-empty groups.
+        """
+        inner_expr, predicates = _peel(expr.child)
+        schema = expr.schema
+        from_fact = isinstance(inner_expr, FactTable)
+        source = (
+            self.fact_table_name if from_fact else self.build(inner_expr)
+        )
+        source_gran = inner_expr.granularity
+        source_cols = (
+            None if from_fact else dict(dim_columns(source_gran))
+        )
+
+        joins: list[str] = []
+        select_cols: list[str] = []
+        group_cols: list[str] = []
+        for dim, col in dim_columns(expr.granularity):
+            base_col = (
+                _fact_column(schema, dim)
+                if from_fact
+                else source_cols[dim]
+            )
+            base_expr = f"B.{base_col}"
+            from_level = source_gran.levels[dim]
+            to_level = expr.granularity.levels[dim]
+            if to_level == from_level:
+                rendered = base_expr
+            else:
+                table = self.lookup(dim, from_level, to_level)
+                alias = f"g{dim}"
+                joins.append(
+                    f"\n  JOIN {table} {alias} "
+                    f"ON {alias}.src = {base_expr}"
+                )
+                rendered = f"{alias}.dst"
+            select_cols.append(f"{rendered} AS {col}")
+            group_cols.append(rendered)
+
+        function_name = expr.agg.function.name
+        constant = _constant_aggregate_value(function_name)
+        if constant is not None:
+            agg_sql = _render_value(constant)
+        else:
+            if from_fact:
+                if expr.agg.input_field == "*":
+                    arg = "*"
+                else:
+                    context = _FactContext(schema, alias="B")
+                    arg = context.resolve(expr.agg.input_field)
+            else:
+                # Measure tables carry a single measure M; the engines
+                # feed it to the aggregate even for count(*) specs
+                # (COUNT over a measure table counts non-NULL M).
+                arg = "B.M"
+            agg_sql = self.dialect.aggregate_sql(function_name, arg)
+        select_cols.append(f"{agg_sql} AS M")
+
+        where = ""
+        if predicates:
+            if from_fact:
+                context = _FactContext(schema, alias="B")
+            else:
+                context = _MeasureContext(source_gran, alias="B")
+            rendered = " AND ".join(
+                predicate_to_sql(p, context=context) for p in predicates
+            )
+            where = f"\n  WHERE {rendered}"
+        group = (
+            f"\n  GROUP BY {', '.join(group_cols)}"
+            if group_cols
+            else "\n  GROUP BY 'all'"
+        )
+        name = self._fresh("agg")
+        self.ctes.append(
+            (
+                name,
+                f"SELECT {', '.join(select_cols)}\n"
+                f"  FROM {source} B{''.join(joins)}{where}{group}",
+            )
+        )
+        return name
+
+    # -- Table 3: match join ---------------------------------------------
+
     def _translate_match_join(self, expr: MatchJoin) -> str:
         target = self.build(expr.target)
         source_expr, predicates = _peel(expr.source)
         source = self.build(source_expr)
         if predicates:
             filtered = self._fresh("filtered")
-            rendered = " AND ".join(
-                predicate_to_sql(p) for p in predicates
-            )
+            rendered = self._predicates(predicates, source_expr)
             self.ctes.append(
                 (filtered, f"SELECT * FROM {source}\n  WHERE {rendered}")
             )
             source = filtered
-        s_cols = [col for __, col in _dim_columns(expr.granularity)]
-        cond = _cond_to_sql(
+        s_cols = [col for __, col in dim_columns(expr.granularity)]
+        cond = self._cond_to_sql(
             expr.cond,
             expr.granularity,
             source_expr.granularity,
             "S",
             "T",
         )
-        agg_fn = expr.agg.function.name.upper()
-        select = ", ".join(f"S.{col}" for col in s_cols) or "1 AS one"
-        group = (
-            "\n  GROUP BY " + ", ".join(f"S.{col}" for col in s_cols)
-            if s_cols
-            else ""
-        )
+        function_name = expr.agg.function.name
+        constant = _constant_aggregate_value(function_name)
+        if constant is not None and self.dialect.executable:
+            agg_sql = _render_value(constant)
+        else:
+            agg_sql = self.dialect.aggregate_sql(function_name, "T.M")
+        select = ", ".join(f"S.{col}" for col in s_cols)
+        if not select and not self.dialect.executable:
+            select = "1 AS one"
+        if s_cols:
+            group = "\n  GROUP BY " + ", ".join(
+                f"S.{col}" for col in s_cols
+            )
+        else:
+            # Same zero-key-column guard as aggregation: without it a
+            # grouped-less SQL aggregate fabricates one row over an
+            # empty S.
+            group = "\n  GROUP BY 'all'" if self.dialect.executable else ""
         name = self._fresh("match")
+        prefix = f"{select}, " if select else ""
         self.ctes.append(
             (
                 name,
-                f"SELECT {select}, {agg_fn}(T.M) AS M\n"
+                f"SELECT {prefix}{agg_sql} AS M\n"
                 f"  FROM {target} S\n"
                 f"  LEFT OUTER JOIN {source} T ON {cond}{group}",
             )
         )
         return name
 
+    def _cond_to_sql(
+        self,
+        cond: MatchCondition,
+        s_gran: Granularity,
+        t_gran: Granularity,
+        s_alias: str,
+        t_alias: str,
+    ) -> str:
+        schema = s_gran.schema
+        clauses = []
+        if isinstance(cond, SelfMatch):
+            for __, col in dim_columns(s_gran):
+                clauses.append(f"{s_alias}.{col} = {t_alias}.{col}")
+        elif isinstance(cond, ParentChild):
+            # gamma(S.X) = T.X
+            for dim, t_col in dim_columns(t_gran):
+                s_col = dict(dim_columns(s_gran))[dim]
+                lifted = self.gamma_between(
+                    schema, dim, s_gran, t_gran, f"{s_alias}.{s_col}"
+                )
+                clauses.append(f"{lifted} = {t_alias}.{t_col}")
+        elif isinstance(cond, ChildParent):
+            for dim, s_col in dim_columns(s_gran):
+                t_col = dict(dim_columns(t_gran))[dim]
+                lifted = self.gamma_between(
+                    schema, dim, t_gran, s_gran, f"{t_alias}.{t_col}"
+                )
+                clauses.append(f"{lifted} = {s_alias}.{s_col}")
+        elif isinstance(cond, Sibling):
+            windows = cond.resolve(schema)
+            for dim, col in dim_columns(s_gran):
+                if dim in windows:
+                    before, after = windows[dim]
+                    clauses.append(
+                        f"{t_alias}.{col} BETWEEN "
+                        f"{s_alias}.{col} - {before} "
+                        f"AND {s_alias}.{col} + {after}"
+                    )
+                else:
+                    clauses.append(
+                        f"{s_alias}.{col} = {t_alias}.{col}"
+                    )
+        elif isinstance(cond, Lags):
+            offsets = cond.resolve(schema)
+            for dim, col in dim_columns(s_gran):
+                if dim in offsets:
+                    deltas = ", ".join(
+                        str(d) for d in offsets[dim]
+                    )
+                    clauses.append(
+                        f"({t_alias}.{col} - {s_alias}.{col}) "
+                        f"IN ({deltas})"
+                    )
+                else:
+                    clauses.append(
+                        f"{s_alias}.{col} = {t_alias}.{col}"
+                    )
+        else:
+            raise AlgebraError(
+                f"no SQL rendering for condition {cond!r}"
+            )
+        return " AND ".join(clauses) if clauses else "1 = 1"
+
+    # -- Table 4: combine join -------------------------------------------
+
     def _translate_combine_join(self, expr: CombineJoin) -> str:
         base = self.build(expr.base)
-        cols = [col for __, col in _dim_columns(expr.granularity)]
+        cols = [col for __, col in dim_columns(expr.granularity)]
         joins = []
         args = ["S.M"]
         for i, child in enumerate(expr.inputs, start=1):
@@ -305,9 +834,7 @@ class _SqlBuilder:
             child_name = self.build(child_expr)
             if predicates:
                 filtered = self._fresh("filtered")
-                rendered = " AND ".join(
-                    predicate_to_sql(p) for p in predicates
-                )
+                rendered = self._predicates(predicates, child_expr)
                 self.ctes.append(
                     (
                         filtered,
@@ -325,7 +852,10 @@ class _SqlBuilder:
             )
             args.append(f"{alias}.M")
         select = ", ".join(f"S.{col}" for col in cols)
-        fc = _sanitize(expr.fn.name).upper() or "FC"
+        if self.dialect.executable:
+            fc = self.function_name(expr.fn, len(args))
+        else:
+            fc = _sanitize(expr.fn.name).upper() or "FC"
         name = self._fresh("combine")
         body = (
             f"SELECT {select + ', ' if select else ''}"
@@ -344,17 +874,49 @@ def _peel(expr: Expr) -> tuple[Expr, list]:
     return expr, predicates
 
 
-def to_sql(expr: Expr, fact_table_name: str = "D") -> str:
+def compile_sql(
+    expr: Expr,
+    fact_table_name: str = "D",
+    dialect: SqlDialect = PAPER,
+    lookups: dict[tuple[int, int, int], str] | None = None,
+    functions: dict[str, tuple[CombineFn, int]] | None = None,
+) -> SqlCompilation:
+    """Compile an AW-RA expression to one SQL query.
+
+    ``lookups`` / ``functions`` may be shared across calls so a
+    multi-measure workflow compiles to queries that agree on lookup
+    table and UDF names (:mod:`repro.backends.compiler` does this).
+    """
+    builder = _SqlBuilder(
+        fact_table_name,
+        dialect=dialect,
+        lookups=lookups,
+        functions=functions,
+    )
+    final = builder.build(expr)
+    if not builder.ctes:
+        sql = f"SELECT * FROM {final};"
+    else:
+        rendered = ",\n".join(
+            f"{name} AS (\n  {body}\n)" for name, body in builder.ctes
+        )
+        sql = f"WITH {rendered}\nSELECT * FROM {final};"
+    return SqlCompilation(
+        sql=sql,
+        dialect=dialect,
+        lookups=builder.lookups,
+        functions=builder.functions,
+    )
+
+
+def to_sql(
+    expr: Expr,
+    fact_table_name: str = "D",
+    dialect: SqlDialect = PAPER,
+) -> str:
     """Render an AW-RA expression as the paper's equivalent SQL.
 
     Returns a ``WITH`` query whose final ``SELECT`` yields the
     expression's measure table (dimension columns plus ``M``).
     """
-    builder = _SqlBuilder(fact_table_name)
-    final = builder.build(expr)
-    if not builder.ctes:
-        return f"SELECT * FROM {final};"
-    rendered = ",\n".join(
-        f"{name} AS (\n  {body}\n)" for name, body in builder.ctes
-    )
-    return f"WITH {rendered}\nSELECT * FROM {final};"
+    return compile_sql(expr, fact_table_name, dialect).sql

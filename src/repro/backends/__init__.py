@@ -1,0 +1,69 @@
+"""Executable SQL backends (the paper's Tables 2-4, actually run).
+
+``repro.backends`` closes the loop the paper opens: every AW-RA
+operator is *defined* by an equivalent SQL query, and this package
+loads a :class:`~repro.storage.table.Dataset` into a real relational
+engine, executes the compiled translation of a full workflow, and
+decodes the results back into ``MeasureTable`` form — making the
+paper's own SQL semantics a third differential oracle next to the
+in-memory engines (:mod:`repro.testkit.differential`).
+
+Engines: ``sqlite`` (stdlib, always available) and ``duckdb``
+(optional; skipped with a reason when not importable).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import SQLBackend, SQLEvalResult
+from repro.backends.compiler import (
+    CompiledWorkflow,
+    MeasureQuery,
+    compile_workflow_sql,
+)
+from repro.backends.duckdb_backend import (
+    DuckDbBackend,
+    duckdb_unavailable_reason,
+)
+from repro.backends.sqlite_backend import SqliteBackend
+from repro.errors import BackendError
+
+_BACKENDS: dict[str, type[SQLBackend]] = {
+    "sqlite": SqliteBackend,
+    "duckdb": DuckDbBackend,
+}
+
+#: Engine names in registration order (CLI choices, bench sweeps).
+ENGINE_NAMES = tuple(_BACKENDS)
+
+
+def backend_unavailable_reason(engine: str) -> str | None:
+    """None when ``engine`` exists and can run here, else the reason."""
+    cls = _BACKENDS.get(engine)
+    if cls is None:
+        known = ", ".join(sorted(_BACKENDS))
+        return f"unknown SQL engine {engine!r} (known: {known})"
+    return cls().available_reason()
+
+
+def get_backend(engine: str = "sqlite") -> SQLBackend:
+    """A ready-to-use backend, or :class:`BackendError` with the reason."""
+    reason = backend_unavailable_reason(engine)
+    if reason is not None:
+        raise BackendError(reason)
+    return _BACKENDS[engine]()
+
+
+__all__ = [
+    "BackendError",
+    "CompiledWorkflow",
+    "DuckDbBackend",
+    "ENGINE_NAMES",
+    "MeasureQuery",
+    "SQLBackend",
+    "SQLEvalResult",
+    "SqliteBackend",
+    "backend_unavailable_reason",
+    "compile_workflow_sql",
+    "duckdb_unavailable_reason",
+    "get_backend",
+]

@@ -1,0 +1,179 @@
+"""The ``SQLBackend`` interface and the shared DB-API execution path.
+
+A backend owns one relational engine (stdlib ``sqlite3``, optionally
+DuckDB) and runs a compiled workflow end to end: create the fact and
+dimension lookup tables, bulk-load them, register combine-function
+UDFs, execute one query per stored measure, and decode the result rows
+back into :class:`~repro.storage.table.MeasureTable`\\ s keyed exactly
+like the in-memory engines' output (full dimension width, ``ALL_VALUE``
+in the slots the granularity holds at ALL) — which is what lets
+``equal_rows`` compare backends row-for-row.
+
+Both bundled engines speak enough of DB-API (``execute`` /
+``executemany`` / ``fetchall``) that the whole evaluation loop lives
+here; subclasses only provide :meth:`SQLBackend.connect` and
+:meth:`SQLBackend.register_function`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expr import CombineFn
+from repro.backends.compiler import (
+    CompiledWorkflow,
+    MeasureQuery,
+    compile_workflow_sql,
+    timed,
+)
+from repro.errors import BackendError
+from repro.schema.domain import ALL_VALUE
+from repro.storage.table import Dataset, MeasureTable
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@dataclass
+class SQLEvalResult:
+    """Measure tables plus what could not run and how long the rest took.
+
+    ``timings`` has one entry per executed measure (seconds for the
+    query itself) plus ``"load"`` (schema creation and bulk insert).
+    """
+
+    engine: str
+    tables: dict[str, MeasureTable] = field(default_factory=dict)
+    skipped: dict[str, str] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> MeasureTable:
+        return self.tables[name]
+
+
+class SQLBackend:
+    """One relational engine behind the workflow-execution interface."""
+
+    name = "sql"
+
+    #: The executable dialect the compiler should target; set by
+    #: subclasses (:data:`repro.algebra.sql.SQLITE` / ``DUCKDB``).
+    dialect = None
+
+    def available_reason(self) -> str | None:
+        """None when the engine can run here, else why it cannot."""
+        return None
+
+    def connect(self):
+        """A fresh in-memory DB-API connection."""
+        raise NotImplementedError
+
+    def register_function(self, conn, name: str, arity: int, fn) -> None:
+        """Expose a combine fn as a scalar UDF named ``name``."""
+        raise NotImplementedError
+
+    # -- the shared evaluation loop -------------------------------------
+
+    def compile(
+        self, workflow: AggregationWorkflow, strict: bool = False
+    ) -> CompiledWorkflow:
+        return compile_workflow_sql(
+            workflow, dialect=self.dialect, strict=strict
+        )
+
+    def evaluate(
+        self,
+        dataset: Dataset,
+        workflow: AggregationWorkflow,
+        strict: bool = False,
+    ) -> SQLEvalResult:
+        """Run every stored measure of ``workflow`` on this engine.
+
+        Measures without an executable SQL form are reported in
+        ``result.skipped`` (or raised, with ``strict=True``) — see
+        :func:`repro.backends.compiler.compile_workflow_sql`.
+        """
+        reason = self.available_reason()
+        if reason is not None:
+            raise BackendError(
+                f"backend {self.name!r} unavailable: {reason}"
+            )
+        compiled = self.compile(workflow, strict=strict)
+        result = SQLEvalResult(
+            engine=self.name, skipped=dict(compiled.skipped)
+        )
+        conn = self.connect()
+        try:
+            __, result.timings["load"] = timed(
+                self._load, conn, dataset, compiled
+            )
+            for name, (fn, arity) in compiled.functions.items():
+                self.register_function(conn, name, arity, fn)
+            for query in compiled.queries:
+                rows, seconds = timed(self._fetch, conn, query.sql)
+                result.tables[query.name] = self._decode_table(
+                    query, rows
+                )
+                result.timings[query.name] = seconds
+        finally:
+            conn.close()
+        return result
+
+    def _load(
+        self, conn, dataset: Dataset, compiled: CompiledWorkflow
+    ) -> None:
+        for statement in compiled.create_statements():
+            conn.execute(statement)
+        conn.executemany(
+            compiled.insert_statement(),
+            [tuple(record) for record in dataset.scan()],
+        )
+        for table, rows in compiled.lookup_rows(dataset).items():
+            conn.executemany(
+                f"INSERT INTO {table} VALUES (?, ?)", rows
+            )
+
+    def _fetch(self, conn, sql: str) -> list[tuple]:
+        return conn.execute(sql).fetchall()
+
+    def _decode_table(
+        self, query: MeasureQuery, rows: list[tuple]
+    ) -> MeasureTable:
+        """SQL rows → a MeasureTable keyed like the in-memory engines.
+
+        The query's ``SELECT`` emits the granularity's key columns in
+        ascending dimension order, then ``M``; dimensions the
+        granularity holds at ALL get the constant ``ALL_VALUE`` slot.
+        SQL ``NULL`` comes back as Python ``None``, which is already
+        the engines' empty-aggregate value — no mapping needed.
+        """
+        granularity = query.granularity
+        key_dims = granularity.key_dims
+        width = granularity.schema.num_dimensions
+        expected = len(key_dims) + 1
+        table_rows: dict[tuple, object] = {}
+        for row in rows:
+            if len(row) != expected:
+                raise BackendError(
+                    f"measure {query.name!r}: expected "
+                    f"{expected}-column rows (keys + M), got {len(row)}"
+                )
+            key = [ALL_VALUE] * width
+            for slot, dim in enumerate(key_dims):
+                key[dim] = row[slot]
+            table_rows[tuple(key)] = row[-1]
+        return MeasureTable(
+            query.name, granularity, rows=table_rows
+        )
+
+
+def _null_safe(fn: CombineFn):
+    """Wrap a combine fn for UDF use.
+
+    :class:`~repro.algebra.expr.CombineFn` already short-circuits NULL
+    inputs unless the fn opted in via ``handles_null``; the wrapper
+    just gives the engine a plain callable.
+    """
+
+    def call(*args):
+        return fn(*args)
+
+    return call

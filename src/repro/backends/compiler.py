@@ -1,0 +1,175 @@
+"""Workflow → executable-SQL compilation (the backend's front half).
+
+:func:`compile_workflow_sql` turns a full multi-measure workflow into
+one ``WITH`` query per *stored* (non-hidden) measure, plus everything a
+relational engine needs to run them: ``CREATE TABLE`` statements for
+the fact table and for the dimension lookup tables that materialize
+the paper's ``GAMMA_*`` value-generalization calls as real joins, and
+the combine functions that must be registered as UDFs.
+
+Measures whose SQL has no executable form in the target dialect
+(``median`` on sqlite, ``approx_distinct`` everywhere — see
+:class:`repro.algebra.sql.SqlUnsupportedError`) are *skipped with a
+reason* rather than compiled wrong; ``strict=True`` turns the first
+skip into the raised error, naming the measure.  A measure that merely
+*depends on* an unsupported aggregate is skipped too: each output
+compiles its whole expression tree, so the offending sub-expression
+fails the dependent query's own compilation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.expr import CombineFn
+from repro.algebra.sql import (
+    SqlDialect,
+    SqlUnsupportedError,
+    SQLITE,
+    compile_sql,
+    fact_columns,
+)
+from repro.cube.granularity import Granularity
+from repro.schema.dataset_schema import DatasetSchema
+from repro.storage.table import Dataset
+from repro.workflow.workflow import AggregationWorkflow
+
+
+@dataclass
+class MeasureQuery:
+    """One stored measure's executable query."""
+
+    name: str
+    sql: str
+    granularity: Granularity
+
+
+@dataclass
+class CompiledWorkflow:
+    """A workflow lowered to SQL plus its runtime requirements."""
+
+    schema: DatasetSchema
+    fact_table: str
+    dialect: SqlDialect
+    queries: list[MeasureQuery] = field(default_factory=list)
+    #: measure name -> human-readable reason it cannot run here.
+    skipped: dict[str, str] = field(default_factory=dict)
+    #: (dim, from_level, to_level) -> lookup table name.
+    lookups: dict[tuple[int, int, int], str] = field(default_factory=dict)
+    #: UDF name -> (combine fn, arity).
+    functions: dict[str, tuple[CombineFn, int]] = field(
+        default_factory=dict
+    )
+
+    def create_statements(self) -> list[str]:
+        """DDL for the fact table and every needed lookup table."""
+        columns = fact_columns(self.schema)
+        parts = []
+        for dim in self.schema.dimensions:
+            parts.append(f"{columns[dim.name]} INTEGER")
+        for measure in self.schema.measures:
+            parts.append(
+                f"{columns[measure]} {self.dialect.measure_type}"
+            )
+        statements = [
+            f"CREATE TABLE {self.fact_table} ({', '.join(parts)})"
+        ]
+        for table in self.lookups.values():
+            # src is unique: generalization is a function of the value.
+            statements.append(
+                f"CREATE TABLE {table} "
+                f"(src INTEGER PRIMARY KEY, dst INTEGER)"
+            )
+        return statements
+
+    def insert_statement(self) -> str:
+        """Parameterized fact-row insert (DB-API ``?`` placeholders)."""
+        width = (
+            self.schema.num_dimensions + len(self.schema.measures)
+        )
+        marks = ", ".join("?" for __ in range(width))
+        return f"INSERT INTO {self.fact_table} VALUES ({marks})"
+
+    def lookup_rows(
+        self, dataset: Dataset
+    ) -> dict[str, list[tuple[int, int]]]:
+        """Materialize every lookup table's rows from the dataset.
+
+        A ``gamma_d<i>_<f>_<t>`` table holds one ``(src, dst)`` pair per
+        distinct level-``f`` value of dimension ``i`` occurring in the
+        data.  That is complete by construction: every value a compiled
+        query can feed through the lookup derives from the dataset's
+        base values via the same generalization chain.
+        """
+        needed = sorted(self.lookups)
+        if not needed:
+            return {}
+        dims = sorted({dim for dim, __, __ in needed})
+        base_values: dict[int, set[int]] = {dim: set() for dim in dims}
+        for record in dataset.scan():
+            for dim in dims:
+                base_values[dim].add(record[dim])
+        rows: dict[str, list[tuple[int, int]]] = {}
+        for dim, from_level, to_level in needed:
+            dimension = self.schema.dimensions[dim]
+            pairs = {
+                dimension.generalize(value, 0, from_level)
+                for value in base_values[dim]
+            }
+            rows[self.lookups[(dim, from_level, to_level)]] = sorted(
+                (src, dimension.generalize(src, from_level, to_level))
+                for src in pairs
+            )
+        return rows
+
+
+def compile_workflow_sql(
+    workflow: AggregationWorkflow,
+    dialect: SqlDialect = SQLITE,
+    fact_table: str = "D",
+    strict: bool = False,
+) -> CompiledWorkflow:
+    """Compile every stored measure of ``workflow`` for ``dialect``.
+
+    With ``strict=False`` (the default) unsupported measures land in
+    ``skipped`` with the reason; with ``strict=True`` the first one
+    raises :class:`~repro.algebra.sql.SqlUnsupportedError` carrying the
+    measure name.
+    """
+    compiled = CompiledWorkflow(
+        schema=workflow.schema, fact_table=fact_table, dialect=dialect
+    )
+    exprs = workflow.to_algebra()
+    for name in workflow.outputs():
+        expr = exprs[name]
+        try:
+            result = compile_sql(
+                expr,
+                fact_table_name=fact_table,
+                dialect=dialect,
+                lookups=compiled.lookups,
+                functions=compiled.functions,
+            )
+        except SqlUnsupportedError as exc:
+            if strict:
+                raise SqlUnsupportedError(
+                    f"measure {name!r}: {exc}",
+                    feature=exc.feature,
+                    measure=name,
+                ) from exc
+            compiled.skipped[name] = str(exc)
+            continue
+        compiled.queries.append(
+            MeasureQuery(
+                name=name, sql=result.sql, granularity=expr.granularity
+            )
+        )
+    return compiled
+
+
+def timed(fn, *args):
+    """(result, seconds) of ``fn(*args)`` — shared by the backends."""
+    started = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - started

@@ -1,0 +1,61 @@
+"""The optional second SQL engine: DuckDB.
+
+DuckDB is deliberately *not* a dependency of this repo — the backend
+activates only when the module is already importable, and everything
+that touches it reports a reason instead of failing when it is absent
+(mirroring the numpy gating in ``benchmarks/conftest.py``).  With
+DuckDB present, holistic aggregates the sqlite dialect refuses
+(``median``) compile to native forms, making the engine-vs-engine
+comparison strictly wider.
+
+UDF registration uses DOUBLE parameters with ``null_handling``
+``"special"`` so combine functions see SQL NULL as Python ``None`` —
+the same contract the in-memory engines and sqlite give them.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.sql import DUCKDB
+from repro.backends.base import SQLBackend, _null_safe
+from repro.errors import BackendError
+
+
+def duckdb_unavailable_reason() -> str | None:
+    """None when DuckDB can be used, else a skip-worthy reason."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return "duckdb is not importable in this environment"
+    return None
+
+
+class DuckDbBackend(SQLBackend):
+    """Run compiled workflows on an in-memory DuckDB database."""
+
+    name = "duckdb"
+    dialect = DUCKDB
+
+    def available_reason(self) -> str | None:
+        """Delegate to :func:`duckdb_unavailable_reason`."""
+        return duckdb_unavailable_reason()
+
+    def connect(self):
+        """Open an in-memory database, or raise with the absence reason."""
+        reason = self.available_reason()
+        if reason is not None:
+            raise BackendError(f"backend 'duckdb' unavailable: {reason}")
+        import duckdb
+
+        return duckdb.connect(":memory:")
+
+    def register_function(self, conn, name, arity, fn):
+        """Register a combine fn as a NULL-aware scalar UDF."""
+        from duckdb.typing import DOUBLE
+
+        conn.create_function(
+            name,
+            _null_safe(fn),
+            [DOUBLE] * arity,
+            DOUBLE,
+            null_handling="special",
+        )

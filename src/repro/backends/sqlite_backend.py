@@ -1,0 +1,47 @@
+"""The always-available SQL engine: stdlib ``sqlite3``.
+
+In-memory database per evaluation; CTEs cover the paper's Tables 2-4
+translations directly.  Combine functions register as deterministic
+scalar UDFs (sqlite passes SQL NULL through as Python ``None``, which
+:class:`~repro.algebra.expr.CombineFn` already treats with SQL's NULL
+semantics).  sqlite builds since 3.35 ship the math functions
+(``sqrt``, needed by the ``stddev`` compilation); when a build without
+them turns up, a Python fallback is registered instead of failing.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+from repro.algebra.sql import SQLITE
+from repro.backends.base import SQLBackend, _null_safe
+
+
+def _sqrt(value):
+    if value is None or value < 0:
+        return None
+    return math.sqrt(value)
+
+
+class SqliteBackend(SQLBackend):
+    """Run compiled workflows on an in-memory stdlib sqlite3 database."""
+
+    name = "sqlite"
+    dialect = SQLITE
+
+    def connect(self):
+        """Open an in-memory database, with a ``sqrt`` UDF fallback
+        for sqlite builds compiled without the math functions."""
+        conn = sqlite3.connect(":memory:")
+        try:
+            conn.execute("SELECT sqrt(1.0)")
+        except sqlite3.OperationalError:
+            conn.create_function("sqrt", 1, _sqrt, deterministic=True)
+        return conn
+
+    def register_function(self, conn, name, arity, fn):
+        """Register a combine fn as a deterministic scalar UDF."""
+        conn.create_function(
+            name, arity, _null_safe(fn), deterministic=True
+        )

@@ -294,6 +294,19 @@ def columnar(scale: float = 1.0) -> list[BenchRow]:
     return columnar_rows(scale=scale)
 
 
+def sql(scale: float = 1.0) -> list[BenchRow]:
+    """SQL-backend vs in-memory engines (not a paper figure).
+
+    Every shipped query family on sqlite (and duckdb when importable)
+    against the sort/scan and relational engines, each SQL timing
+    verified row-for-row first; ``repro bench --figure sql --json``
+    fetches the full ``BENCH_sql.json`` payload via ``sql_bench``.
+    """
+    from repro.bench.sql import sql_rows
+
+    return sql_rows(scale=scale)
+
+
 def service(scale: float = 1.0) -> list[BenchRow]:
     """Sharded-service throughput sweep (not a paper figure).
 
@@ -309,6 +322,7 @@ def service(scale: float = 1.0) -> list[BenchRow]:
 ALL_FIGURES = {
     "columnar": columnar,
     "service": service,
+    "sql": sql,
     "fig6a": fig6a,
     "fig6b": fig6b,
     "fig6c": fig6c,

@@ -11,6 +11,9 @@ module is that front door:
 - ``explain`` — show a query's AW-RA algebra, its equivalent SQL
   (Tables 2-4), the compiled evaluation graph, the streaming plan, or
   GraphViz DOT;
+- ``sql`` — compile a query to *executable* SQL and run it on a real
+  relational engine (stdlib sqlite3, or duckdb when importable),
+  decoding results back into measure tables;
 - ``bench`` — regenerate one of the paper's figures at a chosen scale;
 - ``ingest`` — bootstrap a persistent measure store from a flat file,
   or fold a delta batch into it incrementally;
@@ -250,6 +253,39 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--rows", type=int, default=1_000_000,
         help="assumed dataset size for --show cost/plan estimates",
+    )
+
+    sql = sub.add_parser(
+        "sql",
+        help="compile a query to executable SQL and run it on a "
+        "relational engine (sqlite3 / duckdb)",
+    )
+    sql.add_argument(
+        "--query", choices=sorted(_QUERIES), required=True
+    )
+    sql.add_argument(
+        "--engine", choices=("sqlite", "duckdb"), default="sqlite"
+    )
+    sql_mode = sql.add_mutually_exclusive_group()
+    sql_mode.add_argument(
+        "--explain", action="store_true",
+        help="print the DDL and per-measure SQL without executing",
+    )
+    sql_mode.add_argument(
+        "--run", action="store_true",
+        help="load a dataset and execute (the default)",
+    )
+    sql.add_argument(
+        "--data", default=None,
+        help="binary flat file (default: generate a small dataset)",
+    )
+    sql.add_argument(
+        "--records", type=int, default=5_000,
+        help="generated dataset size when --data is omitted",
+    )
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument(
+        "--limit", type=int, default=10, help="rows to print per measure"
     )
 
     bench = sub.add_parser(
@@ -660,6 +696,70 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _sql_dataset(args, family: str, schema):
+    """The dataset ``repro sql`` runs over.
+
+    An explicit ``--data`` flat file wins; otherwise a small dataset is
+    generated in-process with the family's matching generator, bound to
+    the *same* schema object the workflow was built from.
+    """
+    from repro.storage.table import InMemoryDataset
+
+    if args.data:
+        return FlatFileDataset(args.data, schema)
+    kind = "honeynet" if family == "network" else "synthetic"
+    generator = _GENERATORS[kind](args.seed)
+    return InMemoryDataset(schema, generator.records(args.records))
+
+
+def _cmd_sql(args) -> int:
+    from repro.algebra.sql import EXECUTABLE_DIALECTS
+    from repro.backends import compile_workflow_sql, get_backend
+
+    family, build = _QUERIES[args.query]
+    schema = _SCHEMAS[family]()
+    workflow = build(schema)
+    if args.explain:
+        # Explaining never needs the engine itself, so duckdb SQL can
+        # be inspected even where duckdb is not importable.
+        compiled = compile_workflow_sql(
+            workflow, dialect=EXECUTABLE_DIALECTS[args.engine]
+        )
+        for statement in compiled.create_statements():
+            print(f"{statement};")
+        for name, (fn, arity) in compiled.functions.items():
+            print(f"-- UDF {name}/{arity - 1}+1: combine fn {fn!r}")
+        print()
+        for query in compiled.queries:
+            print(f"-- measure {query.name}")
+            print(query.sql)
+            print()
+        for name, reason in compiled.skipped.items():
+            print(f"-- measure {name} SKIPPED: {reason}")
+        return 0
+    backend = get_backend(args.engine)
+    dataset = _sql_dataset(args, family, schema)
+    result = backend.evaluate(dataset, workflow)
+    for name in workflow.outputs():
+        if name in result.skipped:
+            print(f"(measure {name!r} skipped: {result.skipped[name]})")
+            continue
+        print(result.tables[name].pretty(limit=args.limit))
+        print()
+    load = result.timings.get("load", 0.0)
+    query_seconds = sum(
+        seconds
+        for key, seconds in result.timings.items()
+        if key != "load"
+    )
+    print(
+        f"engine={result.engine} rows={len(dataset)} "
+        f"measures={len(result.tables)} skipped={len(result.skipped)} "
+        f"load={load:.3f}s query={query_seconds:.3f}s"
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     payload = None
     if args.figure == "columnar":
@@ -676,6 +776,11 @@ def _cmd_bench(args) -> int:
         from repro.bench.service import service_bench
 
         rows, payload = service_bench(scale=args.scale)
+    elif args.figure == "sql":
+        # And for the SQL engine-vs-engine sheet.
+        from repro.bench.sql import sql_bench
+
+        rows, payload = sql_bench(scale=args.scale)
     else:
         rows = ALL_FIGURES[args.figure](scale=args.scale)
     print(format_table(f"{args.figure} (scale={args.scale})", rows))
@@ -700,6 +805,15 @@ def _cmd_bench(args) -> int:
             "read scaling 1→4 shards: "
             + (f"{scaling:.2f}x" if scaling else "n/a")
             + f" (target {metrics['target_read_scaling_4x']:.1f}x)"
+        )
+    elif payload is not None and args.figure == "sql":
+        metrics = payload["metrics"]
+        geomean = metrics["geomean_sqlite_vs_sortscan"]
+        print(
+            "sqlite vs SortScan geomean: "
+            + (f"{geomean:.2f}x" if geomean else "n/a")
+            + "; all points verified: "
+            + ("yes" if metrics["all_verified"] else "NO")
         )
     if args.json:
         if payload is not None:
@@ -1280,6 +1394,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "explain": _cmd_explain,
+        "sql": _cmd_sql,
         "bench": _cmd_bench,
         "ingest": _cmd_ingest,
         "query": _cmd_query,

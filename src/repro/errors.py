@@ -84,6 +84,15 @@ class StorageError(ReproError):
     """A flat-file table is corrupt or was written with another schema."""
 
 
+class BackendError(ReproError):
+    """An execution backend (e.g. the SQL backend) failed or is absent.
+
+    Covers unknown engine names, engines whose driver module is not
+    importable in this environment, and decode failures mapping engine
+    rows back into :class:`~repro.storage.table.MeasureTable` form.
+    """
+
+
 class FailPointError(ReproError):
     """A fault deliberately injected through :mod:`repro.testkit`.
 

@@ -15,10 +15,13 @@ from repro.engine.single_scan import SingleScanEngine
 from repro.engine.sort_scan import SortScanEngine
 
 __all__ = [
+    "SQL_ORACLE_TOLERANCE",
     "all_engines",
     "assert_engines_agree",
     "assert_batched_equals_scalar",
+    "assert_sql_backend_agrees",
     "batched_divergence",
+    "sql_divergence",
 ]
 
 #: Batch sizes the batched-vs-scalar checks sweep by default: the
@@ -65,6 +68,63 @@ def assert_batched_equals_scalar(
 ) -> None:
     """Assert the columnar path's bit-identity contract on a workflow."""
     divergence = batched_divergence(dataset, workflow, batch_sizes)
+    assert divergence is None, divergence
+
+
+#: Tolerance for the SQL-backend oracle, looser than ``equal_rows``'s
+#: 1e-9 default for one documented reason: the sqlite dialect compiles
+#: ``var``/``stddev`` through the moment formula (``AVG(x*x) -
+#: AVG(x)^2`` — the only portable single-expression form) while the
+#: in-memory engines run the Welford/Chan recurrence, and the two
+#: schemes differ by ~1e-12 relative at unit scale, amplified through
+#: ``sqrt`` and the combine functions.  Everything else (counts, sums,
+#: extrema, averages) agrees far inside this bound.
+SQL_ORACLE_TOLERANCE = 1e-6
+
+
+def sql_divergence(
+    dataset,
+    workflow,
+    engine: str = "sqlite",
+    tol: float = SQL_ORACLE_TOLERANCE,
+) -> str | None:
+    """First way the SQL backend differs from the in-memory engines.
+
+    The third oracle: loads ``dataset`` into a real relational engine,
+    runs the paper's Tables 2-4 translation of every stored measure,
+    and compares row-for-row (``equal_rows``) against *both* the naive
+    relational engine and the sort/scan engine.  SQL ``NULL`` decodes
+    to ``None``, which is exactly the engines' empty-aggregate value,
+    so comparisons need no mapping.  Measures the dialect cannot
+    express (``median`` on sqlite) are skipped — with a reason the
+    backend records — rather than silently passed.  Returns ``None``
+    when every comparison holds.
+    """
+    from repro.backends import get_backend
+
+    backend = get_backend(engine)
+    sql_result = backend.evaluate(dataset, workflow)
+    references = [RelationalEngine(), SortScanEngine()]
+    results = [ref.evaluate(dataset, workflow) for ref in references]
+    for name in workflow.outputs():
+        if name in sql_result.skipped:
+            continue
+        got = sql_result.tables[name]
+        for ref_engine, ref in zip(references, results):
+            want = ref[name]
+            if not want.equal_rows(got, tol=tol):
+                return (
+                    f"{backend.name} disagrees with {ref_engine.name} "
+                    f"on {name!r}: {want.diff(got)}"
+                )
+    return None
+
+
+def assert_sql_backend_agrees(
+    dataset, workflow, engine: str = "sqlite"
+) -> None:
+    """Assert the SQL backend matches the in-memory engines."""
+    divergence = sql_divergence(dataset, workflow, engine)
     assert divergence is None, divergence
 
 

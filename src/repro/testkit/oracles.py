@@ -23,7 +23,12 @@ result — and checks it for one seed of :class:`~repro.testkit
   (the incremental-maintenance contract);
 - ``batched`` — the columnar batched scan is *bit-identical* to the
   row-at-a-time scalar scan for every scan engine at several batch
-  sizes (see :mod:`repro.storage.columnar`).
+  sizes (see :mod:`repro.storage.columnar`);
+- ``sql`` — the paper's own oracle: the generated workflow executed
+  as real SQL (Tables 2-4 translation on sqlite via
+  :mod:`repro.backends`) must match the in-memory engines
+  row-for-row, measures without an executable SQL form skipped with
+  a reason (see :func:`repro.testkit.differential.sql_divergence`).
 
 :func:`run_seed` checks one seed against all (or selected) families
 and returns :class:`OracleFailure` records; every failure message
@@ -69,7 +74,10 @@ from repro.engine.partitioned import PartitionedEngine
 from repro.engine.single_scan import SingleScanEngine
 from repro.schema.dataset_schema import synthetic_schema
 from repro.storage.table import InMemoryDataset
-from repro.testkit.differential import batched_divergence
+from repro.testkit.differential import (
+    batched_divergence,
+    sql_divergence,
+)
 from repro.testkit.generator import (
     PARTITION_DIM,
     RandomCase,
@@ -485,6 +493,17 @@ def _oracle_batched(case: RandomCase, rng: random.Random, tmp) -> None:
         )
 
 
+# -- family: SQL backend vs in-memory engines --------------------------------
+
+
+def _oracle_sql(case: RandomCase, rng: random.Random, tmp) -> None:
+    divergence = sql_divergence(case.dataset, case.workflow)
+    if divergence is not None:
+        raise AssertionError(
+            f"SQL-backend differential violated: {divergence}"
+        )
+
+
 # -- the harness ------------------------------------------------------------
 
 #: Family name → (check, shrink predicate builder or None).  A check
@@ -495,6 +514,7 @@ _FamilyCheck = Callable[[RandomCase, random.Random, str], None]
 
 FAMILIES: tuple[str, ...] = (
     "rewrite", "merge", "rollup", "partition", "ingest", "batched",
+    "sql",
 )
 
 _CHECKS: dict[str, _FamilyCheck] = {
@@ -504,6 +524,7 @@ _CHECKS: dict[str, _FamilyCheck] = {
     "partition": _oracle_partition,
     "ingest": _oracle_ingest,
     "batched": _oracle_batched,
+    "sql": _oracle_sql,
 }
 
 
@@ -517,6 +538,14 @@ def _shrink_predicate(
         return (
             lambda wf: batched_divergence(case.dataset, wf) is not None
         )
+    if family == "sql":
+
+        def sql_still_fails(wf) -> bool:
+            if not wf.outputs():
+                return False
+            return sql_divergence(case.dataset, wf) is not None
+
+        return sql_still_fails
     if family == "ingest":
         counter = [0]
 

@@ -1,0 +1,456 @@
+"""Execution tests for the sqlite SQL backend (repro.backends).
+
+Per-operator coverage — every aggregate, every match-condition type,
+combine joins, selects at both fact and measure level — each checked
+row-for-row against the in-memory engines via the ``sql`` differential
+oracle, plus the boundary cases SQL is notorious for (empty input,
+single row, NULL measures, zero-key granularities) and the identifier
+hazards the executable dialect must survive (case-insensitive column
+collisions, reserved words).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import ChildParent, Lags, SelfMatch
+from repro.algebra.expr import Aggregate, FactTable, MatchJoin
+from repro.algebra.predicates import Field
+from repro.algebra.sql import (
+    DUCKDB,
+    RESERVED_WORDS,
+    SQLITE,
+    SqlUnsupportedError,
+    compile_sql,
+    fact_columns,
+)
+from repro.aggregates.base import AggSpec
+from repro.backends import (
+    BackendError,
+    SqliteBackend,
+    backend_unavailable_reason,
+    compile_workflow_sql,
+    get_backend,
+)
+from repro.backends.compiler import CompiledWorkflow, MeasureQuery
+from repro.cube.granularity import Granularity
+from repro.engine.compile import compile_measures
+from repro.engine.single_scan import SingleScanEngine
+from repro.errors import AlgebraError
+from repro.schema.dataset_schema import (
+    network_log_schema,
+    synthetic_schema,
+)
+from repro.storage.table import InMemoryDataset
+from repro.testkit.differential import (
+    SQL_ORACLE_TOLERANCE,
+    assert_sql_backend_agrees,
+    sql_divergence,
+)
+from repro.workflow.workflow import AggregationWorkflow
+
+
+def _wf(schema, name="sql-test") -> AggregationWorkflow:
+    return AggregationWorkflow(schema, name=name)
+
+
+# -- per-operator: aggregation (Table 2) ------------------------------------
+
+
+@pytest.mark.parametrize(
+    "agg",
+    [
+        "count",
+        ("count", "v"),
+        ("sum", "v"),
+        ("min", "v"),
+        ("max", "v"),
+        ("avg", "v"),
+        ("var", "v"),
+        ("stddev", "v"),
+        ("count_distinct", "v"),
+    ],
+    ids=lambda a: a if isinstance(a, str) else "_".join(a),
+)
+def test_basic_aggregate(syn_schema, syn_dataset, agg):
+    wf = _wf(syn_schema)
+    # Mixed granularity: one generalized dim (a real lookup join), one
+    # at base (no join), one at ALL (no column).
+    wf.basic("out", {"d0": "d0.L1", "d1": "d1.L0"}, agg=agg)
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+@pytest.mark.parametrize("combiner", ["sum", "min", "max", "count", "avg"])
+def test_rollup(syn_schema, syn_dataset, combiner):
+    wf = _wf(syn_schema)
+    wf.basic("fine", {"d0": "d0.L0", "d1": "d1.L0"}, agg=("sum", "v"))
+    wf.rollup("out", {"d0": "d0.L1"}, source="fine", agg=combiner)
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_count_over_measure_source_counts_non_null(syn_schema, syn_dataset):
+    """COUNT over a measure table counts non-NULL M — the engines feed
+    the source M to the aggregate even for count(*) specs, and the SQL
+    must emit COUNT(B.M), not COUNT(*)."""
+    wf = _wf(syn_schema)
+    wf.basic("fine", {"d0": "d0.L0"}, agg=("min", "v"))
+    # A self match keeps every cell, some with NULL M after filtering.
+    wf.match(
+        "masked", {"d0": "d0.L0"}, source="fine",
+        cond=SelfMatch(), agg="min", where=Field("M") > 50,
+    )
+    wf.rollup("out", {"d0": "d0.L1"}, source="masked", agg="count")
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+# -- per-operator: match joins (Table 3), one test per condition type --------
+
+
+def test_match_self(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("base", {"d0": "d0.L1", "d1": "d1.L1"}, agg=("sum", "v"))
+    wf.match(
+        "out", {"d0": "d0.L1", "d1": "d1.L1"}, source="base",
+        cond=SelfMatch(), agg="max",
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_match_parent_child_broadcast(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("coarse", {"d0": "d0.L1"}, agg=("sum", "v"))
+    wf.broadcast("out", {"d0": "d0.L0"}, source="coarse", agg="max")
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+@pytest.mark.parametrize(
+    "window", [(0, 2), (3, -1), (2, 0)], ids=["fwd", "lookback", "bwd"]
+)
+def test_match_sibling_windows(syn_schema, syn_dataset, window):
+    """Sibling windows, including the negative-extent lookback form
+    ``(3, -1)`` (the escalation query's trailing window)."""
+    wf = _wf(syn_schema)
+    wf.basic("base", {"d0": "d0.L0", "d1": "d1.L1"}, agg="count")
+    wf.moving_window(
+        "out", {"d0": "d0.L0", "d1": "d1.L1"}, source="base",
+        windows={"d0": window}, agg="avg",
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_match_lags(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("base", {"d0": "d0.L0"}, agg="count")
+    wf.match(
+        "out", {"d0": "d0.L0"}, source="base",
+        cond=Lags({"d0": (-2, 1)}), agg="sum",
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_match_child_parent_raw_algebra(syn_schema, syn_dataset):
+    """ChildParent never reaches MatchJoin through the workflow sugar
+    (rollup translates to an Aggregate), so the condition's SQL is
+    exercised at the algebra level against the reference semantics."""
+    fine = Granularity.from_spec(syn_schema, {"d0": "d0.L0"})
+    coarse = Granularity.from_spec(syn_schema, {"d0": "d0.L1"})
+    fact = FactTable(syn_schema)
+    keys = Aggregate(fact, coarse, AggSpec("cells", "*"))
+    child = Aggregate(fact, fine, AggSpec("sum", "v"))
+    expr = MatchJoin(keys, child, ChildParent(), AggSpec("sum", "M"))
+
+    compiled = CompiledWorkflow(
+        schema=syn_schema, fact_table="D", dialect=SQLITE
+    )
+    result = compile_sql(
+        expr, dialect=SQLITE,
+        lookups=compiled.lookups, functions=compiled.functions,
+    )
+    compiled.queries.append(MeasureQuery("out", result.sql, coarse))
+
+    backend = SqliteBackend()
+    conn = backend.connect()
+    try:
+        backend._load(conn, syn_dataset, compiled)
+        rows = backend._fetch(conn, result.sql)
+    finally:
+        conn.close()
+    got = backend._decode_table(compiled.queries[0], rows)
+    want = (
+        SingleScanEngine()
+        .evaluate(syn_dataset, compile_measures({"out": expr}))["out"]
+    )
+    assert want.equal_rows(got, tol=SQL_ORACLE_TOLERANCE), (
+        want.diff(got)
+    )
+
+
+# -- per-operator: combine joins (Table 4) ----------------------------------
+
+
+def test_combine_multi_input(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    gran = {"d0": "d0.L1"}
+    wf.basic("c", gran, agg="count")
+    wf.basic("s", gran, agg=("sum", "v"))
+    wf.basic("m", gran, agg=("max", "v"))
+    wf.combine(
+        "out", ["c", "s", "m"],
+        fn=lambda c, s, m: c + 2 * s - m, fn_name="mix",
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_combine_single_input_derive(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("c", {"d0": "d0.L1"}, agg="count")
+    wf.combine("out", ["c"], fn=lambda c: c * 10, fn_name="scale")
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_combine_handles_null(syn_schema, syn_dataset):
+    """A handles_null combine fn must see SQL NULL as None, exactly as
+    the in-memory engines hand it None for missing matches."""
+    wf = _wf(syn_schema)
+    gran = {"d0": "d0.L1"}
+    wf.basic("s", gran, agg=("sum", "v"), where=Field("v") > 90)
+    wf.basic("c", gran, agg="count")
+    wf.combine(
+        "out", ["s", "c"],
+        fn=lambda s, c: -1.0 if s is None else s / c,
+        fn_name="null_probe", handles_null=True,
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+# -- per-operator: selections at both levels --------------------------------
+
+
+def test_select_fact_predicates(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic(
+        "out", {"d0": "d0.L1"}, agg="count",
+        where=(Field("v") > 20) & ~(Field("d1") > 40),
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_select_measure_predicates(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("base", {"d0": "d0.L0", "d1": "d1.L1"}, agg="count")
+    wf.filter(
+        "out", "base", where=(Field("M") > 2) | (Field("d0") > 50)
+    )
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def test_measure_predicate_on_all_dimension_raises(syn_schema, syn_dataset):
+    """A measure-level predicate naming a dimension held at ALL is an
+    AlgebraError in the engines; the SQL path must refuse identically
+    rather than compile a reference to a non-existent column."""
+    wf = _wf(syn_schema)
+    wf.basic("base", {"d0": "d0.L0"}, agg="count")
+    wf.filter("out", "base", where=Field("d1") > 3)
+    with pytest.raises(AlgebraError):
+        compile_workflow_sql(wf)
+
+
+# -- boundaries -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def boundary_workflow_factory():
+    def build(schema):
+        wf = _wf(schema, name="boundary")
+        wf.basic("cnt", {"d0": "d0.L1"}, agg="count")
+        wf.basic("total", {}, agg=("sum", "v"))
+        wf.basic("spread", {"d0": "d0.L0"}, agg=("var", "v"))
+        wf.match(
+            "window", {"d0": "d0.L1"}, source="cnt",
+            cond=Lags({"d0": (-1,)}), agg="avg",
+        )
+        return wf
+
+    return build
+
+
+def test_empty_dataset(syn_schema, boundary_workflow_factory):
+    """Empty input: every table must be empty — in particular the
+    zero-key-column global aggregates, where ungrouped SQL would
+    fabricate one row (the ``GROUP BY 'all'`` guard)."""
+    empty = InMemoryDataset(syn_schema, [])
+    wf = boundary_workflow_factory(syn_schema)
+    assert_sql_backend_agrees(empty, wf)
+    result = get_backend("sqlite").evaluate(empty, wf)
+    assert all(len(t) == 0 for t in result.tables.values())
+
+
+def test_single_row(syn_schema, boundary_workflow_factory):
+    one = InMemoryDataset(syn_schema, [(3, 7, 11, 2.5)])
+    assert_sql_backend_agrees(one, boundary_workflow_factory(syn_schema))
+
+
+def test_null_measure_values(syn_schema):
+    """NULL measure attributes: count/sum/avg skip them on both sides,
+    and an all-NULL group aggregates to the engines' empty value."""
+    records = [
+        (1, 2, 3, None),
+        (1, 2, 3, 4.0),
+        (9, 9, 9, None),
+        (17, 2, 3, 1.0),
+    ]
+    dataset = InMemoryDataset(syn_schema, records)
+    wf = _wf(syn_schema)
+    for agg in ("count", "sum", "avg", "min"):
+        wf.basic(agg, {"d0": "d0.L1"}, agg=(agg, "v"))
+    assert_sql_backend_agrees(dataset, wf)
+
+
+def test_zero_key_granularity_non_empty(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("total", {}, agg=("sum", "v"))
+    wf.rollup("again", {}, source=_all_base(wf), agg="sum")
+    assert_sql_backend_agrees(syn_dataset, wf)
+
+
+def _all_base(wf):
+    wf.basic("perkey", {"d0": "d0.L0"}, agg=("sum", "v"))
+    return "perkey"
+
+
+# -- identifier hygiene -----------------------------------------------------
+
+
+def test_network_schema_case_collision_resolved():
+    """The network schema's ``t`` (Timestamp) and ``T`` (Target)
+    abbreviations collide under sqlite's case-insensitive resolution;
+    the later occurrence gets a dimension-index suffix."""
+    columns = fact_columns(network_log_schema())
+    values = list(columns.values())
+    assert len({v.lower() for v in values}) == len(values)
+    assert columns["Timestamp"] == "t"
+    assert columns["Target"] == "T_2"
+
+
+def test_network_schema_ddl_parses_in_sqlite(net_dataset):
+    wf = _wf(net_dataset.schema)
+    wf.basic("cnt", {"t": "Hour", "T": "/24"}, agg="count")
+    assert_sql_backend_agrees(net_dataset, wf)
+
+
+def test_reserved_word_measure_name(syn_dataset):
+    """A measure attribute named after a SQL keyword must be renamed,
+    not emitted bare."""
+    schema = synthetic_schema(
+        num_dimensions=3, levels=3, fanout=4, measures=("order",)
+    )
+    columns = fact_columns(schema)
+    assert columns["order"].upper() not in RESERVED_WORDS
+    dataset = InMemoryDataset(
+        schema, [tuple(record) for record in syn_dataset.records]
+    )
+    wf = _wf(schema)
+    wf.basic("out", {"d0": "d0.L1"}, agg=("sum", "order"))
+    assert_sql_backend_agrees(dataset, wf)
+
+
+# -- holistic aggregates: the structured refusal path -----------------------
+
+
+def test_median_skipped_with_reason_naming_measure(syn_schema, syn_dataset):
+    wf = _wf(syn_schema)
+    wf.basic("mid", {"d0": "d0.L1"}, agg=("median", "v"))
+    wf.basic("cnt", {"d0": "d0.L1"}, agg="count")
+    compiled = compile_workflow_sql(wf)
+    assert [q.name for q in compiled.queries] == ["cnt"]
+    assert "median" in compiled.skipped["mid"]
+
+    result = get_backend("sqlite").evaluate(syn_dataset, wf)
+    assert set(result.skipped) == {"mid"}
+    assert "median" in result.skipped["mid"]
+    assert "cnt" in result.tables
+    # And the differential oracle skips it rather than failing.
+    assert sql_divergence(syn_dataset, wf) is None
+
+
+def test_median_strict_raises_named_error(syn_schema):
+    wf = _wf(syn_schema)
+    wf.basic("mid", {"d0": "d0.L1"}, agg=("median", "v"))
+    with pytest.raises(SqlUnsupportedError) as excinfo:
+        compile_workflow_sql(wf, strict=True)
+    assert excinfo.value.measure == "mid"
+    assert "mid" in str(excinfo.value)
+    assert excinfo.value.feature == "median"
+
+
+def test_measure_depending_on_median_is_skipped_too(syn_schema):
+    wf = _wf(syn_schema)
+    wf.basic("mid", {"d0": "d0.L1"}, agg=("median", "v"))
+    wf.combine("scaled", ["mid"], fn=lambda m: m * 2, fn_name="x2")
+    compiled = compile_workflow_sql(wf)
+    assert set(compiled.skipped) == {"mid", "scaled"}
+
+
+def test_median_compiles_natively_on_duckdb_dialect(syn_schema):
+    """The duckdb *dialect* needs no duckdb install to compile."""
+    wf = _wf(syn_schema)
+    wf.basic("mid", {"d0": "d0.L1"}, agg=("median", "v"))
+    compiled = compile_workflow_sql(wf, dialect=DUCKDB)
+    assert not compiled.skipped
+    assert "MEDIAN(" in compiled.queries[0].sql
+
+
+def test_approx_distinct_unsupported_on_both_dialects(syn_schema):
+    wf = _wf(syn_schema)
+    wf.basic("u", {"d0": "d0.L1"}, agg=("approx_distinct", "v"))
+    for dialect in (SQLITE, DUCKDB):
+        compiled = compile_workflow_sql(wf, dialect=dialect)
+        assert set(compiled.skipped) == {"u"}
+
+
+# -- backend registry -------------------------------------------------------
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(BackendError, match="unknown SQL engine"):
+        get_backend("postgres")
+    assert "unknown" in backend_unavailable_reason("postgres")
+
+
+def test_duckdb_absence_reports_reason_not_error():
+    reason = backend_unavailable_reason("duckdb")
+    if reason is not None:
+        assert "duckdb" in reason
+        with pytest.raises(BackendError, match="duckdb"):
+            get_backend("duckdb")
+
+
+# -- shipped query families -------------------------------------------------
+
+
+@pytest.mark.parametrize("family", ["examples", "escalation", "q1", "q2"])
+def test_query_families_execute_and_match(family, net_dataset):
+    """Every registry family runs on sqlite and matches the engines
+    (the two biggest network families are covered at larger scale by
+    the bench sheet; here a fast subset pins the property in-tree)."""
+    from repro.data.synthetic import synthetic_dataset
+    from repro.queries.registry import QUERY_FAMILIES
+
+    schema_family, build = QUERY_FAMILIES[family]
+    if schema_family == "network":
+        dataset = net_dataset
+    else:
+        dataset = synthetic_dataset(2000, seed=3)
+    workflow = build(dataset.schema)
+    assert_sql_backend_agrees(dataset, workflow)
+
+
+@pytest.mark.parametrize("family", ["multirecon", "combined"])
+def test_heavy_query_families_execute_and_match(family):
+    from repro.data.honeynet import honeynet_dataset
+    from repro.queries.registry import QUERY_FAMILIES
+
+    __, build = QUERY_FAMILIES[family]
+    dataset = honeynet_dataset(2500, seed=2, hours=24)
+    workflow = build(dataset.schema)
+    assert_sql_backend_agrees(dataset, workflow)

@@ -1,0 +1,135 @@
+"""Schema guard for the BENCH_sql.json engine-vs-engine artifact.
+
+CI uploads the payload ``repro bench --figure sql --json`` writes; the
+docs quote its metrics, so the shape is pinned here: top-level keys,
+per-point fields, the engine-availability block, JSON-serializability,
+and the committed artifact's verification flag.  Any intentional change
+must bump ``SCHEMA_VERSION`` and update this guard.
+
+The live run uses a tiny scale — enough to pin the payload shape and
+re-verify every family without paying the full sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.sql import (
+    METRIC_DEFINITIONS,
+    QUERY_SWEEP,
+    SCHEMA_VERSION,
+    sql_bench,
+)
+from repro.testkit.differential import SQL_ORACLE_TOLERANCE
+
+TOP_LEVEL_KEYS = {
+    "bench",
+    "schema_version",
+    "scale",
+    "families",
+    "engines",
+    "metrics",
+    "definitions",
+    "points",
+}
+
+METRIC_KEYS = {
+    "geomean_sqlite_vs_sortscan",
+    "all_verified",
+    "sql_oracle_tolerance",
+}
+
+POINT_KEYS = {
+    "family",
+    "engine",
+    "records",
+    "seconds",
+    "load_seconds",
+    "sortscan_seconds",
+    "db_seconds",
+    "measures",
+    "skipped",
+    "verified",
+}
+
+
+@pytest.fixture(scope="module")
+def run():
+    return sql_bench(scale=0.02)
+
+
+def test_schema_version_pinned():
+    assert SCHEMA_VERSION == 1
+
+
+def test_top_level_keys_stable(run):
+    __, payload = run
+    assert set(payload) == TOP_LEVEL_KEYS
+    assert payload["bench"] == "sql"
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["families"] == sorted(QUERY_SWEEP)
+
+
+def test_metrics_keys_stable(run):
+    __, payload = run
+    assert set(payload["metrics"]) == METRIC_KEYS
+    assert payload["metrics"]["sql_oracle_tolerance"] == SQL_ORACLE_TOLERANCE
+    assert payload["definitions"] == METRIC_DEFINITIONS
+    assert set(METRIC_DEFINITIONS) == METRIC_KEYS
+
+
+def test_every_point_verified(run):
+    """The sheet's core promise: no timing is recorded for an engine
+    that disagrees with the sort/scan reference."""
+    __, payload = run
+    assert payload["metrics"]["all_verified"] is True
+    assert all(point["verified"] for point in payload["points"])
+
+
+def test_engines_block_and_points_shape(run):
+    rows, payload = run
+    engines = payload["engines"]
+    assert set(engines) == {"sqlite", "duckdb"}
+    assert engines["sqlite"]["available"] is True
+    assert engines["sqlite"]["reason"] is None
+    for info in engines.values():
+        assert set(info) == {"available", "reason"}
+        assert info["available"] == (info["reason"] is None)
+
+    available = [name for name, info in engines.items() if info["available"]]
+    points = payload["points"]
+    assert len(points) == len(QUERY_SWEEP) * len(available)
+    for point in points:
+        assert set(point) == POINT_KEYS
+        assert point["engine"] in available
+        assert point["family"] in QUERY_SWEEP
+        assert point["seconds"] > 0
+        assert point["measures"] > 0
+    # Two reference rows (SortScan, DB) per family plus one per point.
+    assert len(rows) == 2 * len(QUERY_SWEEP) + len(points)
+    assert all(row.figure == "sql" for row in rows)
+
+
+def test_payload_is_json_serializable(run):
+    __, payload = run
+    rebuilt = json.loads(json.dumps(payload))
+    assert set(rebuilt) == TOP_LEVEL_KEYS
+
+
+def test_committed_artifact_matches_schema_and_is_verified():
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "BENCH_sql.json"
+    )
+    with open(path) as fh:
+        committed = json.load(fh)
+    assert set(committed) == TOP_LEVEL_KEYS
+    assert committed["schema_version"] == SCHEMA_VERSION
+    assert set(committed["metrics"]) == METRIC_KEYS
+    assert committed["metrics"]["all_verified"] is True
+    assert committed["metrics"]["geomean_sqlite_vs_sortscan"] > 0
+    assert sorted({p["family"] for p in committed["points"]}) == sorted(
+        QUERY_SWEEP
+    )
