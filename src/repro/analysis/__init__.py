@@ -8,6 +8,12 @@ Public surface::
         for diag in report.errors:
             print(diag.format())
 
+Workload-level (cross-workflow) analysis::
+
+    from repro.analysis import analyze_workload
+    report = analyze_workload({"q1": wf1, "dash": wf2})
+    report.codes()   # the CSM4xx sharing findings
+
 See ``docs/analysis.md`` for the full code catalogue.
 """
 
@@ -16,6 +22,7 @@ from repro.analysis.analyzer import (
     AnalysisContext,
     Report,
     analyze,
+    canonical_diagnostics,
 )
 from repro.analysis.diagnostics import (
     CODES,
@@ -25,6 +32,17 @@ from repro.analysis.diagnostics import (
     Severity,
 )
 from repro.analysis.rules import ALL_RULES
+from repro.analysis.sarif import diagnostics_to_sarif
+from repro.analysis.workload import (
+    CompressionResult,
+    SharedScanGroup,
+    WorkloadAnalyzer,
+    WorkloadReport,
+    analyze_workload,
+    compress_workload,
+    measure_fingerprints,
+    schema_fingerprint,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -33,8 +51,18 @@ __all__ = [
     "FAMILIES",
     "AnalysisContext",
     "CodeInfo",
+    "CompressionResult",
     "Diagnostic",
     "Report",
     "Severity",
+    "SharedScanGroup",
+    "WorkloadAnalyzer",
+    "WorkloadReport",
     "analyze",
+    "analyze_workload",
+    "canonical_diagnostics",
+    "compress_workload",
+    "diagnostics_to_sarif",
+    "measure_fingerprints",
+    "schema_fingerprint",
 ]

@@ -10,6 +10,7 @@ streaming plan and runs the §5.3 feasibility rules over it.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -137,10 +138,35 @@ def analyze(
         _attach_plan(ctx)
         diagnostics.extend(streaming_rules(ctx))
 
-    diagnostics.sort(
-        key=lambda d: (d.severity.rank, d.code, d.measure or "")
+    return Report(
+        workflow=workflow.name,
+        diagnostics=canonical_diagnostics(diagnostics),
     )
-    return Report(workflow=workflow.name, diagnostics=diagnostics)
+
+
+def canonical_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> list[Diagnostic]:
+    """Deduplicate and stably order diagnostics for reporting.
+
+    Two rules can legitimately derive the same finding (and workload
+    analysis aggregates findings from several passes); identical
+    diagnostics collapse to one.  The sort key is total — severity,
+    code, measure, workflow, then the message text — so ``--json``
+    output is byte-stable across runs and independent of
+    rule-registration order.
+    """
+    unique = list(dict.fromkeys(diagnostics))
+    unique.sort(
+        key=lambda d: (
+            d.severity.rank,
+            d.code,
+            d.measure or "",
+            d.workflow or "",
+            d.message,
+        )
+    )
+    return unique
 
 
 def _attach_plan(ctx: AnalysisContext) -> None:

@@ -10,7 +10,10 @@ suggestion.  Codes are grouped in blocks of one hundred by rule family:
 - ``CSM2xx`` — streaming feasibility of the one-pass plan (§5.3,
   Table 6);
 - ``CSM3xx`` — performance hints from the algebraic identities
-  (Theorem 1, Properties 1-5).
+  (Theorem 1, Properties 1-5);
+- ``CSM4xx`` — cross-workflow sharing diagnostics emitted by the
+  *workload* analyzer (:mod:`repro.analysis.workload`): findings about
+  a set of workflows taken together, never about one in isolation.
 
 The registry is append-only: a released code keeps its meaning forever
 so that suppressions and dashboards written against ``--json`` output
@@ -57,6 +60,7 @@ FAMILIES = (
     "match-validity",
     "streaming",
     "performance",
+    "workload",
 )
 
 CODES: dict[str, CodeInfo] = {}
@@ -156,6 +160,29 @@ CSM304 = _register(
     "zero-extent window is a self match",
 )
 
+# -- cross-workflow sharing (workload analyzer) --------------------------
+
+CSM401 = _register(
+    "CSM401", "workload", Severity.HINT,
+    "identical sub-aggregation computed in several workflows",
+)
+CSM402 = _register(
+    "CSM402", "workload", Severity.HINT,
+    "workflows share a fact scan; one pass can feed all",
+)
+CSM403 = _register(
+    "CSM403", "workload", Severity.HINT,
+    "one workload-wide sort order serves several sort/scan plans",
+)
+CSM404 = _register(
+    "CSM404", "workload", Severity.HINT,
+    "measure is rollup-derivable from another workflow's finer table",
+)
+CSM405 = _register(
+    "CSM405", "workload", Severity.WARNING,
+    "workflow is fingerprint-subsumed by another workflow",
+)
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -168,6 +195,9 @@ class Diagnostic:
         measure: Name of the offending measure, when one is at fault.
         workflow: Name of the workflow the finding belongs to.
         suggestion: Optional fix-it hint ("did you mean ...").
+        saving: Estimated cost-model saving, in abstract work units
+            (Section 6), for findings that quantify a rewrite — the
+            workload family (``CSM4xx``) always attaches one.
     """
 
     code: str
@@ -177,6 +207,7 @@ class Diagnostic:
     workflow: str | None = None
     suggestion: str | None = None
     related: tuple[str, ...] = field(default_factory=tuple)
+    saving: float | None = None
 
     @property
     def family(self) -> str:
@@ -191,6 +222,8 @@ class Diagnostic:
         line = (
             f"{self.severity.value} {self.code}{where}: {self.message}"
         )
+        if self.saving is not None:
+            line += f"\n  saves: ~{self.saving:.0f} work units"
         if self.suggestion:
             line += f"\n  fix: {self.suggestion}"
         return line
@@ -212,6 +245,8 @@ class Diagnostic:
             payload["suggestion"] = self.suggestion
         if self.related:
             payload["related"] = list(self.related)
+        if self.saving is not None:
+            payload["estimated_saving"] = self.saving
         return payload
 
 
@@ -223,6 +258,7 @@ def make(
     workflow: str | None = None,
     suggestion: str | None = None,
     related: tuple[str, ...] = (),
+    saving: float | None = None,
 ) -> Diagnostic:
     """Build a diagnostic with the code's registered severity."""
     return Diagnostic(
@@ -233,4 +269,5 @@ def make(
         workflow=workflow,
         suggestion=suggestion,
         related=related,
+        saving=saving,
     )

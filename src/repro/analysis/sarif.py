@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 export for lint diagnostics.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+(Static Analysis Results Interchange Format) is the payload GitHub code
+scanning and most CI annotators consume.  ``repro lint --sarif OUT.json``
+writes one ``run`` whose tool is the CSM rule registry and whose results
+are the diagnostics; workflows and measures have no file locations, so
+findings carry *logical* locations (``workflow::measure``) instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+
+#: CSM severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.HINT: "note",
+}
+
+
+def _rules() -> list[dict[str, object]]:
+    """The full CSM code registry as SARIF reportingDescriptors.
+
+    Emitting every registered rule (not just the fired ones) keeps
+    ``ruleIndex`` stable across runs, which CI diffing relies on.
+    """
+    return [
+        {
+            "id": info.code,
+            "name": info.code,
+            "shortDescription": {"text": info.title},
+            "defaultConfiguration": {
+                "level": _LEVELS[info.severity],
+            },
+            "properties": {"family": info.family},
+        }
+        for info in sorted(CODES.values(), key=lambda i: i.code)
+    ]
+
+
+def _result(
+    diagnostic: Diagnostic, rule_index: dict[str, int]
+) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index[diagnostic.code],
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+    }
+    qualified = diagnostic.workflow or ""
+    if diagnostic.measure is not None:
+        qualified = f"{qualified}::{diagnostic.measure}"
+    if qualified:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": qualified,
+                        "kind": "member",
+                    }
+                ]
+            }
+        ]
+    properties: dict[str, object] = {"family": diagnostic.family}
+    if diagnostic.suggestion is not None:
+        properties["suggestion"] = diagnostic.suggestion
+    if diagnostic.saving is not None:
+        properties["estimated_saving"] = diagnostic.saving
+    if diagnostic.related:
+        properties["related"] = list(diagnostic.related)
+    result["properties"] = properties
+    return result
+
+
+def diagnostics_to_sarif(
+    diagnostics: Iterable[Diagnostic],
+) -> dict[str, object]:
+    """Render diagnostics as one SARIF 2.1.0 log (a JSON-ready dict).
+
+    The caller is responsible for canonical ordering (``repro lint``
+    passes diagnostics through
+    :func:`repro.analysis.analyzer.canonical_diagnostics` first, so the
+    file is byte-stable across runs).
+    """
+    rules = _rules()
+    rule_index = {
+        str(rule["id"]): index for index, rule in enumerate(rules)
+    }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _result(d, rule_index) for d in diagnostics
+                ],
+            }
+        ],
+    }

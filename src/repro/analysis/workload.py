@@ -1,0 +1,973 @@
+"""Workload-level static analysis: cross-workflow sharing (CSM4xx).
+
+Single-workflow analysis (:func:`repro.analysis.analyze`) stops at the
+boundary of one workflow.  This module looks at a *workload* — N named
+workflows, anything from :mod:`repro.queries.registry` plus ad-hoc
+ones — and proves what is shareable **before** any optimizer tries to
+merge them:
+
+1. every workflow's measures are canonicalized into structural
+   **fingerprints** (source dataset shape, match-condition shape,
+   granularity, aggregate function, filter shape — modulo measure
+   renaming), the CSM analogue of common-subexpression detection over
+   the paper's AW-RA algebra;
+2. the ``CSM4xx`` diagnostic family is emitted over the cross product:
+
+   - ``CSM401`` — identical sub-aggregation computed in k workflows;
+   - ``CSM402`` — shared fact scan: same source dataset and streaming
+     plans that stay feasible under one workload-wide sort key, so one
+     pass can feed every workflow (the rollup-lattice view of Gray et
+     al.'s CUBE: compatible granularities over one fact source);
+   - ``CSM403`` — shared sort order: one lexsort serves k sort/scan
+     plans when the key is chosen workload-wide instead of per query;
+   - ``CSM404`` — rollup-derivable measure: a workflow recomputes from
+     raw facts what another workflow's finer-granularity measure
+     already produces (Property 1 applied *across* workflows);
+   - ``CSM405`` — dead/duplicate workflow: every visible output is
+     fingerprint-subsumed by another workflow.
+
+   Each carries an estimated saving from the Section 6 cost model
+   (:mod:`repro.optimizer.cost_model`), in abstract work units.
+3. shared fact scans are additionally reported as
+   :class:`SharedScanGroup` objects — the input contract of the future
+   shared-DAG executor (see ``docs/internals.md``);
+4. :func:`compress_workload` greedily selects a representative subset
+   of the workload under a cost budget, GSUM-style: maximize marginal
+   fingerprint coverage per unit estimated cost.  CI uses it to
+   benchmark a workload within a time budget.
+
+The entry point is :class:`WorkloadAnalyzer` (or the
+:func:`analyze_workload` convenience wrapper)::
+
+    from repro.analysis.workload import analyze_workload
+    report = analyze_workload({"q1": wf1, "dashboards": wf2})
+    for diag in report.diagnostics:   # CSM4xx only
+        print(diag.format())
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.analyzer import (
+    DEFAULT_MEMORY_BUDGET,
+    Report,
+    analyze,
+    canonical_diagnostics,
+)
+from repro.analysis.diagnostics import (
+    CSM401,
+    CSM402,
+    CSM403,
+    CSM404,
+    CSM405,
+    Diagnostic,
+    make,
+)
+from repro.cube.order import SortKey
+from repro.errors import ReproError
+from repro.optimizer.cost_model import (
+    DEFAULT_SCAN_WEIGHT,
+    DEFAULT_SORT_WEIGHT,
+    DEFAULT_UPDATE_WEIGHT,
+    DEFAULT_WRITE_WEIGHT,
+    estimate_plan_cost,
+    estimate_region_count,
+    estimate_update_work,
+)
+from repro.schema.dataset_schema import DatasetSchema
+from repro.workflow.measure import Measure, MeasureKind
+from repro.workflow.workflow import AggregationWorkflow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.compile import CompiledGraph
+
+#: Assumed dataset size for cost estimates when the caller gives none;
+#: only the *ratios* between savings matter for ranking, so a round
+#: figure is fine (the unit costs cancel, as in Section 6).
+DEFAULT_WORKLOAD_DATASET_SIZE = 100_000
+
+#: Rough calibration of abstract work units to wall-clock seconds for
+#: ``repro lint --workload --budget SECS``; derived from the committed
+#: sort/scan bench figures (order-of-magnitude, deliberately coarse).
+WORK_UNITS_PER_SECOND = 2_000_000.0
+
+#: Outer/inner aggregate pairs where the outer measure is derivable by
+#: rolling the inner (finer) measure up — Property 1 across workflows.
+#: ``count`` over finer counts is a ``sum`` rollup.
+_ROLLUP_DERIVABLE = {
+    ("sum", "sum"),
+    ("min", "min"),
+    ("max", "max"),
+    ("count", "count"),
+}
+
+#: A structural fingerprint: a nested tuple with no measure names in
+#: it, so renaming a measure never changes its fingerprint.
+Fingerprint = tuple[object, ...]
+
+
+# -- fingerprints --------------------------------------------------------
+
+
+def schema_fingerprint(schema: DatasetSchema) -> Fingerprint:
+    """Structural identity of a fact source.
+
+    Two independently constructed schema *instances* of the same family
+    (the registry builds a fresh one per workflow) fingerprint equal:
+    dimension names, abbreviations, the full domain ladder of every
+    hierarchy, and the measure attributes.
+    """
+    dims = tuple(
+        (
+            dim.name,
+            dim.abbrev,
+            tuple(domain.name for domain in dim.domains),
+        )
+        for dim in schema.dimensions
+    )
+    return ("schema", dims, tuple(schema.measures))
+
+
+def _agg_fingerprint(measure: Measure) -> Fingerprint | None:
+    if measure.agg is None:
+        return None
+    return (measure.agg.function.name, measure.agg.input_field)
+
+
+def _where_fingerprint(measure: Measure) -> str | None:
+    return None if measure.where is None else repr(measure.where)
+
+
+def measure_fingerprints(
+    workflow: AggregationWorkflow,
+) -> dict[str, Fingerprint]:
+    """Fingerprint of every measure of ``workflow``, by name.
+
+    Fingerprints are recursive over ``source``/``keys``/combine inputs,
+    so two measures fingerprint equal exactly when their whole AW-RA
+    sub-trees are structurally identical modulo measure renaming.
+    Combine functions are compared by their registered ``name`` (the
+    callable itself has no stable structure to compare).
+
+    The workflow must be a DAG with no dangling references — callers
+    gate on the single-workflow analyzer first (``CSM001``/``CSM002``
+    are error-level).
+    """
+    memo: dict[str, Fingerprint] = {}
+
+    def fingerprint(name: str) -> Fingerprint:
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        measure = workflow.measures[name]
+        levels = measure.granularity.levels
+        agg = _agg_fingerprint(measure)
+        where = _where_fingerprint(measure)
+        body: Fingerprint
+        if measure.kind is MeasureKind.BASIC:
+            body = ("basic", levels, agg, where)
+        elif measure.kind is MeasureKind.ROLLUP:
+            assert measure.source is not None
+            body = ("rollup", levels, agg, where,
+                    fingerprint(measure.source))
+        elif measure.kind is MeasureKind.MATCH:
+            assert measure.source is not None
+            keys_fp = (
+                None if measure.keys is None
+                else fingerprint(measure.keys)
+            )
+            body = ("match", levels, agg, where, repr(measure.cond),
+                    fingerprint(measure.source), keys_fp)
+        elif measure.kind is MeasureKind.COMBINE:
+            fn_name = None if measure.fn is None else measure.fn.name
+            body = ("combine", levels, fn_name,
+                    tuple(fingerprint(inp) for inp in measure.inputs))
+        else:  # FILTER
+            assert measure.source is not None
+            body = ("filter", levels, where,
+                    fingerprint(measure.source))
+        memo[name] = body
+        return body
+
+    for name in workflow.measures:
+        fingerprint(name)
+    return memo
+
+
+def _is_aggregation(measure: Measure) -> bool:
+    """True for measures whose duplication wastes real work: actual
+    aggregations, not the auto-generated constant cell providers."""
+    if measure.agg is None:
+        return measure.kind is MeasureKind.COMBINE
+    return measure.agg.function.name != "cells"
+
+
+# -- per-workflow precomputation -----------------------------------------
+
+
+@dataclass
+class WorkflowEntry:
+    """Everything the cross-product rules need about one workflow."""
+
+    name: str
+    workflow: AggregationWorkflow
+    report: Report
+    schema_fp: Fingerprint
+    #: Measure name -> structural fingerprint (empty when the workflow
+    #: failed single-workflow analysis and was excluded).
+    fingerprints: dict[str, Fingerprint] = field(default_factory=dict)
+    #: Fingerprint -> first measure carrying it (aggregations only).
+    aggregations: dict[Fingerprint, str] = field(default_factory=dict)
+    #: Fingerprints of the *visible* outputs (CSM405's subsumption set).
+    visible: set[Fingerprint] = field(default_factory=set)
+    sort_key_spec: tuple[tuple[int, int], ...] = ()
+    estimated_cost: float = 0.0
+    compiled: CompiledGraph | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok and bool(self.fingerprints)
+
+
+def _prepare_entry(
+    name: str,
+    workflow: AggregationWorkflow,
+    dataset_size: int | None,
+    cost_rows: int,
+    memory_budget: int,
+) -> WorkflowEntry:
+    from repro.engine.compile import compile_workflow
+    from repro.engine.sort_scan import default_sort_key
+    from repro.optimizer.greedy import plan_passes
+
+    entry = WorkflowEntry(
+        name=name,
+        workflow=workflow,
+        report=analyze(
+            workflow,
+            dataset_size=dataset_size,
+            memory_budget=memory_budget,
+        ),
+        schema_fp=schema_fingerprint(workflow.schema),
+    )
+    if not entry.report.ok:
+        return entry
+    try:
+        graph = compile_workflow(workflow)
+        sort_key = default_sort_key(graph)
+        plan = plan_passes(graph, dataset_size=cost_rows)
+        entry.estimated_cost = estimate_plan_cost(
+            graph, plan, cost_rows
+        ).total
+    except ReproError:
+        return entry
+    entry.compiled = graph
+    entry.sort_key_spec = sort_key.parts
+    entry.fingerprints = measure_fingerprints(workflow)
+    for measure_name, fp in entry.fingerprints.items():
+        measure = workflow.measures[measure_name]
+        if _is_aggregation(measure):
+            entry.aggregations.setdefault(fp, measure_name)
+        if not measure.hidden:
+            entry.visible.add(fp)
+    return entry
+
+
+# -- shared-scan groups (the optimizer's input contract) -----------------
+
+
+@dataclass(frozen=True)
+class SharedScanGroup:
+    """One group of workflows a single fact scan can feed.
+
+    This is the **input contract of the shared-DAG executor** the
+    ROADMAP plans: the future workload optimizer consumes these groups
+    verbatim — it may merge *exactly* the workflows listed here, must
+    sort by ``sort_key`` (the workload-wide key proven compatible with
+    every member's streaming plan), and may deduplicate the
+    sub-aggregations counted by ``shared_aggregations``.
+
+    Attributes:
+        workflows: Member workflow names, sorted.
+        sort_key: The workload-wide sort key as ``(dimension name,
+            domain name)`` pairs, most significant first — serializable
+            and schema-instance independent.
+        shared_aggregations: Number of distinct sub-aggregation
+            fingerprints computed by more than one member.
+        separate_cost: Estimated Section 6 cost of running every member
+            on its own (sum of per-workflow plan costs).
+        shared_cost: Estimated cost when one sort+scan feeds all
+            members (members' costs minus the redundant sorts/scans).
+    """
+
+    workflows: tuple[str, ...]
+    sort_key: tuple[tuple[str, str], ...]
+    shared_aggregations: int
+    separate_cost: float
+    shared_cost: float
+
+    @property
+    def estimated_saving(self) -> float:
+        return max(0.0, self.separate_cost - self.shared_cost)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workflows": list(self.workflows),
+            "sort_key": [list(part) for part in self.sort_key],
+            "shared_aggregations": self.shared_aggregations,
+            "separate_cost": self.separate_cost,
+            "shared_cost": self.shared_cost,
+            "estimated_saving": self.estimated_saving,
+        }
+
+
+# -- the workload report -------------------------------------------------
+
+
+@dataclass
+class WorkloadReport:
+    """Cross-workflow findings plus the per-workflow reports."""
+
+    #: Workflow names, in submission order.
+    workflows: list[str] = field(default_factory=list)
+    #: Per-workflow single-workflow reports, by name.
+    reports: dict[str, Report] = field(default_factory=dict)
+    #: Cross-workflow diagnostics (``CSM4xx`` only).
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    scan_groups: list[SharedScanGroup] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no report and no workload finding is error-level."""
+        from repro.analysis.diagnostics import Severity
+
+        if any(not report.ok for report in self.reports.values()):
+            return False
+        return not any(
+            d.severity is Severity.ERROR for d in self.diagnostics
+        )
+
+    def codes(self) -> set[str]:
+        """Distinct workload-level (``CSM4xx``) codes present."""
+        return {d.code for d in self.diagnostics}
+
+    def all_diagnostics(self) -> list[Diagnostic]:
+        """Per-workflow and workload findings, canonically ordered."""
+        merged: list[Diagnostic] = []
+        for name in self.workflows:
+            merged.extend(self.reports[name].diagnostics)
+        merged.extend(self.diagnostics)
+        return canonical_diagnostics(merged)
+
+    def estimated_saving(self) -> float:
+        """Total cost-model saving attached to workload findings."""
+        return sum(d.saving or 0.0 for d in self.diagnostics)
+
+    def format(self) -> str:
+        lines = [
+            f"workload: {len(self.workflows)} workflow(s), "
+            f"{len(self.diagnostics)} sharing finding(s), "
+            f"{len(self.scan_groups)} shared scan group(s), "
+            f"~{self.estimated_saving():.0f} work units recoverable"
+        ]
+        lines.extend(d.format() for d in self.diagnostics)
+        for group in self.scan_groups:
+            key = ", ".join(
+                f"{dim}:{dom}" for dim, dom in group.sort_key
+            )
+            lines.append(
+                f"shared scan <{key}> feeds "
+                f"{', '.join(group.workflows)} "
+                f"(saves ~{group.estimated_saving:.0f})"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workflows": list(self.workflows),
+            "reports": {
+                name: report.to_dict()
+                for name, report in self.reports.items()
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "scan_groups": [g.to_dict() for g in self.scan_groups],
+            "estimated_saving": self.estimated_saving(),
+            "ok": self.ok,
+        }
+
+
+# -- the analyzer --------------------------------------------------------
+
+
+class WorkloadAnalyzer:
+    """Static cross-workflow sharing analysis (the CSM4xx family).
+
+    Workflows that fail single-workflow analysis (error-level CSM0xx/
+    CSM1xx findings) are excluded from the cross product — their
+    per-workflow reports still appear in the result, so nothing is
+    silently dropped.
+    """
+
+    def __init__(
+        self,
+        dataset_size: int | None = None,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    ) -> None:
+        self.dataset_size = dataset_size
+        self.memory_budget = memory_budget
+        #: Row count used for cost arithmetic (never None).
+        self.cost_rows = (
+            dataset_size
+            if dataset_size is not None
+            else DEFAULT_WORKLOAD_DATASET_SIZE
+        )
+
+    # -- public API ----------------------------------------------------
+
+    def analyze(
+        self,
+        workflows: Mapping[str, AggregationWorkflow],
+    ) -> WorkloadReport:
+        entries = [
+            _prepare_entry(
+                name,
+                workflow,
+                self.dataset_size,
+                self.cost_rows,
+                self.memory_budget,
+            )
+            for name, workflow in workflows.items()
+        ]
+        report = WorkloadReport(
+            workflows=[entry.name for entry in entries],
+            reports={
+                entry.name: entry.report for entry in entries
+            },
+        )
+        live = [entry for entry in entries if entry.ok]
+        diagnostics: list[Diagnostic] = []
+        diagnostics.extend(self._shared_subaggregations(live))
+        groups = self._scan_groups(live)
+        for group_entries, shared_key in groups:
+            diagnostics.extend(
+                self._shared_scan(group_entries, shared_key)
+            )
+            diagnostics.extend(
+                self._shared_sort_order(group_entries, shared_key)
+            )
+            report.scan_groups.append(
+                self._build_group(group_entries, shared_key)
+            )
+        diagnostics.extend(self._rollup_derivable(live))
+        diagnostics.extend(self._subsumed_workflows(live))
+        report.diagnostics = canonical_diagnostics(diagnostics)
+        report.scan_groups.sort(key=lambda g: g.workflows)
+        return report
+
+    # -- CSM401: identical sub-aggregations ----------------------------
+
+    def _shared_subaggregations(
+        self, entries: list[WorkflowEntry]
+    ) -> Iterable[Diagnostic]:
+        by_fp: dict[
+            tuple[Fingerprint, Fingerprint],
+            list[tuple[WorkflowEntry, str]],
+        ] = {}
+        for entry in entries:
+            for fp, measure_name in entry.aggregations.items():
+                by_fp.setdefault(
+                    (entry.schema_fp, fp), []
+                ).append((entry, measure_name))
+        for (__, fp), holders in sorted(
+            by_fp.items(), key=lambda item: repr(item[0])
+        ):
+            if len(holders) < 2:
+                continue
+            first_entry, first_measure = holders[0]
+            others = ", ".join(
+                f"{entry.name}:{measure}"
+                for entry, measure in holders[1:]
+            )
+            saving = (len(holders) - 1) * self._node_cost(
+                first_entry, first_measure
+            )
+            yield make(
+                CSM401,
+                f"sub-aggregation {first_measure!r} of workflow "
+                f"{first_entry.name!r} is computed identically in "
+                f"{len(holders)} workflows (also as {others}); a "
+                f"merged DAG computes it once",
+                measure=first_measure,
+                workflow=first_entry.name,
+                related=tuple(
+                    f"{entry.name}:{measure}"
+                    for entry, measure in holders[1:]
+                ),
+                suggestion="merge the workflows (AggregationWorkflow"
+                ".merge) or point both at one shared measure",
+                saving=saving,
+            )
+
+    def _node_cost(
+        self, entry: WorkflowEntry, measure_name: str
+    ) -> float:
+        """Update + write work of one measure's graph node."""
+        graph = entry.compiled
+        if graph is None:
+            return 0.0
+        for node in graph.nodes:
+            if node.name == measure_name:
+                return (
+                    DEFAULT_UPDATE_WEIGHT
+                    * estimate_update_work(node, self.cost_rows)
+                    + DEFAULT_WRITE_WEIGHT
+                    * estimate_region_count(node, self.cost_rows)
+                )
+        return 0.0
+
+    # -- shared scans (CSM402/CSM403 + SharedScanGroup) ----------------
+
+    def _scan_groups(
+        self, entries: list[WorkflowEntry]
+    ) -> list[tuple[list[WorkflowEntry], tuple[tuple[int, int], ...]]]:
+        """Workflows sharing one fact source, with the workload-wide
+        sort key (finest used level per referenced dimension, schema
+        order) that stays streaming-compatible for every member."""
+        by_schema: dict[Fingerprint, list[WorkflowEntry]] = {}
+        for entry in entries:
+            by_schema.setdefault(entry.schema_fp, []).append(entry)
+        groups: list[
+            tuple[list[WorkflowEntry], tuple[tuple[int, int], ...]]
+        ] = []
+        for members in by_schema.values():
+            if len(members) < 2:
+                continue
+            shared_key = self._shared_sort_key(members)
+            compatible = [
+                entry
+                for entry in members
+                if self._streams_under(entry, shared_key)
+            ]
+            if len(compatible) >= 2:
+                groups.append((compatible, shared_key))
+        groups.sort(key=lambda pair: pair[0][0].name)
+        return groups
+
+    @staticmethod
+    def _shared_sort_key(
+        members: list[WorkflowEntry],
+    ) -> tuple[tuple[int, int], ...]:
+        schema = members[0].workflow.schema
+        finest = [dim.all_level for dim in schema.dimensions]
+        for entry in members:
+            for dim, level in entry.sort_key_spec:
+                finest[dim] = min(finest[dim], level)
+        parts = tuple(
+            (dim, level)
+            for dim, level in enumerate(finest)
+            if level != schema.dimensions[dim].all_level
+        )
+        return parts if parts else ((0, 0),)
+
+    def _streams_under(
+        self,
+        entry: WorkflowEntry,
+        key_parts: tuple[tuple[int, int], ...],
+    ) -> bool:
+        """Does every node that streams under the workflow's own key
+        still stream under the shared key?  (Sorting finer or appending
+        trailing dimensions preserves grouping; re-ordering the leading
+        dimension does not — this test catches exactly that.)"""
+        from repro.engine.plan import build_streaming_plan
+
+        graph = entry.compiled
+        if graph is None or not entry.sort_key_spec:
+            return False
+        schema = entry.workflow.schema
+        own_key = SortKey(schema, entry.sort_key_spec)
+        shared_key = SortKey(schema, key_parts)
+        try:
+            own_plan = build_streaming_plan(
+                graph, own_key, self.dataset_size
+            )
+            shared_plan = build_streaming_plan(
+                graph, shared_key, self.dataset_size
+            )
+        except ReproError:
+            return False
+        own_scan_all = schema.dimensions[own_key.parts[0][0]].all_level
+        shared_scan_all = schema.dimensions[
+            shared_key.parts[0][0]
+        ].all_level
+        for name, own_node in own_plan.nodes.items():
+            ordered_before = own_node.order_levels[0] != own_scan_all
+            ordered_after = (
+                shared_plan.nodes[name].order_levels[0]
+                != shared_scan_all
+            )
+            if ordered_before and not ordered_after:
+                return False
+        return True
+
+    def _shared_scan(
+        self,
+        members: list[WorkflowEntry],
+        key_parts: tuple[tuple[int, int], ...],
+    ) -> Iterable[Diagnostic]:
+        names = sorted(entry.name for entry in members)
+        saving = (
+            (len(members) - 1)
+            * (DEFAULT_SORT_WEIGHT + DEFAULT_SCAN_WEIGHT)
+            * self.cost_rows
+        )
+        yield make(
+            CSM402,
+            f"workflows {', '.join(names)} scan the same fact source "
+            f"with streaming plans compatible under one workload-wide "
+            f"sort key; one sorted pass can feed all "
+            f"{len(members)} of them",
+            workflow=names[0],
+            related=tuple(names[1:]),
+            suggestion="evaluate the group as one merged workflow "
+            "(one sort, one scan) instead of per-query passes",
+            saving=saving,
+        )
+
+    def _shared_sort_order(
+        self,
+        members: list[WorkflowEntry],
+        key_parts: tuple[tuple[int, int], ...],
+    ) -> Iterable[Diagnostic]:
+        distinct = {entry.sort_key_spec for entry in members}
+        if len(distinct) < 2:
+            return
+        names = sorted(entry.name for entry in members)
+        schema = members[0].workflow.schema
+        key_text = ", ".join(
+            f"{schema.dimensions[dim].abbrev}:"
+            f"{schema.dimensions[dim].hierarchy.domain(level).name}"
+            for dim, level in key_parts
+        )
+        saving = (
+            (len(distinct) - 1) * DEFAULT_SORT_WEIGHT * self.cost_rows
+        )
+        yield make(
+            CSM403,
+            f"workflows {', '.join(names)} choose "
+            f"{len(distinct)} different sort orders for the same fact "
+            f"source; the single workload-wide lexsort <{key_text}> "
+            f"serves every plan",
+            workflow=names[0],
+            related=tuple(names[1:]),
+            suggestion="pick the sort order once per workload (the "
+            "SharedScanGroup's sort_key), not once per query",
+            saving=saving,
+        )
+
+    def _build_group(
+        self,
+        members: list[WorkflowEntry],
+        key_parts: tuple[tuple[int, int], ...],
+    ) -> SharedScanGroup:
+        schema = members[0].workflow.schema
+        key = tuple(
+            (
+                schema.dimensions[dim].name,
+                schema.dimensions[dim].hierarchy.domain(level).name,
+            )
+            for dim, level in key_parts
+        )
+        shared_fps: dict[Fingerprint, int] = {}
+        for entry in members:
+            for fp in entry.aggregations:
+                shared_fps[fp] = shared_fps.get(fp, 0) + 1
+        shared_count = sum(
+            1 for count in shared_fps.values() if count > 1
+        )
+        separate = sum(entry.estimated_cost for entry in members)
+        redundant_passes = (
+            (len(members) - 1)
+            * (DEFAULT_SORT_WEIGHT + DEFAULT_SCAN_WEIGHT)
+            * self.cost_rows
+        )
+        return SharedScanGroup(
+            workflows=tuple(sorted(e.name for e in members)),
+            sort_key=key,
+            shared_aggregations=shared_count,
+            separate_cost=separate,
+            shared_cost=max(0.0, separate - redundant_passes),
+        )
+
+    # -- CSM404: cross-workflow rollup derivability --------------------
+
+    def _rollup_derivable(
+        self, entries: list[WorkflowEntry]
+    ) -> Iterable[Diagnostic]:
+        for coarse in entries:
+            for fine in entries:
+                if fine is coarse:
+                    continue
+                if fine.schema_fp != coarse.schema_fp:
+                    continue
+                yield from self._derivable_pairs(coarse, fine)
+
+    def _derivable_pairs(
+        self, coarse: WorkflowEntry, fine: WorkflowEntry
+    ) -> Iterable[Diagnostic]:
+        for c_name, c_measure in coarse.workflow.measures.items():
+            if c_measure.kind is not MeasureKind.BASIC:
+                continue
+            if c_measure.agg is None:
+                continue
+            for f_name, f_measure in fine.workflow.measures.items():
+                if f_measure.kind is not MeasureKind.BASIC:
+                    continue
+                if f_measure.agg is None:
+                    continue
+                if not self._derivable(c_measure, f_measure):
+                    continue
+                saving = self._derivation_saving(coarse, c_name)
+                via = (
+                    "sum" if c_measure.agg.function.name == "count"
+                    else c_measure.agg.function.name
+                )
+                yield make(
+                    CSM404,
+                    f"measure {c_name!r} of workflow {coarse.name!r} "
+                    f"re-aggregates raw facts, but workflow "
+                    f"{fine.name!r} already produces the strictly "
+                    f"finer {f_name!r}; a {via}() rollup of that "
+                    f"table derives it without touching the fact "
+                    f"scan (Property 1 across workflows)",
+                    measure=c_name,
+                    workflow=coarse.name,
+                    related=(f"{fine.name}:{f_name}",),
+                    suggestion=f"in a merged workload, define "
+                    f"{c_name!r} as a rollup of "
+                    f"{fine.name}:{f_name} instead of a basic "
+                    f"aggregation",
+                    saving=saving,
+                )
+                break  # one derivation source per measure is enough
+
+    @staticmethod
+    def _derivable(c_measure: Measure, f_measure: Measure) -> bool:
+        assert c_measure.agg is not None
+        assert f_measure.agg is not None
+        pair = (
+            c_measure.agg.function.name,
+            f_measure.agg.function.name,
+        )
+        if pair not in _ROLLUP_DERIVABLE:
+            return False
+        if c_measure.agg.input_field != f_measure.agg.input_field:
+            return False
+        if repr(c_measure.where) != repr(f_measure.where):
+            return False
+        fine_levels = f_measure.granularity.levels
+        coarse_levels = c_measure.granularity.levels
+        return fine_levels != coarse_levels and all(
+            f <= c for f, c in zip(fine_levels, coarse_levels)
+        )
+
+    def _derivation_saving(
+        self, entry: WorkflowEntry, measure_name: str
+    ) -> float:
+        """Scan+sort work avoided minus the rollup's update work."""
+        graph = entry.compiled
+        rollup_work = 0.0
+        if graph is not None:
+            for node in graph.nodes:
+                if node.name == measure_name:
+                    rollup_work = (
+                        DEFAULT_UPDATE_WEIGHT
+                        * estimate_region_count(node, self.cost_rows)
+                    )
+                    break
+        scan_work = (
+            DEFAULT_SORT_WEIGHT + DEFAULT_SCAN_WEIGHT
+        ) * self.cost_rows
+        return max(0.0, scan_work - rollup_work)
+
+    # -- CSM405: subsumed workflows ------------------------------------
+
+    def _subsumed_workflows(
+        self, entries: list[WorkflowEntry]
+    ) -> Iterable[Diagnostic]:
+        for entry in entries:
+            if not entry.visible:
+                continue
+            for other in entries:
+                if other is entry:
+                    continue
+                if other.schema_fp != entry.schema_fp:
+                    continue
+                cover = set(other.fingerprints.values())
+                if not entry.visible <= cover:
+                    continue
+                mutual = other.visible and other.visible <= set(
+                    entry.fingerprints.values()
+                )
+                if mutual and other.name < entry.name:
+                    # Equal workloads: report only the later name so a
+                    # duplicate pair yields one finding, not two.
+                    pass
+                elif mutual:
+                    continue
+                yield make(
+                    CSM405,
+                    f"workflow {entry.name!r} is fingerprint-subsumed "
+                    f"by {other.name!r}: every visible output is "
+                    f"already computed there (modulo measure "
+                    f"renaming); running both does the work twice",
+                    workflow=entry.name,
+                    related=(other.name,),
+                    suggestion=f"drop {entry.name!r} from the "
+                    f"workload and read its outputs from "
+                    f"{other.name!r}",
+                    saving=entry.estimated_cost,
+                )
+                break  # one subsumer is enough evidence
+
+
+def analyze_workload(
+    workflows: Mapping[str, AggregationWorkflow],
+    *,
+    dataset_size: int | None = None,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+) -> WorkloadReport:
+    """Convenience wrapper: one-shot :class:`WorkloadAnalyzer` run."""
+    analyzer = WorkloadAnalyzer(
+        dataset_size=dataset_size, memory_budget=memory_budget
+    )
+    return analyzer.analyze(workflows)
+
+
+# -- GSUM-style workload compression -------------------------------------
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """The representative subset chosen by :func:`compress_workload`.
+
+    Attributes:
+        selected: Chosen workflow names, in selection order.
+        dropped: Workflows left out, sorted.
+        coverage: Fraction of the full workload's distinct measure
+            fingerprints the selection still computes (0..1).
+        selected_cost: Estimated Section 6 cost of the selection.
+        workload_cost: Estimated cost of the full workload.
+        budget: The cost ceiling the selection honoured (work units;
+            ``inf`` when the caller gave none).
+    """
+
+    selected: tuple[str, ...]
+    dropped: tuple[str, ...]
+    coverage: float
+    selected_cost: float
+    workload_cost: float
+    budget: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "selected": list(self.selected),
+            "dropped": list(self.dropped),
+            "coverage": self.coverage,
+            "selected_cost": self.selected_cost,
+            "workload_cost": self.workload_cost,
+            "budget": (
+                None if math.isinf(self.budget) else self.budget
+            ),
+        }
+
+
+def compress_workload(
+    workflows: Mapping[str, AggregationWorkflow],
+    budget: float | None = None,
+    *,
+    dataset_size: int | None = None,
+) -> CompressionResult:
+    """Pick a representative workload subset under a cost budget.
+
+    The greedy GSUM-style pass (WAter's workload compression): at each
+    step select the workflow maximizing *marginal fingerprint coverage
+    per unit estimated cost* among those still fitting the remaining
+    budget; stop when nothing fits or nothing adds coverage.  A
+    workload whose workflows overlap heavily (shared sub-aggregations,
+    subsumed dashboards) compresses far below its raw cost with little
+    coverage loss — exactly the CI-benchmark use case.
+
+    Args:
+        workflows: Named workflows (the workload).
+        budget: Cost ceiling in Section 6 work units; ``None`` means
+            unlimited.  CLI callers convert seconds with
+            :data:`WORK_UNITS_PER_SECOND`.
+        dataset_size: Assumed fact count for the cost model.
+    """
+    cost_rows = (
+        dataset_size
+        if dataset_size is not None
+        else DEFAULT_WORKLOAD_DATASET_SIZE
+    )
+    entries = [
+        _prepare_entry(
+            name, workflow, dataset_size, cost_rows,
+            DEFAULT_MEMORY_BUDGET,
+        )
+        for name, workflow in workflows.items()
+    ]
+    usable = [entry for entry in entries if entry.ok]
+    universe: set[tuple[Fingerprint, Fingerprint]] = set()
+    fps: dict[str, set[tuple[Fingerprint, Fingerprint]]] = {}
+    for entry in usable:
+        keyed = {
+            (entry.schema_fp, fp)
+            for fp in entry.fingerprints.values()
+        }
+        fps[entry.name] = keyed
+        universe |= keyed
+    workload_cost = sum(entry.estimated_cost for entry in usable)
+    ceiling = math.inf if budget is None else float(budget)
+
+    covered: set[tuple[Fingerprint, Fingerprint]] = set()
+    selected: list[str] = []
+    spent = 0.0
+    remaining = {entry.name: entry for entry in usable}
+    while remaining:
+        best_name: str | None = None
+        best_ratio = -1.0
+        for name in sorted(remaining):
+            entry = remaining[name]
+            if spent + entry.estimated_cost > ceiling:
+                continue
+            gain = len(fps[name] - covered)
+            if gain == 0:
+                continue
+            ratio = gain / max(entry.estimated_cost, 1.0)
+            if ratio > best_ratio:
+                best_name, best_ratio = name, ratio
+        if best_name is None:
+            break
+        entry = remaining.pop(best_name)
+        selected.append(best_name)
+        covered |= fps[best_name]
+        spent += entry.estimated_cost
+    coverage = (
+        len(covered) / len(universe) if universe else 1.0
+    )
+    dropped = tuple(sorted(
+        entry.name for entry in usable
+        if entry.name not in selected
+    ))
+    return CompressionResult(
+        selected=tuple(selected),
+        dropped=dropped,
+        coverage=coverage,
+        selected_cost=spent,
+        workload_cost=workload_cost,
+        budget=ceiling,
+    )

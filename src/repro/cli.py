@@ -408,12 +408,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="first seed of the generated range",
     )
     lint.add_argument(
+        "--seed", type=int, action="append", default=None,
+        dest="seeds", metavar="K",
+        help="lint exactly the generated workflow with seed K "
+        "(repeatable; reproduces a --generated-seeds failure)",
+    )
+    lint.add_argument(
         "--rows", type=int, default=None,
         help="assumed dataset size for footprint estimates",
     )
     lint.add_argument(
+        "--workload", action="store_true",
+        help="also run cross-workflow analysis over all linted "
+        "workflows together (CSM4xx sharing diagnostics)",
+    )
+    lint.add_argument(
+        "--budget", type=float, default=None, metavar="SECS",
+        help="with --workload: also compress the workload to a "
+        "representative subset fitting this time budget",
+    )
+    lint.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit one JSON report object per workflow",
+    )
+    lint.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="additionally write all findings as a SARIF 2.1.0 log",
     )
     lint.add_argument(
         "--fail-on", choices=("error", "warning", "hint"),
@@ -1109,10 +1129,24 @@ def _cmd_lint(args) -> int:
 
     Exit code 0 when every linted workflow is below the ``--fail-on``
     severity, 1 otherwise (2 stays reserved for operational errors).
+    With ``--workload``, cross-workflow CSM4xx findings count toward
+    the threshold too.
     """
     from repro.analysis import Severity, analyze
 
-    names = args.queries or sorted(_QUERIES)
+    if args.budget is not None and not args.workload:
+        raise ReproError("--budget requires --workload")
+
+    # `repro lint --seed K` alone reproduces exactly the generated
+    # workflow that failed a --generated-seeds run, nothing else.
+    only_generated = bool(args.seeds) and not (
+        args.queries or args.generated_seeds
+    )
+    names = [] if only_generated else (args.queries or sorted(_QUERIES))
+    # One schema instance per family, shared by every workflow built
+    # from it — workload fingerprints are structural, but sharing the
+    # instance keeps single-workflow behaviour identical too.
+    schemas: dict[str, object] = {}
     targets = []
     for name in names:
         try:
@@ -1122,23 +1156,35 @@ def _cmd_lint(args) -> int:
                 f"unknown query {name!r}; choose from "
                 f"{', '.join(sorted(_QUERIES))}"
             ) from None
-        targets.append((name, builder(_SCHEMAS[schema_name]())))
-    if args.generated_seeds:
+        if schema_name not in schemas:
+            schemas[schema_name] = _SCHEMAS[schema_name]()
+        targets.append((name, builder(schemas[schema_name])))
+    gen_seeds = list(
+        range(args.start, args.start + args.generated_seeds)
+    )
+    gen_seeds.extend(args.seeds or ())
+    if gen_seeds:
         from repro.testkit.generator import RandomCase
 
         gen_schema = synthetic_schema(
             num_dimensions=3, levels=3, fanout=4
         )
-        for seed in range(
-            args.start, args.start + args.generated_seeds
-        ):
+        # Each seed gets its own independent RandomCase stream, so
+        # `generated-K` is the same workflow whether it came from a
+        # range or from a single `--seed K` repro run.
+        for seed in gen_seeds:
             case = RandomCase(seed, gen_schema)
             targets.append((f"generated-{seed}", case.workflow))
 
     threshold = Severity(args.fail_on).rank
+    if args.workload:
+        return _lint_workload(args, targets, threshold)
+
     failed = 0
+    all_diagnostics = []
     for label, workflow in targets:
         report = analyze(workflow, dataset_size=args.rows)
+        all_diagnostics.extend(report.diagnostics)
         bad = any(
             d.severity.rank <= threshold for d in report.diagnostics
         )
@@ -1155,7 +1201,63 @@ def _cmd_lint(args) -> int:
             f"linted {len(targets)} workflow(s): "
             f"{failed} at or above {args.fail_on}"
         )
+    if args.sarif:
+        _write_sarif(args.sarif, all_diagnostics)
     return 1 if failed else 0
+
+
+def _lint_workload(args, targets, threshold: int) -> int:
+    """The ``repro lint --workload`` arm: cross-workflow analysis."""
+    from repro.analysis import analyze_workload, compress_workload
+    from repro.analysis.workload import WORK_UNITS_PER_SECOND
+
+    workflows = dict(targets)
+    report = analyze_workload(workflows, dataset_size=args.rows)
+    compression = None
+    if args.budget is not None:
+        compression = compress_workload(
+            workflows,
+            args.budget * WORK_UNITS_PER_SECOND,
+            dataset_size=args.rows,
+        )
+    all_diagnostics = report.all_diagnostics()
+    bad = any(d.severity.rank <= threshold for d in all_diagnostics)
+    if args.as_json:
+        payload = report.to_dict()
+        if compression is not None:
+            payload["compression"] = compression.to_dict()
+        print(json.dumps(payload))
+    else:
+        for name in report.workflows:
+            print(report.reports[name].format())
+        print(report.format())
+        if compression is not None:
+            kept = ", ".join(compression.selected) or "(none)"
+            print(
+                f"compressed workload: kept {kept} "
+                f"({compression.coverage:.0%} fingerprint coverage, "
+                f"~{compression.selected_cost:.0f} of "
+                f"~{compression.workload_cost:.0f} work units)"
+            )
+        print(
+            f"linted workload of {len(targets)} workflow(s): "
+            f"{'findings' if bad else 'nothing'} at or above "
+            f"{args.fail_on}"
+        )
+    if args.sarif:
+        _write_sarif(args.sarif, all_diagnostics)
+    return 1 if bad else 0
+
+
+def _write_sarif(path: str, diagnostics) -> int:
+    """Write diagnostics to ``path`` as a SARIF 2.1.0 log."""
+    from repro.analysis import canonical_diagnostics, diagnostics_to_sarif
+
+    payload = diagnostics_to_sarif(canonical_diagnostics(diagnostics))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return 0
 
 
 def _obs_tail(args) -> int:

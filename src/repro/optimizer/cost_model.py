@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algebra.conditions import Lags, Sibling
+from repro.cube.order import SortKey
 from repro.engine.compile import BasicNode, CompiledGraph, Node
 from repro.optimizer.greedy import MultiPassPlan
 
@@ -86,7 +87,8 @@ class PlanCost:
     update_work: float = 0.0
     write_work: float = 0.0
     relational_work: float = 0.0
-    per_pass: list = field(default_factory=list)
+    #: (sort key, rows processed) per pass, in pass order.
+    per_pass: list[tuple[SortKey, float]] = field(default_factory=list)
 
     @property
     def total(self) -> float:

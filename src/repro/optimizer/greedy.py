@@ -110,7 +110,7 @@ def plan_passes(
                 f"(budget {memory_budget_entries} entries)"
             )
         best: tuple[list[str], int, SortKey] | None = None
-        best_score: tuple | None = None
+        best_score: tuple[int, int, int] | None = None
         for key in candidate_sort_keys(graph):
             chosen, total = _streamable_under_key(
                 graph, key, unassigned, memory_budget_entries, dataset_size

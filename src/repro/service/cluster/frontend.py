@@ -561,6 +561,9 @@ class ClusterFrontend:
         }
         if self._tenants:
             status["tenants"] = self.backend.stats()
+            # Cross-tenant sharing findings (CSM4xx): redundant tenant
+            # dashboards show up here with estimated savings attached.
+            status["workload"] = self.backend.workload_sharing_stats()
         return status
 
     def _debug_trace(self, trace_id: str) -> dict:

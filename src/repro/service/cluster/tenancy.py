@@ -364,6 +364,48 @@ class TenantManager:
                 )
             state.pending_records += count
 
+    def workload_sharing_stats(self) -> dict:
+        """Cross-tenant workload sharing summary for ``/statusz``.
+
+        Runs the workload analyzer (:mod:`repro.analysis.workload`)
+        over every tenant's registered workflow, so operators can spot
+        redundant tenant dashboards — two tenants computing the same
+        sub-aggregations, or one tenant's workflow subsuming another's
+        — with the estimated work-unit saving attached.  Best-effort:
+        an analyzer failure degrades to an ``error`` field rather than
+        failing the status endpoint.
+        """
+        with self._lock:
+            workflows = {
+                name: state.cluster.workflow
+                for name, state in sorted(self._tenants.items())
+            }
+        summary: dict = {
+            "tenants": len(workflows),
+            "codes": [],
+            "estimated_saving": 0.0,
+            "diagnostics": [],
+            "shared_scan_groups": [],
+        }
+        if len(workflows) < 2:
+            return summary
+        try:
+            from repro.analysis import analyze_workload
+
+            report = analyze_workload(workflows)
+        except Exception as exc:  # pragma: no cover - defensive
+            summary["error"] = f"{type(exc).__name__}: {exc}"
+            return summary
+        summary["codes"] = sorted(report.codes())
+        summary["estimated_saving"] = report.estimated_saving()
+        summary["diagnostics"] = [
+            d.to_dict() for d in report.diagnostics
+        ]
+        summary["shared_scan_groups"] = [
+            g.to_dict() for g in report.scan_groups
+        ]
+        return summary
+
     # -- lifecycle -----------------------------------------------------
 
     def stats(self) -> dict:

@@ -337,6 +337,129 @@ def repaired(code: str, schema: DatasetSchema) -> AggregationWorkflow:
     return _BUILDERS[code](schema)[1]
 
 
+# -- workload (cross-workflow) mutations ---------------------------------
+#
+# The CSM4xx family is emitted by the *workload* analyzer
+# (:func:`repro.analysis.analyze_workload`) over a set of workflows, so
+# its mutants are minimal named *workloads* — dicts of workflows — not
+# single workflows.  Same contract as above: the first workload
+# triggers the code, the second does not (it may still carry other
+# CSM4xx findings; tests assert code membership).
+
+
+def _w401(schema):
+    gran = _gran(schema, {"d0": 0})
+    v = _vfield(schema)
+
+    def pair(b_agg):
+        a = AggregationWorkflow(schema, "w401-a")
+        a.basic("trafficA", gran, agg=("sum", v))
+        b = AggregationWorkflow(schema, "w401-b")
+        b.basic("trafficB", gran, agg=b_agg)
+        return {"a": a, "b": b}
+
+    # Same aggregation under different measure names triggers it; the
+    # fix computes something genuinely different in the second
+    # workflow.
+    return pair(("sum", v)), pair(("count", "*"))
+
+
+def _w402(schema):
+    v = _vfield(schema)
+
+    def pair(b_dims):
+        a = AggregationWorkflow(schema, "w402-a")
+        a.basic("byD0", _gran(schema, {"d0": 0}), agg=("sum", v))
+        b = AggregationWorkflow(schema, "w402-b")
+        b.basic("other", _gran(schema, b_dims), agg=("count", "*"))
+        return {"a": a, "b": b}
+
+    # Both group by d0 -> one sorted pass feeds both; grouping the
+    # second workflow by d1 alone makes its streaming plan unordered
+    # under the shared (d0-leading) key, so no scan is shareable.
+    return pair({"d0": 1}), pair({"d1": 0})
+
+
+def _w403(schema):
+    v = _vfield(schema)
+
+    def pair(a_dims):
+        a = AggregationWorkflow(schema, "w403-a")
+        a.basic("coarse", _gran(schema, a_dims), agg=("sum", v))
+        b = AggregationWorkflow(schema, "w403-b")
+        b.basic("fine", _gran(schema, {"d0": 0, "d1": 0}),
+                agg=("count", "*"))
+        return {"a": a, "b": b}
+
+    # Different per-query sort keys (d0 vs d0,d1) that one workload
+    # lexsort serves; the fix picks the same key in both workflows.
+    return pair({"d0": 0}), pair({"d0": 0, "d1": 0})
+
+
+def _w404(schema):
+    v = _vfield(schema)
+
+    def pair(coarse_agg):
+        a = AggregationWorkflow(schema, "w404-a")
+        a.basic("daily", _gran(schema, {"d0": 1}), agg=coarse_agg)
+        b = AggregationWorkflow(schema, "w404-b")
+        b.basic("hourly", _gran(schema, {"d0": 0}), agg=("sum", v))
+        return {"a": a, "b": b}
+
+    # sum at the coarse level is derivable by rolling up the other
+    # workflow's finer sum; avg is not (not in the derivable table).
+    return pair(("sum", v)), pair(("avg", v))
+
+
+def _w405(schema):
+    gran = _gran(schema, {"d0": 0})
+    v = _vfield(schema)
+
+    def pair(extra):
+        a = AggregationWorkflow(schema, "w405-a")
+        a.basic("x", gran, agg=("sum", v))
+        if extra:
+            a.basic("only-here", gran, agg=("count", "*"))
+        b = AggregationWorkflow(schema, "w405-b")
+        b.basic("y", gran, agg=("sum", v))
+        b.rollup("z", _gran(schema, {"d0": 1}), source="y", agg="sum")
+        return {"a": a, "b": b}
+
+    # Every visible output of the first workflow is a rename of one in
+    # the second; adding an output only the first computes breaks the
+    # subsumption.
+    return pair(False), pair(True)
+
+
+_WORKLOAD_BUILDERS: dict[str, Callable] = {
+    "CSM401": _w401,
+    "CSM402": _w402,
+    "CSM403": _w403,
+    "CSM404": _w404,
+    "CSM405": _w405,
+}
+
+#: Every workload-level code the mutation helper can trigger.
+WORKLOAD_MUTANT_CODES: tuple[str, ...] = tuple(
+    sorted(_WORKLOAD_BUILDERS)
+)
+
+
+def workload_mutant(
+    code: str, schema: DatasetSchema
+) -> dict[str, AggregationWorkflow]:
+    """A minimal named workload whose workload report contains
+    ``code``."""
+    return _WORKLOAD_BUILDERS[code](schema)[0]
+
+
+def workload_repaired(
+    code: str, schema: DatasetSchema
+) -> dict[str, AggregationWorkflow]:
+    """The corrected workload: ``code`` absent from its report."""
+    return _WORKLOAD_BUILDERS[code](schema)[1]
+
+
 def clean_workflow(
     schema: DatasetSchema, name: str = "clean"
 ) -> AggregationWorkflow:

@@ -45,5 +45,87 @@ def test_lint_generated_seeds(capsys):
     assert "linted 3 workflow(s)" in out
 
 
+def test_lint_single_seed_reproduces_range_member(capsys):
+    """`--seed K` regenerates exactly the workflow `generated-K` of a
+    `--generated-seeds` run: per-workflow seeding, no shared stream."""
+    assert main(["lint", "--generated-seeds", "3", "--json"]) == 0
+    range_reports = {
+        payload["label"]: payload
+        for payload in map(
+            json.loads, capsys.readouterr().out.strip().splitlines()
+        )
+    }
+    assert main(["lint", "--seed", "2", "--json"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 1  # only the requested seed, no registry
+    single = json.loads(out[0])
+    assert single["label"] == "generated-2"
+    assert single["diagnostics"] == (
+        range_reports["generated-2"]["diagnostics"]
+    )
+
+
 def test_lint_unknown_query_is_operational_error(capsys):
     assert main(["lint", "nosuch"]) == 2
+
+
+def test_lint_workload_over_registry(capsys):
+    assert main(["lint", "--workload"]) == 0
+    out = capsys.readouterr().out
+    assert "sharing finding(s)" in out
+    assert "CSM402" in out
+    assert "shared scan" in out
+
+
+def test_lint_workload_json_payload(capsys):
+    assert main(["lint", "--workload", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out.strip())
+    assert payload["ok"] is True
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert len(codes) >= 3
+    assert all(
+        d["estimated_saving"] > 0 for d in payload["diagnostics"]
+    )
+    assert payload["scan_groups"]
+
+
+def test_lint_workload_fail_on_warning_catches_subsumption(capsys):
+    # combined subsumes escalation: CSM405 is warning-level.
+    assert main(
+        ["lint", "escalation", "combined", "--fail-on", "warning",
+         "--workload"]
+    ) == 1
+    assert "CSM405" in capsys.readouterr().out
+
+
+def test_lint_workload_budget_compression(capsys):
+    assert main(["lint", "--workload", "--budget", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "compressed workload: kept" in out
+    assert "100% fingerprint coverage" in out
+
+
+def test_lint_budget_without_workload_is_operational_error(capsys):
+    assert main(["lint", "--budget", "5"]) == 2
+
+
+def test_lint_sarif_output_single_mode(tmp_path, capsys):
+    out_path = tmp_path / "lint.sarif.json"
+    assert main(["lint", "combined", "--sarif", str(out_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert payload["version"] == "2.1.0"
+    codes = {r["ruleId"] for r in payload["runs"][0]["results"]}
+    assert "CSM203" in codes
+
+
+def test_lint_sarif_output_workload_mode(tmp_path, capsys):
+    out_path = tmp_path / "workload.sarif.json"
+    assert main(
+        ["lint", "--workload", "--sarif", str(out_path)]
+    ) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    codes = {r["ruleId"] for r in payload["runs"][0]["results"]}
+    # Workload findings and per-workflow findings share one log.
+    assert "CSM402" in codes and "CSM203" in codes

@@ -10,18 +10,20 @@ class TestRegistry:
     def test_at_least_twelve_codes(self):
         assert len(CODES) >= 12
 
-    def test_codes_span_all_four_families(self):
+    def test_codes_span_all_families(self):
         assert {info.family for info in CODES.values()} == set(
             FAMILIES
         )
 
     def test_code_blocks_match_families(self):
-        """CSM0xx well-formedness, 1xx match, 2xx streaming, 3xx perf."""
+        """CSM0xx well-formedness, 1xx match, 2xx streaming, 3xx perf,
+        4xx workload."""
         block_family = {
             "0": "well-formedness",
             "1": "match-validity",
             "2": "streaming",
             "3": "performance",
+            "4": "workload",
         }
         for code, info in CODES.items():
             assert info.code == code

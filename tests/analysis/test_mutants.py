@@ -11,6 +11,7 @@ import pytest
 from repro.analysis import CODES, FAMILIES, analyze
 from repro.testkit.mutations import (
     MUTANT_CODES,
+    WORKLOAD_MUTANT_CODES,
     clean_workflow,
     mutant,
     repaired,
@@ -18,13 +19,17 @@ from repro.testkit.mutations import (
 
 
 def test_mutants_cover_every_registered_code():
-    assert set(MUTANT_CODES) == set(CODES)
+    """Single-workflow mutants plus workload mutants cover every code
+    (the CSM4xx workload pairs live in tests/analysis/test_workload.py)."""
+    assert set(MUTANT_CODES) | set(WORKLOAD_MUTANT_CODES) == set(CODES)
 
 
-def test_mutants_span_all_four_families():
-    assert {CODES[code].family for code in MUTANT_CODES} == set(
-        FAMILIES
-    )
+def test_mutants_span_all_families():
+    covered = {
+        CODES[code].family
+        for code in (*MUTANT_CODES, *WORKLOAD_MUTANT_CODES)
+    }
+    assert covered == set(FAMILIES)
 
 
 @pytest.mark.parametrize("code", MUTANT_CODES)

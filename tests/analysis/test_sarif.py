@@ -1,0 +1,90 @@
+"""Schema guard for the SARIF 2.1.0 lint export.
+
+CI annotators (GitHub code scanning among them) parse this payload, so
+its shape is a compatibility contract: the guard pins the pieces the
+SARIF 2.1.0 schema makes mandatory plus the properties our own CI
+reads (family, estimated_saving, suggestion).
+"""
+
+import json
+
+from repro.analysis import CODES, analyze, diagnostics_to_sarif
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION
+from repro.testkit.mutations import mutant
+
+
+def _sarif_for(code, schema):
+    report = analyze(mutant(code, schema))
+    return diagnostics_to_sarif(report.diagnostics), report
+
+
+class TestSarifEnvelope:
+    def test_top_level_shape(self, syn_schema):
+        payload, __ = _sarif_for("CSM001", syn_schema)
+        assert payload["$schema"] == SARIF_SCHEMA
+        assert payload["version"] == SARIF_VERSION
+        assert len(payload["runs"]) == 1
+
+    def test_payload_is_json_serializable(self, syn_schema):
+        payload, __ = _sarif_for("CSM203", syn_schema)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_driver_lists_every_registered_rule(self, syn_schema):
+        payload, __ = _sarif_for("CSM001", syn_schema)
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert [r["id"] for r in driver["rules"]] == sorted(CODES)
+        for rule in driver["rules"]:
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning", "note",
+            )
+
+    def test_empty_diagnostics_is_a_valid_empty_run(self):
+        payload = diagnostics_to_sarif([])
+        assert payload["runs"][0]["results"] == []
+
+
+class TestSarifResults:
+    def test_results_reference_rules_by_index(self, syn_schema):
+        payload, report = _sarif_for("CSM101", syn_schema)
+        run = payload["runs"][0]
+        assert len(run["results"]) == len(report.diagnostics)
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_severity_maps_to_sarif_levels(self, syn_schema):
+        payload, report = _sarif_for("CSM101", syn_schema)
+        by_code = {
+            r["ruleId"]: r["level"]
+            for r in payload["runs"][0]["results"]
+        }
+        assert by_code["CSM101"] == "error"
+
+    def test_logical_locations_qualify_workflow_and_measure(
+        self, syn_schema
+    ):
+        payload, report = _sarif_for("CSM101", syn_schema)
+        result = next(
+            r for r in payload["runs"][0]["results"]
+            if r["ruleId"] == "CSM101"
+        )
+        location = result["locations"][0]["logicalLocations"][0]
+        assert location["fullyQualifiedName"] == "csm101::agg"
+
+    def test_properties_carry_family_suggestion_and_saving(
+        self, syn_schema
+    ):
+        from repro.analysis import analyze_workload
+        from repro.testkit.mutations import workload_mutant
+
+        report = analyze_workload(workload_mutant("CSM401", syn_schema))
+        payload = diagnostics_to_sarif(report.diagnostics)
+        result = next(
+            r for r in payload["runs"][0]["results"]
+            if r["ruleId"] == "CSM401"
+        )
+        properties = result["properties"]
+        assert properties["family"] == "workload"
+        assert properties["estimated_saving"] > 0
+        assert "suggestion" in properties

@@ -1,0 +1,298 @@
+"""The workload analyzer: CSM4xx sharing diagnostics + compression.
+
+Mirrors the single-workflow mutant contract: for every CSM4xx code,
+:func:`repro.testkit.mutations.workload_mutant` builds a minimal
+workload that triggers it and
+:func:`repro.testkit.mutations.workload_repaired` a corrected workload
+that does not — every cross-workflow rule exercised both ways.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    analyze_workload,
+    canonical_diagnostics,
+    compress_workload,
+    measure_fingerprints,
+    schema_fingerprint,
+)
+from repro.analysis.diagnostics import make
+from repro.analysis.workload import (
+    DEFAULT_WORKLOAD_DATASET_SIZE,
+    WorkloadAnalyzer,
+)
+from repro.schema.dataset_schema import synthetic_schema
+from repro.testkit.mutations import (
+    WORKLOAD_MUTANT_CODES,
+    _gran,
+    _vfield,
+    clean_workflow,
+    workload_mutant,
+    workload_repaired,
+)
+from repro.workflow.workflow import AggregationWorkflow
+
+
+# -- fingerprints --------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_schema_fingerprint_is_structural(self, syn_schema):
+        other = synthetic_schema(num_dimensions=3, levels=3, fanout=4)
+        assert syn_schema is not other
+        assert schema_fingerprint(syn_schema) == schema_fingerprint(
+            other
+        )
+
+    def test_different_shapes_fingerprint_differently(self, syn_schema):
+        other = synthetic_schema(num_dimensions=4, levels=3, fanout=4)
+        assert schema_fingerprint(syn_schema) != schema_fingerprint(
+            other
+        )
+
+    def test_renaming_a_measure_keeps_its_fingerprint(self, syn_schema):
+        a = AggregationWorkflow(syn_schema, "a")
+        a.basic("traffic", _gran(syn_schema, {"d0": 0}),
+                agg=("sum", _vfield(syn_schema)))
+        b = AggregationWorkflow(syn_schema, "b")
+        b.basic("renamed", _gran(syn_schema, {"d0": 0}),
+                agg=("sum", _vfield(syn_schema)))
+        assert (
+            measure_fingerprints(a)["traffic"]
+            == measure_fingerprints(b)["renamed"]
+        )
+
+    def test_fingerprints_recurse_through_sources(self, syn_schema):
+        wf = clean_workflow(syn_schema)
+        fps = measure_fingerprints(wf)
+        # Different kinds/levels -> all outputs distinct.
+        assert len({fps["perCell"], fps["daily"], fps["smooth"]}) == 3
+
+    def test_changing_the_aggregate_changes_the_fingerprint(
+        self, syn_schema
+    ):
+        a = AggregationWorkflow(syn_schema, "a")
+        a.basic("m", _gran(syn_schema, {"d0": 0}),
+                agg=("sum", _vfield(syn_schema)))
+        b = AggregationWorkflow(syn_schema, "b")
+        b.basic("m", _gran(syn_schema, {"d0": 0}), agg=("count", "*"))
+        assert (
+            measure_fingerprints(a)["m"] != measure_fingerprints(b)["m"]
+        )
+
+
+# -- the CSM4xx mutant/repaired contract ---------------------------------
+
+
+@pytest.mark.parametrize("code", WORKLOAD_MUTANT_CODES)
+def test_workload_mutant_triggers_code(code, syn_schema):
+    report = analyze_workload(workload_mutant(code, syn_schema))
+    assert code in report.codes(), report.format()
+
+
+@pytest.mark.parametrize("code", WORKLOAD_MUTANT_CODES)
+def test_workload_repaired_is_clean_of_code(code, syn_schema):
+    report = analyze_workload(workload_repaired(code, syn_schema))
+    assert code not in report.codes(), report.format()
+
+
+@pytest.mark.parametrize("code", WORKLOAD_MUTANT_CODES)
+def test_workload_findings_carry_savings(code, syn_schema):
+    report = analyze_workload(workload_mutant(code, syn_schema))
+    hits = [d for d in report.diagnostics if d.code == code]
+    assert hits
+    assert all(d.saving is not None and d.saving > 0 for d in hits)
+
+
+def test_single_workflow_workload_has_no_cross_findings(syn_schema):
+    report = analyze_workload({"only": clean_workflow(syn_schema)})
+    assert report.diagnostics == []
+    assert report.scan_groups == []
+    assert report.ok
+
+
+def test_broken_workflow_is_excluded_not_crashed(syn_schema):
+    """A workflow failing single-workflow analysis must not poison the
+    cross product — its per-workflow report still surfaces the errors."""
+    from repro.testkit.mutations import mutant
+
+    workload = workload_mutant("CSM401", syn_schema)
+    workload["broken"] = mutant("CSM001", syn_schema)
+    report = analyze_workload(workload)
+    assert not report.reports["broken"].ok
+    assert not report.ok
+    assert "CSM401" in report.codes()  # the live pair still analyzed
+    assert not any(
+        "broken" in (d.workflow or "") for d in report.diagnostics
+    )
+
+
+def test_subsumption_of_equal_workloads_reported_once(syn_schema):
+    """Two identical workloads yield one CSM405 (on the later name),
+    not a symmetric pair."""
+    a = clean_workflow(syn_schema, "a")
+    b = clean_workflow(syn_schema, "b")
+    report = analyze_workload({"alpha": a, "beta": b})
+    hits = [d for d in report.diagnostics if d.code == "CSM405"]
+    assert len(hits) == 1
+    assert hits[0].workflow == "beta"
+    assert hits[0].related == ("alpha",)
+
+
+# -- shared scan groups --------------------------------------------------
+
+
+class TestSharedScanGroups:
+    def test_group_shape_and_contract(self, syn_schema):
+        workload = workload_mutant("CSM401", syn_schema)
+        report = analyze_workload(workload)
+        assert len(report.scan_groups) == 1
+        group = report.scan_groups[0]
+        assert group.workflows == ("a", "b")
+        # Serializable, schema-instance-free sort key.
+        assert all(
+            isinstance(dim, str) and isinstance(dom, str)
+            for dim, dom in group.sort_key
+        )
+        assert group.shared_aggregations >= 1
+        assert group.separate_cost > group.shared_cost
+        assert group.estimated_saving > 0
+
+    def test_group_to_dict_is_json_ready(self, syn_schema):
+        import json
+
+        report = analyze_workload(workload_mutant("CSM402", syn_schema))
+        payload = [g.to_dict() for g in report.scan_groups]
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_incompatible_plans_form_no_group(self, syn_schema):
+        report = analyze_workload(
+            workload_repaired("CSM402", syn_schema)
+        )
+        assert report.scan_groups == []
+
+
+# -- report plumbing -----------------------------------------------------
+
+
+class TestWorkloadReport:
+    def test_all_diagnostics_merges_and_orders(self, syn_schema):
+        workload = workload_mutant("CSM405", syn_schema)
+        report = analyze_workload(workload)
+        merged = report.all_diagnostics()
+        ranks = [d.severity.rank for d in merged]
+        assert ranks == sorted(ranks)
+        assert set(report.diagnostics) <= set(merged)
+
+    def test_to_dict_round_trips_through_json(self, syn_schema):
+        import json
+
+        report = analyze_workload(workload_mutant("CSM403", syn_schema))
+        payload = report.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["ok"] is True  # hints only
+        assert payload["estimated_saving"] > 0
+
+    def test_default_dataset_size_used_for_costs(self, syn_schema):
+        analyzer = WorkloadAnalyzer()
+        assert analyzer.cost_rows == DEFAULT_WORKLOAD_DATASET_SIZE
+        sized = WorkloadAnalyzer(dataset_size=500)
+        assert sized.cost_rows == 500
+
+
+# -- canonical ordering (the analyzer-output dedup fix) ------------------
+
+
+class TestCanonicalDiagnostics:
+    def test_duplicates_collapse(self):
+        diag = make("CSM301", "same finding", measure="m")
+        assert canonical_diagnostics([diag, diag]) == [diag]
+
+    def test_order_is_severity_then_code_then_measure(self):
+        hint = make("CSM301", "push it", measure="z")
+        warn = make("CSM203", "big footprint", measure="a")
+        err = make("CSM001", "dangling", measure="m")
+        out = canonical_diagnostics([hint, warn, err])
+        assert [d.code for d in out] == ["CSM001", "CSM203", "CSM301"]
+
+    def test_order_is_input_order_independent(self):
+        diags = [
+            make("CSM301", "a", measure="m1"),
+            make("CSM301", "b", measure="m2"),
+            make("CSM302", "c", measure="m1"),
+        ]
+        assert canonical_diagnostics(diags) == canonical_diagnostics(
+            list(reversed(diags))
+        )
+
+    def test_severities_are_grouped_errors_first(self):
+        diags = [
+            make("CSM301", "hint"),
+            make("CSM001", "error"),
+            make("CSM203", "warning"),
+        ]
+        out = canonical_diagnostics(diags)
+        assert [d.severity for d in out] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.HINT,
+        ]
+
+
+# -- GSUM-style compression ----------------------------------------------
+
+
+class TestCompressWorkload:
+    def _workload(self, schema):
+        """Three workflows: two near-duplicates plus one distinct."""
+        v = _vfield(schema)
+        a = AggregationWorkflow(schema, "a")
+        a.basic("x", _gran(schema, {"d0": 0}), agg=("sum", v))
+        b = AggregationWorkflow(schema, "b")
+        b.basic("y", _gran(schema, {"d0": 0}), agg=("sum", v))
+        c = AggregationWorkflow(schema, "c")
+        c.basic("z", _gran(schema, {"d1": 0}), agg=("count", "*"))
+        return {"a": a, "b": b, "c": c}
+
+    def test_unlimited_budget_reaches_full_coverage(self, syn_schema):
+        result = compress_workload(self._workload(syn_schema))
+        assert result.coverage == 1.0
+        # The duplicate adds no coverage, so greedy never selects it.
+        assert len(result.selected) == 2
+        assert set(result.selected) | set(result.dropped) == {
+            "a", "b", "c",
+        }
+
+    def test_budget_is_respected(self, syn_schema):
+        workload = self._workload(syn_schema)
+        full = compress_workload(workload)
+        budget = full.selected_cost / 2
+        result = compress_workload(workload, budget)
+        assert result.selected_cost <= budget
+        assert result.budget == budget
+
+    def test_zero_budget_selects_nothing(self, syn_schema):
+        result = compress_workload(self._workload(syn_schema), 0.0)
+        assert result.selected == ()
+        assert result.coverage == 0.0
+
+    def test_greedy_prefers_coverage_per_cost(self, syn_schema):
+        """With room for only part of the workload, the pick maximizes
+        marginal fingerprint coverage per unit cost."""
+        workload = self._workload(syn_schema)
+        full = compress_workload(workload)
+        result = compress_workload(
+            workload, budget=full.selected_cost
+        )
+        assert result.coverage == 1.0
+        assert result.selected_cost <= full.selected_cost
+
+    def test_to_dict_round_trips_through_json(self, syn_schema):
+        import json
+
+        result = compress_workload(self._workload(syn_schema), 10.0)
+        payload = result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        result = compress_workload(self._workload(syn_schema))
+        assert result.to_dict()["budget"] is None

@@ -1,0 +1,107 @@
+"""The shipped registry, analyzed as one workload (pinned findings).
+
+The acceptance bar for the workload analyzer: over the real query
+registry it must (a) keep every family clean at the single-workflow
+level, (b) surface at least three distinct CSM4xx sharing codes with
+cost-model savings attached, and (c) compress the workload to a subset
+that keeps >= 90% fingerprint coverage under a budget below the full
+workload cost.  Pinning the exact codes keeps future rule changes
+honest: loosening a rule that silently stops firing on the registry
+fails here first.
+"""
+
+import pytest
+
+from repro.analysis import analyze_workload, compress_workload
+from repro.cli import _QUERIES, _SCHEMAS
+
+
+@pytest.fixture(scope="module")
+def registry_workload():
+    schemas = {}
+    workload = {}
+    for name in sorted(_QUERIES):
+        schema_name, builder = _QUERIES[name]
+        if schema_name not in schemas:
+            schemas[schema_name] = _SCHEMAS[schema_name]()
+        workload[name] = builder(schemas[schema_name])
+    return workload
+
+
+@pytest.fixture(scope="module")
+def registry_report(registry_workload):
+    return analyze_workload(registry_workload)
+
+
+def test_every_registry_workflow_lints_clean_singly(registry_report):
+    for name, report in registry_report.reports.items():
+        assert report.ok, f"{name}: {report.format()}"
+
+
+def test_registry_workload_detects_at_least_three_codes(
+    registry_report,
+):
+    assert len(registry_report.codes()) >= 3, registry_report.format()
+
+
+def test_registry_workload_codes_are_pinned(registry_report):
+    """The exact sharing structure of the shipped registry:
+
+    - CSM401: q1/q2 share a base aggregation; combined duplicates
+      escalation's and multirecon's sub-aggregations;
+    - CSM402/403: the network-family workflows (and q1/q2) share a
+      fact scan and benefit from one workload-wide sort order;
+    - CSM404: examples' Count is rollup-derivable from the finer
+      srcTraffic tables;
+    - CSM405: combined subsumes escalation and multirecon outright.
+    """
+    assert registry_report.codes() == {
+        "CSM401", "CSM402", "CSM403", "CSM404", "CSM405",
+    }
+
+
+def test_registry_findings_all_carry_savings(registry_report):
+    assert registry_report.diagnostics
+    for diag in registry_report.diagnostics:
+        assert diag.saving is not None and diag.saving > 0, (
+            diag.format()
+        )
+
+
+def test_registry_subsumptions_name_combined(registry_report):
+    subsumed = {
+        d.workflow
+        for d in registry_report.diagnostics
+        if d.code == "CSM405"
+    }
+    assert subsumed == {"escalation", "multirecon"}
+    assert all(
+        d.related == ("combined",)
+        for d in registry_report.diagnostics
+        if d.code == "CSM405"
+    )
+
+
+def test_registry_scan_groups_cover_both_schema_families(
+    registry_report,
+):
+    groups = {g.workflows for g in registry_report.scan_groups}
+    assert ("q1", "q2") in groups
+    assert (
+        "combined", "escalation", "examples", "multirecon",
+    ) in groups
+
+
+def test_registry_compresses_to_90_percent_coverage(
+    registry_workload,
+):
+    full = compress_workload(registry_workload)
+    assert full.coverage == 1.0
+    # A budget below the full workload cost still keeps >= 90% of the
+    # distinct fingerprints: the registry overlaps that heavily.
+    budget = full.workload_cost * 0.75
+    assert budget < full.workload_cost
+    result = compress_workload(registry_workload, budget)
+    assert result.selected_cost <= budget
+    assert result.coverage >= 0.9, result.to_dict()
+    assert result.dropped  # something was actually left out

@@ -292,6 +292,26 @@ class TestTenantRoutes:
         assert status == 400
         assert "bad request" in data["error"]
 
+    def test_tenant_statusz_reports_workload_sharing(
+        self, tenant_served, mergeable_cluster_workflow
+    ):
+        records = [list(r) for r in make_records(100, seed=68)]
+        for tenant in ("alpha", "beta"):
+            status, __ = tenant_served.request(
+                "POST", f"/workflow?tenant={tenant}",
+                body=_workflow_body(
+                    mergeable_cluster_workflow, records=records
+                ),
+            )
+            assert status == 200
+        status, data = tenant_served.request("GET", "/statusz")
+        assert status == 200
+        workload = data["workload"]
+        assert workload["tenants"] == 2
+        # Identical dashboards: beta's workflow is subsumed by alpha's.
+        assert "CSM405" in workload["codes"]
+        assert workload["estimated_saving"] > 0
+
     def test_tenant_mode_metrics_pull_worker_telemetry(
         self, tmp_path, mergeable_cluster_workflow, monkeypatch
     ):

@@ -309,3 +309,43 @@ class TestAdmissionControl:
             TenantManager(
                 str(tmp_path / "svc"), queue_policy="drop"
             )
+
+
+class TestWorkloadSharingStats:
+    """Cross-tenant workload analysis surfaced through ``/statusz``."""
+
+    def test_fewer_than_two_tenants_short_circuits(
+        self, manager, mergeable_cluster_workflow
+    ):
+        empty = manager.workload_sharing_stats()
+        assert empty == {
+            "tenants": 0,
+            "codes": [],
+            "estimated_saving": 0.0,
+            "diagnostics": [],
+            "shared_scan_groups": [],
+        }
+        manager.register(
+            "solo", mergeable_cluster_workflow, make_records(80, seed=48)
+        )
+        assert manager.workload_sharing_stats()["tenants"] == 1
+
+    def test_duplicate_tenants_are_flagged(self, two_tenants):
+        stats = two_tenants.workload_sharing_stats()
+        assert stats["tenants"] == 2
+        # alpha and beta run the same dashboard: beta is subsumed, and
+        # every shared sub-aggregation is reported with a saving.
+        assert "CSM405" in stats["codes"]
+        assert stats["estimated_saving"] > 0
+        subsumed = [
+            d for d in stats["diagnostics"] if d["code"] == "CSM405"
+        ]
+        assert [d["workflow"] for d in subsumed] == ["beta"]
+        assert subsumed[0]["related"] == ["alpha"]
+        assert stats["shared_scan_groups"]
+        group = stats["shared_scan_groups"][0]
+        assert group["workflows"] == ["alpha", "beta"]
+
+    def test_stats_payload_is_json_serializable(self, two_tenants):
+        stats = two_tenants.workload_sharing_stats()
+        assert json.loads(json.dumps(stats)) == stats
